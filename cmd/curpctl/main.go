@@ -1,0 +1,116 @@
+// Command curpctl is a small operator CLI for a running curpd cluster.
+//
+//	curpctl -coordinator 127.0.0.1:7000 put mykey myvalue
+//	curpctl -coordinator 127.0.0.1:7000 get mykey
+//	curpctl -coordinator 127.0.0.1:7000 incr counter 5
+//	curpctl -coordinator 127.0.0.1:7000 del mykey
+//	curpctl -coordinator 127.0.0.1:7000 bench 10000
+//
+// bench issues sequential 100B puts on distinct keys and reports latency
+// percentiles and the fraction of 1-RTT completions.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"curp/internal/cluster"
+	"curp/internal/stats"
+	"curp/internal/transport"
+	"curp/internal/workload"
+)
+
+func main() {
+	coord := flag.String("coordinator", "127.0.0.1:7000", "coordinator address")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := cluster.NewClient(transport.TCPNetwork{}, fmt.Sprintf("curpctl-%d", os.Getpid()), *coord, 1)
+	exitOn(err)
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		ver, err := cl.Put(ctx, []byte(args[1]), []byte(args[2]))
+		exitOn(err)
+		fmt.Printf("OK version=%d\n", ver)
+	case "get":
+		need(args, 2)
+		v, ok, err := cl.Get(ctx, []byte(args[1]))
+		exitOn(err)
+		if !ok {
+			fmt.Println("(nil)")
+			return
+		}
+		fmt.Printf("%s\n", v)
+	case "del":
+		need(args, 2)
+		exitOn(cl.Delete(ctx, []byte(args[1])))
+		fmt.Println("OK")
+	case "incr":
+		need(args, 3)
+		delta, err := strconv.ParseInt(args[2], 10, 64)
+		exitOn(err)
+		n, err := cl.Increment(ctx, []byte(args[1]), delta)
+		exitOn(err)
+		fmt.Printf("%d\n", n)
+	case "bench":
+		need(args, 2)
+		n, err := strconv.Atoi(args[1])
+		exitOn(err)
+		runBench(cl, n)
+	default:
+		usage()
+	}
+}
+
+func runBench(cl *cluster.Client, n int) {
+	var h stats.Histogram
+	value := workload.Value(1, 100)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		key := workload.Key(uint64(i), 30)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		opStart := time.Now()
+		_, err := cl.Put(ctx, key, value)
+		cancel()
+		exitOn(err)
+		h.Record(time.Since(opStart).Nanoseconds())
+	}
+	elapsed := time.Since(start)
+	st := cl.Stats()
+	fmt.Printf("%d puts in %v (%.0f ops/s)\n", n, elapsed, float64(n)/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p90=%v p99=%v\n",
+		time.Duration(h.Percentile(50)), time.Duration(h.Percentile(90)), time.Duration(h.Percentile(99)))
+	fmt.Printf("fast-path %d (%.1f%%), master-synced %d, slow-path %d, retries %d\n",
+		st.FastPath, 100*float64(st.FastPath)/float64(n), st.SyncedByMaster, st.SlowPath, st.Retries)
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] put|get|del|incr|bench args...")
+	os.Exit(2)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// Command curpd runs CURP servers over TCP.
+//
+// All-in-one cluster (coordinator + master + f backups + f witnesses) on
+// sequential ports:
+//
+//	curpd -mode cluster -host 127.0.0.1 -port 7000 -f 3
+//
+// Standalone component servers for spreading a deployment across machines:
+//
+//	curpd -mode backup  -addr 10.0.0.2:7101
+//	curpd -mode witness -addr 10.0.0.3:7201
+//	curpd -mode master -addr 10.0.0.1:7001 \
+//	      -backups 10.0.0.2:7101 -witnesses 10.0.0.3:7201
+//
+// Standalone masters self-configure their witness list at version 1; use
+// the all-in-one mode when you want coordinator-driven reconfiguration and
+// recovery. Clients connect with cmd/curpctl or cluster.NewClient.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"curp/internal/cluster"
+	"curp/internal/transport"
+	"curp/internal/witness"
+)
+
+func main() {
+	mode := flag.String("mode", "cluster", "cluster | master | backup | witness")
+	host := flag.String("host", "127.0.0.1", "cluster mode: bind host")
+	port := flag.Int("port", 7000, "cluster mode: base port (coordinator; +1 master; +100+i backups; +200+i witnesses)")
+	f := flag.Int("f", 3, "fault tolerance level (backups & witnesses)")
+	addr := flag.String("addr", "", "component modes: listen address")
+	backups := flag.String("backups", "", "master mode: comma-separated backup addresses")
+	witnesses := flag.String("witnesses", "", "master mode: comma-separated witness addresses")
+	batch := flag.Int("batch", 50, "master sync batch size")
+	flag.Parse()
+
+	nw := transport.TCPNetwork{}
+	switch *mode {
+	case "cluster":
+		runCluster(nw, *host, *port, *f, *batch)
+	case "backup":
+		requireAddr(*addr)
+		srv, err := cluster.NewBackupServer(nw, *addr)
+		exitOn(err)
+		log.Printf("backup listening on %s", *addr)
+		waitForSignal()
+		srv.Close()
+	case "witness":
+		requireAddr(*addr)
+		srv, err := cluster.NewWitnessServer(nw, *addr, witness.DefaultConfig())
+		exitOn(err)
+		log.Printf("witness listening on %s", *addr)
+		waitForSignal()
+		srv.Close()
+	case "master":
+		requireAddr(*addr)
+		opts := cluster.DefaultMasterOptions()
+		opts.Core.SyncBatchSize = *batch
+		ms, err := cluster.NewMasterServer(nw, 1, *addr, 0, opts)
+		exitOn(err)
+		ms.SetBackups(split(*backups))
+		// Standalone masters install their witness list directly at
+		// version 1; witness instances must be started by the operator
+		// (curpctl start-witness) or by an all-in-one coordinator.
+		exitOn(ms.SetWitnessList(1, split(*witnesses)))
+		log.Printf("master listening on %s (backups=%s witnesses=%s)", *addr, *backups, *witnesses)
+		waitForSignal()
+		ms.Close()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runCluster(nw transport.Network, host string, port, f, batch int) {
+	coordAddr := fmt.Sprintf("%s:%d", host, port)
+	coord, err := cluster.NewCoordinator(nw, coordAddr, time.Minute)
+	exitOn(err)
+	var backupAddrs, witnessAddrs []string
+	var closers []interface{ Close() }
+	for i := 0; i < f; i++ {
+		ba := fmt.Sprintf("%s:%d", host, port+100+i)
+		b, err := cluster.NewBackupServer(nw, ba)
+		exitOn(err)
+		closers = append(closers, b)
+		backupAddrs = append(backupAddrs, ba)
+		wa := fmt.Sprintf("%s:%d", host, port+200+i)
+		w, err := cluster.NewWitnessServer(nw, wa, witness.DefaultConfig())
+		exitOn(err)
+		closers = append(closers, w)
+		witnessAddrs = append(witnessAddrs, wa)
+	}
+	opts := cluster.DefaultMasterOptions()
+	opts.Core.SyncBatchSize = batch
+	masterAddr := fmt.Sprintf("%s:%d", host, port+1)
+	ms, err := cluster.NewMasterServer(nw, 1, masterAddr, 0, opts)
+	exitOn(err)
+	closers = append(closers, ms)
+	exitOn(coord.AddMaster(ms, backupAddrs, witnessAddrs))
+	log.Printf("cluster up: coordinator=%s master=%s backups=%v witnesses=%v",
+		coordAddr, masterAddr, backupAddrs, witnessAddrs)
+	waitForSignal()
+	for _, c := range closers {
+		c.Close()
+	}
+	coord.Close()
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func requireAddr(addr string) {
+	if addr == "" {
+		fmt.Fprintln(os.Stderr, "-addr is required for component modes")
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	log.Print("shutting down")
+}

@@ -1,0 +1,404 @@
+// Package curp is a Go implementation of CURP — the Consistent Unordered
+// Replication Protocol (Park & Ousterhout, NSDI 2019) — together with the
+// storage substrates the paper evaluates it on.
+//
+// CURP completes strongly consistent (linearizable) updates in one round
+// trip by separating durability from ordering: clients record each update
+// on f witnesses in parallel with sending it to the master, and the master
+// replies before replicating to its backups as long as the update commutes
+// with every other speculative update. Non-commutative updates fall back
+// to a synchronous backup sync (two round trips). After a master crash,
+// the new master restores from a backup and replays one witness; RIFL
+// exactly-once semantics filter duplicates.
+//
+// The package exposes:
+//
+//   - Start: boot a complete single-partition cluster (coordinator, one
+//     master, f backups, f witnesses) on an in-memory network with
+//     optional latency injection — the quickest way to use and test the
+//     protocol. The same servers run over TCP via cmd/curpd.
+//   - Client: a key-value client with 1-RTT Put/Delete/Increment/CondPut/
+//     MultiPut/MultiIncrement, linearizable Get, GetNearby (consistent
+//     reads from a backup guarded by a witness commutativity probe, paper
+//     §A.1), and GetStale (non-blocking reads of the latest durable value,
+//     paper §A.3).
+//   - DurableCache: a Redis-like data-structure store (strings, hashes,
+//     counters, lists, sets) made durable at cache speed by CURP
+//     (paper §5.4).
+//
+// Deeper layers live in internal/: the protocol core, the witness and
+// RIFL components, the cluster runtime, a consensus (§A.2) extension, and
+// the discrete-event simulator that regenerates the paper's figures (see
+// bench_test.go and cmd/curpbench).
+package curp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"curp/internal/cluster"
+	"curp/internal/core"
+	"curp/internal/dstore"
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/transport"
+	"curp/internal/witness"
+)
+
+// Options configures a cluster started with Start.
+type Options struct {
+	// F is the fault-tolerance level: the cluster runs F backups and F
+	// witnesses and stays available with F failures. Default 3 (the
+	// paper's standard configuration).
+	F int
+	// SyncBatchSize is the number of speculative operations that triggers
+	// a background backup sync (default 50, the paper's ceiling).
+	SyncBatchSize int
+	// DisableHotKeySync turns off the §4.4 preemptive-sync heuristic.
+	DisableHotKeySync bool
+	// WitnessSlots and WitnessWays size each witness (defaults 4096 and
+	// 4, the paper's geometry).
+	WitnessSlots, WitnessWays int
+	// Latency optionally injects a one-way network delay between every
+	// pair of distinct simulated hosts (e.g. to emulate geo-replication).
+	Latency func(from, to string) time.Duration
+}
+
+// KV is one key/value pair of a MultiPut.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Stats summarizes a client's protocol outcomes.
+type Stats struct {
+	// FastPath is the number of updates completed in 1 RTT.
+	FastPath uint64
+	// SyncedByMaster is the number completed in 2 RTTs because the master
+	// synced before replying (commutativity conflict).
+	SyncedByMaster uint64
+	// SlowPath is the number that needed an explicit sync RPC.
+	SlowPath uint64
+	// Retries counts operation restarts after crashes or stale views.
+	Retries uint64
+	// BackupReads and MasterReads split GetNearby outcomes.
+	BackupReads, MasterReads uint64
+}
+
+// Cluster is a running CURP deployment for one data partition.
+type Cluster struct {
+	inner *cluster.Cluster
+	net   *transport.MemNetwork
+}
+
+// Start boots a cluster on an in-memory network: a coordinator, one
+// master, F backups, and F witness servers.
+func Start(opts Options) (*Cluster, error) {
+	var lat transport.LatencyModel
+	if opts.Latency != nil {
+		fn := opts.Latency
+		lat = transport.LatencyFunc(func(from, to string, _ int) time.Duration {
+			if from == to {
+				return 0
+			}
+			return fn(from, to)
+		})
+	}
+	nw := transport.NewMemNetwork(lat)
+	copts := cluster.DefaultOptions()
+	if opts.F > 0 {
+		copts.F = opts.F
+	}
+	if opts.SyncBatchSize > 0 {
+		copts.Master.Core.SyncBatchSize = opts.SyncBatchSize
+	}
+	if opts.DisableHotKeySync {
+		copts.Master.Core.HotKeyWindow = 0
+	}
+	if opts.WitnessSlots > 0 {
+		copts.Witness.Slots = opts.WitnessSlots
+	}
+	if opts.WitnessWays > 0 {
+		copts.Witness.Ways = opts.WitnessWays
+	}
+	inner, err := cluster.Start(nw, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner, net: nw}, nil
+}
+
+// NewClient opens a client. name identifies the client host on the
+// simulated network (it matters when Latency is configured).
+func (c *Cluster) NewClient(name string) (*Client, error) {
+	cl, err := c.inner.NewClient(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: cl}, nil
+}
+
+// CrashMaster simulates a master crash: its connections reset and the
+// process stops. Completed updates remain recoverable.
+func (c *Cluster) CrashMaster() { c.inner.CrashMaster() }
+
+// Recover replaces the crashed master with a fresh server at newAddr
+// (any previously unused host name), restoring from backups and replaying
+// a witness (paper §3.3).
+func (c *Cluster) Recover(newAddr string) error {
+	_, err := c.inner.Recover(newAddr)
+	return err
+}
+
+// MasterAddr returns the current master's host name.
+func (c *Cluster) MasterAddr() string { return c.inner.Master.Addr() }
+
+// WitnessAddrs returns the witness servers' host names.
+func (c *Cluster) WitnessAddrs() []string {
+	addrs := make([]string, 0, len(c.inner.Witnesses))
+	for _, w := range c.inner.Witnesses {
+		addrs = append(addrs, w.Addr())
+	}
+	return addrs
+}
+
+// BackupAddrs returns the backup servers' host names.
+func (c *Cluster) BackupAddrs() []string {
+	addrs := make([]string, 0, len(c.inner.Backups))
+	for _, b := range c.inner.Backups {
+		addrs = append(addrs, b.Addr())
+	}
+	return addrs
+}
+
+// Close shuts every server down.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// Client is a CURP key-value client.
+type Client struct {
+	inner *cluster.Client
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() { c.inner.Close() }
+
+// Stats returns the client's protocol counters.
+func (c *Client) Stats() Stats {
+	s := c.inner.Stats()
+	return Stats{
+		FastPath:       s.FastPath,
+		SyncedByMaster: s.SyncedByMaster,
+		SlowPath:       s.SlowPath,
+		Retries:        s.Retries,
+		BackupReads:    s.BackupReads,
+		MasterReads:    s.MasterReads,
+	}
+}
+
+// Put writes value under key; it returns the object's new version.
+func (c *Client) Put(ctx context.Context, key, value []byte) (uint64, error) {
+	return c.inner.Put(ctx, key, value)
+}
+
+// Get reads key at the master (linearizable).
+func (c *Client) Get(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.inner.Get(ctx, key)
+}
+
+// GetNearby reads key from a backup when a witness confirms the read
+// commutes with all outstanding speculative updates; otherwise it falls
+// back to the master. Still linearizable (paper §A.1).
+func (c *Client) GetNearby(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.inner.GetNearby(ctx, key)
+}
+
+// GetStale reads the latest durable value of key without ever waiting for
+// a backup sync (paper §A.3): the result may trail the linearizable value
+// by the unsynced window. For read-mostly paths that tolerate slight
+// staleness and must not block behind hot writers.
+func (c *Client) GetStale(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.inner.GetStale(ctx, key)
+}
+
+// Delete removes key.
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	return c.inner.Delete(ctx, key)
+}
+
+// Increment atomically adds delta to the integer at key and returns the
+// new value.
+func (c *Client) Increment(ctx context.Context, key []byte, delta int64) (int64, error) {
+	return c.inner.Increment(ctx, key, delta)
+}
+
+// CondPut writes value only if key is currently at expectVersion
+// (version 0 = must not exist). applied reports whether the write took.
+func (c *Client) CondPut(ctx context.Context, key, value []byte, expectVersion uint64) (applied bool, version uint64, err error) {
+	return c.inner.CondPut(ctx, key, value, expectVersion)
+}
+
+// MultiPut writes several objects as one atomic operation; it commutes
+// only with operations touching none of its keys.
+func (c *Client) MultiPut(ctx context.Context, pairs []KV) error {
+	kvs := make([]kv.KV, len(pairs))
+	for i, p := range pairs {
+		kvs[i] = kv.KV{Key: p.Key, Value: p.Value}
+	}
+	return c.inner.MultiPut(ctx, kvs)
+}
+
+// IncrPair is one leg of a Transfer / MultiIncrement.
+type IncrPair struct {
+	Key   []byte
+	Delta int64
+}
+
+// MultiIncrement atomically adds each delta to its (distinct) key in one
+// exactly-once operation — e.g. a balance transfer — and returns the new
+// counter values.
+func (c *Client) MultiIncrement(ctx context.Context, deltas []IncrPair) ([]int64, error) {
+	ps := make([]kv.IncrPair, len(deltas))
+	for i, d := range deltas {
+		ps[i] = kv.IncrPair{Key: d.Key, Delta: d.Delta}
+	}
+	return c.inner.MultiIncrement(ctx, ps)
+}
+
+// DurableCache is a Redis-like in-memory data-structure store made durable
+// and consistent by CURP (paper §5.4): commands complete without waiting
+// for the append-only file to fsync, because each command is recorded on
+// witnesses in parallel; the AOF is flushed in the background.
+type DurableCache struct {
+	engine    *dstore.Engine
+	witnesses []*witness.Witness
+	client    *core.Client
+	dev       *dstore.MemDevice
+}
+
+// NewDurableCache creates a cache with f witnesses. f must be ≥ 1.
+func NewDurableCache(f int) (*DurableCache, error) {
+	if f < 1 {
+		return nil, fmt.Errorf("curp: durable cache needs at least one witness, got %d", f)
+	}
+	dev := &dstore.MemDevice{}
+	engine := dstore.NewEngine(1, dstore.NewAOF(dev, dstore.FsyncOnDemand), core.MasterConfig{SyncBatchSize: 50, HotKeyWindow: 64})
+	view := &core.View{MasterID: 1, WitnessListVersion: 1, Master: engine}
+	var ws []*witness.Witness
+	for i := 0; i < f; i++ {
+		w := witness.MustNew(1, witness.DefaultConfig())
+		ws = append(ws, w)
+		view.Witnesses = append(view.Witnesses, dstore.WitnessAdapter{W: w})
+	}
+	engine.AttachWitnesses(ws)
+	client := core.NewClient(rifl.NewSession(1), core.StaticView{V: view}, core.DefaultClientConfig())
+	return &DurableCache{engine: engine, witnesses: ws, client: client, dev: dev}, nil
+}
+
+func (d *DurableCache) do(ctx context.Context, cmd *dstore.Command) (*dstore.Result, error) {
+	var out []byte
+	var err error
+	if cmd.IsReadOnly() {
+		out, err = d.client.Read(ctx, cmd.KeyHashes(), cmd.Encode())
+	} else {
+		out, err = d.client.Update(ctx, cmd.KeyHashes(), cmd.Encode())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dstore.DecodeResult(out)
+}
+
+// Set stores a string value.
+func (d *DurableCache) Set(ctx context.Context, key, value []byte) error {
+	_, err := d.do(ctx, &dstore.Command{Op: dstore.OpSet, Key: key, Value: value})
+	return err
+}
+
+// Get reads a string value.
+func (d *DurableCache) Get(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	res, err := d.do(ctx, &dstore.Command{Op: dstore.OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Value, res.Found, nil
+}
+
+// Incr adds delta to the counter at key and returns the new value.
+func (d *DurableCache) Incr(ctx context.Context, key []byte, delta int64) (int64, error) {
+	res, err := d.do(ctx, &dstore.Command{Op: dstore.OpIncr, Key: key, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	var v int64
+	_, err = fmt.Sscanf(string(res.Value), "%d", &v)
+	return v, err
+}
+
+// HSet stores a hash field.
+func (d *DurableCache) HSet(ctx context.Context, key, field, value []byte) error {
+	_, err := d.do(ctx, &dstore.Command{Op: dstore.OpHMSet, Key: key, Field: field, Value: value})
+	return err
+}
+
+// HGet reads a hash field.
+func (d *DurableCache) HGet(ctx context.Context, key, field []byte) (value []byte, ok bool, err error) {
+	res, err := d.do(ctx, &dstore.Command{Op: dstore.OpHGet, Key: key, Field: field})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Value, res.Found, nil
+}
+
+// RPush appends to the list at key and returns the new length.
+func (d *DurableCache) RPush(ctx context.Context, key, value []byte) (int64, error) {
+	res, err := d.do(ctx, &dstore.Command{Op: dstore.OpRPush, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	return res.N, nil
+}
+
+// LRange returns list elements in [start, stop] (negative = from tail).
+func (d *DurableCache) LRange(ctx context.Context, key []byte, start, stop int64) ([][]byte, error) {
+	res, err := d.do(ctx, &dstore.Command{Op: dstore.OpLRange, Key: key, Start: start, Stop: stop})
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// Stats returns the cache client's protocol counters.
+func (d *DurableCache) Stats() Stats {
+	s := d.client.Stats()
+	return Stats{FastPath: s.FastPath, SyncedByMaster: s.SyncedByMaster, SlowPath: s.SlowPath, Retries: s.Retries}
+}
+
+// Fsyncs returns how many times the AOF was flushed — the cost CURP moved
+// off the critical path.
+func (d *DurableCache) Fsyncs() int { return d.dev.SyncCount }
+
+// Crash simulates a process crash, returning the durable AOF prefix: the
+// un-fsynced tail is lost, exactly what CURP's witnesses protect against.
+func (d *DurableCache) Crash() (durableLog []byte) { return d.dev.DurableBytes() }
+
+// RecoverCache rebuilds a cache after Crash: replay the durable log, then
+// replay the witness (exactly-once via RIFL). The witness freezes, so
+// clients of the old instance can no longer complete updates.
+func RecoverCache(durableLog []byte, from *DurableCache) (*DurableCache, error) {
+	dev := &dstore.MemDevice{}
+	engine, err := dstore.Recover(1, durableLog, from.witnesses[0], dstore.NewAOF(dev, dstore.FsyncOnDemand), core.MasterConfig{SyncBatchSize: 50})
+	if err != nil {
+		return nil, err
+	}
+	view := &core.View{MasterID: 1, WitnessListVersion: 1, Master: engine}
+	var ws []*witness.Witness
+	for range from.witnesses {
+		w := witness.MustNew(1, witness.DefaultConfig())
+		ws = append(ws, w)
+		view.Witnesses = append(view.Witnesses, dstore.WitnessAdapter{W: w})
+	}
+	engine.AttachWitnesses(ws)
+	client := core.NewClient(rifl.NewSession(2), core.StaticView{V: view}, core.DefaultClientConfig())
+	return &DurableCache{engine: engine, witnesses: ws, client: client, dev: dev}, nil
+}

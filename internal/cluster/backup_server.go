@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"curp/internal/core"
+	"curp/internal/kv"
+	"curp/internal/rpc"
+	"curp/internal/transport"
+)
+
+// ErrStaleEpoch is the error message backups answer to replication
+// requests from deposed masters (zombie defense, paper §4.7: the
+// underlying system neutralizes zombies "by asking backups to reject
+// replication requests from a crashed master").
+const ErrStaleEpoch = "backup: stale master epoch"
+
+// backupState is a backup's replica for one master: the log plus a
+// materialized store for §A.1 backup reads.
+type backupState struct {
+	log   *kv.Backup
+	store *kv.Store
+	epoch uint64
+}
+
+// BackupServer stores log replicas for one or more masters and serves
+// reads from the replicated (synced-only) state.
+type BackupServer struct {
+	addr string
+
+	mu     sync.Mutex
+	states map[uint64]*backupState
+
+	rpc *rpc.Server
+}
+
+// NewBackupServer creates a backup server listening on addr.
+func NewBackupServer(nw transport.Network, addr string) (*BackupServer, error) {
+	bs := &BackupServer{
+		addr:   addr,
+		states: make(map[uint64]*backupState),
+		rpc:    rpc.NewServer(),
+	}
+	bs.rpc.Handle(OpBackupAppend, bs.handleAppend)
+	bs.rpc.Handle(OpBackupFetch, bs.handleFetch)
+	bs.rpc.Handle(OpBackupRead, bs.handleRead)
+	bs.rpc.Handle(OpBackupSetEpoch, bs.handleSetEpoch)
+	bs.rpc.Handle(OpBackupReset, bs.handleReset)
+	l, err := nw.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	bs.rpc.Go(l)
+	return bs, nil
+}
+
+// Addr returns the server's address.
+func (bs *BackupServer) Addr() string { return bs.addr }
+
+// Close shuts the server down.
+func (bs *BackupServer) Close() { bs.rpc.Close() }
+
+// SyncedLSN reports the backup's replicated log head for a master (tests).
+func (bs *BackupServer) SyncedLSN(masterID uint64) kv.LSN {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if st := bs.states[masterID]; st != nil {
+		return st.log.SyncedLSN()
+	}
+	return 0
+}
+
+func (bs *BackupServer) state(masterID uint64) *backupState {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	st := bs.states[masterID]
+	if st == nil {
+		st = &backupState{log: kv.NewBackup(), store: kv.NewStore()}
+		bs.states[masterID] = st
+	}
+	return st
+}
+
+func (bs *BackupServer) handleAppend(payload []byte) ([]byte, error) {
+	req, err := decodeAppendRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	st := bs.state(req.MasterID)
+	bs.mu.Lock()
+	if req.Epoch < st.epoch {
+		bs.mu.Unlock()
+		return nil, fmt.Errorf("%s: master %d epoch %d < %d", ErrStaleEpoch, req.MasterID, req.Epoch, st.epoch)
+	}
+	st.epoch = req.Epoch
+	bs.mu.Unlock()
+	before := st.log.SyncedLSN()
+	if err := st.log.Append(req.Entries); err != nil {
+		return nil, err
+	}
+	// Materialize newly appended entries so backup reads observe them.
+	for i := range req.Entries {
+		en := &req.Entries[i]
+		if en.LSN <= before {
+			continue
+		}
+		if err := st.store.ReplayEntry(en); err != nil {
+			return nil, err
+		}
+	}
+	e := rpc.NewEncoder(8)
+	e.U64(uint64(st.log.SyncedLSN()))
+	return e.Bytes(), nil
+}
+
+func (bs *BackupServer) handleFetch(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	st := bs.state(masterID)
+	return encodeEntries(st.log.Entries()), nil
+}
+
+// handleRead serves a read-only command against the materialized replica:
+// the §A.1 backup-read path. Only synced data is visible here, which is
+// exactly the consistency contract the witness probe guards.
+func (bs *BackupServer) handleRead(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	reqBytes := d.Bytes32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	req, err := core.DecodeRequest(reqBytes)
+	if err != nil {
+		return nil, err
+	}
+	cmd, err := kv.DecodeCommand(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if !cmd.IsReadOnly() {
+		return (&core.Reply{Status: core.StatusError, Err: "backup: mutations not allowed"}).Encode(), nil
+	}
+	st := bs.state(masterID)
+	res, _, err := st.store.Apply(cmd, req.ID)
+	if err != nil {
+		return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+	}
+	return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil
+}
+
+// handleReset clears a master's replica ahead of a full re-sync during
+// recovery (the coordinator reconciles backups by restoring the longest
+// log and replaying it from scratch).
+func (bs *BackupServer) handleReset(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	epoch := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	st := bs.state(masterID)
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if epoch < st.epoch {
+		return nil, fmt.Errorf("%s: reset epoch %d < %d", ErrStaleEpoch, epoch, st.epoch)
+	}
+	st.epoch = epoch
+	st.log.Reset()
+	bs.states[masterID] = &backupState{log: st.log, store: kv.NewStore(), epoch: epoch}
+	return nil, nil
+}
+
+func (bs *BackupServer) handleSetEpoch(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	epoch := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	st := bs.state(masterID)
+	bs.mu.Lock()
+	if epoch > st.epoch {
+		st.epoch = epoch
+	}
+	bs.mu.Unlock()
+	return nil, nil
+}

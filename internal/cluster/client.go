@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"curp/internal/core"
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/rpc"
+	"curp/internal/transport"
+	"curp/internal/witness"
+)
+
+// masterConn adapts an rpc.Peer to core.MasterAPI.
+type masterConn struct{ peer *rpc.Peer }
+
+func (m *masterConn) Update(ctx context.Context, req *core.Request) (*core.Reply, error) {
+	out, err := m.peer.Call(ctx, OpUpdate, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeReply(out)
+}
+
+func (m *masterConn) Read(ctx context.Context, req *core.Request) (*core.Reply, error) {
+	out, err := m.peer.Call(ctx, OpRead, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeReply(out)
+}
+
+func (m *masterConn) Sync(ctx context.Context) error {
+	_, err := m.peer.Call(ctx, OpSync, nil)
+	return err
+}
+
+// witnessConn adapts an rpc.Peer to core.WitnessAPI.
+type witnessConn struct{ peer *rpc.Peer }
+
+func (w *witnessConn) Record(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) (witness.RecordResult, error) {
+	req := recordRequest{MasterID: masterID, KeyHashes: keyHashes, ID: id, Request: request}
+	out, err := w.peer.Call(ctx, OpWitnessRecord, req.encode())
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, errors.New("cluster: malformed record reply")
+	}
+	return witness.RecordResult(out[0]), nil
+}
+
+func (w *witnessConn) Commutes(ctx context.Context, keyHashes []uint64) (bool, error) {
+	return false, errors.New("cluster: witnessConn requires a master-scoped probe; use scopedWitnessConn")
+}
+
+// scopedWitnessConn binds a witnessConn to a master ID so Commutes can
+// address the right witness instance.
+type scopedWitnessConn struct {
+	*witnessConn
+	masterID uint64
+}
+
+func (w *scopedWitnessConn) Commutes(ctx context.Context, keyHashes []uint64) (bool, error) {
+	e := rpc.NewEncoder(16 + 8*len(keyHashes))
+	e.U64(w.masterID)
+	e.U64Slice(keyHashes)
+	out, err := w.peer.Call(ctx, OpWitnessCommutes, e.Bytes())
+	if err != nil {
+		return false, err
+	}
+	return len(out) == 1 && out[0] == 1, nil
+}
+
+// backupConn adapts an rpc.Peer to core.BackupAPI for §A.1 reads.
+type backupConn struct {
+	peer     *rpc.Peer
+	masterID uint64
+}
+
+func (b *backupConn) Read(ctx context.Context, req *core.Request) (*core.Reply, error) {
+	e := rpc.NewEncoder(16 + len(req.Payload))
+	e.U64(b.masterID)
+	e.Bytes32(req.Encode())
+	out, err := b.peer.Call(ctx, OpBackupRead, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeReply(out)
+}
+
+// coordViewProvider fetches views from the coordinator over RPC and builds
+// connection sets, caching them until a refresh is forced.
+type coordViewProvider struct {
+	nw       transport.Network
+	self     string
+	coord    *rpc.Peer
+	masterID uint64
+
+	mu      sync.Mutex
+	cached  *core.View
+	version uint64
+	peers   []*rpc.Peer // for teardown
+}
+
+func (p *coordViewProvider) View(ctx context.Context, refresh bool) (*core.View, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cached != nil && !refresh {
+		return p.cached, nil
+	}
+	e := rpc.NewEncoder(8)
+	e.U64(p.masterID)
+	out, err := p.coord.Call(ctx, OpGetView, e.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch view: %w", err)
+	}
+	info, err := decodeViewInfo(out)
+	if err != nil {
+		return nil, err
+	}
+	if p.cached != nil && info.WitnessListVersion == p.version && refresh {
+		// Same configuration; keep existing connections (the failure was
+		// transient). Clients poll until the coordinator publishes a new
+		// view.
+		return p.cached, nil
+	}
+	for _, peer := range p.peers {
+		peer.Close()
+	}
+	p.peers = nil
+	view := &core.View{MasterID: info.MasterID, WitnessListVersion: info.WitnessListVersion}
+	mp := rpc.NewPeer(p.nw, p.self, info.MasterAddr)
+	p.peers = append(p.peers, mp)
+	view.Master = &masterConn{peer: mp}
+	for _, addr := range info.WitnessAddrs {
+		wp := rpc.NewPeer(p.nw, p.self, addr)
+		p.peers = append(p.peers, wp)
+		view.Witnesses = append(view.Witnesses, &scopedWitnessConn{
+			witnessConn: &witnessConn{peer: wp},
+			masterID:    info.MasterID,
+		})
+	}
+	for _, addr := range info.BackupAddrs {
+		bp := rpc.NewPeer(p.nw, p.self, addr)
+		p.peers = append(p.peers, bp)
+		view.Backups = append(view.Backups, &backupConn{peer: bp, masterID: info.MasterID})
+	}
+	p.cached = view
+	p.version = info.WitnessListVersion
+	return view, nil
+}
+
+func (p *coordViewProvider) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, peer := range p.peers {
+		peer.Close()
+	}
+	p.peers = nil
+	p.coord.Close()
+}
+
+// Client is a CURP key-value client bound to one partition (master). It
+// registers with the coordinator for a RIFL identity, fetches views, and
+// exposes the kv command set with 1-RTT updates.
+type Client struct {
+	name     string
+	provider *coordViewProvider
+	curp     *core.Client
+}
+
+// NewClient registers a new client with the coordinator and binds it to
+// masterID. name is the client's network identity.
+func NewClient(nw transport.Network, name, coordAddr string, masterID uint64) (*Client, error) {
+	coord := rpc.NewPeer(nw, name, coordAddr)
+	ctx := context.Background()
+	out, err := coord.Call(ctx, OpRegisterClient, nil)
+	if err != nil {
+		coord.Close()
+		return nil, fmt.Errorf("cluster: register client: %w", err)
+	}
+	d := rpc.NewDecoder(out)
+	clientID := rifl.ClientID(d.U64())
+	if err := d.Err(); err != nil {
+		coord.Close()
+		return nil, err
+	}
+	provider := &coordViewProvider{nw: nw, self: name, coord: coord, masterID: masterID}
+	c := &Client{
+		name:     name,
+		provider: provider,
+		curp:     core.NewClient(rifl.NewSession(clientID), provider, core.DefaultClientConfig()),
+	}
+	return c, nil
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() { c.provider.close() }
+
+// Stats exposes protocol counters (fast path vs slow path etc).
+func (c *Client) Stats() core.ClientStats { return c.curp.Stats() }
+
+// Session exposes the client's RIFL session.
+func (c *Client) Session() *rifl.Session { return c.curp.Session() }
+
+// Put writes value under key and returns the object's new version.
+func (c *Client) Put(ctx context.Context, key, value []byte) (uint64, error) {
+	cmd := &kv.Command{Op: kv.OpPut, Key: key, Value: value}
+	res, err := c.update(ctx, cmd)
+	if err != nil {
+		return 0, err
+	}
+	return res.Version, nil
+}
+
+// Get reads key at the master. ok is false if the key does not exist.
+func (c *Client) Get(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	cmd := &kv.Command{Op: kv.OpGet, Key: key}
+	out, err := c.curp.Read(ctx, cmd.KeyHashes(), cmd.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := kv.DecodeResult(out)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Value, res.Found, nil
+}
+
+// GetStale reads the latest DURABLE value of key from the master without
+// waiting for any sync (§A.3): if the key has speculative (unsynced)
+// updates, the returned value may trail the linearizable one by the
+// unsynced window. Use for read-mostly paths that tolerate slight
+// staleness and must never block behind a hot writer.
+func (c *Client) GetStale(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	cmd := &kv.Command{Op: kv.OpGet, Key: key}
+	view, err := c.provider.View(ctx, false)
+	if err != nil {
+		return nil, false, err
+	}
+	req := &core.Request{KeyHashes: cmd.KeyHashes(), ReadOnly: true, Payload: cmd.Encode()}
+	mc, okConv := view.Master.(*masterConn)
+	if !okConv {
+		return nil, false, errors.New("cluster: stale reads require a cluster master connection")
+	}
+	out, err := mc.peer.Call(ctx, OpReadStale, req.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	reply, err := core.DecodeReply(out)
+	if err != nil {
+		return nil, false, err
+	}
+	if reply.Status != core.StatusOK {
+		return nil, false, fmt.Errorf("cluster: stale read: %v %s", reply.Status, reply.Err)
+	}
+	res, err := kv.DecodeResult(reply.Payload)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Value, res.Found, nil
+}
+
+// GetNearby reads key from a backup when a witness confirms safety,
+// falling back to the master (§A.1).
+func (c *Client) GetNearby(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	cmd := &kv.Command{Op: kv.OpGet, Key: key}
+	out, err := c.curp.ReadNearby(ctx, cmd.KeyHashes(), cmd.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := kv.DecodeResult(out)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Value, res.Found, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	cmd := &kv.Command{Op: kv.OpDelete, Key: key}
+	_, err := c.update(ctx, cmd)
+	return err
+}
+
+// Increment atomically adds delta to the integer value at key and returns
+// the new value.
+func (c *Client) Increment(ctx context.Context, key []byte, delta int64) (int64, error) {
+	cmd := &kv.Command{Op: kv.OpIncrement, Key: key, Delta: delta}
+	res, err := c.update(ctx, cmd)
+	if err != nil {
+		return 0, err
+	}
+	var v int64
+	_, err = fmt.Sscanf(string(res.Value), "%d", &v)
+	return v, err
+}
+
+// CondPut writes value only if key is at expectVersion. applied reports
+// whether the write happened; version is the object's (new or current)
+// version.
+func (c *Client) CondPut(ctx context.Context, key, value []byte, expectVersion uint64) (applied bool, version uint64, err error) {
+	cmd := &kv.Command{Op: kv.OpCondPut, Key: key, Value: value, ExpectVersion: expectVersion}
+	res, err := c.update(ctx, cmd)
+	if err != nil {
+		return false, 0, err
+	}
+	return res.Found, res.Version, nil
+}
+
+// MultiPut writes several objects in one atomic command; it commutes only
+// with operations touching none of the keys.
+func (c *Client) MultiPut(ctx context.Context, pairs []kv.KV) error {
+	cmd := &kv.Command{Op: kv.OpMultiPut, Pairs: pairs}
+	_, err := c.update(ctx, cmd)
+	return err
+}
+
+// MultiIncrement atomically adds a delta to each (distinct) key's counter
+// in one exactly-once operation, e.g. a balance transfer. It returns the
+// new counter values, aligned with deltas.
+func (c *Client) MultiIncrement(ctx context.Context, deltas []kv.IncrPair) ([]int64, error) {
+	cmd := &kv.Command{Op: kv.OpMultiIncr}
+	for _, d := range deltas {
+		cmd.Pairs = append(cmd.Pairs, kv.KV{Key: d.Key, Value: []byte(fmt.Sprint(d.Delta))})
+	}
+	res, err := c.update(ctx, cmd)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(res.Values))
+	for i, v := range res.Values {
+		if _, err := fmt.Sscanf(string(v), "%d", &out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) update(ctx context.Context, cmd *kv.Command) (*kv.Result, error) {
+	out, err := c.curp.Update(ctx, cmd.KeyHashes(), cmd.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return kv.DecodeResult(out)
+}

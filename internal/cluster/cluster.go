@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"curp/internal/transport"
+	"curp/internal/witness"
+)
+
+// Options configures a whole cluster for one partition.
+type Options struct {
+	// F is the fault-tolerance level: F backups and F witnesses.
+	F int
+	// Master configures the master's sync policy and RPC timeouts.
+	Master MasterOptions
+	// Witness sizes each witness.
+	Witness witness.Config
+	// LeaseTTL is the RIFL client lease duration.
+	LeaseTTL time.Duration
+	// NamePrefix distinguishes multiple clusters on one network.
+	NamePrefix string
+}
+
+// DefaultOptions returns a 3-way replicated cluster with paper defaults.
+func DefaultOptions() Options {
+	return Options{
+		F:        3,
+		Master:   DefaultMasterOptions(),
+		Witness:  witness.DefaultConfig(),
+		LeaseTTL: time.Minute,
+	}
+}
+
+// Cluster is a running CURP deployment for one partition: a coordinator,
+// one master, F backups, and F witness servers, all reachable over the
+// given network. It is the integration-test and example harness; cmd/curpd
+// assembles the same pieces as separate processes.
+type Cluster struct {
+	Net       transport.Network
+	Opts      Options
+	Coord     *Coordinator
+	Master    *MasterServer
+	Backups   []*BackupServer
+	Witnesses []*WitnessServer
+}
+
+// Start boots a cluster on nw.
+func Start(nw transport.Network, opts Options) (*Cluster, error) {
+	if opts.F <= 0 {
+		opts.F = 3
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = time.Minute
+	}
+	if opts.Witness.Slots == 0 {
+		opts.Witness = witness.DefaultConfig()
+	}
+	p := opts.NamePrefix
+	c := &Cluster{Net: nw, Opts: opts}
+	var err error
+	if c.Coord, err = NewCoordinator(nw, p+"coord", opts.LeaseTTL); err != nil {
+		return nil, err
+	}
+	var backupAddrs, witnessAddrs []string
+	for i := 0; i < opts.F; i++ {
+		b, err := NewBackupServer(nw, fmt.Sprintf("%sbackup%d", p, i+1))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Backups = append(c.Backups, b)
+		backupAddrs = append(backupAddrs, b.Addr())
+		w, err := NewWitnessServer(nw, fmt.Sprintf("%switness%d", p, i+1), opts.Witness)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Witnesses = append(c.Witnesses, w)
+		witnessAddrs = append(witnessAddrs, w.Addr())
+	}
+	if c.Master, err = NewMasterServer(nw, 1, p+"master1", 0, opts.Master); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := c.Coord.AddMaster(c.Master, backupAddrs, witnessAddrs); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient opens a client bound to the cluster's partition.
+func (c *Cluster) NewClient(name string) (*Client, error) {
+	return NewClient(c.Net, name, c.Coord.Addr(), 1)
+}
+
+// CrashMaster simulates a master crash: on in-memory networks all its
+// connections reset and its listener disappears; then the server stops.
+func (c *Cluster) CrashMaster() {
+	if mn, ok := c.Net.(*transport.MemNetwork); ok {
+		mn.CrashHost(c.Master.Addr())
+	}
+	c.Master.Close()
+}
+
+// Recover replaces the crashed master with a fresh server at newAddr,
+// reusing the same witness servers for the new witness set.
+func (c *Cluster) Recover(newAddr string) (*MasterServer, error) {
+	var witnessAddrs []string
+	for _, w := range c.Witnesses {
+		witnessAddrs = append(witnessAddrs, w.Addr())
+	}
+	nm, err := c.Coord.RecoverMaster(1, newAddr, witnessAddrs, c.Opts.Master)
+	if err != nil {
+		return nil, err
+	}
+	c.Master = nm
+	return nm, nil
+}
+
+// Close shuts every server down.
+func (c *Cluster) Close() {
+	if c.Master != nil {
+		c.Master.Close()
+	}
+	for _, b := range c.Backups {
+		b.Close()
+	}
+	for _, w := range c.Witnesses {
+		w.Close()
+	}
+	if c.Coord != nil {
+		c.Coord.Close()
+	}
+}

@@ -1,0 +1,693 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/transport"
+	"curp/internal/witness"
+)
+
+func testOptions() Options {
+	o := DefaultOptions()
+	o.Master.RPCTimeout = time.Second
+	return o
+}
+
+func startTestCluster(t *testing.T, opts Options) (*Cluster, *transport.MemNetwork) {
+	t.Helper()
+	nw := transport.NewMemNetwork(nil)
+	c, err := Start(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, nw
+}
+
+func testClient(t *testing.T, c *Cluster, name string) *Client {
+	t.Helper()
+	cl, err := c.NewClient(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestBasicPutGet(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+
+	ver, err := cl.Put(ctx, []byte("hello"), []byte("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Fatalf("version = %d", ver)
+	}
+	v, ok, err := cl.Get(ctx, []byte("hello"))
+	if err != nil || !ok || string(v) != "world" {
+		t.Fatalf("get: %v %v %q", err, ok, v)
+	}
+	_, ok, err = cl.Get(ctx, []byte("missing"))
+	if err != nil || ok {
+		t.Fatalf("missing get: %v %v", err, ok)
+	}
+	// Updates on distinct keys take the 1-RTT fast path.
+	st := cl.Stats()
+	if st.FastPath != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFastPathRecordsOnAllWitnesses(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	if _, err := cl.Put(context.Background(), []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i, ws := range c.Witnesses {
+		w := ws.Instance(1)
+		if w == nil || w.Len() != 1 {
+			t.Fatalf("witness %d does not hold the record", i)
+		}
+	}
+	// Nothing synced yet: batch threshold not reached.
+	if got := c.Backups[0].SyncedLSN(1); got != 0 {
+		t.Fatalf("backup synced lsn = %d, want 0 (speculative)", got)
+	}
+}
+
+func TestConflictForcesSyncedReply(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	key := []byte("contended")
+	if _, err := cl.Put(ctx, key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Second write to the same key while the first is unsynced: the master
+	// must sync before responding (2 RTT total, no client sync RPC).
+	if _, err := cl.Put(ctx, key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Stats()
+	if st.SyncedByMaster != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	mst := c.Master.State().Stats()
+	if mst.ConflictSyncs != 1 {
+		t.Fatalf("master stats = %+v", mst)
+	}
+	// The sync garbage-collected both records from witnesses.
+	waitFor(t, time.Second, func() bool {
+		return c.Witnesses[0].Instance(1).Len() == 0
+	}, "witness gc")
+	// Both writes are now on every backup.
+	for i, b := range c.Backups {
+		if b.SyncedLSN(1) != 2 {
+			t.Fatalf("backup %d synced = %d", i, b.SyncedLSN(1))
+		}
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestBatchSyncTriggers(t *testing.T) {
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 5
+	c, _ := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Put(ctx, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool {
+		return c.Backups[0].SyncedLSN(1) == 5
+	}, "batch sync")
+	if st := cl.Stats(); st.FastPath != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadBlocksOnUnsyncedKey(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	if _, err := cl.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Read of the unsynced key forces the master to sync first (§3.2.3).
+	v, ok, err := cl.Get(ctx, []byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("get: %v %v %q", err, ok, v)
+	}
+	if c.Master.State().Stats().ReadBlocks != 1 {
+		t.Fatalf("read blocks = %d", c.Master.State().Stats().ReadBlocks)
+	}
+	if c.Backups[0].SyncedLSN(1) != 1 {
+		t.Fatal("read did not force sync")
+	}
+}
+
+func TestSyncRPCPath(t *testing.T) {
+	// Force witness rejections by filling a tiny witness, driving the
+	// client to the slow path (sync RPC).
+	opts := testOptions()
+	opts.Witness = witness.Config{Slots: 4, Ways: 1, SlotBytes: 256}
+	opts.Master.Core.SyncBatchSize = 1000 // no batch syncs
+	c, _ := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	// With 4 direct-mapped slots, collisions arrive quickly.
+	sawSlowPath := false
+	for i := 0; i < 64; i++ {
+		if _, err := cl.Put(ctx, []byte(fmt.Sprintf("key-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Stats().SlowPath > 0 {
+			sawSlowPath = true
+			break
+		}
+	}
+	if !sawSlowPath {
+		t.Fatal("tiny witness never rejected; slow path untested")
+	}
+}
+
+func TestCrashRecoveryPreservesCompletedWrites(t *testing.T) {
+	// The core durability claim (§3.4): every write completed by a client
+	// survives a master crash, even though most were never synced.
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 10
+	c, nw := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+
+	const n = 25 // 2 batch syncs + 5 speculative-only writes
+	for i := 0; i < n; i++ {
+		if _, err := cl.Put(ctx, []byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Backups[0].SyncedLSN(1); got == n {
+		t.Fatal("test needs an unsynced tail to be meaningful")
+	}
+	c.CrashMaster()
+	if _, err := c.Recover("master2"); err != nil {
+		t.Fatal(err)
+	}
+	_ = nw
+	// All completed writes must be readable from the new master.
+	cl2 := testClient(t, c, "client2")
+	for i := 0; i < n; i++ {
+		v, ok, err := cl2.Get(ctx, []byte(fmt.Sprintf("key-%d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key-%d after recovery: %v %v %q", i, err, ok, v)
+		}
+	}
+	// And the original client's cached view heals transparently.
+	v, ok, err := cl.Get(ctx, []byte("key-7"))
+	if err != nil || !ok || string(v) != "val-7" {
+		t.Fatalf("old client read after recovery: %v %v %q", err, ok, v)
+	}
+}
+
+func TestRecoveryDoesNotDuplicateExecutions(t *testing.T) {
+	// Increments are the classic duplicate-detection probe: if recovery
+	// replayed an already-synced increment, the counter would overshoot.
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 3
+	c, _ := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+
+	// Interleave increments with puts on other keys so syncs land between
+	// increments (same-key increments conflict and force syncs anyway).
+	want := int64(0)
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Increment(ctx, []byte("counter"), 1); err != nil {
+			t.Fatal(err)
+		}
+		want++
+		if _, err := cl.Put(ctx, []byte(fmt.Sprintf("pad-%d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashMaster()
+	if _, err := c.Recover("master2"); err != nil {
+		t.Fatal(err)
+	}
+	cl2 := testClient(t, c, "client2")
+	v, ok, err := cl2.Get(ctx, []byte("counter"))
+	if err != nil || !ok {
+		t.Fatalf("counter read: %v %v", err, ok)
+	}
+	if string(v) != fmt.Sprint(want) {
+		t.Fatalf("counter = %s, want %d (duplicate or lost execution)", v, want)
+	}
+}
+
+func TestRetryAfterCrashIsFilteredByRIFL(t *testing.T) {
+	// A client's in-flight update crashes the master after witnesses
+	// accepted it; the retry against the new master must not re-execute
+	// (the witness replay already applied it).
+	opts := testOptions()
+	c, _ := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+
+	if _, err := cl.Increment(ctx, []byte("ctr"), 5); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashMaster()
+	if _, err := c.Recover("master2"); err != nil {
+		t.Fatal(err)
+	}
+	// Retried increment with a NEW id executes once on the new master.
+	if _, err := cl.Increment(ctx, []byte("ctr"), 1); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := testClient(t, c, "c2").Get(ctx, []byte("ctr"))
+	if string(v) != "6" {
+		t.Fatalf("ctr = %s, want 6", v)
+	}
+}
+
+func TestZombieMasterCannotSync(t *testing.T) {
+	// §4.7: a deposed master (network-isolated, believed crashed) must not
+	// be able to make new operations durable after recovery fenced it.
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 1000
+	c, nw := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	if _, err := cl.Put(ctx, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Sync the write so recovery state is clean, via an explicit client op
+	// on the same key (conflict → synced reply).
+	if _, err := cl.Put(ctx, []byte("a"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+
+	zombie := c.Master
+	// The coordinator believes the master crashed and recovers — but the
+	// old process is still running (it is a zombie).
+	if _, err := c.Recover("master2"); err != nil {
+		t.Fatal(err)
+	}
+	_ = nw
+	// The zombie tries to sync: backups reject its stale epoch, and it
+	// freezes itself.
+	err := zombie.syncAndWait(zombie.store.Head())
+	if err == nil && zombie.store.Head() > 0 {
+		// An empty unsynced suffix makes sync a no-op; force an entry.
+		zombie.store.Apply(&kv.Command{Op: kv.OpPut, Key: []byte("z"), Value: []byte("z")}, ridTest(99, 1))
+		err = zombie.syncAndWait(zombie.store.Head())
+	}
+	if err == nil {
+		t.Fatal("zombie sync should be rejected by fenced backups")
+	}
+	if !zombie.state.Frozen() {
+		t.Fatal("zombie should freeze itself after deposal")
+	}
+	// New master serves normally.
+	cl2 := testClient(t, c, "client2")
+	v, ok, err := cl2.Get(ctx, []byte("a"))
+	if err != nil || !ok || string(v) != "2" {
+		t.Fatalf("read after zombie fence: %v %v %q", err, ok, v)
+	}
+}
+
+func TestStaleWitnessListRejected(t *testing.T) {
+	// §3.6: after a witness replacement the master bumps its
+	// WitnessListVersion; clients with cached views transparently refetch.
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	if _, err := cl.Put(ctx, []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Replace witness 1 with a fresh server.
+	w4, err := NewWitnessServer(c.Net, "witness4", c.Opts.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w4.Close()
+	if err := c.Coord.ReplaceWitness(1, c.Witnesses[0].Addr(), w4.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// The old client still has the version-1 view; its next update is
+	// rejected once, then retried against the refreshed view.
+	if _, err := cl.Put(ctx, []byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if st := cl.Stats(); st.Retries == 0 {
+		t.Fatalf("expected a retry after witness replacement: %+v", st)
+	}
+	// New updates record on the replacement witness.
+	if _, err := cl.Put(ctx, []byte("k3"), []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if w4.Instance(1) == nil || w4.Instance(1).Len() == 0 {
+		t.Fatal("replacement witness holds no records")
+	}
+}
+
+func TestConsistentBackupReads(t *testing.T) {
+	// §A.1: reads go to a backup when a witness probe confirms
+	// commutativity; otherwise they fall back to the master. Never stale.
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 1000 // keep writes unsynced
+	c, _ := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+
+	// Write and sync key "s" via conflict (two writes), leaving key "u"
+	// unsynced.
+	if _, err := cl.Put(ctx, []byte("s"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Put(ctx, []byte("s"), []byte("synced-val")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return c.Witnesses[0].Instance(1).Len() == 0 }, "gc after sync")
+	if _, err := cl.Put(ctx, []byte("u"), []byte("unsynced-val")); err != nil {
+		t.Fatal(err)
+	}
+
+	// "s" is synced and commutes with the witness contents → backup read.
+	v, ok, err := cl.GetNearby(ctx, []byte("s"))
+	if err != nil || !ok || string(v) != "synced-val" {
+		t.Fatalf("backup read: %v %v %q", err, ok, v)
+	}
+	st := cl.Stats()
+	if st.BackupReads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// "u" has a witness record → must fall back to the master and still
+	// return the completed (unsynced) value, never the stale backup state.
+	v, ok, err = cl.GetNearby(ctx, []byte("u"))
+	if err != nil || !ok || string(v) != "unsynced-val" {
+		t.Fatalf("fallback read: %v %v %q", err, ok, v)
+	}
+	st = cl.Stats()
+	if st.BackupReads != 1 || st.MasterReads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLeaseExpirySyncsBeforeDrop(t *testing.T) {
+	// §4.8: before dropping an expired client's completion records, the
+	// master syncs, so witness replay cannot silently skip its requests.
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 1000
+	c, _ := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	if _, err := cl.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Backups[0].SyncedLSN(1) != 0 {
+		t.Fatal("write should be unsynced")
+	}
+	if err := c.Master.ExpireClientLease(cl.Session().ClientID()); err != nil {
+		t.Fatal(err)
+	}
+	// The expiry forced a sync.
+	if c.Backups[0].SyncedLSN(1) != 1 {
+		t.Fatal("lease expiry must sync first")
+	}
+	// New requests from the expired client are ignored.
+	if _, err := cl.Put(ctx, []byte("k2"), []byte("v2")); err == nil {
+		t.Fatal("update from expired client should fail")
+	}
+}
+
+func TestMigration(t *testing.T) {
+	// §3.6 load balancing: partition moves to a new master; clients
+	// transparently follow; stale requests get WrongMaster.
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Put(ctx, []byte(fmt.Sprintf("m%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := c.Master
+	var witnessAddrs []string
+	for _, w := range c.Witnesses {
+		witnessAddrs = append(witnessAddrs, w.Addr())
+	}
+	nm, err := c.Coord.Migrate(1, "master2", witnessAddrs, c.Opts.Master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Master = nm
+	defer old.Close()
+	// Old client follows the view change (first op retries, then works).
+	if _, err := cl.Put(ctx, []byte("after"), []byte("move")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get(ctx, []byte("m3"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("read after migration: %v %v %q", err, ok, v)
+	}
+	if !old.state.Frozen() {
+		t.Fatal("old master should be frozen")
+	}
+}
+
+func TestConcurrentClientsLinearizableCounters(t *testing.T) {
+	// 8 clients hammer 4 shared counters; with CURP's commutativity
+	// enforcement plus RIFL, the final totals must be exact.
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 10
+	c, _ := startTestCluster(t, opts)
+	ctx := context.Background()
+	const clients, incsPerClient = 8, 30
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := testClient(t, c, fmt.Sprintf("client-%d", g))
+			for i := 0; i < incsPerClient; i++ {
+				key := []byte(fmt.Sprintf("ctr-%d", i%4))
+				if _, err := cl.Increment(ctx, key, 1); err != nil {
+					errCh <- fmt.Errorf("client %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	cl := testClient(t, c, "verifier")
+	total := 0
+	for i := 0; i < 4; i++ {
+		v, ok, err := cl.Get(ctx, []byte(fmt.Sprintf("ctr-%d", i)))
+		if err != nil || !ok {
+			t.Fatalf("ctr-%d: %v %v", i, err, ok)
+		}
+		var n int
+		fmt.Sscanf(string(v), "%d", &n)
+		total += n
+	}
+	if total != clients*incsPerClient {
+		t.Fatalf("total = %d, want %d", total, clients*incsPerClient)
+	}
+}
+
+func TestCrashDuringConcurrentLoad(t *testing.T) {
+	// Clients run while the master crashes and recovers; every increment
+	// that was acknowledged must be reflected exactly once afterwards.
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 5
+	c, _ := startTestCluster(t, opts)
+	ctx := context.Background()
+	const clients = 4
+	acked := make([]int64, clients)
+	attempted := make([]int64, clients)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := testClient(t, c, fmt.Sprintf("load-%d", g))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+				attempted[g]++
+				_, err := cl.Increment(cctx, []byte(fmt.Sprintf("cnt-%d", g)), 1)
+				cancel()
+				if err == nil {
+					acked[g]++
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	c.CrashMaster()
+	if _, err := c.Recover("master2"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	cl := testClient(t, c, "verifier")
+	for g := 0; g < clients; g++ {
+		v, ok, err := cl.Get(ctx, []byte(fmt.Sprintf("cnt-%d", g)))
+		var n int64
+		if ok {
+			fmt.Sscanf(string(v), "%d", &n)
+		}
+		if err != nil {
+			t.Fatalf("cnt-%d read: %v", g, err)
+		}
+		// Durability: every acknowledged increment is present. Increments
+		// that errored at the client (crash window) may still have landed
+		// once via witness replay — that is linearizable, since their
+		// results were never externalized — so the ceiling is the attempt
+		// count, and exceeding it would mean duplicate executions.
+		if n < acked[g] {
+			t.Fatalf("cnt-%d = %d < acked %d: completed write lost", g, n, acked[g])
+		}
+		if n > attempted[g] {
+			t.Fatalf("cnt-%d = %d > attempted %d: duplicate executions", g, n, attempted[g])
+		}
+	}
+}
+
+func TestMultiPutCommutativity(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	err := cl.MultiPut(ctx, []kv.KV{
+		{Key: []byte("tx-a"), Value: []byte("1")},
+		{Key: []byte("tx-b"), Value: []byte("2")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping multi-put conflicts (same key b) → synced reply.
+	err = cl.MultiPut(ctx, []kv.KV{
+		{Key: []byte("tx-b"), Value: []byte("3")},
+		{Key: []byte("tx-c"), Value: []byte("4")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cl.Stats(); st.SyncedByMaster != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	v, _, _ := cl.Get(ctx, []byte("tx-b"))
+	if string(v) != "3" {
+		t.Fatalf("tx-b = %q", v)
+	}
+}
+
+func TestCondPutThroughCluster(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	applied, ver, err := cl.CondPut(ctx, []byte("cas"), []byte("v1"), 0)
+	if err != nil || !applied || ver != 1 {
+		t.Fatalf("condput create: %v %v %d", err, applied, ver)
+	}
+	applied, ver, err = cl.CondPut(ctx, []byte("cas"), []byte("v2"), 0)
+	if err != nil || applied || ver != 1 {
+		t.Fatalf("condput stale: %v %v %d", err, applied, ver)
+	}
+	applied, ver, err = cl.CondPut(ctx, []byte("cas"), []byte("v2"), 1)
+	if err != nil || !applied || ver != 2 {
+		t.Fatalf("condput ok: %v %v %d", err, applied, ver)
+	}
+}
+
+func TestDeleteThroughCluster(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	if _, err := cl.Put(ctx, []byte("d"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(ctx, []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := cl.Get(ctx, []byte("d"))
+	if err != nil || ok {
+		t.Fatalf("deleted key visible: %v %v", err, ok)
+	}
+}
+
+func TestWitnessGCKeepsWitnessesSmall(t *testing.T) {
+	opts := testOptions()
+	opts.Master.Core.SyncBatchSize = 10
+	c, _ := startTestCluster(t, opts)
+	cl := testClient(t, c, "client1")
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if _, err := cl.Put(ctx, []byte(fmt.Sprintf("gc-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After the dust settles, witnesses hold at most one unsynced batch.
+	waitFor(t, 2*time.Second, func() bool {
+		return c.Witnesses[0].Instance(1).Len() <= 10
+	}, "witness stays small via gc")
+}
+
+func ridTest(c, s uint64) rifl.RPCID {
+	return rifl.RPCID{Client: rifl.ClientID(c), Seq: rifl.Seq(s)}
+}
+
+func TestServerAddrs(t *testing.T) {
+	nw := transport.NewMemNetwork(nil)
+	bs, err := NewBackupServer(nw, "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	if bs.Addr() != "b1" {
+		t.Fatal("backup addr")
+	}
+	ws, err := NewWitnessServer(nw, "w1", witness.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	if ws.Addr() != "w1" {
+		t.Fatal("witness addr")
+	}
+}

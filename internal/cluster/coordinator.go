@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"curp/internal/rifl"
+	"curp/internal/rpc"
+	"curp/internal/transport"
+)
+
+// masterInfo is the coordinator's record for one data partition.
+type masterInfo struct {
+	id                 uint64
+	addr               string
+	epoch              uint64
+	witnessAddrs       []string
+	witnessListVersion uint64
+	backupAddrs        []string
+	server             *MasterServer // in-process handle, nil for remote masters
+}
+
+// Coordinator is the cluster configuration manager (the paper's "system
+// configuration manager", §3.6): it owns the master → {backups, witnesses,
+// WitnessListVersion} mapping, issues RIFL client IDs and leases, and
+// orchestrates master crash recovery and witness reconfiguration. Real
+// deployments replicate this role with consensus (paper §2); here it is a
+// single process, which is faithful to how RAMCloud's coordinator appears
+// to the data path.
+type Coordinator struct {
+	nw   transport.Network
+	addr string
+
+	mu      sync.Mutex
+	masters map[uint64]*masterInfo
+
+	leases *rifl.LeaseServer
+	rpc    *rpc.Server
+
+	// RPCTimeout bounds coordination RPCs (witness start/end, fencing).
+	RPCTimeout time.Duration
+}
+
+// NewCoordinator creates and starts a coordinator listening on addr.
+func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (*Coordinator, error) {
+	c := &Coordinator{
+		nw:         nw,
+		addr:       addr,
+		masters:    make(map[uint64]*masterInfo),
+		leases:     rifl.NewLeaseServer(leaseTTL, nil),
+		rpc:        rpc.NewServer(),
+		RPCTimeout: 2 * time.Second,
+	}
+	c.rpc.Handle(OpGetView, c.handleGetView)
+	c.rpc.Handle(OpRegisterClient, c.handleRegisterClient)
+	c.rpc.Handle(OpRenewLease, c.handleRenewLease)
+	l, err := nw.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.rpc.Go(l)
+	return c, nil
+}
+
+// Addr returns the coordinator's address.
+func (c *Coordinator) Addr() string { return c.addr }
+
+// Leases exposes the lease server (for lease-expiry tests).
+func (c *Coordinator) Leases() *rifl.LeaseServer { return c.leases }
+
+// Close shuts the coordinator down.
+func (c *Coordinator) Close() { c.rpc.Close() }
+
+func (c *Coordinator) handleGetView(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mi := c.masters[masterID]
+	if mi == nil {
+		return nil, fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	v := &ViewInfo{
+		MasterID:           mi.id,
+		MasterAddr:         mi.addr,
+		WitnessListVersion: mi.witnessListVersion,
+		WitnessAddrs:       append([]string(nil), mi.witnessAddrs...),
+		BackupAddrs:        append([]string(nil), mi.backupAddrs...),
+	}
+	return v.encode(), nil
+}
+
+func (c *Coordinator) handleRegisterClient(payload []byte) ([]byte, error) {
+	id := c.leases.Register()
+	e := rpc.NewEncoder(8)
+	e.U64(uint64(id))
+	return e.Bytes(), nil
+}
+
+func (c *Coordinator) handleRenewLease(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	id := rifl.ClientID(d.U64())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if !c.leases.Renew(id) {
+		return nil, errors.New("coordinator: lease expired")
+	}
+	return nil, nil
+}
+
+// AddMaster registers a running master with its backups and witnesses: the
+// coordinator starts witness instances for it, installs the witness list on
+// the master (version 1), and publishes the view.
+func (c *Coordinator) AddMaster(ms *MasterServer, backupAddrs, witnessAddrs []string) error {
+	ms.SetBackups(backupAddrs)
+	if err := c.startWitnesses(ms.ID(), witnessAddrs); err != nil {
+		return err
+	}
+	if err := ms.SetWitnessList(1, witnessAddrs); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.masters[ms.ID()] = &masterInfo{
+		id:                 ms.ID(),
+		addr:               ms.Addr(),
+		epoch:              ms.Epoch(),
+		witnessAddrs:       append([]string(nil), witnessAddrs...),
+		witnessListVersion: 1,
+		backupAddrs:        append([]string(nil), backupAddrs...),
+		server:             ms,
+	}
+	return nil
+}
+
+// startWitnesses sends start RPCs to the given witness servers.
+func (c *Coordinator) startWitnesses(masterID uint64, addrs []string) error {
+	payload := func() []byte {
+		e := rpc.NewEncoder(8)
+		e.U64(masterID)
+		return e.Bytes()
+	}()
+	for _, addr := range addrs {
+		p := rpc.NewPeer(c.nw, c.addr, addr)
+		ctx, cancel := context.WithTimeout(context.Background(), c.RPCTimeout)
+		_, err := p.Call(ctx, OpWitnessStart, payload)
+		cancel()
+		p.Close()
+		if err != nil {
+			return fmt.Errorf("coordinator: start witness %s: %w", addr, err)
+		}
+	}
+	return nil
+}
+
+// endWitnesses decommissions witness instances, best effort.
+func (c *Coordinator) endWitnesses(masterID uint64, addrs []string) {
+	payload := func() []byte {
+		e := rpc.NewEncoder(8)
+		e.U64(masterID)
+		return e.Bytes()
+	}()
+	for _, addr := range addrs {
+		p := rpc.NewPeer(c.nw, c.addr, addr)
+		ctx, cancel := context.WithTimeout(context.Background(), c.RPCTimeout)
+		p.Call(ctx, OpWitnessEnd, payload)
+		cancel()
+		p.Close()
+	}
+}
+
+// ReplaceWitness handles a crashed or decommissioned witness (§3.6): it
+// starts an instance on newAddr, has the master sync and adopt the new
+// witness list under an incremented WitnessListVersion, and publishes the
+// new view. Clients using the old list get StatusStaleWitnessList from the
+// master and refetch.
+func (c *Coordinator) ReplaceWitness(masterID uint64, oldAddr, newAddr string) error {
+	c.mu.Lock()
+	mi := c.masters[masterID]
+	c.mu.Unlock()
+	if mi == nil || mi.server == nil {
+		return fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	newList := make([]string, 0, len(mi.witnessAddrs))
+	found := false
+	for _, a := range mi.witnessAddrs {
+		if a == oldAddr {
+			found = true
+			newList = append(newList, newAddr)
+		} else {
+			newList = append(newList, a)
+		}
+	}
+	if !found {
+		return fmt.Errorf("coordinator: %s is not a witness of master %d", oldAddr, masterID)
+	}
+	if err := c.startWitnesses(masterID, []string{newAddr}); err != nil {
+		return err
+	}
+	// The master syncs to backups before accepting the new list (§3.6),
+	// inside SetWitnessList.
+	if err := mi.server.SetWitnessList(mi.witnessListVersion+1, newList); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	mi.witnessAddrs = newList
+	mi.witnessListVersion++
+	c.mu.Unlock()
+	// Best effort: free the old instance if the server is still up.
+	c.endWitnesses(masterID, []string{oldAddr})
+	return nil
+}
+
+// RecoverMaster replaces a crashed master (§3.3, §4.6): it fences the old
+// epoch on the backups, rebuilds state on a fresh MasterServer from the
+// backups plus one reachable witness, assigns a fresh witness set, and
+// publishes the new view. newAddr must not collide with the crashed
+// master's address. newWitnessAddrs may reuse the old witness servers.
+func (c *Coordinator) RecoverMaster(masterID uint64, newAddr string, newWitnessAddrs []string, opts MasterOptions) (*MasterServer, error) {
+	c.mu.Lock()
+	mi := c.masters[masterID]
+	c.mu.Unlock()
+	if mi == nil {
+		return nil, fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	newEpoch := mi.epoch + 1
+
+	// Fence: no stale-epoch master may sync to backups from here on
+	// (§4.7 zombie neutralization).
+	fencePayload := func() []byte {
+		e := rpc.NewEncoder(16)
+		e.U64(masterID)
+		e.U64(newEpoch)
+		return e.Bytes()
+	}()
+	for _, addr := range mi.backupAddrs {
+		p := rpc.NewPeer(c.nw, c.addr, addr)
+		ctx, cancel := context.WithTimeout(context.Background(), c.RPCTimeout)
+		_, err := p.Call(ctx, OpBackupSetEpoch, fencePayload)
+		cancel()
+		p.Close()
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: fence backup %s: %w", addr, err)
+		}
+	}
+
+	// Pick the first reachable witness for replay; freezing it via
+	// getRecoveryData stops clients completing updates against the old
+	// witness set (§3.3: "the new master must wait" if none is
+	// reachable — we surface that as an error instead).
+	newMaster, err := NewMasterServer(c.nw, masterID, newAddr, newEpoch, opts)
+	if err != nil {
+		return nil, err
+	}
+	newMaster.SetBackups(mi.backupAddrs)
+	var recovered bool
+	var lastErr error
+	for _, wAddr := range mi.witnessAddrs {
+		if err := newMaster.RecoverFrom(mi.backupAddrs, wAddr); err != nil {
+			lastErr = err
+			continue
+		}
+		recovered = true
+		break
+	}
+	if !recovered && len(mi.witnessAddrs) > 0 {
+		newMaster.Close()
+		return nil, fmt.Errorf("coordinator: recovery failed on all witnesses: %w", lastErr)
+	}
+
+	// Fresh witness set for the new master under a bumped version.
+	c.endWitnesses(masterID, mi.witnessAddrs)
+	if err := c.startWitnesses(masterID, newWitnessAddrs); err != nil {
+		newMaster.Close()
+		return nil, err
+	}
+	newVersion := mi.witnessListVersion + 1
+	if err := newMaster.SetWitnessList(newVersion, newWitnessAddrs); err != nil {
+		newMaster.Close()
+		return nil, err
+	}
+
+	c.mu.Lock()
+	c.masters[masterID] = &masterInfo{
+		id:                 masterID,
+		addr:               newAddr,
+		epoch:              newEpoch,
+		witnessAddrs:       append([]string(nil), newWitnessAddrs...),
+		witnessListVersion: newVersion,
+		backupAddrs:        append([]string(nil), mi.backupAddrs...),
+		server:             newMaster,
+	}
+	c.mu.Unlock()
+	return newMaster, nil
+}
+
+// ExpireStaleLeases drops completion records of clients whose leases
+// lapsed, after the §4.8-mandated sync (MasterServer.ExpireClientLease
+// syncs first).
+func (c *Coordinator) ExpireStaleLeases() error {
+	expired := c.leases.Expired()
+	if len(expired) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	var servers []*MasterServer
+	for _, mi := range c.masters {
+		if mi.server != nil {
+			servers = append(servers, mi.server)
+		}
+	}
+	c.mu.Unlock()
+	for _, cid := range expired {
+		for _, ms := range servers {
+			if err := ms.ExpireClientLease(cid); err != nil {
+				return err
+			}
+		}
+		c.leases.Remove(cid)
+	}
+	return nil
+}
+
+// View returns the current view for a master (in-process convenience).
+func (c *Coordinator) View(masterID uint64) (*ViewInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mi := c.masters[masterID]
+	if mi == nil {
+		return nil, fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	return &ViewInfo{
+		MasterID:           mi.id,
+		MasterAddr:         mi.addr,
+		WitnessListVersion: mi.witnessListVersion,
+		WitnessAddrs:       append([]string(nil), mi.witnessAddrs...),
+		BackupAddrs:        append([]string(nil), mi.backupAddrs...),
+	}, nil
+}
+
+// Migrate moves a partition to a new master (§3.6's load-balancing
+// reconfiguration, at whole-partition granularity): the old master syncs
+// and freezes, the new master restores from the backups, gets fresh
+// witnesses, and the view flips. Requests reaching the old master
+// afterwards get StatusWrongMaster and refetch the view; requests recorded
+// in the old witnesses are never replayed (the old master retired
+// cleanly), matching the paper's filtering argument.
+func (c *Coordinator) Migrate(masterID uint64, newAddr string, newWitnessAddrs []string, opts MasterOptions) (*MasterServer, error) {
+	c.mu.Lock()
+	mi := c.masters[masterID]
+	c.mu.Unlock()
+	if mi == nil || mi.server == nil {
+		return nil, fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	old := mi.server
+	// Final step first: stop servicing, then drain the execution pipeline
+	// and sync the complete partition to backups. Operations that slip
+	// past the freeze are covered by the witness replay inside
+	// RecoverMaster — migration is literally recovery of a frozen master.
+	old.Freeze()
+	old.execMu.Lock()
+	head := old.store.Head()
+	old.execMu.Unlock()
+	if err := old.syncAndWait(head); err != nil {
+		return nil, err
+	}
+	return c.RecoverMaster(masterID, newAddr, newWitnessAddrs, opts)
+}

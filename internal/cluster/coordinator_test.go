@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"curp/internal/rpc"
+	"curp/internal/transport"
+)
+
+func TestCoordinatorViewAndErrors(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	v, err := c.Coord.View(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MasterID != 1 || v.MasterAddr != "master1" || v.WitnessListVersion != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+	if len(v.WitnessAddrs) != 3 || len(v.BackupAddrs) != 3 {
+		t.Fatalf("view lists = %d/%d", len(v.WitnessAddrs), len(v.BackupAddrs))
+	}
+	if _, err := c.Coord.View(99); err == nil {
+		t.Fatal("unknown master accepted")
+	}
+	// RPC path for unknown master errors too.
+	p := rpc.NewPeer(c.Net, "probe", c.Coord.Addr())
+	defer p.Close()
+	e := rpc.NewEncoder(8)
+	e.U64(99)
+	if _, err := p.Call(context.Background(), OpGetView, e.Bytes()); err == nil {
+		t.Fatal("unknown master via RPC accepted")
+	}
+}
+
+func TestReplaceWitnessErrors(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	if err := c.Coord.ReplaceWitness(99, "a", "b"); err == nil {
+		t.Fatal("unknown master accepted")
+	}
+	if err := c.Coord.ReplaceWitness(1, "not-a-witness", "b"); err == nil {
+		t.Fatal("unknown witness accepted")
+	}
+	// Replacement with an unreachable new witness fails cleanly.
+	if err := c.Coord.ReplaceWitness(1, c.Witnesses[0].Addr(), "ghost-witness"); err == nil {
+		t.Fatal("unreachable replacement accepted")
+	}
+	// The original configuration still works.
+	cl := testClient(t, c, "client1")
+	if _, err := cl.Put(context.Background(), []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenewLeaseRPC(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	cl := testClient(t, c, "client1")
+	p := rpc.NewPeer(c.Net, "client1", c.Coord.Addr())
+	defer p.Close()
+	e := rpc.NewEncoder(8)
+	e.U64(uint64(cl.Session().ClientID()))
+	if _, err := p.Call(context.Background(), OpRenewLease, e.Bytes()); err != nil {
+		t.Fatalf("renew live lease: %v", err)
+	}
+	// Renewing a never-issued lease fails.
+	e2 := rpc.NewEncoder(8)
+	e2.U64(424242)
+	if _, err := p.Call(context.Background(), OpRenewLease, e2.Bytes()); err == nil {
+		t.Fatal("renewed unknown lease")
+	}
+}
+
+func TestExpireStaleLeasesEndToEnd(t *testing.T) {
+	// Short TTL: registered clients expire quickly; the coordinator sweep
+	// must sync masters before dropping records (§4.8), and expired
+	// clients are then ignored.
+	nw := transport.NewMemNetwork(nil)
+	opts := testOptions()
+	opts.LeaseTTL = 30 * time.Millisecond
+	opts.Master.Core.SyncBatchSize = 1000
+	c, err := Start(nw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("mortal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if _, err := cl.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Backups[0].SyncedLSN(1) != 0 {
+		t.Fatal("write should be unsynced before expiry")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if err := c.Coord.ExpireStaleLeases(); err != nil {
+		t.Fatal(err)
+	}
+	// The sweep synced the master first (§4.8 ordering).
+	if c.Backups[0].SyncedLSN(1) != 1 {
+		t.Fatal("expiry sweep did not sync first")
+	}
+	// The expired client's new updates are ignored by the master.
+	if _, err := cl.Put(ctx, []byte("k2"), []byte("v2")); err == nil {
+		t.Fatal("expired client's update accepted")
+	}
+	// A sweep with nothing to do is a no-op.
+	if err := c.Coord.ExpireStaleLeases(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverMasterErrors(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	if _, err := c.Coord.RecoverMaster(99, "x", nil, c.Opts.Master); err == nil {
+		t.Fatal("unknown master accepted")
+	}
+	// Recovery onto an address that is already taken fails cleanly.
+	if _, err := c.Coord.RecoverMaster(1, c.Master.Addr(), nil, c.Opts.Master); err == nil {
+		t.Fatal("address collision accepted")
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	c, _ := startTestCluster(t, testOptions())
+	if _, err := c.Coord.Migrate(99, "x", nil, c.Opts.Master); err == nil {
+		t.Fatal("unknown master accepted")
+	}
+}

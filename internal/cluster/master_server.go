@@ -1,0 +1,672 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"curp/internal/core"
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/rpc"
+	"curp/internal/transport"
+	"curp/internal/witness"
+)
+
+// MasterOptions configures a master server.
+type MasterOptions struct {
+	// Core is the CURP sync policy (batch size, hot-key heuristic).
+	Core core.MasterConfig
+	// RPCTimeout bounds each backup/witness RPC issued by the master.
+	RPCTimeout time.Duration
+}
+
+// DefaultMasterOptions returns the paper's defaults.
+func DefaultMasterOptions() MasterOptions {
+	return MasterOptions{Core: core.DefaultMasterConfig(), RPCTimeout: 2 * time.Second}
+}
+
+// MasterServer is a CURP master for one data partition: it executes client
+// commands speculatively against a kv.Store, enforces commutativity among
+// unsynced operations, replicates its log to f backups in batched
+// asynchronous syncs, and garbage-collects synced requests from its
+// witnesses (paper §3.2.3, §4.3–§4.6).
+type MasterServer struct {
+	id    uint64
+	addr  string
+	epoch uint64
+	nw    transport.Network
+	opts  MasterOptions
+
+	store   *kv.Store
+	tracker *rifl.Tracker
+	state   *core.MasterState
+
+	// execMu serializes command execution — the equivalent of the
+	// paper's single dispatch thread ordering operations on a master.
+	execMu sync.Mutex
+
+	peersMu   sync.Mutex
+	backups   []*rpc.Peer
+	witnesses []*rpc.Peer
+
+	// syncMu guards the one-outstanding-sync discipline (§C.1: "RAMCloud
+	// allows only one outstanding sync", which batches naturally).
+	syncMu     sync.Mutex
+	syncCond   *sync.Cond
+	syncActive bool
+
+	// pendingGC carries (keyHash, rpcID) pairs that must be re-sent in
+	// the next gc RPC: suspected uncollected garbage reported by
+	// witnesses (§4.5).
+	gcMu      sync.Mutex
+	pendingGC []witness.GCKey
+
+	// durableOld is the §A.3 durable-value cache: for each key with an
+	// unsynced update, the last value that IS on the backups. Populated
+	// when a durable value is first overwritten speculatively; cleared as
+	// syncs make the new values durable. Guarded by execMu (entries are
+	// written on the execution path) plus staleMu for readers.
+	staleMu    sync.Mutex
+	durableOld map[string]staleEntry
+
+	rpc *rpc.Server
+}
+
+// NewMasterServer creates and starts a master listening on addr. epoch is
+// the master's recovery epoch (0 for the initial master; recovery creates
+// successors with higher epochs, §4.7).
+func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64, opts MasterOptions) (*MasterServer, error) {
+	if opts.RPCTimeout <= 0 {
+		opts.RPCTimeout = 2 * time.Second
+	}
+	ms := &MasterServer{
+		id:      id,
+		addr:    addr,
+		epoch:   epoch,
+		nw:      nw,
+		opts:    opts,
+		store:   kv.NewStore(),
+		tracker: rifl.NewTracker(),
+		state:   core.NewMasterState(opts.Core),
+		rpc:     rpc.NewServer(),
+	}
+	ms.durableOld = make(map[string]staleEntry)
+	ms.syncCond = sync.NewCond(&ms.syncMu)
+	ms.rpc.Handle(OpUpdate, ms.handleUpdate)
+	ms.rpc.Handle(OpRead, ms.handleRead)
+	ms.rpc.Handle(OpSync, ms.handleSync)
+	ms.rpc.Handle(OpReadStale, ms.handleReadStale)
+	l, err := nw.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	ms.rpc.Go(l)
+	return ms, nil
+}
+
+// Addr returns the master's address.
+func (ms *MasterServer) Addr() string { return ms.addr }
+
+// ID returns the master's partition ID.
+func (ms *MasterServer) ID() uint64 { return ms.id }
+
+// Epoch returns the master's recovery epoch.
+func (ms *MasterServer) Epoch() uint64 { return ms.epoch }
+
+// State exposes protocol counters for tests and benchmarks.
+func (ms *MasterServer) State() *core.MasterState { return ms.state }
+
+// Store exposes the underlying store for tests.
+func (ms *MasterServer) Store() *kv.Store { return ms.store }
+
+// Close shuts the master down.
+func (ms *MasterServer) Close() {
+	ms.rpc.Close()
+	ms.peersMu.Lock()
+	defer ms.peersMu.Unlock()
+	for _, p := range ms.backups {
+		p.Close()
+	}
+	for _, p := range ms.witnesses {
+		p.Close()
+	}
+}
+
+// SetBackups installs the master's backup list.
+func (ms *MasterServer) SetBackups(addrs []string) {
+	ms.peersMu.Lock()
+	defer ms.peersMu.Unlock()
+	for _, p := range ms.backups {
+		p.Close()
+	}
+	ms.backups = nil
+	for _, a := range addrs {
+		ms.backups = append(ms.backups, rpc.NewPeer(ms.nw, ms.addr, a))
+	}
+}
+
+// SetWitnessList installs a new witness configuration. Per §3.6, the
+// master syncs to backups before accepting the new version, so operations
+// recorded only on the old witnesses are durable before those witnesses
+// stop being consulted.
+func (ms *MasterServer) SetWitnessList(version uint64, addrs []string) error {
+	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+		return err
+	}
+	ms.peersMu.Lock()
+	for _, p := range ms.witnesses {
+		p.Close()
+	}
+	ms.witnesses = nil
+	for _, a := range addrs {
+		ms.witnesses = append(ms.witnesses, rpc.NewPeer(ms.nw, ms.addr, a))
+	}
+	ms.peersMu.Unlock()
+	ms.state.SetWitnessListVersion(version)
+	return nil
+}
+
+// Freeze stops the master from serving (migration final step or deposal).
+func (ms *MasterServer) Freeze() { ms.state.Freeze() }
+
+// ExpireClientLease drops a client's completion records after syncing all
+// operations to backups — the §4.8 ordering requirement that keeps witness
+// replay safe.
+func (ms *MasterServer) ExpireClientLease(c rifl.ClientID) error {
+	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+		return err
+	}
+	ms.tracker.ExpireLease(c)
+	return nil
+}
+
+// staleEntry is one §A.3 durable-value cache record: the value (and
+// existence) a key had when its last durable version was overwritten
+// speculatively.
+type staleEntry struct {
+	value []byte
+	found bool
+}
+
+// captureDurableValue snapshots key's current (durable) value before a
+// speculative overwrite, so OpReadStale can serve it without waiting for a
+// sync. Must hold execMu; only captures when the key's current state is
+// durable and no snapshot exists yet.
+func (ms *MasterServer) captureDurableValue(key []byte) {
+	if uint64(ms.store.KeyLSN(key)) > ms.state.SyncedLSN() {
+		return // current value is itself unsynced; snapshot already taken
+	}
+	ms.staleMu.Lock()
+	if _, ok := ms.durableOld[string(key)]; !ok {
+		v, _, found := ms.store.Get(key)
+		ms.durableOld[string(key)] = staleEntry{value: v, found: found}
+	}
+	ms.staleMu.Unlock()
+}
+
+// pruneDurableValues drops cache entries whose keys are durable again.
+func (ms *MasterServer) pruneDurableValues() {
+	synced := ms.state.SyncedLSN()
+	ms.staleMu.Lock()
+	for k := range ms.durableOld {
+		if uint64(ms.store.KeyLSN([]byte(k))) <= synced {
+			delete(ms.durableOld, k)
+		}
+	}
+	ms.staleMu.Unlock()
+}
+
+// handleReadStale is the §A.3 read path: return the latest DURABLE value
+// of a key immediately — from the durable-value cache if the key has
+// unsynced updates, from the store otherwise — never waiting for a sync.
+func (ms *MasterServer) handleReadStale(payload []byte) ([]byte, error) {
+	req, err := core.DecodeRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	if ms.state.Frozen() {
+		return (&core.Reply{Status: core.StatusWrongMaster}).Encode(), nil
+	}
+	cmd, err := kv.DecodeCommand(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if cmd.Op != kv.OpGet {
+		return (&core.Reply{Status: core.StatusError, Err: "master: OpReadStale supports Get only"}).Encode(), nil
+	}
+	ms.staleMu.Lock()
+	entry, cached := ms.durableOld[string(cmd.Key)]
+	ms.staleMu.Unlock()
+	var res kv.Result
+	switch {
+	case cached:
+		res = kv.Result{Found: entry.found, Value: entry.value}
+	case uint64(ms.store.KeyLSN(cmd.Key)) > ms.state.SyncedLSN():
+		// Created after the last sync with no durable predecessor: the
+		// durable view does not contain it.
+		res = kv.Result{}
+	default:
+		v, ver, found := ms.store.Get(cmd.Key)
+		res = kv.Result{Found: found, Value: v, Version: ver}
+	}
+	return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil
+}
+
+// handleUpdate is the client update path (§3.2.3).
+func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
+	req, err := core.DecodeRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	if ms.state.Frozen() {
+		return (&core.Reply{Status: core.StatusWrongMaster}).Encode(), nil
+	}
+	if !ms.state.CheckWitnessList(req.WitnessListVersion) {
+		return (&core.Reply{Status: core.StatusStaleWitnessList}).Encode(), nil
+	}
+
+	ms.execMu.Lock()
+	outcome, saved := ms.tracker.Begin(req.ID, req.Ack)
+	switch outcome {
+	case rifl.Completed:
+		// Duplicate: return the saved result. If the original's effects
+		// are still unsynced, sync first so the retried client can
+		// complete without witness help.
+		conflict := ms.state.Conflicts(req.KeyHashes)
+		ms.execMu.Unlock()
+		if conflict {
+			if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+				return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+			}
+		}
+		return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: saved}).Encode(), nil
+	case rifl.Stale, rifl.Expired:
+		ms.execMu.Unlock()
+		return (&core.Reply{Status: core.StatusIgnored}).Encode(), nil
+	}
+
+	cmd, err := kv.DecodeCommand(req.Payload)
+	if err != nil {
+		ms.execMu.Unlock()
+		return nil, err
+	}
+	// Commutativity check must precede execution: afterwards the op's own
+	// keys are unsynced and would self-conflict.
+	conflict := ms.state.Conflicts(req.KeyHashes)
+	if !cmd.IsReadOnly() {
+		// §A.3 durable-value cache: preserve the outgoing durable values.
+		if len(cmd.Pairs) > 0 {
+			for _, pr := range cmd.Pairs {
+				ms.captureDurableValue(pr.Key)
+			}
+		} else {
+			ms.captureDurableValue(cmd.Key)
+		}
+	}
+	res, lsn, err := ms.store.Apply(cmd, req.ID)
+	if err != nil {
+		ms.execMu.Unlock()
+		return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+	}
+	hot := false
+	if lsn > 0 {
+		hot = ms.state.NoteMutation(req.KeyHashes, uint64(lsn))
+	}
+	ms.tracker.Record(req.ID, res.Encode())
+	ms.execMu.Unlock()
+
+	if conflict {
+		// Non-commutative with the unsynced suffix: sync (which covers
+		// this op too) before revealing the result, and tag the reply so
+		// the client skips its sync RPC (§3.2.3).
+		ms.state.CountConflictSync()
+		if err := ms.syncAndWait(kv.LSN(lsn)); err != nil {
+			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+		}
+		return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil
+	}
+
+	// Speculative (1-RTT) path.
+	ms.state.CountSpeculative()
+	if hot || ms.state.NeedsBatchSync() {
+		if ms.state.NeedsBatchSync() {
+			ms.state.CountBatchSync()
+		}
+		ms.TriggerSync()
+	}
+	return (&core.Reply{Status: core.StatusOK, Synced: false, Payload: res.Encode()}).Encode(), nil
+}
+
+// handleRead serves linearizable reads: a read touching an unsynced object
+// waits for a sync first, so no result ever depends on state that could be
+// lost in a crash (§3.2.3, §A.3).
+func (ms *MasterServer) handleRead(payload []byte) ([]byte, error) {
+	req, err := core.DecodeRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	cmd, err := kv.DecodeCommand(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if !cmd.IsReadOnly() {
+		return (&core.Reply{Status: core.StatusError, Err: "master: OpRead requires a read-only command"}).Encode(), nil
+	}
+	for {
+		if ms.state.Frozen() {
+			return (&core.Reply{Status: core.StatusWrongMaster}).Encode(), nil
+		}
+		ms.execMu.Lock()
+		if !ms.state.Conflicts(req.KeyHashes) {
+			res, _, err := ms.store.Apply(cmd, req.ID)
+			ms.execMu.Unlock()
+			if err != nil {
+				return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+			}
+			return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil
+		}
+		ms.execMu.Unlock()
+		ms.state.CountReadBlock()
+		if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+		}
+	}
+}
+
+// handleSync is the client's slow-path sync RPC (§3.2.1).
+func (ms *MasterServer) handleSync(payload []byte) ([]byte, error) {
+	if ms.state.Frozen() {
+		return nil, errors.New("master: frozen")
+	}
+	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// TriggerSync starts a background sync if none is running.
+func (ms *MasterServer) TriggerSync() {
+	go func() {
+		_ = ms.syncAndWait(kv.LSN(ms.store.Head()))
+	}()
+}
+
+// syncAndWait blocks until every log entry up to target is replicated to
+// all backups, driving syncs itself when none is in progress. Concurrent
+// callers coalesce onto one outstanding sync (§4.4's natural batching).
+func (ms *MasterServer) syncAndWait(target kv.LSN) error {
+	for {
+		if kv.LSN(ms.state.SyncedLSN()) >= target {
+			return nil
+		}
+		ms.syncMu.Lock()
+		if ms.syncActive {
+			ms.syncCond.Wait()
+			ms.syncMu.Unlock()
+			continue
+		}
+		ms.syncActive = true
+		ms.syncMu.Unlock()
+
+		err := ms.doSync()
+
+		ms.syncMu.Lock()
+		ms.syncActive = false
+		ms.syncCond.Broadcast()
+		ms.syncMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// doSync replicates the unsynced log suffix to all backups and then
+// garbage-collects the synced requests from witnesses.
+func (ms *MasterServer) doSync() error {
+	synced := kv.LSN(ms.state.SyncedLSN())
+	entries := ms.store.EntriesSince(synced)
+	if len(entries) == 0 {
+		return nil
+	}
+	head := entries[len(entries)-1].LSN
+
+	ms.peersMu.Lock()
+	backups := append([]*rpc.Peer(nil), ms.backups...)
+	ms.peersMu.Unlock()
+
+	if len(backups) > 0 {
+		req := appendRequest{MasterID: ms.id, Epoch: ms.epoch, Entries: entries}
+		payload := req.encode()
+		errs := make(chan error, len(backups))
+		for _, b := range backups {
+			go func(b *rpc.Peer) {
+				ctx, cancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
+				defer cancel()
+				_, err := b.Call(ctx, OpBackupAppend, payload)
+				errs <- err
+			}(b)
+		}
+		for range backups {
+			if err := <-errs; err != nil {
+				if strings.Contains(err.Error(), ErrStaleEpoch) {
+					// A newer master exists: this one is a zombie. Stop
+					// serving (§4.7).
+					ms.state.Freeze()
+					return fmt.Errorf("master %d deposed: %w", ms.id, err)
+				}
+				return fmt.Errorf("master %d: backup sync failed: %w", ms.id, err)
+			}
+		}
+	}
+	ms.state.NoteSync(uint64(head))
+	ms.pruneDurableValues()
+	ms.gcWitnesses(entries)
+	return nil
+}
+
+// gcWitnesses sends batched gc RPCs for the just-synced entries plus any
+// pending retries, and handles suspected-uncollected-garbage returns
+// (§4.5).
+func (ms *MasterServer) gcWitnesses(entries []kv.Entry) {
+	keys := ms.takePendingGC()
+	for i := range entries {
+		en := &entries[i]
+		for _, kh := range en.Cmd.KeyHashes() {
+			keys = append(keys, witness.GCKey{KeyHash: kh, ID: en.ID})
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	ms.peersMu.Lock()
+	witnesses := append([]*rpc.Peer(nil), ms.witnesses...)
+	ms.peersMu.Unlock()
+	if len(witnesses) == 0 {
+		return
+	}
+	payload := (&gcRequest{MasterID: ms.id, Keys: keys}).encode()
+	var wg sync.WaitGroup
+	for _, w := range witnesses {
+		wg.Add(1)
+		go func(w *rpc.Peer) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
+			defer cancel()
+			out, err := w.Call(ctx, OpWitnessGC, payload)
+			if err != nil {
+				return // best effort; retried with the next sync
+			}
+			stale, err := decodeWitnessRecords(out)
+			if err != nil || len(stale) == 0 {
+				return
+			}
+			ms.retryStaleRecords(stale)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// retryStaleRecords re-executes requests a witness reported as uncollected
+// garbage — most are duplicates RIFL filters — and queues their gc keys
+// for the next gc RPC (§4.5).
+func (ms *MasterServer) retryStaleRecords(stale []witness.Record) {
+	for _, rec := range stale {
+		cmd, err := kv.DecodeCommand(rec.Request)
+		if err != nil {
+			continue
+		}
+		ms.execMu.Lock()
+		outcome, _ := ms.tracker.Begin(rec.ID, 0)
+		if outcome == rifl.New {
+			if res, lsn, err := ms.store.Apply(cmd, rec.ID); err == nil {
+				if lsn > 0 {
+					ms.state.NoteMutation(rec.KeyHashes, uint64(lsn))
+				}
+				ms.tracker.Record(rec.ID, res.Encode())
+			}
+		}
+		ms.execMu.Unlock()
+		ms.gcMu.Lock()
+		for _, kh := range rec.KeyHashes {
+			ms.pendingGC = append(ms.pendingGC, witness.GCKey{KeyHash: kh, ID: rec.ID})
+		}
+		ms.gcMu.Unlock()
+	}
+	ms.TriggerSync()
+}
+
+func (ms *MasterServer) takePendingGC() []witness.GCKey {
+	ms.gcMu.Lock()
+	defer ms.gcMu.Unlock()
+	keys := ms.pendingGC
+	ms.pendingGC = nil
+	return keys
+}
+
+// applyRecoveredEntry rebuilds one log entry during recovery restoration.
+func (ms *MasterServer) applyRecoveredEntry(en *kv.Entry) error {
+	if err := ms.store.ReplayEntry(en); err != nil {
+		return err
+	}
+	ms.tracker.Record(en.ID, en.Result.Encode())
+	return nil
+}
+
+// RecoverFrom rebuilds this (fresh) master from a crashed predecessor's
+// backups and one witness, implementing §3.3/§4.6:
+//
+//  1. restore data from the longest backup log (all backup logs are
+//     prefixes of the crashed master's log, so the longest dominates);
+//  2. reset the other backups and re-seed them with the restored log
+//     under this master's higher epoch;
+//  3. freeze one witness via getRecoveryData and replay its requests,
+//     with RIFL filtering duplicates and client acks ignored (§4.8);
+//  4. sync to backups.
+//
+// The coordinator then assigns fresh witnesses and reopens the master.
+func (ms *MasterServer) RecoverFrom(backupAddrs []string, witnessAddr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
+	defer cancel()
+
+	// Step 1: fetch all reachable backup logs, keep the longest.
+	var longest []kv.Entry
+	fetchPayload := func() []byte {
+		e := rpc.NewEncoder(8)
+		e.U64(ms.id)
+		return e.Bytes()
+	}()
+	reachable := 0
+	for _, addr := range backupAddrs {
+		p := rpc.NewPeer(ms.nw, ms.addr, addr)
+		out, err := p.Call(ctx, OpBackupFetch, fetchPayload)
+		p.Close()
+		if err != nil {
+			continue
+		}
+		entries, err := decodeEntries(out)
+		if err != nil {
+			continue
+		}
+		reachable++
+		if len(entries) > len(longest) {
+			longest = entries
+		}
+	}
+	if reachable == 0 && len(backupAddrs) > 0 {
+		return errors.New("recovery: no backup reachable")
+	}
+	for i := range longest {
+		if err := ms.applyRecoveredEntry(&longest[i]); err != nil {
+			return fmt.Errorf("recovery: restore: %w", err)
+		}
+	}
+	// Backups are reset below and re-seeded by the final sync, so the
+	// restored log counts as unsynced until then.
+	ms.state.InitRestored(uint64(ms.store.Head()), 0)
+
+	// Step 2: reset backups under the new epoch, then re-seed below via a
+	// full sync (backup logs restart from LSN 1).
+	resetPayload := func() []byte {
+		e := rpc.NewEncoder(16)
+		e.U64(ms.id)
+		e.U64(ms.epoch)
+		return e.Bytes()
+	}()
+	for _, addr := range backupAddrs {
+		p := rpc.NewPeer(ms.nw, ms.addr, addr)
+		if _, err := p.Call(ctx, OpBackupReset, resetPayload); err != nil {
+			p.Close()
+			return fmt.Errorf("recovery: reset backup %s: %w", addr, err)
+		}
+		p.Close()
+	}
+
+	// Step 3: replay from one witness. getRecoveryData irreversibly
+	// freezes it, so clients can no longer complete updates against the
+	// old witness set (§4.6).
+	if witnessAddr != "" {
+		p := rpc.NewPeer(ms.nw, ms.addr, witnessAddr)
+		out, err := p.Call(ctx, OpWitnessRecoveryData, fetchPayload)
+		p.Close()
+		if err != nil {
+			return fmt.Errorf("recovery: witness unreachable: %w", err)
+		}
+		records, err := decodeWitnessRecords(out)
+		if err != nil {
+			return err
+		}
+		ms.tracker.SetRecoveryMode(true)
+		for _, rec := range records {
+			outcome, _ := ms.tracker.Begin(rec.ID, 0)
+			if outcome != rifl.New {
+				continue // already restored from the backup log
+			}
+			cmd, err := kv.DecodeCommand(rec.Request)
+			if err != nil {
+				continue
+			}
+			res, lsn, err := ms.store.Apply(cmd, rec.ID)
+			if err != nil {
+				continue
+			}
+			if lsn > 0 {
+				ms.state.NoteMutation(rec.KeyHashes, uint64(lsn))
+			}
+			ms.tracker.Record(rec.ID, res.Encode())
+		}
+		ms.tracker.SetRecoveryMode(false)
+	}
+
+	// Step 4: make the replayed operations durable.
+	// The full log is pushed because backups were reset. Entries synced
+	// here are garbage-collected from witnesses lazily; the frozen
+	// witness is decommissioned by the coordinator anyway.
+	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+		return fmt.Errorf("recovery: final sync: %w", err)
+	}
+	return nil
+}

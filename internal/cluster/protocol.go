@@ -1,0 +1,262 @@
+// Package cluster is the runnable CURP cluster: RPC servers for masters,
+// backups, and witnesses, a coordinator (configuration manager) that owns
+// witness lists and orchestrates crash recovery, and a client that speaks
+// the full protocol over any transport.Network. It composes the protocol
+// logic of internal/core with the storage substrate of internal/kv.
+//
+// The same binaries run over the in-memory network (tests, benchmarks,
+// failure injection) and TCP (cmd/curpd).
+package cluster
+
+import (
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/rpc"
+	"curp/internal/witness"
+)
+
+// RPC opcodes. One flat space shared by all server roles; servers register
+// only the opcodes for the roles they host.
+const (
+	// Client → master.
+	OpUpdate uint16 = iota + 1
+	OpRead
+	OpSync
+	// OpReadStale serves the §A.3 mitigation for read-blocking: it returns
+	// the latest DURABLE value of a key without waiting for a sync, from
+	// the master's durable-value cache ("the structure of the durable
+	// value cache is same as that of witnesses"). The result may trail the
+	// linearizable value by the unsynced window; apps opt in per read.
+	OpReadStale
+
+	// Client → witness.
+	OpWitnessRecord
+	OpWitnessCommutes
+
+	// Master / recovery → witness.
+	OpWitnessGC
+	OpWitnessRecoveryData
+
+	// Coordinator → witness.
+	OpWitnessStart
+	OpWitnessEnd
+
+	// Master / recovery → backup; coordinator → backup.
+	OpBackupAppend
+	OpBackupFetch
+	OpBackupRead
+	OpBackupSetEpoch
+	OpBackupReset
+
+	// Client / servers → coordinator.
+	OpGetView
+	OpRegisterClient
+	OpRenewLease
+)
+
+// recordRequest is the payload of OpWitnessRecord.
+type recordRequest struct {
+	MasterID  uint64
+	KeyHashes []uint64
+	ID        rifl.RPCID
+	Request   []byte
+}
+
+func (r *recordRequest) encode() []byte {
+	e := rpc.NewEncoder(48 + len(r.Request))
+	e.U64(r.MasterID)
+	e.U64Slice(r.KeyHashes)
+	e.U64(uint64(r.ID.Client))
+	e.U64(uint64(r.ID.Seq))
+	e.Bytes32(r.Request)
+	return e.Bytes()
+}
+
+func decodeRecordRequest(b []byte) (*recordRequest, error) {
+	d := rpc.NewDecoder(b)
+	r := &recordRequest{
+		MasterID:  d.U64(),
+		KeyHashes: d.U64Slice(),
+		ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+		Request:   d.BytesCopy32(),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// gcRequest is the payload of OpWitnessGC.
+type gcRequest struct {
+	MasterID uint64
+	Keys     []witness.GCKey
+}
+
+func (g *gcRequest) encode() []byte {
+	e := rpc.NewEncoder(16 + 24*len(g.Keys))
+	e.U64(g.MasterID)
+	e.U32(uint32(len(g.Keys)))
+	for _, k := range g.Keys {
+		e.U64(k.KeyHash)
+		e.U64(uint64(k.ID.Client))
+		e.U64(uint64(k.ID.Seq))
+	}
+	return e.Bytes()
+}
+
+func decodeGCRequest(b []byte) (*gcRequest, error) {
+	d := rpc.NewDecoder(b)
+	g := &gcRequest{MasterID: d.U64()}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		g.Keys = append(g.Keys, witness.GCKey{
+			KeyHash: d.U64(),
+			ID:      rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+		})
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// encodeWitnessRecords serializes witness records (GC stale returns and
+// recovery data).
+func encodeWitnessRecords(recs []witness.Record) []byte {
+	e := rpc.NewEncoder(64 * len(recs))
+	e.U32(uint32(len(recs)))
+	for _, r := range recs {
+		e.U64Slice(r.KeyHashes)
+		e.U64(uint64(r.ID.Client))
+		e.U64(uint64(r.ID.Seq))
+		e.Bytes32(r.Request)
+	}
+	return e.Bytes()
+}
+
+func decodeWitnessRecords(b []byte) ([]witness.Record, error) {
+	d := rpc.NewDecoder(b)
+	n := d.U32()
+	recs := make([]witness.Record, 0, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		recs = append(recs, witness.Record{
+			KeyHashes: d.U64Slice(),
+			ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+			Request:   d.BytesCopy32(),
+		})
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// appendRequest is the payload of OpBackupAppend: a master (identified by
+// its recovery epoch, §4.7) replicating a log suffix.
+type appendRequest struct {
+	MasterID uint64
+	Epoch    uint64
+	Entries  []kv.Entry
+}
+
+func (a *appendRequest) encode() []byte {
+	e := rpc.NewEncoder(64 * (1 + len(a.Entries)))
+	e.U64(a.MasterID)
+	e.U64(a.Epoch)
+	e.U32(uint32(len(a.Entries)))
+	for i := range a.Entries {
+		a.Entries[i].Marshal(e)
+	}
+	return e.Bytes()
+}
+
+func decodeAppendRequest(b []byte) (*appendRequest, error) {
+	d := rpc.NewDecoder(b)
+	a := &appendRequest{MasterID: d.U64(), Epoch: d.U64()}
+	n := d.U32()
+	for i := uint32(0); i < n; i++ {
+		en, err := kv.UnmarshalEntry(d)
+		if err != nil {
+			return nil, err
+		}
+		a.Entries = append(a.Entries, *en)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// encodeEntries serializes a backup's log for master recovery.
+func encodeEntries(entries []kv.Entry) []byte {
+	e := rpc.NewEncoder(64 * (1 + len(entries)))
+	e.U32(uint32(len(entries)))
+	for i := range entries {
+		entries[i].Marshal(e)
+	}
+	return e.Bytes()
+}
+
+func decodeEntries(b []byte) ([]kv.Entry, error) {
+	d := rpc.NewDecoder(b)
+	n := d.U32()
+	entries := make([]kv.Entry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		en, err := kv.UnmarshalEntry(d)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, *en)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// ViewInfo is the wire form of a client's configuration for one master
+// (payload of OpGetView replies).
+type ViewInfo struct {
+	MasterID           uint64
+	MasterAddr         string
+	WitnessListVersion uint64
+	WitnessAddrs       []string
+	BackupAddrs        []string
+}
+
+func (v *ViewInfo) encode() []byte {
+	e := rpc.NewEncoder(128)
+	e.U64(v.MasterID)
+	e.String(v.MasterAddr)
+	e.U64(v.WitnessListVersion)
+	e.U32(uint32(len(v.WitnessAddrs)))
+	for _, a := range v.WitnessAddrs {
+		e.String(a)
+	}
+	e.U32(uint32(len(v.BackupAddrs)))
+	for _, a := range v.BackupAddrs {
+		e.String(a)
+	}
+	return e.Bytes()
+}
+
+func decodeViewInfo(b []byte) (*ViewInfo, error) {
+	d := rpc.NewDecoder(b)
+	v := &ViewInfo{
+		MasterID:           d.U64(),
+		MasterAddr:         d.String(),
+		WitnessListVersion: d.U64(),
+	}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		v.WitnessAddrs = append(v.WitnessAddrs, d.String())
+	}
+	n = d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		v.BackupAddrs = append(v.BackupAddrs, d.String())
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

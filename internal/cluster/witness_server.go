@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"curp/internal/rpc"
+	"curp/internal/transport"
+	"curp/internal/witness"
+)
+
+// WitnessServer hosts witness instances, one per master it serves (a
+// witness server can serve several masters, paper §4.1: a decommissioned
+// witness "can start another life for a different master").
+type WitnessServer struct {
+	addr string
+	cfg  witness.Config
+
+	mu        sync.Mutex
+	instances map[uint64]*witness.Witness
+
+	rpc *rpc.Server
+}
+
+// NewWitnessServer creates a witness server listening on addr.
+func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*WitnessServer, error) {
+	ws := &WitnessServer{
+		addr:      addr,
+		cfg:       cfg,
+		instances: make(map[uint64]*witness.Witness),
+		rpc:       rpc.NewServer(),
+	}
+	ws.rpc.Handle(OpWitnessRecord, ws.handleRecord)
+	ws.rpc.Handle(OpWitnessCommutes, ws.handleCommutes)
+	ws.rpc.Handle(OpWitnessGC, ws.handleGC)
+	ws.rpc.Handle(OpWitnessRecoveryData, ws.handleRecoveryData)
+	ws.rpc.Handle(OpWitnessStart, ws.handleStart)
+	ws.rpc.Handle(OpWitnessEnd, ws.handleEnd)
+	l, err := nw.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	ws.rpc.Go(l)
+	return ws, nil
+}
+
+// Addr returns the server's address.
+func (ws *WitnessServer) Addr() string { return ws.addr }
+
+// Close shuts the server down.
+func (ws *WitnessServer) Close() { ws.rpc.Close() }
+
+// Instance returns the witness serving masterID, for tests and stats.
+func (ws *WitnessServer) Instance(masterID uint64) *witness.Witness {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.instances[masterID]
+}
+
+func (ws *WitnessServer) lookup(masterID uint64) (*witness.Witness, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	w := ws.instances[masterID]
+	if w == nil {
+		return nil, fmt.Errorf("witness %s: no instance for master %d", ws.addr, masterID)
+	}
+	return w, nil
+}
+
+func (ws *WitnessServer) handleRecord(payload []byte) ([]byte, error) {
+	req, err := decodeRecordRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	w, err := ws.lookup(req.MasterID)
+	if err != nil {
+		// No instance for this master: tell the client it used a stale
+		// witness list rather than erroring the transport.
+		return []byte{byte(witness.RejectedWrongMaster)}, nil
+	}
+	res := w.Record(req.MasterID, req.KeyHashes, req.ID, req.Request)
+	return []byte{byte(res)}, nil
+}
+
+func (ws *WitnessServer) handleCommutes(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	keyHashes := d.U64Slice()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	w, err := ws.lookup(masterID)
+	if err != nil {
+		return []byte{0}, nil // unknown instance: force master read
+	}
+	if w.Commutes(keyHashes) {
+		return []byte{1}, nil
+	}
+	return []byte{0}, nil
+}
+
+func (ws *WitnessServer) handleGC(payload []byte) ([]byte, error) {
+	req, err := decodeGCRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	w, err := ws.lookup(req.MasterID)
+	if err != nil {
+		return encodeWitnessRecords(nil), nil
+	}
+	stale := w.GC(req.Keys)
+	return encodeWitnessRecords(stale), nil
+}
+
+func (ws *WitnessServer) handleRecoveryData(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	w, err := ws.lookup(masterID)
+	if err != nil {
+		return nil, err
+	}
+	return encodeWitnessRecords(w.GetRecoveryData()), nil
+}
+
+func (ws *WitnessServer) handleStart(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if _, exists := ws.instances[masterID]; exists {
+		return nil, fmt.Errorf("witness %s: instance for master %d already exists", ws.addr, masterID)
+	}
+	w, err := witness.New(masterID, ws.cfg)
+	if err != nil {
+		return nil, err
+	}
+	ws.instances[masterID] = w
+	return nil, nil
+}
+
+func (ws *WitnessServer) handleEnd(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if w := ws.instances[masterID]; w != nil {
+		w.End()
+		delete(ws.instances, masterID)
+	}
+	return nil, nil
+}

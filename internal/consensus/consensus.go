@@ -1,0 +1,520 @@
+// Package consensus implements the paper's §A.2 extension: CURP layered on
+// a strong-leader consensus protocol (Raft/Viewstamped-Replication style).
+//
+// The substrate is a replicated log with 2f+1 replicas, a leader that
+// appends and replicates entries, and a commit rule of "majority match".
+// CURP adds:
+//
+//   - a witness component embedded in every replica, keyed by the current
+//     term — record RPCs carry the client's term and are rejected by
+//     witnesses of other terms (§A.2's zombie-leader defense);
+//   - speculative execution at the leader: commutative requests execute
+//     and answer before commit;
+//   - the superquorum completion rule: a client finishes in 1 RTT only if
+//     f+⌈f/2⌉+1 of the 2f+1 witnesses accepted its record, which
+//     guarantees the request appears in ⌈f/2⌉+1 witnesses of ANY quorum
+//     of f+1 — enough for the new leader to identify it during recovery;
+//   - leadership-change recovery: the new leader collects records from
+//     f+1 witnesses and replays exactly those appearing in at least
+//     ⌈f/2⌉+1 of them, which §A.2 proves are mutually commutative and
+//     include every completed-but-uncommitted request.
+//
+// Replicas communicate by direct method calls with failure-injection
+// switches (Down), which keeps the protocol logic — the part the paper
+// specifies — fully testable without duplicating the RPC substrate that
+// internal/cluster already provides for primary-backup mode.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"curp/internal/core"
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/witness"
+)
+
+// LogEntry is one slot of the replicated command log.
+type LogEntry struct {
+	Term      uint64
+	ID        rifl.RPCID
+	KeyHashes []uint64
+	Payload   []byte // encoded kv.Command
+}
+
+// Replica is one member of the consensus group.
+type Replica struct {
+	mu sync.Mutex
+
+	id      int
+	term    uint64
+	isDown  bool
+	witness *witness.Witness
+
+	log    []LogEntry
+	commit int // entries log[:commit] are committed
+
+	// State machine: rebuilt from the committed log on followers; the
+	// leader's copy may run ahead (speculative execution).
+	sm        *kv.Store
+	smApplied int // log prefix applied to sm
+	tracker   *rifl.Tracker
+
+	// Leader-only commutativity bookkeeping over the uncommitted suffix.
+	state *core.MasterState
+}
+
+func newReplica(id int, wcfg witness.Config) *Replica {
+	return &Replica{
+		id:      id,
+		witness: witness.MustNew(uint64(0), wcfg), // keyed by term 0
+		sm:      kv.NewStore(),
+		tracker: rifl.NewTracker(),
+		state:   core.NewMasterState(core.MasterConfig{SyncBatchSize: 50}),
+	}
+}
+
+// Down simulates a crash or partition of the replica.
+func (r *Replica) Down() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.isDown = true
+}
+
+// Up restores a downed replica.
+func (r *Replica) Up() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.isDown = false
+}
+
+// RecordOnWitness is the client→witness record RPC: it carries the
+// client's view of the current term; a witness embedded in a replica at a
+// different term rejects (§A.2: "if the record RPC has an old term number,
+// the witness rejects the request").
+func (r *Replica) RecordOnWitness(term uint64, keyHashes []uint64, id rifl.RPCID, payload []byte) witness.RecordResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.isDown {
+		return witness.RejectedRecovery // unreachable ≈ no acceptance
+	}
+	if term != r.term {
+		return witness.RejectedWrongMaster
+	}
+	return r.witness.Record(r.witness.MasterID(), keyHashes, id, payload)
+}
+
+// appendEntries is the leader→follower replication call. It returns false
+// when the follower is down or the terms/logs do not line up.
+func (r *Replica) appendEntries(term uint64, prevIndex int, entries []LogEntry, leaderCommit int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.isDown || term < r.term {
+		return false
+	}
+	r.term = term
+	if prevIndex > len(r.log) {
+		return false // gap
+	}
+	r.log = append(r.log[:prevIndex], entries...)
+	if leaderCommit > len(r.log) {
+		leaderCommit = len(r.log)
+	}
+	if leaderCommit > r.commit {
+		r.commit = leaderCommit
+		r.applyCommittedLocked()
+	}
+	return true
+}
+
+// applyCommittedLocked applies newly committed entries to the follower's
+// state machine. Leaders skip it (their sm ran ahead speculatively).
+func (r *Replica) applyCommittedLocked() {
+	for r.smApplied < r.commit {
+		en := &r.log[r.smApplied]
+		cmd, err := kv.DecodeCommand(en.Payload)
+		if err == nil {
+			if outcome, _ := r.tracker.Begin(en.ID, 0); outcome == rifl.New {
+				if res, _, err := r.sm.Apply(cmd, en.ID); err == nil {
+					r.tracker.Record(en.ID, res.Encode())
+				}
+			}
+		}
+		r.smApplied++
+	}
+}
+
+// Commit returns the replica's commit index (tests).
+func (r *Replica) Commit() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.commit
+}
+
+// Term returns the replica's current term.
+func (r *Replica) Term() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.term
+}
+
+// SM exposes the replica's state machine (tests).
+func (r *Replica) SM() *kv.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sm
+}
+
+// resetWitnessLocked installs a fresh witness for a new term.
+func (r *Replica) resetWitnessLocked(term uint64, wcfg witness.Config) {
+	r.witness = witness.MustNew(0, wcfg)
+	_ = term
+}
+
+// Group is a consensus group of 2f+1 replicas with CURP witnesses.
+type Group struct {
+	mu       sync.Mutex
+	f        int
+	replicas []*Replica
+	leader   int
+	wcfg     witness.Config
+
+	stats GroupStats
+}
+
+// GroupStats counts completion paths.
+type GroupStats struct {
+	// FastPath: updates completed via superquorum witness acceptance
+	// (1 RTT).
+	FastPath uint64
+	// CommitPath: updates that waited for majority commit (2 RTT).
+	CommitPath uint64
+}
+
+// NewGroup creates a group masking f failures (2f+1 replicas); replica 0
+// starts as leader at term 1.
+func NewGroup(f int, wcfg witness.Config) *Group {
+	if wcfg.Slots == 0 {
+		wcfg = witness.DefaultConfig()
+	}
+	g := &Group{f: f, wcfg: wcfg}
+	for i := 0; i < 2*f+1; i++ {
+		r := newReplica(i, wcfg)
+		r.term = 1
+		g.replicas = append(g.replicas, r)
+	}
+	return g
+}
+
+// F returns the group's fault-tolerance level.
+func (g *Group) F() int { return g.f }
+
+// Superquorum returns the number of witness acceptances required for 1-RTT
+// completion: f + ⌈f/2⌉ + 1 (§A.2).
+func (g *Group) Superquorum() int { return g.f + (g.f+1)/2 + 1 }
+
+// Majority returns the commit quorum: f+1.
+func (g *Group) Majority() int { return g.f + 1 }
+
+// Leader returns the current leader replica.
+func (g *Group) Leader() *Replica {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.replicas[g.leader]
+}
+
+// Replica returns replica i.
+func (g *Group) Replica(i int) *Replica { return g.replicas[i] }
+
+// Stats returns completion-path counters.
+func (g *Group) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// ErrNoLeader reports an unavailable leader.
+var ErrNoLeader = errors.New("consensus: leader down")
+
+// Update executes a client update through the full CURP-on-consensus
+// protocol: record on all witnesses in parallel with proposing to the
+// leader; complete in 1 RTT on superquorum acceptance + speculative
+// execution, otherwise wait for majority commit.
+func (g *Group) Update(cmd *kv.Command, id rifl.RPCID) (*kv.Result, error) {
+	leader := g.Leader()
+	term := leader.Term()
+
+	// Record on every replica's witness (clients multicast; §A.2).
+	accepts := 0
+	payload := cmd.Encode()
+	keyHashes := cmd.KeyHashes()
+	for _, r := range g.replicas {
+		if r.RecordOnWitness(term, keyHashes, id, payload) == witness.Accepted {
+			accepts++
+		}
+	}
+
+	res, index, committed, err := g.propose(leader, cmd, id, keyHashes, payload)
+	if err != nil {
+		return nil, err
+	}
+	if committed {
+		g.countCommit()
+		return res, nil
+	}
+	if accepts >= g.Superquorum() {
+		g.countFast()
+		return res, nil
+	}
+	// Slow path: ask the leader to commit through the majority.
+	if err := g.replicate(leader, index); err != nil {
+		return nil, err
+	}
+	g.countCommit()
+	return res, nil
+}
+
+func (g *Group) countFast() {
+	g.mu.Lock()
+	g.stats.FastPath++
+	g.mu.Unlock()
+}
+
+func (g *Group) countCommit() {
+	g.mu.Lock()
+	g.stats.CommitPath++
+	g.mu.Unlock()
+}
+
+// propose appends the command at the leader and executes it speculatively
+// when commutative; non-commutative commands are committed before the
+// result is released (committed=true).
+func (g *Group) propose(leader *Replica, cmd *kv.Command, id rifl.RPCID, keyHashes []uint64, payload []byte) (*kv.Result, int, bool, error) {
+	leader.mu.Lock()
+	if leader.isDown {
+		leader.mu.Unlock()
+		return nil, 0, false, ErrNoLeader
+	}
+	if outcome, saved := leader.tracker.Begin(id, 0); outcome == rifl.Completed {
+		leader.mu.Unlock()
+		res, err := kv.DecodeResult(saved)
+		return res, len(leader.log), true, err
+	}
+	conflict := leader.state.Conflicts(keyHashes)
+	leader.log = append(leader.log, LogEntry{Term: leader.term, ID: id, KeyHashes: keyHashes, Payload: payload})
+	index := len(leader.log)
+	res, _, err := leader.sm.Apply(cmd, id)
+	if err != nil {
+		// Deterministic execution error: roll the entry back.
+		leader.log = leader.log[:index-1]
+		leader.mu.Unlock()
+		return nil, 0, false, err
+	}
+	leader.smApplied = index
+	leader.state.NoteMutation(keyHashes, uint64(index))
+	leader.tracker.Record(id, res.Encode())
+	leader.mu.Unlock()
+
+	if conflict {
+		if err := g.replicate(leader, index); err != nil {
+			return nil, 0, false, err
+		}
+		return res, index, true, nil
+	}
+	return res, index, false, nil
+}
+
+// replicate pushes the leader's log to followers until index is committed
+// on a majority.
+func (g *Group) replicate(leader *Replica, index int) error {
+	leader.mu.Lock()
+	term := leader.term
+	log := append([]LogEntry(nil), leader.log...)
+	commit := leader.commit
+	leader.mu.Unlock()
+
+	matched := 1 // leader itself
+	for _, r := range g.replicas {
+		if r == leader {
+			continue
+		}
+		if r.appendEntries(term, 0, log, commit) {
+			matched++
+		}
+	}
+	if matched < g.Majority() {
+		return fmt.Errorf("consensus: only %d/%d replicas reachable", matched, g.Majority())
+	}
+	// Advance the leader's commit and propagate it.
+	leader.mu.Lock()
+	if index > leader.commit {
+		leader.commit = index
+	}
+	if leader.commit > leader.smApplied {
+		leader.applyCommittedLocked()
+	}
+	leader.state.NoteSync(uint64(leader.commit))
+	commit = leader.commit
+	leader.mu.Unlock()
+	for _, r := range g.replicas {
+		if r != leader {
+			r.appendEntries(term, 0, log, commit)
+		}
+	}
+	return nil
+}
+
+// Read serves a linearizable read at the leader: commutative reads answer
+// immediately (the strong leader holds a lease by assumption); reads
+// touching uncommitted keys commit first.
+func (g *Group) Read(cmd *kv.Command) (*kv.Result, error) {
+	leader := g.Leader()
+	keyHashes := cmd.KeyHashes()
+	leader.mu.Lock()
+	if leader.isDown {
+		leader.mu.Unlock()
+		return nil, ErrNoLeader
+	}
+	conflict := leader.state.Conflicts(keyHashes)
+	index := len(leader.log)
+	leader.mu.Unlock()
+	if conflict {
+		if err := g.replicate(leader, index); err != nil {
+			return nil, err
+		}
+	}
+	leader.mu.Lock()
+	defer leader.mu.Unlock()
+	res, _, err := leader.sm.Apply(cmd, rifl.RPCID{})
+	return res, err
+}
+
+// ChangeLeader performs a leadership change with CURP recovery (§A.2):
+// the new leader adopts the longest log among a majority, collects witness
+// records from f+1 reachable replicas, replays those appearing in at least
+// ⌈f/2⌉+1 of them, commits everything, and installs fresh witnesses under
+// the new term.
+func (g *Group) ChangeLeader(newLeader int) error {
+	g.mu.Lock()
+	nl := g.replicas[newLeader]
+	g.mu.Unlock()
+
+	nl.mu.Lock()
+	if nl.isDown {
+		nl.mu.Unlock()
+		return ErrNoLeader
+	}
+	newTerm := nl.term + 1
+	nl.mu.Unlock()
+
+	// Election data collection: longest committed log among a majority.
+	// (Raft's election restriction; we gather explicitly.)
+	votes := 0
+	var bestLog []LogEntry
+	bestCommit := 0
+	for _, r := range g.replicas {
+		r.mu.Lock()
+		if !r.isDown {
+			votes++
+			if r.commit > bestCommit {
+				bestCommit = r.commit
+				bestLog = append([]LogEntry(nil), r.log[:r.commit]...)
+			}
+		}
+		r.mu.Unlock()
+	}
+	if votes < g.Majority() {
+		return fmt.Errorf("consensus: election needs %d votes, got %d", g.Majority(), votes)
+	}
+
+	// Witness collection from f+1 replicas (their CURRENT-term witnesses).
+	counts := map[rifl.RPCID]int{}
+	records := map[rifl.RPCID]witness.Record{}
+	collected := 0
+	for _, r := range g.replicas {
+		r.mu.Lock()
+		if r.isDown {
+			r.mu.Unlock()
+			continue
+		}
+		recs := r.witness.GetRecoveryData() // freezes old-term witness
+		r.mu.Unlock()
+		collected++
+		for _, rec := range recs {
+			counts[rec.ID]++
+			records[rec.ID] = rec
+		}
+		if collected == g.Majority() {
+			break
+		}
+	}
+	if collected < g.Majority() {
+		return fmt.Errorf("consensus: witness collection needs %d replicas, got %d", g.Majority(), collected)
+	}
+
+	// Rebuild the new leader from the committed log, discarding any
+	// speculative state (§A.2: reload from a checkpoint without
+	// speculative executions).
+	nl.mu.Lock()
+	nl.term = newTerm
+	nl.log = append([]LogEntry(nil), bestLog...)
+	nl.commit = bestCommit
+	nl.sm = kv.NewStore()
+	nl.tracker = rifl.NewTracker()
+	nl.smApplied = 0
+	nl.applyCommittedLocked()
+	nl.state = core.NewMasterState(core.MasterConfig{SyncBatchSize: 50})
+	nl.state.InitRestored(uint64(nl.commit), uint64(nl.commit))
+	nl.resetWitnessLocked(newTerm, g.wcfg)
+
+	// Replay witness records meeting the ⌈f/2⌉+1 threshold: guaranteed
+	// mutually commutative and inclusive of all completed-uncommitted
+	// requests (§A.2).
+	threshold := (g.f+1)/2 + 1
+	nl.tracker.SetRecoveryMode(true)
+	for id, n := range counts {
+		if n < threshold {
+			continue
+		}
+		rec := records[id]
+		if outcome, _ := nl.tracker.Begin(id, 0); outcome != rifl.New {
+			continue
+		}
+		cmd, err := kv.DecodeCommand(rec.Request)
+		if err != nil {
+			continue
+		}
+		res, _, err := nl.sm.Apply(cmd, id)
+		if err != nil {
+			continue
+		}
+		nl.log = append(nl.log, LogEntry{Term: newTerm, ID: id, KeyHashes: rec.KeyHashes, Payload: rec.Request})
+		nl.smApplied = len(nl.log)
+		nl.tracker.Record(id, res.Encode())
+	}
+	nl.tracker.SetRecoveryMode(false)
+	index := len(nl.log)
+	nl.mu.Unlock()
+
+	// Commit the replayed entries and bump terms/witnesses everywhere.
+	if err := g.replicate(nl, index); err != nil {
+		return err
+	}
+	for _, r := range g.replicas {
+		if r == nl {
+			continue
+		}
+		r.mu.Lock()
+		if !r.isDown && r.term < newTerm {
+			r.term = newTerm
+		}
+		r.resetWitnessLocked(newTerm, g.wcfg)
+		r.mu.Unlock()
+	}
+	g.mu.Lock()
+	g.leader = newLeader
+	g.mu.Unlock()
+	return nil
+}

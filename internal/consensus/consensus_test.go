@@ -1,0 +1,346 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/witness"
+)
+
+func rid(c, s uint64) rifl.RPCID {
+	return rifl.RPCID{Client: rifl.ClientID(c), Seq: rifl.Seq(s)}
+}
+
+func put(key, val string) *kv.Command {
+	return &kv.Command{Op: kv.OpPut, Key: []byte(key), Value: []byte(val)}
+}
+
+func TestQuorumArithmetic(t *testing.T) {
+	// §A.2: superquorum = f + ⌈f/2⌉ + 1 out of 2f+1.
+	for _, tc := range []struct{ f, super, maj int }{
+		{1, 3, 2}, // 3 replicas: all 3 witnesses for 1 RTT
+		{2, 4, 3}, // 5 replicas: 4 witnesses
+		{3, 6, 4}, // 7 replicas: 6 witnesses
+	} {
+		g := NewGroup(tc.f, witness.Config{})
+		if g.Superquorum() != tc.super {
+			t.Errorf("f=%d superquorum = %d, want %d", tc.f, g.Superquorum(), tc.super)
+		}
+		if g.Majority() != tc.maj {
+			t.Errorf("f=%d majority = %d, want %d", tc.f, g.Majority(), tc.maj)
+		}
+		if len(g.replicas) != 2*tc.f+1 {
+			t.Errorf("f=%d replicas = %d", tc.f, len(g.replicas))
+		}
+	}
+}
+
+func TestFastPathWithAllWitnesses(t *testing.T) {
+	g := NewGroup(1, witness.Config{})
+	res, err := g.Update(put("a", "1"), rid(1, 1))
+	if err != nil || res.Version != 1 {
+		t.Fatalf("update: %v %+v", err, res)
+	}
+	st := g.Stats()
+	if st.FastPath != 1 || st.CommitPath != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Speculative: leader executed but nothing is committed yet.
+	if g.Leader().Commit() != 0 {
+		t.Fatal("fast path should not commit")
+	}
+}
+
+func TestConflictCommitsBeforeReply(t *testing.T) {
+	g := NewGroup(1, witness.Config{})
+	g.Update(put("k", "1"), rid(1, 1))
+	// Same key again: non-commutative → commit path.
+	if _, err := g.Update(put("k", "2"), rid(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.CommitPath != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if g.Leader().Commit() != 2 {
+		t.Fatalf("commit = %d", g.Leader().Commit())
+	}
+	// Followers applied committed entries to their state machines.
+	for i := 1; i < 3; i++ {
+		v, _, ok := g.Replica(i).SM().Get([]byte("k"))
+		if !ok || string(v) != "2" {
+			t.Fatalf("replica %d sm: %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestSubSuperquorumFallsBackToCommit(t *testing.T) {
+	// With one witness down, only 2f of 2f+1 accept < superquorum (f=1 ⇒
+	// need 3): the client must wait for commit.
+	g := NewGroup(1, witness.Config{})
+	g.Replica(2).Down()
+	if _, err := g.Update(put("a", "1"), rid(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.FastPath != 0 || st.CommitPath != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Majority (leader + 1 follower) suffices for commit.
+	if g.Leader().Commit() != 1 {
+		t.Fatalf("commit = %d", g.Leader().Commit())
+	}
+}
+
+func TestCommitImpossibleWithoutMajority(t *testing.T) {
+	g := NewGroup(1, witness.Config{})
+	g.Replica(1).Down()
+	g.Replica(2).Down()
+	// Witness superquorum is impossible AND commit quorum is impossible.
+	if _, err := g.Update(put("a", "1"), rid(1, 1)); err == nil {
+		t.Fatal("update should fail without majority")
+	}
+}
+
+func TestLeaderChangeRecoversFastPathWrites(t *testing.T) {
+	// Writes completed via superquorum (never committed) must survive a
+	// leadership change: the new leader replays them from witnesses.
+	g := NewGroup(1, witness.Config{})
+	for i := 1; i <= 5; i++ {
+		if _, err := g.Update(put(fmt.Sprintf("key%d", i), fmt.Sprintf("v%d", i)), rid(1, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := g.Stats(); st.FastPath != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Old leader crashes before replicating anything.
+	g.Replica(0).Down()
+	if err := g.ChangeLeader(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		res, err := g.Read(&kv.Command{Op: kv.OpGet, Key: []byte(fmt.Sprintf("key%d", i))})
+		if err != nil || !res.Found || string(res.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key%d after leader change: %v %+v", i, err, res)
+		}
+	}
+	if g.Leader() != g.Replica(1) {
+		t.Fatal("leadership did not move")
+	}
+}
+
+func TestLeaderChangeExactlyOnce(t *testing.T) {
+	// An increment that was BOTH committed and still in witnesses must not
+	// be replayed twice after a leadership change.
+	g := NewGroup(1, witness.Config{})
+	if _, err := g.Update(&kv.Command{Op: kv.OpIncrement, Key: []byte("c"), Delta: 5}, rid(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Commit it explicitly (e.g. a conflicting op on the same key).
+	if _, err := g.Update(&kv.Command{Op: kv.OpIncrement, Key: []byte("c"), Delta: 1}, rid(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Both increments are committed; witness records may still exist.
+	if err := g.ChangeLeader(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Read(&kv.Command{Op: kv.OpGet, Key: []byte("c")})
+	if err != nil || string(res.Value) != "6" {
+		t.Fatalf("counter = %+v (err %v), want 6", res, err)
+	}
+}
+
+func TestStaleTermRecordRejected(t *testing.T) {
+	// §A.2: records tagged with an old term are rejected, so clients of a
+	// deposed leader cannot complete operations.
+	g := NewGroup(1, witness.Config{})
+	oldTerm := g.Leader().Term()
+	if err := g.ChangeLeader(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res := g.Replica(i).RecordOnWitness(oldTerm, []uint64{1}, rid(9, 1), []byte("x"))
+		if res == witness.Accepted {
+			t.Fatalf("replica %d accepted a stale-term record", i)
+		}
+	}
+	// Current-term records are accepted again.
+	newTerm := g.Leader().Term()
+	if res := g.Replica(1).RecordOnWitness(newTerm, []uint64{1}, rid(9, 2), []byte("x")); res != witness.Accepted {
+		t.Fatalf("fresh record = %v", res)
+	}
+}
+
+func TestReadBlocksOnUncommittedKey(t *testing.T) {
+	g := NewGroup(1, witness.Config{})
+	g.Update(put("k", "v"), rid(1, 1))
+	if g.Leader().Commit() != 0 {
+		t.Fatal("setup: write should be uncommitted")
+	}
+	res, err := g.Read(&kv.Command{Op: kv.OpGet, Key: []byte("k")})
+	if err != nil || string(res.Value) != "v" {
+		t.Fatalf("read: %v %+v", err, res)
+	}
+	// The read forced a commit.
+	if g.Leader().Commit() != 1 {
+		t.Fatalf("commit = %d after read", g.Leader().Commit())
+	}
+}
+
+func TestDuplicateClientRetry(t *testing.T) {
+	g := NewGroup(1, witness.Config{})
+	id := rid(1, 1)
+	cmd := &kv.Command{Op: kv.OpIncrement, Key: []byte("c"), Delta: 3}
+	if _, err := g.Update(cmd, id); err != nil {
+		t.Fatal(err)
+	}
+	// Retry with the same RIFL ID: saved result, no re-execution.
+	res, err := g.Update(cmd, id)
+	if err != nil || string(res.Value) != "3" {
+		t.Fatalf("retry: %v %+v", err, res)
+	}
+	final, err := g.Read(&kv.Command{Op: kv.OpGet, Key: []byte("c")})
+	if err != nil || string(final.Value) != "3" {
+		t.Fatalf("counter = %q, want 3", final.Value)
+	}
+}
+
+func TestElectionNeedsMajority(t *testing.T) {
+	g := NewGroup(1, witness.Config{})
+	g.Replica(0).Down()
+	g.Replica(2).Down()
+	if err := g.ChangeLeader(1); err == nil {
+		t.Fatal("election without majority should fail")
+	}
+	g.Replica(2).Up()
+	if err := g.ChangeLeader(1); err != nil {
+		t.Fatalf("election with majority: %v", err)
+	}
+}
+
+func TestLeaderChangeWithLargerGroup(t *testing.T) {
+	// f=2 (5 replicas, superquorum 4): down one replica → 4 acceptances
+	// still make the fast path; then recover via leadership change with
+	// two replicas down.
+	g := NewGroup(2, witness.Config{})
+	g.Replica(4).Down()
+	for i := 1; i <= 4; i++ {
+		if _, err := g.Update(put(fmt.Sprintf("k%d", i), "v"), rid(1, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := g.Stats(); st.FastPath != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	g.Replica(0).Down() // leader crashes too: 3 of 5 alive = majority
+	if err := g.ChangeLeader(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		res, err := g.Read(&kv.Command{Op: kv.OpGet, Key: []byte(fmt.Sprintf("k%d", i))})
+		if err != nil || !res.Found {
+			t.Fatalf("k%d lost after leader change: %v %+v", i, err, res)
+		}
+	}
+}
+
+func TestUpdateOnDownLeaderFails(t *testing.T) {
+	g := NewGroup(1, witness.Config{})
+	g.Replica(0).Down()
+	if _, err := g.Update(put("a", "1"), rid(1, 1)); err == nil {
+		t.Fatal("update on downed leader should fail")
+	}
+}
+
+func TestExecutionErrorRollsBack(t *testing.T) {
+	g := NewGroup(1, witness.Config{})
+	g.Update(put("s", "abc"), rid(1, 1))
+	if _, err := g.Update(&kv.Command{Op: kv.OpIncrement, Key: []byte("s"), Delta: 1}, rid(1, 2)); err == nil {
+		t.Fatal("increment of string should fail")
+	}
+	// The failed entry must not linger in the log.
+	leader := g.Leader()
+	leader.mu.Lock()
+	n := len(leader.log)
+	leader.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("log length = %d, want 1", n)
+	}
+}
+
+func TestOperationContinuesAfterLeaderChange(t *testing.T) {
+	// The group keeps serving 1-RTT updates under the new leader, and a
+	// second leadership change still recovers everything.
+	g := NewGroup(1, witness.Config{})
+	for i := 1; i <= 3; i++ {
+		if _, err := g.Update(put(fmt.Sprintf("a%d", i), "v"), rid(1, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.ChangeLeader(1); err != nil {
+		t.Fatal(err)
+	}
+	// New writes (new term) fast-path against the new witnesses.
+	before := g.Stats().FastPath
+	for i := 4; i <= 6; i++ {
+		if _, err := g.Update(put(fmt.Sprintf("a%d", i), "v"), rid(1, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Stats().FastPath != before+3 {
+		t.Fatalf("stats = %+v", g.Stats())
+	}
+	if err := g.ChangeLeader(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		res, err := g.Read(&kv.Command{Op: kv.OpGet, Key: []byte(fmt.Sprintf("a%d", i))})
+		if err != nil || !res.Found {
+			t.Fatalf("a%d lost after second change: %v %+v", i, err, res)
+		}
+	}
+}
+
+func TestSuperquorumArithmeticProperty(t *testing.T) {
+	// §A.2's guarantee needs: any f+1 quorum of witnesses intersects a
+	// superquorum in at least ⌈f/2⌉+1 witnesses, and two non-commutative
+	// requests cannot both reach that threshold within one quorum.
+	for f := 1; f <= 6; f++ {
+		g := NewGroup(f, witness.Config{Slots: 16, Ways: 4})
+		n := 2*f + 1
+		super := g.Superquorum()
+		quorum := g.Majority()
+		threshold := (f+1)/2 + 1
+		// Worst-case intersection of a superquorum with any quorum.
+		worst := super + quorum - n
+		if worst < threshold {
+			t.Errorf("f=%d: superquorum %d ∩ quorum %d ≥ %d < threshold %d",
+				f, super, quorum, worst, threshold)
+		}
+		// Two conflicting requests: each witness accepts at most one, so
+		// within any f+1 witnesses the two acceptance counts sum to ≤ f+1;
+		// both reaching the threshold would need 2·threshold ≤ f+1, which
+		// must be impossible.
+		if 2*threshold <= quorum {
+			t.Errorf("f=%d: two conflicting requests could both meet the replay threshold", f)
+		}
+	}
+}
+
+func BenchmarkConsensusCURPFastPath(b *testing.B) {
+	g := NewGroup(1, witness.Config{})
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("key%d", i)
+		if _, err := g.Update(put(key, "v"), rid(1, uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+		if i%50 == 49 {
+			// Periodic commit keeps witnesses/uncommitted suffix bounded,
+			// as the batched sync does in primary-backup mode.
+			g.replicate(g.Leader(), i+1)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"curp/internal/rifl"
+	"curp/internal/witness"
+)
+
+// MasterAPI is the client's view of a CURP master.
+type MasterAPI interface {
+	// Update executes a state-mutating request.
+	Update(ctx context.Context, req *Request) (*Reply, error)
+	// Read executes a read-only request.
+	Read(ctx context.Context, req *Request) (*Reply, error)
+	// Sync asks the master to replicate all unsynced operations to
+	// backups before returning (the slow-path RPC of §3.2.1).
+	Sync(ctx context.Context) error
+}
+
+// WitnessAPI is the client's view of one witness.
+type WitnessAPI interface {
+	// Record saves a request on the witness.
+	Record(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) (witness.RecordResult, error)
+	// Commutes reports whether an operation touching keyHashes commutes
+	// with everything the witness holds (§A.1 consistent backup reads).
+	Commutes(ctx context.Context, keyHashes []uint64) (bool, error)
+}
+
+// BackupAPI is the client's view of one backup, for §A.1 local reads.
+type BackupAPI interface {
+	// Read serves a read-only request from the backup's replica of the
+	// master's data. The reply reflects only synced operations.
+	Read(ctx context.Context, req *Request) (*Reply, error)
+}
+
+// View is a client's cached cluster configuration for one master: where to
+// send updates, which witnesses to record to, and the witness-list version
+// that must accompany every update (§3.6).
+type View struct {
+	MasterID           uint64
+	WitnessListVersion uint64
+	Master             MasterAPI
+	Witnesses          []WitnessAPI
+	Backups            []BackupAPI
+}
+
+// ViewProvider supplies (and refreshes) a client's view, normally backed by
+// the cluster coordinator.
+type ViewProvider interface {
+	// View returns the current configuration; refresh forces a refetch
+	// after a failure or staleness signal.
+	View(ctx context.Context, refresh bool) (*View, error)
+}
+
+// StaticView adapts a fixed *View into a ViewProvider for tests.
+type StaticView struct{ V *View }
+
+// View implements ViewProvider.
+func (s StaticView) View(context.Context, bool) (*View, error) { return s.V, nil }
+
+// ClientConfig tunes the CURP client.
+type ClientConfig struct {
+	// MaxAttempts bounds update retries across master failures.
+	MaxAttempts int
+}
+
+// DefaultClientConfig returns sensible defaults.
+func DefaultClientConfig() ClientConfig { return ClientConfig{MaxAttempts: 8} }
+
+// ClientStats counts client-side protocol outcomes.
+type ClientStats struct {
+	// FastPath: updates completed in 1 RTT (all witnesses accepted).
+	FastPath uint64
+	// SyncedByMaster: updates the master synced before replying (2 RTT,
+	// no client sync RPC needed).
+	SyncedByMaster uint64
+	// SlowPath: updates that needed an explicit sync RPC (≥2 RTT).
+	SlowPath uint64
+	// Retries: full restarts after master failure or stale configuration.
+	Retries uint64
+	// BackupReads: §A.1 reads served by a backup.
+	BackupReads uint64
+	// MasterReads: reads served by the master.
+	MasterReads uint64
+}
+
+// Client drives the CURP client protocol (paper §3.2.1): it sends each
+// update to the master and records it on all f witnesses in parallel,
+// completing in 1 RTT when the master executed speculatively and every
+// witness accepted. Otherwise it falls back to a sync RPC, and it restarts
+// the whole operation (with the same RIFL ID, so duplicates are filtered)
+// when the master fails or the configuration is stale. Safe for concurrent
+// use by multiple goroutines.
+type Client struct {
+	session *rifl.Session
+	views   ViewProvider
+	cfg     ClientConfig
+
+	fastPath       atomic.Uint64
+	syncedByMaster atomic.Uint64
+	slowPath       atomic.Uint64
+	retries        atomic.Uint64
+	backupReads    atomic.Uint64
+	masterReads    atomic.Uint64
+}
+
+// NewClient builds a client. session supplies RIFL identities; views
+// supplies cluster configuration.
+func NewClient(session *rifl.Session, views ViewProvider, cfg ClientConfig) *Client {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	return &Client{session: session, views: views, cfg: cfg}
+}
+
+// Session returns the client's RIFL session.
+func (c *Client) Session() *rifl.Session { return c.session }
+
+// Stats returns a snapshot of protocol counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		FastPath:       c.fastPath.Load(),
+		SyncedByMaster: c.syncedByMaster.Load(),
+		SlowPath:       c.slowPath.Load(),
+		Retries:        c.retries.Load(),
+		BackupReads:    c.backupReads.Load(),
+		MasterReads:    c.masterReads.Load(),
+	}
+}
+
+// Errors returned by the client.
+var (
+	// ErrUpdateFailed reports an update that could not complete within the
+	// configured attempts.
+	ErrUpdateFailed = errors.New("curp: update failed after retries")
+	// ErrIgnored reports a request the master refused to execute because
+	// RIFL classified it stale or lease-expired.
+	ErrIgnored = errors.New("curp: request ignored by master (stale or lease expired)")
+)
+
+// Update executes a mutating operation with payload touching keyHashes.
+// It returns the substrate result. The operation is durable (f-fault
+// tolerant) when Update returns nil error.
+func (c *Client) Update(ctx context.Context, keyHashes []uint64, payload []byte) ([]byte, error) {
+	id := c.session.NextID()
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		view, err := c.views.View(ctx, attempt > 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req := &Request{
+			ID:                 id,
+			Ack:                c.session.Ack(),
+			WitnessListVersion: view.WitnessListVersion,
+			KeyHashes:          keyHashes,
+			Payload:            payload,
+		}
+
+		// Record on all witnesses in parallel with the master RPC
+		// (the overlap that makes the 1-RTT path possible).
+		type recRes struct {
+			ok  bool
+			err error
+		}
+		recCh := make(chan recRes, len(view.Witnesses))
+		for _, w := range view.Witnesses {
+			go func(w WitnessAPI) {
+				res, err := w.Record(ctx, view.MasterID, keyHashes, id, payload)
+				recCh <- recRes{ok: err == nil && res.Ok(), err: err}
+			}(w)
+		}
+
+		reply, err := view.Master.Update(ctx, req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue // master unreachable: refetch view, retry same ID
+		}
+		switch reply.Status {
+		case StatusOK:
+			// fall through to the completion rule below
+		case StatusStaleWitnessList, StatusWrongMaster:
+			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
+			continue
+		case StatusIgnored:
+			return nil, ErrIgnored
+		case StatusError:
+			// Execution failed deterministically (e.g. a type error).
+			// Nothing mutated; surface to the application.
+			return nil, fmt.Errorf("curp: execution error: %s", reply.Err)
+		default:
+			return nil, fmt.Errorf("curp: unexpected status %v", reply.Status)
+		}
+
+		if reply.Synced {
+			// The master already synced (conflict path §3.2.3); witness
+			// outcomes are irrelevant.
+			c.syncedByMaster.Add(1)
+			c.session.Finish(id)
+			return reply.Payload, nil
+		}
+
+		// 1-RTT completion rule: all f witnesses must have accepted.
+		allAccepted := true
+		for range view.Witnesses {
+			r := <-recCh
+			if !r.ok {
+				allAccepted = false
+			}
+		}
+		if allAccepted {
+			c.fastPath.Add(1)
+			c.session.Finish(id)
+			return reply.Payload, nil
+		}
+
+		// Slow path: make it durable by syncing through the master.
+		if err := view.Master.Sync(ctx); err == nil {
+			c.slowPath.Add(1)
+			c.session.Finish(id)
+			return reply.Payload, nil
+		} else if ctx.Err() != nil {
+			return nil, ctx.Err()
+		} else {
+			// No response to the sync RPC: the master may have crashed.
+			// Restart the whole operation against a fresh view (§3.2.1).
+			lastErr = err
+			continue
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrUpdateFailed, lastErr)
+}
+
+// Read executes a read-only operation at the master. Reads are linearizable
+// because the master syncs before returning any value that depends on an
+// unsynced operation (§3.2.3).
+func (c *Client) Read(ctx context.Context, keyHashes []uint64, payload []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		view, err := c.views.View(ctx, attempt > 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req := &Request{
+			WitnessListVersion: view.WitnessListVersion,
+			KeyHashes:          keyHashes,
+			ReadOnly:           true,
+			Payload:            payload,
+		}
+		reply, err := view.Master.Read(ctx, req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		switch reply.Status {
+		case StatusOK:
+			c.masterReads.Add(1)
+			return reply.Payload, nil
+		case StatusStaleWitnessList, StatusWrongMaster:
+			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
+			continue
+		case StatusError:
+			return nil, fmt.Errorf("curp: execution error: %s", reply.Err)
+		default:
+			return nil, fmt.Errorf("curp: unexpected status %v", reply.Status)
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrUpdateFailed, lastErr)
+}
+
+// ReadNearby serves a read from a backup when a witness confirms the read
+// commutes with every outstanding speculative update (§A.1: consistent
+// reads from backups, 0 wide-area RTTs in geo-replicated settings). If the
+// witness holds a non-commuting record — a completed-but-unsynced write to
+// one of these keys may exist — the read falls back to the master.
+func (c *Client) ReadNearby(ctx context.Context, keyHashes []uint64, payload []byte) ([]byte, error) {
+	view, err := c.views.View(ctx, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(view.Backups) == 0 || len(view.Witnesses) == 0 {
+		return c.Read(ctx, keyHashes, payload)
+	}
+	commutes, err := view.Witnesses[0].Commutes(ctx, keyHashes)
+	if err != nil || !commutes {
+		return c.Read(ctx, keyHashes, payload)
+	}
+	req := &Request{KeyHashes: keyHashes, ReadOnly: true, Payload: payload}
+	reply, err := view.Backups[0].Read(ctx, req)
+	if err != nil || reply.Status != StatusOK {
+		return c.Read(ctx, keyHashes, payload)
+	}
+	c.backupReads.Add(1)
+	return reply.Payload, nil
+}

@@ -1,0 +1,155 @@
+// Package core implements the CURP protocol itself (paper §3–§4): the
+// request/reply envelopes every CURP RPC uses, the master-side state
+// machine that enforces commutativity among speculatively executed
+// (unsynced) operations and decides when to sync, and the client-side
+// protocol that records updates in witnesses in parallel with the master
+// RPC and completes them in 1 RTT when possible.
+//
+// The package is substrate-agnostic: payloads are opaque bytes executed by
+// a storage engine (internal/kv, internal/dstore), and the network is
+// abstracted behind small interfaces so the same protocol logic is
+// exercised by unit tests with fakes, the real cluster runtime
+// (internal/cluster), and failure-injection tests.
+package core
+
+import (
+	"curp/internal/rifl"
+	"curp/internal/rpc"
+)
+
+// Status classifies a master's reply to an update or read RPC.
+type Status uint8
+
+const (
+	// StatusOK: the operation executed; Payload holds the result.
+	StatusOK Status = iota
+	// StatusStaleWitnessList: the request carried an outdated
+	// WitnessListVersion; the client must refetch its configuration and
+	// retry (paper §3.6).
+	StatusStaleWitnessList
+	// StatusIgnored: RIFL classified the request as stale or from an
+	// expired client; there is no result to return.
+	StatusIgnored
+	// StatusWrongMaster: this server does not own the key (crashed, not
+	// the master, or the partition migrated); the client must refetch its
+	// configuration.
+	StatusWrongMaster
+	// StatusError: execution failed; Err holds the message.
+	StatusError
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusStaleWitnessList:
+		return "stale-witness-list"
+	case StatusIgnored:
+		return "ignored"
+	case StatusWrongMaster:
+		return "wrong-master"
+	case StatusError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Request is the envelope of a client update or read RPC. The payload is an
+// opaque substrate command; everything CURP needs (identity, commutativity
+// footprint, configuration version) travels alongside it.
+type Request struct {
+	// ID is the RIFL identity of the RPC. Read-only requests may leave it
+	// zero; they are not recorded in witnesses or completion tables.
+	ID rifl.RPCID
+	// Ack is the client's RIFL acknowledgment (paper §4.8).
+	Ack rifl.Seq
+	// WitnessListVersion is the version of the witness configuration the
+	// client used; masters reject mismatches (paper §3.6).
+	WitnessListVersion uint64
+	// KeyHashes is the operation's commutativity footprint.
+	KeyHashes []uint64
+	// ReadOnly marks requests that cannot mutate state.
+	ReadOnly bool
+	// Payload is the substrate command.
+	Payload []byte
+}
+
+// Marshal appends the request's wire form to e.
+func (r *Request) Marshal(e *rpc.Encoder) {
+	e.U64(uint64(r.ID.Client))
+	e.U64(uint64(r.ID.Seq))
+	e.U64(uint64(r.Ack))
+	e.U64(r.WitnessListVersion)
+	e.U64Slice(r.KeyHashes)
+	e.Bool(r.ReadOnly)
+	e.Bytes32(r.Payload)
+}
+
+// Encode returns the request's wire form.
+func (r *Request) Encode() []byte {
+	e := rpc.NewEncoder(64 + len(r.Payload))
+	r.Marshal(e)
+	return e.Bytes()
+}
+
+// DecodeRequest parses a request envelope.
+func DecodeRequest(b []byte) (*Request, error) {
+	d := rpc.NewDecoder(b)
+	r := &Request{
+		ID:                 rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+		Ack:                rifl.Seq(d.U64()),
+		WitnessListVersion: d.U64(),
+		KeyHashes:          d.U64Slice(),
+		ReadOnly:           d.Bool(),
+		Payload:            d.BytesCopy32(),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reply is the envelope of a master's response.
+type Reply struct {
+	Status Status
+	// Synced is set when the operation's effects were replicated to
+	// backups before this reply was sent. A client seeing Synced=true
+	// completes the operation even if witnesses rejected its record RPCs
+	// (paper §3.2.3: "the client doesn't need to send a sync RPC").
+	Synced bool
+	// Payload is the substrate result for StatusOK.
+	Payload []byte
+	// Err is the failure message for StatusError.
+	Err string
+}
+
+// Marshal appends the reply's wire form to e.
+func (r *Reply) Marshal(e *rpc.Encoder) {
+	e.U8(uint8(r.Status))
+	e.Bool(r.Synced)
+	e.Bytes32(r.Payload)
+	e.String(r.Err)
+}
+
+// Encode returns the reply's wire form.
+func (r *Reply) Encode() []byte {
+	e := rpc.NewEncoder(16 + len(r.Payload))
+	r.Marshal(e)
+	return e.Bytes()
+}
+
+// DecodeReply parses a reply envelope.
+func DecodeReply(b []byte) (*Reply, error) {
+	d := rpc.NewDecoder(b)
+	r := &Reply{
+		Status: Status(d.U8()),
+		Synced: d.Bool(),
+	}
+	r.Payload = d.BytesCopy32()
+	r.Err = d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

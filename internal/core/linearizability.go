@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements a linearizability checker for per-key register
+// histories, used by the failure-injection tests to validate CURP's §3.4
+// safety argument end to end: concurrent client histories with master
+// crashes and witness replays must remain linearizable.
+//
+// CURP provides per-object linearizability (commutativity is defined per
+// key), so histories are checked key by key against an atomic register
+// model. The checker is the classical Wing & Gong search with memoization:
+// exponential in the worst case but fast for the bounded histories tests
+// produce.
+
+// HistOp is one completed operation in a register history.
+type HistOp struct {
+	// Start and End are the operation's invocation and response times
+	// (any monotonic clock; only the order matters).
+	Start, End int64
+	// IsWrite distinguishes writes from reads.
+	IsWrite bool
+	// Value is the written value, or the value the read returned ("" for
+	// reads that found no value).
+	Value string
+}
+
+func (o HistOp) String() string {
+	kind := "r"
+	if o.IsWrite {
+		kind = "w"
+	}
+	return fmt.Sprintf("%s(%q)@[%d,%d]", kind, o.Value, o.Start, o.End)
+}
+
+// CheckLinearizable reports whether the history of one register admits a
+// linearization: a total order of all operations, consistent with their
+// real-time order (op A before op B whenever A.End < B.Start), in which
+// every read returns the value of the latest preceding write (or initial
+// if none). initial is the register's starting value ("" for "unset").
+func CheckLinearizable(initial string, history []HistOp) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		// The bitmask memoization below caps history length; tests keep
+		// per-key histories short.
+		panic("core: linearizability checker supports at most 63 ops per key")
+	}
+	ops := append([]HistOp(nil), history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	// precedes[i][j]: op i must linearize before op j (real-time order).
+	precedes := make([][]bool, n)
+	for i := range precedes {
+		precedes[i] = make([]bool, n)
+		for j := range precedes[i] {
+			precedes[i][j] = ops[i].End < ops[j].Start
+		}
+	}
+
+	// State: bitmask of linearized ops + current register value. The
+	// value is always `initial` or some write's value, so memoize on
+	// (mask, valueIndex) where valueIndex identifies the last linearized
+	// write (-1 = initial).
+	type memoKey struct {
+		mask int64
+		last int
+	}
+	seen := make(map[memoKey]bool)
+
+	var search func(mask int64, cur string, last int) bool
+	search = func(mask int64, cur string, last int) bool {
+		if mask == (int64(1)<<n)-1 {
+			return true
+		}
+		k := memoKey{mask, last}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			// i is a candidate next linearization point only if every op
+			// that must precede it is already linearized.
+			ok := true
+			for j := 0; j < n; j++ {
+				if j != i && mask&(1<<j) == 0 && precedes[j][i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if ops[i].IsWrite {
+				if search(mask|(1<<i), ops[i].Value, i) {
+					return true
+				}
+			} else if ops[i].Value == cur {
+				if search(mask|(1<<i), cur, last) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return search(0, initial, -1)
+}

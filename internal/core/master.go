@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sync"
+)
+
+// MasterConfig tunes a CURP master's sync policy.
+type MasterConfig struct {
+	// SyncBatchSize is the number of unsynced operations that triggers a
+	// background sync. The paper found 50 a good ceiling: larger batches
+	// marginally help throughput but increase witness rejections (§4.4).
+	SyncBatchSize int
+	// HotKeyWindow enables the preemptive-sync heuristic of §4.4: if two
+	// consecutive updates to the same object land within this many log
+	// positions, the master syncs right after responding, so future
+	// requests on the hot object are not blocked. 0 disables it.
+	HotKeyWindow uint64
+	// SyncEveryOp forces a sync after every operation (the "minimum batch
+	// size 1" configuration of Figure 12 / §5.3's contention mitigation).
+	SyncEveryOp bool
+}
+
+// DefaultMasterConfig returns the paper's defaults (batch 50, hot-key
+// preemptive sync enabled).
+func DefaultMasterConfig() MasterConfig {
+	return MasterConfig{SyncBatchSize: 50, HotKeyWindow: 64}
+}
+
+// MasterState is the ordering half of a CURP master (paper §3.2.3, §4.3):
+// it remembers, per key hash, the log position of the last mutation, and
+// the last log position replicated to backups. An operation commutes with
+// the unsynced suffix exactly when none of its keys were mutated after the
+// last sync. MasterState is pure bookkeeping — execution and replication
+// live in the substrate — so the identical logic drives the real cluster
+// runtime, the discrete-event simulator, and unit tests.
+//
+// Safe for concurrent use; the caller must provide atomicity ACROSS calls
+// where required (the cluster master serializes execution with its own
+// lock, mirroring the single dispatch thread of the paper's RAMCloud
+// implementation).
+type MasterState struct {
+	mu sync.Mutex
+	// lastMutation maps key hash → LSN of the key's most recent mutation.
+	// Entries at or below syncedLSN are pruned on sync.
+	lastMutation map[uint64]uint64
+	// recentMutation also maps key hash → last mutation LSN, but survives
+	// syncs: it feeds the hot-key heuristic (§4.4), which cares about
+	// update recency regardless of durability. Entries older than
+	// HotKeyWindow are pruned on sync.
+	recentMutation map[uint64]uint64
+	headLSN        uint64
+	syncedLSN      uint64
+	cfg            MasterConfig
+
+	witnessListVersion uint64
+	frozen             bool
+
+	stats MasterStats
+}
+
+// MasterStats counts protocol events for the evaluation harness.
+type MasterStats struct {
+	// SpeculativeOps completed without waiting for a sync (1 RTT path).
+	SpeculativeOps uint64
+	// ConflictSyncs were forced by a non-commutative operation.
+	ConflictSyncs uint64
+	// BatchSyncs were triggered by the unsynced-count threshold.
+	BatchSyncs uint64
+	// HotKeySyncs were triggered by the preemptive heuristic.
+	HotKeySyncs uint64
+	// ReadBlocks are reads that had to wait for a sync (§A.3).
+	ReadBlocks uint64
+}
+
+// NewMasterState creates master bookkeeping with the given config.
+func NewMasterState(cfg MasterConfig) *MasterState {
+	if cfg.SyncBatchSize <= 0 {
+		cfg.SyncBatchSize = 50
+	}
+	return &MasterState{
+		lastMutation:   make(map[uint64]uint64),
+		recentMutation: make(map[uint64]uint64),
+		cfg:            cfg,
+	}
+}
+
+// Config returns the master's sync policy.
+func (m *MasterState) Config() MasterConfig { return m.cfg }
+
+// Conflicts reports whether an operation touching keyHashes fails to
+// commute with the unsynced suffix: true when any touched key was mutated
+// after the last backup sync. Reads and writes alike must check this
+// before executing speculatively (§3.2.3: returning a value that depends
+// on an unsynced write would leak state that may not survive a crash).
+func (m *MasterState) Conflicts(keyHashes []uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, kh := range keyHashes {
+		if lsn, ok := m.lastMutation[kh]; ok && lsn > m.syncedLSN {
+			return true
+		}
+	}
+	return false
+}
+
+// NoteMutation records that an executed operation mutated keyHashes at log
+// position lsn. It returns hot=true when the preemptive-sync heuristic
+// fired (the key's previous mutation was within HotKeyWindow log
+// positions), suggesting the caller start a sync immediately after
+// replying (§4.4).
+func (m *MasterState) NoteMutation(keyHashes []uint64, lsn uint64) (hot bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lsn > m.headLSN {
+		m.headLSN = lsn
+	}
+	for _, kh := range keyHashes {
+		if prev, ok := m.recentMutation[kh]; ok && m.cfg.HotKeyWindow > 0 && lsn-prev <= m.cfg.HotKeyWindow {
+			hot = true
+		}
+		m.recentMutation[kh] = lsn
+		m.lastMutation[kh] = lsn
+	}
+	if hot {
+		m.stats.HotKeySyncs++
+	}
+	return hot
+}
+
+// NoteSync records that backups now hold every entry up to lsn, and prunes
+// bookkeeping for keys whose last mutation is now durable.
+func (m *MasterState) NoteSync(lsn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lsn <= m.syncedLSN {
+		return
+	}
+	m.syncedLSN = lsn
+	for kh, l := range m.lastMutation {
+		if l <= lsn {
+			delete(m.lastMutation, kh)
+		}
+	}
+	// Bound the hot-key history: anything older than the window can no
+	// longer make a new update "hot".
+	if m.cfg.HotKeyWindow > 0 {
+		for kh, l := range m.recentMutation {
+			if l+m.cfg.HotKeyWindow < m.headLSN {
+				delete(m.recentMutation, kh)
+			}
+		}
+	} else {
+		m.recentMutation = make(map[uint64]uint64)
+	}
+}
+
+// InitRestored initializes bookkeeping on a recovered master: head is the
+// log position restored from backups and synced is how much of that log is
+// already durable on the backups the master will sync to (0 when recovery
+// reset them for re-seeding). No keys conflict until new mutations arrive —
+// restored state predates any speculative execution by this master.
+func (m *MasterState) InitRestored(head, synced uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.headLSN = head
+	m.syncedLSN = synced
+	m.lastMutation = make(map[uint64]uint64)
+	m.recentMutation = make(map[uint64]uint64)
+}
+
+// Head returns the LSN of the most recent mutation seen.
+func (m *MasterState) Head() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.headLSN
+}
+
+// SyncedLSN returns the highest LSN known replicated to backups.
+func (m *MasterState) SyncedLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncedLSN
+}
+
+// UnsyncedCount returns the number of log entries not yet on backups.
+func (m *MasterState) UnsyncedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int(m.headLSN - m.syncedLSN)
+}
+
+// NeedsBatchSync reports whether the unsynced suffix reached the batch
+// threshold (or SyncEveryOp is set), so the caller should start a
+// background sync (§4.4).
+func (m *MasterState) NeedsBatchSync() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.headLSN == m.syncedLSN {
+		return false
+	}
+	if m.cfg.SyncEveryOp {
+		return true
+	}
+	return int(m.headLSN-m.syncedLSN) >= m.cfg.SyncBatchSize
+}
+
+// CheckWitnessList verifies a request's witness-list version. A master
+// must reject requests recorded against a decommissioned witness set, or
+// an unsynced update could "complete" while its only durable copy sits in
+// witnesses that recovery will never consult (§3.6).
+func (m *MasterState) CheckWitnessList(v uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return v == m.witnessListVersion
+}
+
+// WitnessListVersion returns the current version.
+func (m *MasterState) WitnessListVersion() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.witnessListVersion
+}
+
+// SetWitnessListVersion installs a new witness configuration version. The
+// caller must have synced to backups first (§3.6: the master syncs before
+// acknowledging the new witness list, restoring f fault tolerance).
+func (m *MasterState) SetWitnessListVersion(v uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.witnessListVersion = v
+}
+
+// Freeze stops the master from accepting operations (final step of
+// migration, §3.6, or after deposal). Frozen masters answer WrongMaster.
+func (m *MasterState) Freeze() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.frozen = true
+}
+
+// Frozen reports whether the master is frozen.
+func (m *MasterState) Frozen() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frozen
+}
+
+// CountSpeculative increments the 1-RTT completion counter.
+func (m *MasterState) CountSpeculative() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.SpeculativeOps++
+}
+
+// CountConflictSync increments the forced-sync counter.
+func (m *MasterState) CountConflictSync() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.ConflictSyncs++
+}
+
+// CountBatchSync increments the batch-sync counter.
+func (m *MasterState) CountBatchSync() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.BatchSyncs++
+}
+
+// CountReadBlock increments the blocked-read counter.
+func (m *MasterState) CountReadBlock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.ReadBlocks++
+}
+
+// Stats returns a snapshot of protocol counters.
+func (m *MasterState) Stats() MasterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// UnsyncedInvariantHolds verifies the §3.2.3 safety invariant for tests:
+// every tracked unsynced key maps to an LSN in (syncedLSN, headLSN]. It
+// returns false if bookkeeping ever drifts.
+func (m *MasterState) UnsyncedInvariantHolds() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, lsn := range m.lastMutation {
+		if lsn <= m.syncedLSN || lsn > m.headLSN {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvelopeCodec(t *testing.T) {
+	req := &Request{
+		ID:                 ridc(3, 7),
+		Ack:                5,
+		WitnessListVersion: 2,
+		KeyHashes:          []uint64{10, 20},
+		ReadOnly:           true,
+		Payload:            []byte("cmd"),
+	}
+	got, err := DecodeRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != req.ID || got.Ack != 5 || got.WitnessListVersion != 2 ||
+		len(got.KeyHashes) != 2 || !got.ReadOnly || string(got.Payload) != "cmd" {
+		t.Fatalf("request = %+v", got)
+	}
+	if _, err := DecodeRequest([]byte{1, 2}); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+
+	rep := &Reply{Status: StatusOK, Synced: true, Payload: []byte("res"), Err: ""}
+	gotR, err := DecodeReply(rep.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotR.Status != StatusOK || !gotR.Synced || string(gotR.Payload) != "res" {
+		t.Fatalf("reply = %+v", gotR)
+	}
+	errRep := &Reply{Status: StatusError, Err: "boom"}
+	gotE, _ := DecodeReply(errRep.Encode())
+	if gotE.Status != StatusError || gotE.Err != "boom" {
+		t.Fatalf("error reply = %+v", gotE)
+	}
+	if _, err := DecodeReply(nil); err == nil {
+		t.Fatal("truncated reply accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusOK: "ok", StatusStaleWitnessList: "stale-witness-list",
+		StatusIgnored: "ignored", StatusWrongMaster: "wrong-master",
+		StatusError: "error", Status(77): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", s, s.String())
+		}
+	}
+}
+
+func TestMasterConflictDetection(t *testing.T) {
+	m := NewMasterState(MasterConfig{SyncBatchSize: 50})
+	if m.Conflicts([]uint64{1}) {
+		t.Fatal("fresh master should have no conflicts")
+	}
+	m.NoteMutation([]uint64{1}, 1)
+	if !m.Conflicts([]uint64{1}) {
+		t.Fatal("unsynced key must conflict")
+	}
+	if m.Conflicts([]uint64{2}) {
+		t.Fatal("disjoint key must not conflict")
+	}
+	// A multi-key op conflicts if ANY touched key is unsynced.
+	if !m.Conflicts([]uint64{2, 3, 1}) {
+		t.Fatal("overlap must conflict")
+	}
+	m.NoteSync(1)
+	if m.Conflicts([]uint64{1}) {
+		t.Fatal("synced key must not conflict")
+	}
+}
+
+func TestMasterSyncBookkeeping(t *testing.T) {
+	m := NewMasterState(MasterConfig{SyncBatchSize: 3})
+	for i := uint64(1); i <= 5; i++ {
+		m.NoteMutation([]uint64{i}, i)
+	}
+	if m.Head() != 5 || m.SyncedLSN() != 0 || m.UnsyncedCount() != 5 {
+		t.Fatalf("head=%d synced=%d unsynced=%d", m.Head(), m.SyncedLSN(), m.UnsyncedCount())
+	}
+	if !m.NeedsBatchSync() {
+		t.Fatal("5 ≥ batch 3 should need sync")
+	}
+	m.NoteSync(4)
+	if m.UnsyncedCount() != 1 || m.NeedsBatchSync() {
+		t.Fatalf("after sync: unsynced=%d", m.UnsyncedCount())
+	}
+	// Regressing sync position is ignored.
+	m.NoteSync(2)
+	if m.SyncedLSN() != 4 {
+		t.Fatalf("synced regressed to %d", m.SyncedLSN())
+	}
+	m.NoteSync(5)
+	if m.NeedsBatchSync() || m.UnsyncedCount() != 0 {
+		t.Fatal("fully synced master should not need sync")
+	}
+	if !m.UnsyncedInvariantHolds() {
+		t.Fatal("invariant")
+	}
+}
+
+func TestSyncEveryOp(t *testing.T) {
+	m := NewMasterState(MasterConfig{SyncBatchSize: 50, SyncEveryOp: true})
+	if m.NeedsBatchSync() {
+		t.Fatal("no unsynced ops yet")
+	}
+	m.NoteMutation([]uint64{1}, 1)
+	if !m.NeedsBatchSync() {
+		t.Fatal("SyncEveryOp must request a sync after any op")
+	}
+}
+
+func TestHotKeyHeuristic(t *testing.T) {
+	m := NewMasterState(MasterConfig{SyncBatchSize: 50, HotKeyWindow: 10})
+	if hot := m.NoteMutation([]uint64{7}, 1); hot {
+		t.Fatal("first write cannot be hot")
+	}
+	m.NoteSync(1)
+	// Second write to the same key 5 LSNs later: within window → hot.
+	if hot := m.NoteMutation([]uint64{7}, 6); !hot {
+		t.Fatal("close repeat write should be hot")
+	}
+	m.NoteSync(6)
+	// Far repeat: not hot.
+	if hot := m.NoteMutation([]uint64{7}, 100); hot {
+		t.Fatal("distant repeat should not be hot")
+	}
+	if m.Stats().HotKeySyncs != 1 {
+		t.Fatalf("hot syncs = %d", m.Stats().HotKeySyncs)
+	}
+	// Disabled window never fires.
+	m2 := NewMasterState(MasterConfig{SyncBatchSize: 50})
+	m2.NoteMutation([]uint64{7}, 1)
+	if hot := m2.NoteMutation([]uint64{7}, 2); hot {
+		t.Fatal("disabled heuristic fired")
+	}
+}
+
+func TestWitnessListVersion(t *testing.T) {
+	m := NewMasterState(DefaultMasterConfig())
+	if !m.CheckWitnessList(0) || m.CheckWitnessList(1) {
+		t.Fatal("initial version should be 0")
+	}
+	m.SetWitnessListVersion(3)
+	if m.WitnessListVersion() != 3 || !m.CheckWitnessList(3) || m.CheckWitnessList(0) {
+		t.Fatal("version update broken")
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	m := NewMasterState(DefaultMasterConfig())
+	if m.Frozen() {
+		t.Fatal("fresh master frozen")
+	}
+	m.Freeze()
+	if !m.Frozen() {
+		t.Fatal("freeze ignored")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := NewMasterState(DefaultMasterConfig())
+	m.CountSpeculative()
+	m.CountSpeculative()
+	m.CountConflictSync()
+	m.CountBatchSync()
+	m.CountReadBlock()
+	st := m.Stats()
+	if st.SpeculativeOps != 2 || st.ConflictSyncs != 1 || st.BatchSyncs != 1 || st.ReadBlocks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	m := NewMasterState(MasterConfig{})
+	if m.Config().SyncBatchSize != 50 {
+		t.Fatalf("batch = %d", m.Config().SyncBatchSize)
+	}
+	if DefaultMasterConfig().HotKeyWindow == 0 {
+		t.Fatal("default hot-key window should be enabled")
+	}
+}
+
+func TestUnsyncedSuffixInvariantProperty(t *testing.T) {
+	// Paper §3.2.3 invariant: if a master only executes operations that
+	// pass Conflicts() == false speculatively, the unsynced suffix is
+	// always mutually commutative — i.e. no two unsynced mutations share a
+	// key. We model the master loop and verify after every step.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMasterState(MasterConfig{SyncBatchSize: 10})
+		lsn := uint64(0)
+		unsyncedKeys := map[uint64]int{} // key → count of unsynced mutations
+		for i := 0; i < 400; i++ {
+			switch rng.Intn(5) {
+			case 0: // sync completes
+				m.NoteSync(lsn)
+				unsyncedKeys = map[uint64]int{}
+			default: // op arrives
+				keys := []uint64{uint64(rng.Intn(20))}
+				if rng.Intn(4) == 0 {
+					k2 := uint64(rng.Intn(20))
+					if k2 != keys[0] { // one op touches distinct objects
+						keys = append(keys, k2)
+					}
+				}
+				if m.Conflicts(keys) {
+					// Master would sync before executing: model that.
+					m.NoteSync(lsn)
+					unsyncedKeys = map[uint64]int{}
+				}
+				lsn++
+				m.NoteMutation(keys, lsn)
+				for _, k := range keys {
+					unsyncedKeys[k]++
+					if unsyncedKeys[k] > 1 {
+						return false // two unsynced mutations share a key
+					}
+				}
+			}
+			if !m.UnsyncedInvariantHolds() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConflictsCheck(b *testing.B) {
+	m := NewMasterState(DefaultMasterConfig())
+	for i := uint64(1); i <= 50; i++ {
+		m.NoteMutation([]uint64{i}, i)
+	}
+	keys := []uint64{1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Conflicts(keys)
+	}
+}

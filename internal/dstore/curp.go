@@ -1,0 +1,290 @@
+package dstore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"curp/internal/core"
+	"curp/internal/rifl"
+	"curp/internal/witness"
+)
+
+// Engine is a CURP-enabled data-structure store server — the paper's
+// modified Redis (§5.4): commands execute immediately and append to the
+// AOF, but the fsync happens off the critical path; durability in the
+// window before the fsync comes from client-recorded witnesses. The AOF
+// plays the role backups play in the KV cluster: "syncing" means fsyncing
+// the log (the paper: "In this experiment the log data is not replicated,
+// but the same mechanism could be used to replicate the log data as
+// well").
+type Engine struct {
+	execMu  sync.Mutex
+	store   *Store
+	aof     *AOF
+	tracker *rifl.Tracker
+	state   *core.MasterState
+	id      uint64
+
+	syncMu     sync.Mutex
+	syncCond   *sync.Cond
+	syncActive bool
+
+	witnesses []*witness.Witness
+}
+
+// NewEngine builds a CURP data-structure engine over an AOF. cfg tunes the
+// sync (fsync) batching policy.
+func NewEngine(id uint64, aof *AOF, cfg core.MasterConfig) *Engine {
+	e := &Engine{
+		store:   NewStore(),
+		aof:     aof,
+		tracker: rifl.NewTracker(),
+		state:   core.NewMasterState(cfg),
+		id:      id,
+	}
+	e.syncCond = sync.NewCond(&e.syncMu)
+	return e
+}
+
+// AttachWitnesses registers the engine's witnesses (co-hosted instances;
+// in the paper they are separate Redis servers reached over TCP). They
+// receive gc RPC equivalents after each fsync.
+func (e *Engine) AttachWitnesses(ws []*witness.Witness) {
+	e.witnesses = ws
+	e.state.SetWitnessListVersion(1)
+}
+
+// Store exposes the underlying store (tests).
+func (e *Engine) Store() *Store { return e.store }
+
+// State exposes protocol counters.
+func (e *Engine) State() *core.MasterState { return e.state }
+
+// ID returns the engine's master ID.
+func (e *Engine) ID() uint64 { return e.id }
+
+// lsn tracks executed mutations; the AOF append index is the log position.
+func (e *Engine) head() uint64 { return e.aof.Appended() }
+
+// Update implements core.MasterAPI: execute a mutating command, append it
+// to the AOF, and reply speculatively unless it conflicts with an
+// un-fsynced command on the same key.
+func (e *Engine) Update(ctx context.Context, req *core.Request) (*core.Reply, error) {
+	if !e.state.CheckWitnessList(req.WitnessListVersion) {
+		return &core.Reply{Status: core.StatusStaleWitnessList}, nil
+	}
+	e.execMu.Lock()
+	outcome, saved := e.tracker.Begin(req.ID, req.Ack)
+	switch outcome {
+	case rifl.Completed:
+		conflict := e.state.Conflicts(req.KeyHashes)
+		e.execMu.Unlock()
+		if conflict {
+			if err := e.syncAndWait(e.head()); err != nil {
+				return &core.Reply{Status: core.StatusError, Err: err.Error()}, nil
+			}
+		}
+		return &core.Reply{Status: core.StatusOK, Synced: true, Payload: saved}, nil
+	case rifl.Stale, rifl.Expired:
+		e.execMu.Unlock()
+		return &core.Reply{Status: core.StatusIgnored}, nil
+	}
+	cmd, err := DecodeCommand(req.Payload)
+	if err != nil {
+		e.execMu.Unlock()
+		return nil, err
+	}
+	conflict := e.state.Conflicts(req.KeyHashes)
+	res, err := e.store.Apply(cmd)
+	if err != nil {
+		e.execMu.Unlock()
+		return &core.Reply{Status: core.StatusError, Err: err.Error()}, nil
+	}
+	if err := e.aof.Append(cmd, req.ID); err != nil {
+		e.execMu.Unlock()
+		return &core.Reply{Status: core.StatusError, Err: fmt.Sprintf("aof: %v", err)}, nil
+	}
+	lsn := e.aof.Appended()
+	hot := e.state.NoteMutation(req.KeyHashes, lsn)
+	e.tracker.Record(req.ID, res.Encode())
+	e.execMu.Unlock()
+
+	if conflict {
+		e.state.CountConflictSync()
+		if err := e.syncAndWait(lsn); err != nil {
+			return &core.Reply{Status: core.StatusError, Err: err.Error()}, nil
+		}
+		return &core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}, nil
+	}
+	e.state.CountSpeculative()
+	if hot || e.state.NeedsBatchSync() {
+		if e.state.NeedsBatchSync() {
+			e.state.CountBatchSync()
+		}
+		go e.syncAndWait(e.head())
+	}
+	return &core.Reply{Status: core.StatusOK, Synced: false, Payload: res.Encode()}, nil
+}
+
+// Read implements core.MasterAPI: linearizable reads, fsyncing first when
+// the key has un-fsynced updates.
+func (e *Engine) Read(ctx context.Context, req *core.Request) (*core.Reply, error) {
+	cmd, err := DecodeCommand(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if !cmd.IsReadOnly() {
+		return &core.Reply{Status: core.StatusError, Err: "dstore: Read requires a read-only command"}, nil
+	}
+	for {
+		e.execMu.Lock()
+		if !e.state.Conflicts(req.KeyHashes) {
+			res, err := e.store.Apply(cmd)
+			e.execMu.Unlock()
+			if err != nil {
+				return &core.Reply{Status: core.StatusError, Err: err.Error()}, nil
+			}
+			return &core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}, nil
+		}
+		e.execMu.Unlock()
+		e.state.CountReadBlock()
+		if err := e.syncAndWait(e.head()); err != nil {
+			return &core.Reply{Status: core.StatusError, Err: err.Error()}, nil
+		}
+	}
+}
+
+// Sync implements core.MasterAPI: the client's slow-path sync RPC.
+func (e *Engine) Sync(ctx context.Context) error {
+	return e.syncAndWait(e.head())
+}
+
+// syncAndWait drives fsyncs with the one-outstanding-sync discipline and
+// garbage-collects witnesses afterwards.
+func (e *Engine) syncAndWait(target uint64) error {
+	for {
+		if e.state.SyncedLSN() >= target {
+			return nil
+		}
+		e.syncMu.Lock()
+		if e.syncActive {
+			e.syncCond.Wait()
+			e.syncMu.Unlock()
+			continue
+		}
+		e.syncActive = true
+		e.syncMu.Unlock()
+
+		head := e.head()
+		err := e.aof.Sync()
+		if err == nil {
+			e.state.NoteSync(head)
+			e.gcWitnesses()
+		}
+
+		e.syncMu.Lock()
+		e.syncActive = false
+		e.syncCond.Broadcast()
+		e.syncMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// gcWitnesses drops everything recorded so far: after an fsync the entire
+// AOF prefix is durable, so all witness records for this engine are
+// collectable. (The paper batches gc by RPC ID list; with a single
+// fsynced log, a full flush is equivalent and simpler.)
+func (e *Engine) gcWitnesses() {
+	for _, w := range e.witnesses {
+		recs := collectAll(w)
+		if len(recs) > 0 {
+			w.GC(recs)
+		}
+	}
+}
+
+// collectAll lists (keyHash, id) pairs for every record in w.
+func collectAll(w *witness.Witness) []witness.GCKey {
+	var keys []witness.GCKey
+	for _, r := range w.SnapshotRecords() {
+		for _, kh := range r.KeyHashes {
+			keys = append(keys, witness.GCKey{KeyHash: kh, ID: r.ID})
+		}
+	}
+	return keys
+}
+
+// Recover rebuilds an engine after a crash: replay the durable AOF prefix
+// (rebuilding the RIFL completion-record table from the IDs each record
+// carries), then replay witness records with RIFL filtering duplicates,
+// then fsync — the same restore-then-replay recipe as §3.3, with the AOF
+// standing in for backups.
+func Recover(id uint64, durableLog []byte, w *witness.Witness, newAOF *AOF, cfg core.MasterConfig) (*Engine, error) {
+	store, tracker, _, err := Replay(durableLog)
+	if err != nil {
+		return nil, err
+	}
+	e := NewEngine(id, newAOF, cfg)
+	e.store = store
+	e.tracker = tracker
+	// Reconstruct the AOF so future recoveries see the restored prefix.
+	// Records are re-appended without fsync; the final Sync covers them.
+	rebuilt, err := DecodeLog(durableLog)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range rebuilt {
+		if err := e.aof.Append(rec.Cmd, rec.ID); err != nil {
+			return nil, err
+		}
+	}
+	// Witness replay, exactly-once: requests whose IDs already appear in
+	// the restored log are filtered by the tracker. The witness freezes,
+	// so clients of the old engine cannot complete updates anymore.
+	if w != nil {
+		e.tracker.SetRecoveryMode(true)
+		for _, rec := range w.GetRecoveryData() {
+			outcome, _ := e.tracker.Begin(rec.ID, 0)
+			if outcome != rifl.New {
+				continue
+			}
+			cmd, err := DecodeCommand(rec.Request)
+			if err != nil {
+				continue
+			}
+			res, err := e.store.Apply(cmd)
+			if err != nil {
+				continue
+			}
+			if err := e.aof.Append(cmd, rec.ID); err != nil {
+				return nil, err
+			}
+			e.state.NoteMutation(rec.KeyHashes, e.aof.Appended())
+			e.tracker.Record(rec.ID, res.Encode())
+		}
+		e.tracker.SetRecoveryMode(false)
+	}
+	if err := e.aof.Sync(); err != nil {
+		return nil, err
+	}
+	e.state.InitRestored(e.aof.Appended(), e.aof.Appended())
+	return e, nil
+}
+
+// WitnessAdapter adapts an in-process witness.Witness to core.WitnessAPI,
+// standing in for the separate witness servers of the paper's Redis
+// deployment.
+type WitnessAdapter struct{ W *witness.Witness }
+
+// Record implements core.WitnessAPI.
+func (a WitnessAdapter) Record(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) (witness.RecordResult, error) {
+	return a.W.Record(masterID, keyHashes, id, request), nil
+}
+
+// Commutes implements core.WitnessAPI.
+func (a WitnessAdapter) Commutes(ctx context.Context, keyHashes []uint64) (bool, error) {
+	return a.W.Commutes(keyHashes), nil
+}

@@ -1,0 +1,386 @@
+// Package dstore is the Redis-like storage substrate of the paper's §5.4
+// evaluation: an in-memory data-structure store (strings, hashes, counters,
+// lists, sets) whose only durability mechanism is an append-only file (AOF)
+// of commands, optionally fsynced before replying.
+//
+// The paper's experiment turns this "fast cache with a 10–100× penalty for
+// durability" into a durable, consistent store at cache speed by recording
+// commands in CURP witnesses and moving the AOF fsync off the critical
+// path. This package supplies the store, the command set (SET/GET/HMSET/
+// HGET/INCR/LPUSH/RPUSH/LRANGE/SADD/SMEMBERS/DEL), the AOF with pluggable
+// fsync policy, and a CURP-wrapped server; internal/sim models the
+// performance figures.
+package dstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"curp/internal/rpc"
+	"curp/internal/witness"
+)
+
+// Op enumerates the store's commands.
+type Op uint8
+
+// Supported commands. GET, HGET, LRANGE, and SMEMBERS are read-only.
+const (
+	OpSet Op = iota
+	OpGet
+	OpDel
+	OpHMSet
+	OpHGet
+	OpIncr
+	OpLPush
+	OpRPush
+	OpLRange
+	OpSAdd
+	OpSMembers
+)
+
+// String names the command like the Redis wire protocol does.
+func (o Op) String() string {
+	switch o {
+	case OpSet:
+		return "SET"
+	case OpGet:
+		return "GET"
+	case OpDel:
+		return "DEL"
+	case OpHMSet:
+		return "HMSET"
+	case OpHGet:
+		return "HGET"
+	case OpIncr:
+		return "INCR"
+	case OpLPush:
+		return "LPUSH"
+	case OpRPush:
+		return "RPUSH"
+	case OpLRange:
+		return "LRANGE"
+	case OpSAdd:
+		return "SADD"
+	case OpSMembers:
+		return "SMEMBERS"
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Command is one client command. Every data structure lives under a single
+// key, so two commands commute exactly when their keys differ (§5.5: "since
+// each data structure is assigned to a specific key, CURP can execute many
+// update operations on different keys without blocking on syncs").
+type Command struct {
+	Op  Op
+	Key []byte
+	// Field is the hash field for HMSET/HGET.
+	Field []byte
+	// Value is the payload for SET/HMSET/LPUSH/RPUSH/SADD.
+	Value []byte
+	// Delta is the INCR amount.
+	Delta int64
+	// Start/Stop bound LRANGE (inclusive, negative = from tail).
+	Start, Stop int64
+}
+
+// IsReadOnly reports whether the command cannot modify state.
+func (c *Command) IsReadOnly() bool {
+	switch c.Op {
+	case OpGet, OpHGet, OpLRange, OpSMembers:
+		return true
+	}
+	return false
+}
+
+// KeyHashes returns the commutativity footprint: the single key's hash.
+func (c *Command) KeyHashes() []uint64 {
+	return []uint64{witness.KeyHash(c.Key)}
+}
+
+// Marshal appends the command's wire form to e.
+func (c *Command) Marshal(e *rpc.Encoder) {
+	e.U8(uint8(c.Op))
+	e.Bytes32(c.Key)
+	e.Bytes32(c.Field)
+	e.Bytes32(c.Value)
+	e.I64(c.Delta)
+	e.I64(c.Start)
+	e.I64(c.Stop)
+}
+
+// Encode returns the command's wire form.
+func (c *Command) Encode() []byte {
+	e := rpc.NewEncoder(32 + len(c.Key) + len(c.Value))
+	c.Marshal(e)
+	return e.Bytes()
+}
+
+// DecodeCommand parses a command.
+func DecodeCommand(b []byte) (*Command, error) {
+	d := rpc.NewDecoder(b)
+	c := &Command{
+		Op:    Op(d.U8()),
+		Key:   d.BytesCopy32(),
+		Field: d.BytesCopy32(),
+		Value: d.BytesCopy32(),
+		Delta: d.I64(),
+		Start: d.I64(),
+		Stop:  d.I64(),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Result is a command's outcome.
+type Result struct {
+	// Found reports whether the key (or hash field) existed for reads.
+	Found bool
+	// Value holds GET/HGET results and the post-INCR counter value.
+	Value []byte
+	// Values holds LRANGE and SMEMBERS results.
+	Values [][]byte
+	// N is the new length for LPUSH/RPUSH, the number added for SADD, and
+	// the number removed for DEL.
+	N int64
+}
+
+// Marshal appends the result's wire form to e.
+func (r *Result) Marshal(e *rpc.Encoder) {
+	e.Bool(r.Found)
+	e.Bytes32(r.Value)
+	e.U32(uint32(len(r.Values)))
+	for _, v := range r.Values {
+		e.Bytes32(v)
+	}
+	e.I64(r.N)
+}
+
+// Encode returns the result's wire form.
+func (r *Result) Encode() []byte {
+	e := rpc.NewEncoder(16 + len(r.Value))
+	r.Marshal(e)
+	return e.Bytes()
+}
+
+// DecodeResult parses a result.
+func DecodeResult(b []byte) (*Result, error) {
+	d := rpc.NewDecoder(b)
+	r := &Result{Found: d.Bool(), Value: d.BytesCopy32()}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Values = append(r.Values, d.BytesCopy32())
+	}
+	r.N = d.I64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ErrWrongType reports a command against a key holding another type, the
+// Redis WRONGTYPE error.
+var ErrWrongType = errors.New("dstore: operation against a key holding the wrong kind of value")
+
+// value is one keyed data structure.
+type value struct {
+	str  []byte
+	hash map[string][]byte
+	list [][]byte
+	set  map[string]struct{}
+	kind byte // 's' string, 'h' hash, 'l' list, 'S' set, 0 unset
+}
+
+// Store is the in-memory data-structure store. Safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]*value
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{data: make(map[string]*value)}
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+func (s *Store) val(key []byte, kind byte) (*value, error) {
+	v := s.data[string(key)]
+	if v == nil {
+		v = &value{kind: kind}
+		switch kind {
+		case 'h':
+			v.hash = make(map[string][]byte)
+		case 'S':
+			v.set = make(map[string]struct{})
+		}
+		s.data[string(key)] = v
+		return v, nil
+	}
+	if v.kind != kind {
+		return nil, ErrWrongType
+	}
+	return v, nil
+}
+
+// Apply executes cmd and returns its result.
+func (s *Store) Apply(cmd *Command) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch cmd.Op {
+	case OpSet:
+		v, err := s.val(cmd.Key, 's')
+		if err != nil {
+			return nil, err
+		}
+		v.str = append([]byte(nil), cmd.Value...)
+		return &Result{Found: true}, nil
+
+	case OpGet:
+		v := s.data[string(cmd.Key)]
+		if v == nil {
+			return &Result{}, nil
+		}
+		if v.kind != 's' {
+			return nil, ErrWrongType
+		}
+		return &Result{Found: true, Value: append([]byte(nil), v.str...)}, nil
+
+	case OpDel:
+		if _, ok := s.data[string(cmd.Key)]; ok {
+			delete(s.data, string(cmd.Key))
+			return &Result{Found: true, N: 1}, nil
+		}
+		return &Result{}, nil
+
+	case OpHMSet:
+		v, err := s.val(cmd.Key, 'h')
+		if err != nil {
+			return nil, err
+		}
+		v.hash[string(cmd.Field)] = append([]byte(nil), cmd.Value...)
+		return &Result{Found: true}, nil
+
+	case OpHGet:
+		v := s.data[string(cmd.Key)]
+		if v == nil {
+			return &Result{}, nil
+		}
+		if v.kind != 'h' {
+			return nil, ErrWrongType
+		}
+		f, ok := v.hash[string(cmd.Field)]
+		if !ok {
+			return &Result{}, nil
+		}
+		return &Result{Found: true, Value: append([]byte(nil), f...)}, nil
+
+	case OpIncr:
+		v, err := s.val(cmd.Key, 's')
+		if err != nil {
+			return nil, err
+		}
+		var cur int64
+		if len(v.str) > 0 {
+			cur, err = strconv.ParseInt(string(v.str), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dstore: value is not an integer")
+			}
+		}
+		cur += cmd.Delta
+		v.str = []byte(strconv.FormatInt(cur, 10))
+		return &Result{Found: true, Value: append([]byte(nil), v.str...)}, nil
+
+	case OpLPush, OpRPush:
+		v, err := s.val(cmd.Key, 'l')
+		if err != nil {
+			return nil, err
+		}
+		item := append([]byte(nil), cmd.Value...)
+		if cmd.Op == OpLPush {
+			v.list = append([][]byte{item}, v.list...)
+		} else {
+			v.list = append(v.list, item)
+		}
+		return &Result{Found: true, N: int64(len(v.list))}, nil
+
+	case OpLRange:
+		v := s.data[string(cmd.Key)]
+		if v == nil {
+			return &Result{}, nil
+		}
+		if v.kind != 'l' {
+			return nil, ErrWrongType
+		}
+		start, stop := rangeBounds(cmd.Start, cmd.Stop, int64(len(v.list)))
+		res := &Result{Found: true}
+		for i := start; i <= stop; i++ {
+			res.Values = append(res.Values, append([]byte(nil), v.list[i]...))
+		}
+		return res, nil
+
+	case OpSAdd:
+		v, err := s.val(cmd.Key, 'S')
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := v.set[string(cmd.Value)]; dup {
+			return &Result{Found: true}, nil
+		}
+		v.set[string(cmd.Value)] = struct{}{}
+		return &Result{Found: true, N: 1}, nil
+
+	case OpSMembers:
+		v := s.data[string(cmd.Key)]
+		if v == nil {
+			return &Result{}, nil
+		}
+		if v.kind != 'S' {
+			return nil, ErrWrongType
+		}
+		res := &Result{Found: true}
+		members := make([]string, 0, len(v.set))
+		for m := range v.set {
+			members = append(members, m)
+		}
+		sort.Strings(members) // deterministic order for replay equality
+		for _, m := range members {
+			res.Values = append(res.Values, []byte(m))
+		}
+		return res, nil
+
+	default:
+		return nil, fmt.Errorf("dstore: unknown op %v", cmd.Op)
+	}
+}
+
+// rangeBounds resolves Redis-style LRANGE indexes (negative = from tail)
+// into inclusive slice bounds; an empty range returns start > stop.
+func rangeBounds(start, stop, n int64) (int64, int64) {
+	if start < 0 {
+		start += n
+	}
+	if stop < 0 {
+		stop += n
+	}
+	if start < 0 {
+		start = 0
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	if start > stop || n == 0 {
+		return 1, 0
+	}
+	return start, stop
+}

@@ -1,0 +1,394 @@
+package dstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"curp/internal/rifl"
+)
+
+func apply(t *testing.T, s *Store, cmd *Command) *Result {
+	t.Helper()
+	res, err := s.Apply(cmd)
+	if err != nil {
+		t.Fatalf("%v: %v", cmd.Op, err)
+	}
+	return res
+}
+
+func TestSetGetDel(t *testing.T) {
+	s := NewStore()
+	apply(t, s, &Command{Op: OpSet, Key: []byte("k"), Value: []byte("v")})
+	res := apply(t, s, &Command{Op: OpGet, Key: []byte("k")})
+	if !res.Found || string(res.Value) != "v" {
+		t.Fatalf("get = %+v", res)
+	}
+	res = apply(t, s, &Command{Op: OpDel, Key: []byte("k")})
+	if !res.Found || res.N != 1 {
+		t.Fatalf("del = %+v", res)
+	}
+	res = apply(t, s, &Command{Op: OpGet, Key: []byte("k")})
+	if res.Found {
+		t.Fatal("deleted key visible")
+	}
+	res = apply(t, s, &Command{Op: OpDel, Key: []byte("k")})
+	if res.Found || res.N != 0 {
+		t.Fatalf("double del = %+v", res)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestHashOps(t *testing.T) {
+	s := NewStore()
+	apply(t, s, &Command{Op: OpHMSet, Key: []byte("h"), Field: []byte("f1"), Value: []byte("v1")})
+	apply(t, s, &Command{Op: OpHMSet, Key: []byte("h"), Field: []byte("f2"), Value: []byte("v2")})
+	res := apply(t, s, &Command{Op: OpHGet, Key: []byte("h"), Field: []byte("f1")})
+	if !res.Found || string(res.Value) != "v1" {
+		t.Fatalf("hget = %+v", res)
+	}
+	res = apply(t, s, &Command{Op: OpHGet, Key: []byte("h"), Field: []byte("missing")})
+	if res.Found {
+		t.Fatal("missing field found")
+	}
+	res = apply(t, s, &Command{Op: OpHGet, Key: []byte("nohash"), Field: []byte("f")})
+	if res.Found {
+		t.Fatal("missing hash found")
+	}
+}
+
+func TestIncr(t *testing.T) {
+	s := NewStore()
+	res := apply(t, s, &Command{Op: OpIncr, Key: []byte("c"), Delta: 5})
+	if string(res.Value) != "5" {
+		t.Fatalf("incr = %q", res.Value)
+	}
+	res = apply(t, s, &Command{Op: OpIncr, Key: []byte("c"), Delta: -7})
+	if string(res.Value) != "-2" {
+		t.Fatalf("incr = %q", res.Value)
+	}
+	apply(t, s, &Command{Op: OpSet, Key: []byte("s"), Value: []byte("abc")})
+	if _, err := s.Apply(&Command{Op: OpIncr, Key: []byte("s"), Delta: 1}); err == nil {
+		t.Fatal("incr of non-integer should fail")
+	}
+}
+
+func TestListOps(t *testing.T) {
+	s := NewStore()
+	apply(t, s, &Command{Op: OpRPush, Key: []byte("l"), Value: []byte("b")})
+	apply(t, s, &Command{Op: OpRPush, Key: []byte("l"), Value: []byte("c")})
+	res := apply(t, s, &Command{Op: OpLPush, Key: []byte("l"), Value: []byte("a")})
+	if res.N != 3 {
+		t.Fatalf("len = %d", res.N)
+	}
+	res = apply(t, s, &Command{Op: OpLRange, Key: []byte("l"), Start: 0, Stop: -1})
+	if len(res.Values) != 3 || string(res.Values[0]) != "a" || string(res.Values[2]) != "c" {
+		t.Fatalf("lrange = %q", res.Values)
+	}
+	res = apply(t, s, &Command{Op: OpLRange, Key: []byte("l"), Start: 1, Stop: 1})
+	if len(res.Values) != 1 || string(res.Values[0]) != "b" {
+		t.Fatalf("lrange[1:1] = %q", res.Values)
+	}
+	res = apply(t, s, &Command{Op: OpLRange, Key: []byte("l"), Start: -2, Stop: -1})
+	if len(res.Values) != 2 || string(res.Values[0]) != "b" {
+		t.Fatalf("lrange[-2:-1] = %q", res.Values)
+	}
+	res = apply(t, s, &Command{Op: OpLRange, Key: []byte("l"), Start: 5, Stop: 9})
+	if len(res.Values) != 0 {
+		t.Fatalf("empty range = %q", res.Values)
+	}
+	res = apply(t, s, &Command{Op: OpLRange, Key: []byte("nolist")})
+	if res.Found {
+		t.Fatal("missing list found")
+	}
+}
+
+func TestSetDataType(t *testing.T) {
+	s := NewStore()
+	r1 := apply(t, s, &Command{Op: OpSAdd, Key: []byte("s"), Value: []byte("x")})
+	r2 := apply(t, s, &Command{Op: OpSAdd, Key: []byte("s"), Value: []byte("x")})
+	apply(t, s, &Command{Op: OpSAdd, Key: []byte("s"), Value: []byte("a")})
+	if r1.N != 1 || r2.N != 0 {
+		t.Fatalf("sadd = %d %d", r1.N, r2.N)
+	}
+	res := apply(t, s, &Command{Op: OpSMembers, Key: []byte("s")})
+	if len(res.Values) != 2 || string(res.Values[0]) != "a" || string(res.Values[1]) != "x" {
+		t.Fatalf("smembers = %q (must be sorted)", res.Values)
+	}
+}
+
+func TestWrongTypeErrors(t *testing.T) {
+	s := NewStore()
+	apply(t, s, &Command{Op: OpSet, Key: []byte("k"), Value: []byte("v")})
+	for _, cmd := range []*Command{
+		{Op: OpHMSet, Key: []byte("k"), Field: []byte("f"), Value: []byte("v")},
+		{Op: OpHGet, Key: []byte("k"), Field: []byte("f")},
+		{Op: OpLPush, Key: []byte("k"), Value: []byte("v")},
+		{Op: OpLRange, Key: []byte("k")},
+		{Op: OpSAdd, Key: []byte("k"), Value: []byte("v")},
+		{Op: OpSMembers, Key: []byte("k")},
+	} {
+		if _, err := s.Apply(cmd); !errors.Is(err, ErrWrongType) {
+			t.Fatalf("%v on string key: err = %v", cmd.Op, err)
+		}
+	}
+	if _, err := s.Apply(&Command{Op: Op(99)}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestCommandReadOnlyAndHashes(t *testing.T) {
+	ro := []*Command{{Op: OpGet}, {Op: OpHGet}, {Op: OpLRange}, {Op: OpSMembers}}
+	rw := []*Command{{Op: OpSet}, {Op: OpDel}, {Op: OpHMSet}, {Op: OpIncr}, {Op: OpLPush}, {Op: OpRPush}, {Op: OpSAdd}}
+	for _, c := range ro {
+		if !c.IsReadOnly() {
+			t.Fatalf("%v should be read-only", c.Op)
+		}
+	}
+	for _, c := range rw {
+		if c.IsReadOnly() {
+			t.Fatalf("%v should be a write", c.Op)
+		}
+	}
+	a := &Command{Op: OpSet, Key: []byte("a")}
+	b := &Command{Op: OpSet, Key: []byte("b")}
+	if a.KeyHashes()[0] == b.KeyHashes()[0] {
+		t.Fatal("different keys same hash")
+	}
+}
+
+func TestCommandCodec(t *testing.T) {
+	c := &Command{Op: OpLRange, Key: []byte("k"), Field: []byte("f"), Value: []byte("v"), Delta: -3, Start: -2, Stop: 9}
+	got, err := DecodeCommand(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != c.Op || !bytes.Equal(got.Key, c.Key) || !bytes.Equal(got.Field, c.Field) ||
+		!bytes.Equal(got.Value, c.Value) || got.Delta != -3 || got.Start != -2 || got.Stop != 9 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := DecodeCommand([]byte{1}); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestResultCodec(t *testing.T) {
+	r := &Result{Found: true, Value: []byte("v"), Values: [][]byte{[]byte("a"), []byte("b")}, N: 7}
+	got, err := DecodeResult(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || string(got.Value) != "v" || len(got.Values) != 2 || got.N != 7 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := DecodeResult(nil); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{OpSet: "SET", OpGet: "GET", OpDel: "DEL", OpHMSet: "HMSET",
+		OpHGet: "HGET", OpIncr: "INCR", OpLPush: "LPUSH", OpRPush: "RPUSH",
+		OpLRange: "LRANGE", OpSAdd: "SADD", OpSMembers: "SMEMBERS", Op(42): "OP(42)"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("%d = %q", op, op.String())
+		}
+	}
+}
+
+func TestAOFAppendAndReplay(t *testing.T) {
+	dev := &MemDevice{}
+	aof := NewAOF(dev, FsyncAlways)
+	cmds := []*Command{
+		{Op: OpSet, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpHMSet, Key: []byte("h"), Field: []byte("f"), Value: []byte("2")},
+		{Op: OpIncr, Key: []byte("c"), Delta: 42},
+		{Op: OpRPush, Key: []byte("l"), Value: []byte("x")},
+		{Op: OpSAdd, Key: []byte("s"), Value: []byte("m")},
+		{Op: OpDel, Key: []byte("a")},
+	}
+	for i, c := range cmds {
+		if err := aof.Append(c, rifl.RPCID{Client: 1, Seq: rifl.Seq(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aof.Appended() != 6 || aof.Synced() != 6 {
+		t.Fatalf("appended=%d synced=%d", aof.Appended(), aof.Synced())
+	}
+	s, tracker, n, err := Replay(dev.DurableBytes())
+	if err != nil || n != 6 {
+		t.Fatalf("replay: %v n=%d", err, n)
+	}
+	// The tracker was rebuilt from the IDs in the log.
+	if tracker.Len() != 6 {
+		t.Fatalf("tracker len = %d", tracker.Len())
+	}
+	if o, _ := tracker.Begin(rifl.RPCID{Client: 1, Seq: 3}, 0); o != rifl.Completed {
+		t.Fatalf("restored id outcome = %v", o)
+	}
+	if res, _ := s.Apply(&Command{Op: OpGet, Key: []byte("a")}); res.Found {
+		t.Fatal("deleted key revived")
+	}
+	res, _ := s.Apply(&Command{Op: OpHGet, Key: []byte("h"), Field: []byte("f")})
+	if string(res.Value) != "2" {
+		t.Fatalf("h.f = %q", res.Value)
+	}
+	res, _ = s.Apply(&Command{Op: OpGet, Key: []byte("c")})
+	if string(res.Value) != "42" {
+		t.Fatalf("c = %q", res.Value)
+	}
+}
+
+func TestAOFFsyncPolicies(t *testing.T) {
+	// On-demand: appends are not durable until Sync.
+	dev := &MemDevice{}
+	aof := NewAOF(dev, FsyncOnDemand)
+	aof.Append(&Command{Op: OpSet, Key: []byte("k"), Value: []byte("v")}, rifl.RPCID{Client: 1, Seq: 1})
+	if len(dev.DurableBytes()) != 0 {
+		t.Fatal("on-demand should not fsync per append")
+	}
+	if aof.Synced() != 0 {
+		t.Fatal("synced counter should lag")
+	}
+	if err := aof.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if aof.Synced() != 1 || len(dev.DurableBytes()) == 0 {
+		t.Fatal("sync did not flush")
+	}
+	// Never: Sync is a no-op.
+	dev2 := &MemDevice{}
+	aof2 := NewAOF(dev2, FsyncNever)
+	aof2.Append(&Command{Op: OpSet, Key: []byte("k"), Value: []byte("v")}, rifl.RPCID{Client: 1, Seq: 1})
+	aof2.Sync()
+	if dev2.SyncCount != 0 {
+		t.Fatal("never policy must not fsync")
+	}
+	for p, want := range map[FsyncPolicy]string{FsyncAlways: "always", FsyncOnDemand: "on-demand", FsyncNever: "never", FsyncPolicy(9): "unknown"} {
+		if p.String() != want {
+			t.Fatalf("%d = %q", p, p)
+		}
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	dev := &MemDevice{}
+	aof := NewAOF(dev, FsyncOnDemand)
+	aof.Append(&Command{Op: OpSet, Key: []byte("a"), Value: []byte("1")}, rifl.RPCID{Client: 1, Seq: 1})
+	aof.Append(&Command{Op: OpSet, Key: []byte("b"), Value: []byte("2")}, rifl.RPCID{Client: 1, Seq: 2})
+	aof.Sync()
+	full := dev.DurableBytes()
+	// Cut mid-record: replay keeps the intact prefix.
+	s, _, n, err := Replay(full[:len(full)-3])
+	if err != nil || n != 1 {
+		t.Fatalf("torn replay: %v n=%d", err, n)
+	}
+	if res, _ := s.Apply(&Command{Op: OpGet, Key: []byte("a")}); !res.Found {
+		t.Fatal("first record lost")
+	}
+	if res, _ := s.Apply(&Command{Op: OpGet, Key: []byte("b")}); res.Found {
+		t.Fatal("torn record applied")
+	}
+}
+
+func TestAOFDeviceFailure(t *testing.T) {
+	dev := &MemDevice{FailNextOps: 1}
+	aof := NewAOF(dev, FsyncOnDemand)
+	if err := aof.Append(&Command{Op: OpSet, Key: []byte("k")}, rifl.RPCID{Client: 1, Seq: 1}); err == nil {
+		t.Fatal("write failure not surfaced")
+	}
+	if err := aof.Append(&Command{Op: OpSet, Key: []byte("k")}, rifl.RPCID{Client: 1, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	dev.FailNextOps = 1
+	if err := aof.Sync(); err == nil {
+		t.Fatal("sync failure not surfaced")
+	}
+}
+
+func TestReplayEqualsDirectProperty(t *testing.T) {
+	// Property: applying commands directly and replaying the AOF produce
+	// stores with identical observable state.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := &MemDevice{}
+		aof := NewAOF(dev, FsyncOnDemand)
+		direct := NewStore()
+		keys := []string{"a", "b", "c"}
+		for i := 0; i < 150; i++ {
+			k := []byte(keys[rng.Intn(len(keys))])
+			var cmd *Command
+			switch rng.Intn(6) {
+			case 0:
+				cmd = &Command{Op: OpSet, Key: append([]byte("s-"), k...), Value: []byte(fmt.Sprint(i))}
+			case 1:
+				cmd = &Command{Op: OpIncr, Key: append([]byte("c-"), k...), Delta: int64(rng.Intn(9) - 4)}
+			case 2:
+				cmd = &Command{Op: OpHMSet, Key: append([]byte("h-"), k...), Field: []byte{byte('a' + rng.Intn(3))}, Value: []byte(fmt.Sprint(i))}
+			case 3:
+				cmd = &Command{Op: OpRPush, Key: append([]byte("l-"), k...), Value: []byte(fmt.Sprint(i))}
+			case 4:
+				cmd = &Command{Op: OpSAdd, Key: append([]byte("S-"), k...), Value: []byte(fmt.Sprint(i % 7))}
+			case 5:
+				cmd = &Command{Op: OpDel, Key: append([]byte("s-"), k...)}
+			}
+			if _, err := direct.Apply(cmd); err != nil {
+				return false
+			}
+			if err := aof.Append(cmd, rifl.RPCID{Client: 1, Seq: rifl.Seq(i + 1)}); err != nil {
+				return false
+			}
+		}
+		if err := aof.Sync(); err != nil {
+			return false
+		}
+		replayed, _, _, err := Replay(dev.DurableBytes())
+		if err != nil {
+			return false
+		}
+		// Compare observable state via reads.
+		for _, k := range keys {
+			for _, prefix := range []string{"s-", "c-"} {
+				key := []byte(prefix + k)
+				a, _ := direct.Apply(&Command{Op: OpGet, Key: key})
+				b, _ := replayed.Apply(&Command{Op: OpGet, Key: key})
+				if a.Found != b.Found || !bytes.Equal(a.Value, b.Value) {
+					return false
+				}
+			}
+			la, _ := direct.Apply(&Command{Op: OpLRange, Key: []byte("l-" + k), Stop: -1})
+			lb, _ := replayed.Apply(&Command{Op: OpLRange, Key: []byte("l-" + k), Stop: -1})
+			if len(la.Values) != len(lb.Values) {
+				return false
+			}
+			sa, _ := direct.Apply(&Command{Op: OpSMembers, Key: []byte("S-" + k)})
+			sb, _ := replayed.Apply(&Command{Op: OpSMembers, Key: []byte("S-" + k)})
+			if len(sa.Values) != len(sb.Values) {
+				return false
+			}
+			ha, _ := direct.Apply(&Command{Op: OpHGet, Key: []byte("h-" + k), Field: []byte("a")})
+			hb, _ := replayed.Apply(&Command{Op: OpHGet, Key: []byte("h-" + k), Field: []byte("a")})
+			if ha.Found != hb.Found || !bytes.Equal(ha.Value, hb.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStoreSet(b *testing.B) {
+	s := NewStore()
+	val := make([]byte, 100)
+	for i := 0; i < b.N; i++ {
+		s.Apply(&Command{Op: OpSet, Key: []byte(fmt.Sprintf("key%d", i%4096)), Value: val})
+	}
+}

@@ -1,0 +1,77 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Backup is the storage half of one backup server: an ordered, contiguous
+// copy of the master's log. The paper's backups asynchronously flush to
+// disk; here durability is the process outliving the master, which is the
+// property recovery tests exercise. Safe for concurrent use.
+type Backup struct {
+	mu      sync.Mutex
+	entries []Entry
+	synced  LSN
+}
+
+// NewBackup returns an empty backup.
+func NewBackup() *Backup {
+	return &Backup{}
+}
+
+// Append stores entries, which must directly extend the current log
+// (entries[0].LSN == synced+1, contiguous). Replays of already-stored
+// prefixes are ignored, so masters can safely retry syncs.
+func (b *Backup) Append(entries []Entry) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, en := range entries {
+		switch {
+		case en.LSN <= b.synced:
+			continue // duplicate from a retried sync
+		case en.LSN == b.synced+1:
+			b.entries = append(b.entries, en)
+			b.synced = en.LSN
+		default:
+			return fmt.Errorf("kv: backup gap: entry %d after synced %d", en.LSN, b.synced)
+		}
+	}
+	return nil
+}
+
+// SyncedLSN returns the highest contiguous LSN stored.
+func (b *Backup) SyncedLSN() LSN {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.synced
+}
+
+// Entries returns a copy of the stored log, for master recovery.
+func (b *Backup) Entries() []Entry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Entry(nil), b.entries...)
+}
+
+// Reset clears the backup (used when a backup is reassigned).
+func (b *Backup) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.entries = nil
+	b.synced = 0
+}
+
+// RestoreStore materializes a fresh Store (and the data needed to rebuild
+// a RIFL tracker) from the backup's log, the first step of master recovery
+// (§3.3: "restore data from one of the backups").
+func (b *Backup) RestoreStore() (*Store, error) {
+	entries := b.Entries()
+	s := NewStore()
+	for i := range entries {
+		if err := s.ReplayEntry(&entries[i]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

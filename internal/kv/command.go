@@ -1,0 +1,216 @@
+// Package kv is the RAMCloud-like storage substrate the paper's §5.1
+// evaluation runs CURP on: an in-memory, log-structured key-value store
+// with versioned objects, a replicated operation log, and backup servers
+// that can rebuild a crashed master's state. It deliberately mirrors the
+// properties CURP relies on: every update appends a log entry carrying the
+// RIFL RPC ID and result (so completion records are durable exactly when
+// the update is, paper §3.3), and each object remembers the LSN of its last
+// update (so masters can tell synced from unsynced objects by comparing
+// against the last synced LSN, paper §4.3).
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"curp/internal/rpc"
+	"curp/internal/witness"
+)
+
+// CommandOp enumerates the store's operations.
+type CommandOp uint8
+
+// Supported operations. Writes are Put, Delete, Increment, and CondPut;
+// Get and MultiGet are read-only.
+const (
+	OpGet CommandOp = iota
+	OpPut
+	OpDelete
+	OpIncrement
+	OpCondPut // conditional write: succeeds only at the expected version
+	OpMultiPut
+	OpMultiGet
+	// OpMultiIncr atomically adds per-key deltas to several counters (one
+	// log entry, all-or-nothing); each pair's Value holds the decimal
+	// delta. It commutes only with operations touching none of its keys.
+	OpMultiIncr
+)
+
+// String names the operation.
+func (o CommandOp) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpIncrement:
+		return "increment"
+	case OpCondPut:
+		return "condput"
+	case OpMultiPut:
+		return "multiput"
+	case OpMultiGet:
+		return "multiget"
+	case OpMultiIncr:
+		return "multiincr"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// KV is one key/value pair of a multi-object command.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// IncrPair is one leg of an atomic multi-key increment.
+type IncrPair struct {
+	Key   []byte
+	Delta int64
+}
+
+// Command is one client operation on the store.
+type Command struct {
+	Op    CommandOp
+	Key   []byte
+	Value []byte
+	// Delta is the increment amount for OpIncrement.
+	Delta int64
+	// ExpectVersion is the required current version for OpCondPut.
+	ExpectVersion uint64
+	// Pairs carries the objects of OpMultiPut / the keys of OpMultiGet.
+	Pairs []KV
+}
+
+// IsReadOnly reports whether the command cannot modify state. Read-only
+// commands are not recorded in witnesses, but still participate in the
+// master's commutativity check (a read of an unsynced object forces a
+// sync, paper §3.2.3).
+func (c *Command) IsReadOnly() bool { return c.Op == OpGet || c.Op == OpMultiGet }
+
+// KeyHashes returns the 64-bit hashes of every object the command touches,
+// the unit of CURP's commutativity checks.
+func (c *Command) KeyHashes() []uint64 {
+	if len(c.Pairs) > 0 {
+		hs := make([]uint64, len(c.Pairs))
+		for i, p := range c.Pairs {
+			hs[i] = witness.KeyHash(p.Key)
+		}
+		return hs
+	}
+	return []uint64{witness.KeyHash(c.Key)}
+}
+
+// Marshal appends the command's wire form to e.
+func (c *Command) Marshal(e *rpc.Encoder) {
+	e.U8(uint8(c.Op))
+	e.Bytes32(c.Key)
+	e.Bytes32(c.Value)
+	e.I64(c.Delta)
+	e.U64(c.ExpectVersion)
+	e.U32(uint32(len(c.Pairs)))
+	for _, p := range c.Pairs {
+		e.Bytes32(p.Key)
+		e.Bytes32(p.Value)
+	}
+}
+
+// Encode returns the command's wire form.
+func (c *Command) Encode() []byte {
+	e := rpc.NewEncoder(32 + len(c.Key) + len(c.Value))
+	c.Marshal(e)
+	return e.Bytes()
+}
+
+// UnmarshalCommand decodes a command from d.
+func UnmarshalCommand(d *rpc.Decoder) (*Command, error) {
+	c := &Command{
+		Op:    CommandOp(d.U8()),
+		Key:   d.BytesCopy32(),
+		Value: d.BytesCopy32(),
+	}
+	c.Delta = d.I64()
+	c.ExpectVersion = d.U64()
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		c.Pairs = append(c.Pairs, KV{Key: d.BytesCopy32(), Value: d.BytesCopy32()})
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DecodeCommand decodes a command from its wire form.
+func DecodeCommand(b []byte) (*Command, error) {
+	return UnmarshalCommand(rpc.NewDecoder(b))
+}
+
+// Result is the outcome of executing a command.
+type Result struct {
+	// Found reports, for reads, whether the object existed; for CondPut,
+	// whether the condition held and the write was applied.
+	Found bool
+	// Value is the read value (Get) or new counter value (Increment).
+	Value []byte
+	// Version is the object's version after the operation (writes) or at
+	// the read (reads).
+	Version uint64
+	// Values holds MultiGet results, aligned with the requested keys; a
+	// nil element means the key did not exist.
+	Values [][]byte
+}
+
+// Marshal appends the result's wire form to e.
+func (r *Result) Marshal(e *rpc.Encoder) {
+	e.Bool(r.Found)
+	e.Bytes32(r.Value)
+	e.U64(r.Version)
+	e.U32(uint32(len(r.Values)))
+	for _, v := range r.Values {
+		e.Bool(v != nil)
+		e.Bytes32(v)
+	}
+}
+
+// Encode returns the result's wire form.
+func (r *Result) Encode() []byte {
+	e := rpc.NewEncoder(16 + len(r.Value))
+	r.Marshal(e)
+	return e.Bytes()
+}
+
+// UnmarshalResult decodes a result from d.
+func UnmarshalResult(d *rpc.Decoder) (*Result, error) {
+	r := &Result{
+		Found:   d.Bool(),
+		Value:   d.BytesCopy32(),
+		Version: d.U64(),
+	}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		present := d.Bool()
+		v := d.BytesCopy32()
+		if !present {
+			v = nil
+		}
+		r.Values = append(r.Values, v)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeResult decodes a result from its wire form.
+func DecodeResult(b []byte) (*Result, error) {
+	return UnmarshalResult(rpc.NewDecoder(b))
+}
+
+// ErrVersionMismatch reports a failed conditional write.
+var ErrVersionMismatch = errors.New("kv: version mismatch")
+
+// ErrNotCounter reports an increment on a non-integer value.
+var ErrNotCounter = errors.New("kv: value is not a counter")

@@ -1,0 +1,295 @@
+package kv
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"curp/internal/rifl"
+	"curp/internal/rpc"
+)
+
+// LSN is a log sequence number; entry n is the n-th update applied by the
+// master (1-based). LSN 0 means "never".
+type LSN uint64
+
+// Entry is one record of the master's operation log: the mutation itself
+// plus the RIFL identity and saved result, replicated to backups as a unit
+// so completion records are durable exactly when the update is (§3.3).
+type Entry struct {
+	LSN    LSN
+	Cmd    *Command
+	ID     rifl.RPCID
+	Result *Result
+}
+
+// Marshal appends the entry's wire form to e.
+func (en *Entry) Marshal(e *rpc.Encoder) {
+	e.U64(uint64(en.LSN))
+	e.U64(uint64(en.ID.Client))
+	e.U64(uint64(en.ID.Seq))
+	en.Cmd.Marshal(e)
+	en.Result.Marshal(e)
+}
+
+// UnmarshalEntry decodes an entry from d.
+func UnmarshalEntry(d *rpc.Decoder) (*Entry, error) {
+	en := &Entry{
+		LSN: LSN(d.U64()),
+		ID:  rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+	}
+	var err error
+	if en.Cmd, err = UnmarshalCommand(d); err != nil {
+		return nil, err
+	}
+	if en.Result, err = UnmarshalResult(d); err != nil {
+		return nil, err
+	}
+	return en, nil
+}
+
+// object is the stored state of one key.
+type object struct {
+	value   []byte
+	version uint64
+	lsn     LSN // log position of the last update to this key
+}
+
+// Store is an in-memory, log-structured key-value store: the state machine
+// a CURP master executes commands against. Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string]*object
+	log     []Entry
+	head    LSN
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string]*object)}
+}
+
+// Apply executes cmd, appending a log entry for mutations. It returns the
+// result and, for mutations, the entry's LSN (0 for pure reads and no-op
+// conditional writes). id is the RIFL identity stored in the log entry.
+func (s *Store) Apply(cmd *Command, id rifl.RPCID) (*Result, LSN, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, mutated, err := s.exec(cmd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !mutated {
+		return res, 0, nil
+	}
+	s.head++
+	entry := Entry{LSN: s.head, Cmd: cmd, ID: id, Result: res}
+	s.log = append(s.log, entry)
+	// Stamp each touched object with the entry's LSN so commutativity
+	// checks can compare it against the last synced LSN (§4.3).
+	s.stampKeys(cmd, s.head)
+	return res, s.head, nil
+}
+
+// stampKeys records lsn as the last-mutation position of every object a
+// mutating command touched. Must hold s.mu.
+func (s *Store) stampKeys(cmd *Command, lsn LSN) {
+	if len(cmd.Pairs) > 0 && (cmd.Op == OpMultiPut || cmd.Op == OpMultiIncr) {
+		for _, p := range cmd.Pairs {
+			if o := s.objects[string(p.Key)]; o != nil {
+				o.lsn = lsn
+			}
+		}
+		return
+	}
+	if o := s.objects[string(cmd.Key)]; o != nil {
+		o.lsn = lsn
+	}
+}
+
+// exec runs the command against the object table. Must hold s.mu.
+func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
+	switch cmd.Op {
+	case OpGet:
+		o := s.objects[string(cmd.Key)]
+		if o == nil || o.value == nil { // missing or tombstoned
+			var version uint64
+			if o != nil {
+				version = o.version
+			}
+			return &Result{Version: version}, false, nil
+		}
+		return &Result{Found: true, Value: append([]byte(nil), o.value...), Version: o.version}, false, nil
+
+	case OpMultiGet:
+		res := &Result{Found: true}
+		for _, p := range cmd.Pairs {
+			o := s.objects[string(p.Key)]
+			if o == nil || o.value == nil {
+				res.Values = append(res.Values, nil)
+			} else {
+				res.Values = append(res.Values, append([]byte(nil), o.value...))
+			}
+		}
+		return res, false, nil
+
+	case OpPut:
+		o := s.put(cmd.Key, cmd.Value)
+		return &Result{Found: true, Version: o.version}, true, nil
+
+	case OpMultiPut:
+		var last uint64
+		for _, p := range cmd.Pairs {
+			last = s.put(p.Key, p.Value).version
+		}
+		return &Result{Found: true, Version: last}, true, nil
+
+	case OpDelete:
+		o := s.objects[string(cmd.Key)]
+		if o == nil {
+			// Deleting a missing key is a no-op but still logged, so the
+			// delete's completion record reaches backups.
+			s.objects[string(cmd.Key)] = &object{version: 1}
+			return &Result{Found: false, Version: 1}, true, nil
+		}
+		o.value = nil
+		o.version++
+		return &Result{Found: true, Version: o.version}, true, nil
+
+	case OpIncrement:
+		o := s.objects[string(cmd.Key)]
+		var cur int64
+		if o != nil && o.value != nil {
+			v, perr := strconv.ParseInt(string(o.value), 10, 64)
+			if perr != nil {
+				return nil, false, ErrNotCounter
+			}
+			cur = v
+		}
+		cur += cmd.Delta
+		no := s.put(cmd.Key, []byte(strconv.FormatInt(cur, 10)))
+		return &Result{Found: true, Value: append([]byte(nil), no.value...), Version: no.version}, true, nil
+
+	case OpMultiIncr:
+		// Validate every leg before mutating anything: atomicity demands
+		// all-or-nothing even on type errors.
+		deltas := make([]int64, len(cmd.Pairs))
+		currents := make([]int64, len(cmd.Pairs))
+		for i, p := range cmd.Pairs {
+			d, perr := strconv.ParseInt(string(p.Value), 10, 64)
+			if perr != nil {
+				return nil, false, fmt.Errorf("kv: multiincr delta %q: %w", p.Value, ErrNotCounter)
+			}
+			deltas[i] = d
+			if o := s.objects[string(p.Key)]; o != nil && o.value != nil {
+				v, perr := strconv.ParseInt(string(o.value), 10, 64)
+				if perr != nil {
+					return nil, false, ErrNotCounter
+				}
+				currents[i] = v
+			}
+		}
+		res := &Result{Found: true}
+		for i, p := range cmd.Pairs {
+			no := s.put(p.Key, []byte(strconv.FormatInt(currents[i]+deltas[i], 10)))
+			res.Values = append(res.Values, append([]byte(nil), no.value...))
+		}
+		return res, true, nil
+
+	case OpCondPut:
+		o := s.objects[string(cmd.Key)]
+		var cur uint64
+		if o != nil {
+			cur = o.version
+		}
+		if cur != cmd.ExpectVersion {
+			// Failed condition: no mutation, reported via Found=false.
+			return &Result{Found: false, Version: cur}, false, nil
+		}
+		no := s.put(cmd.Key, cmd.Value)
+		return &Result{Found: true, Version: no.version}, true, nil
+
+	default:
+		return nil, false, fmt.Errorf("kv: unknown op %v", cmd.Op)
+	}
+}
+
+// put inserts or overwrites a key. Must hold s.mu.
+func (s *Store) put(key, value []byte) *object {
+	o := s.objects[string(key)]
+	if o == nil {
+		o = &object{}
+		s.objects[string(key)] = o
+	}
+	o.value = append([]byte(nil), value...)
+	if o.value == nil {
+		o.value = []byte{}
+	}
+	o.version++
+	return o
+}
+
+// Get reads a key outside the command path (used by tests and examples).
+func (s *Store) Get(key []byte) (value []byte, version uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o := s.objects[string(key)]
+	if o == nil || o.value == nil {
+		return nil, 0, false
+	}
+	return append([]byte(nil), o.value...), o.version, true
+}
+
+// Head returns the LSN of the most recent log entry.
+func (s *Store) Head() LSN {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head
+}
+
+// KeyLSN returns the LSN of the last update to key (0 if never updated).
+func (s *Store) KeyLSN(key []byte) LSN {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if o := s.objects[string(key)]; o != nil {
+		return o.lsn
+	}
+	return 0
+}
+
+// EntriesSince returns log entries with LSN in (after, head], i.e. the
+// suffix a backup sync must replicate.
+func (s *Store) EntriesSince(after LSN) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if after >= s.head {
+		return nil
+	}
+	// Log entries are contiguous from LSN 1 at index 0.
+	return append([]Entry(nil), s.log[after:]...)
+}
+
+// Len returns the number of live keys (including tombstones).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// ReplayEntry applies a log entry to a store being rebuilt during recovery.
+// Entries must be replayed in LSN order starting from an empty store. The
+// object table, per-key LSNs, and log head are all restored.
+func (s *Store) ReplayEntry(en *Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if en.LSN != s.head+1 {
+		return fmt.Errorf("kv: replay gap: entry %d after head %d", en.LSN, s.head)
+	}
+	if _, _, err := s.exec(en.Cmd); err != nil {
+		return err
+	}
+	s.head = en.LSN
+	s.log = append(s.log, *en)
+	s.stampKeys(en.Cmd, en.LSN)
+	return nil
+}

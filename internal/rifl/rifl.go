@@ -1,0 +1,224 @@
+// Package rifl implements RIFL-style exactly-once RPC semantics
+// (Lee et al., "Implementing linearizability at large scale and low
+// latency", SOSP '15), which CURP relies on to filter duplicate executions
+// when client requests recorded in witnesses are replayed after a master
+// crash (paper §3.3).
+//
+// Clients assign each state-mutating RPC a unique ID (client ID + sequence
+// number). Servers keep a durable completion record per executed RPC and use
+// it to detect retries, returning the saved result instead of re-executing.
+// Completion records are garbage collected two ways: clients piggyback an
+// acknowledgment ("all my RPCs below seq S are done") on later requests, and
+// a central lease server expires the records of crashed clients.
+//
+// CURP requires two modifications (paper §4.8), both implemented here:
+//
+//  1. During witness replay, requests arrive in arbitrary order, so
+//     piggybacked acknowledgments must be ignored (an ack carried by a later
+//     request must not suppress the replay of an earlier one). See
+//     Tracker.SetRecoveryMode.
+//  2. A master must sync all operations to backups before honoring a client
+//     lease expiration, so replays of the expired client's requests are not
+//     silently dropped. The Tracker surfaces this ordering through
+//     ExpireLease, which the caller invokes only after a sync.
+package rifl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ClientID uniquely identifies a client within a cluster. IDs are issued by
+// the lease server.
+type ClientID uint64
+
+// Seq is a client-local, monotonically increasing RPC sequence number.
+type Seq uint64
+
+// RPCID uniquely identifies an RPC across the cluster.
+type RPCID struct {
+	Client ClientID
+	Seq    Seq
+}
+
+// String formats the ID as "client.seq".
+func (id RPCID) String() string { return fmt.Sprintf("%d.%d", id.Client, id.Seq) }
+
+// IsZero reports whether the ID is unset.
+func (id RPCID) IsZero() bool { return id.Client == 0 && id.Seq == 0 }
+
+// Outcome is the disposition of an incoming RPC according to the
+// completion-record table.
+type Outcome int
+
+const (
+	// New: the RPC has not been seen; execute it and call Record.
+	New Outcome = iota
+	// Completed: the RPC already executed; return the saved result.
+	Completed
+	// Stale: the RPC's result was already acknowledged by the client and
+	// its completion record discarded. The request must be ignored without
+	// a result (the client cannot be waiting on it) — unless it arrives
+	// during witness replay, in which case the tracker is in recovery mode
+	// and Stale is never produced for un-acked records (acks are ignored).
+	Stale
+	// Expired: the client's lease expired and all its records were dropped;
+	// the request must be ignored.
+	Expired
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case New:
+		return "new"
+	case Completed:
+		return "completed"
+	case Stale:
+		return "stale"
+	case Expired:
+		return "expired"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Completion is one durable completion record.
+type Completion struct {
+	ID     RPCID
+	Result []byte
+}
+
+type clientState struct {
+	// firstUnacked: completion records for seq < firstUnacked have been
+	// acknowledged by the client and discarded.
+	firstUnacked Seq
+	completions  map[Seq][]byte
+}
+
+// Tracker is a server-side completion-record table. It is safe for
+// concurrent use.
+type Tracker struct {
+	mu       sync.Mutex
+	clients  map[ClientID]*clientState
+	expired  map[ClientID]bool
+	recovery bool
+}
+
+// NewTracker returns an empty completion-record table.
+func NewTracker() *Tracker {
+	return &Tracker{
+		clients: make(map[ClientID]*clientState),
+		expired: make(map[ClientID]bool),
+	}
+}
+
+// Begin processes the RIFL header of an incoming RPC: it applies the
+// piggybacked acknowledgment (unless in recovery mode) and classifies the
+// RPC. For Completed, result holds the saved result. ack is the client's
+// firstUnacked sequence number ("all my RPCs with seq < ack are done");
+// pass 0 if the request carries no acknowledgment.
+func (t *Tracker) Begin(id RPCID, ack Seq) (outcome Outcome, result []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.expired[id.Client] {
+		return Expired, nil
+	}
+	cs := t.clients[id.Client]
+	if cs == nil {
+		cs = &clientState{completions: make(map[Seq][]byte)}
+		t.clients[id.Client] = cs
+	}
+	// §4.8: acknowledgments must be ignored during recovery from witnesses,
+	// since replays arrive in arbitrary order.
+	if !t.recovery && ack > cs.firstUnacked {
+		for s := cs.firstUnacked; s < ack; s++ {
+			delete(cs.completions, s)
+		}
+		cs.firstUnacked = ack
+	}
+	if r, ok := cs.completions[id.Seq]; ok {
+		return Completed, r
+	}
+	if id.Seq < cs.firstUnacked {
+		return Stale, nil
+	}
+	return New, nil
+}
+
+// Record saves the completion record for an executed RPC. It must be called
+// after Begin returned New and the operation executed.
+func (t *Tracker) Record(id RPCID, result []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cs := t.clients[id.Client]
+	if cs == nil {
+		cs = &clientState{completions: make(map[Seq][]byte)}
+		t.clients[id.Client] = cs
+	}
+	if id.Seq < cs.firstUnacked {
+		// The record was concurrently acknowledged; nothing to keep.
+		return
+	}
+	cs.completions[id.Seq] = result
+	delete(t.expired, id.Client)
+}
+
+// SetRecoveryMode toggles witness-replay mode: while enabled, piggybacked
+// acknowledgments are ignored (paper §4.8 modification 1).
+func (t *Tracker) SetRecoveryMode(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recovery = on
+}
+
+// RecoveryMode reports whether the tracker is in witness-replay mode.
+func (t *Tracker) RecoveryMode() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recovery
+}
+
+// ExpireLease drops all completion records of a client whose lease expired.
+// CURP correctness requires the caller to have synced all operations to
+// backups before calling this (paper §4.8 modification 2); the cluster layer
+// enforces that ordering.
+func (t *Tracker) ExpireLease(c ClientID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.clients, c)
+	t.expired[c] = true
+}
+
+// Snapshot returns all live completion records, ordered arbitrarily. It is
+// used to replicate the table to backups alongside object data.
+func (t *Tracker) Snapshot() []Completion {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Completion
+	for cid, cs := range t.clients {
+		for seq, res := range cs.completions {
+			out = append(out, Completion{ID: RPCID{cid, seq}, Result: res})
+		}
+	}
+	return out
+}
+
+// Restore loads completion records into an empty tracker, used when a new
+// master rebuilds state from a backup.
+func (t *Tracker) Restore(records []Completion) {
+	for _, r := range records {
+		t.Record(r.ID, r.Result)
+	}
+}
+
+// Len returns the number of live completion records (for tests and the
+// memory-overhead experiment).
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, cs := range t.clients {
+		n += len(cs.completions)
+	}
+	return n
+}

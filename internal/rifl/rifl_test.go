@@ -1,0 +1,300 @@
+package rifl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBeginRecordCompleted(t *testing.T) {
+	tr := NewTracker()
+	id := RPCID{1, 1}
+	o, _ := tr.Begin(id, 0)
+	if o != New {
+		t.Fatalf("first Begin = %v, want New", o)
+	}
+	tr.Record(id, []byte("result"))
+	o, res := tr.Begin(id, 0)
+	if o != Completed || string(res) != "result" {
+		t.Fatalf("retry = %v/%q, want Completed/result", o, res)
+	}
+}
+
+func TestAckGarbageCollects(t *testing.T) {
+	tr := NewTracker()
+	for s := Seq(1); s <= 5; s++ {
+		tr.Begin(RPCID{1, s}, 0)
+		tr.Record(RPCID{1, s}, []byte{byte(s)})
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("len = %d, want 5", tr.Len())
+	}
+	// Client acks everything below 4 on its next request.
+	o, _ := tr.Begin(RPCID{1, 6}, 4)
+	if o != New {
+		t.Fatalf("new rpc = %v", o)
+	}
+	if tr.Len() != 2 { // seqs 4, 5 remain
+		t.Fatalf("len after ack = %d, want 2", tr.Len())
+	}
+	// A duplicate of an acked RPC is Stale: ignored without a result.
+	o, _ = tr.Begin(RPCID{1, 2}, 0)
+	if o != Stale {
+		t.Fatalf("acked duplicate = %v, want Stale", o)
+	}
+	// Un-acked duplicate still returns its result.
+	o, res := tr.Begin(RPCID{1, 5}, 0)
+	if o != Completed || res[0] != 5 {
+		t.Fatalf("unacked duplicate = %v/%v", o, res)
+	}
+}
+
+func TestAckNeverRegresses(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin(RPCID{1, 1}, 0)
+	tr.Record(RPCID{1, 1}, nil)
+	tr.Begin(RPCID{1, 9}, 5)
+	// A delayed request with an older ack must not resurrect records.
+	tr.Begin(RPCID{1, 10}, 2)
+	if o, _ := tr.Begin(RPCID{1, 1}, 0); o != Stale {
+		t.Fatalf("seq 1 after ack 5 = %v, want Stale", o)
+	}
+}
+
+func TestRecoveryModeIgnoresAcks(t *testing.T) {
+	// Paper §4.8: during witness replay, a later request's piggybacked ack
+	// must not suppress the replay of an earlier request.
+	tr := NewTracker()
+	tr.Begin(RPCID{1, 1}, 0)
+	tr.Record(RPCID{1, 1}, []byte("one"))
+	tr.SetRecoveryMode(true)
+	if !tr.RecoveryMode() {
+		t.Fatal("recovery mode not set")
+	}
+	// Replay of a later request carrying ack=2 arrives first.
+	o, _ := tr.Begin(RPCID{1, 3}, 2)
+	if o != New {
+		t.Fatalf("replayed seq 3 = %v", o)
+	}
+	tr.Record(RPCID{1, 3}, []byte("three"))
+	// Replay of seq 1 must still find its completion record.
+	o, res := tr.Begin(RPCID{1, 1}, 0)
+	if o != Completed || string(res) != "one" {
+		t.Fatalf("replayed seq 1 = %v/%q, want Completed/one", o, res)
+	}
+	tr.SetRecoveryMode(false)
+	// Back in normal mode, acks apply again.
+	tr.Begin(RPCID{1, 4}, 4)
+	if o, _ := tr.Begin(RPCID{1, 1}, 0); o != Stale {
+		t.Fatalf("after recovery, acked seq 1 = %v, want Stale", o)
+	}
+}
+
+func TestExpireLease(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin(RPCID{7, 1}, 0)
+	tr.Record(RPCID{7, 1}, []byte("x"))
+	tr.ExpireLease(7)
+	if o, _ := tr.Begin(RPCID{7, 1}, 0); o != Expired {
+		t.Fatalf("expired client = %v, want Expired", o)
+	}
+	if o, _ := tr.Begin(RPCID{7, 2}, 0); o != Expired {
+		t.Fatalf("new rpc from expired client = %v, want Expired", o)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after expiry", tr.Len())
+	}
+	// Recording for the client again (e.g. it re-registered with the same
+	// numeric ID — shouldn't happen, but must not wedge) revives it.
+	tr.Record(RPCID{7, 3}, nil)
+	if o, _ := tr.Begin(RPCID{7, 3}, 0); o != Completed {
+		t.Fatalf("revived = %v", o)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	tr := NewTracker()
+	for c := ClientID(1); c <= 3; c++ {
+		for s := Seq(1); s <= 4; s++ {
+			id := RPCID{c, s}
+			tr.Begin(id, 0)
+			tr.Record(id, []byte(id.String()))
+		}
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 12 {
+		t.Fatalf("snapshot size = %d", len(snap))
+	}
+	restored := NewTracker()
+	restored.Restore(snap)
+	for c := ClientID(1); c <= 3; c++ {
+		for s := Seq(1); s <= 4; s++ {
+			id := RPCID{c, s}
+			o, res := restored.Begin(id, 0)
+			if o != Completed || string(res) != id.String() {
+				t.Fatalf("restored %v = %v/%q", id, o, res)
+			}
+		}
+	}
+}
+
+func TestRecordAfterConcurrentAck(t *testing.T) {
+	// If the ack frontier passed the seq before Record is called (a race
+	// that can occur between Begin and Record), the record is dropped.
+	tr := NewTracker()
+	tr.Begin(RPCID{1, 1}, 0)
+	tr.Begin(RPCID{1, 5}, 3) // acks seq 1–2
+	tr.Record(RPCID{1, 1}, []byte("late"))
+	if o, _ := tr.Begin(RPCID{1, 1}, 0); o != Stale {
+		t.Fatalf("late-recorded acked rpc = %v, want Stale", o)
+	}
+}
+
+func TestTrackerConcurrency(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cid := ClientID(c + 1)
+			for s := Seq(1); s <= 200; s++ {
+				id := RPCID{cid, s}
+				if o, _ := tr.Begin(id, s/2); o == New {
+					tr.Record(id, []byte{byte(s)})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Each client acked up to 100, so ~100 records per client remain.
+	if n := tr.Len(); n < 8*99 || n > 8*101 {
+		t.Fatalf("len = %d, want ≈800", n)
+	}
+}
+
+func TestExactlyOnceProperty(t *testing.T) {
+	// Property: for any interleaving of Begin/Record/retries, an RPC whose
+	// result was recorded is executed exactly once — every subsequent Begin
+	// returns Completed (until acked) or Stale (after ack), never New.
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracker()
+		executed := map[RPCID]int{}
+		n := int(nOps)%50 + 1
+		ids := make([]RPCID, n)
+		for i := range ids {
+			ids[i] = RPCID{ClientID(rng.Intn(3) + 1), Seq(rng.Intn(10) + 1)}
+		}
+		for trial := 0; trial < 3*n; trial++ {
+			id := ids[rng.Intn(n)]
+			if o, _ := tr.Begin(id, 0); o == New {
+				executed[id]++
+				tr.Record(id, []byte("r"))
+			}
+		}
+		for id, count := range executed {
+			if count > 1 {
+				fmt.Printf("id %v executed %d times\n", id, count)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSession(t *testing.T) {
+	s := NewSession(9)
+	if s.ClientID() != 9 {
+		t.Fatalf("client = %d", s.ClientID())
+	}
+	a, b := s.NextID(), s.NextID()
+	if a.Seq != 1 || b.Seq != 2 {
+		t.Fatalf("ids = %v %v", a, b)
+	}
+	if s.Ack() != 1 {
+		t.Fatalf("ack before finish = %d", s.Ack())
+	}
+	// Finishing out of order: frontier waits for seq 1.
+	s.Finish(b)
+	if s.Ack() != 1 {
+		t.Fatalf("ack after finishing seq 2 = %d", s.Ack())
+	}
+	s.Finish(a)
+	if s.Ack() != 3 {
+		t.Fatalf("ack after finishing both = %d", s.Ack())
+	}
+	// Finishing a foreign or stale ID is a no-op.
+	s.Finish(RPCID{8, 1})
+	s.Finish(a)
+	if s.Ack() != 3 {
+		t.Fatalf("ack after no-op finishes = %d", s.Ack())
+	}
+}
+
+func TestSessionOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{New: "new", Completed: "completed", Stale: "stale", Expired: "expired", Outcome(42): "outcome(42)"} {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %q", int(o), o.String())
+		}
+	}
+	if (RPCID{}).String() != "0.0" || !(RPCID{}).IsZero() || (RPCID{1, 0}).IsZero() {
+		t.Fatal("RPCID helpers broken")
+	}
+}
+
+func TestLeaseServer(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	ls := NewLeaseServer(10*time.Second, clock)
+	a := ls.Register()
+	b := ls.Register()
+	if a == b {
+		t.Fatal("duplicate client IDs")
+	}
+	if !ls.Alive(a) || !ls.Alive(b) {
+		t.Fatal("fresh leases should be alive")
+	}
+	now = now.Add(5 * time.Second)
+	if !ls.Renew(a) {
+		t.Fatal("renew within ttl failed")
+	}
+	now = now.Add(7 * time.Second) // a renewed at t=5 → expires t=15; b expires t=10
+	if !ls.Alive(a) {
+		t.Fatal("a should still be alive at t=12")
+	}
+	if ls.Alive(b) {
+		t.Fatal("b should be expired at t=12")
+	}
+	exp := ls.Expired()
+	if len(exp) != 1 || exp[0] != b {
+		t.Fatalf("expired = %v, want [%d]", exp, b)
+	}
+	if ls.Renew(b) {
+		t.Fatal("renewing an expired lease must fail")
+	}
+	ls.Remove(b)
+	if ls.Alive(b) {
+		t.Fatal("removed lease alive")
+	}
+	// Default clock path.
+	ls2 := NewLeaseServer(time.Minute, nil)
+	if c := ls2.Register(); !ls2.Alive(c) {
+		t.Fatal("default-clock lease should be alive")
+	}
+}
+
+func BenchmarkTrackerBeginRecord(b *testing.B) {
+	tr := NewTracker()
+	for i := 0; i < b.N; i++ {
+		id := RPCID{ClientID(i%16 + 1), Seq(i + 1)}
+		tr.Begin(id, Seq(i))
+		tr.Record(id, nil)
+	}
+}

@@ -1,0 +1,133 @@
+package rifl
+
+import (
+	"sync"
+	"time"
+)
+
+// Session is the client-side half of RIFL: it assigns sequence numbers to
+// outgoing RPCs and tracks which results the application has consumed so the
+// next RPC can piggyback an acknowledgment. Safe for concurrent use.
+type Session struct {
+	mu      sync.Mutex
+	client  ClientID
+	nextSeq Seq
+	// done[s] is true once the RPC with sequence s completed and its result
+	// was delivered to the application.
+	done         map[Seq]bool
+	firstUnacked Seq
+}
+
+// NewSession creates a session for a client ID issued by the lease server.
+func NewSession(c ClientID) *Session {
+	return &Session{client: c, nextSeq: 1, firstUnacked: 1, done: make(map[Seq]bool)}
+}
+
+// ClientID returns the session's client ID.
+func (s *Session) ClientID() ClientID { return s.client }
+
+// NextID allocates the RPC ID for a new state-mutating RPC.
+func (s *Session) NextID() RPCID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := RPCID{s.client, s.nextSeq}
+	s.nextSeq++
+	return id
+}
+
+// Ack returns the acknowledgment to piggyback on an outgoing request:
+// the smallest sequence number whose result has NOT been consumed.
+func (s *Session) Ack() Seq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstUnacked
+}
+
+// Finish marks an RPC's result as consumed, advancing the acknowledgment
+// frontier past any prefix of finished RPCs.
+func (s *Session) Finish(id RPCID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id.Client != s.client || id.Seq < s.firstUnacked {
+		return
+	}
+	s.done[id.Seq] = true
+	for s.done[s.firstUnacked] {
+		delete(s.done, s.firstUnacked)
+		s.firstUnacked++
+	}
+}
+
+// LeaseServer issues client IDs and tracks client liveness through leases.
+// It is the central component RIFL assumes (usually co-hosted with the
+// cluster coordinator). Masters consult it before discarding a client's
+// completion records. Safe for concurrent use.
+type LeaseServer struct {
+	mu     sync.Mutex
+	nextID ClientID
+	ttl    time.Duration
+	now    func() time.Time
+	expiry map[ClientID]time.Time
+}
+
+// NewLeaseServer creates a lease server with the given lease TTL. now may be
+// nil, in which case time.Now is used; tests inject a fake clock.
+func NewLeaseServer(ttl time.Duration, now func() time.Time) *LeaseServer {
+	if now == nil {
+		now = time.Now
+	}
+	return &LeaseServer{nextID: 1, ttl: ttl, now: now, expiry: make(map[ClientID]time.Time)}
+}
+
+// Register issues a fresh client ID with a live lease.
+func (l *LeaseServer) Register() ClientID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := l.nextID
+	l.nextID++
+	l.expiry[id] = l.now().Add(l.ttl)
+	return id
+}
+
+// Renew extends a client's lease. It returns false if the lease already
+// expired (the client must re-register under a new ID).
+func (l *LeaseServer) Renew(c ClientID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	exp, ok := l.expiry[c]
+	if !ok || l.now().After(exp) {
+		delete(l.expiry, c)
+		return false
+	}
+	l.expiry[c] = l.now().Add(l.ttl)
+	return true
+}
+
+// Alive reports whether a client's lease is still valid.
+func (l *LeaseServer) Alive(c ClientID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	exp, ok := l.expiry[c]
+	return ok && !l.now().After(exp)
+}
+
+// Expired returns the IDs of clients whose leases have lapsed, so masters
+// can (after syncing to backups) drop their completion records.
+func (l *LeaseServer) Expired() []ClientID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []ClientID
+	for c, exp := range l.expiry {
+		if l.now().After(exp) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Remove forgets a client entirely (after its records were dropped).
+func (l *LeaseServer) Remove(c ClientID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.expiry, c)
+}

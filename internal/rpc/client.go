@@ -1,0 +1,214 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"curp/internal/transport"
+)
+
+// ServerError is an application-level error returned by a remote handler.
+type ServerError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string { return e.Message }
+
+// ErrClientClosed reports a call on a closed client.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// Client is a connection to one RPC server supporting concurrent calls.
+// Safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *frame
+	nextID  uint64
+	closed  bool
+	readErr error
+}
+
+// Dial connects to addr over the given network. from identifies the caller
+// for latency/partition modeling on in-memory networks.
+func Dial(nw transport.Network, from, addr string) (*Client, error) {
+	conn, err := nw.Dial(from, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan *frame),
+		nextID:  1,
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if f.kind != kindResponse {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[f.requestID]
+		delete(c.pending, f.requestID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	chans := c.pending
+	c.pending = make(map[uint64]chan *frame)
+	c.mu.Unlock()
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// Call sends a request and waits for its response or ctx cancellation.
+// A *ServerError is returned for handler-level failures; transport errors
+// indicate the connection is broken and the client should be re-dialed.
+func (c *Client) Call(ctx context.Context, op uint16, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: connection failed: %w", err)
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan *frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := &frame{requestID: id, kind: kindRequest, code: op, payload: payload}
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return nil, fmt.Errorf("rpc: connection failed: %w", err)
+		}
+		if f.code == StatusError {
+			return nil, &ServerError{Message: string(f.payload)}
+		}
+		return f.payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// Peer is a lazily dialed, self-healing client for a fixed address: Call
+// dials on first use and re-dials after transport failures. It is the
+// building block cluster components use to talk to each other. Safe for
+// concurrent use.
+type Peer struct {
+	nw   transport.Network
+	from string
+	addr string
+
+	mu     sync.Mutex
+	client *Client
+}
+
+// NewPeer creates a peer handle (no connection is made yet).
+func NewPeer(nw transport.Network, from, addr string) *Peer {
+	return &Peer{nw: nw, from: from, addr: addr}
+}
+
+// Addr returns the peer's address.
+func (p *Peer) Addr() string { return p.addr }
+
+func (p *Peer) get() (*Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.client != nil {
+		p.client.mu.Lock()
+		healthy := p.client.readErr == nil && !p.client.closed
+		p.client.mu.Unlock()
+		if healthy {
+			return p.client, nil
+		}
+		p.client.Close()
+		p.client = nil
+	}
+	cl, err := Dial(p.nw, p.from, p.addr)
+	if err != nil {
+		return nil, err
+	}
+	p.client = cl
+	return cl, nil
+}
+
+// Call invokes op on the peer, dialing or re-dialing as needed. Transport
+// failures are returned to the caller (no automatic retry: CURP's client
+// layer owns retry policy, since retried updates must carry RIFL IDs).
+func (p *Peer) Call(ctx context.Context, op uint16, payload []byte) ([]byte, error) {
+	cl, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	return cl.Call(ctx, op, payload)
+}
+
+// Close closes the current connection, if any.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.client != nil {
+		p.client.Close()
+		p.client = nil
+	}
+}

@@ -1,0 +1,81 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame kinds.
+const (
+	kindRequest  = 0
+	kindResponse = 1
+)
+
+// Response status codes.
+const (
+	// StatusOK: payload is the handler's reply.
+	StatusOK uint16 = 0
+	// StatusError: payload is a UTF-8 error message.
+	StatusError uint16 = 1
+)
+
+// MaxFrameSize bounds a single frame, protecting servers from corrupt or
+// hostile length prefixes.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge reports a frame exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds size limit")
+
+// frame is one wire message.
+type frame struct {
+	requestID uint64
+	kind      uint8
+	code      uint16 // opcode for requests, status for responses
+	payload   []byte
+}
+
+const frameHeaderSize = 8 + 1 + 2
+
+// writeFrame serializes f to w in a single Write call, so message-level
+// latency models in the in-memory transport see one message per frame.
+func writeFrame(w io.Writer, f *frame) error {
+	total := frameHeaderSize + len(f.payload)
+	if total > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+total)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(total))
+	binary.LittleEndian.PutUint64(buf[4:], f.requestID)
+	buf[12] = f.kind
+	binary.LittleEndian.PutUint16(buf[13:], f.code)
+	copy(buf[15:], f.payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame from r.
+func readFrame(r io.Reader) (*frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < frameHeaderSize {
+		return nil, fmt.Errorf("rpc: short frame (%d bytes)", n)
+	}
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return &frame{
+		requestID: binary.LittleEndian.Uint64(body[0:]),
+		kind:      body[8],
+		code:      binary.LittleEndian.Uint16(body[9:]),
+		payload:   body[11:],
+	}, nil
+}

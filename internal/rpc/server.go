@@ -1,0 +1,150 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Handler processes one request payload and returns a reply payload.
+// Returning an error sends a StatusError response carrying the error text.
+type Handler func(payload []byte) ([]byte, error)
+
+// Server dispatches incoming frames to opcode handlers. Each request runs
+// in its own goroutine, so slow handlers (e.g. a master waiting on a backup
+// sync) do not block other requests on the same connection — mirroring the
+// worker-thread model of the paper's RAMCloud implementation.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[uint16]Handler
+	closed   bool
+	lns      []net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[uint16]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers a handler for an opcode. It panics on duplicate
+// registration — opcode tables are static program structure.
+func (s *Server) Handle(op uint16, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[op]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for opcode %d", op))
+	}
+	s.handlers[op] = h
+}
+
+// Serve accepts connections from l until the server or listener is closed.
+// It returns after the accept loop exits; in-flight handlers may still be
+// draining (Close waits for them).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("rpc: server closed")
+	}
+	s.lns = append(s.lns, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return errors.New("rpc: server closed")
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Go runs Serve in a background goroutine.
+func (s *Server) Go(l net.Listener) {
+	go s.Serve(l)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.kind != kindRequest {
+			continue // stray frame; ignore
+		}
+		s.mu.RLock()
+		h := s.handlers[f.code]
+		closed := s.closed
+		s.mu.RUnlock()
+		if closed {
+			return
+		}
+		handlerWG.Add(1)
+		go func(f *frame) {
+			defer handlerWG.Done()
+			resp := &frame{requestID: f.requestID, kind: kindResponse}
+			if h == nil {
+				resp.code = StatusError
+				resp.payload = []byte(fmt.Sprintf("rpc: unknown opcode %d", f.code))
+			} else if out, err := h(f.payload); err != nil {
+				resp.code = StatusError
+				resp.payload = []byte(err.Error())
+			} else {
+				resp.code = StatusOK
+				resp.payload = out
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			writeFrame(conn, resp) // best effort; conn errors end the read loop
+		}(f)
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lns := s.lns
+	var conns []net.Conn
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

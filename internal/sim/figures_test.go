@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// The figure drivers are exercised with a reduced op count so `go test`
+// covers the same code paths cmd/curpbench runs at full scale, and so the
+// rendered tables always carry the rows the paper's artifacts have.
+
+func withSmallFigures(t *testing.T) {
+	t.Helper()
+	old := FigureOps
+	FigureOps = 1200
+	t.Cleanup(func() { FigureOps = old })
+}
+
+func TestTable1Driver(t *testing.T) {
+	var sb strings.Builder
+	Table1(&sb)
+	for _, want := range []string{"network one-way latency", "fsync latency", "witness record cost"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table1 missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestFig5Driver(t *testing.T) {
+	withSmallFigures(t)
+	var sb strings.Builder
+	res := Fig5(&sb)
+	if len(res) != 5 {
+		t.Fatalf("fig5 configs = %d", len(res))
+	}
+	for _, want := range []string{"Original RAMCloud (f=3)", "CURP (f=3)", "Unreplicated", "p99.9"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("fig5 missing %q", want)
+		}
+	}
+	// The headline ordering must hold even at reduced op counts.
+	if res["CURP (f=3)"].WriteLatency.Percentile(50) >= res["Original RAMCloud (f=3)"].WriteLatency.Percentile(50) {
+		t.Fatal("CURP median not below original")
+	}
+}
+
+func TestFig6Driver(t *testing.T) {
+	withSmallFigures(t)
+	var sb strings.Builder
+	series := Fig6(&sb)
+	if len(series) != 6 {
+		t.Fatalf("fig6 series = %d", len(series))
+	}
+	curp := series["CURP (f=3)"]
+	orig := series["Original RAMCloud"]
+	if len(curp) != 8 || len(orig) != 8 {
+		t.Fatalf("series lengths = %d/%d", len(curp), len(orig))
+	}
+	// At saturation (last point) CURP ≫ original.
+	if curp[len(curp)-1] < 2*orig[len(orig)-1] {
+		t.Fatalf("saturated CURP %.0f not ≫ original %.0f", curp[len(curp)-1], orig[len(orig)-1])
+	}
+}
+
+func TestFig7Driver(t *testing.T) {
+	withSmallFigures(t)
+	var sb strings.Builder
+	res := Fig7(&sb)
+	if len(res) != 12 {
+		t.Fatalf("fig7 results = %d", len(res))
+	}
+	if !strings.Contains(sb.String(), "YCSB-A") || !strings.Contains(sb.String(), "conflict%") {
+		t.Error("fig7 output missing sections")
+	}
+}
+
+func TestFig8Fig9Fig10Drivers(t *testing.T) {
+	withSmallFigures(t)
+	var sb strings.Builder
+	res8 := Fig8(&sb)
+	if len(res8) != 4 {
+		t.Fatalf("fig8 results = %d", len(res8))
+	}
+	nd := res8["Original Redis (non-durable)"].Latency.Percentile(50)
+	du := res8["Original Redis (durable)"].Latency.Percentile(50)
+	if du <= nd {
+		t.Fatal("durable median not above non-durable")
+	}
+	series9 := Fig9(&sb)
+	if len(series9) != 4 || len(series9["CURP (1 witness)"]) != 6 {
+		t.Fatalf("fig9 shape wrong: %d", len(series9))
+	}
+	Fig10(&sb)
+	if !strings.Contains(sb.String(), "HMSET") {
+		t.Error("fig10 output missing HMSET")
+	}
+}
+
+func TestFig11Fig12Fig13Drivers(t *testing.T) {
+	withSmallFigures(t)
+	var sb strings.Builder
+	res11 := Fig11(&sb)
+	if len(res11) != 5 {
+		t.Fatalf("fig11 slot counts = %d", len(res11))
+	}
+	// Associativity ordering at 4096 slots.
+	row := res11[4096]
+	if !(row[0] < row[1] && row[1] < row[2] && row[2] < row[3]) {
+		t.Fatalf("fig11 ordering violated: %v", row)
+	}
+	res12 := Fig12(&sb)
+	if len(res12) != 5 || len(res12["CURP (f=3)"]) != 7 {
+		t.Fatalf("fig12 shape wrong")
+	}
+	Fig13(&sb)
+	if !strings.Contains(sb.String(), "mean latency") {
+		t.Error("fig13 output missing")
+	}
+}
+
+func TestResourceReportDriver(t *testing.T) {
+	var sb strings.Builder
+	ResourceReport(&sb)
+	out := sb.String()
+	for _, want := range []string{"1.27M/s", "9 MB", "1.75x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resource report missing paper reference %q:\n%s", want, out)
+		}
+	}
+	// The measured amplification column should be ≈1.75.
+	if !strings.Contains(out, "1.7") {
+		t.Errorf("measured amplification not ≈1.75:\n%s", out)
+	}
+}

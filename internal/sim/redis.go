@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"time"
+
+	"curp/internal/stats"
+)
+
+// RedisMode selects the configuration of the paper's Redis experiments
+// (Figures 8, 9, 10, 13).
+type RedisMode int
+
+const (
+	// RedisNonDurable: the stock cache — no fsync before replying.
+	RedisNonDurable RedisMode = iota
+	// RedisDurable: appendfsync=always — fsync once per event-loop cycle
+	// before replying to that cycle's clients (the paper notes this
+	// native batching, §C.2).
+	RedisDurable
+	// RedisCURP: reply without fsync; durability from witness recording,
+	// fsync in the background.
+	RedisCURP
+)
+
+// String names the mode like the paper's figure legends.
+func (m RedisMode) String() string {
+	switch m {
+	case RedisNonDurable:
+		return "Original Redis (non-durable)"
+	case RedisDurable:
+		return "Original Redis (durable)"
+	case RedisCURP:
+		return "CURP"
+	}
+	return "?"
+}
+
+// RedisParams configures a Redis-style simulation. The server is an
+// event-loop: each cycle drains all pending requests, executes them,
+// optionally fsyncs once, then replies to all — exactly the structure the
+// paper describes for durable Redis (§C.2). TCP legs carry heavy-tailed
+// latency (the effect behind the 2-witness tail in Figure 8).
+type RedisParams struct {
+	Mode RedisMode
+	// Witnesses is the number of witness servers (CURP mode).
+	Witnesses int
+	// Clients is the number of closed-loop clients.
+	Clients int
+	// Ops is the total number of SETs to complete.
+	Ops int
+	// Seed makes the run deterministic.
+	Seed int64
+
+	// Cost model.
+	NetDelay   Time    // one-way TCP latency (median)
+	NetJitter  Time    // lognormal jitter scale
+	NetSigma   float64 // lognormal jitter shape (heavy Redis/TCP tail)
+	ExecCost   Time    // per-command execution cost
+	FsyncCost  Time    // fsync latency median (NVMe: 50–100µs)
+	FsyncSigma float64 // fsync latency shape
+	SyscallRT  Time    // extra client syscall cost per additional RPC
+	// CURPGCCost is extra per-op server work for witness gc bookkeeping.
+	CURPGCCost Time
+}
+
+func (p RedisParams) withDefaults() RedisParams {
+	def := func(v *Time, d Time) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&p.NetDelay, 10*time.Microsecond)
+	def(&p.ExecCost, 5*time.Microsecond)
+	def(&p.FsyncCost, 70*time.Microsecond)
+	def(&p.SyscallRT, 2500*time.Nanosecond)
+	def(&p.CURPGCCost, 1100*time.Nanosecond)
+	if p.NetJitter == 0 {
+		p.NetJitter = 1200 * time.Nanosecond
+	}
+	if p.NetSigma == 0 {
+		p.NetSigma = 1.1
+	}
+	if p.FsyncSigma == 0 {
+		p.FsyncSigma = 0.25
+	}
+	if p.Clients == 0 {
+		p.Clients = 1
+	}
+	if p.Ops == 0 {
+		p.Ops = 20000
+	}
+	if p.Mode == RedisCURP && p.Witnesses == 0 {
+		p.Witnesses = 1
+	}
+	return p
+}
+
+// RedisResult aggregates one run.
+type RedisResult struct {
+	Params              RedisParams
+	Latency             stats.Histogram
+	Elapsed             Time
+	ThroughputOpsPerSec float64
+	Fsyncs              int
+}
+
+type redisOp struct {
+	clientID int
+	start    Time
+	wReplies int
+	wDone    bool
+	sDone    bool
+}
+
+type redisSim struct {
+	sim *Sim
+	p   RedisParams
+	res *RedisResult
+
+	// Event-loop server state.
+	pending   []*redisOp
+	loopBusy  bool
+	witnesses []*Resource
+
+	completed int
+	done      bool
+	endAt     Time
+}
+
+// RunRedis executes one Redis-style simulation.
+func RunRedis(p RedisParams) *RedisResult {
+	p = p.withDefaults()
+	r := &redisSim{sim: New(p.Seed), p: p, res: &RedisResult{Params: p}}
+	for i := 0; i < p.Witnesses; i++ {
+		r.witnesses = append(r.witnesses, &Resource{})
+	}
+	for c := 0; c < p.Clients; c++ {
+		c := c
+		r.sim.After(Time(c)*200*time.Nanosecond, func() { r.startOp(c) })
+	}
+	r.sim.Run(0)
+	r.res.Elapsed = r.endAt
+	if r.endAt > 0 {
+		r.res.ThroughputOpsPerSec = float64(r.completed) / r.endAt.Seconds()
+	}
+	return r.res
+}
+
+func (r *redisSim) net() Time {
+	return r.p.NetDelay + r.sim.LogNormal(r.p.NetJitter, r.p.NetSigma)
+}
+
+func (r *redisSim) startOp(clientID int) {
+	if r.done {
+		return
+	}
+	op := &redisOp{clientID: clientID, start: r.sim.Now()}
+	// Request to the server.
+	r.sim.After(r.net(), func() { r.serverReceive(op) })
+	// Witness records in parallel (CURP): each extra RPC costs the client
+	// two syscalls (§5.4 measured ≈2.5µs each for send+recv combined).
+	if r.p.Mode == RedisCURP {
+		for i := range r.witnesses {
+			i := i
+			extra := r.p.SyscallRT * Time(i+1)
+			r.sim.After(extra+r.net(), func() {
+				t := r.witnesses[i].Acquire(r.sim.Now(), r.p.ExecCost/2)
+				r.sim.At(t, func() {
+					r.sim.After(r.net(), func() {
+						op.wReplies++
+						if op.wReplies == len(r.witnesses) {
+							op.wDone = true
+							r.clientProgress(op)
+						}
+					})
+				})
+			})
+		}
+	}
+}
+
+// serverReceive queues the request for the next event-loop cycle.
+func (r *redisSim) serverReceive(op *redisOp) {
+	r.pending = append(r.pending, op)
+	r.maybeRunLoop()
+}
+
+// maybeRunLoop models one event-loop cycle: drain the queue, execute all,
+// fsync once (durable mode), reply to all.
+func (r *redisSim) maybeRunLoop() {
+	if r.loopBusy || len(r.pending) == 0 {
+		return
+	}
+	r.loopBusy = true
+	batch := r.pending
+	r.pending = nil
+	cost := Time(len(batch)) * r.p.ExecCost
+	if r.p.Mode == RedisCURP {
+		cost += Time(len(batch)) * r.p.CURPGCCost
+	}
+	finish := func() {
+		for _, op := range batch {
+			op := op
+			r.sim.After(r.net(), func() {
+				op.sDone = true
+				r.clientProgress(op)
+			})
+		}
+		r.loopBusy = false
+		r.maybeRunLoop()
+	}
+	r.sim.After(cost, func() {
+		if r.p.Mode == RedisDurable {
+			fs := r.sim.LogNormal(r.p.FsyncCost, r.p.FsyncSigma)
+			r.res.Fsyncs++
+			r.sim.After(fs, finish)
+		} else {
+			// CURP fsyncs in the background (not on the critical path);
+			// count them for reporting.
+			if r.p.Mode == RedisCURP {
+				r.res.Fsyncs++
+			}
+			finish()
+		}
+	})
+}
+
+func (r *redisSim) clientProgress(op *redisOp) {
+	if !op.sDone {
+		return
+	}
+	if r.p.Mode == RedisCURP && !op.wDone {
+		return
+	}
+	end := r.sim.Now()
+	r.res.Latency.Record(int64(end - op.start))
+	r.completed++
+	if r.completed >= r.p.Ops {
+		if !r.done {
+			r.done = true
+			r.endAt = end
+		}
+		return
+	}
+	clientID := op.clientID
+	r.sim.At(end, func() { r.startOp(clientID) })
+}

@@ -1,0 +1,154 @@
+// Package sim is a deterministic discrete-event simulator of CURP
+// clusters, standing in for the paper's hardware testbed (80-node
+// InfiniBand RAMCloud cluster, 10GbE Redis cluster). The performance
+// artifacts of the paper — Figures 5–13 and the §5.2 resource numbers —
+// are functions of RTT counts, per-RPC CPU costs, fsync costs, and
+// queueing at the master's dispatch thread, all of which are explicit
+// parameters here. The simulator reuses the real protocol components
+// (internal/witness and internal/core) for every commutativity decision,
+// so conflict behaviour under skewed workloads (Figure 7) is produced by
+// the actual CURP logic, not a model of it.
+//
+// Every run is deterministic given its seed.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is simulated time since the run started.
+type Time = time.Duration
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the event loop. Not safe for concurrent use (event callbacks run
+// sequentially on the caller's goroutine).
+type Sim struct {
+	now Time
+	seq uint64
+	pq  eventHeap
+	rng *rand.Rand
+}
+
+// New creates a simulator with a deterministic RNG.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation RNG.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after now.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until the queue drains or simulated time exceeds
+// until (0 = no limit). It returns the number of events processed.
+func (s *Sim) Run(until Time) int {
+	n := 0
+	for len(s.pq) > 0 {
+		e := heap.Pop(&s.pq).(*event)
+		if until > 0 && e.at > until {
+			s.now = until
+			return n
+		}
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	return n
+}
+
+// LogNormal samples a lognormal jitter with the given median scale and
+// shape sigma (0 ⇒ returns scale exactly).
+func (s *Sim) LogNormal(scale Time, sigma float64) Time {
+	if sigma <= 0 || scale <= 0 {
+		return scale
+	}
+	return Time(float64(scale) * math.Exp(sigma*s.rng.NormFloat64()))
+}
+
+// Resource is a serial resource (a single thread): requests are served
+// FIFO in the order acquire is called.
+type Resource struct {
+	free Time
+	// Busy accumulates total busy time, for utilization reporting.
+	Busy Time
+}
+
+// Acquire reserves the resource for cost starting no earlier than now and
+// returns the completion time.
+func (r *Resource) Acquire(now Time, cost Time) Time {
+	start := now
+	if r.free > start {
+		start = r.free
+	}
+	r.free = start + cost
+	r.Busy += cost
+	return r.free
+}
+
+// Pool is a set of identical serial resources (a worker-thread pool).
+type Pool struct {
+	free []Time
+	Busy Time
+}
+
+// NewPool creates a pool of n workers.
+func NewPool(n int) *Pool { return &Pool{free: make([]Time, n)} }
+
+// Acquire reserves the earliest-available worker for cost and returns the
+// completion time.
+func (p *Pool) Acquire(now Time, cost Time) Time {
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
+		}
+	}
+	start := now
+	if p.free[best] > start {
+		start = p.free[best]
+	}
+	p.free[best] = start + cost
+	p.Busy += cost
+	return p.free[best]
+}

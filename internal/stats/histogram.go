@@ -1,0 +1,247 @@
+// Package stats provides the measurement plumbing used by the CURP
+// benchmark harness: log-linear latency histograms, percentile and
+// distribution extraction (CDF/CCDF), streaming summaries, and plain-text
+// table formatting for experiment output.
+//
+// The histogram design follows the HDR-histogram idea: values are bucketed
+// into power-of-two major buckets, each subdivided into a fixed number of
+// linear sub-buckets, bounding the relative quantization error while keeping
+// Record allocation-free and O(1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// subBucketBits controls histogram resolution: each power-of-two range is
+// split into 1<<subBucketBits linear sub-buckets, giving a worst-case
+// relative error of 2^-subBucketBits (≈1.6% at 6 bits).
+const subBucketBits = 6
+
+const (
+	subBucketCount = 1 << subBucketBits
+	majorBuckets   = 64 - subBucketBits
+	totalBuckets   = majorBuckets * subBucketCount
+)
+
+// Histogram is a log-linear histogram of non-negative int64 samples
+// (typically latencies in nanoseconds). The zero value is ready to use.
+// Histogram is not safe for concurrent use; merge per-goroutine histograms
+// with Merge instead.
+type Histogram struct {
+	counts [totalBuckets]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBucketCount {
+		return int(v)
+	}
+	// Highest set bit determines the major bucket; the next subBucketBits
+	// bits select the sub-bucket.
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	shift := msb - subBucketBits
+	sub := int(uint64(v)>>uint(shift)) & (subBucketCount - 1)
+	major := msb - subBucketBits + 1
+	return major*subBucketCount + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	major := i / subBucketCount
+	sub := i % subBucketCount
+	if major == 0 {
+		return int64(sub)
+	}
+	shift := major - 1
+	return (int64(subBucketCount) + int64(sub)) << uint(shift)
+}
+
+// bucketHigh returns the largest value mapping to bucket i.
+func bucketHigh(i int) int64 {
+	if i+1 >= totalBuckets {
+		return math.MaxInt64
+	}
+	return bucketLow(i+1) - 1
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// RecordN adds count identical samples.
+func (h *Histogram) RecordN(v int64, count int64) {
+	if count <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)] += count
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n += count
+	h.sum += v * count
+}
+
+// Merge adds all samples of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Reset clears all recorded samples.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean of recorded samples, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest recorded sample, or 0 if empty.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest recorded sample, or 0 if empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns an estimate of the p-th percentile (p in [0,100]).
+// The returned value is the upper bound of the bucket containing the
+// p-th sample, matching HDR-histogram semantics. Returns 0 if empty.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			hi := bucketHigh(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Median returns the 50th percentile.
+func (h *Histogram) Median() int64 { return h.Percentile(50) }
+
+// Point is one point of a distribution curve: Value is a sample magnitude
+// and Fraction is the fraction of samples related to it (≤ for CDF,
+// ≥ for CCDF).
+type Point struct {
+	Value    int64
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution: for each non-empty bucket,
+// the fraction of samples ≤ the bucket's upper bound.
+func (h *Histogram) CDF() []Point {
+	if h.n == 0 {
+		return nil
+	}
+	var pts []Point
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		v := bucketHigh(i)
+		if v > h.max {
+			v = h.max
+		}
+		pts = append(pts, Point{Value: v, Fraction: float64(cum) / float64(h.n)})
+	}
+	return pts
+}
+
+// CCDF returns the complementary cumulative distribution used by the
+// paper's latency figures: for each non-empty bucket, the fraction of
+// samples ≥ the bucket's lower bound (i.e. "y of writes took at least x").
+func (h *Histogram) CCDF() []Point {
+	if h.n == 0 {
+		return nil
+	}
+	var pts []Point
+	remaining := h.n
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		v := bucketLow(i)
+		if v < h.min {
+			v = h.min
+		}
+		pts = append(pts, Point{Value: v, Fraction: float64(remaining) / float64(h.n)})
+		remaining -= c
+	}
+	return pts
+}
+
+// String summarizes the histogram for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p90=%d p99=%d p999=%d max=%d mean=%.1f",
+		h.n, h.min, h.Percentile(50), h.Percentile(90), h.Percentile(99),
+		h.Percentile(99.9), h.max, h.Mean())
+}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// JitteredLatency is a latency model with a base one-way delay plus
+// lognormally distributed jitter, approximating datacenter fabrics whose
+// RPC latency is tight at the median but heavy at the tail. The paper's
+// Figure 8 attributes CURP's 2-witness Redis latency to exactly this kind
+// of TCP tail; Sigma controls how heavy it is. Safe for concurrent use.
+type JitteredLatency struct {
+	// Base is the deterministic one-way delay between distinct hosts.
+	Base time.Duration
+	// JitterScale is the median of the lognormal jitter term.
+	JitterScale time.Duration
+	// Sigma is the lognormal shape parameter; 0 disables jitter.
+	Sigma float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitteredLatency builds a jittered model with a deterministic seed.
+func NewJitteredLatency(base, jitterScale time.Duration, sigma float64, seed int64) *JitteredLatency {
+	return &JitteredLatency{
+		Base:        base,
+		JitterScale: jitterScale,
+		Sigma:       sigma,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Delay implements LatencyModel.
+func (j *JitteredLatency) Delay(from, to string, _ int) time.Duration {
+	if from == to {
+		return 0
+	}
+	d := j.Base
+	if j.Sigma > 0 && j.JitterScale > 0 {
+		j.mu.Lock()
+		n := j.rng.NormFloat64()
+		j.mu.Unlock()
+		d += time.Duration(float64(j.JitterScale) * math.Exp(j.Sigma*n))
+	}
+	return d
+}

@@ -1,0 +1,403 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair dials a connection and returns both ends.
+func pipePair(t *testing.T, n *MemNetwork, client, server string) (net.Conn, net.Conn) {
+	t.Helper()
+	l, err := n.Listen(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	cc, err := n.Dial(client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return cc, r.c
+}
+
+func TestMemNetRoundTrip(t *testing.T) {
+	n := NewMemNetwork(nil)
+	cc, sc := pipePair(t, n, "client", "server")
+	defer cc.Close()
+
+	msg := []byte("hello curp")
+	if _, err := cc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(sc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+	// Reply path.
+	if _, err := sc.Write([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	buf = make([]byte, 3)
+	if _, err := io.ReadFull(cc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ack" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestMemNetPartialReads(t *testing.T) {
+	n := NewMemNetwork(nil)
+	cc, sc := pipePair(t, n, "a", "b")
+	defer cc.Close()
+	cc.Write([]byte("abcdef"))
+	one := make([]byte, 2)
+	for _, want := range []string{"ab", "cd", "ef"} {
+		if _, err := io.ReadFull(sc, one); err != nil {
+			t.Fatal(err)
+		}
+		if string(one) != want {
+			t.Fatalf("got %q want %q", one, want)
+		}
+	}
+}
+
+func TestMemNetAddrs(t *testing.T) {
+	n := NewMemNetwork(nil)
+	cc, sc := pipePair(t, n, "a", "b")
+	defer cc.Close()
+	if cc.LocalAddr().String() != "a" || cc.RemoteAddr().String() != "b" {
+		t.Fatalf("client addrs: %v %v", cc.LocalAddr(), cc.RemoteAddr())
+	}
+	if sc.LocalAddr().String() != "b" || sc.RemoteAddr().String() != "a" {
+		t.Fatalf("server addrs: %v %v", sc.LocalAddr(), sc.RemoteAddr())
+	}
+	if cc.LocalAddr().Network() != "mem" {
+		t.Fatal("network name")
+	}
+}
+
+func TestMemNetLatency(t *testing.T) {
+	n := NewMemNetwork(ConstantLatency(30 * time.Millisecond))
+	cc, sc := pipePair(t, n, "a", "b")
+	defer cc.Close()
+	start := time.Now()
+	cc.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(sc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("one-way delivery took %v, want ≥30ms", el)
+	}
+}
+
+func TestMemNetFIFOUnderJitter(t *testing.T) {
+	// Even with wildly jittered latency, the stream must stay in order.
+	n := NewMemNetwork(NewJitteredLatency(0, 2*time.Millisecond, 2.0, 42))
+	cc, sc := pipePair(t, n, "a", "b")
+	defer cc.Close()
+	go func() {
+		for i := 0; i < 100; i++ {
+			cc.Write([]byte{byte(i)})
+		}
+	}()
+	buf := make([]byte, 100)
+	if _, err := io.ReadFull(sc, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != byte(i) {
+			t.Fatalf("out of order at %d: %d", i, buf[i])
+		}
+	}
+}
+
+func TestMemNetCloseSemantics(t *testing.T) {
+	n := NewMemNetwork(nil)
+	cc, sc := pipePair(t, n, "a", "b")
+	cc.Write([]byte("tail"))
+	cc.Close()
+	// Data written before close is still readable, then EOF.
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(sc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Read(buf); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+	if _, err := cc.Write([]byte("x")); err == nil {
+		t.Fatal("write after close should fail")
+	}
+}
+
+func TestMemNetReadDeadline(t *testing.T) {
+	n := NewMemNetwork(nil)
+	cc, sc := pipePair(t, n, "a", "b")
+	defer cc.Close()
+	sc.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := sc.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Clearing the deadline makes reads work again.
+	sc.SetReadDeadline(time.Time{})
+	cc.Write([]byte("y"))
+	if _, err := io.ReadFull(sc, buf); err != nil {
+		t.Fatal(err)
+	}
+	// SetDeadline delegates to read deadline.
+	sc.SetDeadline(time.Now().Add(10 * time.Millisecond))
+	if _, err := sc.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := sc.SetWriteDeadline(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemNetDialErrors(t *testing.T) {
+	n := NewMemNetwork(nil)
+	if _, err := n.Dial("a", "nowhere"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemNetListenerClose(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; !errors.Is(err, ErrListenerClose) {
+		t.Fatalf("accept err = %v", err)
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("srv"); err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	if l.Addr().String() != "srv" {
+		t.Fatal("addr")
+	}
+}
+
+func TestMemNetPartition(t *testing.T) {
+	n := NewMemNetwork(nil)
+	cc, sc := pipePair(t, n, "a", "b")
+	n.Partition("a", "b")
+	// Existing connections are reset.
+	buf := make([]byte, 1)
+	if _, err := sc.Read(buf); err == nil {
+		t.Fatal("read on partitioned conn should fail")
+	}
+	_ = cc
+	// New dials fail both directions.
+	if _, err := n.Dial("a", "b"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial err = %v", err)
+	}
+	// Heal restores connectivity.
+	n.Heal("a", "b")
+	cc2, sc2 := pipePair(t, n, "a", "b2") // fresh listener name to avoid reuse
+	_ = sc2
+	cc2.Close()
+	l, _ := n.Listen("b3")
+	defer l.Close()
+	go l.Accept()
+	if _, err := n.Dial("a", "b3"); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+func TestMemNetBlackhole(t *testing.T) {
+	n := NewMemNetwork(nil)
+	cc, sc := pipePair(t, n, "zombie", "backup")
+	defer cc.Close()
+	n.Blackhole("zombie", "backup")
+	// Writes appear to succeed but deliver nothing.
+	if _, err := cc.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	sc.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := sc.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read err = %v", err)
+	}
+	// Reverse direction still works.
+	if _, err := sc.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(cc, buf[:2]); err != nil {
+		t.Fatal(err)
+	}
+	n.Unblackhole("zombie", "backup")
+	cc.Write([]byte("back"))
+	sc.SetReadDeadline(time.Time{})
+	if _, err := io.ReadFull(sc, buf); err != nil || string(buf) != "back" {
+		t.Fatalf("after unblackhole: %v %q", err, buf)
+	}
+}
+
+func TestMemNetCrashHost(t *testing.T) {
+	n := NewMemNetwork(nil)
+	cc, sc := pipePair(t, n, "a", "srv")
+	n.CrashHost("srv")
+	buf := make([]byte, 1)
+	if _, err := cc.Read(buf); err == nil {
+		t.Fatal("read from crashed host should fail")
+	}
+	_ = sc
+	if _, err := n.Dial("a", "srv"); err == nil {
+		t.Fatal("dial to crashed host should fail")
+	}
+	// Host can come back.
+	if _, err := n.Listen("srv"); err != nil {
+		t.Fatalf("relisten after crash: %v", err)
+	}
+}
+
+func TestMemNetConcurrentTraffic(t *testing.T) {
+	n := NewMemNetwork(ConstantLatency(time.Microsecond))
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := n.Dial("client", "srv")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			msg := bytes.Repeat([]byte{byte(g + 1)}, 512)
+			buf := make([]byte, len(msg))
+			for i := 0; i < 50; i++ {
+				if _, err := c.Write(msg); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := io.ReadFull(c, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(buf, msg) {
+					t.Errorf("echo mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestJitteredLatency(t *testing.T) {
+	j := NewJitteredLatency(10*time.Microsecond, 2*time.Microsecond, 1.0, 7)
+	if d := j.Delay("a", "a", 0); d != 0 {
+		t.Fatalf("loopback delay = %v", d)
+	}
+	var min, max time.Duration = time.Hour, 0
+	for i := 0; i < 1000; i++ {
+		d := j.Delay("a", "b", 0)
+		if d < 10*time.Microsecond {
+			t.Fatalf("delay below base: %v", d)
+		}
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max == min {
+		t.Fatal("no jitter observed")
+	}
+	// Sigma=0 disables jitter.
+	fixed := NewJitteredLatency(5*time.Microsecond, time.Microsecond, 0, 7)
+	if d := fixed.Delay("a", "b", 0); d != 5*time.Microsecond {
+		t.Fatalf("fixed delay = %v", d)
+	}
+}
+
+func TestConstantLatencyLoopback(t *testing.T) {
+	m := ConstantLatency(time.Millisecond)
+	if m.Delay("h", "h", 0) != 0 {
+		t.Fatal("loopback should be free")
+	}
+	if m.Delay("a", "b", 0) != time.Millisecond {
+		t.Fatal("wrong delay")
+	}
+	if NoLatency.Delay("a", "b", 10) != 0 {
+		t.Fatal("NoLatency should be zero")
+	}
+}
+
+func TestTCPNetwork(t *testing.T) {
+	var tn TCPNetwork
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(c, c)
+	}()
+	c, err := tn.Dial("me", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("tcp echo: %v %q", err, buf)
+	}
+}

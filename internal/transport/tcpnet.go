@@ -1,0 +1,17 @@
+package transport
+
+import "net"
+
+// TCPNetwork is the real-network implementation of Network, used by the
+// cmd/curpd daemon and cmd/curpctl. Addresses are host:port strings.
+type TCPNetwork struct{}
+
+// Listen implements Network.
+func (TCPNetwork) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial implements Network. The from identity is not needed for TCP.
+func (TCPNetwork) Dial(_, addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

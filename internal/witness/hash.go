@@ -1,0 +1,33 @@
+package witness
+
+// KeyHash computes the 64-bit key hash CURP uses for commutativity checks
+// (paper §4.2 compares 64-bit hashes of primary keys instead of full keys).
+// It is FNV-1a, chosen for speed and decent diffusion; collisions are safe
+// for correctness (they can only cause spurious conflicts, never missed
+// ones) and are vanishingly rare at witness occupancy scales.
+func KeyHash(key []byte) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// KeyHashString is KeyHash for string keys, avoiding a copy.
+func KeyHashString(key string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}

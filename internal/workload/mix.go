@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind classifies generated operations.
+type OpKind int
+
+// Operation kinds produced by a Mix.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Op is one generated operation: a kind and a key index. Write operations
+// also carry a value payload.
+type Op struct {
+	Kind  OpKind
+	Key   uint64
+	Value []byte
+}
+
+// Mix generates a stream of read/write operations over a key chooser, with
+// a configurable write fraction — e.g. YCSB-A is 50% writes, YCSB-B is 5%.
+type Mix struct {
+	keys      KeyChooser
+	writeFrac float64
+	valueSize int
+	rng       *rand.Rand
+	value     []byte
+}
+
+// NewMix builds an operation mix. writeFrac is the fraction of operations
+// that are writes, in [0,1]. valueSize is the payload size for writes.
+func NewMix(keys KeyChooser, writeFrac float64, valueSize int, seed int64) *Mix {
+	if writeFrac < 0 || writeFrac > 1 {
+		panic("workload: writeFrac must be in [0,1]")
+	}
+	m := &Mix{
+		keys:      keys,
+		writeFrac: writeFrac,
+		valueSize: valueSize,
+		rng:       rand.New(rand.NewSource(seed)),
+		value:     make([]byte, valueSize),
+	}
+	for i := range m.value {
+		m.value[i] = byte('a' + i%26)
+	}
+	return m
+}
+
+// Next returns the next operation. The Value slice of write operations is
+// shared across calls; copy it if it must outlive the next call.
+func (m *Mix) Next() Op {
+	op := Op{Key: m.keys.Next()}
+	if m.rng.Float64() < m.writeFrac {
+		op.Kind = OpWrite
+		op.Value = m.value
+	}
+	return op
+}
+
+// Standard YCSB-style mixes used by the paper (§5.3): YCSB-A is a 50/50
+// read/update mix and YCSB-B is a 95/5 read/update mix, both over a
+// Zipfian(0.99) distribution on 1M objects.
+const (
+	YCSBAWriteFraction = 0.50
+	YCSBBWriteFraction = 0.05
+	YCSBObjectCount    = 1_000_000
+)
+
+// NewYCSBA returns the paper's YCSB-A operation mix.
+func NewYCSBA(valueSize int, seed int64) *Mix {
+	return NewMix(NewScrambledZipfian(YCSBObjectCount, DefaultZipfTheta, seed), YCSBAWriteFraction, valueSize, seed+1)
+}
+
+// NewYCSBB returns the paper's YCSB-B operation mix.
+func NewYCSBB(valueSize int, seed int64) *Mix {
+	return NewMix(NewScrambledZipfian(YCSBObjectCount, DefaultZipfTheta, seed), YCSBBWriteFraction, valueSize, seed+1)
+}
+
+// Key formats key index i as a fixed-width printable key of the given byte
+// length, e.g. Key(42, 30) for the paper's 30-byte Redis keys. Panics if
+// width is too small to hold the formatted index.
+func Key(i uint64, width int) []byte {
+	s := fmt.Sprintf("key%0*d", width-3, i)
+	if len(s) != width {
+		panic(fmt.Sprintf("workload: key %d does not fit width %d", i, width))
+	}
+	return []byte(s)
+}
+
+// Value returns a deterministic printable payload of the given size for key
+// index i. Successive writes to the same key produce the same value, which
+// makes duplicate-execution bugs in tests easy to detect by comparing
+// version numbers instead of contents.
+func Value(i uint64, size int) []byte {
+	v := make([]byte, size)
+	for j := range v {
+		v[j] = byte('A' + (int(i)+j)%26)
+	}
+	return v
+}
