@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -307,6 +308,54 @@ func BenchmarkAblationHotKeySync(b *testing.B) {
 	}
 	b.Run("heuristic-on", func(b *testing.B) { run(b, false) })
 	b.Run("heuristic-off", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkShardedThroughput measures aggregate put throughput of the real
+// stack as partitions are added: 8 closed-loop workers spread distinct
+// keys over 1 vs 4 shards. With one shard every update serializes at one
+// master; with four, the ring spreads the same offered load over four
+// masters, so aggregate ops/s should scale >1×.
+func BenchmarkShardedThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			c, err := StartSharded(Options{F: 1, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			const workers = 8
+			clients := make([]*ShardedClient, workers)
+			for w := range clients {
+				cl, err := c.NewClient(fmt.Sprintf("bench-%d", w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				clients[w] = cl
+			}
+			value := workload.Value(1, 100)
+			ctx := context.Background()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					cl := clients[w]
+					for i := w; i < b.N; i += workers {
+						key := workload.Key(uint64(i), 30)
+						if _, err := cl.Put(ctx, key, value); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1000, "kops/s")
+		})
+	}
 }
 
 // BenchmarkEndToEndPut measures the real (non-simulated) cluster stack:

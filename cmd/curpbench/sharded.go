@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"curp"
+	"curp/internal/workload"
+)
+
+func exitOn(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Sharded measures aggregate put throughput of the REAL component stack
+// (not the simulator) as partitions are added: the same closed-loop
+// offered load against 1, 2, and 4 shards on the in-memory network. The
+// single master is CURP's per-partition serialization point, so aggregate
+// ops/s grows with the shard count — the scaling lever the paper's
+// RAMCloud evaluation uses (many one-master partitions side by side).
+func Sharded(w io.Writer, ops int) {
+	const workers = 8
+	fmt.Fprintln(w, "Sharded throughput (real stack, in-memory network,", workers, "closed-loop workers)")
+	fmt.Fprintf(w, "%-8s %12s %10s\n", "shards", "agg-ops/s", "scaling")
+	var base float64
+	for _, shards := range []int{1, 2, 4} {
+		opsPerSec := runShardedLoad(shards, workers, ops)
+		if shards == 1 {
+			base = opsPerSec
+		}
+		fmt.Fprintf(w, "%-8d %12.0f %9.2fx\n", shards, opsPerSec, opsPerSec/base)
+	}
+}
+
+func runShardedLoad(shards, workers, ops int) float64 {
+	c, err := curp.StartSharded(curp.Options{F: 1, Shards: shards})
+	exitOn(err)
+	defer c.Close()
+	clients := make([]*curp.ShardedClient, workers)
+	for i := range clients {
+		cl, err := c.NewClient(fmt.Sprintf("loadgen-%d", i))
+		exitOn(err)
+		defer cl.Close()
+		clients[i] = cl
+	}
+	value := workload.Value(1, 100)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			cl := clients[wkr]
+			ctx := context.Background()
+			for i := wkr; i < ops; i += workers {
+				key := workload.Key(uint64(i), 30)
+				if _, err := cl.Put(ctx, key, value); err != nil {
+					exitOn(err)
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	return float64(ops) / time.Since(start).Seconds()
+}

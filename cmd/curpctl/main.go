@@ -6,6 +6,18 @@
 //	curpctl -coordinator 127.0.0.1:7000 del mykey
 //	curpctl -coordinator 127.0.0.1:7000 bench 10000
 //
+// Against a sharded deployment (curpd -shards N), pass the same -shards N:
+// shard s's coordinator is derived from the base address by adding s*1000
+// to the port, and each key routes to its owning partition:
+//
+//	curpctl -coordinator 127.0.0.1:7000 -shards 4 put mykey myvalue
+//	curpctl -coordinator 127.0.0.1:7000 -shards 4 shard mykey
+//
+// -shard pins every operation to one partition (bypassing the ring), for
+// inspecting a single shard:
+//
+//	curpctl -coordinator 127.0.0.1:7000 -shards 4 -shard 2 bench 1000
+//
 // bench issues sequential 100B puts on distinct keys and reports latency
 // percentiles and the fraction of 1-RTT completions.
 package main
@@ -14,40 +26,92 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"time"
 
 	"curp/internal/cluster"
+	"curp/internal/core"
+	"curp/internal/shard"
 	"curp/internal/stats"
 	"curp/internal/transport"
 	"curp/internal/workload"
 )
 
+// kvClient is the op surface shared by a single partition's client and the
+// sharded router.
+type kvClient interface {
+	Put(ctx context.Context, key, value []byte) (uint64, error)
+	Get(ctx context.Context, key []byte) ([]byte, bool, error)
+	Delete(ctx context.Context, key []byte) error
+	Increment(ctx context.Context, key []byte, delta int64) (int64, error)
+	Stats() core.ClientStats
+}
+
 func main() {
-	coord := flag.String("coordinator", "127.0.0.1:7000", "coordinator address")
+	coord := flag.String("coordinator", "127.0.0.1:7000", "shard 0's coordinator address")
+	shards := flag.Int("shards", 1, "total partitions; shard s's coordinator port = base port + s*1000")
+	pin := flag.Int("shard", -1, "pin every operation to this partition instead of routing by key")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
+	if *shards < 1 || *pin >= *shards || *pin < -1 {
+		fmt.Fprintf(os.Stderr, "bad -shards %d / -shard %d\n", *shards, *pin)
+		os.Exit(2)
+	}
 
-	cl, err := cluster.NewClient(transport.TCPNetwork{}, fmt.Sprintf("curpctl-%d", os.Getpid()), *coord, 1)
-	exitOn(err)
-	defer cl.Close()
+	ring := shard.MustNewRing(*shards, 0)
+	if args[0] == "shard" {
+		// Pure routing query; no connections needed.
+		need(args, 2)
+		fmt.Println(ring.ShardString(args[1]))
+		return
+	}
+
+	// Dial lazily so a down shard only blocks commands that need it: a
+	// single-key op dials just the owning (or pinned) partition; only an
+	// unpinned bench needs every shard.
+	name := fmt.Sprintf("curpctl-%d", os.Getpid())
+	nw := transport.TCPNetwork{}
+	perShard := make([]*cluster.Client, *shards)
+	dial := func(s int) *cluster.Client {
+		if perShard[s] == nil {
+			cl, err := cluster.NewClient(nw, name, shardCoordAddr(*coord, s), 1)
+			exitOn(err)
+			perShard[s] = cl
+		}
+		return perShard[s]
+	}
+	defer func() {
+		for _, cl := range perShard {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	}()
+	// forKey picks the client for one key: the pinned shard or the owner.
+	forKey := func(key string) kvClient {
+		if *pin >= 0 {
+			return dial(*pin)
+		}
+		return dial(ring.ShardString(key))
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	switch args[0] {
 	case "put":
 		need(args, 3)
-		ver, err := cl.Put(ctx, []byte(args[1]), []byte(args[2]))
+		ver, err := forKey(args[1]).Put(ctx, []byte(args[1]), []byte(args[2]))
 		exitOn(err)
 		fmt.Printf("OK version=%d\n", ver)
 	case "get":
 		need(args, 2)
-		v, ok, err := cl.Get(ctx, []byte(args[1]))
+		v, ok, err := forKey(args[1]).Get(ctx, []byte(args[1]))
 		exitOn(err)
 		if !ok {
 			fmt.Println("(nil)")
@@ -56,32 +120,56 @@ func main() {
 		fmt.Printf("%s\n", v)
 	case "del":
 		need(args, 2)
-		exitOn(cl.Delete(ctx, []byte(args[1])))
+		exitOn(forKey(args[1]).Delete(ctx, []byte(args[1])))
 		fmt.Println("OK")
 	case "incr":
 		need(args, 3)
 		delta, err := strconv.ParseInt(args[2], 10, 64)
 		exitOn(err)
-		n, err := cl.Increment(ctx, []byte(args[1]), delta)
+		n, err := forKey(args[1]).Increment(ctx, []byte(args[1]), delta)
 		exitOn(err)
 		fmt.Printf("%d\n", n)
 	case "bench":
 		need(args, 2)
 		n, err := strconv.Atoi(args[1])
 		exitOn(err)
-		runBench(cl, n)
+		var cl kvClient
+		if *pin >= 0 {
+			cl = dial(*pin)
+		} else {
+			for s := range perShard {
+				dial(s)
+			}
+			router, err := shard.NewRoutedClient(ring, perShard)
+			exitOn(err)
+			cl = router
+		}
+		runBench(cl, n, *timeout)
 	default:
 		usage()
 	}
 }
 
-func runBench(cl *cluster.Client, n int) {
+// shardCoordAddr derives shard s's coordinator from the base address by
+// adding s*1000 to the port — the layout curpd -shards uses.
+func shardCoordAddr(base string, s int) string {
+	if s == 0 {
+		return base
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	exitOn(err)
+	port, err := strconv.Atoi(portStr)
+	exitOn(err)
+	return net.JoinHostPort(host, strconv.Itoa(port+s*1000))
+}
+
+func runBench(cl kvClient, n int, opTimeout time.Duration) {
 	var h stats.Histogram
 	value := workload.Value(1, 100)
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		key := workload.Key(uint64(i), 30)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 		opStart := time.Now()
 		_, err := cl.Put(ctx, key, value)
 		cancel()
@@ -104,7 +192,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] put|get|del|incr|bench args...")
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|shard|bench args...")
 	os.Exit(2)
 }
 

@@ -5,6 +5,12 @@
 //
 //	curpd -mode cluster -host 127.0.0.1 -port 7000 -f 3
 //
+// Sharded deployment — N independent partitions, shard s occupying the
+// port block base+s*1000 (so clients derive every shard's coordinator from
+// the base port; see curpctl -shards):
+//
+//	curpd -mode cluster -host 127.0.0.1 -port 7000 -f 3 -shards 4
+//
 // Standalone component servers for spreading a deployment across machines:
 //
 //	curpd -mode backup  -addr 10.0.0.2:7101
@@ -36,6 +42,7 @@ func main() {
 	mode := flag.String("mode", "cluster", "cluster | master | backup | witness")
 	host := flag.String("host", "127.0.0.1", "cluster mode: bind host")
 	port := flag.Int("port", 7000, "cluster mode: base port (coordinator; +1 master; +100+i backups; +200+i witnesses)")
+	shards := flag.Int("shards", 1, "cluster mode: number of independent partitions; shard s uses port block port+s*1000")
 	f := flag.Int("f", 3, "fault tolerance level (backups & witnesses)")
 	addr := flag.String("addr", "", "component modes: listen address")
 	backups := flag.String("backups", "", "master mode: comma-separated backup addresses")
@@ -46,7 +53,7 @@ func main() {
 	nw := transport.TCPNetwork{}
 	switch *mode {
 	case "cluster":
-		runCluster(nw, *host, *port, *f, *batch)
+		runShardedCluster(nw, *host, *port, *shards, *f, *batch)
 	case "backup":
 		requireAddr(*addr)
 		srv, err := cluster.NewBackupServer(nw, *addr)
@@ -81,12 +88,30 @@ func main() {
 	}
 }
 
-func runCluster(nw transport.Network, host string, port, f, batch int) {
+// runShardedCluster boots `shards` independent partitions, shard s on the
+// port block base+s*1000, then waits for a shutdown signal.
+func runShardedCluster(nw transport.Network, host string, basePort, shards, f, batch int) {
+	if shards < 1 {
+		shards = 1
+	}
+	var closers []interface{ Close() }
+	for s := 0; s < shards; s++ {
+		closers = append(closers, startPartition(nw, s, host, basePort+s*1000, f, batch)...)
+	}
+	waitForSignal()
+	for _, c := range closers {
+		c.Close()
+	}
+}
+
+// startPartition boots one partition (coordinator, master, f backups, f
+// witnesses) on sequential ports from port, returning everything to close.
+func startPartition(nw transport.Network, shard int, host string, port, f, batch int) []interface{ Close() } {
 	coordAddr := fmt.Sprintf("%s:%d", host, port)
 	coord, err := cluster.NewCoordinator(nw, coordAddr, time.Minute)
 	exitOn(err)
+	closers := []interface{ Close() }{coord}
 	var backupAddrs, witnessAddrs []string
-	var closers []interface{ Close() }
 	for i := 0; i < f; i++ {
 		ba := fmt.Sprintf("%s:%d", host, port+100+i)
 		b, err := cluster.NewBackupServer(nw, ba)
@@ -106,13 +131,9 @@ func runCluster(nw transport.Network, host string, port, f, batch int) {
 	exitOn(err)
 	closers = append(closers, ms)
 	exitOn(coord.AddMaster(ms, backupAddrs, witnessAddrs))
-	log.Printf("cluster up: coordinator=%s master=%s backups=%v witnesses=%v",
-		coordAddr, masterAddr, backupAddrs, witnessAddrs)
-	waitForSignal()
-	for _, c := range closers {
-		c.Close()
-	}
-	coord.Close()
+	log.Printf("shard %d up: coordinator=%s master=%s backups=%v witnesses=%v",
+		shard, coordAddr, masterAddr, backupAddrs, witnessAddrs)
+	return closers
 }
 
 func split(s string) []string {

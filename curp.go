@@ -35,6 +35,7 @@ package curp
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"curp/internal/cluster"
@@ -46,12 +47,15 @@ import (
 	"curp/internal/witness"
 )
 
-// Options configures a cluster started with Start.
+// Options configures a cluster started with Start or StartSharded.
 type Options struct {
 	// F is the fault-tolerance level: the cluster runs F backups and F
 	// witnesses and stays available with F failures. Default 3 (the
 	// paper's standard configuration).
 	F int
+	// Shards is the number of independent CURP partitions booted by
+	// StartSharded (ignored by Start). Default 1.
+	Shards int
 	// SyncBatchSize is the number of speculative operations that triggers
 	// a background backup sync (default 50, the paper's ceiling).
 	SyncBatchSize int
@@ -92,9 +96,9 @@ type Cluster struct {
 	net   *transport.MemNetwork
 }
 
-// Start boots a cluster on an in-memory network: a coordinator, one
-// master, F backups, and F witness servers.
-func Start(opts Options) (*Cluster, error) {
+// memNetwork builds the in-memory network for Start/StartSharded, wiring
+// the optional latency model.
+func memNetwork(opts Options) *transport.MemNetwork {
 	var lat transport.LatencyModel
 	if opts.Latency != nil {
 		fn := opts.Latency
@@ -105,7 +109,12 @@ func Start(opts Options) (*Cluster, error) {
 			return fn(from, to)
 		})
 	}
-	nw := transport.NewMemNetwork(lat)
+	return transport.NewMemNetwork(lat)
+}
+
+// clusterOptions translates the public Options into one partition's
+// cluster.Options.
+func clusterOptions(opts Options) cluster.Options {
 	copts := cluster.DefaultOptions()
 	if opts.F > 0 {
 		copts.F = opts.F
@@ -122,7 +131,14 @@ func Start(opts Options) (*Cluster, error) {
 	if opts.WitnessWays > 0 {
 		copts.Witness.Ways = opts.WitnessWays
 	}
-	inner, err := cluster.Start(nw, copts)
+	return copts
+}
+
+// Start boots a cluster on an in-memory network: a coordinator, one
+// master, F backups, and F witness servers.
+func Start(opts Options) (*Cluster, error) {
+	nw := memNetwork(opts)
+	inner, err := cluster.Start(nw, clusterOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -183,9 +199,8 @@ type Client struct {
 // Close releases the client's connections.
 func (c *Client) Close() { c.inner.Close() }
 
-// Stats returns the client's protocol counters.
-func (c *Client) Stats() Stats {
-	s := c.inner.Stats()
+// toStats converts the internal counters to the public Stats type.
+func toStats(s core.ClientStats) Stats {
 	return Stats{
 		FastPath:       s.FastPath,
 		SyncedByMaster: s.SyncedByMaster,
@@ -194,6 +209,11 @@ func (c *Client) Stats() Stats {
 		BackupReads:    s.BackupReads,
 		MasterReads:    s.MasterReads,
 	}
+}
+
+// Stats returns the client's protocol counters.
+func (c *Client) Stats() Stats {
+	return toStats(c.inner.Stats())
 }
 
 // Put writes value under key; it returns the object's new version.
@@ -330,9 +350,9 @@ func (d *DurableCache) Incr(ctx context.Context, key []byte, delta int64) (int64
 	if err != nil {
 		return 0, err
 	}
-	var v int64
-	_, err = fmt.Sscanf(string(res.Value), "%d", &v)
-	return v, err
+	// strconv.ParseInt, not Sscanf: Sscanf accepts trailing garbage
+	// ("12abc" parses as 12), hiding engine encoding bugs.
+	return strconv.ParseInt(string(res.Value), 10, 64)
 }
 
 // HSet stores a hash field.
@@ -370,8 +390,7 @@ func (d *DurableCache) LRange(ctx context.Context, key []byte, start, stop int64
 
 // Stats returns the cache client's protocol counters.
 func (d *DurableCache) Stats() Stats {
-	s := d.client.Stats()
-	return Stats{FastPath: s.FastPath, SyncedByMaster: s.SyncedByMaster, SlowPath: s.SlowPath, Retries: s.Retries}
+	return toStats(d.client.Stats())
 }
 
 // Fsyncs returns how many times the AOF was flushed — the cost CURP moved

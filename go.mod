@@ -1,0 +1,3 @@
+module curp
+
+go 1.24

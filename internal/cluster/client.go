@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"curp/internal/core"
@@ -295,9 +296,8 @@ func (c *Client) Increment(ctx context.Context, key []byte, delta int64) (int64,
 	if err != nil {
 		return 0, err
 	}
-	var v int64
-	_, err = fmt.Sscanf(string(res.Value), "%d", &v)
-	return v, err
+	// strconv.ParseInt, not Sscanf: Sscanf accepts trailing garbage.
+	return strconv.ParseInt(string(res.Value), 10, 64)
 }
 
 // CondPut writes value only if key is at expectVersion. applied reports
@@ -334,9 +334,11 @@ func (c *Client) MultiIncrement(ctx context.Context, deltas []kv.IncrPair) ([]in
 	}
 	out := make([]int64, len(res.Values))
 	for i, v := range res.Values {
-		if _, err := fmt.Sscanf(string(v), "%d", &out[i]); err != nil {
+		n, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
 			return nil, err
 		}
+		out[i] = n
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"curp/internal/rifl"
 	"curp/internal/witness"
@@ -66,10 +67,33 @@ func (s StaticView) View(context.Context, bool) (*View, error) { return s.V, nil
 type ClientConfig struct {
 	// MaxAttempts bounds update retries across master failures.
 	MaxAttempts int
+	// RetryBackoff is the pause before the second attempt of an operation,
+	// doubling each further retry up to MaxRetryBackoff. It gives a master
+	// recovery time to publish a new view instead of burning every attempt
+	// in microseconds against a dead host. Zero selects the default;
+	// negative disables pacing (retry immediately, the pre-backoff
+	// behavior).
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential growth of RetryBackoff.
+	// Zero selects the default.
+	MaxRetryBackoff time.Duration
 }
 
+// Defaults filled in for zero-valued ClientConfig fields.
+const (
+	defaultMaxAttempts     = 8
+	defaultRetryBackoff    = 5 * time.Millisecond
+	defaultMaxRetryBackoff = 250 * time.Millisecond
+)
+
 // DefaultClientConfig returns sensible defaults.
-func DefaultClientConfig() ClientConfig { return ClientConfig{MaxAttempts: 8} }
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		MaxAttempts:     defaultMaxAttempts,
+		RetryBackoff:    defaultRetryBackoff,
+		MaxRetryBackoff: defaultMaxRetryBackoff,
+	}
+}
 
 // ClientStats counts client-side protocol outcomes.
 type ClientStats struct {
@@ -112,9 +136,35 @@ type Client struct {
 // supplies cluster configuration.
 func NewClient(session *rifl.Session, views ViewProvider, cfg ClientConfig) *Client {
 	if cfg.MaxAttempts <= 0 {
-		cfg.MaxAttempts = 8
+		cfg.MaxAttempts = defaultMaxAttempts
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
+	if cfg.MaxRetryBackoff == 0 {
+		cfg.MaxRetryBackoff = defaultMaxRetryBackoff
 	}
 	return &Client{session: session, views: views, cfg: cfg}
+}
+
+// pause sleeps the exponential-backoff delay before retry `attempt` (no
+// delay before the first attempt), aborting early if ctx ends.
+func (c *Client) pause(ctx context.Context, attempt int) error {
+	if attempt == 0 || c.cfg.RetryBackoff <= 0 {
+		return ctx.Err()
+	}
+	d := c.cfg.RetryBackoff << (attempt - 1)
+	if d <= 0 || (c.cfg.MaxRetryBackoff > 0 && d > c.cfg.MaxRetryBackoff) {
+		d = c.cfg.MaxRetryBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Session returns the client's RIFL session.
@@ -151,6 +201,9 @@ func (c *Client) Update(ctx context.Context, keyHashes []uint64, payload []byte)
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
+		}
+		if err := c.pause(ctx, attempt); err != nil {
+			return nil, err
 		}
 		view, err := c.views.View(ctx, attempt > 0)
 		if err != nil {
@@ -248,6 +301,9 @@ func (c *Client) Update(ctx context.Context, keyHashes []uint64, payload []byte)
 func (c *Client) Read(ctx context.Context, keyHashes []uint64, payload []byte) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := c.pause(ctx, attempt); err != nil {
+			return nil, err
+		}
 		view, err := c.views.View(ctx, attempt > 0)
 		if err != nil {
 			lastErr = err

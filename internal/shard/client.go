@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"curp/internal/cluster"
+	"curp/internal/core"
+	"curp/internal/kv"
+)
+
+// Client routes key-value operations across a sharded deployment. Single-
+// key operations go to the owning shard's CURP client unchanged, keeping
+// the full 1-RTT fast path, linearizability, and exactly-once semantics of
+// one partition.
+//
+// Cross-shard atomicity contract: MultiPut and MultiIncrement group their
+// keys by owning shard and issue one atomic per-shard sub-operation per
+// group, concurrently. Each sub-operation is atomic, linearizable, and
+// exactly-once within its shard (RIFL filters duplicates across retries,
+// so a retried transfer never double-applies). Across shards there is NO
+// atomicity: a reader may observe one shard's sub-operation before
+// another's lands, and if a sub-operation ultimately fails the others are
+// not rolled back. Callers needing cross-shard isolation must layer a
+// transaction protocol on top; callers needing only exactly-once totals
+// (counters, transfers) get them as-is.
+type Client struct {
+	ring   *Ring
+	shards []*cluster.Client
+}
+
+// NewRoutedClient assembles a Client from already-opened per-shard
+// clients, one per ring shard in shard order. Operator tools (cmd/curpctl)
+// use it to route across partitions whose coordinators they dialed
+// directly; in-process deployments use Cluster.NewClient instead.
+func NewRoutedClient(ring *Ring, shards []*cluster.Client) (*Client, error) {
+	if len(shards) != ring.Shards() {
+		return nil, fmt.Errorf("shard: %d clients for a %d-shard ring", len(shards), ring.Shards())
+	}
+	return &Client{ring: ring, shards: shards}, nil
+}
+
+// ShardFor returns the index of the shard owning key.
+func (c *Client) ShardFor(key []byte) int { return c.ring.Shard(key) }
+
+// NumShards returns how many shards the client routes over.
+func (c *Client) NumShards() int { return len(c.shards) }
+
+// Shard returns the single-partition client for shard s, for callers that
+// want to pin operations (e.g. operator tools addressing one partition).
+func (c *Client) Shard(s int) *cluster.Client { return c.shards[s] }
+
+func (c *Client) route(key []byte) *cluster.Client {
+	return c.shards[c.ring.Shard(key)]
+}
+
+// Close releases every per-shard connection.
+func (c *Client) Close() {
+	for _, sc := range c.shards {
+		if sc != nil {
+			sc.Close()
+		}
+	}
+}
+
+// Stats returns the sum of every per-shard client's protocol counters.
+func (c *Client) Stats() core.ClientStats {
+	var total core.ClientStats
+	for _, sc := range c.shards {
+		s := sc.Stats()
+		total.FastPath += s.FastPath
+		total.SyncedByMaster += s.SyncedByMaster
+		total.SlowPath += s.SlowPath
+		total.Retries += s.Retries
+		total.BackupReads += s.BackupReads
+		total.MasterReads += s.MasterReads
+	}
+	return total
+}
+
+// Put writes value under key on its owning shard.
+func (c *Client) Put(ctx context.Context, key, value []byte) (uint64, error) {
+	return c.route(key).Put(ctx, key, value)
+}
+
+// Get reads key at its shard's master (linearizable).
+func (c *Client) Get(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.route(key).Get(ctx, key)
+}
+
+// GetNearby reads key from one of its shard's backups when a witness
+// confirms safety (§A.1).
+func (c *Client) GetNearby(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.route(key).GetNearby(ctx, key)
+}
+
+// GetStale reads key's latest durable value at its shard (§A.3).
+func (c *Client) GetStale(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.route(key).GetStale(ctx, key)
+}
+
+// Delete removes key on its owning shard.
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	return c.route(key).Delete(ctx, key)
+}
+
+// Increment atomically adds delta to the counter at key on its shard.
+func (c *Client) Increment(ctx context.Context, key []byte, delta int64) (int64, error) {
+	return c.route(key).Increment(ctx, key, delta)
+}
+
+// CondPut writes value only if key is at expectVersion on its shard.
+func (c *Client) CondPut(ctx context.Context, key, value []byte, expectVersion uint64) (applied bool, version uint64, err error) {
+	return c.route(key).CondPut(ctx, key, value, expectVersion)
+}
+
+// MultiPut writes the pairs, atomically per shard (see the cross-shard
+// contract in the Client doc). Pairs owned by one shard form a single
+// atomic MultiPut there; the per-shard sub-operations run concurrently.
+func (c *Client) MultiPut(ctx context.Context, pairs []kv.KV) error {
+	groups := make(map[int][]kv.KV)
+	for _, p := range pairs {
+		s := c.ring.Shard(p.Key)
+		groups[s] = append(groups[s], p)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.shards))
+	for s, g := range groups {
+		wg.Add(1)
+		go func(s int, g []kv.KV) {
+			defer wg.Done()
+			if err := c.shards[s].MultiPut(ctx, g); err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+			}
+		}(s, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// MultiIncrement adds each delta to its key's counter, atomically and
+// exactly-once per shard (see the cross-shard contract in the Client doc),
+// and returns the new counter values aligned with deltas. The per-shard
+// sub-operations run concurrently.
+func (c *Client) MultiIncrement(ctx context.Context, deltas []kv.IncrPair) ([]int64, error) {
+	type group struct {
+		pairs []kv.IncrPair
+		idx   []int // positions in the caller's slice
+	}
+	groups := make(map[int]*group)
+	for i, d := range deltas {
+		s := c.ring.Shard(d.Key)
+		g := groups[s]
+		if g == nil {
+			g = &group{}
+			groups[s] = g
+		}
+		g.pairs = append(g.pairs, d)
+		g.idx = append(g.idx, i)
+	}
+	out := make([]int64, len(deltas))
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.shards))
+	for s, g := range groups {
+		wg.Add(1)
+		go func(s int, g *group) {
+			defer wg.Done()
+			vals, err := c.shards[s].MultiIncrement(ctx, g.pairs)
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			for i, v := range vals {
+				out[g.idx[i]] = v
+			}
+		}(s, g)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"fmt"
+
+	"curp/internal/cluster"
+	"curp/internal/transport"
+)
+
+// Options configures a sharded deployment.
+type Options struct {
+	// Shards is the number of independent CURP partitions. Default 1.
+	Shards int
+	// VirtualNodes is the per-shard virtual-node count of the routing ring
+	// (DefaultVirtualNodes when 0).
+	VirtualNodes int
+	// Partition configures every partition identically (F, master policy,
+	// witness geometry, lease TTL). Its NamePrefix becomes the deployment-
+	// wide prefix; each partition appends "s<i>-" to it.
+	Partition cluster.Options
+}
+
+// DefaultOptions returns a 4-shard deployment with per-partition paper
+// defaults.
+func DefaultOptions() Options {
+	return Options{Shards: 4, Partition: cluster.DefaultOptions()}
+}
+
+// Cluster is a running sharded CURP deployment: N independent partitions —
+// each a coordinator, one master, F backups, and F witnesses — on one
+// shared network, plus the ring that routes keys to them. Partitions share
+// nothing: a shard's conflicts, syncs, crashes, and recoveries never touch
+// another shard's fast path.
+type Cluster struct {
+	Net   transport.Network
+	Ring  *Ring
+	Parts []*cluster.Cluster
+}
+
+// prefixFor returns the host-name prefix of shard s under base.
+func prefixFor(base string, s int) string {
+	return fmt.Sprintf("%ss%d-", base, s)
+}
+
+// StartCluster boots opts.Shards partitions on nw. Partition i's hosts are
+// named "<prefix>s<i>-coord", "<prefix>s<i>-master1", and so on, so any
+// number of shards coexist on one network.
+func StartCluster(nw transport.Network, opts Options) (*Cluster, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	ring, err := NewRing(opts.Shards, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Net: nw, Ring: ring}
+	for i := 0; i < opts.Shards; i++ {
+		popts := opts.Partition
+		popts.NamePrefix = prefixFor(opts.Partition.NamePrefix, i)
+		part, err := cluster.Start(nw, popts)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard: start partition %d: %w", i, err)
+		}
+		c.Parts = append(c.Parts, part)
+	}
+	return c, nil
+}
+
+// NumShards returns the partition count.
+func (c *Cluster) NumShards() int { return len(c.Parts) }
+
+// Part returns shard s's partition, for introspection in tests and tools.
+func (c *Cluster) Part(s int) *cluster.Cluster { return c.Parts[s] }
+
+// NewClient opens a client routed across every shard. name is the client's
+// network identity (shared by its per-shard connections).
+func (c *Cluster) NewClient(name string) (*Client, error) {
+	cl := &Client{ring: c.Ring}
+	for i, part := range c.Parts {
+		sc, err := part.NewClient(name)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("shard: client for partition %d: %w", i, err)
+		}
+		cl.shards = append(cl.shards, sc)
+	}
+	return cl, nil
+}
+
+// CrashMaster crashes shard s's master. The other shards keep serving.
+func (c *Cluster) CrashMaster(s int) { c.Parts[s].CrashMaster() }
+
+// Recover replaces shard s's crashed master with a fresh server. newAddr is
+// prefixed with the shard's name prefix, so the same logical name (e.g.
+// "master2") may be reused across shards.
+func (c *Cluster) Recover(s int, newAddr string) error {
+	_, err := c.Parts[s].Recover(c.Parts[s].Opts.NamePrefix + newAddr)
+	return err
+}
+
+// Close shuts every partition down.
+func (c *Cluster) Close() {
+	for _, part := range c.Parts {
+		part.Close()
+	}
+}

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: the key→shard mapping is a pure function of the
+// configuration — two rings built alike agree on every key, repeatedly, and
+// the byte/string lookups agree with each other.
+func TestRingDeterministic(t *testing.T) {
+	a := MustNewRing(8, 0)
+	b := MustNewRing(8, 0)
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("user:%d", i)
+		sa := a.Shard([]byte(key))
+		if sa < 0 || sa >= 8 {
+			t.Fatalf("shard out of range: %d", sa)
+		}
+		if sb := b.Shard([]byte(key)); sb != sa {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, sa, sb)
+		}
+		if ss := a.ShardString(key); ss != sa {
+			t.Fatalf("ShardString(%q) = %d, Shard = %d", key, ss, sa)
+		}
+		if again := a.Shard([]byte(key)); again != sa {
+			t.Fatalf("mapping unstable for %q: %d then %d", key, sa, again)
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count, a large uniform key
+// population spreads evenly. The chi-squared statistic over shard counts
+// stays far below the blow-up that would signal a broken hash (for 7
+// degrees of freedom the 99.9th percentile is ≈24.3; a lost shard or a
+// constant hash scores in the thousands), and no shard is more than 2× or
+// less than ½× its fair share.
+func TestRingBalance(t *testing.T) {
+	const shards = 8
+	const keys = 40000
+	r := MustNewRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.ShardString(fmt.Sprintf("key-%d", i))]++
+	}
+	expected := float64(keys) / shards
+	chi2 := 0.0
+	for s, n := range counts {
+		d := float64(n) - expected
+		chi2 += d * d / expected
+		if float64(n) > 2*expected || float64(n) < expected/2 {
+			t.Fatalf("shard %d holds %d keys, fair share %.0f: %v", s, n, expected, counts)
+		}
+	}
+	// Virtual-node arcs are not perfectly uniform, so allow slack beyond
+	// the i.i.d. bound — but stay orders of magnitude under failure modes.
+	if chi2 > 200 {
+		t.Fatalf("chi-squared = %.1f (counts %v), distribution too skewed", chi2, counts)
+	}
+}
+
+// TestRingRemapFraction: growing the ring from N to N+1 shards moves only
+// ≈1/(N+1) of the keys — the consistent-hashing property rebalancing will
+// rely on — and every moved key lands on the new shard.
+func TestRingRemapFraction(t *testing.T) {
+	const keys = 40000
+	for _, n := range []int{4, 8} {
+		old := MustNewRing(n, 0)
+		grown := MustNewRing(n+1, 0)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			before, after := old.ShardString(key), grown.ShardString(key)
+			if before != after {
+				moved++
+				if after != n {
+					t.Fatalf("key %q moved from %d to %d, not to the new shard %d", key, before, after, n)
+				}
+			}
+		}
+		frac := float64(moved) / keys
+		ideal := 1.0 / float64(n+1)
+		if frac < ideal/2 || frac > ideal*2 {
+			t.Fatalf("grow %d→%d moved %.3f of keys, want ≈%.3f", n, n+1, frac, ideal)
+		}
+	}
+}
+
+// TestRingRejectsZeroShards: the one invalid configuration errors instead
+// of panicking in lookup.
+func TestRingRejectsZeroShards(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("NewRing(0) succeeded")
+	}
+	if _, err := NewRing(-3, 16); err == nil {
+		t.Fatal("NewRing(-3) succeeded")
+	}
+}

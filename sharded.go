@@ -1,0 +1,153 @@
+package curp
+
+import (
+	"context"
+
+	"curp/internal/kv"
+	"curp/internal/shard"
+	"curp/internal/transport"
+)
+
+// ShardedCluster is a running multi-partition CURP deployment: N
+// independent partitions (each a coordinator, one master, F backups, and F
+// witnesses — the paper's unit of replication) on one in-memory network,
+// with a consistent-hash ring routing each key to its owning partition.
+// Shards share nothing, so conflicts, syncs, and crashes on one shard never
+// slow another shard's 1-RTT fast path — the way the paper's RAMCloud
+// evaluation scales out.
+type ShardedCluster struct {
+	inner *shard.Cluster
+	net   *transport.MemNetwork
+}
+
+// StartSharded boots opts.Shards independent partitions (at least one),
+// each configured like Start configures its single partition.
+func StartSharded(opts Options) (*ShardedCluster, error) {
+	nw := memNetwork(opts)
+	sopts := shard.Options{Shards: opts.Shards, Partition: clusterOptions(opts)}
+	inner, err := shard.StartCluster(nw, sopts)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedCluster{inner: inner, net: nw}, nil
+}
+
+// NumShards returns the partition count.
+func (c *ShardedCluster) NumShards() int { return c.inner.NumShards() }
+
+// ShardFor returns the index of the partition owning key.
+func (c *ShardedCluster) ShardFor(key []byte) int { return c.inner.Ring.Shard(key) }
+
+// NewClient opens a client that routes operations across every shard.
+func (c *ShardedCluster) NewClient(name string) (*ShardedClient, error) {
+	cl, err := c.inner.NewClient(name)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedClient{inner: cl}, nil
+}
+
+// CrashMaster simulates a crash of shard s's master; the remaining shards
+// keep serving.
+func (c *ShardedCluster) CrashMaster(s int) { c.inner.CrashMaster(s) }
+
+// Recover replaces shard s's crashed master with a fresh server at newAddr
+// (any name unused within that shard; it is scoped to the shard, so the
+// same name may recover different shards). Completed writes survive.
+func (c *ShardedCluster) Recover(s int, newAddr string) error {
+	return c.inner.Recover(s, newAddr)
+}
+
+// MasterAddrs returns each shard's current master host name, indexed by
+// shard.
+func (c *ShardedCluster) MasterAddrs() []string {
+	addrs := make([]string, 0, c.inner.NumShards())
+	for _, part := range c.inner.Parts {
+		addrs = append(addrs, part.Master.Addr())
+	}
+	return addrs
+}
+
+// Close shuts every partition down.
+func (c *ShardedCluster) Close() { c.inner.Close() }
+
+// ShardedClient routes key-value operations across a ShardedCluster.
+// Single-key operations keep the full single-partition guarantees
+// (linearizable, exactly-once, 1-RTT fast path when commutative).
+// MultiPut and MultiIncrement are atomic and exactly-once per shard but
+// NOT atomic across shards: sub-operations land independently, and a
+// failed shard's legs are not rolled back elsewhere — see
+// internal/shard.Client for the full contract.
+type ShardedClient struct {
+	inner *shard.Client
+}
+
+// Close releases the client's connections to every shard.
+func (c *ShardedClient) Close() { c.inner.Close() }
+
+// ShardFor returns the index of the shard an operation on key routes to.
+func (c *ShardedClient) ShardFor(key []byte) int { return c.inner.ShardFor(key) }
+
+// Stats returns protocol counters summed over every shard's client.
+func (c *ShardedClient) Stats() Stats {
+	return toStats(c.inner.Stats())
+}
+
+// Put writes value under key on its owning shard; it returns the object's
+// new version.
+func (c *ShardedClient) Put(ctx context.Context, key, value []byte) (uint64, error) {
+	return c.inner.Put(ctx, key, value)
+}
+
+// Get reads key at its shard's master (linearizable).
+func (c *ShardedClient) Get(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.inner.Get(ctx, key)
+}
+
+// GetNearby reads key from one of its shard's backups when safe (§A.1).
+func (c *ShardedClient) GetNearby(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.inner.GetNearby(ctx, key)
+}
+
+// GetStale reads key's latest durable value without blocking (§A.3).
+func (c *ShardedClient) GetStale(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	return c.inner.GetStale(ctx, key)
+}
+
+// Delete removes key on its owning shard.
+func (c *ShardedClient) Delete(ctx context.Context, key []byte) error {
+	return c.inner.Delete(ctx, key)
+}
+
+// Increment atomically adds delta to the counter at key and returns the
+// new value.
+func (c *ShardedClient) Increment(ctx context.Context, key []byte, delta int64) (int64, error) {
+	return c.inner.Increment(ctx, key, delta)
+}
+
+// CondPut writes value only if key is currently at expectVersion on its
+// shard (version 0 = must not exist).
+func (c *ShardedClient) CondPut(ctx context.Context, key, value []byte, expectVersion uint64) (applied bool, version uint64, err error) {
+	return c.inner.CondPut(ctx, key, value, expectVersion)
+}
+
+// MultiPut writes the pairs, atomically within each shard; pairs on
+// different shards land independently (see the type doc).
+func (c *ShardedClient) MultiPut(ctx context.Context, pairs []KV) error {
+	kvs := make([]kv.KV, len(pairs))
+	for i, p := range pairs {
+		kvs[i] = kv.KV{Key: p.Key, Value: p.Value}
+	}
+	return c.inner.MultiPut(ctx, kvs)
+}
+
+// MultiIncrement adds each delta to its key's counter — atomic and
+// exactly-once within each shard, independent across shards (see the type
+// doc) — and returns the new counter values aligned with deltas.
+func (c *ShardedClient) MultiIncrement(ctx context.Context, deltas []IncrPair) ([]int64, error) {
+	ps := make([]kv.IncrPair, len(deltas))
+	for i, d := range deltas {
+		ps[i] = kv.IncrPair{Key: d.Key, Delta: d.Delta}
+	}
+	return c.inner.MultiIncrement(ctx, ps)
+}
