@@ -20,6 +20,18 @@
 //
 // bench issues sequential 100B puts on distinct keys and reports latency
 // percentiles and the fraction of 1-RTT completions.
+//
+// rebalance grows the routing ring live: with partitions 0..M-1 already
+// running (curpd -shards M provisions spares that own no keys), it
+// migrates key ranges from an N-shard ring onto the new shards without
+// stopping traffic, one grow step at a time:
+//
+//	curpd  -mode cluster -port 7000 -shards 4   # 4 partitions up
+//	curpctl -coordinator 127.0.0.1:7000 rebalance 3 4
+//
+// After it reports success, address the deployment with -shards 4.
+// Operations on moving ranges bounce-and-retry inside routing clients
+// during the handoff; all other keys are served throughout.
 package main
 
 import (
@@ -69,6 +81,30 @@ func main() {
 		// Pure routing query; no connections needed.
 		need(args, 2)
 		fmt.Println(ring.ShardString(args[1]))
+		return
+	}
+	if args[0] == "rebalance" {
+		need(args, 3)
+		from, err := strconv.Atoi(args[1])
+		exitOn(err)
+		to, err := strconv.Atoi(args[2])
+		exitOn(err)
+		if from < 1 || to < from {
+			fmt.Fprintf(os.Stderr, "rebalance: need 1 <= from <= to, got %d %d\n", from, to)
+			os.Exit(2)
+		}
+		coords := make([]string, to)
+		for s := range coords {
+			coords[s] = shardCoordAddr(*coord, s)
+		}
+		md := &cluster.MigrationDriver{NW: transport.TCPNetwork{}, Self: fmt.Sprintf("curpctl-%d", os.Getpid())}
+		got, err := shard.RebalanceEndpoints(context.Background(), md, coords,
+			shard.MustNewRing(from, 0), shard.MustNewRing(to, 0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rebalance stopped at %d shards: %v\n", got.Shards(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("OK ring now covers %d shards (use -shards %d)\n", got.Shards(), got.Shards())
 		return
 	}
 
@@ -192,7 +228,8 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|shard|bench args...")
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|shard|bench|rebalance args...")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port rebalance <fromShards> <toShards>")
 	os.Exit(2)
 }
 

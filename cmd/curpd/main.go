@@ -11,6 +11,10 @@
 //
 //	curpd -mode cluster -host 127.0.0.1 -port 7000 -f 3 -shards 4
 //
+// Partitions beyond the routing ring clients use are spare capacity: boot
+// -shards 4, route with curpctl -shards 3, then grow the ring live with
+// `curpctl rebalance 3 4` — keys migrate onto shard 3 without downtime.
+//
 // Standalone component servers for spreading a deployment across machines:
 //
 //	curpd -mode backup  -addr 10.0.0.2:7101
@@ -110,6 +114,9 @@ func startPartition(nw transport.Network, shard int, host string, port, f, batch
 	coordAddr := fmt.Sprintf("%s:%d", host, port)
 	coord, err := cluster.NewCoordinator(nw, coordAddr, time.Minute)
 	exitOn(err)
+	// Disjoint RIFL client-ID namespaces per shard: rebalancing migrates
+	// completion records between partitions and must never collide them.
+	coord.SetClientIDNamespace(cluster.ClientIDNamespaceFor(shard))
 	closers := []interface{ Close() }{coord}
 	var backupAddrs, witnessAddrs []string
 	for i := 0; i < f; i++ {

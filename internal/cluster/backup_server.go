@@ -8,6 +8,7 @@ import (
 	"curp/internal/kv"
 	"curp/internal/rpc"
 	"curp/internal/transport"
+	"curp/internal/witness"
 )
 
 // ErrStaleEpoch is the error message backups answer to replication
@@ -22,6 +23,10 @@ type backupState struct {
 	log   *kv.Backup
 	store *kv.Store
 	epoch uint64
+	// moved are ring arcs the master handed off via live migration; reads
+	// touching them answer StatusKeyMoved so stale replicas of migrated
+	// keys are never served. Reset clears it (recovery re-marks).
+	moved []witness.HashRange
 }
 
 // BackupServer stores log replicas for one or more masters and serves
@@ -47,6 +52,7 @@ func NewBackupServer(nw transport.Network, addr string) (*BackupServer, error) {
 	bs.rpc.Handle(OpBackupRead, bs.handleRead)
 	bs.rpc.Handle(OpBackupSetEpoch, bs.handleSetEpoch)
 	bs.rpc.Handle(OpBackupReset, bs.handleReset)
+	bs.rpc.Handle(OpBackupDropRange, bs.handleDropRange)
 	l, err := nw.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -146,6 +152,20 @@ func (bs *BackupServer) handleRead(payload []byte) ([]byte, error) {
 		return (&core.Reply{Status: core.StatusError, Err: "backup: mutations not allowed"}).Encode(), nil
 	}
 	st := bs.state(masterID)
+	bs.mu.Lock()
+	moved := st.moved
+	bs.mu.Unlock()
+	if len(moved) > 0 {
+		for _, kh := range req.KeyHashes {
+			if witness.RangesContainHash(moved, kh) {
+				// The key's range migrated away: this replica is frozen
+				// pre-handoff state. Bounce so the client re-resolves
+				// routing instead of reading a stale (or spuriously
+				// missing) value.
+				return (&core.Reply{Status: core.StatusKeyMoved}).Encode(), nil
+			}
+		}
+	}
 	res, _, err := st.store.Apply(cmd, req.ID)
 	if err != nil {
 		return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
@@ -171,7 +191,31 @@ func (bs *BackupServer) handleReset(payload []byte) ([]byte, error) {
 	}
 	st.epoch = epoch
 	st.log.Reset()
-	bs.states[masterID] = &backupState{log: st.log, store: kv.NewStore(), epoch: epoch}
+	// The moved-range fencing survives the reset: it is partition
+	// metadata, not log state, and the recovery re-seed is about to
+	// re-materialize handed-off keys this replica must keep refusing to
+	// serve (§A.1 reads from old-ring clients would otherwise see frozen
+	// pre-handoff values in the window before the coordinator re-marks).
+	bs.states[masterID] = &backupState{log: st.log, store: kv.NewStore(), epoch: epoch, moved: st.moved}
+	return nil, nil
+}
+
+// handleDropRange marks ranges as migrated away and frees their objects
+// from the materialized replica. The log keeps the entries (history); only
+// the read surface changes.
+func (bs *BackupServer) handleDropRange(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID, rs := rangesIn(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	st := bs.state(masterID)
+	bs.mu.Lock()
+	st.moved = witness.MergeRanges(st.moved, rs)
+	bs.mu.Unlock()
+	st.store.DropRange(func(key []byte) bool {
+		return witness.RangesContain(rs, witness.RingPoint(key))
+	})
 	return nil, nil
 }
 

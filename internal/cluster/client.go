@@ -58,6 +58,16 @@ func (w *witnessConn) Commutes(ctx context.Context, keyHashes []uint64) (bool, e
 	return false, errors.New("cluster: witnessConn requires a master-scoped probe; use scopedWitnessConn")
 }
 
+// Drop retracts the (keyHash, id) pairs of an abandoned RPC. Pairs that
+// were never recorded (rejected records) are ignored by the witness; a
+// witness already in recovery mode errors, telling the caller the records
+// have been surfaced and the RPC ID must not be abandoned.
+func (w *witnessConn) Drop(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID) error {
+	req := &gcRequest{MasterID: masterID, Keys: witness.GCKeys(keyHashes, id)}
+	_, err := w.peer.Call(ctx, OpWitnessDrop, req.encode())
+	return err
+}
+
 // scopedWitnessConn binds a witnessConn to a master ID so Commutes can
 // address the right witness instance.
 type scopedWitnessConn struct {
@@ -255,6 +265,11 @@ func (c *Client) GetStale(ctx context.Context, key []byte) (value []byte, ok boo
 	reply, err := core.DecodeReply(out)
 	if err != nil {
 		return nil, false, err
+	}
+	if reply.Status == core.StatusKeyMoved {
+		// Typed, so the shard routing layer re-routes stale reads after a
+		// migration like every other operation.
+		return nil, false, core.ErrKeyMoved
 	}
 	if reply.Status != core.StatusOK {
 		return nil, false, fmt.Errorf("cluster: stale read: %v %s", reply.Status, reply.Err)

@@ -20,7 +20,17 @@ type Options struct {
 	LeaseTTL time.Duration
 	// NamePrefix distinguishes multiple clusters on one network.
 	NamePrefix string
+	// ClientIDNamespace offsets the partition's RIFL client-ID space.
+	// Sharded deployments give each partition a disjoint namespace (e.g.
+	// shard index << 32) so completion records migrated between shards
+	// during rebalancing can never collide with the target's own clients.
+	ClientIDNamespace uint64
 }
+
+// ClientIDNamespaceFor returns the RIFL client-ID namespace base for a
+// partition index: 2^32 IDs per partition, disjoint across partitions, so
+// completion records migrating between shards can never collide.
+func ClientIDNamespaceFor(shard int) uint64 { return uint64(shard) << 32 }
 
 // DefaultOptions returns a 3-way replicated cluster with paper defaults.
 func DefaultOptions() Options {
@@ -62,6 +72,7 @@ func Start(nw transport.Network, opts Options) (*Cluster, error) {
 	if c.Coord, err = NewCoordinator(nw, p+"coord", opts.LeaseTTL); err != nil {
 		return nil, err
 	}
+	c.Coord.SetClientIDNamespace(opts.ClientIDNamespace)
 	var backupAddrs, witnessAddrs []string
 	for i := 0; i < opts.F; i++ {
 		b, err := NewBackupServer(nw, fmt.Sprintf("%sbackup%d", p, i+1))

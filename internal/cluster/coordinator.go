@@ -10,6 +10,7 @@ import (
 	"curp/internal/rifl"
 	"curp/internal/rpc"
 	"curp/internal/transport"
+	"curp/internal/witness"
 )
 
 // masterInfo is the coordinator's record for one data partition.
@@ -21,6 +22,17 @@ type masterInfo struct {
 	witnessListVersion uint64
 	backupAddrs        []string
 	server             *MasterServer // in-process handle, nil for remote masters
+	// movedAway are ring arcs this partition handed off via live
+	// migration. Recovery seeds replacement masters with them so restored
+	// backup logs and witness replays cannot resurrect migrated keys.
+	movedAway []witness.HashRange
+	// frozen are ring arcs a migration step is currently transferring
+	// out of this partition (recorded by the driver before Collect,
+	// withdrawn on abort or commit). Recovery seeds replacement masters
+	// with them as MIGRATING: the master-side freeze lives in memory, and
+	// a replacement serving a mid-transfer range would split-brain with
+	// the target the moment the step commits.
+	frozen []witness.HashRange
 }
 
 // Coordinator is the cluster configuration manager (the paper's "system
@@ -57,6 +69,10 @@ func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (
 	c.rpc.Handle(OpGetView, c.handleGetView)
 	c.rpc.Handle(OpRegisterClient, c.handleRegisterClient)
 	c.rpc.Handle(OpRenewLease, c.handleRenewLease)
+	c.rpc.Handle(OpCoordAddMoved, rangesHandler(c.NoteMovedRanges))
+	c.rpc.Handle(OpCoordDelMoved, rangesHandler(c.ForgetMovedRanges))
+	c.rpc.Handle(OpCoordAddFrozen, rangesHandler(c.NoteFrozenRanges))
+	c.rpc.Handle(OpCoordDelFrozen, rangesHandler(c.ForgetFrozenRanges))
 	l, err := nw.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -70,6 +86,12 @@ func (c *Coordinator) Addr() string { return c.addr }
 
 // Leases exposes the lease server (for lease-expiry tests).
 func (c *Coordinator) Leases() *rifl.LeaseServer { return c.leases }
+
+// SetClientIDNamespace offsets the coordinator's RIFL client-ID space (see
+// Options.ClientIDNamespace). Call before any client registers.
+func (c *Coordinator) SetClientIDNamespace(base uint64) {
+	c.leases.SetIDNamespace(rifl.ClientID(base))
+}
 
 // Close shuts the coordinator down.
 func (c *Coordinator) Close() { c.rpc.Close() }
@@ -113,6 +135,84 @@ func (c *Coordinator) handleRenewLease(payload []byte) ([]byte, error) {
 		return nil, errors.New("coordinator: lease expired")
 	}
 	return nil, nil
+}
+
+// NoteMovedRanges records ring arcs that migrated away from a partition.
+// It is the durability point of a migration's commit: from here on, any
+// recovery of this partition drops the arcs' keys and skips their witness
+// records, so a source crash cannot resurrect a handed-off range.
+func (c *Coordinator) NoteMovedRanges(masterID uint64, rs []witness.HashRange) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mi := c.masters[masterID]
+	if mi == nil {
+		return fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	mi.movedAway = witness.MergeRanges(mi.movedAway, rs)
+	return nil
+}
+
+// ForgetMovedRanges removes exactly-matching arcs from a partition's
+// moved-away record (the undo path of an aborted multi-source rebalance
+// step).
+func (c *Coordinator) ForgetMovedRanges(masterID uint64, rs []witness.HashRange) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mi := c.masters[masterID]
+	if mi == nil {
+		return fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	mi.movedAway = witness.RemoveRanges(mi.movedAway, rs)
+	return nil
+}
+
+// MovedRanges returns a copy of a partition's moved-away arcs.
+func (c *Coordinator) MovedRanges(masterID uint64) []witness.HashRange {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mi := c.masters[masterID]; mi != nil {
+		return append([]witness.HashRange(nil), mi.movedAway...)
+	}
+	return nil
+}
+
+// NoteFrozenRanges records arcs a migration step is transferring out of a
+// partition, so a recovery during the step keeps them frozen.
+func (c *Coordinator) NoteFrozenRanges(masterID uint64, rs []witness.HashRange) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mi := c.masters[masterID]
+	if mi == nil {
+		return fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	mi.frozen = witness.MergeRanges(mi.frozen, rs)
+	return nil
+}
+
+// ForgetFrozenRanges withdraws freeze records after a step aborts or
+// commits.
+func (c *Coordinator) ForgetFrozenRanges(masterID uint64, rs []witness.HashRange) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mi := c.masters[masterID]
+	if mi == nil {
+		return fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	mi.frozen = witness.RemoveRanges(mi.frozen, rs)
+	return nil
+}
+
+// rangesHandler adapts a (masterID, ranges) method into an RPC handler —
+// the shape every migration-record op shares.
+func rangesHandler(fn func(uint64, []witness.HashRange) error) func([]byte) ([]byte, error) {
+	return func(payload []byte) ([]byte, error) {
+		d := rpc.NewDecoder(payload)
+		masterID, rs := rangesIn(d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fn(masterID, rs)
+	}
 }
 
 // AddMaster registers a running master with its backups and witnesses: the
@@ -226,6 +326,11 @@ func (c *Coordinator) ReplaceWitness(masterID uint64, oldAddr, newAddr string) e
 func (c *Coordinator) RecoverMaster(masterID uint64, newAddr string, newWitnessAddrs []string, opts MasterOptions) (*MasterServer, error) {
 	c.mu.Lock()
 	mi := c.masters[masterID]
+	var movedAway, frozen []witness.HashRange
+	if mi != nil {
+		movedAway = append(movedAway, mi.movedAway...)
+		frozen = append(frozen, mi.frozen...)
+	}
 	c.mu.Unlock()
 	if mi == nil {
 		return nil, fmt.Errorf("coordinator: unknown master %d", masterID)
@@ -260,6 +365,14 @@ func (c *Coordinator) RecoverMaster(masterID uint64, newAddr string, newWitnessA
 		return nil, err
 	}
 	newMaster.SetBackups(mi.backupAddrs)
+	// Seed the replacement with the partition's handed-off arcs BEFORE
+	// restore/replay: the drop of migrated keys and the witness-replay
+	// filter both depend on it. Arcs a live migration step is still
+	// transferring stay frozen (data kept, requests bounced) so the
+	// replacement cannot split-brain with the step's target; a rebalance
+	// re-run converges from that state.
+	newMaster.SetMovedRanges(movedAway)
+	newMaster.SetFrozenRanges(frozen)
 	var recovered bool
 	var lastErr error
 	for _, wAddr := range mi.witnessAddrs {
@@ -275,6 +388,25 @@ func (c *Coordinator) RecoverMaster(masterID uint64, newAddr string, newWitnessA
 		return nil, fmt.Errorf("coordinator: recovery failed on all witnesses: %w", lastErr)
 	}
 
+	// Backups were reset and re-seeded from the restored log during
+	// recovery, which wiped their moved-range marks and re-materialized
+	// handed-off keys; re-apply the migration drop from the coordinator's
+	// record.
+	if len(movedAway) > 0 {
+		dropPayload := encodeRangesPayload(masterID, movedAway)
+		for _, addr := range mi.backupAddrs {
+			p := rpc.NewPeer(c.nw, c.addr, addr)
+			ctx, cancel := context.WithTimeout(context.Background(), c.RPCTimeout)
+			_, err := p.Call(ctx, OpBackupDropRange, dropPayload)
+			cancel()
+			p.Close()
+			if err != nil {
+				newMaster.Close()
+				return nil, fmt.Errorf("coordinator: re-mark moved ranges on backup %s: %w", addr, err)
+			}
+		}
+	}
+
 	// Fresh witness set for the new master under a bumped version.
 	c.endWitnesses(masterID, mi.witnessAddrs)
 	if err := c.startWitnesses(masterID, newWitnessAddrs); err != nil {
@@ -288,6 +420,11 @@ func (c *Coordinator) RecoverMaster(masterID uint64, newAddr string, newWitnessA
 	}
 
 	c.mu.Lock()
+	// Re-read the migration records rather than reusing the pre-recovery
+	// copies: a rebalance driver may have landed AddMoved/DelFrozen while
+	// recovery ran, and clobbering those records would lose a committed
+	// handoff (or resurrect a withdrawn freeze) at the NEXT recovery.
+	cur := c.masters[masterID]
 	c.masters[masterID] = &masterInfo{
 		id:                 masterID,
 		addr:               newAddr,
@@ -296,6 +433,8 @@ func (c *Coordinator) RecoverMaster(masterID uint64, newAddr string, newWitnessA
 		witnessListVersion: newVersion,
 		backupAddrs:        append([]string(nil), mi.backupAddrs...),
 		server:             newMaster,
+		movedAway:          append([]witness.HashRange(nil), cur.movedAway...),
+		frozen:             append([]witness.HashRange(nil), cur.frozen...),
 	}
 	c.mu.Unlock()
 	return newMaster, nil

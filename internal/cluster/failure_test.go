@@ -163,12 +163,17 @@ func TestOrphanedWitnessRecordGC(t *testing.T) {
 		}
 	}
 	// Eventually the orphan is retried by the master and becomes visible
-	// and durable, and the witness slot is freed.
-	waitFor(t, 5*time.Second, func() bool {
+	// and durable, and the witness slot is freed. GC RPCs are best effort
+	// and syncs stop once traffic does, so each probe nudges another
+	// write through to keep gc passes coming (the flush a busy system
+	// gets for free).
+	waitFor(t, 10*time.Second, func() bool {
+		_, _ = cl.Put(ctx, []byte("traffic-extra"), []byte("v"))
 		v, ok, err := cl.Get(ctx, []byte("orphan-key"))
 		return err == nil && ok && string(v) == "orphan-val"
 	}, "orphan re-execution")
-	waitFor(t, 5*time.Second, func() bool {
+	waitFor(t, 10*time.Second, func() bool {
+		_, _ = cl.Put(ctx, []byte("traffic-extra"), []byte("v"))
 		st := c.Witnesses[0].Instance(1).Stats()
 		return st.StaleSuspicions > 0 || c.Witnesses[0].Instance(1).Len() == 0
 	}, "orphan collection")

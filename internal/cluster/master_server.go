@@ -73,6 +73,10 @@ type MasterServer struct {
 	staleMu    sync.Mutex
 	durableOld map[string]staleEntry
 
+	// migr tracks key ranges frozen by or handed off through live
+	// migration; requests touching them bounce with StatusKeyMoved.
+	migr migrationState
+
 	rpc *rpc.Server
 }
 
@@ -100,6 +104,11 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 	ms.rpc.Handle(OpRead, ms.handleRead)
 	ms.rpc.Handle(OpSync, ms.handleSync)
 	ms.rpc.Handle(OpReadStale, ms.handleReadStale)
+	ms.rpc.Handle(OpMigrateCollect, ms.handleMigrateCollect)
+	ms.rpc.Handle(OpMigrateInstall, ms.handleMigrateInstall)
+	ms.rpc.Handle(OpMigrateComplete, ms.handleMigrateComplete)
+	ms.rpc.Handle(OpMigrateAbort, ms.handleMigrateAbort)
+	ms.rpc.Handle(OpMigrateDrop, ms.handleMigrateDrop)
 	l, err := nw.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -238,6 +247,9 @@ func (ms *MasterServer) handleReadStale(payload []byte) ([]byte, error) {
 	if cmd.Op != kv.OpGet {
 		return (&core.Reply{Status: core.StatusError, Err: "master: OpReadStale supports Get only"}).Encode(), nil
 	}
+	if ms.migr.blockedKey(cmd.Key) {
+		return (&core.Reply{Status: core.StatusKeyMoved}).Encode(), nil
+	}
 	ms.staleMu.Lock()
 	entry, cached := ms.durableOld[string(cmd.Key)]
 	ms.staleMu.Unlock()
@@ -294,6 +306,16 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 		ms.execMu.Unlock()
 		return nil, err
 	}
+	// Migration check, inside the execution lock so it serializes with the
+	// freeze in handleMigrateCollect: a new operation on a migrating or
+	// moved range must not execute here (its effects would miss the
+	// transfer or resurrect handed-off keys). Duplicates of operations
+	// that executed before the freeze were answered above from their
+	// completion records.
+	if ms.migr.blockedAny(req.KeyHashes) {
+		ms.execMu.Unlock()
+		return (&core.Reply{Status: core.StatusKeyMoved}).Encode(), nil
+	}
 	// Commutativity check must precede execution: afterwards the op's own
 	// keys are unsynced and would self-conflict.
 	conflict := ms.state.Conflicts(req.KeyHashes)
@@ -316,7 +338,7 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 	if lsn > 0 {
 		hot = ms.state.NoteMutation(req.KeyHashes, uint64(lsn))
 	}
-	ms.tracker.Record(req.ID, res.Encode())
+	ms.tracker.RecordKeyed(req.ID, res.Encode(), req.KeyHashes)
 	ms.execMu.Unlock()
 
 	if conflict {
@@ -361,6 +383,10 @@ func (ms *MasterServer) handleRead(payload []byte) ([]byte, error) {
 			return (&core.Reply{Status: core.StatusWrongMaster}).Encode(), nil
 		}
 		ms.execMu.Lock()
+		if ms.migr.blockedAny(req.KeyHashes) {
+			ms.execMu.Unlock()
+			return (&core.Reply{Status: core.StatusKeyMoved}).Encode(), nil
+		}
 		if !ms.state.Conflicts(req.KeyHashes) {
 			res, _, err := ms.store.Apply(cmd, req.ID)
 			ms.execMu.Unlock()
@@ -512,7 +538,10 @@ func (ms *MasterServer) gcWitnesses(entries []kv.Entry) {
 
 // retryStaleRecords re-executes requests a witness reported as uncollected
 // garbage — most are duplicates RIFL filters — and queues their gc keys
-// for the next gc RPC (§4.5).
+// for the next gc RPC (§4.5). Records touching migrating or moved ranges
+// are never executed (the request either transferred with the range or
+// bounced before executing); their slots are still freed, which is how
+// witness state for a moved range drains away.
 func (ms *MasterServer) retryStaleRecords(stale []witness.Record) {
 	for _, rec := range stale {
 		cmd, err := kv.DecodeCommand(rec.Request)
@@ -521,12 +550,12 @@ func (ms *MasterServer) retryStaleRecords(stale []witness.Record) {
 		}
 		ms.execMu.Lock()
 		outcome, _ := ms.tracker.Begin(rec.ID, 0)
-		if outcome == rifl.New {
+		if outcome == rifl.New && !ms.migr.blockedAny(rec.KeyHashes) {
 			if res, lsn, err := ms.store.Apply(cmd, rec.ID); err == nil {
 				if lsn > 0 {
 					ms.state.NoteMutation(rec.KeyHashes, uint64(lsn))
 				}
-				ms.tracker.Record(rec.ID, res.Encode())
+				ms.tracker.RecordKeyed(rec.ID, res.Encode(), rec.KeyHashes)
 			}
 		}
 		ms.execMu.Unlock()
@@ -552,7 +581,9 @@ func (ms *MasterServer) applyRecoveredEntry(en *kv.Entry) error {
 	if err := ms.store.ReplayEntry(en); err != nil {
 		return err
 	}
-	ms.tracker.Record(en.ID, en.Result.Encode())
+	if !en.ID.IsZero() { // migration object installs carry no RPC identity
+		ms.tracker.RecordKeyed(en.ID, en.Result.Encode(), en.Cmd.KeyHashes())
+	}
 	return nil
 }
 
@@ -604,6 +635,12 @@ func (ms *MasterServer) RecoverFrom(backupAddrs []string, witnessAddr string) er
 			return fmt.Errorf("recovery: restore: %w", err)
 		}
 	}
+	// Ranges this partition handed off before the crash (seeded by the
+	// coordinator via SetMovedRanges) must not come back: the backup log
+	// still carries their history, so re-apply the migration drop.
+	if moved := ms.migr.movedRanges(); len(moved) > 0 {
+		ms.dropMovedObjects(moved)
+	}
 	// Backups are reset below and re-seeded by the final sync, so the
 	// restored log counts as unsynced until then.
 	ms.state.InitRestored(uint64(ms.store.Head()), 0)
@@ -641,6 +678,16 @@ func (ms *MasterServer) RecoverFrom(backupAddrs []string, witnessAddr string) er
 		}
 		ms.tracker.SetRecoveryMode(true)
 		for _, rec := range records {
+			if ms.migr.movedAny(rec.KeyHashes) {
+				// The record's range migrated away before the crash: its
+				// operation either transferred with the range (completion
+				// record lives at the target) or bounced without
+				// executing. Replaying it here would resurrect the range
+				// on the wrong side of the handoff. Frozen (mid-transfer)
+				// ranges DO replay — they still belong here, and skipping
+				// them could lose a completed-but-unsynced operation.
+				continue
+			}
 			outcome, _ := ms.tracker.Begin(rec.ID, 0)
 			if outcome != rifl.New {
 				continue // already restored from the backup log
@@ -656,7 +703,7 @@ func (ms *MasterServer) RecoverFrom(backupAddrs []string, witnessAddr string) er
 			if lsn > 0 {
 				ms.state.NoteMutation(rec.KeyHashes, uint64(lsn))
 			}
-			ms.tracker.Record(rec.ID, res.Encode())
+			ms.tracker.RecordKeyed(rec.ID, res.Encode(), rec.KeyHashes)
 		}
 		ms.tracker.SetRecoveryMode(false)
 	}

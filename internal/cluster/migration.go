@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/rpc"
+	"curp/internal/witness"
+)
+
+// This file is the master side of live key migration (shard rebalancing).
+// A migration moves the keys in a set of ring arcs (witness.HashRange)
+// from a source master to a target master while both keep serving all
+// other keys. The protocol, driven by MigrationDriver (one driver RPC per
+// step):
+//
+//	1. Collect (source): atomically mark the ranges MIGRATING — from here
+//	   every new request touching them bounces with StatusKeyMoved — then
+//	   drain: sync the log head taken at the freeze to all backups, so
+//	   every operation that executed before the freeze is durable. Export
+//	   the ranges' objects (including tombstones and versions) and the
+//	   RIFL completion records of operations that touched them.
+//	2. Install (target): replay the exported objects and completion
+//	   records as OpMigrateObject / OpMigrateRecord log entries, then sync
+//	   — the moved state and its exactly-once filter are now f-fault
+//	   tolerant on the target before any client is routed to it.
+//	3. The driver records the moved ranges at the source's coordinator
+//	   (crash recovery must not resurrect them).
+//	4. Complete (source): the ranges become MOVED — permanently bounced —
+//	   their objects are dropped, and the source's backups are fenced so
+//	   §A.1 backup reads of the range bounce instead of serving frozen
+//	   replicas. Only then does the driver flip the routing ring's epoch.
+//
+// Requests that bounce mid-migration retry through the routing layer
+// until the ring flips; duplicates of operations that executed before the
+// freeze still answer from the source's completion records (checked
+// before the range state), so a retry never re-executes on the target.
+// Witness records for bounced (never-executed) requests surface as
+// suspected uncollected garbage (§4.5); the source GCs them without
+// re-executing because their ranges are marked.
+
+// migrationState tracks, per master, the ring arcs it is migrating away
+// (frozen, transfer in progress) and the arcs it has handed off (moved,
+// dropped). Both bounce requests; only moved survives into recovery via
+// the coordinator's record.
+type migrationState struct {
+	mu        sync.Mutex
+	migrating []witness.HashRange
+	moved     []witness.HashRange
+}
+
+// blockedAny reports whether any of the request's key hashes lies in a
+// migrating or moved range.
+func (m *migrationState) blockedAny(keyHashes []uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.migrating) == 0 && len(m.moved) == 0 {
+		return false
+	}
+	for _, kh := range keyHashes {
+		p := witness.Mix64(kh)
+		if witness.RangesContain(m.migrating, p) || witness.RangesContain(m.moved, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// movedAny reports whether any key hash lies in a MOVED (handed-off)
+// range. Recovery's witness-replay filter uses this instead of blockedAny:
+// a range that is merely frozen (mid-transfer) still belongs to this
+// partition, and a completed-but-unsynced operation recorded for it must
+// replay or it would be lost — only ranges whose handoff committed may be
+// skipped.
+func (m *migrationState) movedAny(keyHashes []uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.moved) == 0 {
+		return false
+	}
+	for _, kh := range keyHashes {
+		if witness.RangesContain(m.moved, witness.Mix64(kh)) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockedKey reports whether key lies in a migrating or moved range.
+func (m *migrationState) blockedKey(key []byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := witness.RingPoint(key)
+	return witness.RangesContain(m.migrating, p) || witness.RangesContain(m.moved, p)
+}
+
+// markMigrating freezes ranges. Idempotent per range value.
+func (m *migrationState) markMigrating(rs []witness.HashRange) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.migrating = witness.MergeRanges(m.migrating, rs)
+}
+
+// unmark aborts a migration: the exact ranges are removed from the
+// migrating set and the keys are served again.
+func (m *migrationState) unmark(rs []witness.HashRange) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.migrating = witness.RemoveRanges(m.migrating, rs)
+}
+
+// markMoved commits a migration: ranges leave the migrating set (if
+// present) and join the moved set for good.
+func (m *migrationState) markMoved(rs []witness.HashRange) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.migrating = witness.RemoveRanges(m.migrating, rs)
+	m.moved = witness.MergeRanges(m.moved, rs)
+}
+
+// movedRanges returns a copy of the moved set.
+func (m *migrationState) movedRanges() []witness.HashRange {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]witness.HashRange(nil), m.moved...)
+}
+
+// MigrationBundle is the state one Collect exports and one Install
+// imports: the range's objects and the completion records of operations
+// that touched them.
+type MigrationBundle struct {
+	Objects     []kv.MigratedObject
+	Completions []rifl.Completion
+}
+
+// rangesIn decodes a (masterID, ranges) payload prefix.
+func rangesIn(d *rpc.Decoder) (uint64, []witness.HashRange) {
+	masterID := d.U64()
+	n := d.U32()
+	rs := make([]witness.HashRange, 0, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		rs = append(rs, witness.HashRange{Lo: d.U64(), Hi: d.U64()})
+	}
+	return masterID, rs
+}
+
+// rangesOut encodes a (masterID, ranges) payload prefix.
+func rangesOut(e *rpc.Encoder, masterID uint64, rs []witness.HashRange) {
+	e.U64(masterID)
+	e.U32(uint32(len(rs)))
+	for _, r := range rs {
+		e.U64(r.Lo)
+		e.U64(r.Hi)
+	}
+}
+
+func encodeRangesPayload(masterID uint64, rs []witness.HashRange) []byte {
+	e := rpc.NewEncoder(16 + 16*len(rs))
+	rangesOut(e, masterID, rs)
+	return e.Bytes()
+}
+
+func (b *MigrationBundle) marshal(e *rpc.Encoder) {
+	e.U32(uint32(len(b.Objects)))
+	for _, o := range b.Objects {
+		e.Bytes32(o.Key)
+		e.Bytes32(o.Value)
+		e.U64(o.Version)
+		e.Bool(o.Tombstone)
+	}
+	e.U32(uint32(len(b.Completions)))
+	for _, c := range b.Completions {
+		e.U64(uint64(c.ID.Client))
+		e.U64(uint64(c.ID.Seq))
+		e.Bytes32(c.Result)
+		e.U64Slice(c.KeyHashes)
+	}
+}
+
+func unmarshalBundle(d *rpc.Decoder) (*MigrationBundle, error) {
+	b := &MigrationBundle{}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		b.Objects = append(b.Objects, kv.MigratedObject{
+			Key:       d.BytesCopy32(),
+			Value:     d.BytesCopy32(),
+			Version:   d.U64(),
+			Tombstone: d.Bool(),
+		})
+	}
+	n = d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		b.Completions = append(b.Completions, rifl.Completion{
+			ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+			Result:    d.BytesCopy32(),
+			KeyHashes: d.U64Slice(),
+		})
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// SetMovedRanges seeds a (fresh, typically recovering) master with ranges
+// that previously migrated away from this partition: restored objects in
+// them are dropped, witness records touching them are never replayed, and
+// requests on them bounce with StatusKeyMoved.
+func (ms *MasterServer) SetMovedRanges(rs []witness.HashRange) {
+	if len(rs) == 0 {
+		return
+	}
+	ms.migr.markMoved(rs)
+}
+
+// SetFrozenRanges seeds a recovering master with ranges a migration step
+// was transferring out when its predecessor crashed: the data is restored
+// (unlike moved ranges) but requests bounce, exactly as on the crashed
+// master, until the step's driver aborts or a rebalance re-run completes
+// the handoff.
+func (ms *MasterServer) SetFrozenRanges(rs []witness.HashRange) {
+	if len(rs) == 0 {
+		return
+	}
+	ms.migr.markMigrating(rs)
+}
+
+// MovedRanges exposes the handed-off arcs (tests, introspection).
+func (ms *MasterServer) MovedRanges() []witness.HashRange { return ms.migr.movedRanges() }
+
+// dropMovedObjects deletes every stored object inside the moved ranges and
+// their §A.3 durable-value cache entries.
+func (ms *MasterServer) dropMovedObjects(rs []witness.HashRange) int {
+	pred := func(key []byte) bool { return witness.RangesContain(rs, witness.RingPoint(key)) }
+	n := ms.store.DropRange(pred)
+	ms.staleMu.Lock()
+	for k := range ms.durableOld {
+		if pred([]byte(k)) {
+			delete(ms.durableOld, k)
+		}
+	}
+	ms.staleMu.Unlock()
+	return n
+}
+
+// handleMigrateCollect freezes the ranges and exports their state: phase 1
+// of a migration, on the source master.
+func (ms *MasterServer) handleMigrateCollect(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID, rs := rangesIn(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if masterID != ms.id {
+		return nil, fmt.Errorf("master %d: migrate-collect addressed to %d", ms.id, masterID)
+	}
+	if ms.state.Frozen() {
+		return nil, fmt.Errorf("master %d: frozen", ms.id)
+	}
+	// Freeze and snapshot the head under the execution lock: every
+	// operation that got past the range check has executed and is ≤ head;
+	// every later one bounces. Draining to head therefore makes the
+	// exported state complete and final.
+	ms.execMu.Lock()
+	ms.migr.markMigrating(rs)
+	head := ms.store.Head()
+	ms.execMu.Unlock()
+	if err := ms.syncAndWait(head); err != nil {
+		ms.migr.unmark(rs)
+		return nil, fmt.Errorf("master %d: migration drain: %w", ms.id, err)
+	}
+	bundle := &MigrationBundle{
+		Objects: ms.store.ExportRange(func(key []byte) bool {
+			return witness.RangesContain(rs, witness.RingPoint(key))
+		}),
+		Completions: ms.tracker.ExportRange(func(kh uint64) bool {
+			return witness.RangesContainHash(rs, kh)
+		}),
+	}
+	e := rpc.NewEncoder(256)
+	bundle.marshal(e)
+	return e.Bytes(), nil
+}
+
+// handleMigrateInstall imports a bundle: phase 2, on the target master.
+// Objects and completion records become ordinary log entries and are
+// synced to the target's backups before the reply, so the handoff is as
+// durable as native execution by the time the ring flips.
+func (ms *MasterServer) handleMigrateInstall(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	bundle, err := unmarshalBundle(d)
+	if err != nil {
+		return nil, err
+	}
+	if masterID != ms.id {
+		return nil, fmt.Errorf("master %d: migrate-install addressed to %d", ms.id, masterID)
+	}
+	for _, o := range bundle.Objects {
+		cmd := &kv.Command{Op: kv.OpMigrateObject, Key: o.Key, Value: o.Value, ExpectVersion: o.Version}
+		if o.Tombstone {
+			cmd.Delta = 1
+		}
+		ms.execMu.Lock()
+		_, lsn, err := ms.store.Apply(cmd, rifl.RPCID{})
+		if err == nil && lsn > 0 {
+			ms.state.NoteMutation(cmd.KeyHashes(), uint64(lsn))
+		}
+		ms.execMu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("master %d: install object %q: %w", ms.id, o.Key, err)
+		}
+	}
+	for _, c := range bundle.Completions {
+		cmd := &kv.Command{Op: kv.OpMigrateRecord, Value: c.Result, Hashes: c.KeyHashes}
+		ms.execMu.Lock()
+		outcome, _ := ms.tracker.Begin(c.ID, 0)
+		if outcome != rifl.New {
+			ms.execMu.Unlock()
+			continue // already installed (e.g. a retried install)
+		}
+		res, _, err := ms.store.Apply(cmd, c.ID)
+		if err == nil {
+			ms.tracker.RecordKeyed(c.ID, res.Encode(), c.KeyHashes)
+		}
+		ms.execMu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("master %d: install completion %v: %w", ms.id, c.ID, err)
+		}
+	}
+	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+		return nil, fmt.Errorf("master %d: install sync: %w", ms.id, err)
+	}
+	e := rpc.NewEncoder(16)
+	e.U32(uint32(len(bundle.Objects)))
+	e.U32(uint32(len(bundle.Completions)))
+	return e.Bytes(), nil
+}
+
+// handleMigrateComplete commits the handoff on the source: the ranges
+// become MOVED for good and their objects are dropped.
+func (ms *MasterServer) handleMigrateComplete(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID, rs := rangesIn(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if masterID != ms.id {
+		return nil, fmt.Errorf("master %d: migrate-complete addressed to %d", ms.id, masterID)
+	}
+	ms.execMu.Lock()
+	ms.migr.markMoved(rs)
+	n := ms.dropMovedObjects(rs)
+	ms.execMu.Unlock()
+	e := rpc.NewEncoder(8)
+	e.U32(uint32(n))
+	return e.Bytes(), nil
+}
+
+// handleMigrateAbort unfreezes ranges on the source after a failed
+// transfer; the source serves them again.
+func (ms *MasterServer) handleMigrateAbort(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID, rs := rangesIn(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if masterID != ms.id {
+		return nil, fmt.Errorf("master %d: migrate-abort addressed to %d", ms.id, masterID)
+	}
+	ms.migr.unmark(rs)
+	return nil, nil
+}
+
+// handleMigrateDrop discards installed-but-never-owned range state on the
+// target after a failed migration. No marks are left: the target may
+// legitimately receive the same ranges in a later attempt.
+func (ms *MasterServer) handleMigrateDrop(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID, rs := rangesIn(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if masterID != ms.id {
+		return nil, fmt.Errorf("master %d: migrate-drop addressed to %d", ms.id, masterID)
+	}
+	ms.execMu.Lock()
+	n := ms.dropMovedObjects(rs)
+	ms.execMu.Unlock()
+	e := rpc.NewEncoder(8)
+	e.U32(uint32(n))
+	return e.Bytes(), nil
+}

@@ -52,6 +52,34 @@ const (
 	OpGetView
 	OpRegisterClient
 	OpRenewLease
+
+	// Migration driver → master (live shard rebalancing; see migration.go).
+	OpMigrateCollect
+	OpMigrateInstall
+	OpMigrateComplete
+	OpMigrateAbort
+	OpMigrateDrop
+	// Migration driver / coordinator → backup: mark ranges moved so §A.1
+	// backup reads on handed-off keys bounce instead of serving stale or
+	// missing values to clients still holding the old ring.
+	OpBackupDropRange
+
+	// Migration driver → coordinator: record / forget ranges that migrated
+	// away from a partition, so crash recovery does not resurrect them.
+	OpCoordAddMoved
+	OpCoordDelMoved
+	// Migration driver → coordinator: record / forget ranges a migration
+	// step is transferring out of a partition, so a recovery DURING the
+	// step keeps them frozen instead of serving them.
+	OpCoordAddFrozen
+	OpCoordDelFrozen
+
+	// Client → witness: retract the client's own records of an RPC it is
+	// abandoning after a StatusKeyMoved bounce. Unlike OpWitnessGC it does
+	// not advance the witness's staleness clock, and it errors in recovery
+	// mode — the records were already surfaced to a recovering master, so
+	// the client must NOT abandon the RPC ID.
+	OpWitnessDrop
 )
 
 // recordRequest is the payload of OpWitnessRecord.

@@ -33,6 +33,7 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 	ws.rpc.Handle(OpWitnessRecord, ws.handleRecord)
 	ws.rpc.Handle(OpWitnessCommutes, ws.handleCommutes)
 	ws.rpc.Handle(OpWitnessGC, ws.handleGC)
+	ws.rpc.Handle(OpWitnessDrop, ws.handleDrop)
 	ws.rpc.Handle(OpWitnessRecoveryData, ws.handleRecoveryData)
 	ws.rpc.Handle(OpWitnessStart, ws.handleStart)
 	ws.rpc.Handle(OpWitnessEnd, ws.handleEnd)
@@ -110,6 +111,20 @@ func (ws *WitnessServer) handleGC(payload []byte) ([]byte, error) {
 	}
 	stale := w.GC(req.Keys)
 	return encodeWitnessRecords(stale), nil
+}
+
+// handleDrop retracts an abandoning client's records. A missing instance
+// means the records cannot exist here, which is a successful retraction.
+func (ws *WitnessServer) handleDrop(payload []byte) ([]byte, error) {
+	req, err := decodeGCRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	w, err := ws.lookup(req.MasterID)
+	if err != nil {
+		return nil, nil
+	}
+	return nil, w.DropRecords(req.Keys)
 }
 
 func (ws *WitnessServer) handleRecoveryData(payload []byte) ([]byte, error) {

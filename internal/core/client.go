@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +30,12 @@ type WitnessAPI interface {
 	// Commutes reports whether an operation touching keyHashes commutes
 	// with everything the witness holds (§A.1 consistent backup reads).
 	Commutes(ctx context.Context, keyHashes []uint64) (bool, error)
+	// Drop removes the client's own record of an RPC it is abandoning
+	// (see ErrKeyMoved). A record left behind by an abandoned ID would be
+	// replayed or §4.5-retried as a NEW operation later — after the
+	// client has reissued the work under a fresh ID — double-applying it.
+	// Dropping pairs that were never recorded is a no-op.
+	Drop(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID) error
 }
 
 // BackupAPI is the client's view of one backup, for §A.1 local reads.
@@ -147,16 +154,24 @@ func NewClient(session *rifl.Session, views ViewProvider, cfg ClientConfig) *Cli
 	return &Client{session: session, views: views, cfg: cfg}
 }
 
-// pause sleeps the exponential-backoff delay before retry `attempt` (no
-// delay before the first attempt), aborting early if ctx ends.
-func (c *Client) pause(ctx context.Context, attempt int) error {
-	if attempt == 0 || c.cfg.RetryBackoff <= 0 {
+// PauseJittered sleeps the capped exponential-backoff delay
+// min(base<<attempt, max), equal-jittered (half deterministic, half
+// uniform random), aborting early if ctx ends. Jitter matters whenever
+// many clients block on the same event — a master crash, a range
+// migration — and would otherwise wake on the same schedule, marching
+// onto the recovering server in synchronized waves.
+func PauseJittered(ctx context.Context, attempt int, base, max time.Duration) error {
+	if base <= 0 {
 		return ctx.Err()
 	}
-	d := c.cfg.RetryBackoff << (attempt - 1)
-	if d <= 0 || (c.cfg.MaxRetryBackoff > 0 && d > c.cfg.MaxRetryBackoff) {
-		d = c.cfg.MaxRetryBackoff
+	d := base << attempt
+	if d <= 0 || (max > 0 && d > max) {
+		d = max
 	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -165,6 +180,15 @@ func (c *Client) pause(ctx context.Context, attempt int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// pause sleeps the retry backoff before attempt (no delay before the
+// first attempt), aborting early if ctx ends.
+func (c *Client) pause(ctx context.Context, attempt int) error {
+	if attempt == 0 {
+		return ctx.Err()
+	}
+	return PauseJittered(ctx, attempt-1, c.cfg.RetryBackoff, c.cfg.MaxRetryBackoff)
 }
 
 // Session returns the client's RIFL session.
@@ -190,6 +214,14 @@ var (
 	// ErrIgnored reports a request the master refused to execute because
 	// RIFL classified it stale or lease-expired.
 	ErrIgnored = errors.New("curp: request ignored by master (stale or lease expired)")
+	// ErrKeyMoved reports that the master no longer serves one of the
+	// operation's keys: the key range is migrating away or has been handed
+	// off to another shard. The operation did not execute. Routing layers
+	// (internal/shard.Client) catch this, refresh their ring, and re-issue
+	// the operation against the new owner; it is returned rather than
+	// retried here because the correct destination is outside this
+	// client's partition.
+	ErrKeyMoved = errors.New("curp: key range moved or migrating")
 )
 
 // Update executes a mutating operation with payload touching keyHashes.
@@ -246,6 +278,39 @@ func (c *Client) Update(ctx context.Context, keyHashes []uint64, payload []byte)
 		case StatusStaleWitnessList, StatusWrongMaster:
 			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
 			continue
+		case StatusKeyMoved:
+			// The key's range left this partition; only the routing layer
+			// can find the new owner, and it will reissue the operation
+			// under a FRESH RPC ID. Before abandoning this ID, retract
+			// the records sent above: a surviving record would later be
+			// replayed (crash recovery) or §4.5-retried (after a
+			// migration abort unfreezes the range) as a brand-new
+			// operation, double-applying work the reissue already did.
+			// Only when every witness confirmed the retraction is it safe
+			// to hand the operation to the routing layer.
+			for range view.Witnesses {
+				<-recCh // records must land before they can be dropped
+			}
+			dropped := true
+			for _, w := range view.Witnesses {
+				if derr := w.Drop(ctx, view.MasterID, keyHashes, id); derr != nil {
+					dropped = false
+					lastErr = fmt.Errorf("curp: retract abandoned record: %w", derr)
+				}
+			}
+			if !dropped {
+				// Keep the ID alive and retry here instead: the master
+				// keeps bouncing, but no duplicate can ever material-
+				// ize, which beats returning a redirect we cannot make
+				// safe.
+				continue
+			}
+			// The ID is fully dead — never executed, records retracted —
+			// so finish it: a permanently unfinished seq would freeze the
+			// session's ack frontier and pin every later completion
+			// record at the master for the session's lifetime.
+			c.session.Finish(id)
+			return nil, ErrKeyMoved
 		case StatusIgnored:
 			return nil, ErrIgnored
 		case StatusError:
@@ -327,6 +392,8 @@ func (c *Client) Read(ctx context.Context, keyHashes []uint64, payload []byte) (
 		case StatusOK:
 			c.masterReads.Add(1)
 			return reply.Payload, nil
+		case StatusKeyMoved:
+			return nil, ErrKeyMoved
 		case StatusStaleWitnessList, StatusWrongMaster:
 			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
 			continue

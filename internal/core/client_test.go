@@ -145,6 +145,10 @@ func (f *fakeWitness) Commutes(ctx context.Context, keyHashes []uint64) (bool, e
 	return f.w.Commutes(keyHashes), nil
 }
 
+func (f *fakeWitness) Drop(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID) error {
+	return f.w.DropRecords(witness.GCKeys(keyHashes, id))
+}
+
 // fakeBackup serves reads with a fixed payload.
 type fakeBackup struct{ payload []byte }
 
@@ -522,4 +526,7 @@ func (s *slowWitness) Record(ctx context.Context, m uint64, khs []uint64, id rif
 }
 func (s *slowWitness) Commutes(ctx context.Context, khs []uint64) (bool, error) {
 	return s.inner.Commutes(ctx, khs)
+}
+func (s *slowWitness) Drop(ctx context.Context, m uint64, khs []uint64, id rifl.RPCID) error {
+	return s.inner.Drop(ctx, m, khs, id)
 }

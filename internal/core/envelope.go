@@ -36,6 +36,13 @@ const (
 	StatusWrongMaster
 	// StatusError: execution failed; Err holds the message.
 	StatusError
+	// StatusKeyMoved: one of the request's keys lies in a range this
+	// master is migrating away (frozen) or has already handed off to
+	// another shard. The routing layer must refresh its ring and re-route;
+	// the operation did NOT execute here (duplicates of operations that
+	// executed before the freeze still return their saved result with
+	// StatusOK).
+	StatusKeyMoved
 )
 
 // String names the status.
@@ -51,6 +58,8 @@ func (s Status) String() string {
 		return "wrong-master"
 	case StatusError:
 		return "error"
+	case StatusKeyMoved:
+		return "key-moved"
 	}
 	return "unknown"
 }

@@ -288,3 +288,9 @@ func (a WitnessAdapter) Record(ctx context.Context, masterID uint64, keyHashes [
 func (a WitnessAdapter) Commutes(ctx context.Context, keyHashes []uint64) (bool, error) {
 	return a.W.Commutes(keyHashes), nil
 }
+
+// Drop implements core.WitnessAPI (client-side retraction of an abandoned
+// RPC's records).
+func (a WitnessAdapter) Drop(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID) error {
+	return a.W.DropRecords(witness.GCKeys(keyHashes, id))
+}

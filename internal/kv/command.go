@@ -34,6 +34,19 @@ const (
 	// log entry, all-or-nothing); each pair's Value holds the decimal
 	// delta. It commutes only with operations touching none of its keys.
 	OpMultiIncr
+	// OpMigrateObject installs one migrated object verbatim during a shard
+	// rebalance: Key/Value are the object, ExpectVersion carries the
+	// version it had on the source shard (preserved so conditional writes
+	// keep working across the handoff), and Delta != 0 marks a tombstone.
+	// It is issued only by the migration install path, never by clients.
+	OpMigrateObject
+	// OpMigrateRecord installs one migrated RIFL completion record: the
+	// entry's RPC ID is the original operation's ID, Value holds the
+	// original encoded Result, and Hashes carries the operation's
+	// commutativity footprint. The command mutates no object — it exists
+	// so the completion record rides the log to the target's backups and
+	// survives a target crash exactly like a natively executed operation.
+	OpMigrateRecord
 )
 
 // String names the operation.
@@ -55,6 +68,10 @@ func (o CommandOp) String() string {
 		return "multiget"
 	case OpMultiIncr:
 		return "multiincr"
+	case OpMigrateObject:
+		return "migrate-object"
+	case OpMigrateRecord:
+		return "migrate-record"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -82,6 +99,11 @@ type Command struct {
 	ExpectVersion uint64
 	// Pairs carries the objects of OpMultiPut / the keys of OpMultiGet.
 	Pairs []KV
+	// Hashes, when set, overrides the computed commutativity footprint.
+	// Only OpMigrateRecord uses it: the original keys are not carried
+	// across the wire, but their hashes must survive for witness GC and
+	// recovery-replay filtering on the target shard.
+	Hashes []uint64
 }
 
 // IsReadOnly reports whether the command cannot modify state. Read-only
@@ -93,6 +115,9 @@ func (c *Command) IsReadOnly() bool { return c.Op == OpGet || c.Op == OpMultiGet
 // KeyHashes returns the 64-bit hashes of every object the command touches,
 // the unit of CURP's commutativity checks.
 func (c *Command) KeyHashes() []uint64 {
+	if len(c.Hashes) > 0 {
+		return c.Hashes
+	}
 	if len(c.Pairs) > 0 {
 		hs := make([]uint64, len(c.Pairs))
 		for i, p := range c.Pairs {
@@ -115,6 +140,7 @@ func (c *Command) Marshal(e *rpc.Encoder) {
 		e.Bytes32(p.Key)
 		e.Bytes32(p.Value)
 	}
+	e.U64Slice(c.Hashes)
 }
 
 // Encode returns the command's wire form.
@@ -137,6 +163,7 @@ func UnmarshalCommand(d *rpc.Decoder) (*Command, error) {
 	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		c.Pairs = append(c.Pairs, KV{Key: d.BytesCopy32(), Value: d.BytesCopy32()})
 	}
+	c.Hashes = d.U64Slice()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}

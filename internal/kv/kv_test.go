@@ -527,3 +527,100 @@ func BenchmarkStorePut(b *testing.B) {
 		s.Apply(&Command{Op: OpPut, Key: key, Value: val}, rid(1, uint64(i+1)))
 	}
 }
+
+// TestMigrateObjectInstall: OpMigrateObject reproduces exported state
+// verbatim — value, version, and tombstones — and the install survives a
+// log replay (the path a target backup and a target recovery both take).
+func TestMigrateObjectInstall(t *testing.T) {
+	src := NewStore()
+	if _, _, err := src.Apply(&Command{Op: OpPut, Key: []byte("a"), Value: []byte("v1")}, rid(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.Apply(&Command{Op: OpPut, Key: []byte("a"), Value: []byte("v2")}, rid(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.Apply(&Command{Op: OpDelete, Key: []byte("gone")}, rid(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	all := func([]byte) bool { return true }
+	exported := src.ExportRange(all)
+	if len(exported) != 2 {
+		t.Fatalf("exported %d objects, want 2 (live + tombstone)", len(exported))
+	}
+
+	dst := NewStore()
+	for _, o := range exported {
+		cmd := &Command{Op: OpMigrateObject, Key: o.Key, Value: o.Value, ExpectVersion: o.Version}
+		if o.Tombstone {
+			cmd.Delta = 1
+		}
+		if _, lsn, err := dst.Apply(cmd, rifl.RPCID{}); err != nil || lsn == 0 {
+			t.Fatalf("install %q: lsn=%d err=%v", o.Key, lsn, err)
+		}
+	}
+	v, ver, ok := dst.Get([]byte("a"))
+	if !ok || string(v) != "v2" || ver != 2 {
+		t.Fatalf("installed object = %q v%d ok=%v, want v2/2", v, ver, ok)
+	}
+	if _, _, ok := dst.Get([]byte("gone")); ok {
+		t.Fatal("tombstone installed as a live object")
+	}
+	// Tombstone keeps its version for conditional writes.
+	res, _, err := dst.Apply(&Command{Op: OpGet, Key: []byte("gone")}, rifl.RPCID{})
+	if err != nil || res.Found || res.Version != 1 {
+		t.Fatalf("tombstone read = %+v, %v", res, err)
+	}
+
+	// Replaying the install log (backup materialization) reproduces it.
+	replica := NewStore()
+	for _, en := range dst.EntriesSince(0) {
+		en := en
+		if err := replica.ReplayEntry(&en); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+	}
+	if v, ver, ok := replica.Get([]byte("a")); !ok || string(v) != "v2" || ver != 2 {
+		t.Fatalf("replayed install = %q v%d ok=%v", v, ver, ok)
+	}
+
+	// DropRange removes what ExportRange saw, and nothing else.
+	if n := dst.DropRange(func(k []byte) bool { return string(k) == "a" }); n != 1 {
+		t.Fatalf("DropRange removed %d, want 1", n)
+	}
+	if _, _, ok := dst.Get([]byte("a")); ok {
+		t.Fatal("dropped key still readable")
+	}
+}
+
+// TestMigrateRecordCarriesResult: an OpMigrateRecord entry preserves the
+// original result bytes and key hashes through the log, so a recovered
+// target still answers migrated duplicates with the original outcome.
+func TestMigrateRecordCarriesResult(t *testing.T) {
+	orig := &Result{Found: true, Value: []byte("42"), Version: 7}
+	cmd := &Command{Op: OpMigrateRecord, Value: orig.Encode(), Hashes: []uint64{123, 456}}
+	s := NewStore()
+	res, lsn, err := s.Apply(cmd, rid(9, 5))
+	if err != nil || lsn == 0 {
+		t.Fatalf("apply migrate-record: lsn=%d err=%v", lsn, err)
+	}
+	if !res.Found || string(res.Value) != "42" || res.Version != 7 {
+		t.Fatalf("decoded result = %+v", res)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("migrate-record mutated %d objects", s.Len())
+	}
+	entries := s.EntriesSince(0)
+	if len(entries) != 1 || entries[0].ID != rid(9, 5) {
+		t.Fatalf("entries = %+v", entries)
+	}
+	// Codec round-trip keeps the hash override.
+	e := rpc.NewEncoder(64)
+	entries[0].Marshal(e)
+	back, err := UnmarshalEntry(rpc.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs := back.Cmd.KeyHashes(); len(hs) != 2 || hs[0] != 123 || hs[1] != 456 {
+		t.Fatalf("round-tripped hashes = %v", hs)
+	}
+}

@@ -102,6 +102,9 @@ func (s *Store) stampKeys(cmd *Command, lsn LSN) {
 		}
 		return
 	}
+	if len(cmd.Key) == 0 {
+		return // keyless log markers (OpMigrateRecord) stamp nothing
+	}
 	if o := s.objects[string(cmd.Key)]; o != nil {
 		o.lsn = lsn
 	}
@@ -196,6 +199,37 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 		}
 		return res, true, nil
 
+	case OpMigrateObject:
+		// Install a migrated object verbatim: value, tombstone state, and
+		// version are whatever the source shard exported, so version-based
+		// conditional writes keep their meaning across the handoff.
+		o := s.objects[string(cmd.Key)]
+		if o == nil {
+			o = &object{}
+			s.objects[string(cmd.Key)] = o
+		}
+		if cmd.Delta != 0 { // tombstone
+			o.value = nil
+		} else {
+			o.value = append([]byte(nil), cmd.Value...)
+			if o.value == nil {
+				o.value = []byte{}
+			}
+		}
+		o.version = cmd.ExpectVersion
+		return &Result{Found: cmd.Delta == 0, Version: o.version}, true, nil
+
+	case OpMigrateRecord:
+		// A pure log marker: no object changes, but the entry (which
+		// carries the original RPC ID and, via this result, the original
+		// outcome) is appended and replicated, making the migrated
+		// completion record as durable as a native one.
+		res, err := DecodeResult(cmd.Value)
+		if err != nil {
+			return nil, false, fmt.Errorf("kv: migrate-record result: %w", err)
+		}
+		return res, true, nil
+
 	case OpCondPut:
 		o := s.objects[string(cmd.Key)]
 		var cur uint64
@@ -274,6 +308,52 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.objects)
+}
+
+// MigratedObject is one object exported for a shard migration: the exact
+// stored state (including tombstones), so the target can reproduce it with
+// OpMigrateObject.
+type MigratedObject struct {
+	Key       []byte
+	Value     []byte
+	Version   uint64
+	Tombstone bool
+}
+
+// ExportRange returns every object (live or tombstoned) whose key matches
+// pred, for transfer to another shard.
+func (s *Store) ExportRange(pred func(key []byte) bool) []MigratedObject {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []MigratedObject
+	for k, o := range s.objects {
+		if !pred([]byte(k)) {
+			continue
+		}
+		mo := MigratedObject{Key: []byte(k), Version: o.version, Tombstone: o.value == nil}
+		if !mo.Tombstone {
+			mo.Value = append([]byte(nil), o.value...)
+		}
+		out = append(out, mo)
+	}
+	return out
+}
+
+// DropRange removes every object whose key matches pred from the object
+// table and returns how many were dropped. The operation log is left
+// intact — it is history, and recovery paths that replay it re-apply the
+// same drop from the coordinator's moved-range record.
+func (s *Store) DropRange(pred func(key []byte) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.objects {
+		if pred([]byte(k)) {
+			delete(s.objects, k)
+			n++
+		}
+	}
+	return n
 }
 
 // ReplayEntry applies a log entry to a store being rebuilt during recovery.

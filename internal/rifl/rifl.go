@@ -82,17 +82,27 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
 
-// Completion is one durable completion record.
+// Completion is one durable completion record. KeyHashes, when present,
+// carries the commutativity footprint of the recorded operation; it lets a
+// shard migration export exactly the completion records whose operations
+// touched a moving key range (so the target shard can keep filtering
+// duplicate retries of operations originally executed at the source).
 type Completion struct {
-	ID     RPCID
-	Result []byte
+	ID        RPCID
+	Result    []byte
+	KeyHashes []uint64
+}
+
+type completion struct {
+	result    []byte
+	keyHashes []uint64
 }
 
 type clientState struct {
 	// firstUnacked: completion records for seq < firstUnacked have been
 	// acknowledged by the client and discarded.
 	firstUnacked Seq
-	completions  map[Seq][]byte
+	completions  map[Seq]completion
 }
 
 // Tracker is a server-side completion-record table. It is safe for
@@ -125,7 +135,7 @@ func (t *Tracker) Begin(id RPCID, ack Seq) (outcome Outcome, result []byte) {
 	}
 	cs := t.clients[id.Client]
 	if cs == nil {
-		cs = &clientState{completions: make(map[Seq][]byte)}
+		cs = &clientState{completions: make(map[Seq]completion)}
 		t.clients[id.Client] = cs
 	}
 	// §4.8: acknowledgments must be ignored during recovery from witnesses,
@@ -137,7 +147,7 @@ func (t *Tracker) Begin(id RPCID, ack Seq) (outcome Outcome, result []byte) {
 		cs.firstUnacked = ack
 	}
 	if r, ok := cs.completions[id.Seq]; ok {
-		return Completed, r
+		return Completed, r.result
 	}
 	if id.Seq < cs.firstUnacked {
 		return Stale, nil
@@ -148,18 +158,26 @@ func (t *Tracker) Begin(id RPCID, ack Seq) (outcome Outcome, result []byte) {
 // Record saves the completion record for an executed RPC. It must be called
 // after Begin returned New and the operation executed.
 func (t *Tracker) Record(id RPCID, result []byte) {
+	t.RecordKeyed(id, result, nil)
+}
+
+// RecordKeyed is Record with the operation's commutativity footprint
+// attached, so the record can later be exported by key range (shard
+// migration). Masters use it on every execution path; Record remains for
+// callers with no key information.
+func (t *Tracker) RecordKeyed(id RPCID, result []byte, keyHashes []uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cs := t.clients[id.Client]
 	if cs == nil {
-		cs = &clientState{completions: make(map[Seq][]byte)}
+		cs = &clientState{completions: make(map[Seq]completion)}
 		t.clients[id.Client] = cs
 	}
 	if id.Seq < cs.firstUnacked {
 		// The record was concurrently acknowledged; nothing to keep.
 		return
 	}
-	cs.completions[id.Seq] = result
+	cs.completions[id.Seq] = completion{result: result, keyHashes: keyHashes}
 	delete(t.expired, id.Client)
 }
 
@@ -196,8 +214,32 @@ func (t *Tracker) Snapshot() []Completion {
 	defer t.mu.Unlock()
 	var out []Completion
 	for cid, cs := range t.clients {
-		for seq, res := range cs.completions {
-			out = append(out, Completion{ID: RPCID{cid, seq}, Result: res})
+		for seq, c := range cs.completions {
+			out = append(out, Completion{ID: RPCID{cid, seq}, Result: c.result, KeyHashes: c.keyHashes})
+		}
+	}
+	return out
+}
+
+// ExportRange returns the live completion records whose operations touched
+// a key matched by pred (evaluated on each record's key hashes). A shard
+// migration ships these to the target alongside the range's objects: a
+// client retrying an operation that already executed at the source must
+// find its completion record at the target, or the retry would re-execute
+// (a lost-exactly-once, e.g. a double-applied increment). Records saved
+// without key hashes (plain Record) are never exported.
+func (t *Tracker) ExportRange(pred func(keyHash uint64) bool) []Completion {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Completion
+	for cid, cs := range t.clients {
+		for seq, c := range cs.completions {
+			for _, kh := range c.keyHashes {
+				if pred(kh) {
+					out = append(out, Completion{ID: RPCID{cid, seq}, Result: c.result, KeyHashes: c.keyHashes})
+					break
+				}
+			}
 		}
 	}
 	return out
@@ -207,7 +249,7 @@ func (t *Tracker) Snapshot() []Completion {
 // master rebuilds state from a backup.
 func (t *Tracker) Restore(records []Completion) {
 	for _, r := range records {
-		t.Record(r.ID, r.Result)
+		t.RecordKeyed(r.ID, r.Result, r.KeyHashes)
 	}
 }
 

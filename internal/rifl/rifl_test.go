@@ -298,3 +298,63 @@ func BenchmarkTrackerBeginRecord(b *testing.B) {
 		tr.Record(id, nil)
 	}
 }
+
+// TestExportRangeByKeyHash: keyed completion records export exactly the
+// records whose operations touched a matching key hash — the primitive
+// shard migration uses to carry exactly-once state with a moving range —
+// while unkeyed records and non-matching records stay home. Namespaced
+// lease servers keep cross-partition exports collision-free.
+func TestExportRangeByKeyHash(t *testing.T) {
+	tr := NewTracker()
+	idA := RPCID{Client: 1, Seq: 1}
+	idB := RPCID{Client: 1, Seq: 2}
+	idC := RPCID{Client: 2, Seq: 1}
+	tr.RecordKeyed(idA, []byte("ra"), []uint64{10, 11})
+	tr.RecordKeyed(idB, []byte("rb"), []uint64{20})
+	tr.Record(idC, []byte("rc")) // no key tags: never exported
+
+	moving := func(kh uint64) bool { return kh == 11 || kh == 99 }
+	out := tr.ExportRange(moving)
+	if len(out) != 1 || out[0].ID != idA || string(out[0].Result) != "ra" {
+		t.Fatalf("ExportRange = %+v, want exactly idA", out)
+	}
+
+	// The exported record installs on another tracker and keeps filtering
+	// duplicates there with the original result.
+	target := NewTracker()
+	target.Restore(out)
+	if outcome, res := target.Begin(idA, 0); outcome != Completed || string(res) != "ra" {
+		t.Fatalf("restored record: outcome=%v res=%q", outcome, res)
+	}
+	// Records the export skipped are unknown at the target.
+	if outcome, _ := target.Begin(idB, 0); outcome != New {
+		t.Fatalf("unexported record leaked: %v", outcome)
+	}
+
+	// Snapshot round-trips key hashes, so chained exports keep working.
+	snap := tr.Snapshot()
+	tr2 := NewTracker()
+	tr2.Restore(snap)
+	if got := tr2.ExportRange(moving); len(got) != 1 || got[0].ID != idA {
+		t.Fatalf("export after snapshot/restore = %+v", got)
+	}
+}
+
+// TestLeaseServerIDNamespace: disjoint namespaces issue disjoint IDs.
+func TestLeaseServerIDNamespace(t *testing.T) {
+	a := NewLeaseServer(time.Minute, nil)
+	b := NewLeaseServer(time.Minute, nil)
+	b.SetIDNamespace(1 << 32)
+	ida, idb := a.Register(), b.Register()
+	if ida == idb {
+		t.Fatalf("namespaced lease servers issued the same ID %d", ida)
+	}
+	if idb <= 1<<32 {
+		t.Fatalf("namespaced ID %d not above its base", idb)
+	}
+	// Setting a lower base never moves the counter backwards.
+	b.SetIDNamespace(0)
+	if next := b.Register(); next <= idb {
+		t.Fatalf("ID counter went backwards: %d after %d", next, idb)
+	}
+}

@@ -79,6 +79,20 @@ func NewLeaseServer(ttl time.Duration, now func() time.Time) *LeaseServer {
 	return &LeaseServer{nextID: 1, ttl: ttl, now: now, expiry: make(map[ClientID]time.Time)}
 }
 
+// SetIDNamespace moves the server's ID space to start above base. Each
+// partition's lease server must issue from a disjoint namespace in a
+// sharded deployment: completion records migrate between partitions during
+// rebalancing, and a record from shard A's client (a, seq) must never be
+// mistaken for shard B's client (a, seq). Callers pick disjoint bases
+// (e.g. partition index << 32) before any client registers.
+func (l *LeaseServer) SetIDNamespace(base ClientID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextID <= base {
+		l.nextID = base + 1
+	}
+}
+
 // Register issues a fresh client ID with a live lease.
 func (l *LeaseServer) Register() ClientID {
 	l.mu.Lock()

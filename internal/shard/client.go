@@ -5,16 +5,55 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"curp/internal/cluster"
 	"curp/internal/core"
 	"curp/internal/kv"
 )
 
+// RingSource supplies the authoritative routing ring; clients consult it
+// when an operation bounces with a moved-key redirect. In-process
+// deployments use the Cluster itself; out-of-process tools may use a
+// static ring (no refresh) or their own resolver.
+type RingSource interface {
+	CurrentRing() *Ring
+}
+
+// StaticRing is a RingSource pinned to one ring (operator tools whose
+// shard count is a command-line fact, tests).
+type StaticRing struct{ R *Ring }
+
+// CurrentRing implements RingSource.
+func (s StaticRing) CurrentRing() *Ring { return s.R }
+
+// Redirect retry policy: how often, and for how long, a bounced operation
+// re-resolves routing while a migration is still transferring its range.
+// The delay is jittered so bounced clients don't thunder onto the master
+// that just finished installing the range. The overall budget is
+// time-based, not attempt-based: a transfer takes as long as the range's
+// data takes to drain, ship, and sync (the driver allows 30s per RPC), so
+// a healthy mid-rebalance operation must out-wait it. The caller's ctx
+// caps the wait sooner; the budget exists so an operation on a parked
+// range (a rebalance that failed after its commit point and needs a
+// re-run) eventually surfaces an error instead of spinning forever.
+const (
+	maxRedirectWait    = 2 * time.Minute
+	redirectBackoffMin = time.Millisecond
+	redirectBackoffMax = 50 * time.Millisecond
+)
+
 // Client routes key-value operations across a sharded deployment. Single-
 // key operations go to the owning shard's CURP client unchanged, keeping
 // the full 1-RTT fast path, linearizability, and exactly-once semantics of
 // one partition.
+//
+// Rebalancing contract: while a key's range is migrating, operations on it
+// bounce inside the deployment (core.ErrKeyMoved) and the client retries
+// with a jittered backoff, refreshing its ring from the RingSource; once
+// the ring epoch flips the operation lands on the new owner. Other keys
+// are unaffected. An operation that bounced NEVER executed, so the retry
+// is not a duplicate.
 //
 // Cross-shard atomicity contract: MultiPut and MultiIncrement group their
 // keys by owning shard and issue one atomic per-shard sub-operation per
@@ -23,18 +62,28 @@ import (
 // so a retried transfer never double-applies). Across shards there is NO
 // atomicity: a reader may observe one shard's sub-operation before
 // another's lands, and if a sub-operation ultimately fails the others are
-// not rolled back. Callers needing cross-shard isolation must layer a
-// transaction protocol on top; callers needing only exactly-once totals
-// (counters, transfers) get them as-is.
+// not rolled back. A rebalance can also split what was one shard's group
+// into two: sub-operations re-grouped after a redirect are atomic per NEW
+// owner. Callers needing cross-shard isolation must layer a transaction
+// protocol on top; callers needing only exactly-once totals (counters,
+// transfers) get them as-is.
 type Client struct {
+	src  RingSource                            // nil: never refresh
+	dial func(s int) (*cluster.Client, error)  // nil: cannot reach new shards
+
+	mu     sync.RWMutex
 	ring   *Ring
 	shards []*cluster.Client
+
+	refreshMu sync.Mutex // serializes ring refreshes (dial outside mu)
 }
 
 // NewRoutedClient assembles a Client from already-opened per-shard
 // clients, one per ring shard in shard order. Operator tools (cmd/curpctl)
 // use it to route across partitions whose coordinators they dialed
-// directly; in-process deployments use Cluster.NewClient instead.
+// directly; in-process deployments use Cluster.NewClient instead. The
+// returned client treats the ring as static (no redirect refresh) unless
+// the caller also sets a source via WithRingSource.
 func NewRoutedClient(ring *Ring, shards []*cluster.Client) (*Client, error) {
 	if len(shards) != ring.Shards() {
 		return nil, fmt.Errorf("shard: %d clients for a %d-shard ring", len(shards), ring.Shards())
@@ -42,23 +91,119 @@ func NewRoutedClient(ring *Ring, shards []*cluster.Client) (*Client, error) {
 	return &Client{ring: ring, shards: shards}, nil
 }
 
+// WithRingSource installs a ring refresher and a dialer for shards the
+// refreshed ring covers but the client has not connected to yet. Either
+// may be nil.
+func (c *Client) WithRingSource(src RingSource, dial func(s int) (*cluster.Client, error)) *Client {
+	c.src = src
+	c.dial = dial
+	return c
+}
+
+// snapshot returns the routing state under the read lock.
+func (c *Client) snapshot() (*Ring, []*cluster.Client) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring, c.shards
+}
+
+// RingEpoch returns the epoch of the ring the client currently routes by.
+func (c *Client) RingEpoch() uint64 {
+	r, _ := c.snapshot()
+	return r.Epoch()
+}
+
 // ShardFor returns the index of the shard owning key.
-func (c *Client) ShardFor(key []byte) int { return c.ring.Shard(key) }
+func (c *Client) ShardFor(key []byte) int {
+	r, _ := c.snapshot()
+	return r.Shard(key)
+}
 
 // NumShards returns how many shards the client routes over.
-func (c *Client) NumShards() int { return len(c.shards) }
+func (c *Client) NumShards() int {
+	_, shards := c.snapshot()
+	return len(shards)
+}
 
 // Shard returns the single-partition client for shard s, for callers that
 // want to pin operations (e.g. operator tools addressing one partition).
-func (c *Client) Shard(s int) *cluster.Client { return c.shards[s] }
+func (c *Client) Shard(s int) *cluster.Client {
+	_, shards := c.snapshot()
+	return shards[s]
+}
 
-func (c *Client) route(key []byte) *cluster.Client {
-	return c.shards[c.ring.Shard(key)]
+// refreshRing adopts a newer ring from the source, dialing clients for any
+// newly covered shards. It reports whether the routing changed.
+func (c *Client) refreshRing() bool {
+	if c.src == nil {
+		return false
+	}
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	r := c.src.CurrentRing()
+	cur, shards := c.snapshot()
+	if r.Epoch() <= cur.Epoch() {
+		return false
+	}
+	fresh := append([]*cluster.Client(nil), shards...)
+	var added []*cluster.Client
+	for s := len(fresh); s < r.Shards(); s++ {
+		if c.dial == nil {
+			return false // newer ring unreachable without a dialer
+		}
+		sc, err := c.dial(s)
+		if err != nil {
+			// Keep the old ring; the next bounce retries. Release what
+			// this refresh already dialed or every retry would leak a
+			// registered connection.
+			for _, a := range added {
+				a.Close()
+			}
+			return false
+		}
+		fresh = append(fresh, sc)
+		added = append(added, sc)
+	}
+	c.mu.Lock()
+	c.ring = r
+	c.shards = fresh
+	c.mu.Unlock()
+	return true
+}
+
+// pauseRedirect sleeps the jittered redirect backoff for retry `attempt`.
+func pauseRedirect(ctx context.Context, attempt int) error {
+	return core.PauseJittered(ctx, attempt, redirectBackoffMin, redirectBackoffMax)
+}
+
+// do runs op against key's owning shard, re-resolving and retrying when
+// the deployment answers that the key's range moved.
+func (c *Client) do(ctx context.Context, key []byte, op func(sc *cluster.Client) error) error {
+	var deadline time.Time
+	for attempt := 0; ; attempt++ {
+		ring, shards := c.snapshot()
+		err := op(shards[ring.Shard(key)])
+		if err == nil || !errors.Is(err, core.ErrKeyMoved) {
+			return err
+		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(maxRedirectWait)
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("shard: key still moving after %v (%d redirects): %w", maxRedirectWait, attempt, err)
+		}
+		if !c.refreshRing() {
+			// Same ring: the range is mid-transfer. Wait for the flip.
+			if perr := pauseRedirect(ctx, attempt); perr != nil {
+				return perr
+			}
+		}
+	}
 }
 
 // Close releases every per-shard connection.
 func (c *Client) Close() {
-	for _, sc := range c.shards {
+	_, shards := c.snapshot()
+	for _, sc := range shards {
 		if sc != nil {
 			sc.Close()
 		}
@@ -68,7 +213,8 @@ func (c *Client) Close() {
 // Stats returns the sum of every per-shard client's protocol counters.
 func (c *Client) Stats() core.ClientStats {
 	var total core.ClientStats
-	for _, sc := range c.shards {
+	_, shards := c.snapshot()
+	for _, sc := range shards {
 		s := sc.Stats()
 		total.FastPath += s.FastPath
 		total.SyncedByMaster += s.SyncedByMaster
@@ -82,103 +228,179 @@ func (c *Client) Stats() core.ClientStats {
 
 // Put writes value under key on its owning shard.
 func (c *Client) Put(ctx context.Context, key, value []byte) (uint64, error) {
-	return c.route(key).Put(ctx, key, value)
+	var ver uint64
+	err := c.do(ctx, key, func(sc *cluster.Client) error {
+		v, err := sc.Put(ctx, key, value)
+		ver = v
+		return err
+	})
+	return ver, err
 }
 
 // Get reads key at its shard's master (linearizable).
 func (c *Client) Get(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
-	return c.route(key).Get(ctx, key)
+	err = c.do(ctx, key, func(sc *cluster.Client) error {
+		var gerr error
+		value, ok, gerr = sc.Get(ctx, key)
+		return gerr
+	})
+	return value, ok, err
 }
 
 // GetNearby reads key from one of its shard's backups when a witness
 // confirms safety (§A.1).
 func (c *Client) GetNearby(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
-	return c.route(key).GetNearby(ctx, key)
+	err = c.do(ctx, key, func(sc *cluster.Client) error {
+		var gerr error
+		value, ok, gerr = sc.GetNearby(ctx, key)
+		return gerr
+	})
+	return value, ok, err
 }
 
 // GetStale reads key's latest durable value at its shard (§A.3).
 func (c *Client) GetStale(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
-	return c.route(key).GetStale(ctx, key)
+	err = c.do(ctx, key, func(sc *cluster.Client) error {
+		var gerr error
+		value, ok, gerr = sc.GetStale(ctx, key)
+		return gerr
+	})
+	return value, ok, err
 }
 
 // Delete removes key on its owning shard.
 func (c *Client) Delete(ctx context.Context, key []byte) error {
-	return c.route(key).Delete(ctx, key)
+	return c.do(ctx, key, func(sc *cluster.Client) error {
+		return sc.Delete(ctx, key)
+	})
 }
 
 // Increment atomically adds delta to the counter at key on its shard.
 func (c *Client) Increment(ctx context.Context, key []byte, delta int64) (int64, error) {
-	return c.route(key).Increment(ctx, key, delta)
+	var n int64
+	err := c.do(ctx, key, func(sc *cluster.Client) error {
+		v, err := sc.Increment(ctx, key, delta)
+		n = v
+		return err
+	})
+	return n, err
 }
 
 // CondPut writes value only if key is at expectVersion on its shard.
 func (c *Client) CondPut(ctx context.Context, key, value []byte, expectVersion uint64) (applied bool, version uint64, err error) {
-	return c.route(key).CondPut(ctx, key, value, expectVersion)
+	err = c.do(ctx, key, func(sc *cluster.Client) error {
+		var cerr error
+		applied, version, cerr = sc.CondPut(ctx, key, value, expectVersion)
+		return cerr
+	})
+	return applied, version, err
+}
+
+// runGrouped partitions items by owning shard and issues one sub-operation
+// per group, concurrently. Groups bounced by a migration (core.ErrKeyMoved)
+// are re-grouped under a refreshed ring and re-issued; groups that applied
+// are never re-sent, preserving per-shard exactly-once across a rebalance.
+func runGrouped[T any](ctx context.Context, c *Client, items []T, keyOf func(T) []byte, issue func(sc *cluster.Client, group []T) error) error {
+	remaining := items
+	var deadline time.Time
+	for attempt := 0; ; attempt++ {
+		ring, shards := c.snapshot()
+		groups := make(map[int][]T)
+		for _, it := range remaining {
+			s := ring.Shard(keyOf(it))
+			groups[s] = append(groups[s], it)
+		}
+		var wg sync.WaitGroup
+		var gmu sync.Mutex
+		var moved []T
+		var hard []error
+		for s, g := range groups {
+			wg.Add(1)
+			go func(s int, g []T) {
+				defer wg.Done()
+				err := issue(shards[s], g)
+				if err == nil {
+					return
+				}
+				gmu.Lock()
+				defer gmu.Unlock()
+				if errors.Is(err, core.ErrKeyMoved) {
+					moved = append(moved, g...)
+				} else {
+					hard = append(hard, fmt.Errorf("shard %d: %w", s, err))
+				}
+			}(s, g)
+		}
+		wg.Wait()
+		if len(hard) > 0 {
+			return errors.Join(hard...)
+		}
+		if len(moved) == 0 {
+			return nil
+		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(maxRedirectWait)
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("shard: %d items still moving after %v (%d redirects): %w", len(moved), maxRedirectWait, attempt, core.ErrKeyMoved)
+		}
+		if !c.refreshRing() {
+			if perr := pauseRedirect(ctx, attempt); perr != nil {
+				return perr
+			}
+		}
+		remaining = moved
+	}
 }
 
 // MultiPut writes the pairs, atomically per shard (see the cross-shard
 // contract in the Client doc). Pairs owned by one shard form a single
 // atomic MultiPut there; the per-shard sub-operations run concurrently.
+// Sub-operations bounced by a migration are re-grouped under the new ring
+// and re-issued; already-applied groups are never re-sent.
 func (c *Client) MultiPut(ctx context.Context, pairs []kv.KV) error {
-	groups := make(map[int][]kv.KV)
-	for _, p := range pairs {
-		s := c.ring.Shard(p.Key)
-		groups[s] = append(groups[s], p)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(c.shards))
-	for s, g := range groups {
-		wg.Add(1)
-		go func(s int, g []kv.KV) {
-			defer wg.Done()
-			if err := c.shards[s].MultiPut(ctx, g); err != nil {
-				errs[s] = fmt.Errorf("shard %d: %w", s, err)
-			}
-		}(s, g)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
+	return runGrouped(ctx, c, pairs,
+		func(p kv.KV) []byte { return p.Key },
+		func(sc *cluster.Client, group []kv.KV) error {
+			return sc.MultiPut(ctx, group)
+		})
 }
 
 // MultiIncrement adds each delta to its key's counter, atomically and
 // exactly-once per shard (see the cross-shard contract in the Client doc),
 // and returns the new counter values aligned with deltas. The per-shard
-// sub-operations run concurrently.
+// sub-operations run concurrently; sub-operations bounced by a migration
+// are re-grouped under the new ring and re-issued, and applied groups are
+// never re-sent (no double increments across a rebalance).
 func (c *Client) MultiIncrement(ctx context.Context, deltas []kv.IncrPair) ([]int64, error) {
-	type group struct {
-		pairs []kv.IncrPair
-		idx   []int // positions in the caller's slice
-	}
-	groups := make(map[int]*group)
-	for i, d := range deltas {
-		s := c.ring.Shard(d.Key)
-		g := groups[s]
-		if g == nil {
-			g = &group{}
-			groups[s] = g
-		}
-		g.pairs = append(g.pairs, d)
-		g.idx = append(g.idx, i)
-	}
 	out := make([]int64, len(deltas))
-	var wg sync.WaitGroup
-	errs := make([]error, len(c.shards))
-	for s, g := range groups {
-		wg.Add(1)
-		go func(s int, g *group) {
-			defer wg.Done()
-			vals, err := c.shards[s].MultiIncrement(ctx, g.pairs)
-			if err != nil {
-				errs[s] = fmt.Errorf("shard %d: %w", s, err)
-				return
-			}
-			for i, v := range vals {
-				out[g.idx[i]] = v
-			}
-		}(s, g)
+	var outMu sync.Mutex
+	type item struct {
+		pair kv.IncrPair
+		idx  int
 	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
+	items := make([]item, len(deltas))
+	for i, d := range deltas {
+		items[i] = item{pair: d, idx: i}
+	}
+	err := runGrouped(ctx, c, items,
+		func(it item) []byte { return it.pair.Key },
+		func(sc *cluster.Client, group []item) error {
+			pairs := make([]kv.IncrPair, len(group))
+			for i, it := range group {
+				pairs[i] = it.pair
+			}
+			vals, err := sc.MultiIncrement(ctx, pairs)
+			if err != nil {
+				return err
+			}
+			outMu.Lock()
+			for i, it := range group {
+				out[it.idx] = vals[i]
+			}
+			outMu.Unlock()
+			return nil
+		})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

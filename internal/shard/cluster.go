@@ -1,7 +1,9 @@
 package shard
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"curp/internal/cluster"
 	"curp/internal/transport"
@@ -26,15 +28,49 @@ func DefaultOptions() Options {
 	return Options{Shards: 4, Partition: cluster.DefaultOptions()}
 }
 
+// MigrationHooks inject failure points into Rebalance, for tests that
+// crash servers at precise protocol stages. All fields may be nil.
+type MigrationHooks struct {
+	// BeforeCollect runs before the sources are frozen and drained.
+	BeforeCollect func(targetShard int)
+	// AfterCollect runs after every source exported its ranges, before
+	// the target installs them.
+	AfterCollect func(targetShard int)
+	// AfterFlip runs after the ring epoch flipped (the handoff is
+	// committed), before the sources drop their moved ranges.
+	AfterFlip func(targetShard int)
+}
+
 // Cluster is a running sharded CURP deployment: N independent partitions —
 // each a coordinator, one master, F backups, and F witnesses — on one
 // shared network, plus the ring that routes keys to them. Partitions share
 // nothing: a shard's conflicts, syncs, crashes, and recoveries never touch
 // another shard's fast path.
+//
+// The ring is mutable: AddShard boots spare partitions and Rebalance
+// migrates key ranges onto them live, bumping the ring epoch. Routing
+// clients opened with NewClient observe the flip through the RingSource
+// interface and re-route bounced operations.
 type Cluster struct {
-	Net   transport.Network
-	Ring  *Ring
+	Net transport.Network
+	// Parts is append-only; entries are never replaced (Recover swaps the
+	// master inside a partition, not the partition itself). Appends happen
+	// under mu; concurrent paths (client dialing, rebalancing) read
+	// through partsSnapshot, while tests may index it directly between
+	// reconfigurations.
 	Parts []*cluster.Cluster
+	// Hooks inject migration failure points (tests only).
+	Hooks MigrationHooks
+
+	opts Options
+
+	mu   sync.Mutex
+	ring *Ring
+
+	// reconfMu serializes reconfigurations (AddShard) so two concurrent
+	// adds cannot claim the same partition index, name prefix, and RIFL
+	// client-ID namespace.
+	reconfMu sync.Mutex
 }
 
 // prefixFor returns the host-name prefix of shard s under base.
@@ -53,32 +89,120 @@ func StartCluster(nw transport.Network, opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{Net: nw, Ring: ring}
+	c := &Cluster{Net: nw, ring: ring, opts: opts}
 	for i := 0; i < opts.Shards; i++ {
-		popts := opts.Partition
-		popts.NamePrefix = prefixFor(opts.Partition.NamePrefix, i)
-		part, err := cluster.Start(nw, popts)
-		if err != nil {
+		if err := c.startPartition(i); err != nil {
 			c.Close()
-			return nil, fmt.Errorf("shard: start partition %d: %w", i, err)
+			return nil, err
 		}
-		c.Parts = append(c.Parts, part)
 	}
 	return c, nil
 }
 
-// NumShards returns the partition count.
-func (c *Cluster) NumShards() int { return len(c.Parts) }
+func (c *Cluster) startPartition(i int) error {
+	popts := c.opts.Partition
+	popts.NamePrefix = prefixFor(c.opts.Partition.NamePrefix, i)
+	// Disjoint RIFL client-ID namespaces per partition: rebalancing moves
+	// completion records between partitions, and cross-partition ID
+	// collisions would hand one client another client's saved results.
+	popts.ClientIDNamespace = cluster.ClientIDNamespaceFor(i)
+	part, err := cluster.Start(c.Net, popts)
+	if err != nil {
+		return fmt.Errorf("shard: start partition %d: %w", i, err)
+	}
+	c.mu.Lock()
+	c.Parts = append(c.Parts, part)
+	c.mu.Unlock()
+	return nil
+}
+
+// partsSnapshot returns the partition list under the lock, for paths that
+// run concurrently with AddShard.
+func (c *Cluster) partsSnapshot() []*cluster.Cluster {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*cluster.Cluster(nil), c.Parts...)
+}
+
+// CurrentRing returns the routing ring in force. Rings are immutable;
+// Rebalance replaces the pointer with a higher-epoch ring.
+func (c *Cluster) CurrentRing() *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+func (c *Cluster) setRing(r *Ring) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ring = r
+}
+
+// NumShards returns the partition count (including spares not yet covered
+// by the ring).
+func (c *Cluster) NumShards() int { return len(c.partsSnapshot()) }
 
 // Part returns shard s's partition, for introspection in tests and tools.
-func (c *Cluster) Part(s int) *cluster.Cluster { return c.Parts[s] }
+func (c *Cluster) Part(s int) *cluster.Cluster { return c.partsSnapshot()[s] }
+
+// Partitions returns a stable snapshot of every partition, in shard order.
+func (c *Cluster) Partitions() []*cluster.Cluster { return c.partsSnapshot() }
+
+// AddShard boots one spare partition and returns its index. The ring does
+// not change: the new shard serves no keys until Rebalance migrates ranges
+// onto it.
+func (c *Cluster) AddShard() (int, error) {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+	i := len(c.partsSnapshot())
+	if err := c.startPartition(i); err != nil {
+		return -1, err
+	}
+	return i, nil
+}
+
+// Rebalance grows the routing ring one shard at a time until it covers
+// every partition, live-migrating each grow step's key ranges onto the new
+// shard (see migrate.go for the step protocol). Traffic on keys outside
+// the moving ranges is never interrupted; operations on moving keys bounce
+// with a redirect until the ring epoch flips, then land on the new owner.
+func (c *Cluster) Rebalance(ctx context.Context) error {
+	// One reconfiguration at a time: a concurrent rebalance's abort path
+	// could otherwise Drop ranges on the target that another run already
+	// committed and flipped — deleting live data.
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+	for {
+		cur := c.CurrentRing()
+		if cur.Shards() >= len(c.partsSnapshot()) {
+			return nil
+		}
+		// rebalanceStep publishes the grown ring itself, via growStep's
+		// flip callback — the only publish point, ordered after commit
+		// and backup fencing.
+		if err := c.rebalanceStep(ctx, cur); err != nil {
+			return err
+		}
+	}
+}
 
 // NewClient opens a client routed across every shard. name is the client's
-// network identity (shared by its per-shard connections).
+// network identity (shared by its per-shard connections). The client
+// tracks ring changes: after a Rebalance it re-routes bounced operations
+// and dials new shards on demand.
 func (c *Cluster) NewClient(name string) (*Client, error) {
-	cl := &Client{ring: c.Ring}
-	for i, part := range c.Parts {
-		sc, err := part.NewClient(name)
+	ring := c.CurrentRing()
+	cl := &Client{ring: ring, src: c}
+	cl.dial = func(s int) (*cluster.Client, error) {
+		parts := c.partsSnapshot()
+		if s >= len(parts) {
+			return nil, fmt.Errorf("shard: no partition %d", s)
+		}
+		return parts[s].NewClient(name)
+	}
+	parts := c.partsSnapshot()
+	for i := 0; i < ring.Shards(); i++ {
+		sc, err := parts[i].NewClient(name)
 		if err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("shard: client for partition %d: %w", i, err)
@@ -89,19 +213,20 @@ func (c *Cluster) NewClient(name string) (*Client, error) {
 }
 
 // CrashMaster crashes shard s's master. The other shards keep serving.
-func (c *Cluster) CrashMaster(s int) { c.Parts[s].CrashMaster() }
+func (c *Cluster) CrashMaster(s int) { c.Part(s).CrashMaster() }
 
 // Recover replaces shard s's crashed master with a fresh server. newAddr is
 // prefixed with the shard's name prefix, so the same logical name (e.g.
 // "master2") may be reused across shards.
 func (c *Cluster) Recover(s int, newAddr string) error {
-	_, err := c.Parts[s].Recover(c.Parts[s].Opts.NamePrefix + newAddr)
+	part := c.Part(s)
+	_, err := part.Recover(part.Opts.NamePrefix + newAddr)
 	return err
 }
 
 // Close shuts every partition down.
 func (c *Cluster) Close() {
-	for _, part := range c.Parts {
+	for _, part := range c.partsSnapshot() {
 		part.Close()
 	}
 }

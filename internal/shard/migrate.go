@@ -1,0 +1,320 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"curp/internal/cluster"
+	"curp/internal/witness"
+)
+
+// This file drives live key migration between rings — the rebalance side
+// of the elastic deployment. One grow step moves the arcs the new shard's
+// virtual points claim, pulling each source shard through the five-phase
+// handoff implemented in internal/cluster/migration.go:
+//
+//	collect  (freeze + drain + export, per source)
+//	install  (replay + sync, on the target)
+//	commit   (record moved ranges at each source coordinator)
+//	complete (drop moved ranges at sources and fence their backups)
+//	flip     (publish the higher-epoch ring)
+//
+// The commit point is the coordinator record plus the ring flip: before
+// it, any failure aborts — sources unfreeze, the target discards what it
+// installed, and nothing observable changed. After it, the step always
+// finishes logically even if a source has crashed: the source's recovery
+// applies the drop from its coordinator's record, and clients reach the
+// moved keys through the new ring. A source crash between collect and
+// commit is also safe — collect drained the ranges to the source's
+// backups before exporting, so recovery rebuilds them at the source and
+// the abort path merely discards the target's copy.
+
+// partitionMasterID is the master ID every partition uses (one master per
+// partition throughout this repo).
+const partitionMasterID = 1
+
+// rebalanceStep migrates one ring grow (cur → cur.Grow()) across the
+// deployment's partitions. The grown ring is published by growStep's flip
+// callback at the protocol's commit point — never by the caller.
+func (c *Cluster) rebalanceStep(ctx context.Context, cur *Ring) error {
+	next := cur.Grow()
+	parts := c.partsSnapshot()
+	target := next.Shards() - 1
+	if target >= len(parts) {
+		return fmt.Errorf("shard: ring grow to %d shards but only %d partitions", next.Shards(), len(parts))
+	}
+	coords := make([]string, len(parts))
+	for i, p := range parts {
+		coords[i] = p.Coord.Addr()
+	}
+	md := &cluster.MigrationDriver{NW: c.Net, Self: "rebalancer"}
+	return growStep(ctx, md, coords, cur, next, &c.Hooks, func(r *Ring) { c.setRing(r) })
+}
+
+// growStep executes one ring grow against a deployment described by its
+// per-partition coordinator addresses. It is shared by the in-process
+// Cluster.Rebalance and the out-of-process curpctl rebalance (over TCP);
+// flip is called at the commit point to publish the new ring (in-process:
+// swap the Cluster's ring; curpctl: nothing — the operator's next commands
+// carry the new shard count).
+func growStep(ctx context.Context, md *cluster.MigrationDriver, coords []string, cur, next *Ring, hooks *MigrationHooks, flip func(*Ring)) error {
+	target := next.Shards() - 1
+	if target >= len(coords) {
+		return fmt.Errorf("shard: ring grow to %d shards but only %d coordinators", next.Shards(), len(coords))
+	}
+	moves := MovesBetween(cur, next)
+	for _, m := range moves {
+		if m.To != target {
+			return fmt.Errorf("shard: grow step computed a move %d→%d; only moves to the new shard %d are possible", m.From, m.To, target)
+		}
+	}
+	views := make(map[int]*cluster.ViewInfo)
+	view := func(s int) (*cluster.ViewInfo, error) {
+		if v, ok := views[s]; ok {
+			return v, nil
+		}
+		v, err := cluster.FetchView(ctx, md.NW, md.Self, coords[s], partitionMasterID)
+		if err != nil {
+			return nil, err
+		}
+		views[s] = v
+		return v, nil
+	}
+	targetView, err := view(target)
+	if err != nil {
+		return err
+	}
+
+	if hooks.BeforeCollect != nil {
+		hooks.BeforeCollect(target)
+	}
+
+	// Phase 1 — collect: freeze and export every source's moving ranges.
+	// From here until abort or commit, operations on those ranges bounce.
+	type collected struct {
+		move   Move
+		view   *cluster.ViewInfo
+		bundle *cluster.MigrationBundle
+	}
+	var done []collected
+	// delFrozen withdraws a freeze record with retries: a record left
+	// behind would re-freeze the (aborted, live-again) range at the
+	// source's NEXT recovery, making it bounce until a rebalance re-run.
+	delFrozen := func(from int, rs []witness.HashRange) bool {
+		for i := 0; i < 3; i++ {
+			if md.DelFrozen(ctx, coords[from], partitionMasterID, rs) == nil {
+				return true
+			}
+		}
+		return false
+	}
+	abort := func() []int {
+		// Unfreeze whatever was frozen — on the masters and in the
+		// coordinators' freeze records — and discard the target's partial
+		// install. Best effort on the servers: a crashed source has
+		// nothing to unfreeze (its replacement is recovered frozen and a
+		// re-run converges), and a crashed target holds unrouted state
+		// that a retry will overwrite. Freeze records that could not be
+		// withdrawn are returned so the error can name them.
+		var stale []int
+		for _, cl := range done {
+			_ = md.Abort(ctx, cl.view.MasterAddr, partitionMasterID, cl.move.Ranges)
+			if !delFrozen(cl.move.From, cl.move.Ranges) {
+				stale = append(stale, cl.move.From)
+			}
+			_ = md.Drop(ctx, targetView.MasterAddr, partitionMasterID, cl.move.Ranges)
+		}
+		return stale
+	}
+	abortErr := func(base error) error {
+		if stale := abort(); len(stale) > 0 {
+			return fmt.Errorf("%w; WARNING: freeze records for shards %v could not be withdrawn — their ranges re-freeze at the next recovery until a rebalance re-run", base, stale)
+		}
+		return base
+	}
+	for _, m := range moves {
+		v, err := view(m.From)
+		if err != nil {
+			return abortErr(err)
+		}
+		// Record the freeze at the coordinator FIRST: from the moment
+		// Collect lands, the freeze must survive a source recovery, or a
+		// replacement master would serve keys this step may commit to
+		// the target moments later (split-brain).
+		if err := md.AddFrozen(ctx, coords[m.From], partitionMasterID, m.Ranges); err != nil {
+			// Ambiguous like Collect below: the coordinator may have
+			// applied the record before the reply was lost, so sweep this
+			// move in the abort too (the master-side Abort/Drop legs are
+			// no-ops for it; the DelFrozen leg is the one that matters).
+			done = append(done, collected{move: m, view: v})
+			return abortErr(fmt.Errorf("shard: record freeze for shard %d: %w", m.From, err))
+		}
+		bundle, err := md.Collect(ctx, v.MasterAddr, partitionMasterID, m.Ranges)
+		if err != nil {
+			// The failure is ambiguous — the server may have frozen the
+			// ranges before the reply was lost — so include this move in
+			// the abort sweep too, or its keys would bounce until an
+			// operator intervened.
+			done = append(done, collected{move: m, view: v})
+			return abortErr(fmt.Errorf("shard: collect from shard %d: %w", m.From, err))
+		}
+		done = append(done, collected{move: m, view: v, bundle: bundle})
+	}
+
+	if hooks.AfterCollect != nil {
+		hooks.AfterCollect(target)
+	}
+
+	// Phase 2 — install: the target replays and syncs each bundle. After
+	// this the moved state is f-fault tolerant on the target.
+	for _, cl := range done {
+		if err := md.Install(ctx, targetView.MasterAddr, partitionMasterID, cl.bundle); err != nil {
+			return abortErr(fmt.Errorf("shard: install ranges from shard %d: %w", cl.move.From, err))
+		}
+	}
+
+	// Phase 3 — commit: record the moved ranges at each source's
+	// coordinator. Once every record is in place the handoff is
+	// irrevocable — any future recovery of a source drops the ranges.
+	var noted []collected
+	for _, cl := range done {
+		if err := md.AddMoved(ctx, coords[cl.move.From], partitionMasterID, cl.move.Ranges); err != nil {
+			// Roll the partial commit back. A source whose moved-away
+			// record cannot be un-noted must NOT be unfrozen: its next
+			// recovery would drop the range while the live master keeps
+			// serving it — silent data loss. Leaving it frozen is safe
+			// (writes bounce, nothing diverges) and a rebalance re-run
+			// completes the handoff from exactly this state. The failing
+			// AddMoved itself is ambiguous (the coordinator may have
+			// applied it before the reply was lost), so it too must be
+			// withdrawn — or parked frozen if the withdrawal fails.
+			stuck := make(map[int]bool)
+			if derr := md.DelMoved(ctx, coords[cl.move.From], partitionMasterID, cl.move.Ranges); derr != nil {
+				stuck[cl.move.From] = true
+			}
+			for _, n := range noted {
+				if derr := md.DelMoved(ctx, coords[n.move.From], partitionMasterID, n.move.Ranges); derr != nil {
+					stuck[n.move.From] = true
+				}
+			}
+			for _, cl2 := range done {
+				if stuck[cl2.move.From] {
+					continue // keep frozen; see above
+				}
+				_ = md.Abort(ctx, cl2.view.MasterAddr, partitionMasterID, cl2.move.Ranges)
+				_ = delFrozen(cl2.move.From, cl2.move.Ranges)
+				_ = md.Drop(ctx, targetView.MasterAddr, partitionMasterID, cl2.move.Ranges)
+			}
+			if len(stuck) > 0 {
+				return fmt.Errorf("shard: commit move from shard %d failed (%w); shards %v kept their ranges frozen because the commit record could not be withdrawn — re-run the rebalance to finish the handoff", cl.move.From, err, keysOf(stuck))
+			}
+			return fmt.Errorf("shard: commit move from shard %d: %w", cl.move.From, err)
+		}
+		// The moved record supersedes the freeze record; withdrawing the
+		// latter is best effort (a lingering freeze re-marks a moved
+		// range on recovery, which bounces either way).
+		_ = delFrozen(cl.move.From, cl.move.Ranges)
+		noted = append(noted, cl)
+	}
+
+	// Phase 4 — complete: sources drop the moved ranges and their backups
+	// are fenced, BEFORE the flip. Order matters for the §A.1 backup-read
+	// path: once the target starts accepting writes (post-flip), a source
+	// backup still serving the range would hand old-ring clients frozen
+	// pre-handoff values with a clean commutativity probe — a stale read
+	// no redirect ever corrects. Until the flip, fenced reads merely
+	// bounce-and-retry.
+	//
+	// The two cleanups have different flip-safety weights. A failed
+	// Complete is benign: the source master is either dead (serves
+	// nothing) or still has the ranges frozen (bounces everything), and
+	// its recovery finishes the drop from the coordinator's record. A
+	// failed DropBackups is NOT: an alive, unfenced backup would serve
+	// the stale range after the flip, so backup fencing gates the flip.
+	var completeErr error
+	var fenceErr error
+	for _, cl := range done {
+		if err := md.Complete(ctx, cl.view.MasterAddr, partitionMasterID, cl.move.Ranges); err != nil && completeErr == nil {
+			completeErr = err
+		}
+		if err := md.DropBackups(ctx, cl.view.BackupAddrs, partitionMasterID, cl.move.Ranges); err != nil && fenceErr == nil {
+			fenceErr = err
+		}
+	}
+	if fenceErr != nil {
+		// Committed but unpublishable: the ranges stay parked — bouncing
+		// at their sources, recorded as moved at the coordinators — and
+		// the old ring stays in force, so nothing can read stale state.
+		// A rebalance re-run converges from exactly this state (empty
+		// re-collect, idempotent re-install, fencing retried).
+		return fmt.Errorf("shard: handoff committed but backup fencing incomplete; ring not flipped, ranges stay parked — re-run the rebalance: %w", fenceErr)
+	}
+
+	// Phase 5 — flip: publish the higher-epoch ring. Clients bounced off
+	// the frozen ranges refresh, see the new epoch, and land on the
+	// target.
+	flip(next)
+	if hooks.AfterFlip != nil {
+		hooks.AfterFlip(target)
+	}
+	if completeErr != nil {
+		// The handoff is committed and published; report the cleanup
+		// failure without undoing anything (recovery will finish it).
+		return fmt.Errorf("shard: handoff committed but source cleanup incomplete (recovery will finish it): %w", completeErr)
+	}
+	return nil
+}
+
+// keysOf returns a map's keys, for error messages.
+func keysOf(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// RebalanceEndpoints grows the ring from `from` shards to `to` shards over
+// a deployment addressed by per-partition coordinator addresses (index =
+// shard). It is the out-of-process rebalance path used by curpctl against
+// a live curpd deployment: the operator provisions the spare partitions
+// (curpd boots them), then drives the key handoff from anywhere with
+// network reach. Each grow step commits independently; on error, completed
+// steps stay committed and the returned ring reflects how far the ring
+// actually advanced.
+func RebalanceEndpoints(ctx context.Context, md *cluster.MigrationDriver, coords []string, from, to *Ring) (*Ring, error) {
+	if to.Shards() < from.Shards() {
+		return from, fmt.Errorf("shard: shrink rebalancing is not supported (from %d to %d shards)", from.Shards(), to.Shards())
+	}
+	cur := from
+	for cur.Shards() < to.Shards() {
+		next := cur.Grow()
+		if err := growStep(ctx, md, coords, cur, next, &MigrationHooks{}, func(*Ring) {}); err != nil {
+			return cur, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// MovedKeyCount reports how many of the given keys change owner between
+// two rings — operator-facing accounting for rebalance output.
+func MovedKeyCount(old, new *Ring, keys [][]byte) int {
+	n := 0
+	for _, k := range keys {
+		if old.Shard(k) != new.Shard(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// RangesFor returns the arcs that move from each source shard when cur
+// grows to next, keyed by source shard (introspection and tests).
+func RangesFor(cur, next *Ring) map[int][]witness.HashRange {
+	out := make(map[int][]witness.HashRange)
+	for _, m := range MovesBetween(cur, next) {
+		out[m.From] = append(out[m.From], m.Ranges...)
+	}
+	return out
+}

@@ -19,15 +19,23 @@ import (
 // imbalance within a few percent for small shard counts.
 const DefaultVirtualNodes = 128
 
-// Ring is an immutable consistent-hash ring over shards 0..N-1. Each shard
-// owns the arcs preceding its virtual points, so the key→shard mapping is a
-// pure function of (key, shard count, vnodes): every client and every
-// process computes the same owner with no coordination. Adding one shard
-// moves only ≈1/(N+1) of the keys (the arcs the new shard's points claim);
-// all other keys keep their owner — the property later rebalancing work
-// relies on.
+// Ring is an immutable consistent-hash ring over shards 0..N-1, stamped
+// with an epoch. Each shard owns the arcs preceding its virtual points, so
+// the key→shard mapping is a pure function of (key, shard count, vnodes):
+// every client and every process computes the same owner with no
+// coordination. Adding one shard moves only ≈1/(N+1) of the keys (the arcs
+// the new shard's points claim); all other keys keep their owner — the
+// property live rebalancing relies on.
+//
+// The epoch orders ring versions during reconfiguration: Grow and Shrink
+// return a new Ring at epoch+1, and routing clients adopt a ring only if
+// its epoch is higher than the one they hold. The mapping itself depends
+// only on (shards, vnodes), never on the epoch, so adding and then
+// removing a shard restores the previous mapping exactly.
 type Ring struct {
 	shards int
+	vnodes int
+	epoch  uint64
 	points []ringPoint // sorted by hash
 }
 
@@ -37,9 +45,9 @@ type ringPoint struct {
 }
 
 // NewRing builds a ring over `shards` partitions with `vnodes` virtual
-// points per shard (DefaultVirtualNodes when vnodes <= 0). Virtual point
-// positions are hashes of a stable "shard-<s>/vnode-<v>" label, so a
-// shard's points do not depend on how many other shards exist.
+// points per shard (DefaultVirtualNodes when vnodes <= 0), at epoch 0.
+// Virtual point positions are hashes of a stable "shard-<s>/vnode-<v>"
+// label, so a shard's points do not depend on how many other shards exist.
 func NewRing(shards, vnodes int) (*Ring, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("shard: ring needs at least one shard, got %d", shards)
@@ -47,10 +55,10 @@ func NewRing(shards, vnodes int) (*Ring, error) {
 	if vnodes <= 0 {
 		vnodes = DefaultVirtualNodes
 	}
-	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*vnodes)}
+	r := &Ring{shards: shards, vnodes: vnodes, points: make([]ringPoint, 0, shards*vnodes)}
 	for s := 0; s < shards; s++ {
 		for v := 0; v < vnodes; v++ {
-			h := mix64(witness.KeyHashString(fmt.Sprintf("shard-%d/vnode-%d", s, v)))
+			h := witness.Mix64(witness.KeyHashString(fmt.Sprintf("shard-%d/vnode-%d", s, v)))
 			r.points = append(r.points, ringPoint{hash: h, shard: s})
 		}
 	}
@@ -77,30 +85,45 @@ func MustNewRing(shards, vnodes int) *Ring {
 // Shards returns the number of shards the ring distributes over.
 func (r *Ring) Shards() int { return r.shards }
 
+// VirtualNodes returns the per-shard virtual-node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Epoch returns the ring's configuration epoch. Epochs increase by one per
+// Grow or Shrink; clients treat a higher epoch as strictly newer.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Grow returns a ring covering one more shard at epoch+1. Only the arcs
+// the new shard's virtual points claim change owner.
+func (r *Ring) Grow() *Ring {
+	n := MustNewRing(r.shards+1, r.vnodes)
+	n.epoch = r.epoch + 1
+	return n
+}
+
+// Shrink returns a ring covering one fewer shard at epoch+1, restoring
+// exactly the mapping the ring had before the last shard was added. It
+// errors when the ring is already down to one shard.
+func (r *Ring) Shrink() (*Ring, error) {
+	if r.shards <= 1 {
+		return nil, fmt.Errorf("shard: cannot shrink a %d-shard ring", r.shards)
+	}
+	n, err := NewRing(r.shards-1, r.vnodes)
+	if err != nil {
+		return nil, err
+	}
+	n.epoch = r.epoch + 1
+	return n, nil
+}
+
 // Shard returns the shard owning key: the shard of the first virtual point
 // at or after the key's ring position, wrapping past the top of the ring.
 func (r *Ring) Shard(key []byte) int {
-	return r.owner(mix64(witness.KeyHash(key)))
+	return r.owner(witness.RingPoint(key))
 }
 
 // ShardString is Shard for string keys, avoiding a copy.
 func (r *Ring) ShardString(key string) int {
-	return r.owner(mix64(witness.KeyHashString(key)))
-}
-
-// mix64 is the murmur3 64-bit finalizer. FNV-1a (witness.KeyHash) mixes
-// low bits well but gives the trailing bytes of sequential labels
-// ("user:1", "user:2", vnode names) only one multiply of high-bit
-// avalanche, which clusters ring positions badly; the finalizer restores
-// uniform placement while keeping the key hash itself shared with the
-// witness commutativity path.
-func mix64(h uint64) uint64 {
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
+	return r.owner(witness.RingPointString(key))
 }
 
 func (r *Ring) owner(h uint64) int {
@@ -109,4 +132,72 @@ func (r *Ring) owner(h uint64) int {
 		i = 0
 	}
 	return r.points[i].shard
+}
+
+// Move names one directed key transfer of a rebalance: the arcs owned by
+// From under the old ring and by To under the new one.
+type Move struct {
+	From, To int
+	Ranges   []witness.HashRange
+}
+
+// MovesBetween computes the arcs whose owner differs between two rings,
+// grouped by (old owner, new owner) pair. The union of all boundary points
+// of both rings cuts the circle into elementary arcs on which each ring's
+// owner is constant, so comparing owners per elementary arc is exact: a
+// key changes shard if and only if its position lies in one of the
+// returned ranges.
+func MovesBetween(old, new *Ring) []Move {
+	bounds := make([]uint64, 0, len(old.points)+len(new.points))
+	for _, p := range old.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range new.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for i, h := range bounds {
+		if i == 0 || h != uniq[len(uniq)-1] {
+			uniq = append(uniq, h)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+	type pair struct{ from, to int }
+	grouped := make(map[pair][]witness.HashRange)
+	// The arc (uniq[i-1], uniq[i]] has constant owner in both rings; the
+	// arc wrapping from the last boundary to the first closes the circle.
+	for i := range uniq {
+		lo := uniq[(i+len(uniq)-1)%len(uniq)]
+		hi := uniq[i]
+		if lo == hi { // single-boundary circle: the whole ring, one owner
+			continue
+		}
+		of, nf := old.owner(hi), new.owner(hi)
+		if of == nf {
+			continue
+		}
+		p := pair{of, nf}
+		rs := grouped[p]
+		// Coalesce adjacent arcs with the same transfer direction.
+		if len(rs) > 0 && rs[len(rs)-1].Hi == lo {
+			rs[len(rs)-1].Hi = hi
+			grouped[p] = rs
+			continue
+		}
+		grouped[p] = append(rs, witness.HashRange{Lo: lo, Hi: hi})
+	}
+	moves := make([]Move, 0, len(grouped))
+	for p, rs := range grouped {
+		moves = append(moves, Move{From: p.from, To: p.to, Ranges: rs})
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].From != moves[j].From {
+			return moves[i].From < moves[j].From
+		}
+		return moves[i].To < moves[j].To
+	})
+	return moves
 }

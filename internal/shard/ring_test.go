@@ -3,7 +3,13 @@ package shard
 import (
 	"fmt"
 	"testing"
+
+	"curp/internal/witness"
 )
+
+// mixedPoint is the ring position of a string key, as migration ranges see
+// it.
+func mixedPoint(key string) uint64 { return witness.RingPointString(key) }
 
 // TestRingDeterministic: the key→shard mapping is a pure function of the
 // configuration — two rings built alike agree on every key, repeatedly, and
@@ -82,6 +88,114 @@ func TestRingRemapFraction(t *testing.T) {
 		ideal := 1.0 / float64(n+1)
 		if frac < ideal/2 || frac > ideal*2 {
 			t.Fatalf("grow %d→%d moved %.3f of keys, want ≈%.3f", n, n+1, frac, ideal)
+		}
+	}
+}
+
+// TestRingGrowShrinkRoundTrip: adding a shard and then removing it
+// restores the previous key→shard mapping exactly — the mapping is a pure
+// function of (shards, vnodes), independent of the epoch — while the epoch
+// increases monotonically through both reconfigurations.
+func TestRingGrowShrinkRoundTrip(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{1, 3, 8} {
+		base := MustNewRing(n, 0)
+		grown := base.Grow()
+		shrunk, err := grown.Shrink()
+		if err != nil {
+			t.Fatalf("shrink %d-shard ring: %v", grown.Shards(), err)
+		}
+		if base.Epoch() != 0 || grown.Epoch() != 1 || shrunk.Epoch() != 2 {
+			t.Fatalf("epochs = %d,%d,%d, want 0,1,2", base.Epoch(), grown.Epoch(), shrunk.Epoch())
+		}
+		if grown.Shards() != n+1 || shrunk.Shards() != n {
+			t.Fatalf("shard counts = %d,%d, want %d,%d", grown.Shards(), shrunk.Shards(), n+1, n)
+		}
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("rt:%d", i)
+			if before, after := base.ShardString(key), shrunk.ShardString(key); before != after {
+				t.Fatalf("n=%d: grow+shrink moved %q from %d to %d", n, key, before, after)
+			}
+		}
+	}
+}
+
+// TestRingShrinkRejectsLastShard: a one-shard ring cannot shrink.
+func TestRingShrinkRejectsLastShard(t *testing.T) {
+	if _, err := MustNewRing(1, 0).Shrink(); err == nil {
+		t.Fatal("Shrink on a 1-shard ring succeeded")
+	}
+}
+
+// TestRingGrowRemapFraction: Grow preserves the consistent-hashing remap
+// bound — ≈1/(N+1) of keys move, all onto the new shard — and composing
+// Grow steps keeps every intermediate epoch distinct.
+func TestRingGrowRemapFraction(t *testing.T) {
+	const keys = 40000
+	for _, n := range []int{4, 8} {
+		old := MustNewRing(n, 0)
+		grown := old.Grow()
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			before, after := old.ShardString(key), grown.ShardString(key)
+			if before != after {
+				moved++
+				if after != n {
+					t.Fatalf("key %q moved from %d to %d, not to the new shard %d", key, before, after, n)
+				}
+			}
+		}
+		frac := float64(moved) / keys
+		ideal := 1.0 / float64(n+1)
+		if frac < ideal/2 || frac > ideal*2 {
+			t.Fatalf("grow %d→%d moved %.3f of keys, want ≈%.3f", n, n+1, frac, ideal)
+		}
+	}
+}
+
+// TestMovesBetweenExact: the ranges MovesBetween reports are exactly the
+// keys whose owner changes — every remapped key's ring position lies in
+// the (old owner → new owner) move's ranges, and no stationary key's
+// position lies in any range.
+func TestMovesBetweenExact(t *testing.T) {
+	old := MustNewRing(5, 0)
+	grown := old.Grow()
+	moves := MovesBetween(old, grown)
+	if len(moves) == 0 {
+		t.Fatal("grow produced no moves")
+	}
+	type pair struct{ from, to int }
+	byPair := make(map[pair]Move)
+	for _, m := range moves {
+		if m.To != grown.Shards()-1 {
+			t.Fatalf("move %d→%d: grow must only move keys to the new shard", m.From, m.To)
+		}
+		byPair[pair{m.From, m.To}] = m
+	}
+	contains := func(m Move, key string) bool {
+		p := mixedPoint(key)
+		for _, r := range m.Ranges {
+			if r.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 20000; i++ {
+		key := fmt.Sprintf("mb:%d", i)
+		before, after := old.ShardString(key), grown.ShardString(key)
+		if before != after {
+			m, ok := byPair[pair{before, after}]
+			if !ok || !contains(m, key) {
+				t.Fatalf("key %q moved %d→%d but no reported range covers it", key, before, after)
+			}
+			continue
+		}
+		for _, m := range moves {
+			if contains(m, key) {
+				t.Fatalf("stationary key %q (shard %d) lies in reported range %d→%d", key, before, m.From, m.To)
+			}
 		}
 	}
 }

@@ -49,7 +49,7 @@ func TestShardedRoutingStable(t *testing.T) {
 	perShard := make([]int, c.NumShards())
 	for i := 0; i < 64; i++ {
 		key := []byte(fmt.Sprintf("user:%d", i))
-		if cl.ShardFor(key) != c.Ring.Shard(key) {
+		if cl.ShardFor(key) != c.CurrentRing().Shard(key) {
 			t.Fatalf("client and cluster ring disagree on %q", key)
 		}
 		if _, err := cl.Put(ctx, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
@@ -60,7 +60,7 @@ func TestShardedRoutingStable(t *testing.T) {
 	// The write is in the owning partition's store and nowhere else.
 	for i := 0; i < 64; i++ {
 		key := []byte(fmt.Sprintf("user:%d", i))
-		owner := c.Ring.Shard(key)
+		owner := c.CurrentRing().Shard(key)
 		for s := 0; s < c.NumShards(); s++ {
 			_, _, ok := c.Part(s).Master.Store().Get(key)
 			if ok != (s == owner) {
@@ -116,7 +116,7 @@ func TestCrossShardMultiIncrement(t *testing.T) {
 	cl := testClient(t, c, "bank")
 	ctx := context.Background()
 
-	keys := pickKeysOnDistinctShards(t, c.Ring, 3, 0)
+	keys := pickKeysOnDistinctShards(t, c.CurrentRing(), 3, 0)
 	deltas := []kv.IncrPair{
 		{Key: keys[0], Delta: 100},
 		{Key: keys[1], Delta: -40},
@@ -162,7 +162,7 @@ func TestMultiIncrementExactlyOnceUnderRetries(t *testing.T) {
 	ctx := context.Background()
 
 	const crashed = 2
-	keys := pickKeysOnDistinctShards(t, c.Ring, 3, crashed)
+	keys := pickKeysOnDistinctShards(t, c.CurrentRing(), 3, crashed)
 	deltas := []kv.IncrPair{
 		{Key: keys[0], Delta: 10}, // on the shard that will crash
 		{Key: keys[1], Delta: 20},
@@ -235,11 +235,11 @@ func TestCrashIsolation(t *testing.T) {
 	wrote := 0
 	for i := 0; wrote < 20; i++ {
 		key := []byte(fmt.Sprintf("during:%d", i))
-		if c.Ring.Shard(key) == crashed {
+		if c.CurrentRing().Shard(key) == crashed {
 			continue
 		}
 		if _, err := cl.Put(ctx, key, []byte("live")); err != nil {
-			t.Fatalf("surviving shard %d rejected put: %v", c.Ring.Shard(key), err)
+			t.Fatalf("surviving shard %d rejected put: %v", c.CurrentRing().Shard(key), err)
 		}
 		wrote++
 	}
@@ -257,13 +257,13 @@ func TestCrashIsolation(t *testing.T) {
 		v, ok, err := cl.Get(cctx, key)
 		cancel()
 		if err != nil || !ok || string(v) != "before" {
-			t.Fatalf("key %q after recovery (shard %d): %v %v %q", key, c.Ring.Shard(key), err, ok, v)
+			t.Fatalf("key %q after recovery (shard %d): %v %v %q", key, c.CurrentRing().Shard(key), err, ok, v)
 		}
 	}
 	// And the recovered shard accepts new updates again.
 	for i := 0; i < 200; i++ {
 		key := []byte(fmt.Sprintf("post:%d", i))
-		if c.Ring.Shard(key) != crashed {
+		if c.CurrentRing().Shard(key) != crashed {
 			continue
 		}
 		if _, err := cl.Put(ctx, key, []byte("after")); err != nil {

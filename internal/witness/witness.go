@@ -80,6 +80,17 @@ type GCKey struct {
 	ID      rifl.RPCID
 }
 
+// GCKeys builds the gc pairs for one request: every key hash it touched,
+// under its RPC ID. Used by masters collecting synced requests and by
+// clients retracting the records of an abandoned RPC.
+func GCKeys(keyHashes []uint64, id rifl.RPCID) []GCKey {
+	keys := make([]GCKey, len(keyHashes))
+	for i, kh := range keyHashes {
+		keys[i] = GCKey{KeyHash: kh, ID: id}
+	}
+	return keys
+}
+
 // Config sizes a witness.
 type Config struct {
 	// Slots is the total number of request slots (paper default: 4096).
@@ -309,6 +320,37 @@ func (w *Witness) GC(keys []GCKey) []Record {
 		}
 	}
 	return stale
+}
+
+// DropRecords removes the exact (keyHash, id) pairs — a client retracting
+// the records of an RPC it is abandoning. Unlike GC this is not a
+// collection pass: it does not advance the staleness clock (a bounce storm
+// must not age unrelated records into spurious §4.5 suspicions), and it
+// FAILS in recovery mode — the records were already surfaced to a
+// recovering master and can no longer be retracted, so the caller must
+// not abandon the RPC ID.
+func (w *Witness) DropRecords(keys []GCKey) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.recovery {
+		return errors.New("witness: in recovery; records already surfaced and cannot be retracted")
+	}
+	dropped := map[rifl.RPCID]bool{}
+	for _, k := range keys {
+		base := w.setIndex(k.KeyHash)
+		for j := 0; j < w.cfg.Ways; j++ {
+			s := &w.sets[base+j]
+			if s.occupied && s.keyHash == k.KeyHash && s.id == k.ID {
+				if !dropped[s.id] {
+					dropped[s.id] = true
+					w.stats.RecordedRequests--
+				}
+				w.stats.GCDrops++
+				*s = slot{}
+			}
+		}
+	}
+	return nil
 }
 
 // GetRecoveryData irreversibly switches the witness to recovery mode and

@@ -1,0 +1,206 @@
+package curp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"curp/internal/core"
+	"curp/internal/shard"
+)
+
+// pickMigrationKeys returns register keys for the linearizability harness:
+// `moving` of them change owner when a 3-shard ring grows to 4, `staying`
+// keep their shard.
+func pickMigrationKeys(prefix string, moving, staying int) []string {
+	cur := shard.MustNewRing(3, 0)
+	grown := cur.Grow()
+	var keys []string
+	nm, ns := 0, 0
+	for i := 0; nm < moving || ns < staying; i++ {
+		key := fmt.Sprintf("%s:%d", prefix, i)
+		if cur.ShardString(key) != grown.ShardString(key) {
+			if nm < moving {
+				keys = append(keys, key)
+				nm++
+			}
+		} else if ns < staying {
+			keys = append(keys, key)
+			ns++
+		}
+	}
+	return keys
+}
+
+// TestMigrationLinearizable drives concurrent Put/Get/Increment traffic
+// against a 3-shard cluster while AddShard+Rebalance migrates key ranges
+// onto a fourth shard, records the complete operation history, and checks
+// it: every per-key register history must admit a linearization
+// (internal/core's Wing & Gong checker), and every counter must equal
+// exactly the number of increments issued — no lost updates and no
+// double-applied increments across the handoff. Run it with -race; the
+// migration window is where all the interesting interleavings live.
+func TestMigrationLinearizable(t *testing.T) {
+	c, err := StartSharded(Options{F: 1, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("lin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// 8 register keys that migrate + 8 that stay, each hammered by 2
+	// writers and 2 readers; 3+3 counter keys with 3 incrementers each.
+	// Per-key history stays ≤ 36 ops, inside the checker's 63-op bound.
+	regKeys := pickMigrationKeys("reg", 8, 8)
+	ctrKeys := pickMigrationKeys("ctr", 3, 3)
+	const (
+		writersPerKey = 2
+		writesEach    = 10
+		readersPerKey = 2
+		readsEach     = 8
+		incrPerKey    = 3
+		incrEach      = 20
+	)
+
+	var clock atomic.Int64 // global monotonic stamp for invocation order
+	type hist struct {
+		mu  sync.Mutex
+		ops []core.HistOp
+	}
+	histories := make(map[string]*hist, len(regKeys))
+	for _, k := range regKeys {
+		histories[k] = &hist{}
+	}
+	record := func(key string, start, end int64, isWrite bool, value string) {
+		h := histories[key]
+		h.mu.Lock()
+		h.ops = append(h.ops, core.HistOp{Start: start, End: end, IsWrite: isWrite, Value: value})
+		h.mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	var opErrs atomic.Int64
+	fail := func(format string, args ...any) {
+		opErrs.Add(1)
+		t.Errorf(format, args...)
+	}
+	// pace keeps workers issuing ops across the whole migration window.
+	pace := func() { time.Sleep(time.Duration(500+clock.Load()%700) * time.Microsecond) }
+
+	for _, key := range regKeys {
+		for w := 0; w < writersPerKey; w++ {
+			wg.Add(1)
+			go func(key string, w int) {
+				defer wg.Done()
+				for i := 0; i < writesEach; i++ {
+					val := fmt.Sprintf("w%d/%s/%d", w, key, i)
+					start := clock.Add(1)
+					_, err := cl.Put(ctx, []byte(key), []byte(val))
+					end := clock.Add(1)
+					if err != nil {
+						fail("put %q during migration: %v", key, err)
+						return
+					}
+					record(key, start, end, true, val)
+					pace()
+				}
+			}(key, w)
+		}
+		for r := 0; r < readersPerKey; r++ {
+			wg.Add(1)
+			go func(key string) {
+				defer wg.Done()
+				for i := 0; i < readsEach; i++ {
+					start := clock.Add(1)
+					v, ok, err := cl.Get(ctx, []byte(key))
+					end := clock.Add(1)
+					if err != nil {
+						fail("get %q during migration: %v", key, err)
+						return
+					}
+					val := ""
+					if ok {
+						val = string(v)
+					}
+					record(key, start, end, false, val)
+					pace()
+				}
+			}(key)
+		}
+	}
+	for _, key := range ctrKeys {
+		for w := 0; w < incrPerKey; w++ {
+			wg.Add(1)
+			go func(key string) {
+				defer wg.Done()
+				for i := 0; i < incrEach; i++ {
+					if _, err := cl.Increment(ctx, []byte(key), 1); err != nil {
+						fail("increment %q during migration: %v", key, err)
+						return
+					}
+					pace()
+				}
+			}(key)
+		}
+	}
+
+	// Let traffic establish, then grow the deployment under it.
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatalf("Rebalance under load: %v", err)
+	}
+	wg.Wait()
+	if opErrs.Load() > 0 {
+		t.Fatalf("%d operations failed during migration", opErrs.Load())
+	}
+	if c.RingShards() != 4 || c.RingEpoch() != 1 {
+		t.Fatalf("ring after rebalance: %d shards epoch %d", c.RingShards(), c.RingEpoch())
+	}
+
+	// Exactly-once: each counter saw incrPerKey*incrEach increments of 1,
+	// across freeze, transfer, and re-route — any duplicate or lost
+	// increment shifts the total.
+	for _, key := range ctrKeys {
+		n, err := cl.Increment(ctx, []byte(key), 0)
+		if err != nil {
+			t.Fatalf("final read of counter %q: %v", key, err)
+		}
+		if want := int64(incrPerKey * incrEach); n != want {
+			t.Fatalf("counter %q = %d, want %d (exactly-once violated across handoff)", key, n, want)
+		}
+	}
+
+	// Linearizability: every per-key history admits a valid linearization.
+	for _, key := range regKeys {
+		h := histories[key]
+		if len(h.ops) != writersPerKey*writesEach+readersPerKey*readsEach {
+			t.Fatalf("key %q history has %d ops", key, len(h.ops))
+		}
+		if !core.CheckLinearizable("", h.ops) {
+			t.Fatalf("history for key %q is NOT linearizable:\n%v", key, h.ops)
+		}
+	}
+
+	// Sanity: the migration actually moved some of the traffic's keys.
+	moved := 0
+	for _, key := range regKeys {
+		if shard.MustNewRing(3, 0).ShardString(key) != c.ShardFor([]byte(key)) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no register keys migrated; harness lost its bite")
+	}
+}

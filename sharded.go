@@ -8,6 +8,16 @@ import (
 	"curp/internal/transport"
 )
 
+// Migration protocol (live rebalancing) in one paragraph: AddShard boots a
+// spare partition that owns no keys; Rebalance grows the consistent-hash
+// ring one shard per step, and for each step freezes the moving key ranges
+// on their source shards (operations on them bounce internally and retry),
+// drains and copies the ranges' data plus RIFL completion records to the
+// new shard, records the handoff for crash recovery, flips the ring epoch
+// — at which point clients re-route — and finally drops the moved keys at
+// the sources. Keys outside the moving ranges (≈N/(N+1) of them) never
+// notice. See README.md for the full state machine and atomicity notes.
+
 // ShardedCluster is a running multi-partition CURP deployment: N
 // independent partitions (each a coordinator, one master, F backups, and F
 // witnesses — the paper's unit of replication) on one in-memory network,
@@ -32,11 +42,32 @@ func StartSharded(opts Options) (*ShardedCluster, error) {
 	return &ShardedCluster{inner: inner, net: nw}, nil
 }
 
-// NumShards returns the partition count.
+// NumShards returns the partition count, including spares added with
+// AddShard that the ring does not cover yet.
 func (c *ShardedCluster) NumShards() int { return c.inner.NumShards() }
 
+// RingShards returns how many partitions the routing ring covers.
+func (c *ShardedCluster) RingShards() int { return c.inner.CurrentRing().Shards() }
+
+// RingEpoch returns the routing ring's configuration epoch; it increases
+// by one per completed Rebalance grow step.
+func (c *ShardedCluster) RingEpoch() uint64 { return c.inner.CurrentRing().Epoch() }
+
 // ShardFor returns the index of the partition owning key.
-func (c *ShardedCluster) ShardFor(key []byte) int { return c.inner.Ring.Shard(key) }
+func (c *ShardedCluster) ShardFor(key []byte) int { return c.inner.CurrentRing().Shard(key) }
+
+// AddShard boots one spare partition (a full coordinator + master + F
+// backups + F witnesses) and returns its index. It owns no keys until
+// Rebalance migrates ranges onto it.
+func (c *ShardedCluster) AddShard() (int, error) { return c.inner.AddShard() }
+
+// Rebalance live-migrates key ranges onto every spare partition, one ring
+// grow step at a time, without stopping traffic: only the moving ranges
+// (≈1/(N+1) of keys per step) briefly bounce-and-retry inside the client
+// while their data and exactly-once state transfer; everything else keeps
+// its 1-RTT fast path. Clients opened with NewClient re-route
+// automatically when the ring epoch flips.
+func (c *ShardedCluster) Rebalance(ctx context.Context) error { return c.inner.Rebalance(ctx) }
 
 // NewClient opens a client that routes operations across every shard.
 func (c *ShardedCluster) NewClient(name string) (*ShardedClient, error) {
@@ -61,8 +92,9 @@ func (c *ShardedCluster) Recover(s int, newAddr string) error {
 // MasterAddrs returns each shard's current master host name, indexed by
 // shard.
 func (c *ShardedCluster) MasterAddrs() []string {
-	addrs := make([]string, 0, c.inner.NumShards())
-	for _, part := range c.inner.Parts {
+	parts := c.inner.Partitions()
+	addrs := make([]string, 0, len(parts))
+	for _, part := range parts {
 		addrs = append(addrs, part.Master.Addr())
 	}
 	return addrs
