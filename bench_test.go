@@ -385,3 +385,46 @@ func BenchmarkEndToEndPut(b *testing.B) {
 func ridBench(c, s uint64) rifl.RPCID {
 	return rifl.RPCID{Client: rifl.ClientID(c), Seq: rifl.Seq(s)}
 }
+
+// BenchmarkPipelineThroughput measures SINGLE-client put throughput as a
+// function of pipeline depth on the real stack: depth 1 is the blocking
+// one-op-per-RTT pattern; deeper pipelines coalesce a whole batch into
+// one UpdateBatch RPC plus one RecordBatch per witness. The paper's §5.2
+// evaluation saturates the cluster with asynchronous requests; this is
+// the client-side lever that makes one client able to do it.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	for _, depth := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			c, err := Start(Options{F: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			cl, err := c.NewClient("pipe-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			ctx := context.Background()
+			value := workload.Value(1, 100)
+			b.ResetTimer()
+			i := 0
+			for i < b.N {
+				p := cl.NewPipeline()
+				for j := 0; j < depth && i < b.N; j++ {
+					p.Put(workload.Key(uint64(i), 30), value)
+					i++
+				}
+				if err := p.Flush(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1000, "kops/s")
+			// Distinct keys: the pipelined path must keep the 1-RTT rule.
+			if st := cl.Stats(); st.FastPath == 0 {
+				b.Fatalf("pipelined path lost the fast path: %+v", st)
+			}
+		})
+	}
+}

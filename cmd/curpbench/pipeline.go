@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"curp"
+	"curp/internal/workload"
+)
+
+// pipelineRow is one depth's measurement in BENCH_pipeline.json.
+type pipelineRow struct {
+	Depth        int     `json:"depth"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	Scaling      float64 `json:"scaling_vs_depth1"`
+	FastPathFrac float64 `json:"fastpath_frac"`
+}
+
+// pipelineReport is the schema of BENCH_pipeline.json, the artifact the
+// bench-smoke CI job uploads so the project accumulates a performance
+// trajectory.
+type pipelineReport struct {
+	Experiment string        `json:"experiment"`
+	Ops        int           `json:"ops"`
+	F          int           `json:"f"`
+	Rows       []pipelineRow `json:"rows"`
+}
+
+// Pipeline measures SINGLE-client put throughput against the real stack
+// (in-memory network, F=3) as the pipeline depth grows: depth 1 is the
+// blocking one-op-per-RTT pattern, deeper pipelines coalesce each batch
+// into one UpdateBatch RPC plus one RecordBatch per witness. Results are
+// printed as a table and written to BENCH_pipeline.json.
+func Pipeline(w io.Writer, ops int) {
+	const f = 3
+	depths := []int{1, 2, 4, 8, 16, 32}
+	report := pipelineReport{Experiment: "pipeline", Ops: ops, F: f}
+	fmt.Fprintln(w, "Pipeline throughput (real stack, in-memory network, 1 closed-loop client)")
+	fmt.Fprintf(w, "%-8s %12s %10s %10s\n", "depth", "ops/s", "scaling", "fastpath")
+	var base float64
+	for _, depth := range depths {
+		opsPerSec, fastFrac := runPipelineLoad(depth, ops, f)
+		if depth == 1 {
+			base = opsPerSec
+		}
+		row := pipelineRow{Depth: depth, OpsPerSec: opsPerSec, Scaling: opsPerSec / base, FastPathFrac: fastFrac}
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(w, "%-8d %12.0f %9.2fx %9.2f%%\n", depth, row.OpsPerSec, row.Scaling, 100*row.FastPathFrac)
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	exitOn(err)
+	exitOn(os.WriteFile("BENCH_pipeline.json", append(buf, '\n'), 0o644))
+	fmt.Fprintln(w, "wrote BENCH_pipeline.json")
+}
+
+// runPipelineLoad runs one closed-loop client writing distinct keys
+// through pipelines of the given depth and reports aggregate ops/s plus
+// the fraction of operations that completed on the 1-RTT fast path.
+func runPipelineLoad(depth, ops, f int) (opsPerSec, fastFrac float64) {
+	c, err := curp.Start(curp.Options{F: f})
+	exitOn(err)
+	defer c.Close()
+	cl, err := c.NewClient("pipeline-loadgen")
+	exitOn(err)
+	defer cl.Close()
+	ctx := context.Background()
+	value := workload.Value(1, 100)
+	start := time.Now()
+	i := 0
+	for i < ops {
+		p := cl.NewPipeline()
+		for j := 0; j < depth && i < ops; j++ {
+			p.Put(workload.Key(uint64(i), 30), value)
+			i++
+		}
+		exitOn(p.Flush(ctx))
+	}
+	elapsed := time.Since(start).Seconds()
+	st := cl.Stats()
+	total := st.FastPath + st.SyncedByMaster + st.SlowPath
+	if total > 0 {
+		fastFrac = float64(st.FastPath) / float64(total)
+	}
+	return float64(ops) / elapsed, fastFrac
+}

@@ -21,7 +21,11 @@
 //     MultiPut/MultiIncrement, linearizable Get, GetNearby (consistent
 //     reads from a backup guarded by a witness commutativity probe, paper
 //     §A.1), and GetStale (non-blocking reads of the latest durable value,
-//     paper §A.3).
+//     paper §A.3). Every update verb also has a Future-returning async
+//     form (PutAsync, ...), and Pipeline batches updates into coalesced
+//     RPCs — one UpdateBatch per master, one RecordBatch per witness —
+//     while each operation keeps its own 1-RTT completion rule. The
+//     blocking verbs are thin wrappers over the same async engine.
 //   - DurableCache: a Redis-like data-structure store (strings, hashes,
 //     counters, lists, sets) made durable at cache speed by CURP
 //     (paper §5.4).
@@ -294,25 +298,45 @@ type DurableCache struct {
 	witnesses []*witness.Witness
 	client    *core.Client
 	dev       *dstore.MemDevice
+	copts     cluster.Options // resolved configuration, reused by RecoverCache
 }
 
-// NewDurableCache creates a cache with f witnesses. f must be ≥ 1.
-func NewDurableCache(f int) (*DurableCache, error) {
-	if f < 1 {
-		return nil, fmt.Errorf("curp: durable cache needs at least one witness, got %d", f)
-	}
+// NewDurableCache creates a cache configured exactly like Start configures
+// a cluster: opts.F witnesses (default 3), opts.SyncBatchSize as the
+// fsync batching ceiling, the §4.4 hot-key heuristic unless disabled, and
+// opts.WitnessSlots/WitnessWays for witness geometry. The zero Options
+// value gives the paper's defaults.
+func NewDurableCache(opts Options) (*DurableCache, error) {
+	return newCache(clusterOptions(opts), nil, nil, 1)
+}
+
+// newCache assembles a cache from resolved options, optionally replaying a
+// durable log and a witness (the RecoverCache path).
+func newCache(copts cluster.Options, durableLog []byte, replayWitness *witness.Witness, session rifl.ClientID) (*DurableCache, error) {
 	dev := &dstore.MemDevice{}
-	engine := dstore.NewEngine(1, dstore.NewAOF(dev, dstore.FsyncOnDemand), core.MasterConfig{SyncBatchSize: 50, HotKeyWindow: 64})
+	var engine *dstore.Engine
+	if durableLog == nil && replayWitness == nil {
+		engine = dstore.NewEngine(1, dstore.NewAOF(dev, dstore.FsyncOnDemand), copts.Master.Core)
+	} else {
+		var err error
+		engine, err = dstore.Recover(1, durableLog, replayWitness, dstore.NewAOF(dev, dstore.FsyncOnDemand), copts.Master.Core)
+		if err != nil {
+			return nil, err
+		}
+	}
 	view := &core.View{MasterID: 1, WitnessListVersion: 1, Master: engine}
 	var ws []*witness.Witness
-	for i := 0; i < f; i++ {
-		w := witness.MustNew(1, witness.DefaultConfig())
+	for i := 0; i < copts.F; i++ {
+		w, err := witness.New(1, copts.Witness)
+		if err != nil {
+			return nil, fmt.Errorf("curp: durable cache witness: %w", err)
+		}
 		ws = append(ws, w)
 		view.Witnesses = append(view.Witnesses, dstore.WitnessAdapter{W: w})
 	}
 	engine.AttachWitnesses(ws)
-	client := core.NewClient(rifl.NewSession(1), core.StaticView{V: view}, core.DefaultClientConfig())
-	return &DurableCache{engine: engine, witnesses: ws, client: client, dev: dev}, nil
+	client := core.NewClient(rifl.NewSession(session), core.StaticView{V: view}, core.DefaultClientConfig())
+	return &DurableCache{engine: engine, witnesses: ws, client: client, dev: dev, copts: copts}, nil
 }
 
 func (d *DurableCache) do(ctx context.Context, cmd *dstore.Command) (*dstore.Result, error) {
@@ -403,21 +427,10 @@ func (d *DurableCache) Crash() (durableLog []byte) { return d.dev.DurableBytes()
 
 // RecoverCache rebuilds a cache after Crash: replay the durable log, then
 // replay the witness (exactly-once via RIFL). The witness freezes, so
-// clients of the old instance can no longer complete updates.
+// clients of the old instance can no longer complete updates. The new
+// cache inherits the crashed cache's full configuration — fault
+// tolerance, sync policy (including the hot-key heuristic), and witness
+// geometry — instead of silently reverting to defaults.
 func RecoverCache(durableLog []byte, from *DurableCache) (*DurableCache, error) {
-	dev := &dstore.MemDevice{}
-	engine, err := dstore.Recover(1, durableLog, from.witnesses[0], dstore.NewAOF(dev, dstore.FsyncOnDemand), core.MasterConfig{SyncBatchSize: 50})
-	if err != nil {
-		return nil, err
-	}
-	view := &core.View{MasterID: 1, WitnessListVersion: 1, Master: engine}
-	var ws []*witness.Witness
-	for range from.witnesses {
-		w := witness.MustNew(1, witness.DefaultConfig())
-		ws = append(ws, w)
-		view.Witnesses = append(view.Witnesses, dstore.WitnessAdapter{W: w})
-	}
-	engine.AttachWitnesses(ws)
-	client := core.NewClient(rifl.NewSession(2), core.StaticView{V: view}, core.DefaultClientConfig())
-	return &DurableCache{engine: engine, witnesses: ws, client: client, dev: dev}, nil
+	return newCache(from.copts, durableLog, from.witnesses[0], 2)
 }

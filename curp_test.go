@@ -135,7 +135,7 @@ func c2s(ss ...string) map[string]bool {
 }
 
 func TestDurableCache(t *testing.T) {
-	d, err := NewDurableCache(1)
+	d, err := NewDurableCache(Options{F: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,13 +167,24 @@ func TestDurableCache(t *testing.T) {
 	if st := d.Stats(); st.FastPath == 0 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if _, err := NewDurableCache(0); err == nil {
-		t.Fatal("f=0 should be rejected")
+	// The zero Options value follows Start's defaults: F=3 witnesses, the
+	// paper's witness geometry, and the hot-key heuristic enabled.
+	dd, err := NewDurableCache(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dd.witnesses) != 3 {
+		t.Fatalf("default cache has %d witnesses, want 3", len(dd.witnesses))
+	}
+	// An invalid explicit witness geometry is rejected, not silently
+	// patched.
+	if _, err := NewDurableCache(Options{WitnessSlots: 10, WitnessWays: 4}); err == nil {
+		t.Fatal("invalid witness geometry should be rejected")
 	}
 }
 
 func TestDurableCacheCrashRecovery(t *testing.T) {
-	d, _ := NewDurableCache(1)
+	d, _ := NewDurableCache(Options{F: 1, SyncBatchSize: 25})
 	ctx := context.Background()
 	for i := 0; i < 8; i++ {
 		if err := d.Set(ctx, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {

@@ -1,0 +1,84 @@
+package curp_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"curp"
+)
+
+// ExampleClient_PutAsync shows fire-and-wait asynchronous writes: several
+// updates are in flight at once from one goroutine, and each Future
+// resolves independently with the operation's typed result.
+func ExampleClient_PutAsync() {
+	cluster, err := curp.Start(curp.Options{F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	// Submit three writes without waiting between them; all three are on
+	// the wire together.
+	a := client.PutAsync(ctx, []byte("a"), []byte("1"))
+	b := client.PutAsync(ctx, []byte("b"), []byte("2"))
+	n := client.IncrementAsync(ctx, []byte("hits"), 41)
+
+	// Wait in any order. A nil error means the write is durable.
+	if err := b.Err(); err != nil {
+		log.Fatal(err)
+	}
+	ver, err := a.Version()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, err := n.Counter()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a@v%d hits=%d\n", ver, hits)
+	// Output: a@v1 hits=41
+}
+
+// ExamplePipeline batches updates into one coalesced flush: one
+// UpdateBatch RPC to the master and one RecordBatch RPC per witness carry
+// the whole batch, while each operation still completes on CURP's
+// per-operation 1-RTT rule.
+func ExamplePipeline() {
+	cluster, err := curp.Start(curp.Options{F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	p := client.NewPipeline()
+	for i := 0; i < 3; i++ {
+		p.Put([]byte(fmt.Sprintf("user:%d", i)), []byte("profile"))
+	}
+	total := p.Increment([]byte("users"), 3)
+	if err := p.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	n, err := total.Counter()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, ok, err := client.Get(ctx, []byte("user:2"))
+	if err != nil || !ok {
+		log.Fatal(err)
+	}
+	fmt.Printf("users=%d user:2=%s\n", n, v)
+	// Output: users=3 user:2=profile
+}

@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	cache, err := curp.NewDurableCache(1)
+	cache, err := curp.NewDurableCache(curp.Options{F: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

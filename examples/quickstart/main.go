@@ -59,6 +59,30 @@ func main() {
 	}
 	fmt.Printf("condput applied=%v version=%d\n", applied, version)
 
+	// Asynchronous form: don't wait per operation. PutAsync returns a
+	// Future immediately; Wait (or a typed accessor) blocks until the
+	// write is durable.
+	fut := client.PutAsync(ctx, []byte("banner"), []byte("hello"))
+	if err := fut.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pipelining: batch many updates into ONE coalesced flush — a single
+	// RPC to the master and one per witness — while each operation still
+	// completes under CURP's per-operation rules. This is how one client
+	// saturates the cluster.
+	p := client.NewPipeline()
+	for i := 0; i < 10; i++ {
+		p.Put([]byte(fmt.Sprintf("bulk:%d", i)), []byte("payload"))
+	}
+	seen := p.Increment([]byte("visits"), 1)
+	if err := p.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if n, err := seen.Counter(); err == nil {
+		fmt.Printf("visits after pipeline = %d\n", n)
+	}
+
 	st := client.Stats()
 	fmt.Printf("\nprotocol outcomes: fast-path(1 RTT)=%d master-synced(2 RTT)=%d slow-path=%d\n",
 		st.FastPath, st.SyncedByMaster, st.SlowPath)

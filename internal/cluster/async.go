@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"curp/internal/core"
+	"curp/internal/kv"
+)
+
+// Future is the handle to an asynchronous kv operation on one partition.
+// It resolves to the operation's kv.Result once the operation is durable
+// (or has exhausted its retries).
+type Future struct {
+	ready chan struct{} // closed once src (or err) is set
+	src   *core.Future  // the in-flight operation; nil for local failures
+	err   error         // local failure when src is nil
+
+	mu     sync.Mutex
+	cached *kv.Result
+	cerr   error
+	done   bool
+}
+
+// futureOf wraps an already-submitted core future.
+func futureOf(src *core.Future) *Future {
+	f := &Future{ready: make(chan struct{}), src: src}
+	close(f.ready)
+	return f
+}
+
+// newPendingFuture returns a future whose operation has not been
+// submitted yet (a queued pipeline slot).
+func newPendingFuture() *Future { return &Future{ready: make(chan struct{})} }
+
+// bind attaches the submitted operation to a pending future.
+func (f *Future) bind(src *core.Future) {
+	f.src = src
+	close(f.ready)
+}
+
+// failLocal resolves a pending future without a submission.
+func (f *Future) failLocal(err error) {
+	f.err = err
+	close(f.ready)
+}
+
+// Wait blocks until the operation completes and returns its result. The
+// operation is durable (f-fault tolerant) exactly when the returned error
+// is nil. If ctx ends first Wait returns ctx's error, but the operation
+// keeps running; a later Wait can still observe its outcome.
+func (f *Future) Wait(ctx context.Context) (*kv.Result, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-f.ready:
+	}
+	if f.src == nil {
+		return nil, f.err
+	}
+	out, err := f.src.Wait(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err // not final: the operation is still in flight
+		}
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if !f.done {
+			f.done, f.cerr = true, err
+		}
+		return nil, f.cerr
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.done {
+		f.cached, f.cerr = kv.DecodeResult(out)
+		f.done = true
+	}
+	return f.cached, f.cerr
+}
+
+// SubmitAsync issues one kv command asynchronously. Most callers use the
+// typed verbs (PutAsync etc.); this is the generic entry point the verbs
+// and the Pipeline share.
+func (c *Client) SubmitAsync(ctx context.Context, cmd *kv.Command) *Future {
+	return futureOf(c.curp.UpdateAsync(ctx, cmd.KeyHashes(), cmd.Encode()))
+}
+
+// SubmitBatch issues a batch of kv commands as coalesced RPCs: one
+// UpdateBatch to the master and one RecordBatch per witness, with per-
+// command completion (see core.Client.UpdateBatchAsync). Futures are
+// aligned with cmds.
+func (c *Client) SubmitBatch(ctx context.Context, cmds []*kv.Command) []*Future {
+	ops := make([]core.BatchOp, len(cmds))
+	for i, cmd := range cmds {
+		ops[i] = core.BatchOp{KeyHashes: cmd.KeyHashes(), Payload: cmd.Encode()}
+	}
+	inner := c.curp.UpdateBatchAsync(ctx, ops)
+	futs := make([]*Future, len(inner))
+	for i, src := range inner {
+		futs[i] = futureOf(src)
+	}
+	return futs
+}
+
+// PutAsync writes value under key without blocking; the future's result
+// carries the object's new version.
+func (c *Client) PutAsync(ctx context.Context, key, value []byte) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpPut, Key: key, Value: value})
+}
+
+// DeleteAsync removes key without blocking.
+func (c *Client) DeleteAsync(ctx context.Context, key []byte) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpDelete, Key: key})
+}
+
+// IncrementAsync adds delta to the counter at key without blocking; the
+// future's result value holds the new counter value in decimal.
+func (c *Client) IncrementAsync(ctx context.Context, key []byte, delta int64) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpIncrement, Key: key, Delta: delta})
+}
+
+// CondPutAsync writes value only if key is at expectVersion, without
+// blocking; the future's result reports Found=applied and the object's
+// version.
+func (c *Client) CondPutAsync(ctx context.Context, key, value []byte, expectVersion uint64) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpCondPut, Key: key, Value: value, ExpectVersion: expectVersion})
+}
+
+// MultiPutAsync writes several objects as one atomic command, without
+// blocking.
+func (c *Client) MultiPutAsync(ctx context.Context, pairs []kv.KV) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpMultiPut, Pairs: pairs})
+}
+
+// MultiIncrementAsync atomically applies every delta, without blocking;
+// the future's result Values hold the new counter values in decimal,
+// aligned with deltas.
+func (c *Client) MultiIncrementAsync(ctx context.Context, deltas []kv.IncrPair) *Future {
+	return c.SubmitAsync(ctx, multiIncrCommand(deltas))
+}
+
+// multiIncrCommand builds the OpMultiIncr command for deltas.
+func multiIncrCommand(deltas []kv.IncrPair) *kv.Command {
+	cmd := &kv.Command{Op: kv.OpMultiIncr}
+	for _, d := range deltas {
+		cmd.Pairs = append(cmd.Pairs, kv.KV{Key: d.Key, Value: []byte(strconv.FormatInt(d.Delta, 10))})
+	}
+	return cmd
+}
+
+// ParseCounter extracts the counter value of an Increment result.
+func ParseCounter(res *kv.Result) (int64, error) {
+	// strconv.ParseInt, not Sscanf: Sscanf accepts trailing garbage.
+	return strconv.ParseInt(string(res.Value), 10, 64)
+}
+
+// ParseCounters extracts the counter values of a MultiIncrement result.
+func ParseCounters(res *kv.Result) ([]int64, error) {
+	out := make([]int64, len(res.Values))
+	for i, v := range res.Values {
+		n, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Pipeline queues update operations against one partition and flushes
+// them as coalesced RPCs: one UpdateBatch to the master, one RecordBatch
+// per witness, at most one slow-path Sync, and one Drop per witness for
+// redirect-abandoned operations. Operations complete independently (each
+// future resolves on its own 1-RTT rule); queue order is preserved, so
+// two operations on the same key apply in the order they were queued.
+//
+// A Pipeline is not safe for concurrent use; open one per goroutine
+// (futures may be waited on from anywhere).
+type Pipeline struct {
+	c    *Client
+	cmds []*kv.Command
+	futs []*Future
+}
+
+// NewPipeline opens an empty pipeline.
+func (c *Client) NewPipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Len reports how many operations are queued and unflushed.
+func (p *Pipeline) Len() int { return len(p.cmds) }
+
+func (p *Pipeline) enqueue(cmd *kv.Command) *Future {
+	f := newPendingFuture()
+	p.cmds = append(p.cmds, cmd)
+	p.futs = append(p.futs, f)
+	return f
+}
+
+// Put queues a write of value under key.
+func (p *Pipeline) Put(key, value []byte) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpPut, Key: key, Value: value})
+}
+
+// Delete queues a removal of key.
+func (p *Pipeline) Delete(key []byte) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpDelete, Key: key})
+}
+
+// Increment queues adding delta to the counter at key.
+func (p *Pipeline) Increment(key []byte, delta int64) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpIncrement, Key: key, Delta: delta})
+}
+
+// CondPut queues a conditional write of value at expectVersion.
+func (p *Pipeline) CondPut(key, value []byte, expectVersion uint64) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpCondPut, Key: key, Value: value, ExpectVersion: expectVersion})
+}
+
+// MultiPut queues an atomic multi-object write.
+func (p *Pipeline) MultiPut(pairs []kv.KV) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpMultiPut, Pairs: pairs})
+}
+
+// MultiIncrement queues an atomic multi-counter increment.
+func (p *Pipeline) MultiIncrement(deltas []kv.IncrPair) *Future {
+	return p.enqueue(multiIncrCommand(deltas))
+}
+
+// Flush submits every queued operation as one coalesced batch and blocks
+// until each has completed or failed. Per-operation outcomes land on the
+// futures; Flush returns the join of all failures (nil when every
+// operation succeeded). The queue is empty afterwards, so the pipeline
+// can be reused; operations queued after a Flush are ordered after the
+// flushed ones.
+func (p *Pipeline) Flush(ctx context.Context) error {
+	if len(p.cmds) == 0 {
+		return nil
+	}
+	cmds, futs := p.cmds, p.futs
+	p.cmds, p.futs = nil, nil
+	inner := p.c.SubmitBatch(ctx, cmds)
+	var errs []error
+	for i, f := range futs {
+		f.bind(inner[i].src)
+		if _, err := f.Wait(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("op %d (%v): %w", i, cmds[i].Op, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -82,7 +82,7 @@ func (bs *BackupServer) state(masterID uint64) *backupState {
 	defer bs.mu.Unlock()
 	st := bs.states[masterID]
 	if st == nil {
-		st = &backupState{log: kv.NewBackup(), store: kv.NewStore()}
+		st = &backupState{log: kv.NewBackup(), store: kv.NewReplicaStore()}
 		bs.states[masterID] = st
 	}
 	return st
@@ -196,7 +196,7 @@ func (bs *BackupServer) handleReset(payload []byte) ([]byte, error) {
 	// re-materialize handed-off keys this replica must keep refusing to
 	// serve (§A.1 reads from old-ring clients would otherwise see frozen
 	// pre-handoff values in the window before the coordinator re-marks).
-	bs.states[masterID] = &backupState{log: st.log, store: kv.NewStore(), epoch: epoch, moved: st.moved}
+	bs.states[masterID] = &backupState{log: st.log, store: kv.NewReplicaStore(), epoch: epoch, moved: st.moved}
 	return nil, nil
 }
 

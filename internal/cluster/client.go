@@ -18,12 +18,56 @@ import (
 // masterConn adapts an rpc.Peer to core.MasterAPI.
 type masterConn struct{ peer *rpc.Peer }
 
-func (m *masterConn) Update(ctx context.Context, req *core.Request) (*core.Reply, error) {
-	out, err := m.peer.Call(ctx, OpUpdate, req.Encode())
-	if err != nil {
-		return nil, err
+// maxBatchBytes bounds one batch RPC's payload, comfortably below the
+// transport's 16MB frame ceiling. Batches that would exceed it are split
+// into sequential chunk RPCs — still O(batch/limit) RPCs, and order
+// preserving — instead of failing deterministically on frame size.
+const maxBatchBytes = 4 << 20
+
+// chunkBy splits items into runs whose summed size stays under
+// maxBatchBytes (every run has at least one item).
+func chunkBy[T any](items []T, size func(T) int) [][]T {
+	var chunks [][]T
+	start, run := 0, 0
+	for i, it := range items {
+		s := size(it)
+		if i > start && run+s > maxBatchBytes {
+			chunks = append(chunks, items[start:i])
+			start, run = i, 0
+		}
+		run += s
 	}
-	return core.DecodeReply(out)
+	return append(chunks, items[start:])
+}
+
+// UpdateBatch ships a batch of update requests in one RPC (chunked if it
+// would exceed the frame limit). A batch of one uses the single-request
+// wire op, so non-pipelined updates keep their minimal envelope.
+func (m *masterConn) UpdateBatch(ctx context.Context, reqs []*core.Request) ([]*core.Reply, error) {
+	if len(reqs) == 1 {
+		out, err := m.peer.Call(ctx, OpUpdate, reqs[0].Encode())
+		if err != nil {
+			return nil, err
+		}
+		reply, err := core.DecodeReply(out)
+		if err != nil {
+			return nil, err
+		}
+		return []*core.Reply{reply}, nil
+	}
+	replies := make([]*core.Reply, 0, len(reqs))
+	for _, chunk := range chunkBy(reqs, func(r *core.Request) int { return 48 + 8*len(r.KeyHashes) + len(r.Payload) }) {
+		out, err := m.peer.Call(ctx, OpUpdateBatch, encodeUpdateBatch(chunk))
+		if err != nil {
+			return nil, err
+		}
+		rs, err := decodeReplyBatch(out)
+		if err != nil {
+			return nil, err
+		}
+		replies = append(replies, rs...)
+	}
+	return replies, nil
 }
 
 func (m *masterConn) Read(ctx context.Context, req *core.Request) (*core.Reply, error) {
@@ -42,28 +86,48 @@ func (m *masterConn) Sync(ctx context.Context) error {
 // witnessConn adapts an rpc.Peer to core.WitnessAPI.
 type witnessConn struct{ peer *rpc.Peer }
 
-func (w *witnessConn) Record(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) (witness.RecordResult, error) {
-	req := recordRequest{MasterID: masterID, KeyHashes: keyHashes, ID: id, Request: request}
-	out, err := w.peer.Call(ctx, OpWitnessRecord, req.encode())
-	if err != nil {
-		return 0, err
+// RecordBatch ships every pending record of a flush in one RPC (chunked
+// if it would exceed the frame limit); the reply carries one
+// accept/reject byte per record. A batch of one uses the single-record
+// wire op.
+func (w *witnessConn) RecordBatch(ctx context.Context, masterID uint64, recs []witness.Record) ([]witness.RecordResult, error) {
+	if len(recs) == 1 {
+		req := recordRequest{MasterID: masterID, KeyHashes: recs[0].KeyHashes, ID: recs[0].ID, Request: recs[0].Request}
+		out, err := w.peer.Call(ctx, OpWitnessRecord, req.encode())
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != 1 {
+			return nil, errors.New("cluster: malformed record reply")
+		}
+		return []witness.RecordResult{witness.RecordResult(out[0])}, nil
 	}
-	if len(out) != 1 {
-		return 0, errors.New("cluster: malformed record reply")
+	results := make([]witness.RecordResult, 0, len(recs))
+	for _, chunk := range chunkBy(recs, func(r witness.Record) int { return 28 + 8*len(r.KeyHashes) + len(r.Request) }) {
+		req := &recordBatchRequest{MasterID: masterID, Records: chunk}
+		out, err := w.peer.Call(ctx, OpWitnessRecordBatch, req.encode())
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != len(chunk) {
+			return nil, errors.New("cluster: malformed record batch reply")
+		}
+		results = append(results, decodeRecordResults(out)...)
 	}
-	return witness.RecordResult(out[0]), nil
+	return results, nil
 }
 
 func (w *witnessConn) Commutes(ctx context.Context, keyHashes []uint64) (bool, error) {
 	return false, errors.New("cluster: witnessConn requires a master-scoped probe; use scopedWitnessConn")
 }
 
-// Drop retracts the (keyHash, id) pairs of an abandoned RPC. Pairs that
-// were never recorded (rejected records) are ignored by the witness; a
-// witness already in recovery mode errors, telling the caller the records
-// have been surfaced and the RPC ID must not be abandoned.
-func (w *witnessConn) Drop(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID) error {
-	req := &gcRequest{MasterID: masterID, Keys: witness.GCKeys(keyHashes, id)}
+// Drop retracts the (keyHash, id) pairs of abandoned RPCs — any number of
+// them, so one RPC cleans up a whole abandoned batch. Pairs that were
+// never recorded (rejected records) are ignored by the witness; a witness
+// already in recovery mode errors, telling the caller the records have
+// been surfaced and the RPC IDs must not be abandoned.
+func (w *witnessConn) Drop(ctx context.Context, masterID uint64, keys []witness.GCKey) error {
+	req := &gcRequest{MasterID: masterID, Keys: keys}
 	_, err := w.peer.Call(ctx, OpWitnessDrop, req.encode())
 	return err
 }
@@ -364,4 +428,11 @@ func (c *Client) update(ctx context.Context, cmd *kv.Command) (*kv.Result, error
 		return nil, err
 	}
 	return kv.DecodeResult(out)
+}
+
+// Submit executes one kv command synchronously — the generic blocking
+// form of the typed verbs, used by routing layers that build commands
+// themselves.
+func (c *Client) Submit(ctx context.Context, cmd *kv.Command) (*kv.Result, error) {
+	return c.update(ctx, cmd)
 }

@@ -59,6 +59,17 @@ type MasterServer struct {
 	syncCond   *sync.Cond
 	syncActive bool
 
+	// syncKick feeds the single background-sync goroutine (capacity 1: a
+	// kick while one is pending coalesces). Before this existed every
+	// speculative op past the batch threshold spawned its own goroutine
+	// into syncAndWait, where they parked on syncCond and were all woken
+	// by every completed sync — a thundering herd that throttled the
+	// pipelined path. One resident syncer keeps background syncs O(1)
+	// goroutines regardless of load.
+	syncKick  chan struct{}
+	closeOnce sync.Once
+	closed    chan struct{}
+
 	// pendingGC carries (keyHash, rpcID) pairs that must be re-sent in
 	// the next gc RPC: suspected uncollected garbage reported by
 	// witnesses (§4.5).
@@ -100,7 +111,11 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 	}
 	ms.durableOld = make(map[string]staleEntry)
 	ms.syncCond = sync.NewCond(&ms.syncMu)
+	ms.syncKick = make(chan struct{}, 1)
+	ms.closed = make(chan struct{})
+	go ms.backgroundSync()
 	ms.rpc.Handle(OpUpdate, ms.handleUpdate)
+	ms.rpc.Handle(OpUpdateBatch, ms.handleUpdateBatch)
 	ms.rpc.Handle(OpRead, ms.handleRead)
 	ms.rpc.Handle(OpSync, ms.handleSync)
 	ms.rpc.Handle(OpReadStale, ms.handleReadStale)
@@ -134,6 +149,7 @@ func (ms *MasterServer) Store() *kv.Store { return ms.store }
 
 // Close shuts the master down.
 func (ms *MasterServer) Close() {
+	ms.closeOnce.Do(func() { close(ms.closed) })
 	ms.rpc.Close()
 	ms.peersMu.Lock()
 	defer ms.peersMu.Unlock()
@@ -268,17 +284,30 @@ func (ms *MasterServer) handleReadStale(payload []byte) ([]byte, error) {
 	return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil
 }
 
-// handleUpdate is the client update path (§3.2.3).
-func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
-	req, err := core.DecodeRequest(payload)
-	if err != nil {
-		return nil, err
-	}
+// updateExec is the outcome of executing one update before its (optional)
+// sync: the reply to send, and whether revealing it must wait for a
+// backup sync. Batch handlers coalesce the syncs of several executions
+// into one syncAndWait before revealing any gated reply.
+type updateExec struct {
+	reply *core.Reply
+	// syncTo, when non-zero, is the LSN the master must have replicated
+	// before the reply may be revealed; the reply is then tagged Synced so
+	// the client skips its own sync RPC.
+	syncTo kv.LSN
+	// conflictSync marks syncs forced by a non-commutative new execution
+	// (counted as ConflictSyncs; duplicate-result syncs are not).
+	conflictSync bool
+}
+
+// executeUpdate runs the client update path (§3.2.3) up to — but not
+// including — any backup sync the reply must wait for. It is the shared
+// execution step of handleUpdate and handleUpdateBatch.
+func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 	if ms.state.Frozen() {
-		return (&core.Reply{Status: core.StatusWrongMaster}).Encode(), nil
+		return updateExec{reply: &core.Reply{Status: core.StatusWrongMaster}}, nil
 	}
 	if !ms.state.CheckWitnessList(req.WitnessListVersion) {
-		return (&core.Reply{Status: core.StatusStaleWitnessList}).Encode(), nil
+		return updateExec{reply: &core.Reply{Status: core.StatusStaleWitnessList}}, nil
 	}
 
 	ms.execMu.Lock()
@@ -289,22 +318,22 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 		// are still unsynced, sync first so the retried client can
 		// complete without witness help.
 		conflict := ms.state.Conflicts(req.KeyHashes)
+		head := kv.LSN(ms.store.Head())
 		ms.execMu.Unlock()
+		ex := updateExec{reply: &core.Reply{Status: core.StatusOK, Synced: true, Payload: saved}}
 		if conflict {
-			if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
-				return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
-			}
+			ex.syncTo = head
 		}
-		return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: saved}).Encode(), nil
+		return ex, nil
 	case rifl.Stale, rifl.Expired:
 		ms.execMu.Unlock()
-		return (&core.Reply{Status: core.StatusIgnored}).Encode(), nil
+		return updateExec{reply: &core.Reply{Status: core.StatusIgnored}}, nil
 	}
 
 	cmd, err := kv.DecodeCommand(req.Payload)
 	if err != nil {
 		ms.execMu.Unlock()
-		return nil, err
+		return updateExec{}, err
 	}
 	// Migration check, inside the execution lock so it serializes with the
 	// freeze in handleMigrateCollect: a new operation on a migrating or
@@ -314,7 +343,7 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 	// completion records.
 	if ms.migr.blockedAny(req.KeyHashes) {
 		ms.execMu.Unlock()
-		return (&core.Reply{Status: core.StatusKeyMoved}).Encode(), nil
+		return updateExec{reply: &core.Reply{Status: core.StatusKeyMoved}}, nil
 	}
 	// Commutativity check must precede execution: afterwards the op's own
 	// keys are unsynced and would self-conflict.
@@ -332,24 +361,24 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 	res, lsn, err := ms.store.Apply(cmd, req.ID)
 	if err != nil {
 		ms.execMu.Unlock()
-		return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+		return updateExec{reply: &core.Reply{Status: core.StatusError, Err: err.Error()}}, nil
 	}
 	hot := false
 	if lsn > 0 {
 		hot = ms.state.NoteMutation(req.KeyHashes, uint64(lsn))
 	}
-	ms.tracker.RecordKeyed(req.ID, res.Encode(), req.KeyHashes)
+	enc := res.Encode() // one encoding serves the completion record and the reply
+	ms.tracker.RecordKeyed(req.ID, enc, req.KeyHashes)
 	ms.execMu.Unlock()
 
 	if conflict {
-		// Non-commutative with the unsynced suffix: sync (which covers
-		// this op too) before revealing the result, and tag the reply so
-		// the client skips its sync RPC (§3.2.3).
-		ms.state.CountConflictSync()
-		if err := ms.syncAndWait(kv.LSN(lsn)); err != nil {
-			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
-		}
-		return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil
+		// Non-commutative with the unsynced suffix: the caller must sync
+		// (which covers this op too) before revealing the result (§3.2.3).
+		return updateExec{
+			reply:        &core.Reply{Status: core.StatusOK, Payload: enc},
+			syncTo:       kv.LSN(lsn),
+			conflictSync: true,
+		}, nil
 	}
 
 	// Speculative (1-RTT) path.
@@ -360,7 +389,76 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 		}
 		ms.TriggerSync()
 	}
-	return (&core.Reply{Status: core.StatusOK, Synced: false, Payload: res.Encode()}).Encode(), nil
+	return updateExec{reply: &core.Reply{Status: core.StatusOK, Synced: false, Payload: enc}}, nil
+}
+
+// handleUpdate is the client update path (§3.2.3), one request per RPC.
+func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
+	req, err := core.DecodeRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := ms.executeUpdate(req)
+	if err != nil {
+		return nil, err
+	}
+	if ex.syncTo > 0 {
+		if ex.conflictSync {
+			ms.state.CountConflictSync()
+		}
+		if err := ms.syncAndWait(ex.syncTo); err != nil {
+			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+		}
+		ex.reply.Synced = true
+	}
+	return ex.reply.Encode(), nil
+}
+
+// handleUpdateBatch is the pipelined update path: execute every request in
+// order, then satisfy all their sync obligations with ONE coalesced
+// syncAndWait before revealing any sync-gated reply. Per-request outcomes
+// (redirects, RIFL filtering, execution errors) stay independent.
+func (ms *MasterServer) handleUpdateBatch(payload []byte) ([]byte, error) {
+	reqs, err := decodeUpdateBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	exs := make([]updateExec, len(reqs))
+	var syncTo kv.LSN
+	for i, req := range reqs {
+		ex, err := ms.executeUpdate(req)
+		if err != nil {
+			return nil, err
+		}
+		exs[i] = ex
+		if ex.syncTo > syncTo {
+			syncTo = ex.syncTo
+		}
+		if ex.conflictSync {
+			ms.state.CountConflictSync()
+		}
+	}
+	if syncTo > 0 {
+		// One sync covers every gated operation of the batch — the
+		// server-side half of the batch amortization (the client's half is
+		// the single slow-path Sync RPC for all its rejected records).
+		serr := ms.syncAndWait(syncTo)
+		for i := range exs {
+			if exs[i].syncTo == 0 {
+				continue
+			}
+			if serr != nil {
+				exs[i].reply = &core.Reply{Status: core.StatusError, Err: serr.Error()}
+			} else {
+				exs[i].reply.Synced = true
+			}
+		}
+	}
+	replies := make([]*core.Reply, len(exs))
+	for i := range exs {
+		replies[i] = exs[i].reply
+	}
+	return encodeReplyBatch(replies), nil
 }
 
 // handleRead serves linearizable reads: a read touching an unsynced object
@@ -414,11 +512,27 @@ func (ms *MasterServer) handleSync(payload []byte) ([]byte, error) {
 	return nil, nil
 }
 
-// TriggerSync starts a background sync if none is running.
+// TriggerSync asks the background syncer to run (coalescing with any
+// already-pending kick). It never blocks the caller.
 func (ms *MasterServer) TriggerSync() {
-	go func() {
-		_ = ms.syncAndWait(kv.LSN(ms.store.Head()))
-	}()
+	select {
+	case ms.syncKick <- struct{}{}:
+	default: // a kick is already pending; the syncer will cover this op
+	}
+}
+
+// backgroundSync is the master's one resident background syncer: each
+// kick replicates everything up to the CURRENT head, so any number of
+// triggers while a sync runs collapse into a single follow-up pass.
+func (ms *MasterServer) backgroundSync() {
+	for {
+		select {
+		case <-ms.closed:
+			return
+		case <-ms.syncKick:
+			_ = ms.syncAndWait(kv.LSN(ms.store.Head()))
+		}
+	}
 }
 
 // syncAndWait blocks until every log entry up to target is replicated to

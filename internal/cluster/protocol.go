@@ -9,6 +9,9 @@
 package cluster
 
 import (
+	"fmt"
+
+	"curp/internal/core"
 	"curp/internal/kv"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
@@ -74,12 +77,23 @@ const (
 	OpCoordAddFrozen
 	OpCoordDelFrozen
 
-	// Client → witness: retract the client's own records of an RPC it is
+	// Client → witness: retract the client's own records of RPCs it is
 	// abandoning after a StatusKeyMoved bounce. Unlike OpWitnessGC it does
 	// not advance the witness's staleness clock, and it errors in recovery
 	// mode — the records were already surfaced to a recovering master, so
-	// the client must NOT abandon the RPC ID.
+	// the client must NOT abandon the RPC IDs. The request carries any
+	// number of (keyHash, id) pairs, so one RPC per witness retracts a
+	// whole abandoned pipeline flush.
 	OpWitnessDrop
+
+	// Client → master: a pipelined batch of update requests, executed in
+	// order, answered with one reply per request. The coalesced form of
+	// OpUpdate; a batch of one is equivalent to OpUpdate.
+	OpUpdateBatch
+	// Client → witness: a pipelined batch of record requests, accepted or
+	// rejected per record under one lock acquisition. The coalesced form
+	// of OpWitnessRecord.
+	OpWitnessRecordBatch
 )
 
 // recordRequest is the payload of OpWitnessRecord.
@@ -179,6 +193,130 @@ func decodeWitnessRecords(b []byte) ([]witness.Record, error) {
 	return recs, nil
 }
 
+// encodeUpdateBatch serializes the payload of OpUpdateBatch.
+func encodeUpdateBatch(reqs []*core.Request) []byte {
+	size := 4
+	for _, r := range reqs {
+		size += 48 + 8*len(r.KeyHashes) + len(r.Payload)
+	}
+	e := rpc.NewEncoder(size)
+	e.U32(uint32(len(reqs)))
+	for _, r := range reqs {
+		r.Marshal(e)
+	}
+	return e.Bytes()
+}
+
+func decodeUpdateBatch(b []byte) ([]*core.Request, error) {
+	d := rpc.NewDecoder(b)
+	n := d.U32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if int(n) > d.Remaining() {
+		// A corrupt count must not drive the preallocation.
+		return nil, fmt.Errorf("cluster: update batch count %d exceeds payload", n)
+	}
+	reqs := make([]*core.Request, 0, n)
+	for i := uint32(0); i < n; i++ {
+		r, err := core.UnmarshalRequest(d)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs, nil
+}
+
+// encodeReplyBatch serializes an OpUpdateBatch response.
+func encodeReplyBatch(replies []*core.Reply) []byte {
+	e := rpc.NewEncoder(32 * (1 + len(replies)))
+	e.U32(uint32(len(replies)))
+	for _, r := range replies {
+		r.Marshal(e)
+	}
+	return e.Bytes()
+}
+
+func decodeReplyBatch(b []byte) ([]*core.Reply, error) {
+	d := rpc.NewDecoder(b)
+	n := d.U32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if int(n) > d.Remaining() {
+		return nil, fmt.Errorf("cluster: reply batch count %d exceeds payload", n)
+	}
+	replies := make([]*core.Reply, 0, n)
+	for i := uint32(0); i < n; i++ {
+		r, err := core.UnmarshalReply(d)
+		if err != nil {
+			return nil, err
+		}
+		replies = append(replies, r)
+	}
+	return replies, nil
+}
+
+// recordBatchRequest is the payload of OpWitnessRecordBatch: every pending
+// record of one pipeline flush, for one witness.
+type recordBatchRequest struct {
+	MasterID uint64
+	Records  []witness.Record
+}
+
+func (r *recordBatchRequest) encode() []byte {
+	size := 16
+	for _, rec := range r.Records {
+		size += 28 + 8*len(rec.KeyHashes) + len(rec.Request)
+	}
+	e := rpc.NewEncoder(size)
+	e.U64(r.MasterID)
+	e.U32(uint32(len(r.Records)))
+	for _, rec := range r.Records {
+		e.U64Slice(rec.KeyHashes)
+		e.U64(uint64(rec.ID.Client))
+		e.U64(uint64(rec.ID.Seq))
+		e.Bytes32(rec.Request)
+	}
+	return e.Bytes()
+}
+
+func decodeRecordBatchRequest(b []byte) (*recordBatchRequest, error) {
+	d := rpc.NewDecoder(b)
+	r := &recordBatchRequest{MasterID: d.U64()}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Records = append(r.Records, witness.Record{
+			KeyHashes: d.U64Slice(),
+			ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+			Request:   d.BytesCopy32(),
+		})
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// encodeRecordResults serializes an OpWitnessRecordBatch response: one
+// result byte per record, aligned with the request.
+func encodeRecordResults(results []witness.RecordResult) []byte {
+	out := make([]byte, len(results))
+	for i, r := range results {
+		out[i] = byte(r)
+	}
+	return out
+}
+
+func decodeRecordResults(b []byte) []witness.RecordResult {
+	out := make([]witness.RecordResult, len(b))
+	for i, r := range b {
+		out[i] = witness.RecordResult(r)
+	}
+	return out
+}
+
 // appendRequest is the payload of OpBackupAppend: a master (identified by
 // its recovery epoch, §4.7) replicating a log suffix.
 type appendRequest struct {
@@ -188,7 +326,7 @@ type appendRequest struct {
 }
 
 func (a *appendRequest) encode() []byte {
-	e := rpc.NewEncoder(64 * (1 + len(a.Entries)))
+	e := rpc.NewEncoder(32 + 192*len(a.Entries))
 	e.U64(a.MasterID)
 	e.U64(a.Epoch)
 	e.U32(uint32(len(a.Entries)))
@@ -202,6 +340,9 @@ func decodeAppendRequest(b []byte) (*appendRequest, error) {
 	d := rpc.NewDecoder(b)
 	a := &appendRequest{MasterID: d.U64(), Epoch: d.U64()}
 	n := d.U32()
+	if d.Err() == nil && n > 0 && int(n) <= d.Remaining() {
+		a.Entries = make([]kv.Entry, 0, n)
+	}
 	for i := uint32(0); i < n; i++ {
 		en, err := kv.UnmarshalEntry(d)
 		if err != nil {

@@ -31,6 +31,7 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 		rpc:       rpc.NewServer(),
 	}
 	ws.rpc.Handle(OpWitnessRecord, ws.handleRecord)
+	ws.rpc.Handle(OpWitnessRecordBatch, ws.handleRecordBatch)
 	ws.rpc.Handle(OpWitnessCommutes, ws.handleCommutes)
 	ws.rpc.Handle(OpWitnessGC, ws.handleGC)
 	ws.rpc.Handle(OpWitnessDrop, ws.handleDrop)
@@ -81,6 +82,26 @@ func (ws *WitnessServer) handleRecord(payload []byte) ([]byte, error) {
 	}
 	res := w.Record(req.MasterID, req.KeyHashes, req.ID, req.Request)
 	return []byte{byte(res)}, nil
+}
+
+// handleRecordBatch is the pipelined record path: every record of a flush
+// in one RPC, accepted or rejected per record.
+func (ws *WitnessServer) handleRecordBatch(payload []byte) ([]byte, error) {
+	req, err := decodeRecordBatchRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	w, err := ws.lookup(req.MasterID)
+	if err != nil {
+		// No instance for this master: tell the client it used a stale
+		// witness list rather than erroring the transport.
+		results := make([]witness.RecordResult, len(req.Records))
+		for i := range results {
+			results[i] = witness.RejectedWrongMaster
+		}
+		return encodeRecordResults(results), nil
+	}
+	return encodeRecordResults(w.RecordBatch(req.MasterID, req.Records)), nil
 }
 
 func (ws *WitnessServer) handleCommutes(payload []byte) ([]byte, error) {

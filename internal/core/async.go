@@ -1,0 +1,356 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"curp/internal/rifl"
+	"curp/internal/witness"
+)
+
+// This file is the asynchronous update engine — the single state machine
+// behind every mutating verb. A client may keep any number of operations
+// in flight (the paper's §5.2 evaluation saturates the cluster with
+// asynchronous requests, and RIFL was designed so exactly-once semantics
+// survive concurrent outstanding RPCs per client); the engine additionally
+// coalesces a batch of operations into O(1) RPCs per server:
+//
+//   - one UpdateBatch RPC to the master carrying every request, executed
+//     in order;
+//   - one RecordBatch RPC per witness carrying every record, accepted or
+//     rejected per record;
+//   - at most one Sync RPC covering every witness-rejected operation in
+//     the batch;
+//   - one Drop RPC per witness retracting every redirect-abandoned
+//     operation.
+//
+// Completion stays per operation: an operation is complete the moment the
+// master executed it speculatively AND all f witnesses accepted its record
+// (1 RTT, §3.2.1), or the master reports it synced, or a sync covers it —
+// independently of its batch-mates' fates.
+
+// Future is the handle to an asynchronous update. It is fulfilled exactly
+// once, by the engine goroutine driving the operation's batch.
+type Future struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+func (f *Future) complete(payload []byte) {
+	f.payload = payload
+	close(f.done)
+}
+
+func (f *Future) fail(err error) {
+	f.err = err
+	close(f.done)
+}
+
+// Done returns a channel closed when the operation has completed or
+// failed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the operation completes, returning the substrate
+// result. The operation is durable (f-fault tolerant) exactly when the
+// returned error is nil. If ctx ends first, Wait returns ctx's error but
+// the operation itself keeps running under its submission context; a
+// later Wait can still observe its outcome.
+func (f *Future) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-f.done:
+		return f.payload, f.err
+	}
+}
+
+// BatchOp is one operation of an asynchronous batch submission.
+type BatchOp struct {
+	// KeyHashes is the operation's commutativity footprint.
+	KeyHashes []uint64
+	// Payload is the substrate command.
+	Payload []byte
+}
+
+// asyncOp is one in-flight operation inside the engine.
+type asyncOp struct {
+	id        rifl.RPCID
+	keyHashes []uint64
+	payload   []byte
+	fut       *Future
+}
+
+// UpdateAsync submits one mutating operation and returns immediately. The
+// returned Future completes when the operation is durable (or has failed
+// after the configured retries). Equivalent to a one-operation
+// UpdateBatchAsync.
+func (c *Client) UpdateAsync(ctx context.Context, keyHashes []uint64, payload []byte) *Future {
+	return c.UpdateBatchAsync(ctx, []BatchOp{{KeyHashes: keyHashes, Payload: payload}})[0]
+}
+
+// UpdateBatchAsync submits a batch of mutating operations and returns one
+// Future per operation, aligned with ops. The batch is flushed as
+// coalesced RPCs (one UpdateBatch to the master, one RecordBatch per
+// witness); operations complete independently. RPC IDs are assigned in
+// ops order and the master executes the batch in order, so two operations
+// on the same key submitted in one batch are applied in submission order.
+func (c *Client) UpdateBatchAsync(ctx context.Context, ops []BatchOp) []*Future {
+	futs := make([]*Future, len(ops))
+	aops := make([]*asyncOp, len(ops))
+	for i, op := range ops {
+		futs[i] = newFuture()
+		aops[i] = &asyncOp{
+			id:        c.session.NextID(),
+			keyHashes: op.KeyHashes,
+			payload:   op.Payload,
+			fut:       futs[i],
+		}
+	}
+	if len(aops) == 0 {
+		return futs
+	}
+	go c.runBatch(ctx, aops)
+	return futs
+}
+
+// runBatch drives a batch of operations to completion: repeated flush
+// attempts against the current view, with per-operation outcomes deciding
+// which operations retry. Operations retry with their original RPC IDs so
+// RIFL filters duplicates across master failures (§3.2.1).
+func (c *Client) runBatch(ctx context.Context, ops []*asyncOp) {
+	pending := ops
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts && len(pending) > 0; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(uint64(len(pending)))
+		}
+		if err := c.pause(ctx, attempt); err != nil {
+			failAll(pending, err)
+			return
+		}
+		view, err := c.views.View(ctx, attempt > 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pending, lastErr = c.flushOnce(ctx, view, pending, lastErr)
+		if ctx.Err() != nil {
+			failAll(pending, ctx.Err())
+			return
+		}
+	}
+	for _, op := range pending {
+		op.fut.fail(fmt.Errorf("%w: %v", ErrUpdateFailed, lastErr))
+	}
+}
+
+// flushOnce performs one coalesced submission attempt for the pending
+// operations and resolves every operation whose outcome is final. It
+// returns the operations that must be retried (in submission order) and
+// the error to report if retries run out.
+func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, lastErr error) ([]*asyncOp, error) {
+	reqs := make([]*Request, len(pending))
+	recs := make([]witness.Record, len(pending))
+	for i, op := range pending {
+		reqs[i] = &Request{
+			ID:                 op.id,
+			Ack:                c.session.Ack(),
+			WitnessListVersion: view.WitnessListVersion,
+			KeyHashes:          op.keyHashes,
+			Payload:            op.payload,
+		}
+		recs[i] = witness.Record{KeyHashes: op.keyHashes, ID: op.id, Request: op.payload}
+	}
+
+	// One RecordBatch per witness, in parallel with the master RPC (the
+	// overlap that makes the 1-RTT path possible).
+	type recRes struct {
+		results []witness.RecordResult
+		err     error
+	}
+	recCh := make(chan recRes, len(view.Witnesses))
+	for _, w := range view.Witnesses {
+		go func(w WitnessAPI) {
+			results, err := w.RecordBatch(ctx, view.MasterID, recs)
+			recCh <- recRes{results: results, err: err}
+		}(w)
+	}
+
+	replies, merr := view.Master.UpdateBatch(ctx, reqs)
+
+	if merr != nil {
+		// Master unreachable: refetch the view and retry the whole batch
+		// under the same IDs. Re-recorded requests conflict with their own
+		// surviving records and fall to the slow path, which is safe. The
+		// witness goroutines drain into the buffered channel on their own.
+		if ctx.Err() != nil {
+			return pending, ctx.Err()
+		}
+		return pending, merr
+	}
+	if len(replies) != len(pending) {
+		return pending, fmt.Errorf("curp: master returned %d replies for %d requests", len(replies), len(pending))
+	}
+
+	// First pass: resolve every operation whose outcome does NOT depend
+	// on witness results. A master-synced reply completes immediately —
+	// witness outcomes are irrelevant (§3.2.3) and must not be waited
+	// for (a partitioned witness would otherwise stall an already-durable
+	// operation).
+	var retry []*asyncOp
+	var undecided []int // indices into pending: OK-unsynced, awaiting the completion rule
+	var moved []*asyncOp
+	var movedKeys []witness.GCKey
+	for i, op := range pending {
+		reply := replies[i]
+		switch reply.Status {
+		case StatusOK:
+			if reply.Synced {
+				c.syncedByMaster.Add(1)
+				c.session.Finish(op.id)
+				op.fut.complete(reply.Payload)
+			} else {
+				undecided = append(undecided, i)
+			}
+		case StatusStaleWitnessList, StatusWrongMaster:
+			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
+			retry = append(retry, op)
+		case StatusKeyMoved:
+			// The key's range left this partition; only the routing layer
+			// can find the new owner, and it will reissue the operation
+			// under a FRESH RPC ID. Before abandoning this ID its records
+			// must be retracted — see the drop block below.
+			moved = append(moved, op)
+			movedKeys = append(movedKeys, witness.GCKeys(op.keyHashes, op.id)...)
+		case StatusIgnored:
+			op.fut.fail(ErrIgnored)
+		case StatusError:
+			// Execution failed deterministically (e.g. a type error).
+			// Nothing mutated; surface to the application.
+			op.fut.fail(fmt.Errorf("curp: execution error: %s", reply.Err))
+		default:
+			op.fut.fail(fmt.Errorf("curp: unexpected status %v", reply.Status))
+		}
+	}
+	if len(undecided) == 0 && len(moved) == 0 {
+		orderRetry(pending, retry)
+		return retry, lastErr
+	}
+
+	// Gather the witness outcomes: the completion rule needs the accept
+	// counts, and the redirect path must not retract records that are
+	// still in flight.
+	accepted := make([]int, len(pending))
+	for range view.Witnesses {
+		r := <-recCh
+		if r.err != nil || len(r.results) != len(pending) {
+			continue // this witness accepted nothing usable
+		}
+		for i, res := range r.results {
+			if res.Ok() {
+				accepted[i]++
+			}
+		}
+	}
+
+	var needSync []*asyncOp
+	var needSyncPayload [][]byte
+	for _, i := range undecided {
+		op := pending[i]
+		if accepted[i] == len(view.Witnesses) {
+			// 1-RTT completion rule: all f witnesses accepted.
+			c.fastPath.Add(1)
+			c.session.Finish(op.id)
+			op.fut.complete(replies[i].Payload)
+		} else {
+			needSync = append(needSync, op)
+			needSyncPayload = append(needSyncPayload, replies[i].Payload)
+		}
+	}
+
+	// Slow path, amortized: ONE sync RPC makes every witness-rejected
+	// operation of the batch durable (the master's sync covers all
+	// executed operations), instead of one sync per rejected operation.
+	if len(needSync) > 0 {
+		if err := view.Master.Sync(ctx); err == nil {
+			for i, op := range needSync {
+				c.slowPath.Add(1)
+				c.session.Finish(op.id)
+				op.fut.complete(needSyncPayload[i])
+			}
+		} else if ctx.Err() != nil {
+			return append(retry, needSync...), ctx.Err()
+		} else {
+			// No response to the sync RPC: the master may have crashed.
+			// Restart these operations against a fresh view (§3.2.1).
+			lastErr = err
+			retry = append(retry, needSync...)
+		}
+	}
+
+	// Redirect path, amortized: a surviving record of an abandoned ID
+	// would later be replayed (crash recovery) or §4.5-retried (after a
+	// migration abort unfreezes the range) as a brand-new operation,
+	// double-applying work the routing layer's reissue already did. All
+	// abandoned operations are retracted together: ONE Drop RPC per
+	// witness carries every (keyHash, id) pair, so a bounced pipeline
+	// flush cleans up in O(witnesses) RPCs, not O(ops × witnesses). Only
+	// when every witness confirmed the retraction is it safe to hand the
+	// operations to the routing layer.
+	if len(moved) > 0 {
+		dropped := true
+		for _, w := range view.Witnesses {
+			if derr := w.Drop(ctx, view.MasterID, movedKeys); derr != nil {
+				dropped = false
+				lastErr = fmt.Errorf("curp: retract abandoned records: %w", derr)
+			}
+		}
+		if dropped {
+			for _, op := range moved {
+				// The ID is fully dead — never executed, records
+				// retracted — so finish it: a permanently unfinished seq
+				// would freeze the session's ack frontier and pin every
+				// later completion record at the master for the session's
+				// lifetime.
+				c.session.Finish(op.id)
+				op.fut.fail(ErrKeyMoved)
+			}
+		} else {
+			// Keep the IDs alive and retry here instead: the master keeps
+			// bouncing, but no duplicate can ever materialize, which
+			// beats returning a redirect we cannot make safe.
+			retry = append(retry, moved...)
+		}
+	}
+
+	// Preserve submission order among retried operations so a retried
+	// batch still executes same-key operations in the order they were
+	// queued.
+	orderRetry(pending, retry)
+	return retry, lastErr
+}
+
+// orderRetry sorts retry in place by position in pending (both are small).
+func orderRetry(pending, retry []*asyncOp) {
+	if len(retry) < 2 {
+		return
+	}
+	pos := make(map[*asyncOp]int, len(pending))
+	for i, op := range pending {
+		pos[op] = i
+	}
+	for i := 1; i < len(retry); i++ {
+		for j := i; j > 0 && pos[retry[j-1]] > pos[retry[j]]; j-- {
+			retry[j-1], retry[j] = retry[j], retry[j-1]
+		}
+	}
+}
+
+func failAll(ops []*asyncOp, err error) {
+	for _, op := range ops {
+		op.fut.fail(err)
+	}
+}

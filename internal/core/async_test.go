@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"curp/internal/rifl"
+)
+
+// TestBatchAllFastPath: a batch of disjoint-key updates completes entirely
+// on the 1-RTT rule — no sync RPC — and every future carries its own
+// result.
+func TestBatchAllFastPath(t *testing.T) {
+	r := newRig(3)
+	ops := make([]BatchOp, 8)
+	for i := range ops {
+		ops[i] = BatchOp{KeyHashes: []uint64{uint64(100 + i)}, Payload: []byte(fmt.Sprintf("p%d", i))}
+	}
+	futs := r.client.UpdateBatchAsync(context.Background(), ops)
+	for i, f := range futs {
+		out, err := f.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("res:p%d", i); string(out) != want {
+			t.Fatalf("op %d result = %q, want %q", i, out, want)
+		}
+	}
+	st := r.client.Stats()
+	if st.FastPath != 8 || st.SlowPath != 0 || st.SyncedByMaster != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r.master.syncCalls != 0 {
+		t.Fatal("fast-path batch must not sync")
+	}
+}
+
+// TestBatchOneSyncCoversAllRejects: several witness-rejected operations in
+// one batch recover with a SINGLE sync RPC (the amortized slow path), and
+// the untouched operations still fast-path.
+func TestBatchOneSyncCoversAllRejects(t *testing.T) {
+	r := newRig(2)
+	r.witnesses[0].rejectNext = 3 // first three records bounce on witness 0
+	ops := make([]BatchOp, 6)
+	for i := range ops {
+		ops[i] = BatchOp{KeyHashes: []uint64{uint64(200 + i)}, Payload: []byte(fmt.Sprintf("q%d", i))}
+	}
+	futs := r.client.UpdateBatchAsync(context.Background(), ops)
+	for i, f := range futs {
+		if _, err := f.Wait(context.Background()); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	st := r.client.Stats()
+	if st.SlowPath != 3 || st.FastPath != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r.master.syncCalls != 1 {
+		t.Fatalf("sync calls = %d, want exactly 1 for the whole batch", r.master.syncCalls)
+	}
+}
+
+// TestBatchSameKeyOrdered: two operations on one key in a single batch
+// both complete — the second rides the master's conflict sync — and the
+// master saw them in submission order.
+func TestBatchSameKeyOrdered(t *testing.T) {
+	r := newRig(3)
+	futs := r.client.UpdateBatchAsync(context.Background(), []BatchOp{
+		{KeyHashes: []uint64{7}, Payload: []byte("first")},
+		{KeyHashes: []uint64{7}, Payload: []byte("second")},
+	})
+	for i, f := range futs {
+		if _, err := f.Wait(context.Background()); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	st := r.client.Stats()
+	if st.SyncedByMaster == 0 {
+		t.Fatalf("same-key batch should hit the conflict path; stats = %+v", st)
+	}
+	if r.master.applied["first"] != 1 || r.master.applied["second"] != 1 {
+		t.Fatalf("applied = %v", r.master.applied)
+	}
+}
+
+// TestUpdateAsyncReturnsImmediately: submission does not block on the
+// master RPC.
+func TestUpdateAsyncReturnsImmediately(t *testing.T) {
+	master := newFakeMaster()
+	slowM := &slowMaster{inner: master, delay: 50 * time.Millisecond}
+	view := &View{MasterID: 1, Master: slowM}
+	view.Witnesses = append(view.Witnesses, newFakeWitness(1))
+	cl := NewClient(rifl.NewSession(1), StaticView{view}, DefaultClientConfig())
+	start := time.Now()
+	f := cl.UpdateAsync(context.Background(), []uint64{1}, []byte("a"))
+	if el := time.Since(start); el > 20*time.Millisecond {
+		t.Fatalf("UpdateAsync blocked %v", el)
+	}
+	if out, err := f.Wait(context.Background()); err != nil || string(out) != "res:a" {
+		t.Fatalf("wait: %v %q", err, out)
+	}
+}
+
+// TestBatchRetryExactlyOnce: the master executes the batch but the reply
+// is lost; the retried batch carries the same RIFL IDs, so nothing
+// double-applies.
+func TestBatchRetryExactlyOnce(t *testing.T) {
+	r := newRig(2)
+	r.master.dropUpdates = 1 // first sub-update executes, then the RPC errors
+	ops := []BatchOp{
+		{KeyHashes: []uint64{31}, Payload: []byte("ex1")},
+		{KeyHashes: []uint64{32}, Payload: []byte("ex2")},
+	}
+	futs := r.client.UpdateBatchAsync(context.Background(), ops)
+	for i, f := range futs {
+		if _, err := f.Wait(context.Background()); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if n := r.master.applied["ex1"]; n != 1 {
+		t.Fatalf("ex1 applied %d times", n)
+	}
+	if n := r.master.applied["ex2"]; n != 1 {
+		t.Fatalf("ex2 applied %d times", n)
+	}
+	if st := r.client.Stats(); st.Retries == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBatchIndependentFailures: batch-mates resolve on distinct paths in
+// one flush — a witness-rejected operation takes the slow path while its
+// neighbor fast-paths.
+func TestBatchIndependentFailures(t *testing.T) {
+	r := newRig(1)
+	r.witnesses[0].rejectNext = 1
+	futs := r.client.UpdateBatchAsync(context.Background(), []BatchOp{
+		{KeyHashes: []uint64{41}, Payload: []byte("s1")},
+		{KeyHashes: []uint64{42}, Payload: []byte("s2")},
+	})
+	for i, f := range futs {
+		if _, err := f.Wait(context.Background()); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	st := r.client.Stats()
+	if st.SlowPath != 1 || st.FastPath != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBatchSessionAckAdvances: every finished batch operation advances the
+// RIFL ack frontier, batched or not.
+func TestBatchSessionAckAdvances(t *testing.T) {
+	r := newRig(1)
+	ops := make([]BatchOp, 5)
+	for i := range ops {
+		ops[i] = BatchOp{KeyHashes: []uint64{uint64(i)}, Payload: []byte{byte(i)}}
+	}
+	for _, f := range r.client.UpdateBatchAsync(context.Background(), ops) {
+		if _, err := f.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ack := r.client.Session().Ack(); ack != 6 {
+		t.Fatalf("ack = %d, want 6", ack)
+	}
+}
+
+// TestFutureWaitHonorsContext: a canceled wait returns promptly without
+// finalizing the operation; a later wait still gets the real outcome.
+func TestFutureWaitHonorsContext(t *testing.T) {
+	master := newFakeMaster()
+	slowM := &slowMaster{inner: master, delay: 30 * time.Millisecond}
+	view := &View{MasterID: 1, Master: slowM, Witnesses: []WitnessAPI{newFakeWitness(1)}}
+	cl := NewClient(rifl.NewSession(1), StaticView{view}, DefaultClientConfig())
+	f := cl.UpdateAsync(context.Background(), []uint64{1}, []byte("late"))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if out, err := f.Wait(context.Background()); err != nil || string(out) != "res:late" {
+		t.Fatalf("second wait: %v %q", err, out)
+	}
+}

@@ -12,30 +12,45 @@ import (
 	"curp/internal/witness"
 )
 
-// MasterAPI is the client's view of a CURP master.
+// MasterAPI is the client's view of a CURP master. The client speaks in
+// batches — a single operation is a batch of one — so one interface method
+// covers both the blocking verbs and the pipelined path.
 type MasterAPI interface {
-	// Update executes a state-mutating request.
-	Update(ctx context.Context, req *Request) (*Reply, error)
+	// UpdateBatch executes a batch of state-mutating requests in order and
+	// returns one reply per request, aligned with reqs. Requests fail or
+	// succeed independently (per-reply status); a transport-level error
+	// means nothing in the batch is known to have executed.
+	UpdateBatch(ctx context.Context, reqs []*Request) ([]*Reply, error)
 	// Read executes a read-only request.
 	Read(ctx context.Context, req *Request) (*Reply, error)
 	// Sync asks the master to replicate all unsynced operations to
-	// backups before returning (the slow-path RPC of §3.2.1).
+	// backups before returning (the slow-path RPC of §3.2.1). One sync
+	// covers every operation executed before it, which is what lets a
+	// pipeline with several witness-rejected operations recover with a
+	// single RPC.
 	Sync(ctx context.Context) error
 }
 
-// WitnessAPI is the client's view of one witness.
+// WitnessAPI is the client's view of one witness. Like MasterAPI it is
+// batch-first: recording and retracting take vectors so a pipeline flush
+// costs O(witnesses) RPCs, not O(ops × witnesses).
 type WitnessAPI interface {
-	// Record saves a request on the witness.
-	Record(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) (witness.RecordResult, error)
+	// RecordBatch saves the requests on the witness, returning one
+	// RecordResult per record, aligned with recs. Records are accepted or
+	// rejected independently: a conflicting record does not poison the
+	// rest of the batch.
+	RecordBatch(ctx context.Context, masterID uint64, recs []witness.Record) ([]witness.RecordResult, error)
 	// Commutes reports whether an operation touching keyHashes commutes
 	// with everything the witness holds (§A.1 consistent backup reads).
 	Commutes(ctx context.Context, keyHashes []uint64) (bool, error)
-	// Drop removes the client's own record of an RPC it is abandoning
-	// (see ErrKeyMoved). A record left behind by an abandoned ID would be
-	// replayed or §4.5-retried as a NEW operation later — after the
-	// client has reissued the work under a fresh ID — double-applying it.
-	// Dropping pairs that were never recorded is a no-op.
-	Drop(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID) error
+	// Drop removes the client's own records of RPCs it is abandoning
+	// (see ErrKeyMoved); keys may span several RPC IDs, so one RPC
+	// retracts a whole abandoned batch. A record left behind by an
+	// abandoned ID would be replayed or §4.5-retried as a NEW operation
+	// later — after the client has reissued the work under a fresh ID —
+	// double-applying it. Dropping pairs that were never recorded is a
+	// no-op.
+	Drop(ctx context.Context, masterID uint64, keys []witness.GCKey) error
 }
 
 // BackupAPI is the client's view of one backup, for §A.1 local reads.
@@ -227,137 +242,13 @@ var (
 // Update executes a mutating operation with payload touching keyHashes.
 // It returns the substrate result. The operation is durable (f-fault
 // tolerant) when Update returns nil error.
+//
+// Update is a thin blocking wrapper over UpdateAsync: the asynchronous
+// batch engine in async.go is the only update state machine, so the fast
+// path, slow path, retries, and redirect handling are identical whether an
+// operation is issued synchronously, asynchronously, or in a pipeline.
 func (c *Client) Update(ctx context.Context, keyHashes []uint64, payload []byte) ([]byte, error) {
-	id := c.session.NextID()
-	var lastErr error
-	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			c.retries.Add(1)
-		}
-		if err := c.pause(ctx, attempt); err != nil {
-			return nil, err
-		}
-		view, err := c.views.View(ctx, attempt > 0)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		req := &Request{
-			ID:                 id,
-			Ack:                c.session.Ack(),
-			WitnessListVersion: view.WitnessListVersion,
-			KeyHashes:          keyHashes,
-			Payload:            payload,
-		}
-
-		// Record on all witnesses in parallel with the master RPC
-		// (the overlap that makes the 1-RTT path possible).
-		type recRes struct {
-			ok  bool
-			err error
-		}
-		recCh := make(chan recRes, len(view.Witnesses))
-		for _, w := range view.Witnesses {
-			go func(w WitnessAPI) {
-				res, err := w.Record(ctx, view.MasterID, keyHashes, id, payload)
-				recCh <- recRes{ok: err == nil && res.Ok(), err: err}
-			}(w)
-		}
-
-		reply, err := view.Master.Update(ctx, req)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			lastErr = err
-			continue // master unreachable: refetch view, retry same ID
-		}
-		switch reply.Status {
-		case StatusOK:
-			// fall through to the completion rule below
-		case StatusStaleWitnessList, StatusWrongMaster:
-			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
-			continue
-		case StatusKeyMoved:
-			// The key's range left this partition; only the routing layer
-			// can find the new owner, and it will reissue the operation
-			// under a FRESH RPC ID. Before abandoning this ID, retract
-			// the records sent above: a surviving record would later be
-			// replayed (crash recovery) or §4.5-retried (after a
-			// migration abort unfreezes the range) as a brand-new
-			// operation, double-applying work the reissue already did.
-			// Only when every witness confirmed the retraction is it safe
-			// to hand the operation to the routing layer.
-			for range view.Witnesses {
-				<-recCh // records must land before they can be dropped
-			}
-			dropped := true
-			for _, w := range view.Witnesses {
-				if derr := w.Drop(ctx, view.MasterID, keyHashes, id); derr != nil {
-					dropped = false
-					lastErr = fmt.Errorf("curp: retract abandoned record: %w", derr)
-				}
-			}
-			if !dropped {
-				// Keep the ID alive and retry here instead: the master
-				// keeps bouncing, but no duplicate can ever material-
-				// ize, which beats returning a redirect we cannot make
-				// safe.
-				continue
-			}
-			// The ID is fully dead — never executed, records retracted —
-			// so finish it: a permanently unfinished seq would freeze the
-			// session's ack frontier and pin every later completion
-			// record at the master for the session's lifetime.
-			c.session.Finish(id)
-			return nil, ErrKeyMoved
-		case StatusIgnored:
-			return nil, ErrIgnored
-		case StatusError:
-			// Execution failed deterministically (e.g. a type error).
-			// Nothing mutated; surface to the application.
-			return nil, fmt.Errorf("curp: execution error: %s", reply.Err)
-		default:
-			return nil, fmt.Errorf("curp: unexpected status %v", reply.Status)
-		}
-
-		if reply.Synced {
-			// The master already synced (conflict path §3.2.3); witness
-			// outcomes are irrelevant.
-			c.syncedByMaster.Add(1)
-			c.session.Finish(id)
-			return reply.Payload, nil
-		}
-
-		// 1-RTT completion rule: all f witnesses must have accepted.
-		allAccepted := true
-		for range view.Witnesses {
-			r := <-recCh
-			if !r.ok {
-				allAccepted = false
-			}
-		}
-		if allAccepted {
-			c.fastPath.Add(1)
-			c.session.Finish(id)
-			return reply.Payload, nil
-		}
-
-		// Slow path: make it durable by syncing through the master.
-		if err := view.Master.Sync(ctx); err == nil {
-			c.slowPath.Add(1)
-			c.session.Finish(id)
-			return reply.Payload, nil
-		} else if ctx.Err() != nil {
-			return nil, ctx.Err()
-		} else {
-			// No response to the sync RPC: the master may have crashed.
-			// Restart the whole operation against a fresh view (§3.2.1).
-			lastErr = err
-			continue
-		}
-	}
-	return nil, fmt.Errorf("%w: %v", ErrUpdateFailed, lastErr)
+	return c.UpdateAsync(ctx, keyHashes, payload).Wait(ctx)
 }
 
 // Read executes a read-only operation at the master. Reads are linearizable

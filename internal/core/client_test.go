@@ -45,7 +45,19 @@ func newFakeMaster() *fakeMaster {
 	}
 }
 
-func (m *fakeMaster) Update(ctx context.Context, req *Request) (*Reply, error) {
+func (m *fakeMaster) UpdateBatch(ctx context.Context, reqs []*Request) ([]*Reply, error) {
+	replies := make([]*Reply, len(reqs))
+	for i, req := range reqs {
+		reply, err := m.update(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = reply
+	}
+	return replies, nil
+}
+
+func (m *fakeMaster) update(ctx context.Context, req *Request) (*Reply, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.updateCalls++
@@ -125,28 +137,31 @@ func newFakeWitness(masterID uint64) *fakeWitness {
 	return &fakeWitness{w: witness.MustNew(masterID, witness.DefaultConfig())}
 }
 
-func (f *fakeWitness) Record(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) (witness.RecordResult, error) {
+func (f *fakeWitness) RecordBatch(ctx context.Context, masterID uint64, recs []witness.Record) ([]witness.RecordResult, error) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.errNext > 0 {
 		f.errNext--
-		f.mu.Unlock()
-		return 0, errors.New("fake: witness unreachable")
+		return nil, errors.New("fake: witness unreachable")
 	}
-	if f.rejectNext > 0 {
-		f.rejectNext--
-		f.mu.Unlock()
-		return witness.RejectedConflict, nil
+	out := make([]witness.RecordResult, len(recs))
+	for i, r := range recs {
+		if f.rejectNext > 0 {
+			f.rejectNext--
+			out[i] = witness.RejectedConflict
+			continue
+		}
+		out[i] = f.w.Record(masterID, r.KeyHashes, r.ID, r.Request)
 	}
-	f.mu.Unlock()
-	return f.w.Record(masterID, keyHashes, id, request), nil
+	return out, nil
 }
 
 func (f *fakeWitness) Commutes(ctx context.Context, keyHashes []uint64) (bool, error) {
 	return f.w.Commutes(keyHashes), nil
 }
 
-func (f *fakeWitness) Drop(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID) error {
-	return f.w.DropRecords(witness.GCKeys(keyHashes, id))
+func (f *fakeWitness) Drop(ctx context.Context, masterID uint64, keys []witness.GCKey) error {
+	return f.w.DropRecords(keys)
 }
 
 // fakeBackup serves reads with a fixed payload.
@@ -506,9 +521,9 @@ type slowMaster struct {
 	delay time.Duration
 }
 
-func (s *slowMaster) Update(ctx context.Context, r *Request) (*Reply, error) {
+func (s *slowMaster) UpdateBatch(ctx context.Context, reqs []*Request) ([]*Reply, error) {
 	time.Sleep(s.delay)
-	return s.inner.Update(ctx, r)
+	return s.inner.UpdateBatch(ctx, reqs)
 }
 func (s *slowMaster) Read(ctx context.Context, r *Request) (*Reply, error) {
 	return s.inner.Read(ctx, r)
@@ -520,13 +535,13 @@ type slowWitness struct {
 	delay time.Duration
 }
 
-func (s *slowWitness) Record(ctx context.Context, m uint64, khs []uint64, id rifl.RPCID, req []byte) (witness.RecordResult, error) {
+func (s *slowWitness) RecordBatch(ctx context.Context, m uint64, recs []witness.Record) ([]witness.RecordResult, error) {
 	time.Sleep(s.delay)
-	return s.inner.Record(ctx, m, khs, id, req)
+	return s.inner.RecordBatch(ctx, m, recs)
 }
 func (s *slowWitness) Commutes(ctx context.Context, khs []uint64) (bool, error) {
 	return s.inner.Commutes(ctx, khs)
 }
-func (s *slowWitness) Drop(ctx context.Context, m uint64, khs []uint64, id rifl.RPCID) error {
-	return s.inner.Drop(ctx, m, khs, id)
+func (s *slowWitness) Drop(ctx context.Context, m uint64, keys []witness.GCKey) error {
+	return s.inner.Drop(ctx, m, keys)
 }

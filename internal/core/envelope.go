@@ -102,9 +102,9 @@ func (r *Request) Encode() []byte {
 	return e.Bytes()
 }
 
-// DecodeRequest parses a request envelope.
-func DecodeRequest(b []byte) (*Request, error) {
-	d := rpc.NewDecoder(b)
+// UnmarshalRequest decodes one request envelope from d, leaving d
+// positioned after it (batch envelopes concatenate several).
+func UnmarshalRequest(d *rpc.Decoder) (*Request, error) {
 	r := &Request{
 		ID:                 rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
 		Ack:                rifl.Seq(d.U64()),
@@ -117,6 +117,11 @@ func DecodeRequest(b []byte) (*Request, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// DecodeRequest parses a request envelope.
+func DecodeRequest(b []byte) (*Request, error) {
+	return UnmarshalRequest(rpc.NewDecoder(b))
 }
 
 // Reply is the envelope of a master's response.
@@ -148,9 +153,9 @@ func (r *Reply) Encode() []byte {
 	return e.Bytes()
 }
 
-// DecodeReply parses a reply envelope.
-func DecodeReply(b []byte) (*Reply, error) {
-	d := rpc.NewDecoder(b)
+// UnmarshalReply decodes one reply envelope from d, leaving d positioned
+// after it (batch envelopes concatenate several).
+func UnmarshalReply(d *rpc.Decoder) (*Reply, error) {
 	r := &Reply{
 		Status: Status(d.U8()),
 		Synced: d.Bool(),
@@ -161,4 +166,9 @@ func DecodeReply(b []byte) (*Reply, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// DecodeReply parses a reply envelope.
+func DecodeReply(b []byte) (*Reply, error) {
+	return UnmarshalReply(rpc.NewDecoder(b))
 }

@@ -127,6 +127,24 @@ func (e *Engine) Update(ctx context.Context, req *core.Request) (*core.Reply, er
 	return &core.Reply{Status: core.StatusOK, Synced: false, Payload: res.Encode()}, nil
 }
 
+// UpdateBatch implements core.MasterAPI: execute a pipelined batch of
+// commands in order. Each command succeeds or fails independently; the
+// AOF sync policy (and the conflict path's fsync-before-reply) is the
+// same as for single updates, so a batch with several conflicting
+// commands coalesces naturally onto the engine's one-outstanding-sync
+// discipline.
+func (e *Engine) UpdateBatch(ctx context.Context, reqs []*core.Request) ([]*core.Reply, error) {
+	replies := make([]*core.Reply, len(reqs))
+	for i, req := range reqs {
+		reply, err := e.Update(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = reply
+	}
+	return replies, nil
+}
+
 // Read implements core.MasterAPI: linearizable reads, fsyncing first when
 // the key has un-fsynced updates.
 func (e *Engine) Read(ctx context.Context, req *core.Request) (*core.Reply, error) {
@@ -279,9 +297,9 @@ func Recover(id uint64, durableLog []byte, w *witness.Witness, newAOF *AOF, cfg 
 // deployment.
 type WitnessAdapter struct{ W *witness.Witness }
 
-// Record implements core.WitnessAPI.
-func (a WitnessAdapter) Record(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) (witness.RecordResult, error) {
-	return a.W.Record(masterID, keyHashes, id, request), nil
+// RecordBatch implements core.WitnessAPI.
+func (a WitnessAdapter) RecordBatch(ctx context.Context, masterID uint64, recs []witness.Record) ([]witness.RecordResult, error) {
+	return a.W.RecordBatch(masterID, recs), nil
 }
 
 // Commutes implements core.WitnessAPI.
@@ -289,8 +307,8 @@ func (a WitnessAdapter) Commutes(ctx context.Context, keyHashes []uint64) (bool,
 	return a.W.Commutes(keyHashes), nil
 }
 
-// Drop implements core.WitnessAPI (client-side retraction of an abandoned
-// RPC's records).
-func (a WitnessAdapter) Drop(ctx context.Context, masterID uint64, keyHashes []uint64, id rifl.RPCID) error {
-	return a.W.DropRecords(witness.GCKeys(keyHashes, id))
+// Drop implements core.WitnessAPI (client-side retraction of abandoned
+// RPCs' records).
+func (a WitnessAdapter) Drop(ctx context.Context, masterID uint64, keys []witness.GCKey) error {
+	return a.W.DropRecords(keys)
 }

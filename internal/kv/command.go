@@ -104,6 +104,11 @@ type Command struct {
 	// across the wire, but their hashes must survive for witness GC and
 	// recovery-replay filtering on the target shard.
 	Hashes []uint64
+	// owned marks a command decoded off the wire: every byte slice in it
+	// is a private copy no one else references, so the store may adopt
+	// value buffers instead of defensively copying them (see
+	// Store.putOwned). Locally constructed commands leave it false.
+	owned bool
 }
 
 // IsReadOnly reports whether the command cannot modify state. Read-only
@@ -167,6 +172,7 @@ func UnmarshalCommand(d *rpc.Decoder) (*Command, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
+	c.owned = true
 	return c, nil
 }
 

@@ -62,11 +62,22 @@ type Store struct {
 	objects map[string]*object
 	log     []Entry
 	head    LSN
+	// replica marks a materialized view replayed from someone else's log
+	// (a backup's read store): it tracks head and objects but does not
+	// retain log entries, since the authoritative log lives beside it and
+	// duplicating it doubles replication's memory and GC cost.
+	replica bool
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{objects: make(map[string]*object)}
+}
+
+// NewReplicaStore returns a store that materializes replayed entries
+// without retaining its own copy of the log (see Store.replica).
+func NewReplicaStore() *Store {
+	return &Store{objects: make(map[string]*object), replica: true}
 }
 
 // Apply executes cmd, appending a log entry for mutations. It returns the
@@ -137,13 +148,13 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 		return res, false, nil
 
 	case OpPut:
-		o := s.put(cmd.Key, cmd.Value)
+		o := s.valuePut(cmd, cmd.Key, cmd.Value)
 		return &Result{Found: true, Version: o.version}, true, nil
 
 	case OpMultiPut:
 		var last uint64
 		for _, p := range cmd.Pairs {
-			last = s.put(p.Key, p.Value).version
+			last = s.valuePut(cmd, p.Key, p.Value).version
 		}
 		return &Result{Found: true, Version: last}, true, nil
 
@@ -170,7 +181,7 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 			cur = v
 		}
 		cur += cmd.Delta
-		no := s.put(cmd.Key, []byte(strconv.FormatInt(cur, 10)))
+		no := s.putOwned(cmd.Key, []byte(strconv.FormatInt(cur, 10)))
 		return &Result{Found: true, Value: append([]byte(nil), no.value...), Version: no.version}, true, nil
 
 	case OpMultiIncr:
@@ -194,7 +205,7 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 		}
 		res := &Result{Found: true}
 		for i, p := range cmd.Pairs {
-			no := s.put(p.Key, []byte(strconv.FormatInt(currents[i]+deltas[i], 10)))
+			no := s.putOwned(p.Key, []byte(strconv.FormatInt(currents[i]+deltas[i], 10)))
 			res.Values = append(res.Values, append([]byte(nil), no.value...))
 		}
 		return res, true, nil
@@ -240,7 +251,7 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 			// Failed condition: no mutation, reported via Found=false.
 			return &Result{Found: false, Version: cur}, false, nil
 		}
-		no := s.put(cmd.Key, cmd.Value)
+		no := s.valuePut(cmd, cmd.Key, cmd.Value)
 		return &Result{Found: true, Version: no.version}, true, nil
 
 	default:
@@ -261,6 +272,35 @@ func (s *Store) put(key, value []byte) *object {
 	}
 	o.version++
 	return o
+}
+
+// putOwned is put for values the caller exclusively owns (freshly
+// allocated, or decoded off the wire into a private buffer): the store
+// adopts the slice instead of copying it. Stored values are never mutated
+// in place — put replaces them wholesale — so adoption is safe whenever
+// the caller stops using the buffer.
+func (s *Store) putOwned(key, value []byte) *object {
+	o := s.objects[string(key)]
+	if o == nil {
+		o = &object{}
+		s.objects[string(key)] = o
+	}
+	if value == nil {
+		value = []byte{}
+	}
+	o.value = value
+	o.version++
+	return o
+}
+
+// valuePut picks the cheapest safe write for a command's value: commands
+// decoded off the wire own their buffers outright (every decode copies),
+// so the store adopts them; locally built commands get the defensive copy.
+func (s *Store) valuePut(cmd *Command, key, value []byte) *object {
+	if cmd.owned {
+		return s.putOwned(key, value)
+	}
+	return s.put(key, value)
 }
 
 // Get reads a key outside the command path (used by tests and examples).
@@ -369,7 +409,9 @@ func (s *Store) ReplayEntry(en *Entry) error {
 		return err
 	}
 	s.head = en.LSN
-	s.log = append(s.log, *en)
+	if !s.replica {
+		s.log = append(s.log, *en)
+	}
 	s.stampKeys(en.Cmd, en.LSN)
 	return nil
 }

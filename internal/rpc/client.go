@@ -26,7 +26,8 @@ var ErrClientClosed = errors.New("rpc: client closed")
 type Client struct {
 	conn net.Conn
 
-	writeMu sync.Mutex
+	writeMu  sync.Mutex
+	writeBuf []byte // frame scratch; guarded by writeMu
 
 	mu      sync.Mutex
 	pending map[uint64]chan *frame
@@ -109,7 +110,7 @@ func (c *Client) Call(ctx context.Context, op uint16, payload []byte) ([]byte, e
 
 	req := &frame{requestID: id, kind: kindRequest, code: op, payload: payload}
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, req)
+	err := writeFrameBuf(c.conn, req, &c.writeBuf)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()

@@ -41,11 +41,27 @@ const frameHeaderSize = 8 + 1 + 2
 // writeFrame serializes f to w in a single Write call, so message-level
 // latency models in the in-memory transport see one message per frame.
 func writeFrame(w io.Writer, f *frame) error {
+	var scratch []byte
+	return writeFrameBuf(w, f, &scratch)
+}
+
+// writeFrameBuf is writeFrame with a caller-owned scratch buffer, reused
+// across frames on the same connection (writes are serialized per
+// connection, so one buffer per conn suffices). The frame copy was one of
+// the largest allocation sources on the hot path.
+func writeFrameBuf(w io.Writer, f *frame, scratch *[]byte) error {
 	total := frameHeaderSize + len(f.payload)
 	if total > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+total)
+	need := 4 + total
+	buf := *scratch
+	if cap(buf) < need {
+		buf = make([]byte, need, need+need/2)
+		*scratch = buf
+	} else {
+		buf = buf[:need]
+	}
 	binary.LittleEndian.PutUint32(buf[0:], uint32(total))
 	binary.LittleEndian.PutUint64(buf[4:], f.requestID)
 	buf[12] = f.kind

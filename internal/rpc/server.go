@@ -87,6 +87,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	var writeMu sync.Mutex
+	var writeBuf []byte // reused across responses; guarded by writeMu
 	var handlerWG sync.WaitGroup
 	defer handlerWG.Wait()
 	for {
@@ -120,7 +121,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
-			writeFrame(conn, resp) // best effort; conn errors end the read loop
+			writeFrameBuf(conn, resp, &writeBuf) // best effort; conn errors end the read loop
 		}(f)
 	}
 }

@@ -191,6 +191,28 @@ func (w *Witness) setIndex(keyHash uint64) int {
 func (w *Witness) Record(masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) RecordResult {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.recordLocked(masterID, keyHashes, id, request)
+}
+
+// RecordBatch saves several client requests under one lock acquisition —
+// the server side of a pipelined client's coalesced record RPC. Each
+// request is accepted or rejected independently, exactly as if recorded
+// one at a time in order: results[i] is the outcome for recs[i], and an
+// accepted earlier record participates in the commutativity check of later
+// records in the same batch (two same-key requests in one batch yield one
+// accept and one conflict, never two accepts).
+func (w *Witness) RecordBatch(masterID uint64, recs []Record) []RecordResult {
+	out := make([]RecordResult, len(recs))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, r := range recs {
+		out[i] = w.recordLocked(masterID, r.KeyHashes, r.ID, r.Request)
+	}
+	return out
+}
+
+// recordLocked is Record's body; the caller holds w.mu.
+func (w *Witness) recordLocked(masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) RecordResult {
 	if w.recovery {
 		w.stats.RecoveryRejects++
 		return RejectedRecovery

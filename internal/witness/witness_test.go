@@ -484,3 +484,44 @@ func BenchmarkKeyHash(b *testing.B) {
 		KeyHash(key)
 	}
 }
+
+// TestRecordBatchPerRecordOutcomes: a batch is accepted/rejected per
+// record, aligned with the input, and behaves exactly like sequential
+// records — including a same-key pair inside one batch (one accept, one
+// conflict), wrong-master and recovery-mode rejections.
+func TestRecordBatchPerRecordOutcomes(t *testing.T) {
+	w := MustNew(1, Config{Slots: 8, Ways: 2, SlotBytes: 64})
+	recs := []Record{
+		{KeyHashes: []uint64{10}, ID: id(1, 1), Request: []byte("a")},
+		{KeyHashes: []uint64{11}, ID: id(1, 2), Request: []byte("b")},
+		{KeyHashes: []uint64{10}, ID: id(1, 3), Request: []byte("c")}, // conflicts with rec 0
+	}
+	results := w.RecordBatch(1, recs)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0] != Accepted || results[1] != Accepted {
+		t.Fatalf("disjoint records = %v %v", results[0], results[1])
+	}
+	if results[2] != RejectedConflict {
+		t.Fatalf("same-key record = %v, want conflict", results[2])
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len = %d", w.Len())
+	}
+
+	// Wrong master rejects per record.
+	for i, res := range w.RecordBatch(9, recs[:2]) {
+		if res != RejectedWrongMaster {
+			t.Fatalf("record %d = %v", i, res)
+		}
+	}
+
+	// Recovery mode rejects everything.
+	w.GetRecoveryData()
+	for i, res := range w.RecordBatch(1, []Record{{KeyHashes: []uint64{99}, ID: id(1, 9), Request: []byte("z")}}) {
+		if res != RejectedRecovery {
+			t.Fatalf("record %d = %v", i, res)
+		}
+	}
+}

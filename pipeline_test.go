@@ -1,0 +1,433 @@
+package curp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"curp/internal/core"
+)
+
+// TestPipelineBasics: the public async surface end to end on one
+// partition — async verbs, typed accessors, pipeline flush semantics.
+func TestPipelineBasics(t *testing.T) {
+	c, err := Start(Options{F: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Async verbs with typed accessors.
+	put := cl.PutAsync(ctx, []byte("a"), []byte("v"))
+	inc := cl.IncrementAsync(ctx, []byte("n"), 7)
+	cond := cl.CondPutAsync(ctx, []byte("b"), []byte("w"), 0)
+	mi := cl.MultiIncrementAsync(ctx, []IncrPair{{Key: []byte("x"), Delta: 1}, {Key: []byte("y"), Delta: 2}})
+	if ver, err := put.Version(); err != nil || ver != 1 {
+		t.Fatalf("put: %d %v", ver, err)
+	}
+	if n, err := inc.Counter(); err != nil || n != 7 {
+		t.Fatalf("incr: %d %v", n, err)
+	}
+	if ok, err := cond.Applied(); err != nil || !ok {
+		t.Fatalf("condput: %v %v", ok, err)
+	}
+	if vals, err := mi.Values(); err != nil || len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("multi-incr: %v %v", vals, err)
+	}
+
+	// Pipeline: queue, flush once, per-op futures.
+	p := cl.NewPipeline()
+	futs := make([]*Future, 0, 10)
+	for i := 0; i < 10; i++ {
+		futs = append(futs, p.Put([]byte(fmt.Sprintf("pl%d", i)), []byte("z")))
+	}
+	del := p.Delete([]byte("a"))
+	if err := p.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if err := f.Err(); err != nil {
+			t.Fatalf("pipelined put %d: %v", i, err)
+		}
+	}
+	if err := del.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := cl.Get(ctx, []byte("a")); ok {
+		t.Fatal("delete did not apply")
+	}
+	// The pipelined path still reports 1-RTT completions.
+	if st := cl.Stats(); st.FastPath == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPipelineLinearizable drives concurrent mixed traffic — blocking
+// verbs, async futures, and deep pipelines from many clients — against a
+// sharded cluster while (1) one shard's master crashes and recovers and
+// (2) AddShard+Rebalance migrates key ranges, then checks every per-key
+// register history with the Wing & Gong checker and every counter for
+// exactly-once totals. Run with -race: the crash window and the migration
+// window are where the interesting interleavings live.
+func TestPipelineLinearizable(t *testing.T) {
+	c, err := StartSharded(Options{F: 1, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Keys chosen exactly like the migration harness: half will change
+	// owner when the ring grows 3→4, half stay put.
+	regKeys := pickMigrationKeys("preg", 6, 6)
+	ctrKeys := pickMigrationKeys("pctr", 3, 3)
+	const (
+		pipeWritersPerKey = 2 // writers batching via Pipeline
+		flushesEach       = 5
+		writesPerFlush    = 2 // ops per key per flush
+		readersPerKey     = 2
+		readsEach         = 8
+		incrWorkers       = 3 // per counter key, pipelined increments
+		incrFlushes       = 4
+		incrPerFlush      = 5
+	)
+
+	var clock atomic.Int64
+	type hist struct {
+		mu  sync.Mutex
+		ops []core.HistOp
+	}
+	histories := make(map[string]*hist, len(regKeys))
+	for _, k := range regKeys {
+		histories[k] = &hist{}
+	}
+	record := func(key string, start, end int64, isWrite bool, value string) {
+		h := histories[key]
+		h.mu.Lock()
+		h.ops = append(h.ops, core.HistOp{Start: start, End: end, IsWrite: isWrite, Value: value})
+		h.mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	var opErrs atomic.Int64
+	fail := func(format string, args ...any) {
+		opErrs.Add(1)
+		t.Errorf(format, args...)
+	}
+	pace := func() { time.Sleep(time.Duration(500+clock.Load()%700) * time.Microsecond) }
+
+	// Pipelined writers: each flush queues writesPerFlush values for the
+	// key and submits them as one batch. The whole flush is one
+	// coalesced submission, so each op's invocation spans [flush start,
+	// future resolution].
+	for _, key := range regKeys {
+		for w := 0; w < pipeWritersPerKey; w++ {
+			wg.Add(1)
+			go func(key string, w int) {
+				defer wg.Done()
+				cl, err := c.NewClient(fmt.Sprintf("plw-%s-%d", key, w))
+				if err != nil {
+					fail("client: %v", err)
+					return
+				}
+				defer cl.Close()
+				seq := 0
+				for fl := 0; fl < flushesEach; fl++ {
+					p := cl.NewPipeline()
+					type pend struct {
+						fut *Future
+						val string
+					}
+					var pends []pend
+					for i := 0; i < writesPerFlush; i++ {
+						val := fmt.Sprintf("p%d/%s/%d", w, key, seq)
+						seq++
+						pends = append(pends, pend{fut: p.Put([]byte(key), []byte(val)), val: val})
+					}
+					start := clock.Add(1)
+					if err := p.Flush(ctx); err != nil {
+						fail("pipeline flush %q: %v", key, err)
+						return
+					}
+					for _, pe := range pends {
+						if err := pe.fut.Err(); err != nil {
+							fail("pipelined put %q: %v", key, err)
+							return
+						}
+						end := clock.Add(1)
+						record(key, start, end, true, pe.val)
+					}
+					pace()
+				}
+			}(key, w)
+		}
+		for r := 0; r < readersPerKey; r++ {
+			wg.Add(1)
+			go func(key string, r int) {
+				defer wg.Done()
+				cl, err := c.NewClient(fmt.Sprintf("plr-%s-%d", key, r))
+				if err != nil {
+					fail("client: %v", err)
+					return
+				}
+				defer cl.Close()
+				for i := 0; i < readsEach; i++ {
+					start := clock.Add(1)
+					v, ok, err := cl.Get(ctx, []byte(key))
+					end := clock.Add(1)
+					if err != nil {
+						fail("get %q: %v", key, err)
+						return
+					}
+					val := ""
+					if ok {
+						val = string(v)
+					}
+					record(key, start, end, false, val)
+					pace()
+				}
+			}(key, r)
+		}
+	}
+
+	// Pipelined incrementers: exactly-once totals must survive the crash,
+	// the recovery, and the migration — even though each flush's batch may
+	// be retried, redirected, and re-grouped.
+	for _, key := range ctrKeys {
+		for w := 0; w < incrWorkers; w++ {
+			wg.Add(1)
+			go func(key string, w int) {
+				defer wg.Done()
+				cl, err := c.NewClient(fmt.Sprintf("pli-%s-%d", key, w))
+				if err != nil {
+					fail("client: %v", err)
+					return
+				}
+				defer cl.Close()
+				for fl := 0; fl < incrFlushes; fl++ {
+					p := cl.NewPipeline()
+					futs := make([]*Future, incrPerFlush)
+					for i := range futs {
+						futs[i] = p.Increment([]byte(key), 1)
+					}
+					if err := p.Flush(ctx); err != nil {
+						fail("incr flush %q: %v", key, err)
+						return
+					}
+					for _, f := range futs {
+						if err := f.Err(); err != nil {
+							fail("pipelined incr %q: %v", key, err)
+							return
+						}
+					}
+					pace()
+				}
+			}(key, w)
+		}
+	}
+
+	// Let traffic establish, then crash+recover a master under it, then
+	// grow the deployment under it.
+	time.Sleep(5 * time.Millisecond)
+	c.CrashMaster(1)
+	if err := c.Recover(1, "master-reborn"); err != nil {
+		t.Fatalf("recover under load: %v", err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatalf("rebalance under load: %v", err)
+	}
+	wg.Wait()
+	if opErrs.Load() > 0 {
+		t.Fatalf("%d operations failed", opErrs.Load())
+	}
+
+	// Exactly-once counters.
+	cl, err := c.NewClient("pl-verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, key := range ctrKeys {
+		n, err := cl.Increment(ctx, []byte(key), 0)
+		if err != nil {
+			t.Fatalf("final read of %q: %v", key, err)
+		}
+		if want := int64(incrWorkers * incrFlushes * incrPerFlush); n != want {
+			t.Fatalf("counter %q = %d, want %d (exactly-once violated)", key, n, want)
+		}
+	}
+
+	// Linearizability per register key.
+	for _, key := range regKeys {
+		h := histories[key]
+		want := pipeWritersPerKey*flushesEach*writesPerFlush + readersPerKey*readsEach
+		if len(h.ops) != want {
+			t.Fatalf("key %q history has %d ops, want %d", key, len(h.ops), want)
+		}
+		if !core.CheckLinearizable("", h.ops) {
+			t.Fatalf("history for key %q is NOT linearizable:\n%v", key, h.ops)
+		}
+	}
+}
+
+// TestShardedPipelineMultiKey: multi-key pipeline operations split into
+// per-shard atomic segments at flush time and reassemble their results in
+// input order — including across a rebalance happening mid-test.
+func TestShardedPipelineMultiKey(t *testing.T) {
+	c, err := StartSharded(Options{F: 1, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Keys spread across all 3 shards.
+	keys := make([][]byte, 12)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("mk:%d", i))
+	}
+	shardsSeen := map[int]bool{}
+	for _, k := range keys {
+		shardsSeen[c.ShardFor(k)] = true
+	}
+	if len(shardsSeen) < 2 {
+		t.Fatalf("test keys landed on %d shards; want spread", len(shardsSeen))
+	}
+
+	p := cl.NewPipeline()
+	var pairs []KV
+	for _, k := range keys {
+		pairs = append(pairs, KV{Key: k, Value: []byte("mv")})
+	}
+	mp := p.MultiPut(pairs)
+	var deltas []IncrPair
+	for i, k := range keys {
+		deltas = append(deltas, IncrPair{Key: append([]byte("c"), k...), Delta: int64(i + 1)})
+	}
+	mi := p.MultiIncrement(deltas)
+	single := p.Put([]byte("solo"), []byte("s"))
+	if err := p.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := mi.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != int64(i+1) {
+			t.Fatalf("counter %d = %d, want %d (results must align with input order)", i, v, i+1)
+		}
+	}
+	if err := single.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		v, ok, err := cl.Get(ctx, k)
+		if err != nil || !ok || string(v) != "mv" {
+			t.Fatalf("get %s = %q %v %v", k, v, ok, err)
+		}
+	}
+
+	// A second flush across a live rebalance: legs re-group under the
+	// grown ring, already-applied segments never re-send (totals stay
+	// exact).
+	if _, err := c.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Rebalance(ctx) }()
+	p2 := cl.NewPipeline()
+	mi2 := p2.MultiIncrement(deltas)
+	if err := p2.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	vals2, err := mi2.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals2 {
+		if v != 2*int64(i+1) {
+			t.Fatalf("counter %d = %d after rebalance flush, want %d", i, v, 2*(i+1))
+		}
+	}
+}
+
+// TestPipelineSurvivesCrashMidFlight: a deep pipeline submitted right
+// before the master crashes completes after recovery with every
+// operation applied exactly once.
+func TestPipelineSurvivesCrashMidFlight(t *testing.T) {
+	c, err := Start(Options{F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("crash-pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Establish counters, then submit a pipeline and crash mid-flight.
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		if _, err := cl.Increment(ctx, []byte(fmt.Sprintf("cc%d", i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := cl.NewPipeline()
+	futs := make([]*Future, keys)
+	for i := range futs {
+		futs[i] = p.Increment([]byte(fmt.Sprintf("cc%d", i)), 1)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Flush(ctx) }()
+	c.CrashMaster()
+	if err := c.Recover("master2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("flush across crash: %v", err)
+	}
+	for i, f := range futs {
+		if err := f.Err(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	// Exactly-once: every counter is 2 — the pre-crash increment plus ONE
+	// pipelined increment, no matter how many times the batch retried.
+	for i := 0; i < keys; i++ {
+		n, err := cl.Increment(ctx, []byte(fmt.Sprintf("cc%d", i)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("counter cc%d = %d, want 2", i, n)
+		}
+	}
+}

@@ -110,6 +110,10 @@ func (c *ShardedCluster) Close() { c.inner.Close() }
 // NOT atomic across shards: sub-operations land independently, and a
 // failed shard's legs are not rolled back elsewhere — see
 // internal/shard.Client for the full contract.
+//
+// Every update verb also has a Future-returning async form (PutAsync,
+// ...), and NewPipeline batches updates into per-shard coalesced RPCs
+// with automatic re-routing across live rebalances; see Pipeline.
 type ShardedClient struct {
 	inner *shard.Client
 }
