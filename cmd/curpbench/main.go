@@ -22,7 +22,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated list: table1,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,resources,sharded,pipeline,all")
+		"comma-separated list: table1,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,resources,sharded,pipeline,txn,all")
 	ops := flag.Int("ops", 20000, "operations per simulated configuration")
 	flag.Parse()
 
@@ -43,8 +43,9 @@ func main() {
 		"resources": func() { sim.ResourceReport(w) },
 		"sharded":   func() { Sharded(w, *ops) },
 		"pipeline":  func() { Pipeline(w, *ops) },
+		"txn":       func() { Txn(w, *ops) },
 	}
-	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "resources", "sharded", "pipeline"}
+	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "resources", "sharded", "pipeline", "txn"}
 
 	var selected []string
 	if *experiment == "all" {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"curp"
+	"curp/internal/shard"
+	"curp/internal/workload"
+)
+
+// txnRow is one mode's measurement in BENCH_txn.json.
+type txnRow struct {
+	Mode         string  `json:"mode"` // "single-shard" | "cross-shard"
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	FastPathFrac float64 `json:"fastpath_frac"`
+	AbortFrac    float64 `json:"abort_frac"`
+}
+
+// txnReport is the schema of BENCH_txn.json, uploaded by the CI bench-smoke
+// job so the transaction subsystem accumulates a performance trajectory.
+type txnReport struct {
+	Experiment string   `json:"experiment"`
+	Ops        int      `json:"ops"`
+	F          int      `json:"f"`
+	Shards     int      `json:"shards"`
+	Rows       []txnRow `json:"rows"`
+}
+
+// Txn measures transaction throughput against the real stack (in-memory
+// network, 2 shards, F=3) in the subsystem's two regimes: single-shard
+// transactions, which skip 2PC and ride CURP's speculative 1-RTT path,
+// and cross-shard transactions, which pay the full prepare/decide
+// protocol. The gap between the two rows IS the cost of distributed
+// atomicity — and the reason the commutativity-aware fast path exists.
+func Txn(w io.Writer, ops int) {
+	const f, shards = 3, 2
+	report := txnReport{Experiment: "txn", Ops: ops, F: f, Shards: shards}
+	fmt.Fprintln(w, "Transaction throughput (real stack, in-memory network, 1 closed-loop client)")
+	fmt.Fprintf(w, "%-14s %12s %10s %10s\n", "mode", "txns/s", "fastpath", "aborts")
+	for _, cross := range []bool{false, true} {
+		row := runTxnLoad(cross, ops, f, shards)
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(w, "%-14s %12.0f %9.2f%% %9.2f%%\n", row.Mode, row.OpsPerSec, 100*row.FastPathFrac, 100*row.AbortFrac)
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	exitOn(err)
+	exitOn(os.WriteFile("BENCH_txn.json", append(buf, '\n'), 0o644))
+	fmt.Fprintln(w, "wrote BENCH_txn.json")
+}
+
+// runTxnLoad runs one closed-loop client committing two-key transactions —
+// both keys on one shard (cross=false) or one key per shard (cross=true) —
+// and reports throughput, the 1-RTT fast-path fraction, and the abort
+// (optimistic-retry) fraction.
+func runTxnLoad(cross bool, ops, f, shards int) txnRow {
+	c, err := curp.StartSharded(curp.Options{F: f, Shards: shards})
+	exitOn(err)
+	defer c.Close()
+	cl, err := c.NewClient("txn-loadgen")
+	exitOn(err)
+	defer cl.Close()
+	ctx := context.Background()
+	value := workload.Value(1, 100)
+
+	// Pre-pick key pairs with the ownership the mode wants.
+	ring := shard.MustNewRing(shards, 0)
+	type pair struct{ a, b []byte }
+	pairs := make([]pair, 0, ops)
+	for i := 0; len(pairs) < ops; i++ {
+		a := workload.Key(uint64(2*i), 30)
+		b := workload.Key(uint64(2*i+1), 30)
+		sameShard := ring.Shard(a) == ring.Shard(b)
+		if sameShard != cross {
+			pairs = append(pairs, pair{a, b})
+		}
+	}
+
+	mode := "single-shard"
+	if cross {
+		mode = "cross-shard"
+	}
+	aborts := 0
+	start := time.Now()
+	for _, p := range pairs {
+		for {
+			tx := cl.Txn()
+			tx.Put(p.a, value)
+			tx.Increment(p.b, 1)
+			err := tx.Commit(ctx)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, curp.ErrTxnAborted) {
+				aborts++
+				continue
+			}
+			exitOn(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	st := cl.Stats()
+	total := st.FastPath + st.SyncedByMaster + st.SlowPath
+	var fastFrac float64
+	if total > 0 {
+		fastFrac = float64(st.FastPath) / float64(total)
+	}
+	return txnRow{
+		Mode:         mode,
+		OpsPerSec:    float64(len(pairs)) / elapsed,
+		FastPathFrac: fastFrac,
+		AbortFrac:    float64(aborts) / float64(len(pairs)+aborts),
+	}
+}

@@ -421,6 +421,10 @@ func (d *DurableCache) Stats() Stats {
 // off the critical path.
 func (d *DurableCache) Fsyncs() int { return d.dev.SyncCount }
 
+// Close stops the cache's resident background syncer. The cache must not
+// be used afterwards.
+func (d *DurableCache) Close() { d.engine.Close() }
+
 // Crash simulates a process crash, returning the durable AOF prefix: the
 // un-fsynced tail is lost, exactly what CURP's witnesses protect against.
 func (d *DurableCache) Crash() (durableLog []byte) { return d.dev.DurableBytes() }

@@ -2,8 +2,10 @@ package curp_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"strconv"
 
 	"curp"
 )
@@ -81,4 +83,57 @@ func ExamplePipeline() {
 	}
 	fmt.Printf("users=%d user:2=%s\n", n, v)
 	// Output: users=3 user:2=profile
+}
+
+// ExampleTxn transfers between two counters atomically — across shards —
+// with a buffered transaction: reads record the versions they saw, writes
+// buffer locally, and Commit applies everything or nothing. On a
+// single-partition Client (or when every key maps to one shard) the same
+// transaction commits as one speculative 1-RTT command; across shards it
+// runs a client-coordinated two-phase commit with a RIFL-anchored decision
+// record.
+func ExampleTxn() {
+	cluster, err := curp.StartSharded(curp.Options{F: 1, Shards: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	if _, err := client.Increment(ctx, []byte("alice"), 100); err != nil {
+		log.Fatal(err)
+	}
+
+	// Retry on ErrTxnAborted: optimistic validation failed (a concurrent
+	// writer touched a read key), nothing was applied.
+	for {
+		tx := client.Txn()
+		bal, _, err := tx.Get(ctx, []byte("alice"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n, _ := strconv.Atoi(string(bal)); n < 30 { // overdraft check
+			tx.Abort()
+			break
+		}
+		tx.Increment([]byte("alice"), -30)
+		tx.Increment([]byte("bob"), 30)
+		err = tx.Commit(ctx)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, curp.ErrTxnAborted) {
+			log.Fatal(err)
+		}
+	}
+
+	a, _ := client.Increment(ctx, []byte("alice"), 0)
+	b, _ := client.Increment(ctx, []byte("bob"), 0)
+	fmt.Printf("alice=%d bob=%d\n", a, b)
+	// Output: alice=70 bob=30
 }

@@ -207,7 +207,7 @@ func (p *coordViewProvider) View(ctx context.Context, refresh bool) (*core.View,
 		peer.Close()
 	}
 	p.peers = nil
-	view := &core.View{MasterID: info.MasterID, WitnessListVersion: info.WitnessListVersion}
+	view := &core.View{MasterID: info.MasterID, MasterAddr: info.MasterAddr, WitnessListVersion: info.WitnessListVersion}
 	mp := rpc.NewPeer(p.nw, p.self, info.MasterAddr)
 	p.peers = append(p.peers, mp)
 	view.Master = &masterConn{peer: mp}

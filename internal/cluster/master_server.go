@@ -22,11 +22,24 @@ type MasterOptions struct {
 	Core core.MasterConfig
 	// RPCTimeout bounds each backup/witness RPC issued by the master.
 	RPCTimeout time.Duration
+	// TxnLockTimeout is how long a prepared transaction may hold its locks
+	// before an operation bouncing off them triggers orphan resolution
+	// (decision lookup at the home shard, abort by default). It must
+	// comfortably exceed a healthy coordinator's prepare→decide gap.
+	TxnLockTimeout time.Duration
 }
+
+// DefaultTxnLockTimeout is the default orphaned-prepare resolution
+// threshold.
+const DefaultTxnLockTimeout = 200 * time.Millisecond
 
 // DefaultMasterOptions returns the paper's defaults.
 func DefaultMasterOptions() MasterOptions {
-	return MasterOptions{Core: core.DefaultMasterConfig(), RPCTimeout: 2 * time.Second}
+	return MasterOptions{
+		Core:           core.DefaultMasterConfig(),
+		RPCTimeout:     2 * time.Second,
+		TxnLockTimeout: DefaultTxnLockTimeout,
+	}
 }
 
 // MasterServer is a CURP master for one data partition: it executes client
@@ -76,6 +89,12 @@ type MasterServer struct {
 	gcMu      sync.Mutex
 	pendingGC []witness.GCKey
 
+	// resolveKick feeds the resident orphaned-transaction resolver;
+	// resolveBusy dedups in-flight resolutions (see txn_server.go).
+	resolveKick chan txnResolveReq
+	resolveMu   sync.Mutex
+	resolveBusy map[rifl.RPCID]bool
+
 	// durableOld is the §A.3 durable-value cache: for each key with an
 	// unsynced update, the last value that IS on the backups. Populated
 	// when a durable value is first overwritten speculatively; cleared as
@@ -98,6 +117,9 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 	if opts.RPCTimeout <= 0 {
 		opts.RPCTimeout = 2 * time.Second
 	}
+	if opts.TxnLockTimeout <= 0 {
+		opts.TxnLockTimeout = DefaultTxnLockTimeout
+	}
 	ms := &MasterServer{
 		id:      id,
 		addr:    addr,
@@ -112,8 +134,11 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 	ms.durableOld = make(map[string]staleEntry)
 	ms.syncCond = sync.NewCond(&ms.syncMu)
 	ms.syncKick = make(chan struct{}, 1)
+	ms.resolveKick = make(chan txnResolveReq, 64)
+	ms.resolveBusy = make(map[rifl.RPCID]bool)
 	ms.closed = make(chan struct{})
 	go ms.backgroundSync()
+	go ms.txnResolver()
 	ms.rpc.Handle(OpUpdate, ms.handleUpdate)
 	ms.rpc.Handle(OpUpdateBatch, ms.handleUpdateBatch)
 	ms.rpc.Handle(OpRead, ms.handleRead)
@@ -124,6 +149,7 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 	ms.rpc.Handle(OpMigrateComplete, ms.handleMigrateComplete)
 	ms.rpc.Handle(OpMigrateAbort, ms.handleMigrateAbort)
 	ms.rpc.Handle(OpMigrateDrop, ms.handleMigrateDrop)
+	ms.registerTxnHandlers()
 	l, err := nw.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -361,6 +387,12 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 	res, lsn, err := ms.store.Apply(cmd, req.ID)
 	if err != nil {
 		ms.execMu.Unlock()
+		if lerr, ok := err.(*kv.LockedError); ok {
+			// Blocked behind a prepared transaction: the client retries
+			// with backoff; an expired lock triggers orphan resolution.
+			ms.maybeResolve(lerr)
+			return updateExec{reply: &core.Reply{Status: core.StatusTxnLocked}}, nil
+		}
 		return updateExec{reply: &core.Reply{Status: core.StatusError, Err: err.Error()}}, nil
 	}
 	hot := false
@@ -489,6 +521,12 @@ func (ms *MasterServer) handleRead(payload []byte) ([]byte, error) {
 			res, _, err := ms.store.Apply(cmd, req.ID)
 			ms.execMu.Unlock()
 			if err != nil {
+				if lerr, ok := err.(*kv.LockedError); ok {
+					// A prepared write may commit under this read; it must
+					// wait for the decision like any other operation.
+					ms.maybeResolve(lerr)
+					return (&core.Reply{Status: core.StatusTxnLocked}).Encode(), nil
+				}
 				return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
 			}
 			return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil

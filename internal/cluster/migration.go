@@ -128,11 +128,14 @@ func (m *migrationState) movedRanges() []witness.HashRange {
 }
 
 // MigrationBundle is the state one Collect exports and one Install
-// imports: the range's objects and the completion records of operations
-// that touched them.
+// imports: the range's objects, the completion records of operations that
+// touched them, and the transaction decision records homed in the range
+// (so orphaned prepares elsewhere keep finding their outcome after the
+// handoff).
 type MigrationBundle struct {
 	Objects     []kv.MigratedObject
 	Completions []rifl.Completion
+	Decisions   []kv.TxnDecisionRecord
 }
 
 // rangesIn decodes a (masterID, ranges) payload prefix.
@@ -177,6 +180,13 @@ func (b *MigrationBundle) marshal(e *rpc.Encoder) {
 		e.Bytes32(c.Result)
 		e.U64Slice(c.KeyHashes)
 	}
+	e.U32(uint32(len(b.Decisions)))
+	for _, d := range b.Decisions {
+		e.U64(uint64(d.ID.Client))
+		e.U64(uint64(d.ID.Seq))
+		e.Bool(d.Commit)
+		e.U64(d.HomeHash)
+	}
 }
 
 func unmarshalBundle(d *rpc.Decoder) (*MigrationBundle, error) {
@@ -196,6 +206,14 @@ func unmarshalBundle(d *rpc.Decoder) (*MigrationBundle, error) {
 			ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
 			Result:    d.BytesCopy32(),
 			KeyHashes: d.U64Slice(),
+		})
+	}
+	n = d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		b.Decisions = append(b.Decisions, kv.TxnDecisionRecord{
+			ID:       rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+			Commit:   d.Bool(),
+			HomeHash: d.U64(),
 		})
 	}
 	if err := d.Err(); err != nil {
@@ -230,11 +248,13 @@ func (ms *MasterServer) SetFrozenRanges(rs []witness.HashRange) {
 // MovedRanges exposes the handed-off arcs (tests, introspection).
 func (ms *MasterServer) MovedRanges() []witness.HashRange { return ms.migr.movedRanges() }
 
-// dropMovedObjects deletes every stored object inside the moved ranges and
-// their §A.3 durable-value cache entries.
+// dropMovedObjects deletes every stored object inside the moved ranges,
+// their §A.3 durable-value cache entries, and the transaction decisions
+// homed there (the target owns them now).
 func (ms *MasterServer) dropMovedObjects(rs []witness.HashRange) int {
 	pred := func(key []byte) bool { return witness.RangesContain(rs, witness.RingPoint(key)) }
 	n := ms.store.DropRange(pred)
+	ms.store.DropDecisions(func(h uint64) bool { return witness.RangesContainHash(rs, h) })
 	ms.staleMu.Lock()
 	for k := range ms.durableOld {
 		if pred([]byte(k)) {
@@ -271,12 +291,24 @@ func (ms *MasterServer) handleMigrateCollect(payload []byte) ([]byte, error) {
 		ms.migr.unmark(rs)
 		return nil, fmt.Errorf("master %d: migration drain: %w", ms.id, err)
 	}
+	// Settle in-flight transactions before exporting: a range must not
+	// change shards with live prepared locks (the target has no prepared
+	// state to pair them with). Each is resolved through its home shard —
+	// abort by default when the coordinator hasn't decided — which is the
+	// clean mid-rebalance abort the client-side retry expects.
+	if err := ms.resolveLockedRange(rs); err != nil {
+		ms.migr.unmark(rs)
+		return nil, fmt.Errorf("master %d: migration txn resolution: %w", ms.id, err)
+	}
 	bundle := &MigrationBundle{
 		Objects: ms.store.ExportRange(func(key []byte) bool {
 			return witness.RangesContain(rs, witness.RingPoint(key))
 		}),
 		Completions: ms.tracker.ExportRange(func(kh uint64) bool {
 			return witness.RangesContainHash(rs, kh)
+		}),
+		Decisions: ms.store.ExportDecisions(func(h uint64) bool {
+			return witness.RangesContainHash(rs, h)
 		}),
 	}
 	e := rpc.NewEncoder(256)
@@ -311,6 +343,27 @@ func (ms *MasterServer) handleMigrateInstall(payload []byte) ([]byte, error) {
 		ms.execMu.Unlock()
 		if err != nil {
 			return nil, fmt.Errorf("master %d: install object %q: %w", ms.id, o.Key, err)
+		}
+	}
+	for _, dec := range bundle.Decisions {
+		// Install each migrated decision as a home-record decide under a
+		// zero entry ID (its RIFL completion record travels separately in
+		// bundle.Completions). Idempotent: the store keeps the first
+		// outcome.
+		cmd := &kv.Command{Op: kv.OpTxnDecide, Txn: &kv.TxnCommand{
+			ID:         dec.ID,
+			Commit:     dec.Commit,
+			HomeRecord: true,
+			Home:       kv.TxnHome{MasterID: ms.id, Addr: ms.addr, KeyHash: dec.HomeHash},
+		}}
+		ms.execMu.Lock()
+		_, lsn, err := ms.store.Apply(cmd, rifl.RPCID{})
+		if err == nil && lsn > 0 {
+			ms.state.NoteMutation([]uint64{dec.HomeHash}, uint64(lsn))
+		}
+		ms.execMu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("master %d: install decision %v: %w", ms.id, dec.ID, err)
 		}
 	}
 	for _, c := range bundle.Completions {

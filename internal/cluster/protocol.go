@@ -94,6 +94,25 @@ const (
 	// rejected per record under one lock acquisition. The coalesced form
 	// of OpWitnessRecord.
 	OpWitnessRecordBatch
+
+	// Transaction coordinator (client) → participant master: phase one of
+	// a cross-shard transaction — validate the shard's read versions, lock
+	// the touched keys, stash the writes, and sync before voting. The
+	// payload is a core.Request envelope around kv.OpTxnPrepare.
+	OpTxnPrepare
+	// Transaction coordinator (client) → participant master: phase two —
+	// apply or discard the prepared writes and release the locks, synced
+	// before the reply. (The HOME decision record travels as a normal
+	// OpUpdate/OpUpdateBatch carrying kv.OpTxnDecide, so it gets CURP's
+	// witness-backed 1-RTT durability.)
+	OpTxnDecide
+	// Participant master / migration → home master: look up a
+	// transaction's decision record; with the resolve flag, record an
+	// abort by default when no decision exists yet (orphaned-prepare
+	// resolution after coordinator death, §RIFL-anchored: the abort is
+	// saved under the transaction's RIFL ID, so a straggling coordinator
+	// decide returns the abort instead of committing).
+	OpTxnStatus
 )
 
 // recordRequest is the payload of OpWitnessRecord.
@@ -316,6 +335,43 @@ func decodeRecordResults(b []byte) []witness.RecordResult {
 	}
 	return out
 }
+
+// txnStatusRequest is the payload of OpTxnStatus: a decision lookup for
+// one transaction, optionally forcing an abort-by-default resolution.
+type txnStatusRequest struct {
+	ID       rifl.RPCID
+	HomeHash uint64
+	Resolve  bool
+}
+
+func (r *txnStatusRequest) encode() []byte {
+	e := rpc.NewEncoder(32)
+	e.U64(uint64(r.ID.Client))
+	e.U64(uint64(r.ID.Seq))
+	e.U64(r.HomeHash)
+	e.Bool(r.Resolve)
+	return e.Bytes()
+}
+
+func decodeTxnStatusRequest(b []byte) (*txnStatusRequest, error) {
+	d := rpc.NewDecoder(b)
+	r := &txnStatusRequest{
+		ID:       rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+		HomeHash: d.U64(),
+		Resolve:  d.Bool(),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Transaction decision outcomes carried in an OpTxnStatus reply payload.
+const (
+	txnOutcomeUnknown byte = iota
+	txnOutcomeCommit
+	txnOutcomeAbort
+)
 
 // appendRequest is the payload of OpBackupAppend: a master (identified by
 // its recovery epoch, §4.7) replicating a log suffix.

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"curp/internal/core"
+	"curp/internal/kv"
+	"curp/internal/rifl"
+	"curp/internal/txn"
+)
+
+// This file is the client half of the transaction RPCs for one partition:
+// the coordinator-side calls internal/txn drives through cluster.Client.
+// Prepare and participant-decide are direct master RPCs (synced before the
+// reply, so no witness involvement); the home decision record goes through
+// the normal async update engine under a caller-minted RIFL ID, getting
+// CURP's witness-backed durability and exactly-once anchoring.
+
+// GetVersioned reads key at the master and returns the full result,
+// including the object's version — the read-set entry a transaction
+// revalidates at commit.
+func (c *Client) GetVersioned(ctx context.Context, key []byte) (*kv.Result, error) {
+	cmd := &kv.Command{Op: kv.OpGet, Key: key}
+	out, err := c.curp.Read(ctx, cmd.KeyHashes(), cmd.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return kv.DecodeResult(out)
+}
+
+// TxnHomeInfo returns the partition's home-shard coordinates (master ID and
+// address); the transaction layer fills in the home key's hash.
+func (c *Client) TxnHomeInfo(ctx context.Context) (kv.TxnHome, error) {
+	view, err := c.provider.View(ctx, false)
+	if err != nil {
+		return kv.TxnHome{}, err
+	}
+	return kv.TxnHome{MasterID: view.MasterID, Addr: view.MasterAddr}, nil
+}
+
+// MintTxnID allocates a RIFL ID from this partition's session — the
+// transaction ID, which is also the identity of the home decide RPC.
+func (c *Client) MintTxnID() rifl.RPCID { return c.curp.Session().NextID() }
+
+// FinishTxnID releases a transaction ID once every dependent step is done
+// (all participant decides applied), letting the session's ack frontier
+// advance past it.
+func (c *Client) FinishTxnID(id rifl.RPCID) { c.curp.Session().Finish(id) }
+
+// TxnPrepare runs phase one on this partition's master: the command's
+// Txn payload names the reads to validate and the writes to stash. The
+// returned result's Found is the vote (true = commit).
+func (c *Client) TxnPrepare(ctx context.Context, cmd *kv.Command) (*kv.Result, error) {
+	return c.txnCall(ctx, OpTxnPrepare, cmd)
+}
+
+// TxnDecide runs phase two on this partition's master: apply (commit) or
+// discard (abort) the prepared writes of cmd.Txn.ID and release its locks.
+func (c *Client) TxnDecide(ctx context.Context, cmd *kv.Command) (*kv.Result, error) {
+	return c.txnCall(ctx, OpTxnDecide, cmd)
+}
+
+// TxnDecideHome records the transaction's decision on this partition (the
+// home shard) under the transaction's own RIFL ID, through the normal
+// update engine — witness-recorded, speculative when commutative. The
+// returned commit is the outcome that actually stuck: false when a
+// lock-timeout resolver recorded an abort first (the RIFL-anchored race
+// resolution).
+func (c *Client) TxnDecideHome(ctx context.Context, id rifl.RPCID, commit bool, homeHash uint64) (bool, error) {
+	cmd := &kv.Command{Op: kv.OpTxnDecide, Txn: &kv.TxnCommand{
+		ID:         id,
+		Commit:     commit,
+		HomeRecord: true,
+		Home:       kv.TxnHome{KeyHash: homeHash},
+	}}
+	out, err := c.curp.UpdateWithIDAsync(ctx, id, []uint64{homeHash}, cmd.Encode()).Wait(ctx)
+	if err != nil {
+		return false, err
+	}
+	res, err := kv.DecodeResult(out)
+	if err != nil {
+		return false, err
+	}
+	return res.Found, nil
+}
+
+// txnCall drives one prepare/decide RPC with the client's standard retry
+// discipline: refresh the view after failures (the RIFL ID makes retries
+// across a master recovery exactly-once), back off on prepared-lock
+// collisions, and surface redirects to the routing layer.
+func (c *Client) txnCall(ctx context.Context, op uint16, cmd *kv.Command) (*kv.Result, error) {
+	id := c.curp.Session().NextID()
+	keyHashes := cmd.KeyHashes()
+	payload := cmd.Encode()
+	cfg := core.DefaultClientConfig()
+	var lastErr error
+	lastLocked := false
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := core.PauseJittered(ctx, attempt-1, cfg.RetryBackoff, cfg.MaxRetryBackoff); err != nil {
+				return nil, err
+			}
+		}
+		view, err := c.provider.View(ctx, attempt > 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		mc, ok := view.Master.(*masterConn)
+		if !ok {
+			return nil, errors.New("cluster: transactions require a cluster master connection")
+		}
+		req := &core.Request{
+			ID:                 id,
+			Ack:                c.curp.Session().Ack(),
+			WitnessListVersion: view.WitnessListVersion,
+			KeyHashes:          keyHashes,
+			Payload:            payload,
+		}
+		out, err := mc.peer.Call(ctx, op, req.Encode())
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// A transport failure is NOT a clean bounce: the request may
+			// have executed with the reply lost, so a final failure here
+			// must report in-doubt, never ErrTxnBusy.
+			lastLocked = false
+			lastErr = err
+			continue
+		}
+		reply, err := core.DecodeReply(out)
+		if err != nil {
+			return nil, err
+		}
+		switch reply.Status {
+		case core.StatusOK:
+			c.curp.Session().Finish(id)
+			return kv.DecodeResult(reply.Payload)
+		case core.StatusKeyMoved:
+			// The ID was never executed and never witness-recorded, so it
+			// is safe to abandon; the transaction layer re-routes.
+			c.curp.Session().Finish(id)
+			return nil, core.ErrKeyMoved
+		case core.StatusTxnLocked, core.StatusStaleWitnessList, core.StatusWrongMaster:
+			lastLocked = reply.Status == core.StatusTxnLocked
+			lastErr = fmt.Errorf("cluster: txn rpc: master replied %v", reply.Status)
+			continue
+		case core.StatusIgnored:
+			return nil, core.ErrIgnored
+		case core.StatusError:
+			return nil, fmt.Errorf("cluster: txn rpc: %s", reply.Err)
+		default:
+			return nil, fmt.Errorf("cluster: txn rpc: unexpected status %v", reply.Status)
+		}
+	}
+	if lastLocked {
+		// Exhausted while parked behind other transactions' locks: the
+		// request never executed, so the coordinator may abort cleanly
+		// instead of reporting an in-doubt failure.
+		return nil, fmt.Errorf("%w: %v", txn.ErrTxnBusy, lastErr)
+	}
+	return nil, fmt.Errorf("%w: %v", core.ErrUpdateFailed, lastErr)
+}
+
+// SubmitTxnApply commits a single-shard transaction through the normal
+// update engine: one atomic OpTxnApply command that validates the read set
+// and applies the write set in one log entry, speculative (1 RTT) when it
+// commutes with the unsynced window. The result's Found reports whether
+// validation held.
+func (c *Client) SubmitTxnApply(ctx context.Context, t *kv.TxnCommand) (*kv.Result, error) {
+	cmd := &kv.Command{Op: kv.OpTxnApply, Txn: t}
+	return c.Submit(ctx, cmd)
+}
+
+// singleTxnBackend adapts one partition to the transaction coordinator's
+// Backend interface: every key lives on "shard 0", so Commit always takes
+// the single-shard fast path and the 2PC methods exist only to satisfy the
+// interface.
+type singleTxnBackend struct{ c *Client }
+
+// TxnBackend returns the transaction Backend view of this partition.
+func (c *Client) TxnBackend() txn.Backend { return singleTxnBackend{c} }
+
+func (b singleTxnBackend) ShardOf([]byte) int { return 0 }
+func (b singleTxnBackend) Refresh() bool      { return false }
+
+func (b singleTxnBackend) GetVersioned(ctx context.Context, key []byte) (*kv.Result, error) {
+	return b.c.GetVersioned(ctx, key)
+}
+
+func (b singleTxnBackend) Apply(ctx context.Context, _ int, t *kv.TxnCommand) (*kv.Result, error) {
+	return b.c.SubmitTxnApply(ctx, t)
+}
+
+func (b singleTxnBackend) HomeInfo(ctx context.Context, _ int) (kv.TxnHome, error) {
+	return b.c.TxnHomeInfo(ctx)
+}
+
+func (b singleTxnBackend) MintTxnID(int) rifl.RPCID         { return b.c.MintTxnID() }
+func (b singleTxnBackend) FinishTxnID(_ int, id rifl.RPCID) { b.c.FinishTxnID(id) }
+
+func (b singleTxnBackend) Prepare(ctx context.Context, _ int, cmd *kv.Command) (*kv.Result, error) {
+	return b.c.TxnPrepare(ctx, cmd)
+}
+
+func (b singleTxnBackend) Decide(ctx context.Context, _ int, cmd *kv.Command) (*kv.Result, error) {
+	return b.c.TxnDecide(ctx, cmd)
+}
+
+func (b singleTxnBackend) DecideHome(ctx context.Context, _ int, id rifl.RPCID, commit bool, homeHash uint64) (bool, error) {
+	return b.c.TxnDecideHome(ctx, id, commit, homeHash)
+}

@@ -81,6 +81,12 @@ type asyncOp struct {
 	keyHashes []uint64
 	payload   []byte
 	fut       *Future
+	// deferFinish leaves the session's ack frontier untouched on
+	// completion: the caller finishes the ID itself once every dependent
+	// step is done. Cross-shard transactions use it for the home decision
+	// record — acking it early would let the home master discard the
+	// decision while participants still hold locks that need it.
+	deferFinish bool
 }
 
 // UpdateAsync submits one mutating operation and returns immediately. The
@@ -89,6 +95,23 @@ type asyncOp struct {
 // UpdateBatchAsync.
 func (c *Client) UpdateAsync(ctx context.Context, keyHashes []uint64, payload []byte) *Future {
 	return c.UpdateBatchAsync(ctx, []BatchOp{{KeyHashes: keyHashes, Payload: payload}})[0]
+}
+
+// UpdateWithIDAsync submits one mutating operation under a caller-minted
+// RIFL ID (from this client's session) and leaves the session's ack
+// frontier alone: the caller must Finish the ID itself when the operation's
+// role is over. The transaction layer uses it for the home decision record,
+// whose ID doubles as the transaction ID.
+func (c *Client) UpdateWithIDAsync(ctx context.Context, id rifl.RPCID, keyHashes []uint64, payload []byte) *Future {
+	op := &asyncOp{
+		id:          id,
+		keyHashes:   keyHashes,
+		payload:     payload,
+		fut:         newFuture(),
+		deferFinish: true,
+	}
+	go c.runBatch(ctx, []*asyncOp{op})
+	return op.fut
 }
 
 // UpdateBatchAsync submits a batch of mutating operations and returns one
@@ -210,12 +233,18 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 		case StatusOK:
 			if reply.Synced {
 				c.syncedByMaster.Add(1)
-				c.session.Finish(op.id)
+				c.finishOp(op)
 				op.fut.complete(reply.Payload)
 			} else {
 				undecided = append(undecided, i)
 			}
 		case StatusStaleWitnessList, StatusWrongMaster:
+			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
+			retry = append(retry, op)
+		case StatusTxnLocked:
+			// A prepared transaction holds one of the keys; the lock clears
+			// when its decision lands (the master resolves orphans on a
+			// timeout), so retry with the normal backoff.
 			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
 			retry = append(retry, op)
 		case StatusKeyMoved:
@@ -263,7 +292,7 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 		if accepted[i] == len(view.Witnesses) {
 			// 1-RTT completion rule: all f witnesses accepted.
 			c.fastPath.Add(1)
-			c.session.Finish(op.id)
+			c.finishOp(op)
 			op.fut.complete(replies[i].Payload)
 		} else {
 			needSync = append(needSync, op)
@@ -278,7 +307,7 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 		if err := view.Master.Sync(ctx); err == nil {
 			for i, op := range needSync {
 				c.slowPath.Add(1)
-				c.session.Finish(op.id)
+				c.finishOp(op)
 				op.fut.complete(needSyncPayload[i])
 			}
 		} else if ctx.Err() != nil {
@@ -331,6 +360,14 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 	// queued.
 	orderRetry(pending, retry)
 	return retry, lastErr
+}
+
+// finishOp advances the session's ack frontier past a completed operation,
+// unless the caller asked to manage the ID's lifetime itself.
+func (c *Client) finishOp(op *asyncOp) {
+	if !op.deferFinish {
+		c.session.Finish(op.id)
+	}
 }
 
 // orderRetry sorts retry in place by position in pending (both are small).

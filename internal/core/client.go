@@ -64,7 +64,12 @@ type BackupAPI interface {
 // send updates, which witnesses to record to, and the witness-list version
 // that must accompany every update (§3.6).
 type View struct {
-	MasterID           uint64
+	MasterID uint64
+	// MasterAddr is the master's network address, when the transport has
+	// one (the cluster runtime fills it; in-process fakes may leave it
+	// empty). Transaction prepares carry it as the home-shard coordinate
+	// for orphan resolution.
+	MasterAddr         string
 	WitnessListVersion uint64
 	Master             MasterAPI
 	Witnesses          []WitnessAPI
@@ -285,7 +290,7 @@ func (c *Client) Read(ctx context.Context, keyHashes []uint64, payload []byte) (
 			return reply.Payload, nil
 		case StatusKeyMoved:
 			return nil, ErrKeyMoved
-		case StatusStaleWitnessList, StatusWrongMaster:
+		case StatusStaleWitnessList, StatusWrongMaster, StatusTxnLocked:
 			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)
 			continue
 		case StatusError:

@@ -43,6 +43,12 @@ const (
 	// executed before the freeze still return their saved result with
 	// StatusOK).
 	StatusKeyMoved
+	// StatusTxnLocked: one of the request's keys is locked by a prepared
+	// cross-shard transaction. The operation did NOT execute; the client
+	// retries with backoff — the lock clears when the transaction's
+	// decision arrives (or the master's lock-timeout resolution forces
+	// one).
+	StatusTxnLocked
 )
 
 // String names the status.
@@ -60,6 +66,8 @@ func (s Status) String() string {
 		return "error"
 	case StatusKeyMoved:
 		return "key-moved"
+	case StatusTxnLocked:
+		return "txn-locked"
 	}
 	return "unknown"
 }

@@ -30,6 +30,31 @@ type Engine struct {
 	syncCond   *sync.Cond
 	syncActive bool
 
+	// syncKick feeds the single resident background syncer (capacity 1: a
+	// kick while one is pending coalesces) — the same pattern as the kv
+	// master's backgroundSync. Before this existed, every speculative
+	// command past the batch threshold spawned its own goroutine into
+	// syncAndWait, where the herd parked on syncCond and was woken en
+	// masse by every completed fsync.
+	syncKick  chan struct{}
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	// pendingGC accumulates the (keyHash, rpcID) pairs of appended-but-not-
+	// yet-fsynced commands; each successful fsync collects exactly these
+	// from the witnesses — one batched GC per witness per sync. (The old
+	// snapshot-everything GC could drop a witness record whose command was
+	// recorded in parallel with an Update still in flight: the record was
+	// the command's ONLY durability until its AOF append, so a crash in
+	// that window lost a completed operation.) lastGC holds the previous
+	// pass's pairs for one retry round: a record that landed after its
+	// pair's first collection (clients record in parallel with the update
+	// RPC) is swept by the next sync instead of lingering to §4.5
+	// staleness.
+	gcMu      sync.Mutex
+	pendingGC []witness.GCKey
+	lastGC    []witness.GCKey
+
 	witnesses []*witness.Witness
 }
 
@@ -44,7 +69,46 @@ func NewEngine(id uint64, aof *AOF, cfg core.MasterConfig) *Engine {
 		id:      id,
 	}
 	e.syncCond = sync.NewCond(&e.syncMu)
+	e.syncKick = make(chan struct{}, 1)
+	e.closed = make(chan struct{})
+	go e.backgroundSync()
 	return e
+}
+
+// Close stops the resident background syncer. Idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.closed) })
+}
+
+// TriggerSync asks the background syncer to run (coalescing with any
+// already-pending kick). It never blocks the caller.
+func (e *Engine) TriggerSync() {
+	select {
+	case e.syncKick <- struct{}{}:
+	default: // a kick is already pending; the syncer will cover this op
+	}
+}
+
+// backgroundSync is the engine's one resident background syncer: each kick
+// fsyncs everything appended so far, so any number of triggers while a
+// sync runs collapse into a single follow-up pass.
+func (e *Engine) backgroundSync() {
+	for {
+		select {
+		case <-e.closed:
+			return
+		case <-e.syncKick:
+			e.syncAndWait(e.head())
+		}
+	}
+}
+
+// noteAppend queues a just-appended command's witness GC pairs for the
+// fsync that will make it durable.
+func (e *Engine) noteAppend(keyHashes []uint64, id rifl.RPCID) {
+	e.gcMu.Lock()
+	e.pendingGC = append(e.pendingGC, witness.GCKeys(keyHashes, id)...)
+	e.gcMu.Unlock()
 }
 
 // AttachWitnesses registers the engine's witnesses (co-hosted instances;
@@ -108,6 +172,7 @@ func (e *Engine) Update(ctx context.Context, req *core.Request) (*core.Reply, er
 	lsn := e.aof.Appended()
 	hot := e.state.NoteMutation(req.KeyHashes, lsn)
 	e.tracker.Record(req.ID, res.Encode())
+	e.noteAppend(req.KeyHashes, req.ID)
 	e.execMu.Unlock()
 
 	if conflict {
@@ -122,7 +187,7 @@ func (e *Engine) Update(ctx context.Context, req *core.Request) (*core.Reply, er
 		if e.state.NeedsBatchSync() {
 			e.state.CountBatchSync()
 		}
-		go e.syncAndWait(e.head())
+		e.TriggerSync()
 	}
 	return &core.Reply{Status: core.StatusOK, Synced: false, Payload: res.Encode()}, nil
 }
@@ -195,10 +260,29 @@ func (e *Engine) syncAndWait(target uint64) error {
 		e.syncMu.Unlock()
 
 		head := e.head()
+		// Snapshot the GC pairs before the fsync: everything queued by now
+		// was appended by now, so this exact set becomes durable with the
+		// fsync — and nothing recorded later (possibly for a command still
+		// in flight) is touched. The previous pass's pairs ride along once
+		// more to catch records that arrived after their first collection.
+		e.gcMu.Lock()
+		fresh := e.pendingGC
+		e.pendingGC = nil
+		gcKeys := append(append([]witness.GCKey(nil), e.lastGC...), fresh...)
+		e.gcMu.Unlock()
 		err := e.aof.Sync()
 		if err == nil {
 			e.state.NoteSync(head)
-			e.gcWitnesses()
+			e.gcWitnesses(gcKeys)
+			e.gcMu.Lock()
+			e.lastGC = fresh
+			e.gcMu.Unlock()
+		} else {
+			// The fsync failed; the fresh pairs are not durable yet.
+			// Requeue them for the next attempt.
+			e.gcMu.Lock()
+			e.pendingGC = append(fresh, e.pendingGC...)
+			e.gcMu.Unlock()
 		}
 
 		e.syncMu.Lock()
@@ -211,28 +295,58 @@ func (e *Engine) syncAndWait(target uint64) error {
 	}
 }
 
-// gcWitnesses drops everything recorded so far: after an fsync the entire
-// AOF prefix is durable, so all witness records for this engine are
-// collectable. (The paper batches gc by RPC ID list; with a single
-// fsynced log, a full flush is equivalent and simpler.)
-func (e *Engine) gcWitnesses() {
+// gcWitnesses collects exactly the just-fsynced commands' records from
+// every witness: one batched GC pass per witness per sync (the paper's
+// batched gc-by-RPC-ID-list, §4.5). Collecting by exact ID matters beyond
+// RPC economy: a record may exist for a command whose Update RPC is still
+// in flight (clients record in parallel), and that record is the command's
+// only durability until its AOF append — the old snapshot-everything flush
+// could drop it, losing a completed operation to a crash in that window.
+//
+// Records a witness flags as suspected uncollected garbage (they survived
+// several passes — e.g. their gc pairs were consumed by a sync that raced
+// the record's arrival) get the kv master's §4.5 treatment: re-execute
+// through RIFL (a duplicate is filtered; an orphan becomes durable) and
+// queue their pairs for the next pass.
+func (e *Engine) gcWitnesses(keys []witness.GCKey) {
+	if len(keys) == 0 {
+		return
+	}
+	var requeue []witness.GCKey
 	for _, w := range e.witnesses {
-		recs := collectAll(w)
-		if len(recs) > 0 {
-			w.GC(recs)
+		for _, rec := range w.GC(keys) {
+			e.retryStaleRecord(rec)
+			requeue = append(requeue, witness.GCKeys(rec.KeyHashes, rec.ID)...)
 		}
+	}
+	if len(requeue) > 0 {
+		e.gcMu.Lock()
+		e.pendingGC = append(e.pendingGC, requeue...)
+		e.gcMu.Unlock()
 	}
 }
 
-// collectAll lists (keyHash, id) pairs for every record in w.
-func collectAll(w *witness.Witness) []witness.GCKey {
-	var keys []witness.GCKey
-	for _, r := range w.SnapshotRecords() {
-		for _, kh := range r.KeyHashes {
-			keys = append(keys, witness.GCKey{KeyHash: kh, ID: r.ID})
-		}
+// retryStaleRecord re-executes a suspected-uncollected witness record;
+// RIFL filters the (overwhelmingly common) duplicates.
+func (e *Engine) retryStaleRecord(rec witness.Record) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if outcome, _ := e.tracker.Begin(rec.ID, 0); outcome != rifl.New {
+		return
 	}
-	return keys
+	cmd, err := DecodeCommand(rec.Request)
+	if err != nil {
+		return
+	}
+	res, err := e.store.Apply(cmd)
+	if err != nil {
+		return
+	}
+	if err := e.aof.Append(cmd, rec.ID); err != nil {
+		return
+	}
+	e.state.NoteMutation(rec.KeyHashes, e.aof.Appended())
+	e.tracker.Record(rec.ID, res.Encode())
 }
 
 // Recover rebuilds an engine after a crash: replay the durable AOF prefix

@@ -80,11 +80,18 @@ func TestEngineConflictFsyncsBeforeReply(t *testing.T) {
 	if r.dev.SyncCount == 0 {
 		t.Fatal("conflict must fsync")
 	}
-	// Witness records are collected lazily: the conflicting op's record may
-	// land while the fsync is in flight (the async client records in
-	// parallel with the master RPC), in which case the NEXT collection pass
-	// picks it up. Drive one explicitly and require emptiness.
-	r.engine.gcWitnesses()
+	// Witness records are collected lazily and by exact ID: the
+	// conflicting op's record may land while the fsync is in flight (the
+	// async client records in parallel with the master RPC), in which case
+	// a later pass picks it up. The engine is quiesced here — every op is
+	// done and fsynced — so sweep whatever remains and require emptiness.
+	for _, w := range r.witnesses {
+		var keys []witness.GCKey
+		for _, rec := range w.SnapshotRecords() {
+			keys = append(keys, witness.GCKeys(rec.KeyHashes, rec.ID)...)
+		}
+		r.engine.gcWitnesses(keys)
+	}
 	if r.witnesses[0].Len() != 0 {
 		t.Fatalf("witness len = %d after gc", r.witnesses[0].Len())
 	}

@@ -47,6 +47,19 @@ const (
 	// so the completion record rides the log to the target's backups and
 	// survives a target crash exactly like a natively executed operation.
 	OpMigrateRecord
+	// OpTxnPrepare is phase one of a cross-shard transaction on a
+	// participant shard: validate the shard's read versions and lock every
+	// touched key, stashing the shard's writes until the decision arrives.
+	// See txn.go.
+	OpTxnPrepare
+	// OpTxnDecide is phase two: record the transaction's outcome in the
+	// home shard's decision table (Txn.HomeRecord), or apply/discard a
+	// participant's prepared writes and release its locks.
+	OpTxnDecide
+	// OpTxnApply commits a single-shard transaction atomically in one log
+	// entry: validate every read version, then apply every write. It takes
+	// no locks and rides CURP's normal speculative update path.
+	OpTxnApply
 )
 
 // String names the operation.
@@ -72,6 +85,12 @@ func (o CommandOp) String() string {
 		return "migrate-object"
 	case OpMigrateRecord:
 		return "migrate-record"
+	case OpTxnPrepare:
+		return "txn-prepare"
+	case OpTxnDecide:
+		return "txn-decide"
+	case OpTxnApply:
+		return "txn-apply"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -104,6 +123,9 @@ type Command struct {
 	// across the wire, but their hashes must survive for witness GC and
 	// recovery-replay filtering on the target shard.
 	Hashes []uint64
+	// Txn carries the transactional payload of OpTxnPrepare, OpTxnDecide,
+	// and OpTxnApply (see txn.go); nil for every other op.
+	Txn *TxnCommand
 	// owned marks a command decoded off the wire: every byte slice in it
 	// is a private copy no one else references, so the store may adopt
 	// value buffers instead of defensively copying them (see
@@ -120,8 +142,15 @@ func (c *Command) IsReadOnly() bool { return c.Op == OpGet || c.Op == OpMultiGet
 // KeyHashes returns the 64-bit hashes of every object the command touches,
 // the unit of CURP's commutativity checks.
 func (c *Command) KeyHashes() []uint64 {
+	// Explicit Hashes win, including for transactional commands:
+	// participant decides carry no read/write sets (the prepare stashed
+	// them), so the coordinator attaches the group's hashes for migration
+	// checks and commutativity tracking.
 	if len(c.Hashes) > 0 {
 		return c.Hashes
+	}
+	if c.Txn != nil {
+		return c.Txn.KeyHashes()
 	}
 	if len(c.Pairs) > 0 {
 		hs := make([]uint64, len(c.Pairs))
@@ -146,6 +175,10 @@ func (c *Command) Marshal(e *rpc.Encoder) {
 		e.Bytes32(p.Value)
 	}
 	e.U64Slice(c.Hashes)
+	e.Bool(c.Txn != nil)
+	if c.Txn != nil {
+		c.Txn.marshal(e)
+	}
 }
 
 // Encode returns the command's wire form.
@@ -169,6 +202,9 @@ func UnmarshalCommand(d *rpc.Decoder) (*Command, error) {
 		c.Pairs = append(c.Pairs, KV{Key: d.BytesCopy32(), Value: d.BytesCopy32()})
 	}
 	c.Hashes = d.U64Slice()
+	if d.Bool() {
+		c.Txn = unmarshalTxnCommand(d)
+	}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}

@@ -62,6 +62,16 @@ type Store struct {
 	objects map[string]*object
 	log     []Entry
 	head    LSN
+	// locks maps key → the prepared transaction holding it; prepared maps
+	// transaction ID → its prepared state; decisions is the home-shard
+	// decision table. See txn.go.
+	locks     map[string]*preparedTxn
+	prepared  map[rifl.RPCID]*preparedTxn
+	decisions map[rifl.RPCID]txnDecision
+	// txnTouched carries the keys the latest transactional write-set
+	// application mutated, from applyTxnWrites to stampKeys (both run
+	// under mu within one Apply/ReplayEntry).
+	txnTouched [][]byte
 	// replica marks a materialized view replayed from someone else's log
 	// (a backup's read store): it tracks head and objects but does not
 	// retain log entries, since the authoritative log lives beside it and
@@ -71,13 +81,20 @@ type Store struct {
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{objects: make(map[string]*object)}
+	return &Store{
+		objects:   make(map[string]*object),
+		locks:     make(map[string]*preparedTxn),
+		prepared:  make(map[rifl.RPCID]*preparedTxn),
+		decisions: make(map[rifl.RPCID]txnDecision),
+	}
 }
 
 // NewReplicaStore returns a store that materializes replayed entries
 // without retaining its own copy of the log (see Store.replica).
 func NewReplicaStore() *Store {
-	return &Store{objects: make(map[string]*object), replica: true}
+	s := NewStore()
+	s.replica = true
+	return s
 }
 
 // Apply executes cmd, appending a log entry for mutations. It returns the
@@ -105,6 +122,17 @@ func (s *Store) Apply(cmd *Command, id rifl.RPCID) (*Result, LSN, error) {
 // stampKeys records lsn as the last-mutation position of every object a
 // mutating command touched. Must hold s.mu.
 func (s *Store) stampKeys(cmd *Command, lsn LSN) {
+	if cmd.Txn != nil {
+		// Transactional entries stamp the keys their write-set application
+		// touched (none for prepares and aborts, which mutate no objects).
+		for _, k := range s.txnTouched {
+			if o := s.objects[string(k)]; o != nil {
+				o.lsn = lsn
+			}
+		}
+		s.txnTouched = nil
+		return
+	}
 	if len(cmd.Pairs) > 0 && (cmd.Op == OpMultiPut || cmd.Op == OpMultiIncr) {
 		for _, p := range cmd.Pairs {
 			if o := s.objects[string(p.Key)]; o != nil {
@@ -123,6 +151,18 @@ func (s *Store) stampKeys(cmd *Command, lsn LSN) {
 
 // exec runs the command against the object table. Must hold s.mu.
 func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
+	switch cmd.Op {
+	case OpMigrateObject, OpMigrateRecord, OpTxnPrepare, OpTxnDecide, OpTxnApply:
+		// Transactional ops handle locks themselves; migration installs
+		// bypass them (installed state was resolved before export).
+	default:
+		// An operation touching a key locked by a prepared transaction
+		// must wait for the decision: its outcome would otherwise race the
+		// transaction's atomic commit point.
+		if lerr := s.cmdLockConflict(cmd); lerr != nil {
+			return nil, false, lerr
+		}
+	}
 	switch cmd.Op {
 	case OpGet:
 		o := s.objects[string(cmd.Key)]
@@ -240,6 +280,15 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 			return nil, false, fmt.Errorf("kv: migrate-record result: %w", err)
 		}
 		return res, true, nil
+
+	case OpTxnPrepare:
+		return s.execTxnPrepare(cmd)
+
+	case OpTxnDecide:
+		return s.execTxnDecide(cmd)
+
+	case OpTxnApply:
+		return s.execTxnApply(cmd)
 
 	case OpCondPut:
 		o := s.objects[string(cmd.Key)]

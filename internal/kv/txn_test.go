@@ -1,0 +1,433 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"curp/internal/rifl"
+)
+
+// txnCmd builds a transactional command.
+func txnCmd(op CommandOp, t *TxnCommand) *Command { return &Command{Op: op, Txn: t} }
+
+func TestTxnPrepareDecideCommit(t *testing.T) {
+	s := NewStore()
+	seed := func(key string, val string) {
+		if _, _, err := s.Apply(&Command{Op: OpPut, Key: []byte(key), Value: []byte(val)}, rifl.RPCID{Client: 1, Seq: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed("a", "5")
+
+	id := rifl.RPCID{Client: 9, Seq: 1}
+	prep := &TxnCommand{
+		ID:     id,
+		Home:   TxnHome{MasterID: 1, Addr: "m", KeyHash: 42},
+		Reads:  []TxnRead{{Key: []byte("a"), Version: 1}},
+		Writes: []TxnWrite{{Op: OpIncrement, Key: []byte("a"), Delta: 2}, {Op: OpPut, Key: []byte("b"), Value: []byte("x")}},
+	}
+	res, lsn, err := s.Apply(txnCmd(OpTxnPrepare, prep), rifl.RPCID{Client: 2, Seq: 1})
+	if err != nil || !res.Found || lsn == 0 {
+		t.Fatalf("prepare: res=%+v lsn=%d err=%v", res, lsn, err)
+	}
+	if s.LockCount() != 2 {
+		t.Fatalf("locks = %d, want 2", s.LockCount())
+	}
+
+	// Locked keys block plain operations with a typed, resolvable error.
+	_, _, err = s.Apply(&Command{Op: OpPut, Key: []byte("a"), Value: []byte("no")}, rifl.RPCID{Client: 3, Seq: 1})
+	var lerr *LockedError
+	if !errors.As(err, &lerr) || lerr.Txn != id || lerr.Home.Addr != "m" {
+		t.Fatalf("plain op on locked key: %v", err)
+	}
+	// The preparing transaction itself is not blocked (re-prepare no-op).
+	res, _, err = s.Apply(txnCmd(OpTxnPrepare, prep), rifl.RPCID{Client: 2, Seq: 2})
+	if err != nil || !res.Found {
+		t.Fatalf("re-prepare: %+v %v", res, err)
+	}
+
+	// Commit applies the stash and releases every lock.
+	res, lsn, err = s.Apply(txnCmd(OpTxnDecide, &TxnCommand{ID: id, Commit: true}), rifl.RPCID{Client: 2, Seq: 3})
+	if err != nil || !res.Found || lsn == 0 {
+		t.Fatalf("decide: res=%+v lsn=%d err=%v", res, lsn, err)
+	}
+	if s.LockCount() != 0 {
+		t.Fatalf("locks after commit = %d", s.LockCount())
+	}
+	if v, _, _ := s.Get([]byte("a")); string(v) != "7" {
+		t.Fatalf("a = %q, want 7", v)
+	}
+	if v, _, _ := s.Get([]byte("b")); string(v) != "x" {
+		t.Fatalf("b = %q, want x", v)
+	}
+}
+
+func TestTxnPrepareValidationAbort(t *testing.T) {
+	s := NewStore()
+	if _, _, err := s.Apply(&Command{Op: OpPut, Key: []byte("a"), Value: []byte("text")}, rifl.RPCID{Client: 1, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Stale read version → vote abort, no locks, nothing logged.
+	res, lsn, err := s.Apply(txnCmd(OpTxnPrepare, &TxnCommand{
+		ID:    rifl.RPCID{Client: 9, Seq: 1},
+		Reads: []TxnRead{{Key: []byte("a"), Version: 99}},
+	}), rifl.RPCID{Client: 2, Seq: 1})
+	if err != nil || res.Found || lsn != 0 || s.LockCount() != 0 {
+		t.Fatalf("stale-read prepare: res=%+v lsn=%d locks=%d err=%v", res, lsn, s.LockCount(), err)
+	}
+	// Increment over a non-counter → vote abort even mid-write-set.
+	res, _, err = s.Apply(txnCmd(OpTxnPrepare, &TxnCommand{
+		ID:     rifl.RPCID{Client: 9, Seq: 2},
+		Writes: []TxnWrite{{Op: OpIncrement, Key: []byte("a"), Delta: 1}},
+	}), rifl.RPCID{Client: 2, Seq: 2})
+	if err != nil || res.Found || s.LockCount() != 0 {
+		t.Fatalf("non-counter prepare: res=%+v locks=%d err=%v", res, s.LockCount(), err)
+	}
+	// ... but a Put earlier in the same write-set legalizes it.
+	res, _, err = s.Apply(txnCmd(OpTxnApply, &TxnCommand{
+		Writes: []TxnWrite{
+			{Op: OpPut, Key: []byte("a"), Value: []byte("5")},
+			{Op: OpIncrement, Key: []byte("a"), Delta: 1},
+		},
+	}), rifl.RPCID{Client: 2, Seq: 3})
+	if err != nil || !res.Found {
+		t.Fatalf("put-then-incr apply: res=%+v err=%v", res, err)
+	}
+	if v, _, _ := s.Get([]byte("a")); string(v) != "6" {
+		t.Fatalf("a = %q, want 6", v)
+	}
+}
+
+// modelObj mirrors one key of the store in the property test's model.
+type modelObj struct {
+	val []byte // nil = tombstone/missing
+	ver uint64
+}
+
+// TestTxnLockHygieneProperty is the quick-check-style lock-hygiene test:
+// random interleavings of prepare / decide(commit|abort) / apply / plain
+// operations must leave (a) no key locked once every transaction is
+// decided, (b) values and versions exactly matching a sequential model,
+// and (c) a log whose replay onto a fresh store reproduces the same state
+// — i.e. no version skew and no lock leakage on any path, including
+// recovery.
+func TestTxnLockHygieneProperty(t *testing.T) {
+	for round := 0; round < 40; round++ {
+		seed := int64(0xC0FFEE + round)
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		model := make(map[string]*modelObj)
+		locks := make(map[string]rifl.RPCID) // model lock table
+		type modelTxn struct {
+			id     rifl.RPCID
+			writes []TxnWrite
+			keys   []string
+		}
+		prepared := make(map[rifl.RPCID]*modelTxn)
+		var outstanding []rifl.RPCID
+		nextSeq := rifl.Seq(1)
+		nextEntry := rifl.Seq(1)
+		entryID := func() rifl.RPCID {
+			nextEntry++
+			return rifl.RPCID{Client: 99, Seq: nextEntry}
+		}
+		keyName := func() string { return fmt.Sprintf("k%d", rng.Intn(6)) }
+
+		get := func(k string) *modelObj {
+			o := model[k]
+			if o == nil {
+				o = &modelObj{}
+				model[k] = o
+			}
+			return o
+		}
+		modelApplyWrites := func(writes []TxnWrite) {
+			for _, w := range writes {
+				o := get(string(w.Key))
+				switch w.Op {
+				case OpDelete:
+					o.val = nil
+					o.ver++
+				case OpIncrement:
+					var cur int64
+					if o.val != nil {
+						cur = parseCounter(o.val)
+					}
+					o.val = formatCounter(cur + w.Delta)
+					o.ver++
+				default:
+					o.val = append([]byte(nil), w.Value...)
+					if o.val == nil {
+						o.val = []byte{}
+					}
+					o.ver++
+				}
+			}
+		}
+		modelValidate := func(tc *TxnCommand) bool {
+			for _, r := range tc.Reads {
+				var cur uint64
+				if o := model[string(r.Key)]; o != nil {
+					cur = o.ver
+				}
+				if cur != r.Version {
+					return false
+				}
+			}
+			sim := make(map[string]*modelObj)
+			cur := func(k string) *modelObj {
+				if o, ok := sim[k]; ok {
+					return o
+				}
+				if o := model[k]; o != nil {
+					return &modelObj{val: o.val, ver: o.ver}
+				}
+				return &modelObj{}
+			}
+			for _, w := range tc.Writes {
+				o := cur(string(w.Key))
+				switch w.Op {
+				case OpDelete:
+					o.val = nil
+				case OpIncrement:
+					if o.val != nil && !isCounter(o.val) {
+						return false
+					}
+					var c int64
+					if o.val != nil {
+						c = parseCounter(o.val)
+					}
+					o.val = formatCounter(c + w.Delta)
+				default:
+					o.val = append([]byte{}, w.Value...)
+				}
+				sim[string(w.Key)] = o
+			}
+			return true
+		}
+		lockedByOther := func(keys []string, self rifl.RPCID) bool {
+			for _, k := range keys {
+				if id, ok := locks[k]; ok && id != self {
+					return true
+				}
+			}
+			return false
+		}
+
+		decide := func(id rifl.RPCID, commit bool) {
+			res, _, err := s.Apply(txnCmd(OpTxnDecide, &TxnCommand{ID: id, Commit: commit}), entryID())
+			if err != nil {
+				t.Fatalf("seed %d: decide: %v", seed, err)
+			}
+			if res.Found != commit {
+				t.Fatalf("seed %d: decide outcome %v, want %v", seed, res.Found, commit)
+			}
+			mt := prepared[id]
+			if mt == nil {
+				return
+			}
+			if commit {
+				modelApplyWrites(mt.writes)
+			}
+			for _, k := range mt.keys {
+				if locks[k] == id {
+					delete(locks, k)
+				}
+			}
+			delete(prepared, id)
+			for i, oid := range outstanding {
+				if oid == id {
+					outstanding = append(outstanding[:i], outstanding[i+1:]...)
+					break
+				}
+			}
+		}
+
+		randomWrites := func() []TxnWrite {
+			n := 1 + rng.Intn(3)
+			out := make([]TxnWrite, 0, n)
+			for i := 0; i < n; i++ {
+				k := []byte(keyName())
+				switch rng.Intn(3) {
+				case 0:
+					out = append(out, TxnWrite{Op: OpPut, Key: k, Value: []byte(fmt.Sprint(rng.Intn(50)))})
+				case 1:
+					out = append(out, TxnWrite{Op: OpIncrement, Key: k, Delta: int64(rng.Intn(9) - 4)})
+				default:
+					out = append(out, TxnWrite{Op: OpDelete, Key: k})
+				}
+			}
+			return out
+		}
+		randomReads := func() []TxnRead {
+			if rng.Intn(2) == 0 {
+				return nil
+			}
+			k := keyName()
+			var ver uint64
+			if o := model[k]; o != nil {
+				ver = o.ver
+			}
+			if rng.Intn(5) == 0 {
+				ver += 1 + uint64(rng.Intn(3)) // deliberately stale: abort vote
+			}
+			return []TxnRead{{Key: []byte(k), Version: ver}}
+		}
+
+		for step := 0; step < 120; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // prepare a new transaction
+				nextSeq++
+				tc := &TxnCommand{
+					ID:     rifl.RPCID{Client: 7, Seq: nextSeq},
+					Home:   TxnHome{MasterID: 1, Addr: "h", KeyHash: 1},
+					Reads:  randomReads(),
+					Writes: randomWrites(),
+				}
+				var keys []string
+				seen := map[string]bool{}
+				for _, k := range tc.Keys() {
+					if !seen[string(k)] {
+						seen[string(k)] = true
+						keys = append(keys, string(k))
+					}
+				}
+				res, _, err := s.Apply(txnCmd(OpTxnPrepare, tc), entryID())
+				if lockedByOther(keys, tc.ID) {
+					var lerr *LockedError
+					if !errors.As(err, &lerr) {
+						t.Fatalf("seed %d step %d: prepare on locked keys: %v", seed, step, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d step %d: prepare: %v", seed, step, err)
+				}
+				want := modelValidate(tc)
+				if res.Found != want {
+					t.Fatalf("seed %d step %d: prepare vote %v, model says %v", seed, step, res.Found, want)
+				}
+				if !want {
+					continue
+				}
+				mt := &modelTxn{id: tc.ID, writes: tc.Writes, keys: keys}
+				prepared[tc.ID] = mt
+				outstanding = append(outstanding, tc.ID)
+				for _, k := range keys {
+					locks[k] = tc.ID
+				}
+			case 3, 4: // decide an outstanding transaction
+				if len(outstanding) == 0 {
+					continue
+				}
+				decide(outstanding[rng.Intn(len(outstanding))], rng.Intn(2) == 0)
+			case 5: // single-shard atomic apply
+				tc := &TxnCommand{Reads: randomReads(), Writes: randomWrites()}
+				var keys []string
+				for _, k := range tc.Keys() {
+					keys = append(keys, string(k))
+				}
+				res, _, err := s.Apply(txnCmd(OpTxnApply, tc), entryID())
+				if lockedByOther(keys, rifl.RPCID{}) {
+					var lerr *LockedError
+					if !errors.As(err, &lerr) {
+						t.Fatalf("seed %d step %d: apply on locked keys: %v", seed, step, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d step %d: apply: %v", seed, step, err)
+				}
+				if want := modelValidate(tc); res.Found != want {
+					t.Fatalf("seed %d step %d: apply validation %v, model says %v", seed, step, res.Found, want)
+				} else if want {
+					modelApplyWrites(tc.Writes)
+				}
+			default: // plain single-key traffic
+				k := keyName()
+				var cmd *Command
+				switch rng.Intn(3) {
+				case 0:
+					cmd = &Command{Op: OpPut, Key: []byte(k), Value: []byte(fmt.Sprint(rng.Intn(50)))}
+				case 1:
+					cmd = &Command{Op: OpIncrement, Key: []byte(k), Delta: 1}
+				default:
+					cmd = &Command{Op: OpDelete, Key: []byte(k)}
+				}
+				_, _, err := s.Apply(cmd, entryID())
+				if _, lk := locks[k]; lk {
+					var lerr *LockedError
+					if !errors.As(err, &lerr) {
+						t.Fatalf("seed %d step %d: plain op on locked %q: %v", seed, step, k, err)
+					}
+					continue
+				}
+				if err != nil {
+					if cmd.Op == OpIncrement && errors.Is(err, ErrNotCounter) {
+						continue // incrementing a random text value; model unchanged
+					}
+					t.Fatalf("seed %d step %d: plain %v: %v", seed, step, cmd.Op, err)
+				}
+				o := get(k)
+				switch cmd.Op {
+				case OpPut:
+					o.val = append([]byte(nil), cmd.Value...)
+					o.ver++
+				case OpIncrement:
+					var cur int64
+					if o.val != nil {
+						cur = parseCounter(o.val)
+					}
+					o.val = formatCounter(cur + 1)
+					o.ver++
+				case OpDelete:
+					// Deletes always bump the version (missing keys get a
+					// tombstone at version 1).
+					o.val = nil
+					o.ver++
+				}
+			}
+		}
+
+		// Settle every outstanding transaction — the hygiene invariant is
+		// "no decision pending ⇒ no lock held".
+		for len(outstanding) > 0 {
+			decide(outstanding[0], rng.Intn(2) == 0)
+		}
+		if n := s.LockCount(); n != 0 {
+			t.Fatalf("seed %d: %d keys still locked after all decisions", seed, n)
+		}
+
+		check := func(st *Store, which string) {
+			for k, o := range model {
+				v, ver, ok := st.Get([]byte(k))
+				if o.val == nil {
+					if ok {
+						t.Fatalf("seed %d: %s: %q = %q, model says deleted/missing", seed, which, k, v)
+					}
+					continue
+				}
+				if !ok || !bytes.Equal(v, o.val) || ver != o.ver {
+					t.Fatalf("seed %d: %s: %q = %q@%d, model %q@%d", seed, which, k, v, ver, o.val, o.ver)
+				}
+			}
+		}
+		check(s, "live store")
+
+		// Replay fidelity: rebuilding from the log (the recovery path) must
+		// reproduce the same objects, versions, and an empty lock table.
+		r := NewStore()
+		for _, en := range s.EntriesSince(0) {
+			if err := r.ReplayEntry(&en); err != nil {
+				t.Fatalf("seed %d: replay: %v", seed, err)
+			}
+		}
+		if n := r.LockCount(); n != 0 {
+			t.Fatalf("seed %d: replay left %d locks", seed, n)
+		}
+		check(r, "replayed store")
+	}
+}

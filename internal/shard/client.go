@@ -68,8 +68,8 @@ const (
 // protocol on top; callers needing only exactly-once totals (counters,
 // transfers) get them as-is.
 type Client struct {
-	src  RingSource                            // nil: never refresh
-	dial func(s int) (*cluster.Client, error)  // nil: cannot reach new shards
+	src  RingSource                           // nil: never refresh
+	dial func(s int) (*cluster.Client, error) // nil: cannot reach new shards
 
 	mu     sync.RWMutex
 	ring   *Ring
