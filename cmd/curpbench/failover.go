@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"curp"
+	"curp/internal/shard"
+	"curp/internal/workload"
+)
+
+// failoverRow is one kill's measurement in BENCH_failover.json.
+type failoverRow struct {
+	Kind string `json:"kind"` // "master-kill" | "witness-kill"
+	// UnavailableMS is the end-to-end unavailability window on the
+	// victim shard: kill → first operation completed afterwards. For a
+	// master kill this spans detection + fencing + recovery + the
+	// client's view refresh; for a witness kill it should be ≈ one
+	// operation (the slow path covers the gap with no reconfiguration
+	// wait).
+	UnavailableMS float64 `json:"unavailable_ms"`
+	// HealWindowMS is the coordinator's own detection → published
+	// replacement window (from the failover event).
+	HealWindowMS float64 `json:"heal_window_ms"`
+	// OpsPerSec is the victim-shard closed-loop throughput over the
+	// whole phase, kills included.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// failoverReport is the schema of BENCH_failover.json, uploaded by the CI
+// bench-smoke job so the self-healing subsystem accumulates an
+// availability trajectory.
+type failoverReport struct {
+	Experiment  string        `json:"experiment"`
+	Ops         int           `json:"ops"`
+	F           int           `json:"f"`
+	Shards      int           `json:"shards"`
+	HeartbeatMS float64       `json:"heartbeat_ms"`
+	FailAfterMS float64       `json:"fail_after_ms"`
+	Rows        []failoverRow `json:"rows"`
+}
+
+// Failover measures the self-healing cluster's unavailability window: a
+// closed-loop client hammers one shard while the harness kills that
+// shard's master (then, after the cluster heals, a witness) with zero
+// operator calls. The window is detection → first successful operation.
+func Failover(w io.Writer, ops int) {
+	const f, shards = 3, 2
+	const heartbeat = 2 * time.Millisecond
+	const failAfter = 20 * time.Millisecond
+
+	var events struct {
+		mu   sync.Mutex
+		last map[string]time.Duration // kind → heal window
+	}
+	events.last = make(map[string]time.Duration)
+	c, err := curp.StartSharded(curp.Options{
+		F: f, Shards: shards,
+		AdaptiveFlush:     true,
+		SelfHealing:       true,
+		HeartbeatInterval: heartbeat,
+		FailoverAfter:     failAfter,
+		OnFailover: func(ev curp.FailoverEvent) {
+			if ev.Err == nil {
+				events.mu.Lock()
+				events.last[ev.Kind] = ev.Window
+				events.mu.Unlock()
+			}
+		},
+	})
+	exitOn(err)
+	defer c.Close()
+	cl, err := c.NewClient("failover-loadgen")
+	exitOn(err)
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Keys pinned to shard 0 — the victim — so every operation probes the
+	// failing partition.
+	ring := shard.MustNewRing(shards, 0)
+	var keys [][]byte
+	for i := 0; len(keys) < 1024; i++ {
+		k := workload.Key(uint64(i), 30)
+		if ring.Shard(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	value := workload.Value(1, 100)
+
+	report := failoverReport{
+		Experiment:  "failover",
+		Ops:         ops,
+		F:           f,
+		Shards:      shards,
+		HeartbeatMS: float64(heartbeat) / 1e6,
+		FailAfterMS: float64(failAfter) / 1e6,
+	}
+	fmt.Fprintln(w, "Self-healing failover (real stack, in-memory network, 1 closed-loop client on the victim shard)")
+	fmt.Fprintf(w, "heartbeat %v, declared dead after %v\n", heartbeat, failAfter)
+	fmt.Fprintf(w, "%-13s %15s %15s %12s\n", "kill", "unavailable", "heal window", "ops/s")
+
+	healWindow := func(kind string) time.Duration {
+		events.mu.Lock()
+		defer events.mu.Unlock()
+		return events.last[kind]
+	}
+	for _, phase := range []struct {
+		kind  string
+		event string
+		kill  func()
+	}{
+		{"master-kill", "master-failover", func() { c.CrashMaster(0) }},
+		{"witness-kill", "witness-replaced", func() { c.CrashWitness(0, 0) }},
+	} {
+		var done atomic.Bool
+		var completed atomic.Int64
+		var killedAt atomic.Int64 // ns; 0 = not killed yet
+		firstAfter := make(chan time.Time, 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				opStart := time.Now()
+				opCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+				_, err := cl.Put(opCtx, keys[i%len(keys)], value)
+				cancel()
+				exitOn(err)
+				completed.Add(1)
+				// Only operations ISSUED after the kill prove the shard is
+				// serving again; one already in flight could complete off
+				// pre-kill state.
+				if kt := killedAt.Load(); kt != 0 && opStart.UnixNano() > kt {
+					select {
+					case firstAfter <- time.Now():
+					default:
+					}
+				}
+			}
+		}()
+
+		start := time.Now()
+		// Let the shard reach steady state, then kill.
+		for completed.Load() < int64(ops/4) {
+			time.Sleep(time.Millisecond)
+		}
+		phaseKill := time.Now()
+		phase.kill()
+		killedAt.Store(phaseKill.UnixNano())
+		first := <-firstAfter
+		// Finish the phase's op budget, then wait for the heal to settle
+		// before the next phase reuses the partition.
+		for completed.Load() < int64(ops) {
+			time.Sleep(time.Millisecond)
+		}
+		done.Store(true)
+		wg.Wait()
+		healCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		exitOn(c.WaitHealthy(healCtx))
+		cancel()
+
+		row := failoverRow{
+			Kind:          phase.kind,
+			UnavailableMS: float64(first.Sub(phaseKill)) / 1e6,
+			HealWindowMS:  float64(healWindow(phase.event)) / 1e6,
+			OpsPerSec:     float64(completed.Load()) / time.Since(start).Seconds(),
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(w, "%-13s %13.2fms %13.2fms %12.0f\n", row.Kind, row.UnavailableMS, row.HealWindowMS, row.OpsPerSec)
+	}
+
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	exitOn(err)
+	exitOn(os.WriteFile("BENCH_failover.json", append(buf, '\n'), 0o644))
+	fmt.Fprintln(w, "wrote BENCH_failover.json")
+}

@@ -21,6 +21,12 @@
 // bench issues sequential 100B puts on distinct keys and reports latency
 // percentiles and the fraction of 1-RTT completions.
 //
+// status prints each shard's membership, recovery epoch, witness-list
+// version, and per-node heartbeat ages from the coordinator's health
+// table (self-healing deployments report load stats off master beats):
+//
+//	curpctl -coordinator 127.0.0.1:7000 -shards 4 status
+//
 // rebalance grows the routing ring live: with partitions 0..M-1 already
 // running (curpd -shards M provisions spares that own no keys), it
 // migrates key ranges from an N-shard ring onto the new shards without
@@ -45,6 +51,7 @@ import (
 
 	"curp/internal/cluster"
 	"curp/internal/core"
+	"curp/internal/health"
 	"curp/internal/shard"
 	"curp/internal/stats"
 	"curp/internal/transport"
@@ -81,6 +88,10 @@ func main() {
 		// Pure routing query; no connections needed.
 		need(args, 2)
 		fmt.Println(ring.ShardString(args[1]))
+		return
+	}
+	if args[0] == "status" {
+		runStatus(*coord, *shards, *timeout)
 		return
 	}
 	if args[0] == "rebalance" {
@@ -186,6 +197,41 @@ func main() {
 	}
 }
 
+// runStatus prints every shard's membership, epoch, witness-list version,
+// and per-node heartbeat ages from its coordinator's health table.
+func runStatus(coordBase string, shards int, timeout time.Duration) {
+	nw := transport.TCPNetwork{}
+	self := fmt.Sprintf("curpctl-%d", os.Getpid())
+	for s := 0; s < shards; s++ {
+		addr := shardCoordAddr(coordBase, s)
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ph, err := cluster.FetchHealth(ctx, nw, self, addr)
+		cancel()
+		if err != nil {
+			fmt.Printf("shard %d (coordinator %s): UNREACHABLE: %v\n", s, addr, err)
+			continue
+		}
+		heal := "self-healing"
+		if !ph.SelfHealing {
+			heal = "manual recovery"
+		}
+		fmt.Printf("shard %d (coordinator %s): master=%s id=%d epoch=%d wlv=%d [%s]\n",
+			s, addr, ph.MasterAddr, ph.MasterID, ph.Epoch, ph.WitnessListVersion, heal)
+		for _, n := range ph.Nodes {
+			if !ph.SelfHealing {
+				// No heartbeats to judge liveness by: membership only.
+				fmt.Printf("  %-7s %s [registered; heartbeats off]\n", n.Role, n.Addr)
+				continue
+			}
+			fmt.Printf("  %v", n)
+			if n.Role == health.RoleMaster && n.Beats > 0 {
+				fmt.Printf(" head=%d unsynced=%d flush@%d", n.Last.HeadLSN, n.Last.Unsynced, n.Last.FlushThreshold)
+			}
+			fmt.Println()
+		}
+	}
+}
+
 // shardCoordAddr derives shard s's coordinator from the base address by
 // adding s*1000 to the port — the layout curpd -shards uses.
 func shardCoordAddr(base string, s int) string {
@@ -228,8 +274,9 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|shard|bench|rebalance args...")
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|shard|bench|status|rebalance args...")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port rebalance <fromShards> <toShards>")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N status")
 	os.Exit(2)
 }
 

@@ -15,6 +15,15 @@
 // -shards 4, route with curpctl -shards 3, then grow the ring live with
 // `curpctl rebalance 3 4` — keys migrate onto shard 3 without downtime.
 //
+// Cluster mode is self-healing by default (-self-heal=true): every server
+// heartbeats its shard's coordinator, which detects a dead master or
+// witness and replaces it automatically — promoted masters take spare
+// ports in the block (base+300+, replacement witnesses base+400+), and
+// `curpctl status` shows the live membership, epochs, and heartbeat ages.
+// Masters also default to the load-adaptive flush policy
+// (-adaptive-flush=true): short sync batches under light load, batches up
+// to -batch under burst.
+//
 // Standalone component servers for spreading a deployment across machines:
 //
 //	curpd -mode backup  -addr 10.0.0.2:7101
@@ -23,8 +32,9 @@
 //	      -backups 10.0.0.2:7101 -witnesses 10.0.0.3:7201
 //
 // Standalone masters self-configure their witness list at version 1; use
-// the all-in-one mode when you want coordinator-driven reconfiguration and
-// recovery. Clients connect with cmd/curpctl or cluster.NewClient.
+// the all-in-one mode when you want coordinator-driven reconfiguration,
+// recovery, and self-healing. Clients connect with cmd/curpctl or
+// cluster.NewClient.
 package main
 
 import (
@@ -34,10 +44,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"curp/internal/cluster"
+	"curp/internal/health"
 	"curp/internal/transport"
 	"curp/internal/witness"
 )
@@ -45,19 +57,22 @@ import (
 func main() {
 	mode := flag.String("mode", "cluster", "cluster | master | backup | witness")
 	host := flag.String("host", "127.0.0.1", "cluster mode: bind host")
-	port := flag.Int("port", 7000, "cluster mode: base port (coordinator; +1 master; +100+i backups; +200+i witnesses)")
+	port := flag.Int("port", 7000, "cluster mode: base port (coordinator; +1 master; +100+i backups; +200+i witnesses; +300/+400 failover spares)")
 	shards := flag.Int("shards", 1, "cluster mode: number of independent partitions; shard s uses port block port+s*1000")
 	f := flag.Int("f", 3, "fault tolerance level (backups & witnesses)")
 	addr := flag.String("addr", "", "component modes: listen address")
 	backups := flag.String("backups", "", "master mode: comma-separated backup addresses")
 	witnesses := flag.String("witnesses", "", "master mode: comma-separated witness addresses")
-	batch := flag.Int("batch", 50, "master sync batch size")
+	batch := flag.Int("batch", 50, "master sync batch size (the ceiling under -adaptive-flush)")
+	adaptive := flag.Bool("adaptive-flush", true, "load-adaptive background flush threshold instead of a fixed batch size")
+	selfHeal := flag.Bool("self-heal", true, "cluster mode: heartbeat failure detection with automatic master failover & witness replacement")
+	hbInterval := flag.Duration("heartbeat", health.DefaultInterval, "cluster mode: heartbeat interval (failure declared after 8×)")
 	flag.Parse()
 
 	nw := transport.TCPNetwork{}
 	switch *mode {
 	case "cluster":
-		runShardedCluster(nw, *host, *port, *shards, *f, *batch)
+		runShardedCluster(nw, *host, *port, *shards, *f, *batch, *adaptive, *selfHeal, *hbInterval)
 	case "backup":
 		requireAddr(*addr)
 		srv, err := cluster.NewBackupServer(nw, *addr)
@@ -76,6 +91,7 @@ func main() {
 		requireAddr(*addr)
 		opts := cluster.DefaultMasterOptions()
 		opts.Core.SyncBatchSize = *batch
+		opts.Core.AdaptiveFlush = *adaptive
 		ms, err := cluster.NewMasterServer(nw, 1, *addr, 0, opts)
 		exitOn(err)
 		ms.SetBackups(split(*backups))
@@ -94,13 +110,13 @@ func main() {
 
 // runShardedCluster boots `shards` independent partitions, shard s on the
 // port block base+s*1000, then waits for a shutdown signal.
-func runShardedCluster(nw transport.Network, host string, basePort, shards, f, batch int) {
+func runShardedCluster(nw transport.Network, host string, basePort, shards, f, batch int, adaptive, selfHeal bool, hb time.Duration) {
 	if shards < 1 {
 		shards = 1
 	}
 	var closers []interface{ Close() }
 	for s := 0; s < shards; s++ {
-		closers = append(closers, startPartition(nw, s, host, basePort+s*1000, f, batch)...)
+		closers = append(closers, startPartition(nw, s, host, basePort+s*1000, f, batch, adaptive, selfHeal, hb)...)
 	}
 	waitForSignal()
 	for _, c := range closers {
@@ -108,9 +124,36 @@ func runShardedCluster(nw transport.Network, host string, basePort, shards, f, b
 	}
 }
 
+// tcpSpares provisions failover replacements inside a partition's port
+// block: promoted masters at base+300+, replacement witnesses at
+// base+400+.
+type tcpSpares struct {
+	nw        transport.Network
+	host      string
+	base      int
+	coordAddr string
+	hb        time.Duration
+	wcfg      witness.Config
+	seq       atomic.Uint64
+}
+
+func (s *tcpSpares) SpareMasterAddr(uint64) (string, error) {
+	return fmt.Sprintf("%s:%d", s.host, s.base+300+int(s.seq.Add(1))), nil
+}
+
+func (s *tcpSpares) SpareWitness(uint64) (string, error) {
+	addr := fmt.Sprintf("%s:%d", s.host, s.base+400+int(s.seq.Add(1)))
+	w, err := cluster.NewWitnessServer(s.nw, addr, s.wcfg)
+	if err != nil {
+		return "", err
+	}
+	w.StartHeartbeat(s.coordAddr, s.hb)
+	return addr, nil
+}
+
 // startPartition boots one partition (coordinator, master, f backups, f
 // witnesses) on sequential ports from port, returning everything to close.
-func startPartition(nw transport.Network, shard int, host string, port, f, batch int) []interface{ Close() } {
+func startPartition(nw transport.Network, shard int, host string, port, f, batch int, adaptive, selfHeal bool, hb time.Duration) []interface{ Close() } {
 	coordAddr := fmt.Sprintf("%s:%d", host, port)
 	coord, err := cluster.NewCoordinator(nw, coordAddr, time.Minute)
 	exitOn(err)
@@ -119,27 +162,48 @@ func startPartition(nw transport.Network, shard int, host string, port, f, batch
 	coord.SetClientIDNamespace(cluster.ClientIDNamespaceFor(shard))
 	closers := []interface{ Close() }{coord}
 	var backupAddrs, witnessAddrs []string
+	var backupSrvs []*cluster.BackupServer
+	var witnessSrvs []*cluster.WitnessServer
 	for i := 0; i < f; i++ {
 		ba := fmt.Sprintf("%s:%d", host, port+100+i)
 		b, err := cluster.NewBackupServer(nw, ba)
 		exitOn(err)
 		closers = append(closers, b)
+		backupSrvs = append(backupSrvs, b)
 		backupAddrs = append(backupAddrs, ba)
 		wa := fmt.Sprintf("%s:%d", host, port+200+i)
 		w, err := cluster.NewWitnessServer(nw, wa, witness.DefaultConfig())
 		exitOn(err)
 		closers = append(closers, w)
+		witnessSrvs = append(witnessSrvs, w)
 		witnessAddrs = append(witnessAddrs, wa)
 	}
 	opts := cluster.DefaultMasterOptions()
 	opts.Core.SyncBatchSize = batch
+	opts.Core.AdaptiveFlush = adaptive
 	masterAddr := fmt.Sprintf("%s:%d", host, port+1)
 	ms, err := cluster.NewMasterServer(nw, 1, masterAddr, 0, opts)
 	exitOn(err)
 	closers = append(closers, ms)
 	exitOn(coord.AddMaster(ms, backupAddrs, witnessAddrs))
-	log.Printf("shard %d up: coordinator=%s master=%s backups=%v witnesses=%v",
-		shard, coordAddr, masterAddr, backupAddrs, witnessAddrs)
+	if selfHeal {
+		det := health.Config{Interval: hb}.WithDefaults()
+		ms.StartHeartbeat(coordAddr, det.Interval)
+		for _, b := range backupSrvs {
+			b.StartHeartbeat(coordAddr, det.Interval)
+		}
+		for _, w := range witnessSrvs {
+			w.StartHeartbeat(coordAddr, det.Interval)
+		}
+		spares := &tcpSpares{nw: nw, host: host, base: port, coordAddr: coordAddr, hb: det.Interval, wcfg: witness.DefaultConfig()}
+		exitOn(coord.EnableSelfHealing(cluster.HealthConfig{
+			Detector: det,
+			Spares:   spares,
+			OnEvent:  func(ev cluster.FailoverEvent) { log.Printf("shard %d: %v", shard, ev) },
+		}))
+	}
+	log.Printf("shard %d up: coordinator=%s master=%s backups=%v witnesses=%v self-heal=%v adaptive-flush=%v",
+		shard, coordAddr, masterAddr, backupAddrs, witnessAddrs, selfHeal, adaptive)
 	return closers
 }
 

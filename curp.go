@@ -71,6 +71,59 @@ type Options struct {
 	// Latency optionally injects a one-way network delay between every
 	// pair of distinct simulated hosts (e.g. to emulate geo-replication).
 	Latency func(from, to string) time.Duration
+	// AdaptiveFlush replaces the master's fixed unsynced-count flush
+	// threshold with a load-adaptive one: short batches under light load
+	// (low durability lag), batches toward SyncBatchSize under burst
+	// (amortized backup RPCs). Reported in master stats and on
+	// heartbeats.
+	AdaptiveFlush bool
+	// SelfHealing makes the cluster heal itself: masters, backups, and
+	// witnesses heartbeat their coordinator, which detects failures and
+	// drives automatic master failover and witness replacement — a
+	// CrashMaster no longer needs a Recover call. See the FailoverEvent
+	// stream (OnFailover) and WaitHealthy.
+	SelfHealing bool
+	// HeartbeatInterval is the self-healing beat cadence (default 25ms).
+	HeartbeatInterval time.Duration
+	// FailoverAfter is the heartbeat silence after which a node is
+	// declared dead (default 8× HeartbeatInterval).
+	FailoverAfter time.Duration
+	// OnFailover observes self-healing events (detection, promotion,
+	// witness replacement), tagged with the shard index (0 for Start).
+	// Called from coordinator goroutines; must not block.
+	OnFailover func(FailoverEvent)
+}
+
+// FailoverEvent describes one self-healing action (Options.OnFailover).
+type FailoverEvent struct {
+	// Shard is the partition index (always 0 for single-partition
+	// clusters).
+	Shard int
+	// Kind names the action: "master-failover", "witness-replaced",
+	// "backup-down", or a "-failed" variant that will be retried.
+	Kind string
+	// OldAddr is the dead node; NewAddr its replacement (success events).
+	OldAddr, NewAddr string
+	// Epoch and WitnessListVersion are the partition's post-heal values.
+	Epoch, WitnessListVersion uint64
+	// Window is detection → published replacement.
+	Window time.Duration
+	// Err is the failure cause on "-failed" events.
+	Err error
+}
+
+// toFailoverEvent converts the internal event form.
+func toFailoverEvent(shard int, ev cluster.FailoverEvent) FailoverEvent {
+	return FailoverEvent{
+		Shard:              shard,
+		Kind:               ev.Kind.String(),
+		OldAddr:            ev.OldAddr,
+		NewAddr:            ev.NewAddr,
+		Epoch:              ev.Epoch,
+		WitnessListVersion: ev.WitnessListVersion,
+		Window:             ev.Window,
+		Err:                ev.Err,
+	}
 }
 
 // KV is one key/value pair of a MultiPut.
@@ -135,6 +188,13 @@ func clusterOptions(opts Options) cluster.Options {
 	if opts.WitnessWays > 0 {
 		copts.Witness.Ways = opts.WitnessWays
 	}
+	copts.Master.Core.AdaptiveFlush = opts.AdaptiveFlush
+	if opts.SelfHealing {
+		copts.Health = &cluster.HealthOptions{
+			HeartbeatInterval: opts.HeartbeatInterval,
+			FailAfter:         opts.FailoverAfter,
+		}
+	}
 	return copts
 }
 
@@ -142,7 +202,12 @@ func clusterOptions(opts Options) cluster.Options {
 // master, F backups, and F witness servers.
 func Start(opts Options) (*Cluster, error) {
 	nw := memNetwork(opts)
-	inner, err := cluster.Start(nw, clusterOptions(opts))
+	copts := clusterOptions(opts)
+	if copts.Health != nil && opts.OnFailover != nil {
+		cb := opts.OnFailover
+		copts.Health.OnEvent = func(ev cluster.FailoverEvent) { cb(toFailoverEvent(0, ev)) }
+	}
+	inner, err := cluster.Start(nw, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -160,8 +225,21 @@ func (c *Cluster) NewClient(name string) (*Client, error) {
 }
 
 // CrashMaster simulates a master crash: its connections reset and the
-// process stops. Completed updates remain recoverable.
+// process stops. Completed updates remain recoverable. With SelfHealing
+// set, the coordinator detects the crash and promotes a replacement on
+// its own — no Recover call needed.
 func (c *Cluster) CrashMaster() { c.inner.CrashMaster() }
+
+// CrashWitness simulates a crash of the i-th witness server. With
+// SelfHealing set, the coordinator installs a replacement under a bumped
+// witness-list version; updates keep completing throughout (the slow
+// path covers the gap).
+func (c *Cluster) CrashWitness(i int) { c.inner.CrashWitness(i) }
+
+// WaitHealthy blocks until every node of the cluster is back within its
+// heartbeat deadline — any in-flight automatic failover has finished —
+// or ctx ends. Meaningful only with SelfHealing set.
+func (c *Cluster) WaitHealthy(ctx context.Context) error { return c.inner.WaitHealthy(ctx) }
 
 // Recover replaces the crashed master with a fresh server at newAddr
 // (any previously unused host name), restoring from backups and replaying
@@ -171,13 +249,16 @@ func (c *Cluster) Recover(newAddr string) error {
 	return err
 }
 
-// MasterAddr returns the current master's host name.
-func (c *Cluster) MasterAddr() string { return c.inner.Master.Addr() }
+// MasterAddr returns the current master's host name (under SelfHealing
+// the heal loop may have promoted a replacement).
+func (c *Cluster) MasterAddr() string { return c.inner.CurrentMaster().Addr() }
 
-// WitnessAddrs returns the witness servers' host names.
+// WitnessAddrs returns the witness servers' host names, including spares
+// booted by the heal loop.
 func (c *Cluster) WitnessAddrs() []string {
-	addrs := make([]string, 0, len(c.inner.Witnesses))
-	for _, w := range c.inner.Witnesses {
+	ws := c.inner.WitnessServers()
+	addrs := make([]string, 0, len(ws))
+	for _, w := range ws {
 		addrs = append(addrs, w.Addr())
 	}
 	return addrs

@@ -1,0 +1,334 @@
+package curp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"curp/internal/core"
+)
+
+// TestFailoverLinearizable is the self-healing subsystem's acceptance
+// test: a sharded cluster under mixed sync, pipelined, and transactional
+// load loses masters and witnesses to crashes — and heals itself. The
+// harness makes ZERO Recover()/operator calls; traffic resumes through
+// automatic promotion and replacement alone. Afterwards: register
+// histories admit a linearization (Wing & Gong), counters saw each
+// increment exactly once (sync and pipelined alike), and transactional
+// transfers conserved their total across the failovers.
+func TestFailoverLinearizable(t *testing.T) {
+	var masterFailovers, witnessReplacements, healFailures atomic.Int64
+	c, err := StartSharded(Options{
+		F:                 2,
+		Shards:            3,
+		AdaptiveFlush:     true,
+		SelfHealing:       true,
+		HeartbeatInterval: 3 * time.Millisecond,
+		FailoverAfter:     30 * time.Millisecond,
+		OnFailover: func(ev FailoverEvent) {
+			switch ev.Kind {
+			case "master-failover":
+				masterFailovers.Add(1)
+			case "witness-replaced":
+				witnessReplacements.Add(1)
+			case "master-failover-failed", "witness-replace-failed":
+				healFailures.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("failover-lin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Accounts on three distinct shards (cross-shard 2PC), registers for
+	// linearizability histories, counters for exactly-once totals.
+	accounts := crossShardTxnKeys(t, "facct", 3, 3)
+	var regKeys, ctrKeys []string
+	for i := 0; len(regKeys) < 4; i++ {
+		regKeys = append(regKeys, fmt.Sprintf("freg:%d", i))
+	}
+	for i := 0; len(ctrKeys) < 3; i++ {
+		ctrKeys = append(ctrKeys, fmt.Sprintf("fctr:%d", i))
+	}
+	const (
+		initialBalance = 1000
+		transferors    = 3
+		transfersEach  = 10
+		regWriters     = 2 // sync Put writers per register
+		regWritesEach  = 8
+		pipeWriters    = 1 // pipelined writers per register
+		pipeFlushes    = 4
+		pipePerFlush   = 3
+		regReaders     = 2
+		regReadsEach   = 10
+		syncIncrEach   = 10 // per counter, one sync worker
+		incrFlushes    = 4  // per counter, one pipelined worker
+		incrPerFlush   = 4
+	)
+
+	for _, a := range accounts {
+		if _, err := cl.Increment(ctx, a, initialBalance); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var clock atomic.Int64
+	type hist struct {
+		mu  sync.Mutex
+		ops []core.HistOp
+	}
+	histories := make(map[string]*hist, len(regKeys))
+	for _, k := range regKeys {
+		histories[k] = &hist{}
+	}
+	record := func(key string, start, end int64, isWrite bool, value string) {
+		h := histories[key]
+		h.mu.Lock()
+		h.ops = append(h.ops, core.HistOp{Start: start, End: end, IsWrite: isWrite, Value: value})
+		h.mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	var opErrs atomic.Int64
+	fail := func(format string, args ...any) {
+		opErrs.Add(1)
+		t.Errorf(format, args...)
+	}
+	pace := func() { time.Sleep(time.Duration(500+clock.Load()%700) * time.Microsecond) }
+
+	// Transactional transfers (cross-shard 2PC) — conservation check.
+	var commits, aborts atomic.Int64
+	for w := 0; w < transferors; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < transfersEach; i++ {
+				from := accounts[(w+i)%len(accounts)]
+				to := accounts[(w+i+1)%len(accounts)]
+				for {
+					tx := cl.Txn()
+					tx.Increment(from, -1)
+					tx.Increment(to, 1)
+					err := tx.Commit(ctx)
+					if err == nil {
+						commits.Add(1)
+						break
+					}
+					if errors.Is(err, ErrTxnAborted) {
+						aborts.Add(1)
+						continue
+					}
+					fail("transfer %d/%d: %v", w, i, err)
+					return
+				}
+				pace()
+			}
+		}(w)
+	}
+
+	// Register writers: sync Puts AND pipelined Puts, mixed with plain
+	// linearizable readers.
+	for _, key := range regKeys {
+		for w := 0; w < regWriters; w++ {
+			wg.Add(1)
+			go func(key string, w int) {
+				defer wg.Done()
+				for i := 0; i < regWritesEach; i++ {
+					val := fmt.Sprintf("s%d/%s/%d", w, key, i)
+					start := clock.Add(1)
+					_, err := cl.Put(ctx, []byte(key), []byte(val))
+					end := clock.Add(1)
+					if err != nil {
+						fail("put %q: %v", key, err)
+						return
+					}
+					record(key, start, end, true, val)
+					pace()
+				}
+			}(key, w)
+		}
+		for w := 0; w < pipeWriters; w++ {
+			wg.Add(1)
+			go func(key string, w int) {
+				defer wg.Done()
+				seq := 0
+				for fl := 0; fl < pipeFlushes; fl++ {
+					p := cl.NewPipeline()
+					type pend struct {
+						fut *Future
+						val string
+					}
+					var pends []pend
+					for i := 0; i < pipePerFlush; i++ {
+						val := fmt.Sprintf("p%d/%s/%d", w, key, seq)
+						seq++
+						pends = append(pends, pend{fut: p.Put([]byte(key), []byte(val)), val: val})
+					}
+					start := clock.Add(1)
+					if err := p.Flush(ctx); err != nil {
+						fail("pipeline flush %q: %v", key, err)
+						return
+					}
+					for _, pe := range pends {
+						if err := pe.fut.Err(); err != nil {
+							fail("pipelined put %q: %v", key, err)
+							return
+						}
+						end := clock.Add(1)
+						record(key, start, end, true, pe.val)
+					}
+					pace()
+				}
+			}(key, w)
+		}
+		for r := 0; r < regReaders; r++ {
+			wg.Add(1)
+			go func(key string) {
+				defer wg.Done()
+				for i := 0; i < regReadsEach; i++ {
+					start := clock.Add(1)
+					v, ok, err := cl.Get(ctx, []byte(key))
+					end := clock.Add(1)
+					if err != nil {
+						fail("get %q: %v", key, err)
+						return
+					}
+					val := ""
+					if ok {
+						val = string(v)
+					}
+					record(key, start, end, false, val)
+					pace()
+				}
+			}(key)
+		}
+	}
+
+	// Counters: one sync incrementer and one pipelined incrementer each.
+	for _, key := range ctrKeys {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			for i := 0; i < syncIncrEach; i++ {
+				if _, err := cl.Increment(ctx, []byte(key), 1); err != nil {
+					fail("increment %q: %v", key, err)
+					return
+				}
+				pace()
+			}
+		}(key)
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			for fl := 0; fl < incrFlushes; fl++ {
+				p := cl.NewPipeline()
+				futs := make([]*Future, incrPerFlush)
+				for i := range futs {
+					futs[i] = p.Increment([]byte(key), 1)
+				}
+				if err := p.Flush(ctx); err != nil {
+					fail("incr flush %q: %v", key, err)
+					return
+				}
+				for _, f := range futs {
+					if err := f.Err(); err != nil {
+						fail("pipelined incr %q: %v", key, err)
+						return
+					}
+				}
+				pace()
+			}
+		}(key)
+	}
+
+	// The fault schedule — kills only, not one operator call. Each wave
+	// waits for the cluster to heal itself before striking again (the
+	// detector's deadline is 30ms; WaitHealthy observes the promotion).
+	waitHealed := func(stage string) {
+		hctx, hcancel := context.WithTimeout(ctx, 60*time.Second)
+		defer hcancel()
+		if err := c.WaitHealthy(hctx); err != nil {
+			t.Errorf("cluster never healed after %s: %v", stage, err)
+		}
+	}
+	// Witness kills target shard 0 (whose master never dies) so each one
+	// must heal as a standalone replacement; a witness of a shard whose
+	// master is also down can instead be swapped as part of the master's
+	// failover, which emits no separate witness-replaced event.
+	time.Sleep(8 * time.Millisecond)
+	c.CrashWitness(0, 0) // shard 0 loses a witness...
+	time.Sleep(5 * time.Millisecond)
+	c.CrashMaster(1) // ...while shard 1 loses its master
+	waitHealed("wave 1")
+	c.CrashMaster(2) // second wave: another master...
+	time.Sleep(5 * time.Millisecond)
+	c.CrashWitness(0, 1) // ...and shard 0's other original witness
+	waitHealed("wave 2")
+
+	wg.Wait()
+	if opErrs.Load() > 0 {
+		t.Fatalf("%d operations failed", opErrs.Load())
+	}
+	waitHealed("traffic drain")
+	t.Logf("failovers=%d witness-replacements=%d heal-retries=%d txn commits=%d aborts=%d",
+		masterFailovers.Load(), witnessReplacements.Load(), healFailures.Load(), commits.Load(), aborts.Load())
+
+	if masterFailovers.Load() < 2 {
+		t.Fatalf("master failovers = %d, want ≥ 2 (both kills must heal automatically)", masterFailovers.Load())
+	}
+	if witnessReplacements.Load() < 2 {
+		t.Fatalf("witness replacements = %d, want ≥ 2", witnessReplacements.Load())
+	}
+
+	// Conservation: every committed transfer was atomic and exactly-once,
+	// so the account total is intact across both failovers.
+	total := int64(0)
+	for _, a := range accounts {
+		n, err := cl.Increment(ctx, a, 0)
+		if err != nil {
+			t.Fatalf("final read of %q: %v", a, err)
+		}
+		total += n
+	}
+	if want := int64(initialBalance * len(accounts)); total != want {
+		t.Fatalf("account total = %d, want %d (atomicity or exactly-once violated)", total, want)
+	}
+
+	// Exactly-once counters, sync + pipelined.
+	for _, key := range ctrKeys {
+		n, err := cl.Increment(ctx, []byte(key), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(syncIncrEach + incrFlushes*incrPerFlush); n != want {
+			t.Fatalf("counter %q = %d, want %d", key, n, want)
+		}
+	}
+
+	// Linearizability of every register history.
+	for _, key := range regKeys {
+		h := histories[key]
+		if !core.CheckLinearizable("", h.ops) {
+			t.Fatalf("history for %q is NOT linearizable:\n%v", key, h.ops)
+		}
+	}
+
+	// The promoted masters carry fenced epochs.
+	for _, s := range []int{1, 2} {
+		if e := c.inner.Part(s).CurrentMaster().Epoch(); e == 0 {
+			t.Fatalf("shard %d master epoch = 0 after failover", s)
+		}
+	}
+}

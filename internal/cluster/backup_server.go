@@ -3,8 +3,10 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"curp/internal/core"
+	"curp/internal/health"
 	"curp/internal/kv"
 	"curp/internal/rpc"
 	"curp/internal/transport"
@@ -33,9 +35,13 @@ type backupState struct {
 // reads from the replicated (synced-only) state.
 type BackupServer struct {
 	addr string
+	nw   transport.Network
 
 	mu     sync.Mutex
 	states map[uint64]*backupState
+
+	closeOnce sync.Once
+	closed    chan struct{}
 
 	rpc *rpc.Server
 }
@@ -44,7 +50,9 @@ type BackupServer struct {
 func NewBackupServer(nw transport.Network, addr string) (*BackupServer, error) {
 	bs := &BackupServer{
 		addr:   addr,
+		nw:     nw,
 		states: make(map[uint64]*backupState),
+		closed: make(chan struct{}),
 		rpc:    rpc.NewServer(),
 	}
 	bs.rpc.Handle(OpBackupAppend, bs.handleAppend)
@@ -65,7 +73,18 @@ func NewBackupServer(nw transport.Network, addr string) (*BackupServer, error) {
 func (bs *BackupServer) Addr() string { return bs.addr }
 
 // Close shuts the server down.
-func (bs *BackupServer) Close() { bs.rpc.Close() }
+func (bs *BackupServer) Close() {
+	bs.closeOnce.Do(func() { close(bs.closed) })
+	bs.rpc.Close()
+}
+
+// StartHeartbeat runs a resident beater reporting this backup's liveness
+// to the coordinator until the server closes.
+func (bs *BackupServer) StartHeartbeat(coordAddr string, interval time.Duration) {
+	startBeater(bs.nw, bs.addr, coordAddr, bs.closed, interval, func() health.Beat {
+		return health.Beat{Role: health.RoleBackup, Addr: bs.addr}
+	})
+}
 
 // SyncedLSN reports the backup's replicated log head for a master (tests).
 func (bs *BackupServer) SyncedLSN(masterID uint64) kv.LSN {

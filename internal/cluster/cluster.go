@@ -1,9 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"curp/internal/health"
 	"curp/internal/transport"
 	"curp/internal/witness"
 )
@@ -25,6 +29,24 @@ type Options struct {
 	// shard index << 32) so completion records migrated between shards
 	// during rebalancing can never collide with the target's own clients.
 	ClientIDNamespace uint64
+	// Health, when non-nil, makes the partition self-healing: every
+	// server heartbeats the coordinator, whose resident detector declares
+	// silent nodes dead and drives automatic master failover and witness
+	// replacement — no CrashMaster+Recover choreography, no operator.
+	Health *HealthOptions
+}
+
+// HealthOptions tunes a self-healing partition.
+type HealthOptions struct {
+	// HeartbeatInterval is the beat cadence (health.DefaultInterval when
+	// 0; tests and benchmarks shrink it to the low milliseconds).
+	HeartbeatInterval time.Duration
+	// FailAfter is the heartbeat silence after which a node is declared
+	// dead (8× the interval when 0).
+	FailAfter time.Duration
+	// OnEvent observes failover lifecycle events. Called from the heal
+	// goroutine; must not block. Optional.
+	OnEvent func(FailoverEvent)
 }
 
 // ClientIDNamespaceFor returns the RIFL client-ID namespace base for a
@@ -46,6 +68,10 @@ func DefaultOptions() Options {
 // one master, F backups, and F witness servers, all reachable over the
 // given network. It is the integration-test and example harness; cmd/curpd
 // assembles the same pieces as separate processes.
+//
+// With Options.Health set, Master and Witnesses change under the
+// cluster's own lock as the heal loop promotes replacements; concurrent
+// readers must use CurrentMaster / WitnessServers instead of the fields.
 type Cluster struct {
 	Net       transport.Network
 	Opts      Options
@@ -53,6 +79,15 @@ type Cluster struct {
 	Master    *MasterServer
 	Backups   []*BackupServer
 	Witnesses []*WitnessServer
+
+	// mu guards Master and Witnesses once the heal loop may rebind them.
+	mu sync.Mutex
+	// spareSeq numbers the spare nodes this cluster booted for failover.
+	spareSeq atomic.Uint64
+	// hbInterval / failAfter are the resolved detector cadence and
+	// deadline (self-healing only).
+	hbInterval time.Duration
+	failAfter  time.Duration
 }
 
 // Start boots a cluster on nw.
@@ -98,7 +133,149 @@ func Start(nw transport.Network, opts Options) (*Cluster, error) {
 		c.Close()
 		return nil, err
 	}
+	if opts.Health != nil {
+		if err := c.enableSelfHealing(*opts.Health); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// enableSelfHealing starts every server's heartbeat and the coordinator's
+// heal loop, with this Cluster as the spare-node provider.
+func (c *Cluster) enableSelfHealing(h HealthOptions) error {
+	det := health.Config{Interval: h.HeartbeatInterval, FailAfter: h.FailAfter}.WithDefaults()
+	c.hbInterval = det.Interval
+	c.failAfter = det.FailAfter
+	coordAddr := c.Coord.Addr()
+	c.Master.StartHeartbeat(coordAddr, det.Interval)
+	for _, b := range c.Backups {
+		b.StartHeartbeat(coordAddr, det.Interval)
+	}
+	for _, w := range c.Witnesses {
+		w.StartHeartbeat(coordAddr, det.Interval)
+	}
+	// Intercept witness replacements to retire the dead server from the
+	// runtime's list: a stale entry would poison a later manual
+	// Recover's witness set and misreport membership.
+	userEvent := h.OnEvent
+	onEvent := func(ev FailoverEvent) {
+		if ev.Kind == EventWitnessReplaced {
+			c.retireWitnessServer(ev.OldAddr)
+		}
+		if userEvent != nil {
+			userEvent(ev)
+		}
+	}
+	return c.Coord.EnableSelfHealing(HealthConfig{
+		Detector:       det,
+		Spares:         c,
+		OnEvent:        onEvent,
+		onMasterChange: c.setMaster,
+	})
+}
+
+// retireWitnessServer closes and drops the witness server at addr from
+// the runtime's list (it was replaced by a spare).
+func (c *Cluster) retireWitnessServer(addr string) {
+	c.mu.Lock()
+	var retired *WitnessServer
+	for i, w := range c.Witnesses {
+		if w.Addr() == addr {
+			retired = w
+			c.Witnesses = append(c.Witnesses[:i], c.Witnesses[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	if retired != nil {
+		retired.Close() // idempotent; usually already crashed
+	}
+}
+
+// setMaster rebinds the in-process master handle after a recovery.
+func (c *Cluster) setMaster(ms *MasterServer) {
+	c.mu.Lock()
+	c.Master = ms
+	c.mu.Unlock()
+}
+
+// CurrentMaster returns the partition's current master server (the heal
+// loop may have replaced the one Start created).
+func (c *Cluster) CurrentMaster() *MasterServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Master
+}
+
+// WitnessServers returns a snapshot of the partition's witness servers,
+// including spares booted by the heal loop.
+func (c *Cluster) WitnessServers() []*WitnessServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*WitnessServer(nil), c.Witnesses...)
+}
+
+// SpareMasterAddr implements SpareProvider: a fresh address for a
+// promoted replacement master.
+func (c *Cluster) SpareMasterAddr(masterID uint64) (string, error) {
+	return fmt.Sprintf("%smaster-f%d", c.Opts.NamePrefix, c.spareSeq.Add(1)), nil
+}
+
+// SpareWitness implements SpareProvider: boot a fresh witness server on
+// the cluster's network, start its heartbeat, and hand its address to the
+// heal loop.
+func (c *Cluster) SpareWitness(masterID uint64) (string, error) {
+	addr := fmt.Sprintf("%switness-r%d", c.Opts.NamePrefix, c.spareSeq.Add(1))
+	w, err := NewWitnessServer(c.Net, addr, c.Opts.Witness)
+	if err != nil {
+		return "", err
+	}
+	w.StartHeartbeat(c.Coord.Addr(), c.hbInterval)
+	c.mu.Lock()
+	c.Witnesses = append(c.Witnesses, w)
+	c.mu.Unlock()
+	return addr, nil
+}
+
+// WaitHealthy blocks until every registered node of the partition has
+// been within its heartbeat deadline CONTINUOUSLY for one full detection
+// window, or ctx ends. The stability window matters: a node that crashed
+// just before the call still looks alive until its deadline lapses, so
+// an instantaneous Healthy() check right after a CrashMaster would
+// return before the failover even started. Holding healthy across
+// FailAfter guarantees any pre-call crash was detected (and healed)
+// first. Meaningful only with Options.Health set.
+func (c *Cluster) WaitHealthy(ctx context.Context) error {
+	tick := c.hbInterval
+	if tick <= 0 {
+		tick = 5 * time.Millisecond
+	}
+	stable := c.failAfter
+	if stable <= 0 {
+		stable = health.Config{}.WithDefaults().FailAfter
+	}
+	var healthySince time.Time
+	for {
+		if !c.Coord.Healthy() {
+			healthySince = time.Time{}
+		} else {
+			now := time.Now()
+			if healthySince.IsZero() {
+				healthySince = now
+			} else if now.Sub(healthySince) >= stable {
+				return nil
+			}
+		}
+		t := time.NewTimer(tick)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
 }
 
 // NewClient opens a client bound to the cluster's partition.
@@ -108,40 +285,56 @@ func (c *Cluster) NewClient(name string) (*Client, error) {
 
 // CrashMaster simulates a master crash: on in-memory networks all its
 // connections reset and its listener disappears; then the server stops.
+// With self-healing enabled the coordinator detects the silence and
+// promotes a replacement on its own — no Recover call needed.
 func (c *Cluster) CrashMaster() {
+	m := c.CurrentMaster()
 	if mn, ok := c.Net.(*transport.MemNetwork); ok {
-		mn.CrashHost(c.Master.Addr())
+		mn.CrashHost(m.Addr())
 	}
-	c.Master.Close()
+	m.Close()
+}
+
+// CrashWitness simulates a crash of the i-th witness server (as indexed
+// in the current WitnessServers snapshot). With self-healing enabled the
+// coordinator installs a replacement under a bumped WitnessListVersion.
+func (c *Cluster) CrashWitness(i int) {
+	w := c.WitnessServers()[i]
+	if mn, ok := c.Net.(*transport.MemNetwork); ok {
+		mn.CrashHost(w.Addr())
+	}
+	w.Close()
 }
 
 // Recover replaces the crashed master with a fresh server at newAddr,
-// reusing the same witness servers for the new witness set.
+// reusing the partition's CURRENT witness set (the coordinator's view —
+// which reflects any automatic replacements — rather than the raw list
+// of servers this runtime ever booted).
 func (c *Cluster) Recover(newAddr string) (*MasterServer, error) {
-	var witnessAddrs []string
-	for _, w := range c.Witnesses {
-		witnessAddrs = append(witnessAddrs, w.Addr())
-	}
-	nm, err := c.Coord.RecoverMaster(1, newAddr, witnessAddrs, c.Opts.Master)
+	view, err := c.Coord.View(1)
 	if err != nil {
 		return nil, err
 	}
-	c.Master = nm
+	nm, err := c.Coord.RecoverMaster(1, newAddr, view.WitnessAddrs, c.Opts.Master)
+	if err != nil {
+		return nil, err
+	}
+	c.setMaster(nm)
 	return nm, nil
 }
 
 // Close shuts every server down.
 func (c *Cluster) Close() {
-	if c.Master != nil {
-		c.Master.Close()
+	if c.Coord != nil {
+		c.Coord.Close() // stops the heal loop before servers disappear
+	}
+	if m := c.CurrentMaster(); m != nil {
+		m.Close()
 	}
 	for _, b := range c.Backups {
 		b.Close()
 	}
-	for _, w := range c.Witnesses {
+	for _, w := range c.WitnessServers() {
 		w.Close()
-	}
-	if c.Coord != nil {
-		c.Coord.Close()
 	}
 }

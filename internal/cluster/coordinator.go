@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"curp/internal/health"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
 	"curp/internal/transport"
@@ -22,6 +23,9 @@ type masterInfo struct {
 	witnessListVersion uint64
 	backupAddrs        []string
 	server             *MasterServer // in-process handle, nil for remote masters
+	// opts is the master's resolved configuration, reused when the heal
+	// loop promotes a replacement.
+	opts MasterOptions
 	// movedAway are ring arcs this partition handed off via live
 	// migration. Recovery seeds replacement masters with them so restored
 	// backup logs and witness replays cannot resurrect migrated keys.
@@ -52,6 +56,18 @@ type Coordinator struct {
 	leases *rifl.LeaseServer
 	rpc    *rpc.Server
 
+	// reconfMu serializes reconfigurations (recovery, witness
+	// replacement, migration) so the heal loop and an operator cannot
+	// interleave two recoveries of one partition.
+	reconfMu sync.Mutex
+
+	// table tracks the liveness of every registered node (masters,
+	// backups, witnesses). It is always maintained — heartbeats are cheap
+	// and OpHealthStatus renders it — but only drives recovery when
+	// EnableSelfHealing started the heal loop.
+	table *health.Table
+	heal  *healManager
+
 	// RPCTimeout bounds coordination RPCs (witness start/end, fencing).
 	RPCTimeout time.Duration
 }
@@ -64,6 +80,7 @@ func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (
 		masters:    make(map[uint64]*masterInfo),
 		leases:     rifl.NewLeaseServer(leaseTTL, nil),
 		rpc:        rpc.NewServer(),
+		table:      health.NewTable(),
 		RPCTimeout: 2 * time.Second,
 	}
 	c.rpc.Handle(OpGetView, c.handleGetView)
@@ -73,6 +90,8 @@ func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (
 	c.rpc.Handle(OpCoordDelMoved, rangesHandler(c.ForgetMovedRanges))
 	c.rpc.Handle(OpCoordAddFrozen, rangesHandler(c.NoteFrozenRanges))
 	c.rpc.Handle(OpCoordDelFrozen, rangesHandler(c.ForgetFrozenRanges))
+	c.rpc.Handle(OpHeartbeat, c.handleHeartbeat)
+	c.rpc.Handle(OpHealthStatus, c.handleHealthStatus)
 	l, err := nw.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -93,8 +112,79 @@ func (c *Coordinator) SetClientIDNamespace(base uint64) {
 	c.leases.SetIDNamespace(rifl.ClientID(base))
 }
 
-// Close shuts the coordinator down.
-func (c *Coordinator) Close() { c.rpc.Close() }
+// healMgr returns the heal manager under the coordinator lock (nil when
+// self-healing is off).
+func (c *Coordinator) healMgr() *healManager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.heal
+}
+
+// Close shuts the coordinator down (stopping the heal loop — and waiting
+// out any in-flight heal action — if running).
+func (c *Coordinator) Close() {
+	if h := c.healMgr(); h != nil {
+		h.stop()
+	}
+	c.rpc.Close()
+}
+
+// handleHeartbeat folds one node's beat into the health table.
+func (c *Coordinator) handleHeartbeat(payload []byte) ([]byte, error) {
+	b, err := health.DecodeBeat(payload)
+	if err != nil {
+		return nil, err
+	}
+	c.table.Observe(b)
+	return nil, nil
+}
+
+// handleHealthStatus serves the partition's membership and liveness.
+func (c *Coordinator) handleHealthStatus(payload []byte) ([]byte, error) {
+	return c.HealthStatus().encode(), nil
+}
+
+// HealthStatus returns the partition's membership and per-node liveness
+// (in-process form of OpHealthStatus).
+func (c *Coordinator) HealthStatus() *PartitionHealth {
+	// Copy the partition scalars under the lock: recovery and witness
+	// replacement mutate the masterInfo in place.
+	c.mu.Lock()
+	p := &PartitionHealth{SelfHealing: c.heal != nil}
+	for _, mi := range c.masters {
+		// Single-partition coordinators hold exactly one entry.
+		p.MasterID, p.MasterAddr, p.Epoch, p.WitnessListVersion = mi.id, mi.addr, mi.epoch, mi.witnessListVersion
+	}
+	c.mu.Unlock()
+	p.Nodes = c.table.Snapshot(c.detectorConfig())
+	if !p.SelfHealing {
+		// Without self-healing nothing heartbeats: ages are just time
+		// since registration, and classifying them against a deadline
+		// would report every node of a healthy manual deployment dead.
+		// Membership is known; liveness is not judged.
+		for i := range p.Nodes {
+			p.Nodes[i].Alive = true
+		}
+	}
+	return p
+}
+
+// detectorConfig returns the active detector policy (defaults when
+// self-healing is off, so status ages still classify liveness sensibly).
+func (c *Coordinator) detectorConfig() health.Config {
+	if h := c.healMgr(); h != nil {
+		return h.cfg.Detector
+	}
+	return health.Config{}.WithDefaults()
+}
+
+// Healthy reports whether every registered node of the partition is
+// within its heartbeat deadline. Meaningful only when servers heartbeat
+// (self-healing deployments); without beats it reports false as soon as
+// the registration grace expires.
+func (c *Coordinator) Healthy() bool {
+	return c.table.AllAlive(c.detectorConfig())
+}
 
 func (c *Coordinator) handleGetView(payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
@@ -227,7 +317,6 @@ func (c *Coordinator) AddMaster(ms *MasterServer, backupAddrs, witnessAddrs []st
 		return err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.masters[ms.ID()] = &masterInfo{
 		id:                 ms.ID(),
 		addr:               ms.Addr(),
@@ -236,6 +325,15 @@ func (c *Coordinator) AddMaster(ms *MasterServer, backupAddrs, witnessAddrs []st
 		witnessListVersion: 1,
 		backupAddrs:        append([]string(nil), backupAddrs...),
 		server:             ms,
+		opts:               ms.Options(),
+	}
+	c.mu.Unlock()
+	c.table.Register(health.RoleMaster, ms.Addr(), ms.ID())
+	for _, a := range backupAddrs {
+		c.table.Register(health.RoleBackup, a, ms.ID())
+	}
+	for _, a := range witnessAddrs {
+		c.table.Register(health.RoleWitness, a, ms.ID())
 	}
 	return nil
 }
@@ -282,6 +380,8 @@ func (c *Coordinator) endWitnesses(masterID uint64, addrs []string) {
 // new view. Clients using the old list get StatusStaleWitnessList from the
 // master and refetch.
 func (c *Coordinator) ReplaceWitness(masterID uint64, oldAddr, newAddr string) error {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
 	c.mu.Lock()
 	mi := c.masters[masterID]
 	c.mu.Unlock()
@@ -313,6 +413,10 @@ func (c *Coordinator) ReplaceWitness(masterID uint64, oldAddr, newAddr string) e
 	mi.witnessAddrs = newList
 	mi.witnessListVersion++
 	c.mu.Unlock()
+	// The replacement is authoritative from here on: watch it, stop
+	// watching the old server.
+	c.table.Forget(oldAddr)
+	c.table.Register(health.RoleWitness, newAddr, masterID)
 	// Best effort: free the old instance if the server is still up.
 	c.endWitnesses(masterID, []string{oldAddr})
 	return nil
@@ -324,6 +428,14 @@ func (c *Coordinator) ReplaceWitness(masterID uint64, oldAddr, newAddr string) e
 // publishes the new view. newAddr must not collide with the crashed
 // master's address. newWitnessAddrs may reuse the old witness servers.
 func (c *Coordinator) RecoverMaster(masterID uint64, newAddr string, newWitnessAddrs []string, opts MasterOptions) (*MasterServer, error) {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+	return c.recoverMasterLocked(masterID, newAddr, newWitnessAddrs, opts)
+}
+
+// recoverMasterLocked is RecoverMaster's body; the caller holds reconfMu
+// (Migrate shares it without re-locking).
+func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWitnessAddrs []string, opts MasterOptions) (*MasterServer, error) {
 	c.mu.Lock()
 	mi := c.masters[masterID]
 	var movedAway, frozen []witness.HashRange
@@ -433,10 +545,35 @@ func (c *Coordinator) RecoverMaster(masterID uint64, newAddr string, newWitnessA
 		witnessListVersion: newVersion,
 		backupAddrs:        append([]string(nil), mi.backupAddrs...),
 		server:             newMaster,
+		opts:               opts,
 		movedAway:          append([]witness.HashRange(nil), cur.movedAway...),
 		frozen:             append([]witness.HashRange(nil), cur.frozen...),
 	}
 	c.mu.Unlock()
+
+	// Re-key the health table to the new configuration: the crashed
+	// master's entry goes away, the replacement is watched from now, and
+	// witness entries follow the (possibly changed) witness set.
+	c.table.Forget(mi.addr)
+	c.table.Register(health.RoleMaster, newAddr, masterID)
+	newSet := make(map[string]bool, len(newWitnessAddrs))
+	for _, a := range newWitnessAddrs {
+		newSet[a] = true
+	}
+	for _, a := range mi.witnessAddrs {
+		if !newSet[a] {
+			c.table.Forget(a)
+		}
+	}
+	for _, a := range newWitnessAddrs {
+		c.table.Register(health.RoleWitness, a, masterID)
+	}
+	// Under self-healing the replacement must heartbeat, or the detector
+	// would immediately re-fail the partition it just healed.
+	if h := c.healMgr(); h != nil {
+		newMaster.StartHeartbeat(c.addr, h.cfg.Detector.Interval)
+		h.masterChanged(newMaster)
+	}
 	return newMaster, nil
 }
 
@@ -492,6 +629,8 @@ func (c *Coordinator) View(masterID uint64) (*ViewInfo, error) {
 // in the old witnesses are never replayed (the old master retired
 // cleanly), matching the paper's filtering argument.
 func (c *Coordinator) Migrate(masterID uint64, newAddr string, newWitnessAddrs []string, opts MasterOptions) (*MasterServer, error) {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
 	c.mu.Lock()
 	mi := c.masters[masterID]
 	c.mu.Unlock()
@@ -510,5 +649,5 @@ func (c *Coordinator) Migrate(masterID uint64, newAddr string, newWitnessAddrs [
 	if err := old.syncAndWait(head); err != nil {
 		return nil, err
 	}
-	return c.RecoverMaster(masterID, newAddr, newWitnessAddrs, opts)
+	return c.recoverMasterLocked(masterID, newAddr, newWitnessAddrs, opts)
 }

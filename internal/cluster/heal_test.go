@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"curp/internal/health"
+	"curp/internal/transport"
+)
+
+// healOptions returns a self-healing partition tuned for test speed:
+// millisecond heartbeats, tens-of-milliseconds detection.
+func healOptions(events *eventLog) Options {
+	opts := DefaultOptions()
+	opts.F = 2
+	opts.Master.Core.SyncBatchSize = 5
+	opts.Health = &HealthOptions{
+		HeartbeatInterval: 2 * time.Millisecond,
+		FailAfter:         25 * time.Millisecond,
+		OnEvent:           events.add,
+	}
+	return opts
+}
+
+// eventLog collects failover events across goroutines.
+type eventLog struct {
+	mu  sync.Mutex
+	evs []FailoverEvent
+}
+
+func (l *eventLog) add(ev FailoverEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.evs = append(l.evs, ev)
+}
+
+func (l *eventLog) count(kind FailoverKind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.evs {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSelfHealingMasterFailover kills the master with zero operator calls
+// and checks that the coordinator promotes a replacement on its own, that
+// completed writes survive, and that the same client keeps working.
+func TestSelfHealingMasterFailover(t *testing.T) {
+	nw := transport.NewMemNetwork(nil)
+	var events eventLog
+	c, err := Start(nw, healOptions(&events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("heal-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := cl.Put(ctx, []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	oldAddr := c.CurrentMaster().Addr()
+
+	c.CrashMaster()
+
+	// No Recover() call: the write below must succeed through automatic
+	// failover alone (the client retries against refreshed views).
+	if _, err := cl.Put(ctx, []byte("k2"), []byte("v2")); err != nil {
+		t.Fatalf("write across automatic failover: %v", err)
+	}
+	if err := c.WaitHealthy(ctx); err != nil {
+		t.Fatalf("cluster never healed: %v", err)
+	}
+
+	nm := c.CurrentMaster()
+	if nm.Addr() == oldAddr {
+		t.Fatalf("master handle not rebound: still %s", oldAddr)
+	}
+	if nm.Epoch() == 0 {
+		t.Fatal("replacement master kept epoch 0 (no fence)")
+	}
+	if v, _, ok := nm.Store().Get([]byte("k")); !ok || string(v) != "v1" {
+		t.Fatalf("pre-crash write lost: %q %v", v, ok)
+	}
+	if events.count(EventMasterFailover) == 0 {
+		t.Fatal("no EventMasterFailover emitted")
+	}
+	st := c.Coord.HealthStatus()
+	if st.MasterAddr != nm.Addr() || !st.SelfHealing {
+		t.Fatalf("health status stale: %+v", st)
+	}
+	alive := 0
+	for _, n := range st.Nodes {
+		if n.Alive {
+			alive++
+		}
+	}
+	if alive != len(st.Nodes) {
+		t.Fatalf("healed cluster reports dead nodes: %v", st.Nodes)
+	}
+}
+
+// TestSelfHealingWitnessReplacement kills a witness server and checks the
+// coordinator installs a spare under a bumped WitnessListVersion while
+// the client keeps completing updates.
+func TestSelfHealingWitnessReplacement(t *testing.T) {
+	nw := transport.NewMemNetwork(nil)
+	var events eventLog
+	c, err := Start(nw, healOptions(&events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("heal-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	before, err := c.Coord.View(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.CrashWitness(0)
+
+	// Writes keep completing while the witness is down (slow path) and
+	// after the replacement (fast path again).
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Put(ctx, []byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatalf("write %d across witness replacement: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.WaitHealthy(ctx); err != nil {
+		t.Fatalf("cluster never healed: %v", err)
+	}
+
+	after, err := c.Coord.View(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.WitnessListVersion <= before.WitnessListVersion {
+		t.Fatalf("witness list version not bumped: %d -> %d", before.WitnessListVersion, after.WitnessListVersion)
+	}
+	if len(after.WitnessAddrs) != len(before.WitnessAddrs) {
+		t.Fatalf("witness count changed: %v -> %v", before.WitnessAddrs, after.WitnessAddrs)
+	}
+	for _, a := range after.WitnessAddrs {
+		if a == before.WitnessAddrs[0] {
+			t.Fatalf("dead witness %s still in the list: %v", a, after.WitnessAddrs)
+		}
+	}
+	if events.count(EventWitnessReplaced) == 0 {
+		t.Fatal("no EventWitnessReplaced emitted")
+	}
+	if events.count(EventMasterFailover) != 0 {
+		t.Fatal("witness crash triggered a master failover")
+	}
+}
+
+// TestSelfHealingBackupDownReported: a dead backup is reported exactly
+// once and keeps the partition unhealthy (no automatic replacement yet),
+// but the data path keeps serving.
+func TestSelfHealingBackupDownReported(t *testing.T) {
+	nw := transport.NewMemNetwork(nil)
+	var events eventLog
+	c, err := Start(nw, healOptions(&events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("heal-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	b := c.Backups[0]
+	nw.CrashHost(b.Addr())
+	b.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for events.count(EventBackupDown) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("backup death never reported")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// One incident, one report — the deferral latch holds.
+	time.Sleep(100 * time.Millisecond)
+	if n := events.count(EventBackupDown); n != 1 {
+		t.Fatalf("backup death reported %d times", n)
+	}
+	if c.Coord.Healthy() {
+		t.Fatal("partition healthy with a dead backup")
+	}
+	if _, err := cl.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("write with one dead backup: %v", err)
+	}
+	if events.count(EventMasterFailover) != 0 {
+		t.Fatal("backup crash triggered a master failover")
+	}
+}
+
+// TestHealthStatusWire exercises the OpHealthStatus round trip a remote
+// curpctl uses.
+func TestHealthStatusWire(t *testing.T) {
+	nw := transport.NewMemNetwork(nil)
+	var events eventLog
+	c, err := Start(nw, healOptions(&events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Let a couple of beats land so ages and load stats are real.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ph, err := FetchHealth(ctx, nw, "statusctl", c.Coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.MasterAddr != c.CurrentMaster().Addr() || !ph.SelfHealing {
+		t.Fatalf("status = %+v", ph)
+	}
+	if len(ph.Nodes) != 5 { // 1 master + 2 backups + 2 witnesses
+		t.Fatalf("nodes = %d, want 5 (%v)", len(ph.Nodes), ph.Nodes)
+	}
+	var sawMaster bool
+	for _, n := range ph.Nodes {
+		if n.Role == health.RoleMaster {
+			sawMaster = true
+			if n.Last.WitnessListVersion == 0 {
+				t.Fatalf("master beat carried no load stats: %+v", n.Last)
+			}
+		}
+	}
+	if !sawMaster {
+		t.Fatal("no master row in status")
+	}
+}

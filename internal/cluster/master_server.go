@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"curp/internal/core"
+	"curp/internal/health"
 	"curp/internal/kv"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
@@ -169,6 +170,55 @@ func (ms *MasterServer) Epoch() uint64 { return ms.epoch }
 
 // State exposes protocol counters for tests and benchmarks.
 func (ms *MasterServer) State() *core.MasterState { return ms.state }
+
+// Options returns the master's resolved configuration (the coordinator
+// reuses it when it promotes a replacement during automatic failover).
+func (ms *MasterServer) Options() MasterOptions { return ms.opts }
+
+// StartHeartbeat runs a resident beater reporting this master's liveness
+// and load to the coordinator until the master closes. The beat carries
+// the log head, the unsynced window, the witness-list version, and the
+// current flush threshold, so the coordinator's health table doubles as a
+// load dashboard.
+func (ms *MasterServer) StartHeartbeat(coordAddr string, interval time.Duration) {
+	startBeater(ms.nw, ms.addr, coordAddr, ms.closed, interval, func() health.Beat {
+		return health.Beat{
+			Role:               health.RoleMaster,
+			Addr:               ms.addr,
+			MasterID:           ms.id,
+			Epoch:              ms.epoch,
+			HeadLSN:            uint64(ms.store.Head()),
+			Unsynced:           uint64(ms.state.UnsyncedCount()),
+			WitnessListVersion: ms.state.WitnessListVersion(),
+			FlushThreshold:     uint64(ms.state.FlushThreshold()),
+		}
+	})
+}
+
+// startBeater is the shared heartbeat loop of every server role: one
+// resident goroutine sending the beat payload to the coordinator on the
+// detector cadence until stop closes.
+func startBeater(nw transport.Network, selfAddr, coordAddr string, stop <-chan struct{}, interval time.Duration, beat func() health.Beat) {
+	p := rpc.NewPeer(nw, selfAddr, coordAddr)
+	go func() {
+		defer p.Close()
+		health.Beater(stop, interval, func() {
+			b := beat()
+			ctx, cancel := context.WithTimeout(context.Background(), heartbeatTimeout(interval))
+			p.Call(ctx, OpHeartbeat, b.Encode())
+			cancel()
+		})
+	}()
+}
+
+// heartbeatTimeout bounds one heartbeat RPC: long enough for a loaded
+// coordinator, short enough that a dead link never backlogs beats.
+func heartbeatTimeout(interval time.Duration) time.Duration {
+	if t := 2 * interval; t > 50*time.Millisecond {
+		return t
+	}
+	return 50 * time.Millisecond
+}
 
 // Store exposes the underlying store for tests.
 func (ms *MasterServer) Store() *kv.Store { return ms.store }

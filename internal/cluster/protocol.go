@@ -9,12 +9,16 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"curp/internal/core"
+	"curp/internal/health"
 	"curp/internal/kv"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
+	"curp/internal/transport"
 	"curp/internal/witness"
 )
 
@@ -113,6 +117,17 @@ const (
 	// saved under the transaction's RIFL ID, so a straggling coordinator
 	// decide returns the abort instead of committing).
 	OpTxnStatus
+
+	// Master / backup / witness → coordinator: liveness heartbeat with
+	// piggybacked load stats (internal/health.Beat). The coordinator's
+	// failure detector declares a silent node dead and, when self-healing
+	// is enabled, drives automatic master failover or witness replacement
+	// with no operator in the loop.
+	OpHeartbeat
+	// Operator tools / clients → coordinator: the partition's membership,
+	// epochs, witness-list version, and per-node heartbeat ages (the
+	// coordinator's health table; curpctl status renders it).
+	OpHealthStatus
 )
 
 // recordRequest is the payload of OpWitnessRecord.
@@ -437,6 +452,84 @@ func decodeEntries(b []byte) ([]kv.Entry, error) {
 		return nil, err
 	}
 	return entries, nil
+}
+
+// PartitionHealth is the payload of an OpHealthStatus reply: one
+// partition's membership and liveness as the coordinator sees it.
+type PartitionHealth struct {
+	MasterID           uint64
+	MasterAddr         string
+	Epoch              uint64
+	WitnessListVersion uint64
+	// SelfHealing reports whether the coordinator's automatic failover
+	// loop is running.
+	SelfHealing bool
+	Nodes       []health.NodeStatus
+}
+
+func (p *PartitionHealth) encode() []byte {
+	e := rpc.NewEncoder(128 + 96*len(p.Nodes))
+	e.U64(p.MasterID)
+	e.String(p.MasterAddr)
+	e.U64(p.Epoch)
+	e.U64(p.WitnessListVersion)
+	e.Bool(p.SelfHealing)
+	e.U32(uint32(len(p.Nodes)))
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		e.U8(uint8(n.Role))
+		e.String(n.Addr)
+		e.U64(n.MasterID)
+		e.I64(int64(n.Age))
+		e.U64(n.Beats)
+		e.I64(int64(n.MeanGap))
+		e.Bool(n.Alive)
+		e.Bytes32(n.Last.Encode())
+	}
+	return e.Bytes()
+}
+
+func decodePartitionHealth(b []byte) (*PartitionHealth, error) {
+	d := rpc.NewDecoder(b)
+	p := &PartitionHealth{
+		MasterID:           d.U64(),
+		MasterAddr:         d.String(),
+		Epoch:              d.U64(),
+		WitnessListVersion: d.U64(),
+		SelfHealing:        d.Bool(),
+	}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		ns := health.NodeStatus{
+			Role:     health.Role(d.U8()),
+			Addr:     d.String(),
+			MasterID: d.U64(),
+			Age:      time.Duration(d.I64()),
+			Beats:    d.U64(),
+			MeanGap:  time.Duration(d.I64()),
+			Alive:    d.Bool(),
+		}
+		if beat, err := health.DecodeBeat(d.BytesCopy32()); err == nil {
+			ns.Last = *beat
+		}
+		p.Nodes = append(p.Nodes, ns)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FetchHealth asks a coordinator for its partition's health table — the
+// client side of OpHealthStatus, used by curpctl status.
+func FetchHealth(ctx context.Context, nw transport.Network, self, coordAddr string) (*PartitionHealth, error) {
+	p := rpc.NewPeer(nw, self, coordAddr)
+	defer p.Close()
+	out, err := p.Call(ctx, OpHealthStatus, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodePartitionHealth(out)
 }
 
 // ViewInfo is the wire form of a client's configuration for one master

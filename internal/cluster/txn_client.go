@@ -86,6 +86,21 @@ func (c *Client) TxnDecideHome(ctx context.Context, id rifl.RPCID, commit bool, 
 	return res.Found, nil
 }
 
+// ForgetTxnDecision prunes a settled transaction's decision record on
+// this (home) partition — the decision-record GC. It rides the normal
+// async update engine under a fresh RIFL ID (witness-recorded, so a
+// recovered home re-prunes on replay) and is fire-and-forget: the commit
+// already succeeded, and a lost forget merely parks the record until
+// lease expiry reclaims it.
+func (c *Client) ForgetTxnDecision(ctx context.Context, id rifl.RPCID, homeHash uint64) {
+	cmd := &kv.Command{Op: kv.OpTxnForget, Txn: &kv.TxnCommand{
+		ID:         id,
+		HomeRecord: true, // footprint = the home key hash
+		Home:       kv.TxnHome{KeyHash: homeHash},
+	}}
+	c.curp.UpdateAsync(ctx, []uint64{homeHash}, cmd.Encode())
+}
+
 // txnCall drives one prepare/decide RPC with the client's standard retry
 // discipline: refresh the view after failures (the RIFL ID makes retries
 // across a master recovery exactly-once), back off on prepared-lock
@@ -212,4 +227,8 @@ func (b singleTxnBackend) Decide(ctx context.Context, _ int, cmd *kv.Command) (*
 
 func (b singleTxnBackend) DecideHome(ctx context.Context, _ int, id rifl.RPCID, commit bool, homeHash uint64) (bool, error) {
 	return b.c.TxnDecideHome(ctx, id, commit, homeHash)
+}
+
+func (b singleTxnBackend) ForgetDecision(ctx context.Context, _ int, id rifl.RPCID, homeHash uint64) {
+	b.c.ForgetTxnDecision(ctx, id, homeHash)
 }

@@ -233,10 +233,15 @@ func (ms *MasterServer) homeResolve(id rifl.RPCID, homeHash uint64, resolve, all
 	case rifl.Stale, rifl.Expired:
 		// The coordinator's session acked the ID (possible only after
 		// every participant applied its decide) or its lease expired with
-		// no decision recorded; either way no commit can be pending.
-		// Record the abort under a zero entry ID — the client's RIFL slot
-		// is gone for good.
-		entryID = rifl.RPCID{}
+		// no decision recorded; either way no commit can be pending and
+		// no participant still holds prepared state that needs this
+		// answer durable. Return the abort WITHOUT recording it: writing
+		// it would both plant a wrong-direction record when the ack raced
+		// a commit's decision-GC (the forget already pruned the real
+		// outcome) and re-grow the decision table with an entry nothing
+		// will ever read.
+		ms.execMu.Unlock()
+		return false, nil
 	}
 	res, lsn, err := ms.store.Apply(cmd, entryID)
 	if err != nil {

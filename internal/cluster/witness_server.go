@@ -3,7 +3,9 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"curp/internal/health"
 	"curp/internal/rpc"
 	"curp/internal/transport"
 	"curp/internal/witness"
@@ -15,9 +17,13 @@ import (
 type WitnessServer struct {
 	addr string
 	cfg  witness.Config
+	nw   transport.Network
 
 	mu        sync.Mutex
 	instances map[uint64]*witness.Witness
+
+	closeOnce sync.Once
+	closed    chan struct{}
 
 	rpc *rpc.Server
 }
@@ -27,7 +33,9 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 	ws := &WitnessServer{
 		addr:      addr,
 		cfg:       cfg,
+		nw:        nw,
 		instances: make(map[uint64]*witness.Witness),
+		closed:    make(chan struct{}),
 		rpc:       rpc.NewServer(),
 	}
 	ws.rpc.Handle(OpWitnessRecord, ws.handleRecord)
@@ -50,7 +58,18 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 func (ws *WitnessServer) Addr() string { return ws.addr }
 
 // Close shuts the server down.
-func (ws *WitnessServer) Close() { ws.rpc.Close() }
+func (ws *WitnessServer) Close() {
+	ws.closeOnce.Do(func() { close(ws.closed) })
+	ws.rpc.Close()
+}
+
+// StartHeartbeat runs a resident beater reporting this witness server's
+// liveness to the coordinator until the server closes.
+func (ws *WitnessServer) StartHeartbeat(coordAddr string, interval time.Duration) {
+	startBeater(ws.nw, ws.addr, coordAddr, ws.closed, interval, func() health.Beat {
+		return health.Beat{Role: health.RoleWitness, Addr: ws.addr}
+	})
+}
 
 // Instance returns the witness serving masterID, for tests and stats.
 func (ws *WitnessServer) Instance(masterID uint64) *witness.Witness {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 )
 
 // MasterConfig tunes a CURP master's sync policy.
@@ -9,6 +10,7 @@ type MasterConfig struct {
 	// SyncBatchSize is the number of unsynced operations that triggers a
 	// background sync. The paper found 50 a good ceiling: larger batches
 	// marginally help throughput but increase witness rejections (§4.4).
+	// With AdaptiveFlush set it becomes the threshold's upper bound.
 	SyncBatchSize int
 	// HotKeyWindow enables the preemptive-sync heuristic of §4.4: if two
 	// consecutive updates to the same object land within this many log
@@ -18,6 +20,21 @@ type MasterConfig struct {
 	// SyncEveryOp forces a sync after every operation (the "minimum batch
 	// size 1" configuration of Figure 12 / §5.3's contention mitigation).
 	SyncEveryOp bool
+	// AdaptiveFlush replaces the fixed unsynced-count threshold with a
+	// load-adaptive one: the effective threshold is the number of
+	// operations that arrive within TargetFlushDelay at the currently
+	// observed update rate, clamped to [MinSyncBatch, SyncBatchSize].
+	// Under light load the master flushes after a couple of operations
+	// (short durability/read-block lag, witness slots recycled at once);
+	// under burst the batch grows toward SyncBatchSize, amortizing backup
+	// RPCs exactly when throughput needs it.
+	AdaptiveFlush bool
+	// MinSyncBatch floors the adaptive threshold (default 2).
+	MinSyncBatch int
+	// TargetFlushDelay is the staleness budget the adaptive threshold
+	// aims for: roughly how long a speculative operation may wait before
+	// a background flush starts (default 500µs).
+	TargetFlushDelay time.Duration
 }
 
 // DefaultMasterConfig returns the paper's defaults (batch 50, hot-key
@@ -52,6 +69,11 @@ type MasterState struct {
 	syncedLSN      uint64
 	cfg            MasterConfig
 
+	// lastArrival / gapEWMA smooth the update inter-arrival gap for the
+	// adaptive flush threshold (nanoseconds; see MasterConfig).
+	lastArrival int64
+	gapEWMA     float64
+
 	witnessListVersion uint64
 	frozen             bool
 
@@ -70,12 +92,25 @@ type MasterStats struct {
 	HotKeySyncs uint64
 	// ReadBlocks are reads that had to wait for a sync (§A.3).
 	ReadBlocks uint64
+	// FlushThreshold is the current background-flush batch threshold —
+	// SyncBatchSize for fixed policies, the load-adaptive value when
+	// AdaptiveFlush is on.
+	FlushThreshold uint64
 }
 
 // NewMasterState creates master bookkeeping with the given config.
 func NewMasterState(cfg MasterConfig) *MasterState {
 	if cfg.SyncBatchSize <= 0 {
 		cfg.SyncBatchSize = 50
+	}
+	if cfg.MinSyncBatch <= 0 {
+		cfg.MinSyncBatch = 2
+	}
+	if cfg.MinSyncBatch > cfg.SyncBatchSize {
+		cfg.MinSyncBatch = cfg.SyncBatchSize
+	}
+	if cfg.TargetFlushDelay <= 0 {
+		cfg.TargetFlushDelay = 500 * time.Microsecond
 	}
 	return &MasterState{
 		lastMutation:   make(map[uint64]uint64),
@@ -113,6 +148,24 @@ func (m *MasterState) NoteMutation(keyHashes []uint64, lsn uint64) (hot bool) {
 	defer m.mu.Unlock()
 	if lsn > m.headLSN {
 		m.headLSN = lsn
+	}
+	if m.cfg.AdaptiveFlush {
+		now := time.Now().UnixNano()
+		if m.lastArrival != 0 {
+			gap := float64(now - m.lastArrival)
+			if gap < 0 {
+				gap = 0
+			}
+			if m.gapEWMA == 0 {
+				m.gapEWMA = gap
+			} else {
+				// 0.25 smoothing: a burst drops the gap (and raises the
+				// threshold) within a handful of operations, while one
+				// straggler cannot reset an established rate.
+				m.gapEWMA += (gap - m.gapEWMA) * 0.25
+			}
+		}
+		m.lastArrival = now
 	}
 	for _, kh := range keyHashes {
 		if prev, ok := m.recentMutation[kh]; ok && m.cfg.HotKeyWindow > 0 && lsn-prev <= m.cfg.HotKeyWindow {
@@ -191,7 +244,8 @@ func (m *MasterState) UnsyncedCount() int {
 
 // NeedsBatchSync reports whether the unsynced suffix reached the batch
 // threshold (or SyncEveryOp is set), so the caller should start a
-// background sync (§4.4).
+// background sync (§4.4). With AdaptiveFlush the threshold follows the
+// offered load instead of sitting at SyncBatchSize.
 func (m *MasterState) NeedsBatchSync() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -201,7 +255,35 @@ func (m *MasterState) NeedsBatchSync() bool {
 	if m.cfg.SyncEveryOp {
 		return true
 	}
-	return int(m.headLSN-m.syncedLSN) >= m.cfg.SyncBatchSize
+	return int(m.headLSN-m.syncedLSN) >= m.flushThresholdLocked()
+}
+
+// flushThresholdLocked computes the current batch-flush threshold: the
+// number of operations expected within TargetFlushDelay at the smoothed
+// arrival rate, clamped to [MinSyncBatch, SyncBatchSize]. Must hold m.mu.
+func (m *MasterState) flushThresholdLocked() int {
+	if !m.cfg.AdaptiveFlush {
+		return m.cfg.SyncBatchSize
+	}
+	if m.gapEWMA <= 0 {
+		return m.cfg.MinSyncBatch
+	}
+	th := int(float64(m.cfg.TargetFlushDelay.Nanoseconds()) / m.gapEWMA)
+	if th < m.cfg.MinSyncBatch {
+		return m.cfg.MinSyncBatch
+	}
+	if th > m.cfg.SyncBatchSize {
+		return m.cfg.SyncBatchSize
+	}
+	return th
+}
+
+// FlushThreshold returns the current effective batch-flush threshold
+// (reported in stats and on master heartbeats).
+func (m *MasterState) FlushThreshold() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushThresholdLocked()
 }
 
 // CheckWitnessList verifies a request's witness-list version. A master
@@ -277,7 +359,9 @@ func (m *MasterState) CountReadBlock() {
 func (m *MasterState) Stats() MasterStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats
+	st := m.stats
+	st.FlushThreshold = uint64(m.flushThresholdLocked())
+	return st
 }
 
 // UnsyncedInvariantHolds verifies the §3.2.3 safety invariant for tests:

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEnvelopeCodec(t *testing.T) {
@@ -247,5 +248,77 @@ func BenchmarkConflictsCheck(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Conflicts(keys)
+	}
+}
+
+// TestAdaptiveFlushThreshold: the load-adaptive flush policy flushes
+// after a couple of operations under light load and grows the batch
+// toward SyncBatchSize under burst.
+func TestAdaptiveFlushThreshold(t *testing.T) {
+	m := NewMasterState(MasterConfig{SyncBatchSize: 50, AdaptiveFlush: true, MinSyncBatch: 2, TargetFlushDelay: time.Millisecond})
+
+	// No arrival history yet: the floor applies.
+	if th := m.FlushThreshold(); th != 2 {
+		t.Fatalf("initial threshold = %d, want the MinSyncBatch floor", th)
+	}
+	m.NoteMutation([]uint64{1}, 1)
+	if m.NeedsBatchSync() {
+		t.Fatal("one unsynced op below the floor already triggers")
+	}
+	time.Sleep(5 * time.Millisecond) // gap ≫ TargetFlushDelay: light load
+	m.NoteMutation([]uint64{2}, 2)
+	if !m.NeedsBatchSync() {
+		t.Fatal("light load did not trigger at the floor")
+	}
+	if st := m.Stats(); st.FlushThreshold != 2 {
+		t.Fatalf("stats threshold = %d, want 2", st.FlushThreshold)
+	}
+	m.NoteSync(2)
+
+	// Burst: a tight loop drives the threshold to the ceiling. A separate
+	// state with a generous TargetFlushDelay and a max-over-the-loop
+	// assertion keeps this robust on loaded CI runners — one preemption
+	// mid-loop inflates the EWMA for a couple of iterations, but the
+	// threshold must reach the ceiling at SOME point during the burst.
+	b := NewMasterState(MasterConfig{SyncBatchSize: 50, AdaptiveFlush: true, MinSyncBatch: 2, TargetFlushDelay: 100 * time.Millisecond})
+	maxTh := 0
+	for i := uint64(1); i <= 200; i++ {
+		b.NoteMutation([]uint64{i}, i)
+		if th := b.FlushThreshold(); th > maxTh {
+			maxTh = th
+		}
+	}
+	if maxTh != 50 {
+		t.Fatalf("burst threshold peaked at %d, want the SyncBatchSize ceiling", maxTh)
+	}
+
+	// Light load again: ~5ms gaps (≫ the 1ms TargetFlushDelay) shrink the
+	// first state's threshold back to the floor. Robust by construction —
+	// scheduling noise only makes the gaps larger.
+	for i := uint64(31); i <= 34; i++ {
+		time.Sleep(5 * time.Millisecond)
+		m.NoteMutation([]uint64{i}, i)
+	}
+	if th := m.FlushThreshold(); th != 2 {
+		t.Fatalf("threshold after load drop = %d, want 2", th)
+	}
+
+	// Fixed policy is untouched.
+	f := NewMasterState(MasterConfig{SyncBatchSize: 50})
+	if th := f.FlushThreshold(); th != 50 {
+		t.Fatalf("fixed threshold = %d, want 50", th)
+	}
+}
+
+// TestAdaptiveFlushConfigClamps: zero-valued knobs resolve to safe
+// defaults and MinSyncBatch never exceeds the ceiling.
+func TestAdaptiveFlushConfigClamps(t *testing.T) {
+	m := NewMasterState(MasterConfig{SyncBatchSize: 3, AdaptiveFlush: true, MinSyncBatch: 10})
+	if cfg := m.Config(); cfg.MinSyncBatch != 3 || cfg.TargetFlushDelay != 500*time.Microsecond {
+		t.Fatalf("clamped config = %+v", cfg)
+	}
+	d := NewMasterState(MasterConfig{AdaptiveFlush: true})
+	if cfg := d.Config(); cfg.MinSyncBatch != 2 || cfg.SyncBatchSize != 50 {
+		t.Fatalf("default config = %+v", cfg)
 	}
 }

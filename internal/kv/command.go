@@ -56,6 +56,12 @@ const (
 	// home shard's decision table (Txn.HomeRecord), or apply/discard a
 	// participant's prepared writes and release its locks.
 	OpTxnDecide
+	// OpTxnForget prunes a transaction's decision record from the home
+	// shard once every participant acknowledged its decide — the record's
+	// only readers are resolvers of still-locked participants, so after
+	// the last ack it is garbage. Logged (replay re-prunes); forgetting a
+	// record that does not exist is a no-op that appends nothing.
+	OpTxnForget
 	// OpTxnApply commits a single-shard transaction atomically in one log
 	// entry: validate every read version, then apply every write. It takes
 	// no locks and rides CURP's normal speculative update path.
@@ -87,6 +93,8 @@ func (o CommandOp) String() string {
 		return "migrate-record"
 	case OpTxnPrepare:
 		return "txn-prepare"
+	case OpTxnForget:
+		return "txn-forget"
 	case OpTxnDecide:
 		return "txn-decide"
 	case OpTxnApply:

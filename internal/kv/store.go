@@ -152,7 +152,7 @@ func (s *Store) stampKeys(cmd *Command, lsn LSN) {
 // exec runs the command against the object table. Must hold s.mu.
 func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 	switch cmd.Op {
-	case OpMigrateObject, OpMigrateRecord, OpTxnPrepare, OpTxnDecide, OpTxnApply:
+	case OpMigrateObject, OpMigrateRecord, OpTxnPrepare, OpTxnDecide, OpTxnForget, OpTxnApply:
 		// Transactional ops handle locks themselves; migration installs
 		// bypass them (installed state was resolved before export).
 	default:
@@ -286,6 +286,9 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 
 	case OpTxnDecide:
 		return s.execTxnDecide(cmd)
+
+	case OpTxnForget:
+		return s.execTxnForget(cmd)
 
 	case OpTxnApply:
 		return s.execTxnApply(cmd)

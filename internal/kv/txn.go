@@ -445,6 +445,35 @@ func (s *Store) execTxnDecide(cmd *Command) (*Result, bool, error) {
 	return &Result{Found: t.Commit}, true, nil
 }
 
+// execTxnForget is the OpTxnForget state transition: prune a decision
+// record whose transaction is fully settled (every participant applied
+// and acknowledged its decide). A missing record mutates nothing — the
+// forget was already applied, or the decision was never recorded here
+// (vote-abort transactions). Must hold s.mu.
+func (s *Store) execTxnForget(cmd *Command) (*Result, bool, error) {
+	t := cmd.Txn
+	if t == nil {
+		return nil, false, fmt.Errorf("kv: txn-forget without txn payload")
+	}
+	if _, ok := s.decisions[t.ID]; !ok {
+		return &Result{Found: false}, false, nil
+	}
+	delete(s.decisions, t.ID)
+	if TxnTrace != nil {
+		TxnTrace("store %p: forget decision %v", s, t.ID)
+	}
+	return &Result{Found: true}, true, nil
+}
+
+// DecisionCount returns how many decision records the store holds
+// (tests; the decision-record GC keeps it from growing with committed
+// transactions).
+func (s *Store) DecisionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.decisions)
+}
+
 // execTxnApply is the OpTxnApply state transition (single-shard atomic
 // transaction). Must hold s.mu.
 func (s *Store) execTxnApply(cmd *Command) (*Result, bool, error) {

@@ -431,3 +431,55 @@ func TestTxnLockHygieneProperty(t *testing.T) {
 		check(r, "replayed store")
 	}
 }
+
+// TestTxnForgetDecision: the decision-record GC's storage half — a forget
+// prunes an existing record (logged, so replay re-prunes), is a no-op on
+// missing records, and survives a full log replay with the same outcome.
+func TestTxnForgetDecision(t *testing.T) {
+	s := NewStore()
+	id := rifl.RPCID{Client: 9, Seq: 1}
+	record := txnCmd(OpTxnDecide, &TxnCommand{
+		ID: id, Commit: true, HomeRecord: true,
+		Home: TxnHome{MasterID: 1, Addr: "m", KeyHash: 42},
+	})
+	if _, _, err := s.Apply(record, id); err != nil {
+		t.Fatal(err)
+	}
+	if s.DecisionCount() != 1 {
+		t.Fatalf("decisions = %d, want 1", s.DecisionCount())
+	}
+
+	forget := txnCmd(OpTxnForget, &TxnCommand{ID: id, HomeRecord: true, Home: TxnHome{KeyHash: 42}})
+	res, lsn, err := s.Apply(forget, rifl.RPCID{Client: 9, Seq: 2})
+	if err != nil || !res.Found || lsn == 0 {
+		t.Fatalf("forget: res=%+v lsn=%d err=%v", res, lsn, err)
+	}
+	if s.DecisionCount() != 0 {
+		t.Fatalf("decisions = %d after forget, want 0", s.DecisionCount())
+	}
+	if commit, known := s.TxnDecision(id); known || commit {
+		t.Fatal("forgotten decision still resolvable")
+	}
+
+	// Forgetting again (or a never-recorded ID) mutates nothing.
+	res, lsn, err = s.Apply(forget, rifl.RPCID{Client: 9, Seq: 3})
+	if err != nil || res.Found || lsn != 0 {
+		t.Fatalf("duplicate forget: res=%+v lsn=%d err=%v", res, lsn, err)
+	}
+
+	// Replay fidelity: a recovered store replays record-then-forget and
+	// ends with an empty decision table too.
+	r := NewStore()
+	for _, en := range s.EntriesSince(0) {
+		en := en
+		if err := r.ReplayEntry(&en); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.DecisionCount() != 0 {
+		t.Fatalf("replayed decisions = %d, want 0", r.DecisionCount())
+	}
+	if _, _, err := s.Apply(txnCmd(OpTxnForget, nil), rifl.RPCID{Client: 9, Seq: 4}); err == nil {
+		t.Fatal("forget without txn payload accepted")
+	}
+}

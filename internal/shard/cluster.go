@@ -18,8 +18,13 @@ type Options struct {
 	VirtualNodes int
 	// Partition configures every partition identically (F, master policy,
 	// witness geometry, lease TTL). Its NamePrefix becomes the deployment-
-	// wide prefix; each partition appends "s<i>-" to it.
+	// wide prefix; each partition appends "s<i>-" to it. Set
+	// Partition.Health to make every partition self-healing.
 	Partition cluster.Options
+	// OnFailover observes each partition's heal-loop events, tagged with
+	// the shard index (Partition.Health.OnEvent, if also set, fires too).
+	// Called from the partitions' heal goroutines; must not block.
+	OnFailover func(shard int, ev cluster.FailoverEvent)
 }
 
 // DefaultOptions returns a 4-shard deployment with per-partition paper
@@ -106,6 +111,19 @@ func (c *Cluster) startPartition(i int) error {
 	// completion records between partitions, and cross-partition ID
 	// collisions would hand one client another client's saved results.
 	popts.ClientIDNamespace = cluster.ClientIDNamespaceFor(i)
+	if popts.Health != nil {
+		// Per-partition copy so each heal loop reports its own shard.
+		h := *popts.Health
+		if inner, outer := h.OnEvent, c.opts.OnFailover; outer != nil {
+			h.OnEvent = func(ev cluster.FailoverEvent) {
+				outer(i, ev)
+				if inner != nil {
+					inner(ev)
+				}
+			}
+		}
+		popts.Health = &h
+	}
 	part, err := cluster.Start(c.Net, popts)
 	if err != nil {
 		return fmt.Errorf("shard: start partition %d: %w", i, err)
@@ -212,8 +230,25 @@ func (c *Cluster) NewClient(name string) (*Client, error) {
 	return cl, nil
 }
 
-// CrashMaster crashes shard s's master. The other shards keep serving.
+// CrashMaster crashes shard s's master. The other shards keep serving;
+// with self-healing enabled, shard s's coordinator promotes a
+// replacement on its own.
 func (c *Cluster) CrashMaster(s int) { c.Part(s).CrashMaster() }
+
+// CrashWitness crashes shard s's i-th witness server. With self-healing
+// enabled, the shard's coordinator installs a replacement.
+func (c *Cluster) CrashWitness(s, i int) { c.Part(s).CrashWitness(i) }
+
+// WaitHealthy blocks until every partition's health table reports all
+// nodes alive (self-healing deployments), or ctx ends.
+func (c *Cluster) WaitHealthy(ctx context.Context) error {
+	for _, part := range c.partsSnapshot() {
+		if err := part.WaitHealthy(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Recover replaces shard s's crashed master with a fresh server. newAddr is
 // prefixed with the shard's name prefix, so the same logical name (e.g.

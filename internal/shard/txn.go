@@ -91,6 +91,12 @@ func (b shardTxnBackend) DecideHome(ctx context.Context, shard int, id rifl.RPCI
 	return sc.TxnDecideHome(ctx, id, commit, homeHash)
 }
 
+func (b shardTxnBackend) ForgetDecision(ctx context.Context, shard int, id rifl.RPCID, homeHash uint64) {
+	if sc, err := b.clientFor(shard); err == nil {
+		sc.ForgetTxnDecision(ctx, id, homeHash)
+	}
+}
+
 // clientFor returns the per-shard client for index s under the current
 // snapshot.
 func (b shardTxnBackend) clientFor(s int) (*cluster.Client, error) {

@@ -82,6 +82,11 @@ type Backend interface {
 	// returns the outcome that stuck (false when an orphan resolver
 	// recorded an abort first).
 	DecideHome(ctx context.Context, shard int, id rifl.RPCID, commit bool, homeHash uint64) (bool, error)
+	// ForgetDecision prunes the transaction's decision record on the home
+	// shard once every participant acknowledged the decide (decision-
+	// record GC). Best-effort: a failure just leaves the record until
+	// lease expiry reclaims it.
+	ForgetDecision(ctx context.Context, shard int, id rifl.RPCID, homeHash uint64)
 }
 
 // Errors returned by Commit.
@@ -453,7 +458,13 @@ func (t *Txn) commitCross(ctx context.Context, groups []*shardGroup) error {
 		return fmt.Errorf("curp: txn decision outcome unknown: %w", err)
 	}
 	if !committed {
-		t.distributeDecide(ctx, id, false, prepared)
+		// An orphan resolver recorded an abort first; the record exists at
+		// the home, so once every prepared participant APPLIED the
+		// rollback it is garbage too.
+		settled, applied := t.distributeDecide(ctx, id, false, prepared)
+		if settled && applied {
+			t.b.ForgetDecision(ctx, home, id, homeHash)
+		}
 		t.b.FinishTxnID(home, id)
 		return ErrTxnAborted
 	}
@@ -463,24 +474,39 @@ func (t *Txn) commitCross(ctx context.Context, groups []*shardGroup) error {
 	// cannot reach applies it later via lock-timeout resolution, and its
 	// locked keys block conflicting reads until then (no one observes the
 	// pre-commit state after this point).
-	if t.distributeDecide(ctx, id, true, prepared) {
-		// Every participant applied and synced the decision: no completion
-		// record for the ID is needed anywhere anymore.
+	if settled, applied := t.distributeDecide(ctx, id, true, prepared); settled {
+		// Every participant settled: no completion record for the ID is
+		// needed anywhere anymore.
 		t.b.FinishTxnID(home, id)
+		if applied {
+			// ...and every decide truly APPLIED (none bounced off a
+			// migrating range), so the home's decision record has no
+			// readers left — prune it instead of letting the decision
+			// table grow until lease expiry. A bounced decide means the
+			// participant's prepared state settles through migration's
+			// force-resolution, which must still find the record; those
+			// records fall to lease expiry instead.
+			t.b.ForgetDecision(ctx, home, id, homeHash)
+		}
 	}
 	return nil
 }
 
 // distributeDecide sends the decision to every listed participant in
-// parallel, reporting whether all acknowledged. A core.ErrKeyMoved counts
-// as acknowledged: a range only moves after the source settled its
-// prepared transactions (migration's pre-export resolution), so the
-// decision is already applied wherever the keys now live.
-func (t *Txn) distributeDecide(ctx context.Context, id rifl.RPCID, commit bool, groups []*shardGroup) bool {
+// parallel. settled reports whether every participant either applied the
+// decide or bounced it with core.ErrKeyMoved — a bounce is settled
+// because the range's prepared transactions resolve through migration's
+// own machinery (pre-export force-resolution, or replay at the new
+// owner). applied is the STRICT outcome: every decide executed (no
+// bounces) — the only condition under which the home's decision record
+// has provably no readers left and may be garbage-collected; a bounced
+// participant's pending force-resolution still needs to look it up.
+func (t *Txn) distributeDecide(ctx context.Context, id rifl.RPCID, commit bool, groups []*shardGroup) (settled, applied bool) {
 	if len(groups) == 0 {
-		return true
+		return true, true
 	}
-	done := make(chan bool, len(groups))
+	type outcome struct{ settled, applied bool }
+	done := make(chan outcome, len(groups))
 	for _, g := range groups {
 		go func(g *shardGroup) {
 			cmd := &kv.Command{
@@ -489,14 +515,17 @@ func (t *Txn) distributeDecide(ctx context.Context, id rifl.RPCID, commit bool, 
 				Hashes: g.hashes(),
 			}
 			_, err := t.b.Decide(ctx, g.shard, cmd)
-			done <- err == nil || errors.Is(err, core.ErrKeyMoved)
+			done <- outcome{
+				settled: err == nil || errors.Is(err, core.ErrKeyMoved),
+				applied: err == nil,
+			}
 		}(g)
 	}
-	all := true
+	settled, applied = true, true
 	for range groups {
-		if !<-done {
-			all = false
-		}
+		o := <-done
+		settled = settled && o.settled
+		applied = applied && o.applied
 	}
-	return all
+	return settled, applied
 }

@@ -3,6 +3,7 @@ package curp
 import (
 	"context"
 
+	"curp/internal/cluster"
 	"curp/internal/kv"
 	"curp/internal/shard"
 	"curp/internal/transport"
@@ -31,10 +32,16 @@ type ShardedCluster struct {
 }
 
 // StartSharded boots opts.Shards independent partitions (at least one),
-// each configured like Start configures its single partition.
+// each configured like Start configures its single partition. With
+// Options.SelfHealing every partition heals itself: each coordinator
+// watches its own master, backups, and witnesses.
 func StartSharded(opts Options) (*ShardedCluster, error) {
 	nw := memNetwork(opts)
 	sopts := shard.Options{Shards: opts.Shards, Partition: clusterOptions(opts)}
+	if opts.OnFailover != nil {
+		cb := opts.OnFailover
+		sopts.OnFailover = func(s int, ev cluster.FailoverEvent) { cb(toFailoverEvent(s, ev)) }
+	}
 	inner, err := shard.StartCluster(nw, sopts)
 	if err != nil {
 		return nil, err
@@ -79,8 +86,19 @@ func (c *ShardedCluster) NewClient(name string) (*ShardedClient, error) {
 }
 
 // CrashMaster simulates a crash of shard s's master; the remaining shards
-// keep serving.
+// keep serving. With SelfHealing set, shard s's coordinator promotes a
+// replacement on its own — no Recover call needed.
 func (c *ShardedCluster) CrashMaster(s int) { c.inner.CrashMaster(s) }
+
+// CrashWitness simulates a crash of shard s's i-th witness server. With
+// SelfHealing set, the shard's coordinator installs a replacement under a
+// bumped witness-list version.
+func (c *ShardedCluster) CrashWitness(s, i int) { c.inner.CrashWitness(s, i) }
+
+// WaitHealthy blocks until every partition's nodes are back within their
+// heartbeat deadlines — all in-flight automatic failovers have finished —
+// or ctx ends. Meaningful only with SelfHealing set.
+func (c *ShardedCluster) WaitHealthy(ctx context.Context) error { return c.inner.WaitHealthy(ctx) }
 
 // Recover replaces shard s's crashed master with a fresh server at newAddr
 // (any name unused within that shard; it is scoped to the shard, so the
@@ -95,7 +113,7 @@ func (c *ShardedCluster) MasterAddrs() []string {
 	parts := c.inner.Partitions()
 	addrs := make([]string, 0, len(parts))
 	for _, part := range parts {
-		addrs = append(addrs, part.Master.Addr())
+		addrs = append(addrs, part.CurrentMaster().Addr())
 	}
 	return addrs
 }

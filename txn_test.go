@@ -455,3 +455,58 @@ func TestTxnLinearizable(t *testing.T) {
 		}
 	}
 }
+
+// TestTxnDecisionRecordGC: the home shard's decision table must not grow
+// with settled transactions — once every participant acknowledged the
+// decide, the coordinator prunes the record (OpTxnForget), for commits
+// and for resolver-recorded aborts alike.
+func TestTxnDecisionRecordGC(t *testing.T) {
+	c, err := StartSharded(Options{F: 1, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient("txn-gc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	keys := crossShardTxnKeys(t, "gc", 3, 3)
+	const txns = 25
+	for i := 0; i < txns; i++ {
+		tx := cl.Txn()
+		tx.Increment(keys[0], 1)
+		tx.Increment(keys[1], 1)
+		tx.Put(keys[2], []byte(fmt.Sprintf("v%d", i)))
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+
+	// The forget rides the async engine; drain it with a bounded poll.
+	decisions := func() int {
+		total := 0
+		for _, part := range c.inner.Partitions() {
+			total += part.CurrentMaster().Store().DecisionCount()
+		}
+		return total
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for decisions() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("decision records never pruned: %d left after %d settled txns", decisions(), txns)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The data itself must be intact after the GC.
+	if n, err := cl.Increment(ctx, keys[0], 0); err != nil || n != txns {
+		t.Fatalf("keys[0] = %d %v, want %d", n, err, txns)
+	}
+	if n, err := cl.Increment(ctx, keys[1], 0); err != nil || n != txns {
+		t.Fatalf("keys[1] = %d %v, want %d", n, err, txns)
+	}
+}
