@@ -179,4 +179,7 @@ func Failover(w io.Writer, ops int) {
 	exitOn(err)
 	exitOn(os.WriteFile("BENCH_failover.json", append(buf, '\n'), 0o644))
 	fmt.Fprintln(w, "wrote BENCH_failover.json")
+	// The failover snapshot is the interesting one: it records non-zero
+	// curp_heal_events_total and the replacement nodes' series.
+	writeMetricsSnapshot(w, "failover", dumpMetrics(c))
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// metricsSource is the slice of the public API the snapshot helpers need;
+// both curp.Cluster and curp.ShardedCluster implement it.
+type metricsSource interface{ WriteMetrics(io.Writer) error }
+
+// dumpMetrics captures a cluster's full Prometheus exposition while it is
+// still running (call before Close). A snapshot error yields nil — the
+// benchmark numbers matter more than the sidecar.
+func dumpMetrics(c metricsSource) []byte {
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// writeMetricsSnapshot stores an experiment's final metrics exposition as
+// BENCH_<experiment>_metrics.prom, alongside its BENCH_<experiment>.json:
+// the CI bench job archives the observability plane's view of the run
+// (fast-path counters, sync batch sizes, witness rejects, heal events)
+// next to the end-to-end numbers it already tracks.
+func writeMetricsSnapshot(w io.Writer, experiment string, snapshot []byte) {
+	if len(snapshot) == 0 {
+		return
+	}
+	name := fmt.Sprintf("BENCH_%s_metrics.prom", experiment)
+	exitOn(os.WriteFile(name, snapshot, 0o644))
+	fmt.Fprintf(w, "wrote %s\n", name)
+}

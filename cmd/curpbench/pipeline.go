@@ -42,8 +42,10 @@ func Pipeline(w io.Writer, ops int) {
 	fmt.Fprintln(w, "Pipeline throughput (real stack, in-memory network, 1 closed-loop client)")
 	fmt.Fprintf(w, "%-8s %12s %10s %10s\n", "depth", "ops/s", "scaling", "fastpath")
 	var base float64
+	var snapshot []byte
 	for _, depth := range depths {
-		opsPerSec, fastFrac := runPipelineLoad(depth, ops, f)
+		opsPerSec, fastFrac, snap := runPipelineLoad(depth, ops, f)
+		snapshot = snap // keep the deepest configuration's exposition
 		if depth == 1 {
 			base = opsPerSec
 		}
@@ -55,12 +57,14 @@ func Pipeline(w io.Writer, ops int) {
 	exitOn(err)
 	exitOn(os.WriteFile("BENCH_pipeline.json", append(buf, '\n'), 0o644))
 	fmt.Fprintln(w, "wrote BENCH_pipeline.json")
+	writeMetricsSnapshot(w, "pipeline", snapshot)
 }
 
 // runPipelineLoad runs one closed-loop client writing distinct keys
-// through pipelines of the given depth and reports aggregate ops/s plus
-// the fraction of operations that completed on the 1-RTT fast path.
-func runPipelineLoad(depth, ops, f int) (opsPerSec, fastFrac float64) {
+// through pipelines of the given depth and reports aggregate ops/s, the
+// fraction of operations that completed on the 1-RTT fast path, and the
+// cluster's final metrics exposition.
+func runPipelineLoad(depth, ops, f int) (opsPerSec, fastFrac float64, snapshot []byte) {
 	c, err := curp.Start(curp.Options{F: f})
 	exitOn(err)
 	defer c.Close()
@@ -85,5 +89,5 @@ func runPipelineLoad(depth, ops, f int) (opsPerSec, fastFrac float64) {
 	if total > 0 {
 		fastFrac = float64(st.FastPath) / float64(total)
 	}
-	return float64(ops) / elapsed, fastFrac
+	return float64(ops) / elapsed, fastFrac, dumpMetrics(c)
 }

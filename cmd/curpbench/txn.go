@@ -43,8 +43,10 @@ func Txn(w io.Writer, ops int) {
 	report := txnReport{Experiment: "txn", Ops: ops, F: f, Shards: shards}
 	fmt.Fprintln(w, "Transaction throughput (real stack, in-memory network, 1 closed-loop client)")
 	fmt.Fprintf(w, "%-14s %12s %10s %10s\n", "mode", "txns/s", "fastpath", "aborts")
+	var snapshot []byte
 	for _, cross := range []bool{false, true} {
-		row := runTxnLoad(cross, ops, f, shards)
+		row, snap := runTxnLoad(cross, ops, f, shards)
+		snapshot = snap // keep the cross-shard run's exposition
 		report.Rows = append(report.Rows, row)
 		fmt.Fprintf(w, "%-14s %12.0f %9.2f%% %9.2f%%\n", row.Mode, row.OpsPerSec, 100*row.FastPathFrac, 100*row.AbortFrac)
 	}
@@ -52,13 +54,14 @@ func Txn(w io.Writer, ops int) {
 	exitOn(err)
 	exitOn(os.WriteFile("BENCH_txn.json", append(buf, '\n'), 0o644))
 	fmt.Fprintln(w, "wrote BENCH_txn.json")
+	writeMetricsSnapshot(w, "txn", snapshot)
 }
 
 // runTxnLoad runs one closed-loop client committing two-key transactions —
 // both keys on one shard (cross=false) or one key per shard (cross=true) —
 // and reports throughput, the 1-RTT fast-path fraction, and the abort
 // (optimistic-retry) fraction.
-func runTxnLoad(cross bool, ops, f, shards int) txnRow {
+func runTxnLoad(cross bool, ops, f, shards int) (txnRow, []byte) {
 	c, err := curp.StartSharded(curp.Options{F: f, Shards: shards})
 	exitOn(err)
 	defer c.Close()
@@ -116,5 +119,5 @@ func runTxnLoad(cross bool, ops, f, shards int) txnRow {
 		OpsPerSec:    float64(len(pairs)) / elapsed,
 		FastPathFrac: fastFrac,
 		AbortFrac:    float64(aborts) / float64(len(pairs)+aborts),
-	}
+	}, dumpMetrics(c)
 }

@@ -27,6 +27,16 @@
 //
 //	curpctl -coordinator 127.0.0.1:7000 -shards 4 status
 //
+// top is a live dashboard over the same deployment: it polls each shard's
+// partition /metrics endpoint (coordinator RPC port + 500, the curpd
+// -metrics layout) every second and redraws per-shard throughput,
+// fast-path share, sync lag, recovery epoch, node liveness, and heal-event
+// counts. Optional arguments set the refresh interval and an iteration
+// limit (0 = run until Ctrl-C):
+//
+//	curpctl -coordinator 127.0.0.1:7000 -shards 4 top
+//	curpctl -coordinator 127.0.0.1:7000 -shards 4 top 500ms 10
+//
 // rebalance grows the routing ring live: with partitions 0..M-1 already
 // running (curpd -shards M provisions spares that own no keys), it
 // migrates key ranges from an N-shard ring onto the new shards without
@@ -92,6 +102,11 @@ func main() {
 	}
 	if args[0] == "status" {
 		runStatus(*coord, *shards, *timeout)
+		return
+	}
+	if args[0] == "top" {
+		interval, iterations := topArgs(args)
+		runTop(*coord, *shards, *timeout, interval, iterations)
 		return
 	}
 	if args[0] == "rebalance" {
@@ -274,9 +289,10 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|shard|bench|status|rebalance args...")
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|shard|bench|status|top|rebalance args...")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port rebalance <fromShards> <toShards>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N status")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N top [interval [iterations]]")
 	os.Exit(2)
 }
 

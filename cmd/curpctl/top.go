@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// top is the live per-shard dashboard: it polls every shard's partition
+// metrics endpoint (coordinator RPC port + 500, the curpd convention),
+// computes throughput and fast-path share from counter deltas between
+// refreshes, and redraws a one-line-per-shard table. Reads go through the
+// observability plane only — top never touches the data path, so it is
+// safe to leave running against a loaded cluster.
+
+// shardSample is one scrape of a shard's partition-level series, summed by
+// metric name (the only multi-series family top reads, heal events by
+// kind, wants the sum anyway).
+type shardSample struct {
+	at  time.Time
+	m   map[string]float64
+	err error
+}
+
+func runTop(coordBase string, shards int, timeout, interval time.Duration, iterations int) {
+	client := &http.Client{Timeout: timeout}
+	prev := make([]shardSample, shards)
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		cur := make([]shardSample, shards)
+		for s := 0; s < shards; s++ {
+			cur[s] = scrapeShard(client, coordBase, s)
+		}
+		render(cur, prev, interval)
+		prev = cur
+	}
+}
+
+// scrapeShard fetches shard s's /metrics and folds it into name→value.
+func scrapeShard(client *http.Client, coordBase string, s int) shardSample {
+	sample := shardSample{at: time.Now()}
+	addr, err := shardMetricsAddr(coordBase, s)
+	if err != nil {
+		sample.err = err
+		return sample
+	}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		sample.err = err
+		return sample
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		sample.err = fmt.Errorf("%s: HTTP %d", addr, resp.StatusCode)
+		return sample
+	}
+	sample.m = parsePromText(resp.Body)
+	return sample
+}
+
+// shardMetricsAddr derives shard s's partition metrics endpoint from the
+// coordinator base address: port + s*1000 + 500.
+func shardMetricsAddr(base string, s int) (string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", err
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+s*1000+500)), nil
+}
+
+// parsePromText reads Prometheus text exposition, summing every series of
+// a family into one value per metric name (labels stripped). Histogram
+// bucket/sum/count series keep their suffixed names and don't collide with
+// the families top reads.
+func parsePromText(r io.Reader) map[string]float64 {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		name := line[:sp]
+		if br := strings.IndexByte(name, '{'); br >= 0 {
+			name = name[:br]
+		}
+		out[name] += val
+	}
+	return out
+}
+
+func render(cur, prev []shardSample, interval time.Duration) {
+	var b strings.Builder
+	// Clear screen and home the cursor; a dumb terminal just sees the
+	// escapes once per refresh.
+	b.WriteString("\x1b[2J\x1b[H")
+	fmt.Fprintf(&b, "curpctl top — %d shard(s) — %s  (refresh %v, Ctrl-C quits)\n\n",
+		len(cur), time.Now().Format("15:04:05"), interval)
+	fmt.Fprintf(&b, "%-5s %9s %6s %9s %6s %7s %6s %5s  %s\n",
+		"SHARD", "OPS/S", "FAST%", "SYNC-LAG", "EPOCH", "HEAD", "ALIVE", "HEAL", "STATUS")
+	var totalRate float64
+	for s := range cur {
+		c := cur[s]
+		if c.err != nil {
+			fmt.Fprintf(&b, "%-5d %9s %6s %9s %6s %7s %6s %5s  UNREACHABLE: %v\n",
+				s, "-", "-", "-", "-", "-", "-", "-", c.err)
+			continue
+		}
+		rate, fast := shardRates(c, prev[s])
+		totalRate += rate
+		status := "manual"
+		if c.m["curp_partition_self_healing"] > 0 {
+			status = "self-healing"
+		}
+		fmt.Fprintf(&b, "%-5d %9.0f %6s %9.0f %6.0f %7.0f %3.0f/%-2.0f %5.0f  %s\n",
+			s, rate, fast,
+			c.m["curp_partition_sync_lag_ops"],
+			c.m["curp_partition_epoch"],
+			c.m["curp_partition_head_lsn"],
+			c.m["curp_partition_nodes_alive"], c.m["curp_partition_nodes_total"],
+			c.m["curp_heal_events_total"],
+			status)
+	}
+	fmt.Fprintf(&b, "\ntotal %.0f ops/s\n", totalRate)
+	os.Stdout.WriteString(b.String())
+}
+
+// shardRates derives update throughput and the fast-path share from the
+// speculative / conflict-sync counter deltas since the previous scrape.
+// The first refresh has no baseline and reports zero.
+func shardRates(cur, prev shardSample) (rate float64, fastPct string) {
+	fastPct = "-"
+	if prev.m == nil || prev.err != nil {
+		return 0, fastPct
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return 0, fastPct
+	}
+	dSpec := cur.m["curp_partition_speculative_ops_total"] - prev.m["curp_partition_speculative_ops_total"]
+	dConf := cur.m["curp_partition_conflict_syncs_total"] - prev.m["curp_partition_conflict_syncs_total"]
+	if dSpec < 0 { // master replaced: counters restarted
+		return 0, fastPct
+	}
+	if dSpec > 0 {
+		fastPct = fmt.Sprintf("%.1f", 100*(dSpec-dConf)/dSpec)
+	}
+	return dSpec / dt, fastPct
+}
+
+// topArgs parses `top [interval [iterations]]`.
+func topArgs(args []string) (time.Duration, int) {
+	interval := time.Second
+	iterations := 0
+	if len(args) > 1 {
+		d, err := time.ParseDuration(args[1])
+		exitOn(err)
+		interval = d
+	}
+	if len(args) > 2 {
+		n, err := strconv.Atoi(args[2])
+		exitOn(err)
+		iterations = n
+	}
+	return interval, iterations
+}

@@ -35,6 +35,17 @@
 // the all-in-one mode when you want coordinator-driven reconfiguration,
 // recovery, and self-healing. Clients connect with cmd/curpctl or
 // cluster.NewClient.
+//
+// Observability: every node serves Prometheus text exposition at
+// GET /metrics on RPC port + 500 (-metrics=false disables). Within a shard
+// block that means coordinator base+500 (coordinator series plus the
+// current master's — the per-partition dashboard endpoint `curpctl top`
+// scrapes), master base+501, backups base+600+i, witnesses base+700+i,
+// replacement witnesses base+900+. The master endpoints re-resolve the
+// live master per scrape, so they stay correct across failovers.
+// Component modes take an explicit -metrics-addr instead.
+// -trace-threshold logs a structured span to stderr for every op slower
+// than the threshold.
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 
 	"curp/internal/cluster"
 	"curp/internal/health"
+	"curp/internal/metrics"
 	"curp/internal/transport"
 	"curp/internal/witness"
 )
@@ -57,7 +69,7 @@ import (
 func main() {
 	mode := flag.String("mode", "cluster", "cluster | master | backup | witness")
 	host := flag.String("host", "127.0.0.1", "cluster mode: bind host")
-	port := flag.Int("port", 7000, "cluster mode: base port (coordinator; +1 master; +100+i backups; +200+i witnesses; +300/+400 failover spares)")
+	port := flag.Int("port", 7000, "cluster mode: base port (coordinator; +1 master; +100+i backups; +200+i witnesses; +300/+400 failover spares; /metrics on RPC port +500)")
 	shards := flag.Int("shards", 1, "cluster mode: number of independent partitions; shard s uses port block port+s*1000")
 	f := flag.Int("f", 3, "fault tolerance level (backups & witnesses)")
 	addr := flag.String("addr", "", "component modes: listen address")
@@ -67,16 +79,20 @@ func main() {
 	adaptive := flag.Bool("adaptive-flush", true, "load-adaptive background flush threshold instead of a fixed batch size")
 	selfHeal := flag.Bool("self-heal", true, "cluster mode: heartbeat failure detection with automatic master failover & witness replacement")
 	hbInterval := flag.Duration("heartbeat", health.DefaultInterval, "cluster mode: heartbeat interval (failure declared after 8×)")
+	metricsOn := flag.Bool("metrics", true, "cluster mode: serve GET /metrics on every node at RPC port + 500")
+	metricsAddr := flag.String("metrics-addr", "", "component modes: serve this node's GET /metrics on this address")
+	trace := flag.Duration("trace-threshold", 0, "master: log a structured span to stderr for ops slower than this (0 disables)")
 	flag.Parse()
 
 	nw := transport.TCPNetwork{}
 	switch *mode {
 	case "cluster":
-		runShardedCluster(nw, *host, *port, *shards, *f, *batch, *adaptive, *selfHeal, *hbInterval)
+		runShardedCluster(nw, *host, *port, *shards, *f, *batch, *adaptive, *selfHeal, *hbInterval, *metricsOn, *trace)
 	case "backup":
 		requireAddr(*addr)
 		srv, err := cluster.NewBackupServer(nw, *addr)
 		exitOn(err)
+		serveMetricsAddr(*metricsAddr, srv.Metrics())
 		log.Printf("backup listening on %s", *addr)
 		waitForSignal()
 		srv.Close()
@@ -84,6 +100,7 @@ func main() {
 		requireAddr(*addr)
 		srv, err := cluster.NewWitnessServer(nw, *addr, witness.DefaultConfig())
 		exitOn(err)
+		serveMetricsAddr(*metricsAddr, srv.Metrics())
 		log.Printf("witness listening on %s", *addr)
 		waitForSignal()
 		srv.Close()
@@ -99,6 +116,10 @@ func main() {
 		// version 1; witness instances must be started by the operator
 		// (curpctl start-witness) or by an all-in-one coordinator.
 		exitOn(ms.SetWitnessList(1, split(*witnesses)))
+		if *trace > 0 {
+			ms.SetSlowOpTracer(metrics.NewTracer(os.Stderr, *trace))
+		}
+		serveMetricsAddr(*metricsAddr, ms.Metrics())
 		log.Printf("master listening on %s (backups=%s witnesses=%s)", *addr, *backups, *witnesses)
 		waitForSignal()
 		ms.Close()
@@ -110,13 +131,13 @@ func main() {
 
 // runShardedCluster boots `shards` independent partitions, shard s on the
 // port block base+s*1000, then waits for a shutdown signal.
-func runShardedCluster(nw transport.Network, host string, basePort, shards, f, batch int, adaptive, selfHeal bool, hb time.Duration) {
+func runShardedCluster(nw transport.Network, host string, basePort, shards, f, batch int, adaptive, selfHeal bool, hb time.Duration, metricsOn bool, trace time.Duration) {
 	if shards < 1 {
 		shards = 1
 	}
 	var closers []interface{ Close() }
 	for s := 0; s < shards; s++ {
-		closers = append(closers, startPartition(nw, s, host, basePort+s*1000, f, batch, adaptive, selfHeal, hb)...)
+		closers = append(closers, startPartition(nw, s, host, basePort+s*1000, f, batch, adaptive, selfHeal, hb, metricsOn, trace)...)
 	}
 	waitForSignal()
 	for _, c := range closers {
@@ -134,6 +155,7 @@ type tcpSpares struct {
 	coordAddr string
 	hb        time.Duration
 	wcfg      witness.Config
+	metricsOn bool
 	seq       atomic.Uint64
 }
 
@@ -142,18 +164,25 @@ func (s *tcpSpares) SpareMasterAddr(uint64) (string, error) {
 }
 
 func (s *tcpSpares) SpareWitness(uint64) (string, error) {
-	addr := fmt.Sprintf("%s:%d", s.host, s.base+400+int(s.seq.Add(1)))
+	n := int(s.seq.Add(1))
+	addr := fmt.Sprintf("%s:%d", s.host, s.base+400+n)
 	w, err := cluster.NewWitnessServer(s.nw, addr, s.wcfg)
 	if err != nil {
 		return "", err
 	}
 	w.StartHeartbeat(s.coordAddr, s.hb)
+	if s.metricsOn {
+		// Same RPC+500 convention as boot-time nodes: base+900+n.
+		if _, err := metrics.Serve(fmt.Sprintf("%s:%d", s.host, s.base+900+n), w.Metrics()); err != nil {
+			log.Printf("metrics for replacement witness %s: %v", addr, err)
+		}
+	}
 	return addr, nil
 }
 
 // startPartition boots one partition (coordinator, master, f backups, f
 // witnesses) on sequential ports from port, returning everything to close.
-func startPartition(nw transport.Network, shard int, host string, port, f, batch int, adaptive, selfHeal bool, hb time.Duration) []interface{ Close() } {
+func startPartition(nw transport.Network, shard int, host string, port, f, batch int, adaptive, selfHeal bool, hb time.Duration, metricsOn bool, trace time.Duration) []interface{ Close() } {
 	coordAddr := fmt.Sprintf("%s:%d", host, port)
 	coord, err := cluster.NewCoordinator(nw, coordAddr, time.Minute)
 	exitOn(err)
@@ -161,6 +190,14 @@ func startPartition(nw transport.Network, shard int, host string, port, f, batch
 	// completion records between partitions and must never collide them.
 	coord.SetClientIDNamespace(cluster.ClientIDNamespaceFor(shard))
 	closers := []interface{ Close() }{coord}
+	serveMetrics := func(rpcPort int, regs ...*metrics.Registry) {
+		if !metricsOn {
+			return
+		}
+		srv, err := metrics.Serve(fmt.Sprintf("%s:%d", host, rpcPort+500), regs...)
+		exitOn(err)
+		closers = append(closers, errCloser{srv})
+	}
 	var backupAddrs, witnessAddrs []string
 	var backupSrvs []*cluster.BackupServer
 	var witnessSrvs []*cluster.WitnessServer
@@ -171,12 +208,14 @@ func startPartition(nw transport.Network, shard int, host string, port, f, batch
 		closers = append(closers, b)
 		backupSrvs = append(backupSrvs, b)
 		backupAddrs = append(backupAddrs, ba)
+		serveMetrics(port+100+i, b.Metrics())
 		wa := fmt.Sprintf("%s:%d", host, port+200+i)
 		w, err := cluster.NewWitnessServer(nw, wa, witness.DefaultConfig())
 		exitOn(err)
 		closers = append(closers, w)
 		witnessSrvs = append(witnessSrvs, w)
 		witnessAddrs = append(witnessAddrs, wa)
+		serveMetrics(port+200+i, w.Metrics())
 	}
 	opts := cluster.DefaultMasterOptions()
 	opts.Core.SyncBatchSize = batch
@@ -184,8 +223,28 @@ func startPartition(nw transport.Network, shard int, host string, port, f, batch
 	masterAddr := fmt.Sprintf("%s:%d", host, port+1)
 	ms, err := cluster.NewMasterServer(nw, 1, masterAddr, 0, opts)
 	exitOn(err)
+	ms.SetShardIndex(shard)
+	if trace > 0 {
+		ms.SetSlowOpTracer(metrics.NewTracer(os.Stderr, trace))
+	}
 	closers = append(closers, ms)
 	exitOn(coord.AddMaster(ms, backupAddrs, witnessAddrs))
+	if metricsOn {
+		// Coordinator endpoint (base+500) doubles as the per-partition
+		// dashboard: coordinator series plus the live master's. The
+		// dedicated master endpoint (base+501) re-resolves the registry per
+		// scrape so a heal-promoted replacement keeps the same URL.
+		dash, err := metrics.ServeDynamic(fmt.Sprintf("%s:%d", host, port+500), func() []*metrics.Registry {
+			return []*metrics.Registry{coord.Metrics(), coord.MasterRegistry()}
+		})
+		exitOn(err)
+		closers = append(closers, errCloser{dash})
+		msrv, err := metrics.ServeDynamic(fmt.Sprintf("%s:%d", host, port+501), func() []*metrics.Registry {
+			return []*metrics.Registry{coord.MasterRegistry()}
+		})
+		exitOn(err)
+		closers = append(closers, errCloser{msrv})
+	}
 	if selfHeal {
 		det := health.Config{Interval: hb}.WithDefaults()
 		ms.StartHeartbeat(coordAddr, det.Interval)
@@ -195,7 +254,7 @@ func startPartition(nw transport.Network, shard int, host string, port, f, batch
 		for _, w := range witnessSrvs {
 			w.StartHeartbeat(coordAddr, det.Interval)
 		}
-		spares := &tcpSpares{nw: nw, host: host, base: port, coordAddr: coordAddr, hb: det.Interval, wcfg: witness.DefaultConfig()}
+		spares := &tcpSpares{nw: nw, host: host, base: port, coordAddr: coordAddr, hb: det.Interval, wcfg: witness.DefaultConfig(), metricsOn: metricsOn}
 		exitOn(coord.EnableSelfHealing(cluster.HealthConfig{
 			Detector: det,
 			Spares:   spares,
@@ -205,6 +264,24 @@ func startPartition(nw transport.Network, shard int, host string, port, f, batch
 	log.Printf("shard %d up: coordinator=%s master=%s backups=%v witnesses=%v self-heal=%v adaptive-flush=%v",
 		shard, coordAddr, masterAddr, backupAddrs, witnessAddrs, selfHeal, adaptive)
 	return closers
+}
+
+// errCloser adapts metrics.Server (whose Close returns error) to the
+// closers list.
+type errCloser struct{ srv *metrics.Server }
+
+func (c errCloser) Close() { _ = c.srv.Close() }
+
+// serveMetricsAddr starts a component-mode /metrics endpoint when the
+// operator passed -metrics-addr (standalone nodes have no port convention
+// to derive one from).
+func serveMetricsAddr(addr string, regs ...*metrics.Registry) {
+	if addr == "" {
+		return
+	}
+	srv, err := metrics.Serve(addr, regs...)
+	exitOn(err)
+	log.Printf("metrics on http://%s/metrics", srv.Addr)
 }
 
 func split(s string) []string {

@@ -39,6 +39,8 @@ package curp
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"strconv"
 	"time"
 
@@ -46,6 +48,7 @@ import (
 	"curp/internal/core"
 	"curp/internal/dstore"
 	"curp/internal/kv"
+	"curp/internal/metrics"
 	"curp/internal/rifl"
 	"curp/internal/transport"
 	"curp/internal/witness"
@@ -145,6 +148,16 @@ type Stats struct {
 	Retries uint64
 	// BackupReads and MasterReads split GetNearby outcomes.
 	BackupReads, MasterReads uint64
+	// Redirects counts operations bounced to another shard by a ring
+	// change (rebalancing); the routing layer retried them transparently.
+	Redirects uint64
+	// TxnCommits and TxnAborts count transaction outcomes through this
+	// client; TxnOrphanResolutions are aborts recorded by a lock-timeout
+	// resolver after the coordinator went silent (presumed abort).
+	TxnCommits, TxnAborts, TxnOrphanResolutions uint64
+	// PipelineDepth is the number of async operations currently in flight
+	// (futures issued and not yet completed).
+	PipelineDepth uint64
 }
 
 // Cluster is a running CURP deployment for one data partition.
@@ -276,6 +289,35 @@ func (c *Cluster) BackupAddrs() []string {
 // Close shuts every server down.
 func (c *Cluster) Close() { c.inner.Close() }
 
+// MetricsHandler returns an http.Handler serving the whole partition's
+// metrics — coordinator, master, backups, witnesses — in Prometheus text
+// exposition format. Embedded deployments mount it wherever they like:
+//
+//	http.Handle("/metrics", cl.MetricsHandler())
+//
+// Registries are re-fetched per request, so a self-healing failover that
+// promotes a replacement master is reflected on the next scrape.
+func (c *Cluster) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		metrics.Handler(c.inner.Registries()...).ServeHTTP(w, req)
+	})
+}
+
+// WriteMetrics renders the partition's current metrics to w in Prometheus
+// text exposition format (the non-HTTP form of MetricsHandler — benchmark
+// snapshots, debugging).
+func (c *Cluster) WriteMetrics(w io.Writer) error {
+	for _, r := range c.inner.Registries() {
+		if r == nil {
+			continue
+		}
+		if err := r.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Client is a CURP key-value client.
 type Client struct {
 	inner *cluster.Client
@@ -287,12 +329,17 @@ func (c *Client) Close() { c.inner.Close() }
 // toStats converts the internal counters to the public Stats type.
 func toStats(s core.ClientStats) Stats {
 	return Stats{
-		FastPath:       s.FastPath,
-		SyncedByMaster: s.SyncedByMaster,
-		SlowPath:       s.SlowPath,
-		Retries:        s.Retries,
-		BackupReads:    s.BackupReads,
-		MasterReads:    s.MasterReads,
+		FastPath:             s.FastPath,
+		SyncedByMaster:       s.SyncedByMaster,
+		SlowPath:             s.SlowPath,
+		Retries:              s.Retries,
+		BackupReads:          s.BackupReads,
+		MasterReads:          s.MasterReads,
+		Redirects:            s.Redirects,
+		TxnCommits:           s.TxnCommits,
+		TxnAborts:            s.TxnAborts,
+		TxnOrphanResolutions: s.TxnOrphanResolves,
+		PipelineDepth:        s.InFlight,
 	}
 }
 

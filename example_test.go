@@ -4,11 +4,29 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
+	"strings"
 
 	"curp"
 )
+
+// fetch GETs a URL and returns the body (scrape helper for the examples).
+func fetch(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(b)
+}
 
 // ExampleClient_PutAsync shows fire-and-wait asynchronous writes: several
 // updates are in flight at once from one goroutine, and each Future
@@ -83,6 +101,39 @@ func ExamplePipeline() {
 	}
 	fmt.Printf("users=%d user:2=%s\n", n, v)
 	// Output: users=3 user:2=profile
+}
+
+// ExampleCluster_MetricsHandler mounts an embedded cluster's Prometheus
+// exposition on the application's own HTTP mux. The handler re-resolves
+// the node set per scrape, so it keeps serving the promoted master's
+// series after a failover; every series carries a node="..." label
+// identifying which embedded server it came from. (A ShardedCluster has
+// the same MetricsHandler/WriteMetrics pair, plus ring-level gauges.)
+func ExampleCluster_MetricsHandler() {
+	cluster, err := curp.Start(curp.Options{F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Put(context.Background(), []byte("k"), []byte("v")); err != nil {
+		log.Fatal(err)
+	}
+
+	// In a real application: http.Handle("/metrics", cluster.MetricsHandler())
+	srv := httptest.NewServer(cluster.MetricsHandler())
+	defer srv.Close()
+	body := fetch(srv.URL + "/metrics")
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "curp_master_speculative_ops_total") {
+			fmt.Println(line)
+		}
+	}
+	// Output: curp_master_speculative_ops_total{node="master1"} 1
 }
 
 // ExampleTxn transfers between two counters atomically — across shards —

@@ -8,6 +8,7 @@ import (
 	"curp/internal/core"
 	"curp/internal/health"
 	"curp/internal/kv"
+	"curp/internal/metrics"
 	"curp/internal/rpc"
 	"curp/internal/transport"
 	"curp/internal/witness"
@@ -44,6 +45,11 @@ type BackupServer struct {
 	closed    chan struct{}
 
 	rpc *rpc.Server
+
+	metrics        *metrics.Registry
+	mAppendEntries *metrics.Histogram
+	mAppendLat     *metrics.Histogram
+	mStaleEpochs   *metrics.Counter
 }
 
 // NewBackupServer creates a backup server listening on addr.
@@ -55,6 +61,7 @@ func NewBackupServer(nw transport.Network, addr string) (*BackupServer, error) {
 		closed: make(chan struct{}),
 		rpc:    rpc.NewServer(),
 	}
+	bs.buildMetrics()
 	bs.rpc.Handle(OpBackupAppend, bs.handleAppend)
 	bs.rpc.Handle(OpBackupFetch, bs.handleFetch)
 	bs.rpc.Handle(OpBackupRead, bs.handleRead)
@@ -71,6 +78,31 @@ func NewBackupServer(nw transport.Network, addr string) (*BackupServer, error) {
 
 // Addr returns the server's address.
 func (bs *BackupServer) Addr() string { return bs.addr }
+
+// Metrics returns the server's metric registry for /metrics exposition.
+func (bs *BackupServer) Metrics() *metrics.Registry { return bs.metrics }
+
+// buildMetrics registers the backup-side series: sync batch size and
+// latency (the master's §4.4 batching shows up here as entries per append)
+// plus zombie-defense rejections.
+func (bs *BackupServer) buildMetrics() {
+	r := metrics.NewRegistry()
+	r.SetConstLabels(metrics.L("node", bs.addr))
+	bs.metrics = r
+	bs.mAppendEntries = r.SizeHistogram("curp_backup_append_entries",
+		"Log entries per replication append (master sync batch size).")
+	bs.mAppendLat = r.Histogram("curp_backup_append_duration_seconds",
+		"Server-side latency of replication appends.")
+	bs.mStaleEpochs = r.Counter("curp_backup_stale_epoch_rejects_total",
+		"Appends rejected from deposed masters (zombie defense).")
+	r.GaugeFunc("curp_backup_replicas",
+		"Master logs replicated on this backup.",
+		func() float64 {
+			bs.mu.Lock()
+			defer bs.mu.Unlock()
+			return float64(len(bs.states))
+		})
+}
 
 // Close shuts the server down.
 func (bs *BackupServer) Close() {
@@ -112,10 +144,14 @@ func (bs *BackupServer) handleAppend(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	defer func() { bs.mAppendLat.ObserveDuration(time.Since(start)) }()
+	bs.mAppendEntries.Observe(int64(len(req.Entries)))
 	st := bs.state(req.MasterID)
 	bs.mu.Lock()
 	if req.Epoch < st.epoch {
 		bs.mu.Unlock()
+		bs.mStaleEpochs.Inc()
 		return nil, fmt.Errorf("%s: master %d epoch %d < %d", ErrStaleEpoch, req.MasterID, req.Epoch, st.epoch)
 	}
 	st.epoch = req.Epoch

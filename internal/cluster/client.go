@@ -279,6 +279,11 @@ func (c *Client) Close() { c.provider.close() }
 // Stats exposes protocol counters (fast path vs slow path etc).
 func (c *Client) Stats() core.ClientStats { return c.curp.Stats() }
 
+// CountTxnCommit / CountTxnAbort land transaction outcomes in the
+// client's protocol counters (used by the txn.OutcomeRecorder adapters).
+func (c *Client) CountTxnCommit()           { c.curp.CountTxnCommit() }
+func (c *Client) CountTxnAbort(orphan bool) { c.curp.CountTxnAbort(orphan) }
+
 // Session exposes the client's RIFL session.
 func (c *Client) Session() *rifl.Session { return c.curp.Session() }
 

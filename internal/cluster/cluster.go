@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"curp/internal/health"
+	"curp/internal/metrics"
 	"curp/internal/transport"
 	"curp/internal/witness"
 )
@@ -215,6 +216,24 @@ func (c *Cluster) WitnessServers() []*WitnessServer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]*WitnessServer(nil), c.Witnesses...)
+}
+
+// Registries snapshots every server's metric registry — coordinator,
+// current master (the heal loop may have promoted a replacement since the
+// last call), backups, witnesses. Callers re-fetch per scrape so a
+// failover never leaves them serving a deposed master's registry.
+func (c *Cluster) Registries() []*metrics.Registry {
+	regs := []*metrics.Registry{c.Coord.Metrics()}
+	if m := c.CurrentMaster(); m != nil {
+		regs = append(regs, m.Metrics())
+	}
+	for _, b := range c.Backups {
+		regs = append(regs, b.Metrics())
+	}
+	for _, w := range c.WitnessServers() {
+		regs = append(regs, w.Metrics())
+	}
+	return regs
 }
 
 // SpareMasterAddr implements SpareProvider: a fresh address for a

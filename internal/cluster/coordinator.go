@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"curp/internal/health"
+	"curp/internal/metrics"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
 	"curp/internal/transport"
@@ -68,6 +69,12 @@ type Coordinator struct {
 	table *health.Table
 	heal  *healManager
 
+	metrics *metrics.Registry
+	// healEvents holds one pre-registered counter per FailoverKind, so a
+	// scrape sees every curp_heal_events_total series at 0 before the
+	// first incident.
+	healEvents map[FailoverKind]*metrics.Counter
+
 	// RPCTimeout bounds coordination RPCs (witness start/end, fencing).
 	RPCTimeout time.Duration
 }
@@ -92,6 +99,7 @@ func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (
 	c.rpc.Handle(OpCoordDelFrozen, rangesHandler(c.ForgetFrozenRanges))
 	c.rpc.Handle(OpHeartbeat, c.handleHeartbeat)
 	c.rpc.Handle(OpHealthStatus, c.handleHealthStatus)
+	c.buildMetrics()
 	l, err := nw.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -102,6 +110,118 @@ func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (
 
 // Addr returns the coordinator's address.
 func (c *Coordinator) Addr() string { return c.addr }
+
+// Metrics returns the coordinator's metric registry for /metrics
+// exposition.
+func (c *Coordinator) Metrics() *metrics.Registry { return c.metrics }
+
+// MasterRegistry returns the partition's current in-process master's
+// metric registry (nil for remote masters). It tracks failovers: after the
+// heal loop promotes a replacement, the next call returns the
+// replacement's registry — the stable handle a per-partition /metrics
+// endpoint re-fetches each scrape.
+func (c *Coordinator) MasterRegistry() *metrics.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, mi := range c.masters {
+		if mi.server != nil {
+			return mi.server.metrics
+		}
+	}
+	return nil
+}
+
+// buildMetrics registers the coordinator-side series: heal-loop event
+// counters (every kind pre-registered at 0), ring/partition gauges, and
+// partition-level load read from the health table's piggybacked master
+// beats — one scrape of the coordinator answers "how is this shard doing"
+// without touching the data path.
+func (c *Coordinator) buildMetrics() {
+	r := metrics.NewRegistry()
+	r.SetConstLabels(metrics.L("node", c.addr))
+	c.metrics = r
+	c.healEvents = make(map[FailoverKind]*metrics.Counter)
+	for _, k := range []FailoverKind{
+		EventMasterFailover, EventMasterFailoverFailed,
+		EventWitnessReplaced, EventWitnessReplaceFailed, EventBackupDown,
+	} {
+		c.healEvents[k] = r.Counter("curp_heal_events_total",
+			"Heal-loop lifecycle events, by kind.", metrics.L("kind", k.String()))
+	}
+	// masterBeat snapshots the partition master's latest piggybacked beat.
+	masterBeat := func() health.Beat {
+		for _, n := range c.table.Snapshot(c.detectorConfig()) {
+			if n.Role == health.RoleMaster {
+				return n.Last
+			}
+		}
+		return health.Beat{}
+	}
+	r.GaugeFunc("curp_partition_epoch",
+		"Current recovery epoch of the partition's master.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			for _, mi := range c.masters {
+				return float64(mi.epoch)
+			}
+			return 0
+		})
+	r.GaugeFunc("curp_partition_witness_list_version",
+		"Current witness-list version of the partition.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			for _, mi := range c.masters {
+				return float64(mi.witnessListVersion)
+			}
+			return 0
+		})
+	r.GaugeFunc("curp_partition_nodes_alive",
+		"Registered nodes within their heartbeat deadline.",
+		func() float64 {
+			alive := 0
+			for _, n := range c.table.Snapshot(c.detectorConfig()) {
+				if n.Alive {
+					alive++
+				}
+			}
+			return float64(alive)
+		})
+	r.GaugeFunc("curp_partition_nodes_total",
+		"Registered nodes (master + backups + witnesses).",
+		func() float64 { return float64(len(c.table.Snapshot(c.detectorConfig()))) })
+	r.GaugeFunc("curp_partition_self_healing",
+		"1 when the heal loop is running.",
+		func() float64 {
+			if c.healMgr() != nil {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("curp_partition_speculative_ops_total",
+		"Master fast-path executions, from the latest heartbeat.",
+		func() uint64 { return masterBeat().SpeculativeOps })
+	r.CounterFunc("curp_partition_conflict_syncs_total",
+		"Master conflict-triggered syncs, from the latest heartbeat.",
+		func() uint64 { return masterBeat().ConflictSyncs })
+	r.GaugeFunc("curp_partition_sync_lag_ops",
+		"Master unsynced-window size, from the latest heartbeat.",
+		func() float64 { return float64(masterBeat().Unsynced) })
+	r.GaugeFunc("curp_partition_head_lsn",
+		"Master log head, from the latest heartbeat.",
+		func() float64 { return float64(masterBeat().HeadLSN) })
+	r.GaugeFunc("curp_partition_flush_threshold_ops",
+		"Master background-flush threshold, from the latest heartbeat.",
+		func() float64 { return float64(masterBeat().FlushThreshold) })
+}
+
+// countHealEvent lands a heal-loop event in the coordinator's counters.
+func (c *Coordinator) countHealEvent(k FailoverKind) {
+	if ctr := c.healEvents[k]; ctr != nil {
+		ctr.Inc()
+	}
+}
 
 // Leases exposes the lease server (for lease-expiry tests).
 func (c *Coordinator) Leases() *rifl.LeaseServer { return c.leases }

@@ -171,6 +171,7 @@ func (h *healManager) stop() {
 }
 
 func (h *healManager) emit(ev FailoverEvent) {
+	h.c.countHealEvent(ev.Kind)
 	if h.cfg.OnEvent != nil {
 		h.cfg.OnEvent(ev)
 	}

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"curp/internal/core"
 	"curp/internal/health"
 	"curp/internal/kv"
+	"curp/internal/metrics"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
 	"curp/internal/transport"
@@ -109,6 +111,25 @@ type MasterServer struct {
 	migr migrationState
 
 	rpc *rpc.Server
+
+	// Observability: the per-node registry served at /metrics, the
+	// pre-bound instruments the hot paths record into, and the slow-op
+	// tracer (nil-safe; disabled unless SetSlowOpTracer is called).
+	metrics      *metrics.Registry
+	mLatUpdate   *metrics.Histogram
+	mLatBatch    *metrics.Histogram
+	mLatRead     *metrics.Histogram
+	mLatPrepare  *metrics.Histogram
+	mLatDecide   *metrics.Histogram
+	mSyncEntries *metrics.Histogram
+	mSyncLat     *metrics.Histogram
+	mLockWait    *metrics.Histogram
+	mTxnPrepares *metrics.Counter
+	mTxnDecides  *metrics.Counter
+	mTxnOrphans  *metrics.Counter
+	lastSyncNano atomic.Int64
+	shardIdx     atomic.Int64 // -1 until the deployment layer assigns one
+	tracer       atomic.Pointer[metrics.Tracer]
 }
 
 // NewMasterServer creates and starts a master listening on addr. epoch is
@@ -133,6 +154,8 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 		rpc:     rpc.NewServer(),
 	}
 	ms.durableOld = make(map[string]staleEntry)
+	ms.shardIdx.Store(-1)
+	ms.buildMetrics()
 	ms.syncCond = sync.NewCond(&ms.syncMu)
 	ms.syncKick = make(chan struct{}, 1)
 	ms.resolveKick = make(chan txnResolveReq, 64)
@@ -175,6 +198,107 @@ func (ms *MasterServer) State() *core.MasterState { return ms.state }
 // reuses it when it promotes a replacement during automatic failover).
 func (ms *MasterServer) Options() MasterOptions { return ms.opts }
 
+// buildMetrics assembles the master's /metrics registry: callback metrics
+// over the lock-free core.MasterState counters, plus the latency and
+// batch-size histograms the handlers record into.
+func (ms *MasterServer) buildMetrics() {
+	r := metrics.NewRegistry()
+	r.SetConstLabels(metrics.L("node", ms.addr))
+	st := func(f func(core.MasterStats) uint64) func() uint64 {
+		return func() uint64 { return f(ms.state.Stats()) }
+	}
+	r.CounterFunc("curp_master_speculative_ops_total",
+		"Updates completed on the 1-RTT speculative fast path.",
+		st(func(s core.MasterStats) uint64 { return s.SpeculativeOps }))
+	r.CounterFunc("curp_master_conflict_syncs_total",
+		"Syncs forced by a non-commutative operation (slow path).",
+		st(func(s core.MasterStats) uint64 { return s.ConflictSyncs }))
+	r.CounterFunc("curp_master_batch_syncs_total",
+		"Background syncs triggered by the unsynced-count threshold.",
+		st(func(s core.MasterStats) uint64 { return s.BatchSyncs }))
+	r.CounterFunc("curp_master_hotkey_syncs_total",
+		"Preemptive syncs triggered by the hot-key heuristic.",
+		st(func(s core.MasterStats) uint64 { return s.HotKeySyncs }))
+	r.CounterFunc("curp_master_read_blocks_total",
+		"Reads that waited for a sync before returning.",
+		st(func(s core.MasterStats) uint64 { return s.ReadBlocks }))
+	r.GaugeFunc("curp_master_sync_lag_ops",
+		"Unsynced window size: log entries not yet replicated to backups.",
+		func() float64 { return float64(ms.state.UnsyncedCount()) })
+	r.GaugeFunc("curp_master_sync_lag_seconds",
+		"Age of the oldest unsynced state: time since the last completed backup sync while the window is non-empty.",
+		func() float64 {
+			if ms.state.UnsyncedCount() == 0 {
+				return 0
+			}
+			last := ms.lastSyncNano.Load()
+			if last == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
+		})
+	r.GaugeFunc("curp_master_flush_threshold_ops",
+		"Current background-flush batch threshold (load-adaptive when AdaptiveFlush is on).",
+		func() float64 { return float64(ms.state.FlushThreshold()) })
+	r.GaugeFunc("curp_master_epoch",
+		"Recovery epoch of this master.",
+		func() float64 { return float64(ms.epoch) })
+	r.GaugeFunc("curp_master_witness_list_version",
+		"Version of the witness configuration the master currently enforces.",
+		func() float64 { return float64(ms.state.WitnessListVersion()) })
+	const latHelp = "Master-side RPC handling latency by operation type."
+	ms.mLatUpdate = r.Histogram("curp_master_op_latency_seconds", latHelp, metrics.L("op", "update"))
+	ms.mLatBatch = r.Histogram("curp_master_op_latency_seconds", latHelp, metrics.L("op", "update_batch"))
+	ms.mLatRead = r.Histogram("curp_master_op_latency_seconds", latHelp, metrics.L("op", "read"))
+	ms.mLatPrepare = r.Histogram("curp_master_op_latency_seconds", latHelp, metrics.L("op", "txn_prepare"))
+	ms.mLatDecide = r.Histogram("curp_master_op_latency_seconds", latHelp, metrics.L("op", "txn_decide"))
+	ms.mSyncEntries = r.SizeHistogram("curp_master_sync_batch_entries",
+		"Log entries replicated per backup sync batch.")
+	ms.mSyncLat = r.Histogram("curp_master_sync_duration_seconds",
+		"Wall time of one backup sync (parallel append to all backups plus witness GC).")
+	ms.mLockWait = r.Histogram("curp_txn_lock_wait_seconds",
+		"Age of prepared-transaction locks that operations bounced off.")
+	ms.mTxnPrepares = r.Counter("curp_txn_prepares_total",
+		"Transaction prepare phases executed on this participant.")
+	ms.mTxnDecides = r.Counter("curp_txn_decides_total",
+		"Transaction decide phases executed on this participant.")
+	ms.mTxnOrphans = r.Counter("curp_txn_orphan_resolutions_total",
+		"Orphaned prepared transactions settled by the resident resolver.")
+	ms.metrics = r
+}
+
+// Metrics returns the master's /metrics registry.
+func (ms *MasterServer) Metrics() *metrics.Registry { return ms.metrics }
+
+// SetShardIndex tells the master which shard of a sharded deployment it
+// serves, for slow-op span attribution (-1, the default, means unknown).
+func (ms *MasterServer) SetShardIndex(s int) { ms.shardIdx.Store(int64(s)) }
+
+// SetSlowOpTracer installs (or, with nil, removes) the structured slow-op
+// trace log for this master's RPC spans.
+func (ms *MasterServer) SetSlowOpTracer(t *metrics.Tracer) { ms.tracer.Store(t) }
+
+// observeOp records one handled RPC: its latency histogram sample and,
+// when the configured threshold is crossed, a slow-op span with the
+// operation type, routing key hash, shard, and path verdict.
+func (ms *MasterServer) observeOp(h *metrics.Histogram, op string, keyHashes []uint64, verdict, errText string, d time.Duration) {
+	h.ObserveDuration(d)
+	if t := ms.tracer.Load(); t != nil && t.Slow(d) {
+		var kh uint64
+		if len(keyHashes) > 0 {
+			kh = keyHashes[0]
+		}
+		t.Trace(metrics.Span{
+			Op:      op,
+			KeyHash: kh,
+			Shard:   int(ms.shardIdx.Load()),
+			Verdict: verdict,
+			Dur:     d,
+			Err:     errText,
+		})
+	}
+}
+
 // StartHeartbeat runs a resident beater reporting this master's liveness
 // and load to the coordinator until the master closes. The beat carries
 // the log head, the unsynced window, the witness-list version, and the
@@ -182,6 +306,10 @@ func (ms *MasterServer) Options() MasterOptions { return ms.opts }
 // load dashboard.
 func (ms *MasterServer) StartHeartbeat(coordAddr string, interval time.Duration) {
 	startBeater(ms.nw, ms.addr, coordAddr, ms.closed, interval, func() health.Beat {
+		// One Stats() call covers the load counters AND the flush
+		// threshold: the beater must not take the master's lock twice per
+		// beat, or a busy master delays its own liveness signal.
+		st := ms.state.Stats()
 		return health.Beat{
 			Role:               health.RoleMaster,
 			Addr:               ms.addr,
@@ -190,7 +318,9 @@ func (ms *MasterServer) StartHeartbeat(coordAddr string, interval time.Duration)
 			HeadLSN:            uint64(ms.store.Head()),
 			Unsynced:           uint64(ms.state.UnsyncedCount()),
 			WitnessListVersion: ms.state.WitnessListVersion(),
-			FlushThreshold:     uint64(ms.state.FlushThreshold()),
+			FlushThreshold:     st.FlushThreshold,
+			SpeculativeOps:     st.SpeculativeOps,
+			ConflictSyncs:      st.ConflictSyncs,
 		}
 	})
 }
@@ -440,6 +570,7 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 		if lerr, ok := err.(*kv.LockedError); ok {
 			// Blocked behind a prepared transaction: the client retries
 			// with backoff; an expired lock triggers orphan resolution.
+			ms.mLockWait.Observe(int64(lerr.Age))
 			ms.maybeResolve(lerr)
 			return updateExec{reply: &core.Reply{Status: core.StatusTxnLocked}}, nil
 		}
@@ -480,19 +611,26 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	ex, err := ms.executeUpdate(req)
 	if err != nil {
 		return nil, err
 	}
+	verdict := "fast"
 	if ex.syncTo > 0 {
+		verdict = "sync"
 		if ex.conflictSync {
 			ms.state.CountConflictSync()
+			verdict = "conflict-sync"
 		}
 		if err := ms.syncAndWait(ex.syncTo); err != nil {
-			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+			ex.reply = &core.Reply{Status: core.StatusError, Err: err.Error()}
+			verdict = "error"
+		} else {
+			ex.reply.Synced = true
 		}
-		ex.reply.Synced = true
 	}
+	ms.observeOp(ms.mLatUpdate, "update", req.KeyHashes, verdict, ex.reply.Err, time.Since(start))
 	return ex.reply.Encode(), nil
 }
 
@@ -505,6 +643,8 @@ func (ms *MasterServer) handleUpdateBatch(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	verdict := "fast"
 	exs := make([]updateExec, len(reqs))
 	var syncTo kv.LSN
 	for i, req := range reqs {
@@ -515,9 +655,11 @@ func (ms *MasterServer) handleUpdateBatch(payload []byte) ([]byte, error) {
 		exs[i] = ex
 		if ex.syncTo > syncTo {
 			syncTo = ex.syncTo
+			verdict = "sync"
 		}
 		if ex.conflictSync {
 			ms.state.CountConflictSync()
+			verdict = "conflict-sync"
 		}
 	}
 	if syncTo > 0 {
@@ -540,6 +682,11 @@ func (ms *MasterServer) handleUpdateBatch(payload []byte) ([]byte, error) {
 	for i := range exs {
 		replies[i] = exs[i].reply
 	}
+	var firstHashes []uint64
+	if len(reqs) > 0 {
+		firstHashes = reqs[0].KeyHashes
+	}
+	ms.observeOp(ms.mLatBatch, "update_batch", firstHashes, verdict, "", time.Since(start))
 	return encodeReplyBatch(replies), nil
 }
 
@@ -558,6 +705,8 @@ func (ms *MasterServer) handleRead(payload []byte) ([]byte, error) {
 	if !cmd.IsReadOnly() {
 		return (&core.Reply{Status: core.StatusError, Err: "master: OpRead requires a read-only command"}).Encode(), nil
 	}
+	start := time.Now()
+	verdict := "fast"
 	for {
 		if ms.state.Frozen() {
 			return (&core.Reply{Status: core.StatusWrongMaster}).Encode(), nil
@@ -574,16 +723,22 @@ func (ms *MasterServer) handleRead(payload []byte) ([]byte, error) {
 				if lerr, ok := err.(*kv.LockedError); ok {
 					// A prepared write may commit under this read; it must
 					// wait for the decision like any other operation.
+					ms.mLockWait.Observe(int64(lerr.Age))
 					ms.maybeResolve(lerr)
+					ms.observeOp(ms.mLatRead, "read", req.KeyHashes, "locked", "", time.Since(start))
 					return (&core.Reply{Status: core.StatusTxnLocked}).Encode(), nil
 				}
+				ms.observeOp(ms.mLatRead, "read", req.KeyHashes, "error", err.Error(), time.Since(start))
 				return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
 			}
+			ms.observeOp(ms.mLatRead, "read", req.KeyHashes, verdict, "", time.Since(start))
 			return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil
 		}
 		ms.execMu.Unlock()
 		ms.state.CountReadBlock()
+		verdict = "blocked"
 		if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+			ms.observeOp(ms.mLatRead, "read", req.KeyHashes, "error", err.Error(), time.Since(start))
 			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
 		}
 	}
@@ -660,6 +815,7 @@ func (ms *MasterServer) doSync() error {
 	if len(entries) == 0 {
 		return nil
 	}
+	syncStart := time.Now()
 	head := entries[len(entries)-1].LSN
 
 	ms.peersMu.Lock()
@@ -691,6 +847,9 @@ func (ms *MasterServer) doSync() error {
 		}
 	}
 	ms.state.NoteSync(uint64(head))
+	ms.mSyncEntries.Observe(int64(len(entries)))
+	ms.mSyncLat.ObserveDuration(time.Since(syncStart))
+	ms.lastSyncNano.Store(time.Now().UnixNano())
 	ms.pruneDurableValues()
 	ms.gcWitnesses(entries)
 	return nil

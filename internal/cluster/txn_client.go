@@ -232,3 +232,8 @@ func (b singleTxnBackend) DecideHome(ctx context.Context, _ int, id rifl.RPCID, 
 func (b singleTxnBackend) ForgetDecision(ctx context.Context, _ int, id rifl.RPCID, homeHash uint64) {
 	b.c.ForgetTxnDecision(ctx, id, homeHash)
 }
+
+// TxnCommitted / TxnAborted implement txn.OutcomeRecorder, landing
+// transaction outcomes in the partition client's protocol counters.
+func (b singleTxnBackend) TxnCommitted()          { b.c.curp.CountTxnCommit() }
+func (b singleTxnBackend) TxnAborted(orphan bool) { b.c.curp.CountTxnAbort(orphan) }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"curp/internal/core"
 	"curp/internal/kv"
@@ -54,14 +55,42 @@ func (ms *MasterServer) registerTxnHandlers() {
 // handleTxnPrepare is phase one on a participant: validate, lock, stash,
 // and make the vote durable before revealing it.
 func (ms *MasterServer) handleTxnPrepare(payload []byte) ([]byte, error) {
-	return ms.handleTxnPhase(payload, kv.OpTxnPrepare)
+	ms.mTxnPrepares.Inc()
+	start := time.Now()
+	out, err := ms.handleTxnPhase(payload, kv.OpTxnPrepare)
+	ms.observeOp(ms.mLatPrepare, "txn_prepare", nil, txnPhaseVerdict(out, err), "", time.Since(start))
+	return out, err
 }
 
 // handleTxnDecide is phase two on a participant: apply or discard the
 // prepared writes, release the locks, and make the outcome durable before
 // acknowledging.
 func (ms *MasterServer) handleTxnDecide(payload []byte) ([]byte, error) {
-	return ms.handleTxnPhase(payload, kv.OpTxnDecide)
+	ms.mTxnDecides.Inc()
+	start := time.Now()
+	out, err := ms.handleTxnPhase(payload, kv.OpTxnDecide)
+	ms.observeOp(ms.mLatDecide, "txn_decide", nil, txnPhaseVerdict(out, err), "", time.Since(start))
+	return out, err
+}
+
+// txnPhaseVerdict classifies a txn-phase reply for the slow-op trace:
+// "ok", "locked", or the reply status ("error" on transport failures).
+func txnPhaseVerdict(out []byte, err error) string {
+	if err != nil || out == nil {
+		return "error"
+	}
+	reply, derr := core.DecodeReply(out)
+	if derr != nil {
+		return "error"
+	}
+	switch reply.Status {
+	case core.StatusOK:
+		return "ok"
+	case core.StatusTxnLocked:
+		return "locked"
+	default:
+		return reply.Status.String()
+	}
 }
 
 // handleTxnPhase is the shared participant path of prepare and decide.
@@ -109,6 +138,7 @@ func (ms *MasterServer) handleTxnPhase(payload []byte, want kv.CommandOp) ([]byt
 	if err != nil {
 		ms.execMu.Unlock()
 		if lerr, ok := err.(*kv.LockedError); ok {
+			ms.mLockWait.Observe(int64(lerr.Age))
 			ms.maybeResolve(lerr)
 			return (&core.Reply{Status: core.StatusTxnLocked}).Encode(), nil
 		}
@@ -329,7 +359,11 @@ func (ms *MasterServer) resolveTxn(id rifl.RPCID, home kv.TxnHome, allowFrozen b
 	if err != nil {
 		return err
 	}
-	return ms.applyResolvedDecision(id, commit)
+	if err := ms.applyResolvedDecision(id, commit); err != nil {
+		return err
+	}
+	ms.mTxnOrphans.Inc()
+	return nil
 }
 
 // lookupDecision asks a transaction's home shard for its decision.

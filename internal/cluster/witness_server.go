@@ -3,9 +3,11 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"curp/internal/health"
+	"curp/internal/metrics"
 	"curp/internal/rpc"
 	"curp/internal/transport"
 	"curp/internal/witness"
@@ -26,6 +28,12 @@ type WitnessServer struct {
 	closed    chan struct{}
 
 	rpc *rpc.Server
+
+	metrics *metrics.Registry
+	// noInstance counts record RPCs bounced because no witness instance
+	// exists here for the named master (stale witness lists); per-instance
+	// rejections live in witness.Stats.
+	noInstance atomic.Uint64
 }
 
 // NewWitnessServer creates a witness server listening on addr.
@@ -46,6 +54,7 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 	ws.rpc.Handle(OpWitnessRecoveryData, ws.handleRecoveryData)
 	ws.rpc.Handle(OpWitnessStart, ws.handleStart)
 	ws.rpc.Handle(OpWitnessEnd, ws.handleEnd)
+	ws.buildMetrics()
 	l, err := nw.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -56,6 +65,74 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 
 // Addr returns the server's address.
 func (ws *WitnessServer) Addr() string { return ws.addr }
+
+// Metrics returns the server's metric registry for /metrics exposition.
+func (ws *WitnessServer) Metrics() *metrics.Registry { return ws.metrics }
+
+// sumStats aggregates witness.Stats across every instance this server
+// hosts; the callback metrics below read it at scrape time.
+func (ws *WitnessServer) sumStats() witness.Stats {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var s witness.Stats
+	for _, w := range ws.instances {
+		st := w.Stats()
+		s.Accepts += st.Accepts
+		s.ConflictRejects += st.ConflictRejects
+		s.FullRejects += st.FullRejects
+		s.WrongMaster += st.WrongMaster
+		s.RecoveryRejects += st.RecoveryRejects
+		s.GCDrops += st.GCDrops
+		s.StaleSuspicions += st.StaleSuspicions
+		s.RecordedRequests += st.RecordedRequests
+	}
+	return s
+}
+
+// buildMetrics registers the witness-side series: accept/reject rates by
+// reason, gc drops, stale-garbage suspicions, and current occupancy. All
+// are scrape-time callbacks over witness.Stats — the record hot path pays
+// nothing.
+func (ws *WitnessServer) buildMetrics() {
+	r := metrics.NewRegistry()
+	r.SetConstLabels(metrics.L("node", ws.addr))
+	ws.metrics = r
+	r.CounterFunc("curp_witness_accepts_total",
+		"Record RPCs accepted (speculative fast-path grants).",
+		func() uint64 { return ws.sumStats().Accepts })
+	rejects := func(f func(witness.Stats) uint64) func() uint64 {
+		return func() uint64 { return f(ws.sumStats()) }
+	}
+	r.CounterFunc("curp_witness_rejects_total",
+		"Record RPCs rejected, by reason.",
+		rejects(func(s witness.Stats) uint64 { return s.ConflictRejects }),
+		metrics.L("reason", "conflict"))
+	r.CounterFunc("curp_witness_rejects_total", "",
+		rejects(func(s witness.Stats) uint64 { return s.FullRejects }),
+		metrics.L("reason", "full"))
+	r.CounterFunc("curp_witness_rejects_total", "",
+		func() uint64 { return ws.sumStats().WrongMaster + ws.noInstance.Load() },
+		metrics.L("reason", "wrong_master"))
+	r.CounterFunc("curp_witness_rejects_total", "",
+		rejects(func(s witness.Stats) uint64 { return s.RecoveryRejects }),
+		metrics.L("reason", "recovery"))
+	r.CounterFunc("curp_witness_gc_drops_total",
+		"Records collected by master gc RPCs.",
+		func() uint64 { return ws.sumStats().GCDrops })
+	r.CounterFunc("curp_witness_stale_suspicions_total",
+		"GC passes that reported suspected uncollected garbage.",
+		func() uint64 { return ws.sumStats().StaleSuspicions })
+	r.GaugeFunc("curp_witness_recorded_requests",
+		"Distinct requests currently stored across all instances.",
+		func() float64 { return float64(ws.sumStats().RecordedRequests) })
+	r.GaugeFunc("curp_witness_instances",
+		"Witness instances hosted (one per served master).",
+		func() float64 {
+			ws.mu.Lock()
+			defer ws.mu.Unlock()
+			return float64(len(ws.instances))
+		})
+}
 
 // Close shuts the server down.
 func (ws *WitnessServer) Close() {
@@ -97,6 +174,7 @@ func (ws *WitnessServer) handleRecord(payload []byte) ([]byte, error) {
 	if err != nil {
 		// No instance for this master: tell the client it used a stale
 		// witness list rather than erroring the transport.
+		ws.noInstance.Add(1)
 		return []byte{byte(witness.RejectedWrongMaster)}, nil
 	}
 	res := w.Record(req.MasterID, req.KeyHashes, req.ID, req.Request)
@@ -114,6 +192,7 @@ func (ws *WitnessServer) handleRecordBatch(payload []byte) ([]byte, error) {
 	if err != nil {
 		// No instance for this master: tell the client it used a stale
 		// witness list rather than erroring the transport.
+		ws.noInstance.Add(uint64(len(req.Records)))
 		results := make([]witness.RecordResult, len(req.Records))
 		for i := range results {
 			results[i] = witness.RejectedWrongMaster

@@ -144,6 +144,10 @@ func (c *Client) UpdateBatchAsync(ctx context.Context, ops []BatchOp) []*Future 
 // which operations retry. Operations retry with their original RPC IDs so
 // RIFL filters duplicates across master failures (§3.2.1).
 func (c *Client) runBatch(ctx context.Context, ops []*asyncOp) {
+	// The in-flight gauge is the observable pipeline depth: how many
+	// operations the engine currently owns across all concurrent batches.
+	c.inFlight.Add(int64(len(ops)))
+	defer c.inFlight.Add(-int64(len(ops)))
 	pending := ops
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts && len(pending) > 0; attempt++ {
@@ -345,6 +349,7 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 				// later completion record at the master for the session's
 				// lifetime.
 				c.session.Finish(op.id)
+				c.redirects.Add(1)
 				op.fut.fail(ErrKeyMoved)
 			}
 		} else {

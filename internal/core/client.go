@@ -137,6 +137,20 @@ type ClientStats struct {
 	BackupReads uint64
 	// MasterReads: reads served by the master.
 	MasterReads uint64
+	// Redirects: operations bounced with ErrKeyMoved for the routing layer
+	// to reissue against the range's new owner.
+	Redirects uint64
+	// TxnCommits / TxnAborts: transaction outcomes observed by this client
+	// (single-shard and cross-shard alike).
+	TxnCommits uint64
+	TxnAborts  uint64
+	// TxnOrphanResolves: aborts decided by a server-side orphan resolver
+	// (the home shard recorded abort-by-default before this client's
+	// commit decision arrived).
+	TxnOrphanResolves uint64
+	// InFlight: operations currently inside the asynchronous update engine
+	// — the live pipeline depth, a gauge rather than a counter.
+	InFlight uint64
 }
 
 // Client drives the CURP client protocol (paper §3.2.1): it sends each
@@ -157,6 +171,11 @@ type Client struct {
 	retries        atomic.Uint64
 	backupReads    atomic.Uint64
 	masterReads    atomic.Uint64
+	redirects      atomic.Uint64
+	txnCommits     atomic.Uint64
+	txnAborts      atomic.Uint64
+	txnOrphans     atomic.Uint64
+	inFlight       atomic.Int64
 }
 
 // NewClient builds a client. session supplies RIFL identities; views
@@ -216,13 +235,34 @@ func (c *Client) Session() *rifl.Session { return c.session }
 
 // Stats returns a snapshot of protocol counters.
 func (c *Client) Stats() ClientStats {
+	inFlight := c.inFlight.Load()
+	if inFlight < 0 {
+		inFlight = 0
+	}
 	return ClientStats{
-		FastPath:       c.fastPath.Load(),
-		SyncedByMaster: c.syncedByMaster.Load(),
-		SlowPath:       c.slowPath.Load(),
-		Retries:        c.retries.Load(),
-		BackupReads:    c.backupReads.Load(),
-		MasterReads:    c.masterReads.Load(),
+		FastPath:          c.fastPath.Load(),
+		SyncedByMaster:    c.syncedByMaster.Load(),
+		SlowPath:          c.slowPath.Load(),
+		Retries:           c.retries.Load(),
+		BackupReads:       c.backupReads.Load(),
+		MasterReads:       c.masterReads.Load(),
+		Redirects:         c.redirects.Load(),
+		TxnCommits:        c.txnCommits.Load(),
+		TxnAborts:         c.txnAborts.Load(),
+		TxnOrphanResolves: c.txnOrphans.Load(),
+		InFlight:          uint64(inFlight),
+	}
+}
+
+// CountTxnCommit records a committed transaction for stats.
+func (c *Client) CountTxnCommit() { c.txnCommits.Add(1) }
+
+// CountTxnAbort records an aborted transaction; orphan marks aborts
+// decided by a server-side orphan resolver rather than this client.
+func (c *Client) CountTxnAbort(orphan bool) {
+	c.txnAborts.Add(1)
+	if orphan {
+		c.txnOrphans.Add(1)
 	}
 }
 
@@ -289,6 +329,7 @@ func (c *Client) Read(ctx context.Context, keyHashes []uint64, payload []byte) (
 			c.masterReads.Add(1)
 			return reply.Payload, nil
 		case StatusKeyMoved:
+			c.redirects.Add(1)
 			return nil, ErrKeyMoved
 		case StatusStaleWitnessList, StatusWrongMaster, StatusTxnLocked:
 			lastErr = fmt.Errorf("curp: master replied %v", reply.Status)

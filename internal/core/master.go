@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -77,7 +78,16 @@ type MasterState struct {
 	witnessListVersion uint64
 	frozen             bool
 
-	stats MasterStats
+	// Protocol counters live outside m.mu: counting happens on every
+	// operation and stats are scraped concurrently by heartbeats and
+	// /metrics exporters, so collection is lock-free (merge-on-snapshot
+	// semantics — Stats() assembles a consistent-enough view from the
+	// atomics without stalling the execution path).
+	specOps       atomic.Uint64
+	conflictSyncs atomic.Uint64
+	batchSyncs    atomic.Uint64
+	hotKeySyncs   atomic.Uint64
+	readBlocks    atomic.Uint64
 }
 
 // MasterStats counts protocol events for the evaluation harness.
@@ -175,7 +185,7 @@ func (m *MasterState) NoteMutation(keyHashes []uint64, lsn uint64) (hot bool) {
 		m.lastMutation[kh] = lsn
 	}
 	if hot {
-		m.stats.HotKeySyncs++
+		m.hotKeySyncs.Add(1)
 	}
 	return hot
 }
@@ -327,40 +337,32 @@ func (m *MasterState) Frozen() bool {
 	return m.frozen
 }
 
-// CountSpeculative increments the 1-RTT completion counter.
-func (m *MasterState) CountSpeculative() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.SpeculativeOps++
-}
+// CountSpeculative increments the 1-RTT completion counter (lock-free).
+func (m *MasterState) CountSpeculative() { m.specOps.Add(1) }
 
-// CountConflictSync increments the forced-sync counter.
-func (m *MasterState) CountConflictSync() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.ConflictSyncs++
-}
+// CountConflictSync increments the forced-sync counter (lock-free).
+func (m *MasterState) CountConflictSync() { m.conflictSyncs.Add(1) }
 
-// CountBatchSync increments the batch-sync counter.
-func (m *MasterState) CountBatchSync() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.BatchSyncs++
-}
+// CountBatchSync increments the batch-sync counter (lock-free).
+func (m *MasterState) CountBatchSync() { m.batchSyncs.Add(1) }
 
-// CountReadBlock increments the blocked-read counter.
-func (m *MasterState) CountReadBlock() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.ReadBlocks++
-}
+// CountReadBlock increments the blocked-read counter (lock-free).
+func (m *MasterState) CountReadBlock() { m.readBlocks.Add(1) }
 
-// Stats returns a snapshot of protocol counters.
+// Stats returns a snapshot of protocol counters. The counters are read
+// atomically without taking the execution lock; only FlushThreshold — a
+// function of the adaptive-flush EWMA — briefly takes m.mu.
 func (m *MasterState) Stats() MasterStats {
+	st := MasterStats{
+		SpeculativeOps: m.specOps.Load(),
+		ConflictSyncs:  m.conflictSyncs.Load(),
+		BatchSyncs:     m.batchSyncs.Load(),
+		HotKeySyncs:    m.hotKeySyncs.Load(),
+		ReadBlocks:     m.readBlocks.Load(),
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.stats
 	st.FlushThreshold = uint64(m.flushThresholdLocked())
+	m.mu.Unlock()
 	return st
 }
 

@@ -68,6 +68,12 @@ type Beat struct {
 	// FlushThreshold is the master's current (possibly load-adaptive)
 	// background-sync batch threshold.
 	FlushThreshold uint64
+	// SpeculativeOps and ConflictSyncs are the master's cumulative
+	// fast-path executions and conflict-triggered syncs — the two numbers
+	// that make the coordinator's table a per-partition CURP dashboard
+	// (fast-path % without scraping the master itself).
+	SpeculativeOps uint64
+	ConflictSyncs  uint64
 }
 
 // Encode returns the beat's wire form.
@@ -81,6 +87,8 @@ func (b *Beat) Encode() []byte {
 	e.U64(b.Unsynced)
 	e.U64(b.WitnessListVersion)
 	e.U64(b.FlushThreshold)
+	e.U64(b.SpeculativeOps)
+	e.U64(b.ConflictSyncs)
 	return e.Bytes()
 }
 
@@ -96,6 +104,8 @@ func DecodeBeat(p []byte) (*Beat, error) {
 		Unsynced:           d.U64(),
 		WitnessListVersion: d.U64(),
 		FlushThreshold:     d.U64(),
+		SpeculativeOps:     d.U64(),
+		ConflictSyncs:      d.U64(),
 	}
 	if err := d.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"curp/internal/stats"
+)
+
+// histStripes is the number of independently locked stats.Histogram shards
+// per Histogram. Recording picks a stripe round-robin, so concurrent
+// recorders rarely collide on a mutex and never collide with a scrape for
+// long: Snapshot holds each stripe lock only for one Merge.
+const histStripes = 8
+
+// stripe is one padded shard; the padding keeps adjacent stripe locks off
+// one cache line so striping actually buys independence.
+type stripe struct {
+	mu sync.Mutex
+	h  stats.Histogram
+	_  [64]byte
+}
+
+// Histogram is a concurrency-safe log-linear histogram: the canonical
+// merge-on-snapshot wrapper the stats package's doc comment asks for
+// ("merge per-goroutine histograms with Merge instead"). Samples are
+// recorded into per-stripe stats.Histograms and merged into a fresh one at
+// Snapshot time, so readers never race writers. Create with NewHistogram.
+type Histogram struct {
+	stripes [histStripes]stripe
+	next    atomic.Uint64
+	// scale multiplies sample values on exposition. Latency histograms
+	// record nanoseconds and expose seconds (1e-9); size histograms expose
+	// raw values (1).
+	scale float64
+}
+
+// NewHistogram returns a histogram that records nanoseconds and exposes
+// seconds — the Prometheus convention for latency.
+func NewHistogram() *Histogram { return &Histogram{scale: 1e-9} }
+
+// NewSizeHistogram returns a histogram whose samples are exposed verbatim
+// (batch sizes, entry counts).
+func NewSizeHistogram() *Histogram { return &Histogram{scale: 1} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	s := &h.stripes[h.next.Add(1)%histStripes]
+	s.mu.Lock()
+	s.h.Record(v)
+	s.mu.Unlock()
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Snapshot merges the stripes into a freshly allocated stats.Histogram the
+// caller owns exclusively.
+func (h *Histogram) Snapshot() *stats.Histogram {
+	out := &stats.Histogram{}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		out.Merge(&s.h)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Reset clears all stripes. Snapshots taken concurrently may observe a
+// partial clear; Reset is for tests and bench harness reuse, not steady
+// state.
+func (h *Histogram) Reset() {
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		s.h.Reset()
+		s.mu.Unlock()
+	}
+}

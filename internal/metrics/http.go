@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registries' combined
+// Prometheus exposition. Multiple registries concatenate in argument
+// order — used by embedded deployments that co-host several node roles in
+// one process.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			if err := r.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// DynamicHandler is Handler with the registry set re-fetched per request —
+// for endpoints whose backing component can be replaced at runtime (a
+// failed-over master's registry changes identity; the endpoint should not).
+func DynamicHandler(fn func() []*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		Handler(fn()...).ServeHTTP(w, req)
+	})
+}
+
+// Server is a running /metrics endpoint.
+type Server struct {
+	Addr string // actual listen address (resolves ":0")
+	srv  *http.Server
+}
+
+// Close shuts the endpoint down immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Serve starts an HTTP server on addr exposing the registries at /metrics
+// (and at / for curl convenience). It returns immediately; the server runs
+// until Close. An addr that cannot be bound returns the listen error — the
+// caller decides whether metrics are load-bearing.
+func Serve(addr string, regs ...*Registry) (*Server, error) {
+	return serveHandler(addr, Handler(regs...))
+}
+
+// ServeDynamic is Serve with a per-request registry set (see
+// DynamicHandler).
+func ServeDynamic(addr string, fn func() []*Registry) (*Server, error) {
+	return serveHandler(addr, DynamicHandler(fn))
+}
+
+func serveHandler(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}

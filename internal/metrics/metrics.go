@@ -1,0 +1,261 @@
+// Package metrics is the cluster's sensor layer: lock-cheap counters and
+// gauges, a concurrency-safe histogram built on internal/stats (striped
+// shards merged at snapshot time — the canonical fix for stats.Histogram's
+// "not safe for concurrent use" contract), a labeled registry, and a
+// Prometheus text-exposition writer. Every curpd node serves a registry at
+// GET /metrics; curpctl top and the CI scrape-smoke job read the same
+// surface.
+//
+// Design constraints, in order:
+//
+//  1. Hot paths pay one uncontended atomic per event. Counters and gauges
+//     are single atomics; histograms stripe samples over several
+//     mutex-guarded stats.Histogram shards picked round-robin, so
+//     recording never serializes behind a scrape.
+//  2. Scrapes are allowed to be slow. Snapshot() merges the stripes into a
+//     fresh stats.Histogram under the stripe locks; callback metrics may
+//     take server locks.
+//  3. No dependencies beyond the standard library and internal/stats.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use and safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an int64 that can go up and down. The zero value is ready to
+// use and safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// kind is the Prometheus metric type of a family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family. Exactly one of the value
+// sources is set.
+type series struct {
+	labels    []Label
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]*series // keyed by canonical label signature
+	order  []string           // registration order of signatures
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Registration is idempotent: asking for an existing
+// name+labels combination returns the already-registered instrument, so
+// components can re-attach after a failover without double counting.
+// The zero value is NOT ready; use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+	// constLabels are appended to every series at render time (node
+	// identity when several same-role registries share one endpoint).
+	constLabels []Label
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// SetConstLabels attaches labels to every series this registry renders.
+// Aggregated endpoints (one process hosting several backups or witnesses)
+// use it to keep same-named series distinguishable; per-node endpoints get
+// a stable node identity for free. Render-time only: series identity
+// inside the registry is unchanged, so instruments registered before or
+// after the call behave identically.
+func (r *Registry) SetConstLabels(labels ...Label) {
+	sorted := sortLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.constLabels = sorted
+}
+
+// labelSignature renders labels canonically (sorted by name) for use as a
+// map key.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// sortLabels returns a copy of labels sorted by name, for deterministic
+// output and signatures.
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// lookup finds or creates the family and series slot for name+labels,
+// enforcing one kind per family. It returns the series (existing or new)
+// and whether it was just created.
+func (r *Registry) lookup(name, help string, k kind, labels []Label) (*series, bool) {
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	}
+	if fam.kind != k {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, k, fam.kind))
+	}
+	labels = sortLabels(labels)
+	sig := labelSignature(labels)
+	if s, ok := fam.series[sig]; ok {
+		return s, false
+	}
+	s := &series{labels: labels}
+	fam.series[sig] = s
+	fam.order = append(fam.order, sig)
+	return s, true
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.lookup(name, help, kindCounter, labels)
+	if fresh {
+		s.counter = &Counter{}
+	}
+	if s.counter == nil {
+		panic(fmt.Sprintf("metrics: %s registered with a callback; cannot return a Counter", name))
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for counts a component already maintains (witness.Stats,
+// core.MasterStats). Re-registering the same name+labels replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.lookup(name, help, kindCounter, labels)
+	s.counter, s.counterFn = nil, fn
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.lookup(name, help, kindGauge, labels)
+	if fresh {
+		s.gauge = &Gauge{}
+	}
+	if s.gauge == nil {
+		panic(fmt.Sprintf("metrics: %s registered with a callback; cannot return a Gauge", name))
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time. Re-registering
+// the same name+labels replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.lookup(name, help, kindGauge, labels)
+	s.gauge, s.gaugeFn = nil, fn
+}
+
+// Histogram returns the histogram registered under name+labels, creating
+// it on first use. Samples are nanoseconds internally; the exposition
+// writer converts to seconds.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.lookup(name, help, kindHistogram, labels)
+	if fresh {
+		s.hist = NewHistogram()
+	}
+	return s.hist
+}
+
+// SizeHistogram is Histogram for unitless samples (batch sizes, entry
+// counts): values are exposed verbatim rather than converted from
+// nanoseconds to seconds.
+func (r *Registry) SizeHistogram(name, help string, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.lookup(name, help, kindHistogram, labels)
+	if fresh {
+		s.hist = NewSizeHistogram()
+	}
+	return s.hist
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// latencyBuckets is the `le` ladder (in seconds) used for histograms that
+// record nanoseconds: 50µs to 10s, roughly logarithmic, bracketing both
+// the in-memory fast path and WAN-scale tails.
+var latencyBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// sizeBuckets is the ladder for unitless histograms (batch sizes).
+var sizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// renderLabels renders a sorted label set as {a="x",b="y"}, or "" when
+// empty. extra, when non-nil, is appended last (used for le).
+func renderLabels(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extra.Name, escapeLabel(extra.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name and
+// series by label signature, so output is deterministic. Callback metrics
+// are evaluated inline; they may take component locks, so scrapes are not
+// wait-free — hot paths are.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot the family/series structure — including each series' value
+	// source, which CounterFunc/GaugeFunc may swap — under the registry
+	// lock, then evaluate and render outside it so a slow callback cannot
+	// block registration.
+	type renderFam struct {
+		name, help string
+		kind       kind
+		series     []series
+	}
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	sort.Strings(names)
+	constLabels := r.constLabels
+	fams := make([]renderFam, 0, len(names))
+	for _, name := range names {
+		fam := r.families[name]
+		sigs := make([]string, len(fam.order))
+		copy(sigs, fam.order)
+		sort.Strings(sigs)
+		rf := renderFam{name: fam.name, help: fam.help, kind: fam.kind}
+		for _, sig := range sigs {
+			s := *fam.series[sig]
+			if len(constLabels) > 0 {
+				s.labels = sortLabels(append(append([]Label(nil), constLabels...), s.labels...))
+			}
+			rf.series = append(rf.series, s)
+		}
+		fams = append(fams, rf)
+	}
+	r.mu.Unlock()
+
+	for _, fam := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			fam.name, escapeHelp(fam.help), fam.name, fam.kind); err != nil {
+			return err
+		}
+		for i := range fam.series {
+			if err := writeSeries(w, fam.name, fam.kind, &fam.series[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one labeled series of a family.
+func writeSeries(w io.Writer, name string, k kind, s *series) error {
+	switch k {
+	case kindCounter:
+		v := uint64(0)
+		if s.counterFn != nil {
+			v = s.counterFn()
+		} else if s.counter != nil {
+			v = s.counter.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(s.labels, nil), v)
+		return err
+	case kindGauge:
+		var text string
+		if s.gaugeFn != nil {
+			text = formatFloat(s.gaugeFn())
+		} else if s.gauge != nil {
+			text = strconv.FormatInt(s.gauge.Value(), 10)
+		} else {
+			text = "0"
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(s.labels, nil), text)
+		return err
+	default:
+		return writeHistogram(w, name, s)
+	}
+}
+
+// writeHistogram renders a histogram as cumulative le buckets plus _sum
+// and _count. Bucket counts come from the merged snapshot's CDF: for each
+// bound, the cumulative count of the last CDF point at or below it. The
+// log-linear buckets quantize values within ≈1.6%, so a sample can land
+// one exposition bucket low when it sits within quantization error of a
+// bound — an accepted trade for O(1) lock-cheap recording.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	snap := s.hist.Snapshot()
+	n := snap.Count()
+	cdf := snap.CDF()
+	bounds := latencyBuckets
+	if s.hist.scale == 1 {
+		bounds = sizeBuckets
+	}
+	ci := 0
+	var cum int64
+	for _, bound := range bounds {
+		// Sample values are in raw units (ns for latency); the bound is in
+		// exposition units (seconds). Convert the bound back.
+		rawBound := bound / s.hist.scale
+		for ci < len(cdf) && float64(cdf[ci].Value) <= rawBound {
+			cum = int64(math.Round(cdf[ci].Fraction * float64(n)))
+			ci++
+		}
+		le := Label{Name: "le", Value: formatFloat(bound)}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(s.labels, &le), cum); err != nil {
+			return err
+		}
+	}
+	le := Label{Name: "le", Value: "+Inf"}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(s.labels, &le), n); err != nil {
+		return err
+	}
+	sum := float64(snap.Sum()) * s.hist.scale
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.labels, nil), formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels, nil), n)
+	return err
+}

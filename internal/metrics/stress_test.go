@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentStress hammers one registry from many goroutines —
+// registering (idempotently), incrementing, observing, and scraping
+// concurrently — and verifies the final counts. Run under -race this is
+// the proof obligation for the "stats reads never race the hot path"
+// satellite: the exact access pattern servers and scrapers produce.
+func TestRegistryConcurrentStress(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+
+	// Writers: half increment a shared counter + histogram, half a labeled
+	// per-worker series, re-registering by name every iteration.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lbl := L("worker", string(rune('a'+id)))
+			for i := 0; i < perG; i++ {
+				r.Counter("stress_ops_total", "ops").Inc()
+				r.Counter("stress_worker_ops_total", "per-worker ops", lbl).Inc()
+				r.Histogram("stress_latency_seconds", "lat").Observe(int64(i) * 1000)
+				r.Gauge("stress_inflight", "in flight").Add(1)
+				r.Gauge("stress_inflight", "in flight").Add(-1)
+			}
+		}(w)
+	}
+	// Callback re-registrations racing the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			n := uint64(i)
+			r.CounterFunc("stress_cb_total", "cb", func() uint64 { return n })
+			r.GaugeFunc("stress_cb_gauge", "cbg", func() float64 { return float64(n) })
+		}
+	}()
+	// Scrapers racing everything.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter("stress_ops_total", "ops").Value(); got != workers*perG {
+		t.Errorf("shared counter = %d, want %d", got, workers*perG)
+	}
+	for w := 0; w < workers; w++ {
+		lbl := L("worker", string(rune('a'+w)))
+		if got := r.Counter("stress_worker_ops_total", "per-worker ops", lbl).Value(); got != perG {
+			t.Errorf("worker %d counter = %d, want %d", w, got, perG)
+		}
+	}
+	if got := r.Histogram("stress_latency_seconds", "lat").Snapshot().Count(); got != workers*perG {
+		t.Errorf("histogram count = %d, want %d", got, workers*perG)
+	}
+	if got := r.Gauge("stress_inflight", "in flight").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+}
+
+// TestHistogramSnapshotIsolation verifies a snapshot is a private copy:
+// mutating it does not disturb subsequent snapshots, and recording after a
+// snapshot does not mutate it retroactively.
+func TestHistogramSnapshotIsolation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)
+	s1 := h.Snapshot()
+	if s1.Count() != 1 {
+		t.Fatalf("count = %d, want 1", s1.Count())
+	}
+	h.Observe(200)
+	if s1.Count() != 1 {
+		t.Error("snapshot mutated by later Observe")
+	}
+	s1.Record(999)
+	if got := h.Snapshot().Count(); got != 2 {
+		t.Errorf("histogram count = %d after snapshot mutation, want 2", got)
+	}
+}

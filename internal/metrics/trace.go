@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one RPC-level trace record: what the operation was, where it
+// landed, and which CURP path settled it. KeyHash is the routing hash, not
+// the key — spans must be safe to ship to a log aggregator without leaking
+// payloads.
+type Span struct {
+	Op      string        // "update", "read", "update_batch", "txn_prepare", ...
+	KeyHash uint64        // first key's routing hash (0 when not applicable)
+	Shard   int           // -1 when the node doesn't know its shard index
+	Verdict string        // "fast", "sync", "conflict-sync", "blocked", "error", ...
+	Dur     time.Duration //
+	Err     string        // non-empty on failure
+}
+
+// Tracer logs spans whose duration crosses a threshold: the structured
+// slow-op log that makes tail-latency outliers attributable. A nil Tracer
+// and a zero threshold are both fully disabled; the hot-path cost of a
+// fast op is one atomic load.
+type Tracer struct {
+	threshold atomic.Int64 // ns; <=0 disables
+	mu        sync.Mutex
+	w         io.Writer
+}
+
+// NewTracer writes slow-op lines to w for spans at or above threshold.
+func NewTracer(w io.Writer, threshold time.Duration) *Tracer {
+	t := &Tracer{w: w}
+	t.threshold.Store(int64(threshold))
+	return t
+}
+
+// SetThreshold changes the slow-op threshold at runtime (0 disables).
+func (t *Tracer) SetThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.threshold.Store(int64(d))
+}
+
+// Slow reports whether a span of duration d would be logged — callers use
+// it to skip span assembly entirely on the fast path.
+func (t *Tracer) Slow(d time.Duration) bool {
+	if t == nil {
+		return false
+	}
+	th := t.threshold.Load()
+	return th > 0 && int64(d) >= th
+}
+
+// Trace logs the span if it crosses the threshold. One line per span:
+//
+//	slowop ts=2026-08-07T10:11:12.131Z op=update shard=1 key=9f3a... verdict=conflict-sync dur=12.7ms
+func (t *Tracer) Trace(s Span) {
+	if !t.Slow(s.Dur) {
+		return
+	}
+	line := fmt.Sprintf("slowop ts=%s op=%s shard=%d key=%016x verdict=%s dur=%s",
+		time.Now().UTC().Format("2006-01-02T15:04:05.000Z"), s.Op, s.Shard, s.KeyHash, s.Verdict, s.Dur)
+	if s.Err != "" {
+		line += fmt.Sprintf(" err=%q", s.Err)
+	}
+	t.mu.Lock()
+	fmt.Fprintln(t.w, line)
+	t.mu.Unlock()
+}

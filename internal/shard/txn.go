@@ -97,6 +97,21 @@ func (b shardTxnBackend) ForgetDecision(ctx context.Context, shard int, id rifl.
 	}
 }
 
+// TxnCommitted / TxnAborted implement txn.OutcomeRecorder. Outcomes land
+// on shard 0's client counters; Stats() sums across shards, so the
+// aggregate view is shard-placement independent.
+func (b shardTxnBackend) TxnCommitted() {
+	if sc, err := b.clientFor(0); err == nil {
+		sc.CountTxnCommit()
+	}
+}
+
+func (b shardTxnBackend) TxnAborted(orphan bool) {
+	if sc, err := b.clientFor(0); err == nil {
+		sc.CountTxnAbort(orphan)
+	}
+}
+
 // clientFor returns the per-shard client for index s under the current
 // snapshot.
 func (b shardTxnBackend) clientFor(s int) (*cluster.Client, error) {

@@ -89,6 +89,17 @@ type Backend interface {
 	ForgetDecision(ctx context.Context, shard int, id rifl.RPCID, homeHash uint64)
 }
 
+// OutcomeRecorder is an optional Backend extension: a backend that keeps
+// client-side statistics implements it, and Commit reports every
+// transaction's final outcome through it. orphan marks aborts that were
+// decided by a server-side orphan resolver (the home shard recorded
+// abort-by-default before the coordinator's commit decision arrived) —
+// the client-observable signature of the presumed-abort recovery path.
+type OutcomeRecorder interface {
+	TxnCommitted()
+	TxnAborted(orphan bool)
+}
+
 // Errors returned by Commit.
 var (
 	// ErrTxnAborted reports a transaction that did not commit: a read's
@@ -130,6 +141,9 @@ type Txn struct {
 	reads  map[string]readEntry // read-set: key → first observed state
 	order  []string             // first-touch order of keys (home selection)
 	seen   map[string]bool
+	// orphanAbort marks that the final ErrTxnAborted came from an orphan
+	// resolver's abort-by-default beating the coordinator's commit.
+	orphanAbort bool
 }
 
 // New opens an empty transaction over b.
@@ -315,6 +329,21 @@ func (t *Txn) Commit(ctx context.Context) error {
 	if len(t.writes) == 0 && len(t.reads) == 0 {
 		return nil
 	}
+	err := t.commitLoop(ctx)
+	if rec, ok := t.b.(OutcomeRecorder); ok {
+		switch {
+		case err == nil:
+			rec.TxnCommitted()
+		case errors.Is(err, ErrTxnAborted):
+			rec.TxnAborted(t.orphanAbort)
+		}
+	}
+	return err
+}
+
+// commitLoop runs the commit protocol, regrouping and retrying across
+// live rebalances until the budget runs out.
+func (t *Txn) commitLoop(ctx context.Context) error {
 	deadline := time.Now().Add(commitBudget)
 	for attempt := 0; ; attempt++ {
 		groups := t.group()
@@ -466,6 +495,7 @@ func (t *Txn) commitCross(ctx context.Context, groups []*shardGroup) error {
 			t.b.ForgetDecision(ctx, home, id, homeHash)
 		}
 		t.b.FinishTxnID(home, id)
+		t.orphanAbort = true
 		return ErrTxnAborted
 	}
 

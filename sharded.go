@@ -2,9 +2,12 @@ package curp
 
 import (
 	"context"
+	"io"
+	"net/http"
 
 	"curp/internal/cluster"
 	"curp/internal/kv"
+	"curp/internal/metrics"
 	"curp/internal/shard"
 	"curp/internal/transport"
 )
@@ -120,6 +123,47 @@ func (c *ShardedCluster) MasterAddrs() []string {
 
 // Close shuts every partition down.
 func (c *ShardedCluster) Close() { c.inner.Close() }
+
+// registries snapshots every partition's metric registries plus the
+// deployment's ring gauges, re-fetched per call so failovers and added
+// shards appear on the next scrape.
+func (c *ShardedCluster) registries() []*metrics.Registry {
+	ring := metrics.NewRegistry()
+	ring.GaugeFunc("curp_ring_epoch",
+		"Routing-ring configuration epoch (one bump per rebalance step).",
+		func() float64 { return float64(c.inner.CurrentRing().Epoch()) })
+	ring.GaugeFunc("curp_ring_shards",
+		"Partitions the routing ring covers.",
+		func() float64 { return float64(c.inner.CurrentRing().Shards()) })
+	regs := []*metrics.Registry{ring}
+	for _, part := range c.inner.Partitions() {
+		regs = append(regs, part.Registries()...)
+	}
+	return regs
+}
+
+// MetricsHandler returns an http.Handler serving the whole deployment's
+// metrics — ring state plus every partition's coordinator, master,
+// backups, and witnesses — in Prometheus text exposition format.
+func (c *ShardedCluster) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		metrics.Handler(c.registries()...).ServeHTTP(w, req)
+	})
+}
+
+// WriteMetrics renders the deployment's current metrics to w in
+// Prometheus text exposition format.
+func (c *ShardedCluster) WriteMetrics(w io.Writer) error {
+	for _, r := range c.registries() {
+		if r == nil {
+			continue
+		}
+		if err := r.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // ShardedClient routes key-value operations across a ShardedCluster.
 // Single-key operations keep the full single-partition guarantees
