@@ -12,6 +12,7 @@ package curp
 
 import (
 	"context"
+	"curp/internal/commute"
 	"fmt"
 	"io"
 	"math/rand"
@@ -89,7 +90,7 @@ func BenchmarkWitnessRecordThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		kh := rng.Uint64()
 		id := ridBench(1, uint64(i+1))
-		w.Record(1, []uint64{kh}, id, nil)
+		w.Record(1, []uint64{kh}, id, nil, commute.ClassWrite)
 		gcs = append(gcs, witness.GCKey{KeyHash: kh, ID: id})
 		if len(gcs) == 50 {
 			w.GC(gcs)

@@ -6,6 +6,15 @@
 //	curpctl -coordinator 127.0.0.1:7000 del mykey
 //	curpctl -coordinator 127.0.0.1:7000 bench 10000
 //
+// The commutativity-class vocabulary is exposed too: append
+// (order-dependent byte append), sadd/srem/smembers (a set whose
+// concurrent adds commute and stay 1-RTT), take (token-bucket rate
+// limiter; exits 1 on a denial), and putttl (write with a relative TTL):
+//
+//	curpctl -coordinator 127.0.0.1:7000 sadd actives user-7
+//	curpctl -coordinator 127.0.0.1:7000 take api-quota 1
+//	curpctl -coordinator 127.0.0.1:7000 putttl session-42 token 30s
+//
 // Against a sharded deployment (curpd -shards N), pass the same -shards N:
 // shard s's coordinator is derived from the base address by adding s*1000
 // to the port, and each key routes to its owning partition:
@@ -30,8 +39,9 @@
 // top is a live dashboard over the same deployment: it polls each shard's
 // partition /metrics endpoint (coordinator RPC port + 500, the curpd
 // -metrics layout) every second and redraws per-shard throughput,
-// fast-path share, sync lag, recovery epoch, node liveness, and heal-event
-// counts. Optional arguments set the refresh interval and an iteration
+// fast-path share, sync lag, recovery epoch, node liveness, heal-event
+// counts, and the busiest commutativity class with its 1-RTT share (the
+// CLASS column, from curp_master_class_verdicts_total). Optional arguments set the refresh interval and an iteration
 // limit (0 = run until Ctrl-C):
 //
 //	curpctl -coordinator 127.0.0.1:7000 -shards 4 top
@@ -75,6 +85,12 @@ type kvClient interface {
 	Get(ctx context.Context, key []byte) ([]byte, bool, error)
 	Delete(ctx context.Context, key []byte) error
 	Increment(ctx context.Context, key []byte, delta int64) (int64, error)
+	Append(ctx context.Context, key, suffix []byte) (int64, error)
+	PutTTL(ctx context.Context, key, value []byte, expireAt int64) (uint64, error)
+	SetAdd(ctx context.Context, key, member []byte) error
+	SetRemove(ctx context.Context, key, member []byte) error
+	SetMembers(ctx context.Context, key []byte) ([][]byte, error)
+	BucketTake(ctx context.Context, key []byte, n int64) (bool, int64, error)
 	Stats() core.ClientStats
 }
 
@@ -191,6 +207,45 @@ func main() {
 		n, err := forKey(args[1]).Increment(ctx, []byte(args[1]), delta)
 		exitOn(err)
 		fmt.Printf("%d\n", n)
+	case "append":
+		need(args, 3)
+		n, err := forKey(args[1]).Append(ctx, []byte(args[1]), []byte(args[2]))
+		exitOn(err)
+		fmt.Printf("OK length=%d\n", n)
+	case "putttl":
+		need(args, 4)
+		ttl, err := time.ParseDuration(args[3])
+		exitOn(err)
+		ver, err := forKey(args[1]).PutTTL(ctx, []byte(args[1]), []byte(args[2]), time.Now().Add(ttl).UnixNano())
+		exitOn(err)
+		fmt.Printf("OK version=%d expires-in=%v\n", ver, ttl)
+	case "sadd":
+		need(args, 3)
+		exitOn(forKey(args[1]).SetAdd(ctx, []byte(args[1]), []byte(args[2])))
+		fmt.Println("OK")
+	case "srem":
+		need(args, 3)
+		exitOn(forKey(args[1]).SetRemove(ctx, []byte(args[1]), []byte(args[2])))
+		fmt.Println("OK")
+	case "smembers":
+		need(args, 2)
+		members, err := forKey(args[1]).SetMembers(ctx, []byte(args[1]))
+		exitOn(err)
+		for _, m := range members {
+			fmt.Printf("%s\n", m)
+		}
+	case "take":
+		need(args, 3)
+		n, err := strconv.ParseInt(args[2], 10, 64)
+		exitOn(err)
+		granted, remaining, err := forKey(args[1]).BucketTake(ctx, []byte(args[1]), n)
+		exitOn(err)
+		if granted {
+			fmt.Printf("GRANTED remaining=%d\n", remaining)
+		} else {
+			fmt.Printf("DENIED remaining=%d\n", remaining)
+			os.Exit(1)
+		}
 	case "bench":
 		need(args, 2)
 		n, err := strconv.Atoi(args[1])
@@ -289,7 +344,9 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|shard|bench|status|top|rebalance args...")
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|append|putttl|sadd|srem|smembers|take|shard|bench|status|top|rebalance args...")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port putttl <key> <value> <ttl, e.g. 30s>")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port take <bucket-key> <tokens>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port rebalance <fromShards> <toShards>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N status")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N top [interval [iterations]]")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
@@ -20,12 +21,20 @@ import (
 // safe to leave running against a loaded cluster.
 
 // shardSample is one scrape of a shard's partition-level series, summed by
-// metric name (the only multi-series family top reads, heal events by
-// kind, wants the sum anyway).
+// metric name (the only multi-series family top reads label-blind, heal
+// events by kind, wants the sum anyway), plus the label-aware class
+// verdict family.
 type shardSample struct {
-	at  time.Time
-	m   map[string]float64
-	err error
+	at      time.Time
+	m       map[string]float64
+	classes map[string]classVerdicts
+	err     error
+}
+
+// classVerdicts is one commutativity class's cumulative verdict counters
+// from curp_master_class_verdicts_total{class=...,verdict=...}.
+type classVerdicts struct {
+	spec, sync float64
 }
 
 func runTop(coordBase string, shards int, timeout, interval time.Duration, iterations int) {
@@ -62,7 +71,13 @@ func scrapeShard(client *http.Client, coordBase string, s int) shardSample {
 		sample.err = fmt.Errorf("%s: HTTP %d", addr, resp.StatusCode)
 		return sample
 	}
-	sample.m = parsePromText(resp.Body)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		sample.err = err
+		return sample
+	}
+	sample.m = parsePromText(bytes.NewReader(body))
+	sample.classes = parseClassVerdicts(bytes.NewReader(body))
 	return sample
 }
 
@@ -110,6 +125,88 @@ func parsePromText(r io.Reader) map[string]float64 {
 	return out
 }
 
+// parseClassVerdicts reads Prometheus text exposition keeping ONLY the
+// curp_master_class_verdicts_total family, split by its class and verdict
+// labels — the one family where summing labels away (parsePromText) would
+// lose the signal top wants to show.
+func parseClassVerdicts(r io.Reader) map[string]classVerdicts {
+	out := make(map[string]classVerdicts)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "curp_master_class_verdicts_total{") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		class := promLabel(line[:sp], "class")
+		verdict := promLabel(line[:sp], "verdict")
+		if class == "" || verdict == "" {
+			continue
+		}
+		cv := out[class]
+		switch verdict {
+		case "speculative":
+			cv.spec += val
+		case "sync":
+			cv.sync += val
+		}
+		out[class] = cv
+	}
+	return out
+}
+
+// promLabel extracts one label's value from a series name's label block.
+func promLabel(series, label string) string {
+	i := strings.Index(series, label+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := series[i+len(label)+2:]
+	end := strings.IndexByte(rest, '"')
+	if end < 0 {
+		return ""
+	}
+	return rest[:end]
+}
+
+// hotClass names the busiest commutativity class over the refresh interval
+// and its speculative (1-RTT) share, e.g. `counter 98%`. Classes are
+// compared by verdict-count delta since the previous scrape; plain writes
+// are skipped (the other columns already cover them) and an idle interval
+// reports "-".
+func hotClass(cur, prev shardSample) string {
+	if cur.classes == nil || prev.classes == nil {
+		return "-"
+	}
+	best, bestTotal := "", 0.0
+	var bestSpec float64
+	for class, c := range cur.classes {
+		if class == "write" {
+			continue
+		}
+		p := prev.classes[class]
+		dSpec, dSync := c.spec-p.spec, c.sync-p.sync
+		if dSpec < 0 || dSync < 0 { // master replaced: counters restarted
+			continue
+		}
+		if total := dSpec + dSync; total > bestTotal {
+			best, bestTotal, bestSpec = class, total, dSpec
+		}
+	}
+	if best == "" {
+		return "-"
+	}
+	return fmt.Sprintf("%s %.0f%%", best, 100*bestSpec/bestTotal)
+}
+
 func render(cur, prev []shardSample, interval time.Duration) {
 	var b strings.Builder
 	// Clear screen and home the cursor; a dumb terminal just sees the
@@ -117,14 +214,14 @@ func render(cur, prev []shardSample, interval time.Duration) {
 	b.WriteString("\x1b[2J\x1b[H")
 	fmt.Fprintf(&b, "curpctl top — %d shard(s) — %s  (refresh %v, Ctrl-C quits)\n\n",
 		len(cur), time.Now().Format("15:04:05"), interval)
-	fmt.Fprintf(&b, "%-5s %9s %6s %9s %6s %7s %6s %5s  %s\n",
-		"SHARD", "OPS/S", "FAST%", "SYNC-LAG", "EPOCH", "HEAD", "ALIVE", "HEAL", "STATUS")
+	fmt.Fprintf(&b, "%-5s %9s %6s %9s %6s %7s %6s %5s %-14s %s\n",
+		"SHARD", "OPS/S", "FAST%", "SYNC-LAG", "EPOCH", "HEAD", "ALIVE", "HEAL", "CLASS", "STATUS")
 	var totalRate float64
 	for s := range cur {
 		c := cur[s]
 		if c.err != nil {
-			fmt.Fprintf(&b, "%-5d %9s %6s %9s %6s %7s %6s %5s  UNREACHABLE: %v\n",
-				s, "-", "-", "-", "-", "-", "-", "-", c.err)
+			fmt.Fprintf(&b, "%-5d %9s %6s %9s %6s %7s %6s %5s %-14s UNREACHABLE: %v\n",
+				s, "-", "-", "-", "-", "-", "-", "-", "-", c.err)
 			continue
 		}
 		rate, fast := shardRates(c, prev[s])
@@ -133,13 +230,14 @@ func render(cur, prev []shardSample, interval time.Duration) {
 		if c.m["curp_partition_self_healing"] > 0 {
 			status = "self-healing"
 		}
-		fmt.Fprintf(&b, "%-5d %9.0f %6s %9.0f %6.0f %7.0f %3.0f/%-2.0f %5.0f  %s\n",
+		fmt.Fprintf(&b, "%-5d %9.0f %6s %9.0f %6.0f %7.0f %3.0f/%-2.0f %5.0f %-14s %s\n",
 			s, rate, fast,
 			c.m["curp_partition_sync_lag_ops"],
 			c.m["curp_partition_epoch"],
 			c.m["curp_partition_head_lsn"],
 			c.m["curp_partition_nodes_alive"], c.m["curp_partition_nodes_total"],
 			c.m["curp_heal_events_total"],
+			hotClass(c, prev[s]),
 			status)
 	}
 	fmt.Fprintf(&b, "\ntotal %.0f ops/s\n", totalRate)

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"curp/internal/cluster"
+	"curp/internal/commute"
 	"curp/internal/core"
 	"curp/internal/dstore"
 	"curp/internal/kv"
@@ -68,6 +69,13 @@ type Options struct {
 	SyncBatchSize int
 	// DisableHotKeySync turns off the §4.4 preemptive-sync heuristic.
 	DisableHotKeySync bool
+	// KeyGranularConflicts disables per-command commutativity classes and
+	// reverts to the paper's key-granular conflict rule: any two unsynced
+	// operations touching the same key conflict, even when both are
+	// increments (or set-adds, or bucket-takes) that commute semantically.
+	// Useful as an A/B baseline — contended counters lose the 1-RTT fast
+	// path with this set.
+	KeyGranularConflicts bool
 	// WitnessSlots and WitnessWays size each witness (defaults 4096 and
 	// 4, the paper's geometry).
 	WitnessSlots, WitnessWays int
@@ -195,6 +203,7 @@ func clusterOptions(opts Options) cluster.Options {
 	if opts.DisableHotKeySync {
 		copts.Master.Core.HotKeyWindow = 0
 	}
+	copts.Master.Core.KeyGranular = opts.KeyGranularConflicts
 	if opts.WitnessSlots > 0 {
 		copts.Witness.Slots = opts.WitnessSlots
 	}
@@ -378,8 +387,18 @@ func (c *Client) Delete(ctx context.Context, key []byte) error {
 	return c.inner.Delete(ctx, key)
 }
 
+// ErrCounterUnavailable reports an Increment (or BucketTake) whose state
+// change applied exactly once but whose numeric return value was scrubbed
+// by crash recovery: witness replay re-executes commutative commands in an
+// arbitrary order, so the replayed total would be from a history that never
+// happened. Re-read the key (e.g. Increment with delta 0) for the current
+// total.
+var ErrCounterUnavailable = cluster.ErrCounterUnavailable
+
 // Increment atomically adds delta to the integer at key and returns the
-// new value.
+// new value. After a master crash, a retried Increment may return
+// ErrCounterUnavailable: the add is durably applied, only its return value
+// is lost.
 func (c *Client) Increment(ctx context.Context, key []byte, delta int64) (int64, error) {
 	return c.inner.Increment(ctx, key, delta)
 }
@@ -415,6 +434,50 @@ func (c *Client) MultiIncrement(ctx context.Context, deltas []IncrPair) ([]int64
 		ps[i] = kv.IncrPair{Key: d.Key, Delta: d.Delta}
 	}
 	return c.inner.MultiIncrement(ctx, ps)
+}
+
+// Append atomically appends suffix to the value at key (creating it when
+// absent) and returns the value's new total length. Append is
+// order-dependent, so concurrent Appends on one key conflict and take the
+// 2-RTT path; use a Pipeline to order appends from one client cheaply.
+func (c *Client) Append(ctx context.Context, key, suffix []byte) (int64, error) {
+	return c.inner.Append(ctx, key, suffix)
+}
+
+// PutTTL writes value under key with an absolute expiry time (UnixNano);
+// after that instant the key reads as absent and is purged from the store
+// on the next background sync.
+func (c *Client) PutTTL(ctx context.Context, key, value []byte, expireAt int64) (uint64, error) {
+	return c.inner.PutTTL(ctx, key, value, expireAt)
+}
+
+// SetAdd adds member to the set at key (creating the set when absent).
+// Concurrent SetAdds on one key commute — they keep the 1-RTT fast path
+// even under contention.
+func (c *Client) SetAdd(ctx context.Context, key, member []byte) error {
+	return c.inner.SetAdd(ctx, key, member)
+}
+
+// SetRemove removes member from the set at key. Concurrent SetRemoves
+// commute with each other but not with SetAdds (observed-remove
+// semantics: an add/remove pair on one member is order-dependent).
+func (c *Client) SetRemove(ctx context.Context, key, member []byte) error {
+	return c.inner.SetRemove(ctx, key, member)
+}
+
+// SetMembers reads the members of the set at key, sorted bytewise. A
+// missing key reads as an empty set.
+func (c *Client) SetMembers(ctx context.Context, key []byte) ([][]byte, error) {
+	return c.inner.SetMembers(ctx, key)
+}
+
+// BucketTake takes n tokens from the rate-limiter bucket at key; granted
+// reports whether they were available, remaining is the balance after the
+// take. Grants commute with each other, so admitting traffic under the
+// limit stays 1 RTT; a denial (or draining the bucket) syncs first, so a
+// granted=false answer is never speculative.
+func (c *Client) BucketTake(ctx context.Context, key []byte, n int64) (granted bool, remaining int64, err error) {
+	return c.inner.BucketTake(ctx, key, n)
 }
 
 // DurableCache is a Redis-like in-memory data-structure store made durable
@@ -473,7 +536,7 @@ func (d *DurableCache) do(ctx context.Context, cmd *dstore.Command) (*dstore.Res
 	if cmd.IsReadOnly() {
 		out, err = d.client.Read(ctx, cmd.KeyHashes(), cmd.Encode())
 	} else {
-		out, err = d.client.Update(ctx, cmd.KeyHashes(), cmd.Encode())
+		out, err = d.client.Update(ctx, cmd.KeyHashes(), cmd.Encode(), commute.ClassWrite)
 	}
 	if err != nil {
 		return nil, err

@@ -188,3 +188,117 @@ func ExampleTxn() {
 	fmt.Printf("alice=%d bob=%d\n", a, b)
 	// Output: alice=70 bob=30
 }
+
+// ExampleClient_IncrementAsync shows why commutativity classes matter
+// under contention: many in-flight increments of ONE hot counter all
+// complete on the 1-RTT speculative path, because increments commute —
+// witnesses accept every record, and no sync round trips are needed.
+// Under the old key-granular conflict rule the same workload would fall
+// back to the 2-RTT sync path on nearly every operation.
+//
+// Commuting same-key records coexist on a witness, each holding a slot
+// until the master's next sync collects them — so a witness absorbing
+// bursts of N in-flight ops on one hot key needs WitnessWays ≥ N.
+func ExampleClient_IncrementAsync() {
+	cluster, err := curp.Start(curp.Options{F: 1, WitnessSlots: 1024, WitnessWays: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	// 20 concurrent increments of one key, all in flight at once.
+	futs := make([]*curp.Future, 20)
+	for i := range futs {
+		futs[i] = client.IncrementAsync(ctx, []byte("page-views"), 1)
+	}
+	for _, f := range futs {
+		if err := f.Err(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	total, err := client.Increment(ctx, []byte("page-views"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := client.Stats()
+	fmt.Printf("views=%d all-fast=%v\n", total, st.FastPath >= 20 && st.SlowPath == 0)
+	// Output: views=20 all-fast=true
+}
+
+// ExampleClient_SetAdd builds a set with concurrent, commutative adds.
+// The stored form is canonical (sorted, deduplicated), so any arrival
+// order yields the same bytes — which is what lets SetAdd records from
+// different clients coexist on witnesses without conflicting.
+func ExampleClient_SetAdd() {
+	cluster, err := curp.Start(curp.Options{F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	for _, tag := range []string{"urgent", "billing", "urgent", "beta"} {
+		if err := client.SetAdd(ctx, []byte("ticket:7:tags"), []byte(tag)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := client.SetRemove(ctx, []byte("ticket:7:tags"), []byte("beta")); err != nil {
+		log.Fatal(err)
+	}
+	members, err := client.SetMembers(ctx, []byte("ticket:7:tags"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range members {
+		fmt.Println(string(m))
+	}
+	// Output:
+	// billing
+	// urgent
+}
+
+// ExampleClient_BucketTake debits a token bucket with exactly-once
+// grants. Takes commute while capacity holds (they ride the 1-RTT path);
+// a take that denies — or drains the bucket — is order-observable and
+// demotes itself to the sync path, so no grant is ever revoked and the
+// bucket never over-debits, even across master crashes.
+func ExampleClient_BucketTake() {
+	cluster, err := curp.Start(curp.Options{F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	// Seed 5 tokens of capacity (buckets are plain counters underneath).
+	if _, err := client.Increment(ctx, []byte("api-quota"), 5); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		granted, remaining, err := client.BucketTake(ctx, []byte("api-quota"), 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("take 2: granted=%v remaining=%d\n", granted, remaining)
+	}
+	// Output:
+	// take 2: granted=true remaining=3
+	// take 2: granted=true remaining=1
+	// take 2: granted=false remaining=1
+}

@@ -110,6 +110,26 @@ func (f *Future) Values() ([]int64, error) {
 	return cluster.ParseCounters(res)
 }
 
+// Granted reports whether a BucketTake's tokens were available and taken.
+// It blocks until the operation completes.
+func (f *Future) Granted() (bool, error) {
+	res, err := f.resolve(context.Background())
+	if err != nil {
+		return false, err
+	}
+	return res.Found, nil
+}
+
+// Length returns the value's new total length after an Append. It blocks
+// until the operation completes.
+func (f *Future) Length() (int64, error) {
+	res, err := f.resolve(context.Background())
+	if err != nil {
+		return 0, err
+	}
+	return cluster.ParseCounter(res)
+}
+
 // PutAsync writes value under key without blocking; Future.Version holds
 // the object's new version.
 func (c *Client) PutAsync(ctx context.Context, key, value []byte) *Future {
@@ -143,6 +163,35 @@ func (c *Client) MultiPutAsync(ctx context.Context, pairs []KV) *Future {
 // Future.Values holds the new counter values.
 func (c *Client) MultiIncrementAsync(ctx context.Context, deltas []IncrPair) *Future {
 	return wrapClusterFuture(c.inner.MultiIncrementAsync(ctx, toIncrPairs(deltas)))
+}
+
+// AppendAsync appends suffix to the value at key without blocking;
+// Future.Length holds the value's new total length.
+func (c *Client) AppendAsync(ctx context.Context, key, suffix []byte) *Future {
+	return wrapClusterFuture(c.inner.AppendAsync(ctx, key, suffix))
+}
+
+// PutTTLAsync writes value under key with an absolute UnixNano expiry,
+// without blocking.
+func (c *Client) PutTTLAsync(ctx context.Context, key, value []byte, expireAt int64) *Future {
+	return wrapClusterFuture(c.inner.PutTTLAsync(ctx, key, value, expireAt))
+}
+
+// SetAddAsync adds member to the set at key without blocking. Concurrent
+// SetAdds commute, so a hot set keeps the 1-RTT fast path.
+func (c *Client) SetAddAsync(ctx context.Context, key, member []byte) *Future {
+	return wrapClusterFuture(c.inner.SetAddAsync(ctx, key, member))
+}
+
+// SetRemoveAsync removes member from the set at key without blocking.
+func (c *Client) SetRemoveAsync(ctx context.Context, key, member []byte) *Future {
+	return wrapClusterFuture(c.inner.SetRemoveAsync(ctx, key, member))
+}
+
+// BucketTakeAsync takes n tokens from the bucket at key without blocking;
+// Future.Granted reports whether they were available.
+func (c *Client) BucketTakeAsync(ctx context.Context, key []byte, n int64) *Future {
+	return wrapClusterFuture(c.inner.BucketTakeAsync(ctx, key, n))
 }
 
 // NewPipeline opens an empty pipeline bound to this client. Queue
@@ -184,6 +233,34 @@ func (c *ShardedClient) MultiPutAsync(ctx context.Context, pairs []KV) *Future {
 // the new counter values.
 func (c *ShardedClient) MultiIncrementAsync(ctx context.Context, deltas []IncrPair) *Future {
 	return wrapShardFuture(c.inner.MultiIncrementAsync(ctx, toIncrPairs(deltas)))
+}
+
+// AppendAsync appends suffix to the value at key without blocking;
+// Future.Length holds the value's new total length.
+func (c *ShardedClient) AppendAsync(ctx context.Context, key, suffix []byte) *Future {
+	return wrapShardFuture(c.inner.AppendAsync(ctx, key, suffix))
+}
+
+// PutTTLAsync writes value under key with an absolute UnixNano expiry,
+// without blocking.
+func (c *ShardedClient) PutTTLAsync(ctx context.Context, key, value []byte, expireAt int64) *Future {
+	return wrapShardFuture(c.inner.PutTTLAsync(ctx, key, value, expireAt))
+}
+
+// SetAddAsync adds member to the set at key without blocking.
+func (c *ShardedClient) SetAddAsync(ctx context.Context, key, member []byte) *Future {
+	return wrapShardFuture(c.inner.SetAddAsync(ctx, key, member))
+}
+
+// SetRemoveAsync removes member from the set at key without blocking.
+func (c *ShardedClient) SetRemoveAsync(ctx context.Context, key, member []byte) *Future {
+	return wrapShardFuture(c.inner.SetRemoveAsync(ctx, key, member))
+}
+
+// BucketTakeAsync takes n tokens from the bucket at key without blocking;
+// Future.Granted reports whether they were available.
+func (c *ShardedClient) BucketTakeAsync(ctx context.Context, key []byte, n int64) *Future {
+	return wrapShardFuture(c.inner.BucketTakeAsync(ctx, key, n))
 }
 
 // NewPipeline opens an empty pipeline bound to this client. Operations
@@ -277,6 +354,49 @@ func (p *Pipeline) CondPut(key, value []byte, expectVersion uint64) *Future {
 		return wrapClusterFuture(p.cp.CondPut(key, value, expectVersion))
 	}
 	return wrapShardFuture(p.sp.CondPut(key, value, expectVersion))
+}
+
+// Append queues appending suffix to the value at key; the future's Length
+// holds the value's new total length.
+func (p *Pipeline) Append(key, suffix []byte) *Future {
+	if p.cp != nil {
+		return wrapClusterFuture(p.cp.Append(key, suffix))
+	}
+	return wrapShardFuture(p.sp.Append(key, suffix))
+}
+
+// PutTTL queues a write of value under key with an absolute UnixNano
+// expiry.
+func (p *Pipeline) PutTTL(key, value []byte, expireAt int64) *Future {
+	if p.cp != nil {
+		return wrapClusterFuture(p.cp.PutTTL(key, value, expireAt))
+	}
+	return wrapShardFuture(p.sp.PutTTL(key, value, expireAt))
+}
+
+// SetAdd queues adding member to the set at key.
+func (p *Pipeline) SetAdd(key, member []byte) *Future {
+	if p.cp != nil {
+		return wrapClusterFuture(p.cp.SetAdd(key, member))
+	}
+	return wrapShardFuture(p.sp.SetAdd(key, member))
+}
+
+// SetRemove queues removing member from the set at key.
+func (p *Pipeline) SetRemove(key, member []byte) *Future {
+	if p.cp != nil {
+		return wrapClusterFuture(p.cp.SetRemove(key, member))
+	}
+	return wrapShardFuture(p.sp.SetRemove(key, member))
+}
+
+// BucketTake queues taking n tokens from the bucket at key; the future's
+// Granted reports whether they were available.
+func (p *Pipeline) BucketTake(key []byte, n int64) *Future {
+	if p.cp != nil {
+		return wrapClusterFuture(p.cp.BucketTake(key, n))
+	}
+	return wrapShardFuture(p.sp.BucketTake(key, n))
 }
 
 // MultiPut queues an atomic multi-object write (atomic per shard on a

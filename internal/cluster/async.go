@@ -86,7 +86,7 @@ func (f *Future) Wait(ctx context.Context) (*kv.Result, error) {
 // typed verbs (PutAsync etc.); this is the generic entry point the verbs
 // and the Pipeline share.
 func (c *Client) SubmitAsync(ctx context.Context, cmd *kv.Command) *Future {
-	return futureOf(c.curp.UpdateAsync(ctx, cmd.KeyHashes(), cmd.Encode()))
+	return futureOf(c.curp.UpdateAsync(ctx, cmd.KeyHashes(), cmd.Encode(), cmd.Class()))
 }
 
 // SubmitBatch issues a batch of kv commands as coalesced RPCs: one
@@ -96,7 +96,7 @@ func (c *Client) SubmitAsync(ctx context.Context, cmd *kv.Command) *Future {
 func (c *Client) SubmitBatch(ctx context.Context, cmds []*kv.Command) []*Future {
 	ops := make([]core.BatchOp, len(cmds))
 	for i, cmd := range cmds {
-		ops[i] = core.BatchOp{KeyHashes: cmd.KeyHashes(), Payload: cmd.Encode()}
+		ops[i] = core.BatchOp{KeyHashes: cmd.KeyHashes(), Payload: cmd.Encode(), Class: cmd.Class()}
 	}
 	inner := c.curp.UpdateBatchAsync(ctx, ops)
 	futs := make([]*Future, len(inner))
@@ -143,6 +143,35 @@ func (c *Client) MultiIncrementAsync(ctx context.Context, deltas []kv.IncrPair) 
 	return c.SubmitAsync(ctx, multiIncrCommand(deltas))
 }
 
+// AppendAsync appends suffix to the value at key without blocking; the
+// future's result value holds the new total length in decimal.
+func (c *Client) AppendAsync(ctx context.Context, key, suffix []byte) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpAppend, Key: key, Value: suffix})
+}
+
+// PutTTLAsync writes value under key with an absolute UnixNano expiry,
+// without blocking.
+func (c *Client) PutTTLAsync(ctx context.Context, key, value []byte, expireAt int64) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpPut, Key: key, Value: value, ExpireAt: expireAt})
+}
+
+// SetAddAsync adds member to the set at key without blocking.
+func (c *Client) SetAddAsync(ctx context.Context, key, member []byte) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpSetAdd, Key: key, Value: member})
+}
+
+// SetRemoveAsync removes member from the set at key without blocking.
+func (c *Client) SetRemoveAsync(ctx context.Context, key, member []byte) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpSetRemove, Key: key, Value: member})
+}
+
+// BucketTakeAsync takes n tokens from the bucket at key without blocking;
+// the future's result reports Found=granted and the remaining balance in
+// decimal.
+func (c *Client) BucketTakeAsync(ctx context.Context, key []byte, n int64) *Future {
+	return c.SubmitAsync(ctx, &kv.Command{Op: kv.OpBucketTake, Key: key, Delta: n})
+}
+
 // multiIncrCommand builds the OpMultiIncr command for deltas.
 func multiIncrCommand(deltas []kv.IncrPair) *kv.Command {
 	cmd := &kv.Command{Op: kv.OpMultiIncr}
@@ -152,8 +181,18 @@ func multiIncrCommand(deltas []kv.IncrPair) *kv.Command {
 	return cmd
 }
 
+// ErrCounterUnavailable marks a commutative command's numeric result that
+// was scrubbed during crash recovery: witness replay re-executes such
+// commands in arbitrary order, so the replayed total would be from a
+// history that never happened. The operation itself applied exactly once;
+// only its return value is gone. Re-read the key for the current total.
+var ErrCounterUnavailable = errors.New("cluster: counter result unavailable after crash recovery")
+
 // ParseCounter extracts the counter value of an Increment result.
 func ParseCounter(res *kv.Result) (int64, error) {
+	if len(res.Value) == 0 {
+		return 0, ErrCounterUnavailable
+	}
 	// strconv.ParseInt, not Sscanf: Sscanf accepts trailing garbage.
 	return strconv.ParseInt(string(res.Value), 10, 64)
 }
@@ -227,6 +266,32 @@ func (p *Pipeline) MultiPut(pairs []kv.KV) *Future {
 // MultiIncrement queues an atomic multi-counter increment.
 func (p *Pipeline) MultiIncrement(deltas []kv.IncrPair) *Future {
 	return p.enqueue(multiIncrCommand(deltas))
+}
+
+// Append queues appending suffix to the value at key.
+func (p *Pipeline) Append(key, suffix []byte) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpAppend, Key: key, Value: suffix})
+}
+
+// PutTTL queues a write of value under key with an absolute UnixNano
+// expiry.
+func (p *Pipeline) PutTTL(key, value []byte, expireAt int64) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpPut, Key: key, Value: value, ExpireAt: expireAt})
+}
+
+// SetAdd queues adding member to the set at key.
+func (p *Pipeline) SetAdd(key, member []byte) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpSetAdd, Key: key, Value: member})
+}
+
+// SetRemove queues removing member from the set at key.
+func (p *Pipeline) SetRemove(key, member []byte) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpSetRemove, Key: key, Value: member})
+}
+
+// BucketTake queues taking n tokens from the bucket at key.
+func (p *Pipeline) BucketTake(key []byte, n int64) *Future {
+	return p.enqueue(&kv.Command{Op: kv.OpBucketTake, Key: key, Delta: n})
 }
 
 // Flush submits every queued operation as one coalesced batch and blocks

@@ -92,7 +92,7 @@ type witnessConn struct{ peer *rpc.Peer }
 // wire op.
 func (w *witnessConn) RecordBatch(ctx context.Context, masterID uint64, recs []witness.Record) ([]witness.RecordResult, error) {
 	if len(recs) == 1 {
-		req := recordRequest{MasterID: masterID, KeyHashes: recs[0].KeyHashes, ID: recs[0].ID, Request: recs[0].Request}
+		req := recordRequest{MasterID: masterID, KeyHashes: recs[0].KeyHashes, ID: recs[0].ID, Request: recs[0].Request, Class: recs[0].Class}
 		out, err := w.peer.Call(ctx, OpWitnessRecord, req.encode())
 		if err != nil {
 			return nil, err
@@ -380,8 +380,87 @@ func (c *Client) Increment(ctx context.Context, key []byte, delta int64) (int64,
 	if err != nil {
 		return 0, err
 	}
-	// strconv.ParseInt, not Sscanf: Sscanf accepts trailing garbage.
-	return strconv.ParseInt(string(res.Value), 10, 64)
+	return ParseCounter(res)
+}
+
+// Append atomically appends suffix to the value at key (creating it when
+// absent) and returns the value's new total length. Append is ClassWrite:
+// two appends do NOT commute — their results (and the stored bytes) depend
+// on order — so contended appends take the sync path like puts.
+func (c *Client) Append(ctx context.Context, key, suffix []byte) (int64, error) {
+	cmd := &kv.Command{Op: kv.OpAppend, Key: key, Value: suffix}
+	res, err := c.update(ctx, cmd)
+	if err != nil {
+		return 0, err
+	}
+	return ParseCounter(res)
+}
+
+// PutTTL writes value under key with an absolute expiry time (UnixNano);
+// expireAt 0 clears any TTL. Reads treat the key as absent once expireAt
+// passes; the master's sync tail purges it physically.
+func (c *Client) PutTTL(ctx context.Context, key, value []byte, expireAt int64) (uint64, error) {
+	cmd := &kv.Command{Op: kv.OpPut, Key: key, Value: value, ExpireAt: expireAt}
+	res, err := c.update(ctx, cmd)
+	if err != nil {
+		return 0, err
+	}
+	return res.Version, nil
+}
+
+// SetAdd adds member to the set at key (creating it when absent).
+// Concurrent SetAdds on one key commute — the stored representation is
+// canonical (sorted, deduplicated) — so a hot set stays on the 1-RTT path.
+func (c *Client) SetAdd(ctx context.Context, key, member []byte) error {
+	cmd := &kv.Command{Op: kv.OpSetAdd, Key: key, Value: member}
+	_, err := c.update(ctx, cmd)
+	return err
+}
+
+// SetRemove removes member from the set at key. Concurrent SetRemoves
+// commute with each other but NOT with SetAdds: an add/remove pair on one
+// key forces a sync between them, which is what gives the pair its
+// observed-remove ordering.
+func (c *Client) SetRemove(ctx context.Context, key, member []byte) error {
+	cmd := &kv.Command{Op: kv.OpSetRemove, Key: key, Value: member}
+	_, err := c.update(ctx, cmd)
+	return err
+}
+
+// SetMembers reads the members of the set at key, sorted bytewise. A
+// missing key is an empty set, not an error.
+func (c *Client) SetMembers(ctx context.Context, key []byte) ([][]byte, error) {
+	cmd := &kv.Command{Op: kv.OpSetMembers, Key: key}
+	out, err := c.curp.Read(ctx, cmd.KeyHashes(), cmd.Encode())
+	if err != nil {
+		return nil, err
+	}
+	res, err := kv.DecodeResult(out)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// BucketTake takes n tokens from the rate-limiter bucket at key (refilled
+// with Increment). granted reports whether the bucket held n tokens;
+// remaining is the balance after the take. Grants commute while the bucket
+// stays positive, so admission checks under a healthy budget run at 1 RTT;
+// a take that denies or drains the bucket demotes itself to the sync path.
+// After a master crash the remaining balance of an in-flight take may be
+// unreported (remaining 0 with granted still valid).
+func (c *Client) BucketTake(ctx context.Context, key []byte, n int64) (granted bool, remaining int64, err error) {
+	cmd := &kv.Command{Op: kv.OpBucketTake, Key: key, Delta: n}
+	res, err := c.update(ctx, cmd)
+	if err != nil {
+		return false, 0, err
+	}
+	if len(res.Value) > 0 {
+		if remaining, err = ParseCounter(res); err != nil {
+			return false, 0, err
+		}
+	}
+	return res.Found, remaining, nil
 }
 
 // CondPut writes value only if key is at expectVersion. applied reports
@@ -428,7 +507,7 @@ func (c *Client) MultiIncrement(ctx context.Context, deltas []kv.IncrPair) ([]in
 }
 
 func (c *Client) update(ctx context.Context, cmd *kv.Command) (*kv.Result, error) {
-	out, err := c.curp.Update(ctx, cmd.KeyHashes(), cmd.Encode())
+	out, err := c.curp.Update(ctx, cmd.KeyHashes(), cmd.Encode(), cmd.Class())
 	if err != nil {
 		return nil, err
 	}

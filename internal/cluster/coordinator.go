@@ -31,6 +31,11 @@ type masterInfo struct {
 	// migration. Recovery seeds replacement masters with them so restored
 	// backup logs and witness replays cannot resurrect migrated keys.
 	movedAway []witness.HashRange
+	// forwards pairs handed-off arcs with the target master address that
+	// received them. Recovery seeds replacement masters with them so
+	// transaction decision lookups on moved home ranges keep being
+	// forwarded after the source master that performed the handoff dies.
+	forwards []MovedForward
 	// frozen are ring arcs a migration step is currently transferring
 	// out of this partition (recorded by the driver before Collect,
 	// withdrawn on abort or commit). Recovery seeds replacement masters
@@ -93,7 +98,7 @@ func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (
 	c.rpc.Handle(OpGetView, c.handleGetView)
 	c.rpc.Handle(OpRegisterClient, c.handleRegisterClient)
 	c.rpc.Handle(OpRenewLease, c.handleRenewLease)
-	c.rpc.Handle(OpCoordAddMoved, rangesHandler(c.NoteMovedRanges))
+	c.rpc.Handle(OpCoordAddMoved, c.handleAddMoved)
 	c.rpc.Handle(OpCoordDelMoved, rangesHandler(c.ForgetMovedRanges))
 	c.rpc.Handle(OpCoordAddFrozen, rangesHandler(c.NoteFrozenRanges))
 	c.rpc.Handle(OpCoordDelFrozen, rangesHandler(c.ForgetFrozenRanges))
@@ -351,7 +356,9 @@ func (c *Coordinator) handleRenewLease(payload []byte) ([]byte, error) {
 // It is the durability point of a migration's commit: from here on, any
 // recovery of this partition drops the arcs' keys and skips their witness
 // records, so a source crash cannot resurrect a handed-off range.
-func (c *Coordinator) NoteMovedRanges(masterID uint64, rs []witness.HashRange) error {
+// destAddr, when non-empty, is the target master the arcs moved to; it is
+// replayed into replacement masters as a decision-lookup forward.
+func (c *Coordinator) NoteMovedRanges(masterID uint64, rs []witness.HashRange, destAddr string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	mi := c.masters[masterID]
@@ -359,12 +366,18 @@ func (c *Coordinator) NoteMovedRanges(masterID uint64, rs []witness.HashRange) e
 		return fmt.Errorf("coordinator: unknown master %d", masterID)
 	}
 	mi.movedAway = witness.MergeRanges(mi.movedAway, rs)
+	if destAddr != "" {
+		mi.forwards = append(mi.forwards, MovedForward{
+			Ranges:   append([]witness.HashRange(nil), rs...),
+			DestAddr: destAddr,
+		})
+	}
 	return nil
 }
 
 // ForgetMovedRanges removes exactly-matching arcs from a partition's
 // moved-away record (the undo path of an aborted multi-source rebalance
-// step).
+// step), along with any forwards recorded for exactly those arcs.
 func (c *Coordinator) ForgetMovedRanges(masterID uint64, rs []witness.HashRange) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -373,6 +386,14 @@ func (c *Coordinator) ForgetMovedRanges(masterID uint64, rs []witness.HashRange)
 		return fmt.Errorf("coordinator: unknown master %d", masterID)
 	}
 	mi.movedAway = witness.RemoveRanges(mi.movedAway, rs)
+	kept := mi.forwards[:0]
+	for _, f := range mi.forwards {
+		if rem := witness.RemoveRanges(f.Ranges, rs); len(rem) != 0 {
+			f.Ranges = rem
+			kept = append(kept, f)
+		}
+	}
+	mi.forwards = kept
 	return nil
 }
 
@@ -410,6 +431,19 @@ func (c *Coordinator) ForgetFrozenRanges(masterID uint64, rs []witness.HashRange
 	}
 	mi.frozen = witness.RemoveRanges(mi.frozen, rs)
 	return nil
+}
+
+// handleAddMoved decodes OpCoordAddMoved's (masterID, ranges, destAddr)
+// payload — the one migration-record op that carries a forward address
+// alongside the arcs.
+func (c *Coordinator) handleAddMoved(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID, rs := rangesIn(d)
+	destAddr := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return nil, c.NoteMovedRanges(masterID, rs, destAddr)
 }
 
 // rangesHandler adapts a (masterID, ranges) method into an RPC handler —
@@ -559,9 +593,11 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 	c.mu.Lock()
 	mi := c.masters[masterID]
 	var movedAway, frozen []witness.HashRange
+	var forwards []MovedForward
 	if mi != nil {
 		movedAway = append(movedAway, mi.movedAway...)
 		frozen = append(frozen, mi.frozen...)
+		forwards = append(forwards, mi.forwards...)
 	}
 	c.mu.Unlock()
 	if mi == nil {
@@ -604,6 +640,7 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 	// replacement cannot split-brain with the step's target; a rebalance
 	// re-run converges from that state.
 	newMaster.SetMovedRanges(movedAway)
+	newMaster.SetMovedForwards(forwards)
 	newMaster.SetFrozenRanges(frozen)
 	var recovered bool
 	var lastErr error
@@ -668,6 +705,7 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 		opts:               opts,
 		movedAway:          append([]witness.HashRange(nil), cur.movedAway...),
 		frozen:             append([]witness.HashRange(nil), cur.frozen...),
+		forwards:           append([]MovedForward(nil), cur.forwards...),
 	}
 	c.mu.Unlock()
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"curp/internal/commute"
 	"curp/internal/core"
 	"curp/internal/health"
 	"curp/internal/kv"
@@ -127,6 +128,11 @@ type MasterServer struct {
 	mTxnPrepares *metrics.Counter
 	mTxnDecides  *metrics.Counter
 	mTxnOrphans  *metrics.Counter
+	// mClassSpec / mClassSync are indexed by commute.Class: per-class
+	// fast-path verdict counters, pre-bound so the execution path never
+	// touches the registry's label map.
+	mClassSpec   []*metrics.Counter
+	mClassSync   []*metrics.Counter
 	lastSyncNano atomic.Int64
 	shardIdx     atomic.Int64 // -1 until the deployment layer assigns one
 	tracer       atomic.Pointer[metrics.Tracer]
@@ -264,6 +270,13 @@ func (ms *MasterServer) buildMetrics() {
 		"Transaction decide phases executed on this participant.")
 	ms.mTxnOrphans = r.Counter("curp_txn_orphan_resolutions_total",
 		"Orphaned prepared transactions settled by the resident resolver.")
+	const classHelp = "Update conflict verdicts by commutativity class: speculative stayed on the 1-RTT path, sync was gated behind a backup sync."
+	for _, cl := range commute.Classes() {
+		ms.mClassSpec = append(ms.mClassSpec, r.Counter("curp_master_class_verdicts_total", classHelp,
+			metrics.L("class", cl.String()), metrics.L("verdict", "speculative")))
+		ms.mClassSync = append(ms.mClassSync, r.Counter("curp_master_class_verdicts_total", classHelp,
+			metrics.L("class", cl.String()), metrics.L("verdict", "sync")))
+	}
 	ms.metrics = r
 }
 
@@ -522,8 +535,9 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 	case rifl.Completed:
 		// Duplicate: return the saved result. If the original's effects
 		// are still unsynced, sync first so the retried client can
-		// complete without witness help.
-		conflict := ms.state.Conflicts(req.KeyHashes)
+		// complete without witness help. ClassWrite: a duplicate reply must
+		// wait out ANY unsynced mutation of its keys, commutative or not.
+		conflict := ms.state.Conflicts(req.KeyHashes, commute.ClassWrite)
 		head := kv.LSN(ms.store.Head())
 		ms.execMu.Unlock()
 		ex := updateExec{reply: &core.Reply{Status: core.StatusOK, Synced: true, Payload: saved}}
@@ -552,8 +566,11 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 		return updateExec{reply: &core.Reply{Status: core.StatusKeyMoved}}, nil
 	}
 	// Commutativity check must precede execution: afterwards the op's own
-	// keys are unsynced and would self-conflict.
-	conflict := ms.state.Conflicts(req.KeyHashes)
+	// keys are unsynced and would self-conflict. The class is re-derived
+	// from the decoded command, not taken from the envelope: a client
+	// cannot widen its own fast path by mislabeling an operation.
+	class := cmd.Class()
+	conflict := ms.state.Conflicts(req.KeyHashes, class)
 	if !cmd.IsReadOnly() {
 		// §A.3 durable-value cache: preserve the outgoing durable values.
 		if len(cmd.Pairs) > 0 {
@@ -578,7 +595,13 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 	}
 	hot := false
 	if lsn > 0 {
-		hot = ms.state.NoteMutation(req.KeyHashes, uint64(lsn))
+		hot = ms.state.NoteMutation(req.KeyHashes, uint64(lsn), class)
+	}
+	if res.Demote {
+		// The command executed but demoted itself off the speculative path
+		// (a BucketTake that denied or drained the bucket): its result must
+		// not be revealed until it is durable, exactly like a conflict.
+		conflict = true
 	}
 	enc := res.Encode() // one encoding serves the completion record and the reply
 	ms.tracker.RecordKeyed(req.ID, enc, req.KeyHashes)
@@ -587,6 +610,9 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 	if conflict {
 		// Non-commutative with the unsynced suffix: the caller must sync
 		// (which covers this op too) before revealing the result (§3.2.3).
+		if int(class) < len(ms.mClassSync) {
+			ms.mClassSync[class].Inc()
+		}
 		return updateExec{
 			reply:        &core.Reply{Status: core.StatusOK, Payload: enc},
 			syncTo:       kv.LSN(lsn),
@@ -596,6 +622,9 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 
 	// Speculative (1-RTT) path.
 	ms.state.CountSpeculative()
+	if int(class) < len(ms.mClassSpec) {
+		ms.mClassSpec[class].Inc()
+	}
 	if hot || ms.state.NeedsBatchSync() {
 		if ms.state.NeedsBatchSync() {
 			ms.state.CountBatchSync()
@@ -716,7 +745,9 @@ func (ms *MasterServer) handleRead(payload []byte) ([]byte, error) {
 			ms.execMu.Unlock()
 			return (&core.Reply{Status: core.StatusKeyMoved}).Encode(), nil
 		}
-		if !ms.state.Conflicts(req.KeyHashes) {
+		// Reads never commute with pending mutations, commutative or not:
+		// a counter value read mid-window would expose unsynced state.
+		if !ms.state.Conflicts(req.KeyHashes, commute.ClassWrite) {
 			res, _, err := ms.store.Apply(cmd, req.ID)
 			ms.execMu.Unlock()
 			if err != nil {
@@ -852,7 +883,39 @@ func (ms *MasterServer) doSync() error {
 	ms.lastSyncNano.Store(time.Now().UnixNano())
 	ms.pruneDurableValues()
 	ms.gcWitnesses(entries)
+	ms.purgeExpired()
 	return nil
+}
+
+// purgeExpired is the eager half of TTL support (the lazy half is reads
+// treating expired objects as absent). It runs on the sync tail: expired
+// keys are physically deleted by a logged OpPurgeExpired command carrying
+// an explicit cutoff, so expiry flows through the ordinary log — backups
+// replay the same deletions at the same positions, and the wall clock is
+// consulted exactly once, here.
+func (ms *MasterServer) purgeExpired() {
+	if ms.state.Frozen() {
+		return
+	}
+	ms.execMu.Lock()
+	defer ms.execMu.Unlock()
+	now := time.Now().UnixNano()
+	keys := ms.store.ExpiredKeys(now, 64)
+	cmd := &kv.Command{Op: kv.OpPurgeExpired, Delta: now}
+	for _, k := range keys {
+		// Keys in migrating or moved ranges transfer (or transferred) with
+		// their expiry stamps; purging them here would mutate a frozen range.
+		if !ms.migr.blockedKey(k) {
+			cmd.Pairs = append(cmd.Pairs, kv.KV{Key: k})
+		}
+	}
+	if len(cmd.Pairs) == 0 {
+		return
+	}
+	if _, lsn, err := ms.store.Apply(cmd, rifl.RPCID{}); err == nil && lsn > 0 {
+		ms.state.NoteMutation(cmd.KeyHashes(), uint64(lsn), commute.ClassWrite)
+		ms.TriggerSync()
+	}
 }
 
 // gcWitnesses sends batched gc RPCs for the just-synced entries plus any
@@ -914,7 +977,7 @@ func (ms *MasterServer) retryStaleRecords(stale []witness.Record) {
 		if outcome == rifl.New && !ms.migr.blockedAny(rec.KeyHashes) {
 			if res, lsn, err := ms.store.Apply(cmd, rec.ID); err == nil {
 				if lsn > 0 {
-					ms.state.NoteMutation(rec.KeyHashes, uint64(lsn))
+					ms.state.NoteMutation(rec.KeyHashes, uint64(lsn), cmd.Class())
 				}
 				ms.tracker.RecordKeyed(rec.ID, res.Encode(), rec.KeyHashes)
 			}
@@ -1062,9 +1125,19 @@ func (ms *MasterServer) RecoverFrom(backupAddrs []string, witnessAddr string) er
 				continue
 			}
 			if lsn > 0 {
-				ms.state.NoteMutation(rec.KeyHashes, uint64(lsn))
+				ms.state.NoteMutation(rec.KeyHashes, uint64(lsn), cmd.Class())
 			}
-			ms.tracker.RecordKeyed(rec.ID, res.Encode(), rec.KeyHashes)
+			enc := res.Encode()
+			if cmd.Class() != commute.ClassWrite {
+				// Witness replay happens in arbitrary order (§3.3), which is
+				// safe for commutative commands only because their STATE
+				// effects commute — their return values do not (the counter
+				// total depends on replay position). Scrub order-dependent
+				// fields from the completion record so a retrying client can
+				// never observe a value from a history that did not happen.
+				enc = (&kv.Result{Found: res.Found}).Encode()
+			}
+			ms.tracker.RecordKeyed(rec.ID, enc, rec.KeyHashes)
 		}
 		ms.tracker.SetRecoveryMode(false)
 	}

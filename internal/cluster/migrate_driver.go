@@ -67,9 +67,14 @@ func (md *MigrationDriver) Install(ctx context.Context, masterAddr string, maste
 }
 
 // Complete commits the handoff on the source: ranges become MOVED and
-// their objects are dropped.
-func (md *MigrationDriver) Complete(ctx context.Context, masterAddr string, masterID uint64, rs []witness.HashRange) error {
-	if _, err := md.call(ctx, masterAddr, OpMigrateComplete, encodeRangesPayload(masterID, rs)); err != nil {
+// their objects are dropped. destAddr names the target master that now
+// owns the ranges; the source keeps it as a forward so transaction
+// decision lookups for the moved home hashes can chase the handoff.
+func (md *MigrationDriver) Complete(ctx context.Context, masterAddr string, masterID uint64, rs []witness.HashRange, destAddr string) error {
+	e := rpc.NewEncoder(32 + 16*len(rs))
+	rangesOut(e, masterID, rs)
+	e.String(destAddr)
+	if _, err := md.call(ctx, masterAddr, OpMigrateComplete, e.Bytes()); err != nil {
 		return fmt.Errorf("migrate: complete on %s: %w", masterAddr, err)
 	}
 	return nil
@@ -108,9 +113,14 @@ func (md *MigrationDriver) DropBackups(ctx context.Context, backupAddrs []string
 }
 
 // AddMoved records moved-away ranges at a partition's coordinator — the
-// migration's commit point for crash recovery.
-func (md *MigrationDriver) AddMoved(ctx context.Context, coordAddr string, masterID uint64, rs []witness.HashRange) error {
-	if _, err := md.call(ctx, coordAddr, OpCoordAddMoved, encodeRangesPayload(masterID, rs)); err != nil {
+// migration's commit point for crash recovery. destAddr (the target
+// master) rides along so a recovered source master re-learns where to
+// forward decision lookups for the moved ranges.
+func (md *MigrationDriver) AddMoved(ctx context.Context, coordAddr string, masterID uint64, rs []witness.HashRange, destAddr string) error {
+	e := rpc.NewEncoder(32 + 16*len(rs))
+	rangesOut(e, masterID, rs)
+	e.String(destAddr)
+	if _, err := md.call(ctx, coordAddr, OpCoordAddMoved, e.Bytes()); err != nil {
 		return fmt.Errorf("migrate: note moved at %s: %w", coordAddr, err)
 	}
 	return nil

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"curp/internal/commute"
 	"curp/internal/kv"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
@@ -49,6 +51,19 @@ type migrationState struct {
 	mu        sync.Mutex
 	migrating []witness.HashRange
 	moved     []witness.HashRange
+	// forwards remembers, per moved arc set, the master address the
+	// handoff installed the keys on. Decision lookups for transactions
+	// homed in a moved range follow it (see handleTxnStatus): a
+	// participant still holding an orphaned prepare knows only the old
+	// home address, and without the forward its locks would never settle.
+	forwards []rangeForward
+}
+
+// rangeForward maps a set of handed-off arcs to the target master that
+// received them.
+type rangeForward struct {
+	ranges []witness.HashRange
+	addr   string
 }
 
 // blockedAny reports whether any of the request's key hashes lies in a
@@ -112,12 +127,34 @@ func (m *migrationState) unmark(rs []witness.HashRange) {
 }
 
 // markMoved commits a migration: ranges leave the migrating set (if
-// present) and join the moved set for good.
-func (m *migrationState) markMoved(rs []witness.HashRange) {
+// present) and join the moved set for good. destAddr, when known, is
+// recorded so decision lookups on the ranges can be forwarded; an empty
+// destAddr (older records, tests) just skips the forward.
+func (m *migrationState) markMoved(rs []witness.HashRange, destAddr string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.migrating = witness.RemoveRanges(m.migrating, rs)
 	m.moved = witness.MergeRanges(m.moved, rs)
+	if destAddr != "" {
+		m.forwards = append(m.forwards, rangeForward{
+			ranges: append([]witness.HashRange(nil), rs...),
+			addr:   destAddr,
+		})
+	}
+}
+
+// forwardAddr returns the target master a moved key hash was handed off
+// to, or "" when unknown. Later forwards win: if an arc moved A→B and
+// then B→C, C is authoritative (the scan walks newest-first).
+func (m *migrationState) forwardAddr(keyHash uint64) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.forwards) - 1; i >= 0; i-- {
+		if witness.RangesContainHash(m.forwards[i].ranges, keyHash) {
+			return m.forwards[i].addr
+		}
+	}
+	return ""
 }
 
 // movedRanges returns a copy of the moved set.
@@ -136,6 +173,13 @@ type MigrationBundle struct {
 	Objects     []kv.MigratedObject
 	Completions []rifl.Completion
 	Decisions   []kv.TxnDecisionRecord
+	// WitnessRecords are the source witnesses' live records touching the
+	// moving ranges, re-recorded on the target's witnesses at install so
+	// operations still under witness protection when the ranges froze keep
+	// that protection across the handoff: if the target crashes after the
+	// ring flips, its witness replay covers them (RIFL-deduplicated against
+	// the migrated Completions, so nothing re-executes).
+	WitnessRecords []witness.Record
 }
 
 // rangesIn decodes a (masterID, ranges) payload prefix.
@@ -187,6 +231,14 @@ func (b *MigrationBundle) marshal(e *rpc.Encoder) {
 		e.Bool(d.Commit)
 		e.U64(d.HomeHash)
 	}
+	e.U32(uint32(len(b.WitnessRecords)))
+	for _, r := range b.WitnessRecords {
+		e.U64Slice(r.KeyHashes)
+		e.U64(uint64(r.ID.Client))
+		e.U64(uint64(r.ID.Seq))
+		e.Bytes32(r.Request)
+		e.U8(uint8(r.Class))
+	}
 }
 
 func unmarshalBundle(d *rpc.Decoder) (*MigrationBundle, error) {
@@ -216,6 +268,16 @@ func unmarshalBundle(d *rpc.Decoder) (*MigrationBundle, error) {
 			HomeHash: d.U64(),
 		})
 	}
+	n = d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r := witness.Record{
+			KeyHashes: d.U64Slice(),
+			ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
+			Request:   d.BytesCopy32(),
+		}
+		r.Class = commute.Class(d.U8())
+		b.WitnessRecords = append(b.WitnessRecords, r)
+	}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -230,7 +292,27 @@ func (ms *MasterServer) SetMovedRanges(rs []witness.HashRange) {
 	if len(rs) == 0 {
 		return
 	}
-	ms.migr.markMoved(rs)
+	ms.migr.markMoved(rs, "")
+}
+
+// SetMovedForwards seeds a recovering master with the destination
+// addresses of past handoffs (from the coordinator's records), so
+// forwarded decision lookups keep working after the source master that
+// performed the migration is replaced.
+func (ms *MasterServer) SetMovedForwards(fwds []MovedForward) {
+	for _, f := range fwds {
+		if len(f.Ranges) == 0 || f.DestAddr == "" {
+			continue
+		}
+		ms.migr.markMoved(f.Ranges, f.DestAddr)
+	}
+}
+
+// MovedForward is one recorded handoff: the arcs and the target master
+// address that received them.
+type MovedForward struct {
+	Ranges   []witness.HashRange
+	DestAddr string
 }
 
 // SetFrozenRanges seeds a recovering master with ranges a migration step
@@ -311,9 +393,68 @@ func (ms *MasterServer) handleMigrateCollect(payload []byte) ([]byte, error) {
 			return witness.RangesContainHash(rs, h)
 		}),
 	}
+	executed := make(map[rifl.RPCID]bool, len(bundle.Completions))
+	for _, c := range bundle.Completions {
+		executed[c.ID] = true
+	}
+	bundle.WitnessRecords = ms.collectWitnessRecords(rs, executed)
 	e := rpc.NewEncoder(256)
 	bundle.marshal(e)
 	return e.Bytes(), nil
+}
+
+// collectWitnessRecords snapshots this master's witnesses (live, no
+// freeze — recording for unaffected keys continues) and returns the
+// records touching the moving ranges, deduplicated by RPC ID. Snapshots
+// happen after the freeze, so no new record for the ranges can land at the
+// master afterwards; an unreachable witness is skipped — its records are
+// redundant copies of the reachable ones for any operation that completed
+// speculatively (completion required every witness to accept).
+//
+// Only records of EXECUTED operations (an exported completion exists)
+// migrate. A record whose request never reached the master — it bounced on
+// the frozen range, or is still in flight — must stay behind: its client
+// drops it and re-issues under a fresh RIFL ID at the new owner, so
+// carrying it over would let the target's §4.5 stale-garbage retry execute
+// it as a second, distinct operation. Left at the source, it drains
+// through the existing marked-range GC path without re-executing.
+func (ms *MasterServer) collectWitnessRecords(rs []witness.HashRange, executed map[rifl.RPCID]bool) []witness.Record {
+	ms.peersMu.Lock()
+	witnesses := append([]*rpc.Peer(nil), ms.witnesses...)
+	ms.peersMu.Unlock()
+	payload := rpc.NewEncoder(8)
+	payload.U64(ms.id)
+	seen := make(map[rifl.RPCID]bool)
+	var out []witness.Record
+	for _, w := range witnesses {
+		ctx, cancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
+		raw, err := w.Call(ctx, OpWitnessSnapshot, payload.Bytes())
+		cancel()
+		if err != nil {
+			continue
+		}
+		records, err := decodeWitnessRecords(raw)
+		if err != nil {
+			continue
+		}
+		for _, rec := range records {
+			if seen[rec.ID] || !executed[rec.ID] {
+				continue
+			}
+			inRange := false
+			for _, kh := range rec.KeyHashes {
+				if witness.RangesContainHash(rs, kh) {
+					inRange = true
+					break
+				}
+			}
+			if inRange {
+				seen[rec.ID] = true
+				out = append(out, rec)
+			}
+		}
+	}
+	return out
 }
 
 // handleMigrateInstall imports a bundle: phase 2, on the target master.
@@ -338,7 +479,7 @@ func (ms *MasterServer) handleMigrateInstall(payload []byte) ([]byte, error) {
 		ms.execMu.Lock()
 		_, lsn, err := ms.store.Apply(cmd, rifl.RPCID{})
 		if err == nil && lsn > 0 {
-			ms.state.NoteMutation(cmd.KeyHashes(), uint64(lsn))
+			ms.state.NoteMutation(cmd.KeyHashes(), uint64(lsn), commute.ClassWrite)
 		}
 		ms.execMu.Unlock()
 		if err != nil {
@@ -359,7 +500,7 @@ func (ms *MasterServer) handleMigrateInstall(payload []byte) ([]byte, error) {
 		ms.execMu.Lock()
 		_, lsn, err := ms.store.Apply(cmd, rifl.RPCID{})
 		if err == nil && lsn > 0 {
-			ms.state.NoteMutation([]uint64{dec.HomeHash}, uint64(lsn))
+			ms.state.NoteMutation([]uint64{dec.HomeHash}, uint64(lsn), commute.ClassWrite)
 		}
 		ms.execMu.Unlock()
 		if err != nil {
@@ -386,17 +527,52 @@ func (ms *MasterServer) handleMigrateInstall(payload []byte) ([]byte, error) {
 	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
 		return nil, fmt.Errorf("master %d: install sync: %w", ms.id, err)
 	}
+	ms.installWitnessRecords(bundle.WitnessRecords)
 	e := rpc.NewEncoder(16)
 	e.U32(uint32(len(bundle.Objects)))
 	e.U32(uint32(len(bundle.Completions)))
 	return e.Bytes(), nil
 }
 
+// installWitnessRecords re-records migrated witness records on this
+// master's own witnesses, so operations that were under witness protection
+// at the source when their ranges froze stay protected here: a
+// post-handoff crash replays them from a local witness (deduplicated
+// against the migrated completion records). Best effort — every migrated
+// operation that completed speculatively is already durable via the
+// bundle's log entries and the install sync, so a rejected or lost record
+// costs nothing but a future conservative conflict verdict.
+func (ms *MasterServer) installWitnessRecords(records []witness.Record) {
+	if len(records) == 0 {
+		return
+	}
+	ms.peersMu.Lock()
+	witnesses := append([]*rpc.Peer(nil), ms.witnesses...)
+	ms.peersMu.Unlock()
+	for _, rec := range records {
+		req := &recordRequest{
+			MasterID:  ms.id,
+			KeyHashes: rec.KeyHashes,
+			ID:        rec.ID,
+			Request:   rec.Request,
+			Class:     rec.Class,
+		}
+		payload := req.encode()
+		for _, w := range witnesses {
+			ctx, cancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
+			_, _ = w.Call(ctx, OpWitnessRecord, payload)
+			cancel()
+		}
+	}
+}
+
 // handleMigrateComplete commits the handoff on the source: the ranges
-// become MOVED for good and their objects are dropped.
+// become MOVED for good, their objects are dropped, and the target's
+// address is kept as the forward for decision lookups.
 func (ms *MasterServer) handleMigrateComplete(payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID, rs := rangesIn(d)
+	destAddr := d.String()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -404,7 +580,7 @@ func (ms *MasterServer) handleMigrateComplete(payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("master %d: migrate-complete addressed to %d", ms.id, masterID)
 	}
 	ms.execMu.Lock()
-	ms.migr.markMoved(rs)
+	ms.migr.markMoved(rs, destAddr)
 	n := ms.dropMovedObjects(rs)
 	ms.execMu.Unlock()
 	e := rpc.NewEncoder(8)

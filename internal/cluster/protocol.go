@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"curp/internal/commute"
 	"curp/internal/core"
 	"curp/internal/health"
 	"curp/internal/kv"
@@ -128,6 +129,14 @@ const (
 	// epochs, witness-list version, and per-node heartbeat ages (the
 	// coordinator's health table; curpctl status renders it).
 	OpHealthStatus
+
+	// Migration driver → witness: snapshot the live records of a master's
+	// witness instance, so a range migration can carry still-speculative
+	// operations' witness records to the destination's witnesses (without
+	// them, a destination-master crash right after a migration could lose
+	// a 1-RTT-completed operation whose only durable copy was recorded on
+	// the SOURCE's witnesses).
+	OpWitnessSnapshot
 )
 
 // recordRequest is the payload of OpWitnessRecord.
@@ -136,6 +145,7 @@ type recordRequest struct {
 	KeyHashes []uint64
 	ID        rifl.RPCID
 	Request   []byte
+	Class     commute.Class
 }
 
 func (r *recordRequest) encode() []byte {
@@ -145,6 +155,7 @@ func (r *recordRequest) encode() []byte {
 	e.U64(uint64(r.ID.Client))
 	e.U64(uint64(r.ID.Seq))
 	e.Bytes32(r.Request)
+	e.U8(uint8(r.Class))
 	return e.Bytes()
 }
 
@@ -156,6 +167,7 @@ func decodeRecordRequest(b []byte) (*recordRequest, error) {
 		ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
 		Request:   d.BytesCopy32(),
 	}
+	r.Class = commute.Class(d.U8())
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -206,6 +218,7 @@ func encodeWitnessRecords(recs []witness.Record) []byte {
 		e.U64(uint64(r.ID.Client))
 		e.U64(uint64(r.ID.Seq))
 		e.Bytes32(r.Request)
+		e.U8(uint8(r.Class))
 	}
 	return e.Bytes()
 }
@@ -219,6 +232,7 @@ func decodeWitnessRecords(b []byte) ([]witness.Record, error) {
 			KeyHashes: d.U64Slice(),
 			ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
 			Request:   d.BytesCopy32(),
+			Class:     commute.Class(d.U8()),
 		})
 	}
 	if err := d.Err(); err != nil {
@@ -312,6 +326,7 @@ func (r *recordBatchRequest) encode() []byte {
 		e.U64(uint64(rec.ID.Client))
 		e.U64(uint64(rec.ID.Seq))
 		e.Bytes32(rec.Request)
+		e.U8(uint8(rec.Class))
 	}
 	return e.Bytes()
 }
@@ -325,6 +340,7 @@ func decodeRecordBatchRequest(b []byte) (*recordBatchRequest, error) {
 			KeyHashes: d.U64Slice(),
 			ID:        rifl.RPCID{Client: rifl.ClientID(d.U64()), Seq: rifl.Seq(d.U64())},
 			Request:   d.BytesCopy32(),
+			Class:     commute.Class(d.U8()),
 		})
 	}
 	if err := d.Err(); err != nil {

@@ -98,7 +98,7 @@ func (c *Client) ForgetTxnDecision(ctx context.Context, id rifl.RPCID, homeHash 
 		HomeRecord: true, // footprint = the home key hash
 		Home:       kv.TxnHome{KeyHash: homeHash},
 	}}
-	c.curp.UpdateAsync(ctx, []uint64{homeHash}, cmd.Encode())
+	c.curp.UpdateAsync(ctx, []uint64{homeHash}, cmd.Encode(), cmd.Class())
 }
 
 // txnCall drives one prepare/decide RPC with the client's standard retry

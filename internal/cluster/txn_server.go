@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"curp/internal/commute"
 	"curp/internal/core"
 	"curp/internal/kv"
 	"curp/internal/rifl"
@@ -145,7 +146,7 @@ func (ms *MasterServer) handleTxnPhase(payload []byte, want kv.CommandOp) ([]byt
 		return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
 	}
 	if lsn > 0 {
-		ms.state.NoteMutation(req.KeyHashes, uint64(lsn))
+		ms.state.NoteMutation(req.KeyHashes, uint64(lsn), commute.ClassWrite)
 	}
 	enc := res.Encode()
 	ms.tracker.RecordKeyed(req.ID, enc, req.KeyHashes)
@@ -184,7 +185,16 @@ func (ms *MasterServer) handleTxnStatus(payload []byte) ([]byte, error) {
 	commit, err := ms.homeResolve(req.ID, req.HomeHash, req.Resolve, false)
 	switch {
 	case err == errTxnMoved:
-		return (&core.Reply{Status: core.StatusKeyMoved}).Encode(), nil
+		// If the home range was handed off (not merely frozen mid-step),
+		// tell the caller where it went: the payload carries the target
+		// master's address, and lookupDecision chases it. Without the
+		// forward, a participant whose transaction prepared before a
+		// rebalance would spin on StatusKeyMoved forever — the old home
+		// no longer owns the decision and the new one is never asked.
+		return (&core.Reply{
+			Status:  core.StatusKeyMoved,
+			Payload: []byte(ms.migr.forwardAddr(req.HomeHash)),
+		}).Encode(), nil
 	case err == errTxnUnknown:
 		return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: []byte{txnOutcomeUnknown}}).Encode(), nil
 	case err != nil:
@@ -279,7 +289,7 @@ func (ms *MasterServer) homeResolve(id rifl.RPCID, homeHash uint64, resolve, all
 		return false, err
 	}
 	if lsn > 0 {
-		ms.state.NoteMutation([]uint64{homeHash}, uint64(lsn))
+		ms.state.NoteMutation([]uint64{homeHash}, uint64(lsn), commute.ClassWrite)
 	}
 	if !entryID.IsZero() {
 		ms.tracker.RecordKeyed(entryID, res.Encode(), []uint64{homeHash})
@@ -366,25 +376,48 @@ func (ms *MasterServer) resolveTxn(id rifl.RPCID, home kv.TxnHome, allowFrozen b
 	return nil
 }
 
-// lookupDecision asks a transaction's home shard for its decision.
+// txnForwardHops bounds how many home-range handoffs a decision lookup
+// will chase. A chain longer than one means the range was rebalanced
+// repeatedly while a prepare sat orphaned; four is far beyond anything a
+// healthy cluster produces and keeps a forwarding cycle (two coordinators
+// with stale records pointing at each other) from looping forever.
+const txnForwardHops = 4
+
+// lookupDecision asks a transaction's home shard for its decision. If the
+// home range was rebalanced away after the transaction prepared, the old
+// home answers StatusKeyMoved with the new owner's address in the payload
+// and the lookup follows it, up to txnForwardHops hops.
 func (ms *MasterServer) lookupDecision(id rifl.RPCID, home kv.TxnHome, resolve bool) (commit bool, err error) {
-	p := rpc.NewPeer(ms.nw, ms.addr, home.Addr)
+	addr := home.Addr
+	req := &txnStatusRequest{ID: id, HomeHash: home.KeyHash, Resolve: resolve}
+	for hop := 0; hop <= txnForwardHops; hop++ {
+		reply, err := ms.txnStatusCall(addr, req)
+		if err != nil {
+			return false, fmt.Errorf("master %d: txn %v status at %s: %w", ms.id, id, addr, err)
+		}
+		if reply.Status == core.StatusKeyMoved && len(reply.Payload) > 0 {
+			addr = string(reply.Payload)
+			continue
+		}
+		if reply.Status != core.StatusOK || len(reply.Payload) != 1 || reply.Payload[0] == txnOutcomeUnknown {
+			return false, fmt.Errorf("master %d: txn %v unresolved at %s: %v", ms.id, id, addr, reply.Status)
+		}
+		return reply.Payload[0] == txnOutcomeCommit, nil
+	}
+	return false, fmt.Errorf("master %d: txn %v status: forward chain from %s exceeds %d hops", ms.id, id, home.Addr, txnForwardHops)
+}
+
+// txnStatusCall performs one OpTxnStatus round trip against addr.
+func (ms *MasterServer) txnStatusCall(addr string, req *txnStatusRequest) (*core.Reply, error) {
+	p := rpc.NewPeer(ms.nw, ms.addr, addr)
 	defer p.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
 	defer cancel()
-	req := &txnStatusRequest{ID: id, HomeHash: home.KeyHash, Resolve: resolve}
 	out, err := p.Call(ctx, OpTxnStatus, req.encode())
 	if err != nil {
-		return false, fmt.Errorf("master %d: txn %v status at %s: %w", ms.id, id, home.Addr, err)
+		return nil, err
 	}
-	reply, err := core.DecodeReply(out)
-	if err != nil {
-		return false, err
-	}
-	if reply.Status != core.StatusOK || len(reply.Payload) != 1 || reply.Payload[0] == txnOutcomeUnknown {
-		return false, fmt.Errorf("master %d: txn %v unresolved at %s: %v", ms.id, id, home.Addr, reply.Status)
-	}
-	return reply.Payload[0] == txnOutcomeCommit, nil
+	return core.DecodeReply(out)
 }
 
 // applyResolvedDecision applies a home-shard decision to the local
@@ -402,7 +435,7 @@ func (ms *MasterServer) applyResolvedDecision(id rifl.RPCID, commit bool) error 
 	cmd := &kv.Command{Op: kv.OpTxnDecide, Txn: &kv.TxnCommand{ID: id, Commit: commit}}
 	_, lsn, err := ms.store.Apply(cmd, rifl.RPCID{})
 	if err == nil && lsn > 0 {
-		ms.state.NoteMutation(hashes, uint64(lsn))
+		ms.state.NoteMutation(hashes, uint64(lsn), commute.ClassWrite)
 	}
 	ms.execMu.Unlock()
 	if err != nil {

@@ -52,6 +52,7 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 	ws.rpc.Handle(OpWitnessGC, ws.handleGC)
 	ws.rpc.Handle(OpWitnessDrop, ws.handleDrop)
 	ws.rpc.Handle(OpWitnessRecoveryData, ws.handleRecoveryData)
+	ws.rpc.Handle(OpWitnessSnapshot, ws.handleSnapshot)
 	ws.rpc.Handle(OpWitnessStart, ws.handleStart)
 	ws.rpc.Handle(OpWitnessEnd, ws.handleEnd)
 	ws.buildMetrics()
@@ -177,7 +178,7 @@ func (ws *WitnessServer) handleRecord(payload []byte) ([]byte, error) {
 		ws.noInstance.Add(1)
 		return []byte{byte(witness.RejectedWrongMaster)}, nil
 	}
-	res := w.Record(req.MasterID, req.KeyHashes, req.ID, req.Request)
+	res := w.Record(req.MasterID, req.KeyHashes, req.ID, req.Request, req.Class)
 	return []byte{byte(res)}, nil
 }
 
@@ -257,6 +258,23 @@ func (ws *WitnessServer) handleRecoveryData(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	return encodeWitnessRecords(w.GetRecoveryData()), nil
+}
+
+// handleSnapshot returns the instance's live records WITHOUT freezing it —
+// unlike handleRecoveryData, recording continues. Migration uses it to
+// carry the witness records of still-speculative operations on moving
+// ranges over to the destination's witnesses.
+func (ws *WitnessServer) handleSnapshot(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	masterID := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	w, err := ws.lookup(masterID)
+	if err != nil {
+		return encodeWitnessRecords(nil), nil
+	}
+	return encodeWitnessRecords(w.SnapshotRecords()), nil
 }
 
 func (ws *WitnessServer) handleStart(payload []byte) ([]byte, error) {

@@ -1,0 +1,88 @@
+// Package commute defines the per-command commutativity classes that widen
+// CURP's 1-RTT fast path beyond "different keys never conflict".
+//
+// The paper's conflict rule is key-granular: a witness rejects a record, and
+// a master syncs before replying, whenever two pending operations touch the
+// same key. That rule collapses exactly when traffic concentrates on hot
+// keys — the workload a large deployment actually sends — even though many
+// of the colliding operations commute semantically (two counter increments
+// produce the same state and the same *observable* results in either order).
+// Following the CRDT literature (Shapiro & Preguiça) and Bansal et al.'s
+// derivation of precise commutativity conditions, each kv command carries a
+// Class, and every conflict site (witness slots, the master's unsynced
+// window, the batch engine) asks Commutes(a, b) instead of comparing key
+// hashes alone.
+//
+// The class lattice is deliberately coarse: a class commutes only with
+// itself, and the default ClassWrite commutes with nothing. That is exactly
+// the set of pairs whose results are order-independent:
+//
+//   - Counter + Counter: addition commutes, and each increment's return
+//     value is scrubbed of order-dependent fields on crash replay.
+//   - SetAdd + SetAdd (and SetRemove + SetRemove): adding (removing) members
+//     of a sorted set commutes; Add vs Remove does NOT commute here, which
+//     forces a sync between them — the ordering that gives the pair its
+//     observed-remove semantics without tombstones.
+//   - Bucket + Bucket: token grants subtract, which commutes while the
+//     bucket stays positive; a take that hits zero demotes itself to the
+//     sync path (kv.Result.Demote), so denials are never speculative.
+//
+// Mixed-class traffic on one key, reads, multi-key commands, and
+// transactions all stay on the paper's key-granular rule.
+package commute
+
+// Class is a kv command's commutativity class, carried on the wire next to
+// the key hashes (witness records, update envelopes).
+type Class uint8
+
+const (
+	// ClassWrite is the default: order-dependent, commutes with nothing on
+	// the same key. Put, Delete, CondPut, Append, multi-key commands, and
+	// transactions are all writes.
+	ClassWrite Class = iota
+	// ClassCounter marks counter deltas (Increment).
+	ClassCounter
+	// ClassSetAdd marks set-membership additions.
+	ClassSetAdd
+	// ClassSetRemove marks set-membership removals.
+	ClassSetRemove
+	// ClassBucket marks token-bucket takes (BucketTake).
+	ClassBucket
+
+	numClasses
+)
+
+// Commutes reports whether two operations of the given classes on the SAME
+// key may execute speculatively in either order. Distinct keys never reach
+// this predicate — key-hash inequality already commutes.
+func Commutes(a, b Class) bool {
+	return a == b && a != ClassWrite
+}
+
+// String returns the class's metric-label form.
+func (c Class) String() string {
+	switch c {
+	case ClassWrite:
+		return "write"
+	case ClassCounter:
+		return "counter"
+	case ClassSetAdd:
+		return "set-add"
+	case ClassSetRemove:
+		return "set-remove"
+	case ClassBucket:
+		return "bucket"
+	default:
+		return "unknown"
+	}
+}
+
+// Classes lists every class in wire order, for pre-binding labeled metric
+// series.
+func Classes() []Class {
+	out := make([]Class, 0, numClasses)
+	for c := Class(0); c < numClasses; c++ {
+		out = append(out, c)
+	}
+	return out
+}

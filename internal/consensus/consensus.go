@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"curp/internal/commute"
 	"curp/internal/core"
 	"curp/internal/kv"
 	"curp/internal/rifl"
@@ -103,7 +104,7 @@ func (r *Replica) RecordOnWitness(term uint64, keyHashes []uint64, id rifl.RPCID
 	if term != r.term {
 		return witness.RejectedWrongMaster
 	}
-	return r.witness.Record(r.witness.MasterID(), keyHashes, id, payload)
+	return r.witness.Record(r.witness.MasterID(), keyHashes, id, payload, commute.ClassWrite)
 }
 
 // appendEntries is the leader→follower replication call. It returns false
@@ -302,7 +303,7 @@ func (g *Group) propose(leader *Replica, cmd *kv.Command, id rifl.RPCID, keyHash
 		res, err := kv.DecodeResult(saved)
 		return res, len(leader.log), true, err
 	}
-	conflict := leader.state.Conflicts(keyHashes)
+	conflict := leader.state.Conflicts(keyHashes, commute.ClassWrite)
 	leader.log = append(leader.log, LogEntry{Term: leader.term, ID: id, KeyHashes: keyHashes, Payload: payload})
 	index := len(leader.log)
 	res, _, err := leader.sm.Apply(cmd, id)
@@ -313,7 +314,7 @@ func (g *Group) propose(leader *Replica, cmd *kv.Command, id rifl.RPCID, keyHash
 		return nil, 0, false, err
 	}
 	leader.smApplied = index
-	leader.state.NoteMutation(keyHashes, uint64(index))
+	leader.state.NoteMutation(keyHashes, uint64(index), commute.ClassWrite)
 	leader.tracker.Record(id, res.Encode())
 	leader.mu.Unlock()
 
@@ -377,7 +378,7 @@ func (g *Group) Read(cmd *kv.Command) (*kv.Result, error) {
 		leader.mu.Unlock()
 		return nil, ErrNoLeader
 	}
-	conflict := leader.state.Conflicts(keyHashes)
+	conflict := leader.state.Conflicts(keyHashes, commute.ClassWrite)
 	index := len(leader.log)
 	leader.mu.Unlock()
 	if conflict {

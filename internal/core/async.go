@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"curp/internal/commute"
 	"curp/internal/rifl"
 	"curp/internal/witness"
 )
@@ -73,6 +74,9 @@ type BatchOp struct {
 	KeyHashes []uint64
 	// Payload is the substrate command.
 	Payload []byte
+	// Class is the operation's commutativity class, recorded alongside the
+	// key hashes at witnesses and in the update envelope.
+	Class commute.Class
 }
 
 // asyncOp is one in-flight operation inside the engine.
@@ -80,6 +84,7 @@ type asyncOp struct {
 	id        rifl.RPCID
 	keyHashes []uint64
 	payload   []byte
+	class     commute.Class
 	fut       *Future
 	// deferFinish leaves the session's ack frontier untouched on
 	// completion: the caller finishes the ID itself once every dependent
@@ -93,8 +98,8 @@ type asyncOp struct {
 // returned Future completes when the operation is durable (or has failed
 // after the configured retries). Equivalent to a one-operation
 // UpdateBatchAsync.
-func (c *Client) UpdateAsync(ctx context.Context, keyHashes []uint64, payload []byte) *Future {
-	return c.UpdateBatchAsync(ctx, []BatchOp{{KeyHashes: keyHashes, Payload: payload}})[0]
+func (c *Client) UpdateAsync(ctx context.Context, keyHashes []uint64, payload []byte, class commute.Class) *Future {
+	return c.UpdateBatchAsync(ctx, []BatchOp{{KeyHashes: keyHashes, Payload: payload, Class: class}})[0]
 }
 
 // UpdateWithIDAsync submits one mutating operation under a caller-minted
@@ -129,6 +134,7 @@ func (c *Client) UpdateBatchAsync(ctx context.Context, ops []BatchOp) []*Future 
 			id:        c.session.NextID(),
 			keyHashes: op.KeyHashes,
 			payload:   op.Payload,
+			class:     op.Class,
 			fut:       futs[i],
 		}
 	}
@@ -188,8 +194,9 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 			WitnessListVersion: view.WitnessListVersion,
 			KeyHashes:          op.keyHashes,
 			Payload:            op.payload,
+			Class:              op.class,
 		}
-		recs[i] = witness.Record{KeyHashes: op.keyHashes, ID: op.id, Request: op.payload}
+		recs[i] = witness.Record{KeyHashes: op.keyHashes, ID: op.id, Request: op.payload, Class: op.class}
 	}
 
 	// One RecordBatch per witness, in parallel with the master RPC (the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"curp/internal/commute"
 	"errors"
 	"fmt"
 	"testing"
@@ -95,7 +96,7 @@ func TestUpdateAsyncReturnsImmediately(t *testing.T) {
 	view.Witnesses = append(view.Witnesses, newFakeWitness(1))
 	cl := NewClient(rifl.NewSession(1), StaticView{view}, DefaultClientConfig())
 	start := time.Now()
-	f := cl.UpdateAsync(context.Background(), []uint64{1}, []byte("a"))
+	f := cl.UpdateAsync(context.Background(), []uint64{1}, []byte("a"), commute.ClassWrite)
 	if el := time.Since(start); el > 20*time.Millisecond {
 		t.Fatalf("UpdateAsync blocked %v", el)
 	}
@@ -177,7 +178,7 @@ func TestFutureWaitHonorsContext(t *testing.T) {
 	slowM := &slowMaster{inner: master, delay: 30 * time.Millisecond}
 	view := &View{MasterID: 1, Master: slowM, Witnesses: []WitnessAPI{newFakeWitness(1)}}
 	cl := NewClient(rifl.NewSession(1), StaticView{view}, DefaultClientConfig())
-	f := cl.UpdateAsync(context.Background(), []uint64{1}, []byte("late"))
+	f := cl.UpdateAsync(context.Background(), []uint64{1}, []byte("late"), commute.ClassWrite)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
 	if _, err := f.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"curp/internal/commute"
 	"curp/internal/rifl"
 	"curp/internal/witness"
 )
@@ -292,8 +293,8 @@ var (
 // batch engine in async.go is the only update state machine, so the fast
 // path, slow path, retries, and redirect handling are identical whether an
 // operation is issued synchronously, asynchronously, or in a pipeline.
-func (c *Client) Update(ctx context.Context, keyHashes []uint64, payload []byte) ([]byte, error) {
-	return c.UpdateAsync(ctx, keyHashes, payload).Wait(ctx)
+func (c *Client) Update(ctx context.Context, keyHashes []uint64, payload []byte, class commute.Class) ([]byte, error) {
+	return c.UpdateAsync(ctx, keyHashes, payload, class).Wait(ctx)
 }
 
 // Read executes a read-only operation at the master. Reads are linearizable

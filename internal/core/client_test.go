@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"curp/internal/commute"
 	"errors"
 	"fmt"
 	"sync"
@@ -81,13 +82,13 @@ func (m *fakeMaster) update(ctx context.Context, req *Request) (*Reply, error) {
 		return &Reply{Status: StatusIgnored}, nil
 	}
 	synced := false
-	if m.state.Conflicts(req.KeyHashes) || m.syncedOnPath {
+	if m.state.Conflicts(req.KeyHashes, commute.ClassWrite) || m.syncedOnPath {
 		m.state.NoteSync(m.lsn) // model a blocking backup sync
 		synced = true
 	}
 	m.lsn++
 	m.applied[string(req.Payload)]++
-	m.state.NoteMutation(req.KeyHashes, m.lsn)
+	m.state.NoteMutation(req.KeyHashes, m.lsn, commute.ClassWrite)
 	result := []byte("res:" + string(req.Payload))
 	m.tracker.Record(req.ID, result)
 	if synced {
@@ -106,7 +107,7 @@ func (m *fakeMaster) Read(ctx context.Context, req *Request) (*Reply, error) {
 	if m.wrongMaster {
 		return &Reply{Status: StatusWrongMaster}, nil
 	}
-	if m.state.Conflicts(req.KeyHashes) {
+	if m.state.Conflicts(req.KeyHashes, commute.ClassWrite) {
 		m.state.CountReadBlock()
 		m.state.NoteSync(m.lsn) // sync before exposing unsynced data
 	}
@@ -151,7 +152,7 @@ func (f *fakeWitness) RecordBatch(ctx context.Context, masterID uint64, recs []w
 			out[i] = witness.RejectedConflict
 			continue
 		}
-		out[i] = f.w.Record(masterID, r.KeyHashes, r.ID, r.Request)
+		out[i] = f.w.Record(masterID, r.KeyHashes, r.ID, r.Request, commute.ClassWrite)
 	}
 	return out, nil
 }
@@ -194,7 +195,7 @@ func newRig(f int) *testRig {
 
 func TestClientFastPath(t *testing.T) {
 	r := newRig(3)
-	out, err := r.client.Update(context.Background(), []uint64{100}, []byte("put-a"))
+	out, err := r.client.Update(context.Background(), []uint64{100}, []byte("put-a"), commute.ClassWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestClientFastPath(t *testing.T) {
 func TestClientSlowPathOnWitnessReject(t *testing.T) {
 	r := newRig(3)
 	r.witnesses[1].rejectNext = 1
-	out, err := r.client.Update(context.Background(), []uint64{100}, []byte("w"))
+	out, err := r.client.Update(context.Background(), []uint64{100}, []byte("w"), commute.ClassWrite)
 	if err != nil || string(out) != "res:w" {
 		t.Fatalf("update: %v %q", err, out)
 	}
@@ -235,7 +236,7 @@ func TestClientSlowPathOnWitnessReject(t *testing.T) {
 func TestClientSlowPathOnWitnessError(t *testing.T) {
 	r := newRig(2)
 	r.witnesses[0].errNext = 1
-	if _, err := r.client.Update(context.Background(), []uint64{5}, []byte("x")); err != nil {
+	if _, err := r.client.Update(context.Background(), []uint64{5}, []byte("x"), commute.ClassWrite); err != nil {
 		t.Fatal(err)
 	}
 	if st := r.client.Stats(); st.SlowPath != 1 {
@@ -251,7 +252,7 @@ func TestClientMasterSyncedReply(t *testing.T) {
 	for _, w := range r.witnesses {
 		w.rejectNext = 1
 	}
-	if _, err := r.client.Update(context.Background(), []uint64{1}, []byte("c")); err != nil {
+	if _, err := r.client.Update(context.Background(), []uint64{1}, []byte("c"), commute.ClassWrite); err != nil {
 		t.Fatal(err)
 	}
 	st := r.client.Stats()
@@ -268,7 +269,7 @@ func TestClientRetriesLostReplyExactlyOnce(t *testing.T) {
 	// same RIFL ID, so it returns the saved result without re-executing.
 	r := newRig(3)
 	r.master.dropUpdates = 1
-	out, err := r.client.Update(context.Background(), []uint64{9}, []byte("once"))
+	out, err := r.client.Update(context.Background(), []uint64{9}, []byte("once"), commute.ClassWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestClientStaleWitnessListRefetch(t *testing.T) {
 	fresh := &View{MasterID: 1, WitnessListVersion: 1, Master: master, Witnesses: []WitnessAPI{w}}
 	vp := &switchingView{views: []*View{stale, fresh}}
 	cl := NewClient(rifl.NewSession(1), vp, DefaultClientConfig())
-	if _, err := cl.Update(context.Background(), []uint64{1}, []byte("v")); err != nil {
+	if _, err := cl.Update(context.Background(), []uint64{1}, []byte("v"), commute.ClassWrite); err != nil {
 		t.Fatal(err)
 	}
 	if st := cl.Stats(); st.Retries != 1 {
@@ -323,7 +324,7 @@ func (s *switchingView) View(_ context.Context, refresh bool) (*View, error) {
 func TestClientIgnored(t *testing.T) {
 	r := newRig(1)
 	r.master.ignoreAll = true
-	if _, err := r.client.Update(context.Background(), []uint64{1}, []byte("x")); !errors.Is(err, ErrIgnored) {
+	if _, err := r.client.Update(context.Background(), []uint64{1}, []byte("x"), commute.ClassWrite); !errors.Is(err, ErrIgnored) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -331,7 +332,7 @@ func TestClientIgnored(t *testing.T) {
 func TestClientExecError(t *testing.T) {
 	r := newRig(1)
 	r.master.execError = true
-	_, err := r.client.Update(context.Background(), []uint64{1}, []byte("x"))
+	_, err := r.client.Update(context.Background(), []uint64{1}, []byte("x"), commute.ClassWrite)
 	if err == nil || !contains(err.Error(), "exec boom") {
 		t.Fatalf("err = %v", err)
 	}
@@ -354,7 +355,7 @@ func TestClientExhaustsAttempts(t *testing.T) {
 	r := newRig(1)
 	r.master.wrongMaster = true
 	cl := NewClient(rifl.NewSession(2), StaticView{r.view}, ClientConfig{MaxAttempts: 3})
-	_, err := cl.Update(context.Background(), []uint64{1}, []byte("x"))
+	_, err := cl.Update(context.Background(), []uint64{1}, []byte("x"), commute.ClassWrite)
 	if !errors.Is(err, ErrUpdateFailed) {
 		t.Fatalf("err = %v", err)
 	}
@@ -373,7 +374,7 @@ func TestClientSyncFailureRestartsOperation(t *testing.T) {
 	r := newRig(2)
 	r.witnesses[0].rejectNext = 1
 	r.master.refuseSyncs = 1
-	out, err := r.client.Update(context.Background(), []uint64{4}, []byte("z"))
+	out, err := r.client.Update(context.Background(), []uint64{4}, []byte("z"), commute.ClassWrite)
 	if err != nil || string(out) != "res:z" {
 		t.Fatalf("update: %v %q", err, out)
 	}
@@ -410,7 +411,7 @@ func TestClientReadNearby(t *testing.T) {
 	}
 	// Record an update on the same key: witness no longer commutes →
 	// falls back to the master.
-	if _, err := r.client.Update(context.Background(), []uint64{50}, []byte("w")); err != nil {
+	if _, err := r.client.Update(context.Background(), []uint64{50}, []byte("w"), commute.ClassWrite); err != nil {
 		t.Fatal(err)
 	}
 	out, err = r.client.ReadNearby(context.Background(), []uint64{50}, []byte("get"))
@@ -444,7 +445,7 @@ func TestClientContextCancel(t *testing.T) {
 	// exercise the view-provider error path instead).
 	vp := &errorView{err: ctx.Err()}
 	cl := NewClient(rifl.NewSession(3), vp, ClientConfig{MaxAttempts: 2})
-	if _, err := cl.Update(ctx, []uint64{1}, []byte("x")); err == nil {
+	if _, err := cl.Update(ctx, []uint64{1}, []byte("x"), commute.ClassWrite); err == nil {
 		t.Fatal("expected error")
 	}
 	_ = r
@@ -464,7 +465,7 @@ func TestClientConcurrentUpdatesDisjointKeys(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				key := uint64(g*1000 + i)
-				if _, err := r.client.Update(context.Background(), []uint64{key}, []byte(fmt.Sprintf("k%d", key))); err != nil {
+				if _, err := r.client.Update(context.Background(), []uint64{key}, []byte(fmt.Sprintf("k%d", key)), commute.ClassWrite); err != nil {
 					errs <- err
 					return
 				}
@@ -487,7 +488,7 @@ func TestClientConcurrentUpdatesDisjointKeys(t *testing.T) {
 func TestClientSessionAckAdvances(t *testing.T) {
 	r := newRig(1)
 	for i := 0; i < 5; i++ {
-		if _, err := r.client.Update(context.Background(), []uint64{uint64(i)}, []byte{byte(i)}); err != nil {
+		if _, err := r.client.Update(context.Background(), []uint64{uint64(i)}, []byte{byte(i)}, commute.ClassWrite); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -508,7 +509,7 @@ func TestClientUpdateTimeBound(t *testing.T) {
 	}
 	cl := NewClient(rifl.NewSession(1), StaticView{view}, DefaultClientConfig())
 	start := time.Now()
-	if _, err := cl.Update(context.Background(), []uint64{1}, []byte("p")); err != nil {
+	if _, err := cl.Update(context.Background(), []uint64{1}, []byte("p"), commute.ClassWrite); err != nil {
 		t.Fatal(err)
 	}
 	if el := time.Since(start); el > 60*time.Millisecond {

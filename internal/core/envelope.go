@@ -13,6 +13,7 @@
 package core
 
 import (
+	"curp/internal/commute"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
 )
@@ -90,6 +91,13 @@ type Request struct {
 	ReadOnly bool
 	// Payload is the substrate command.
 	Payload []byte
+	// Class is the operation's commutativity class. It travels in the
+	// envelope so the conflict check can run before the payload is decoded,
+	// but masters re-derive it from the decoded command before trusting it —
+	// a client cannot widen its own fast path by lying. Reads use
+	// commute.ClassWrite: a read never commutes with a pending mutation of
+	// its key (§3.2.3: it would return unsynced state).
+	Class commute.Class
 }
 
 // Marshal appends the request's wire form to e.
@@ -101,6 +109,7 @@ func (r *Request) Marshal(e *rpc.Encoder) {
 	e.U64Slice(r.KeyHashes)
 	e.Bool(r.ReadOnly)
 	e.Bytes32(r.Payload)
+	e.U8(uint8(r.Class))
 }
 
 // Encode returns the request's wire form.
@@ -121,6 +130,7 @@ func UnmarshalRequest(d *rpc.Decoder) (*Request, error) {
 		ReadOnly:           d.Bool(),
 		Payload:            d.BytesCopy32(),
 	}
+	r.Class = commute.Class(d.U8())
 	if err := d.Err(); err != nil {
 		return nil, err
 	}

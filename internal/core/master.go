@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"curp/internal/commute"
 )
 
 // MasterConfig tunes a CURP master's sync policy.
@@ -36,6 +38,11 @@ type MasterConfig struct {
 	// aims for: roughly how long a speculative operation may wait before
 	// a background flush starts (default 500µs).
 	TargetFlushDelay time.Duration
+	// KeyGranular disables per-command commutativity classes and restores
+	// the paper's key-granular conflict rule: every operation is treated as
+	// commute.ClassWrite, so any two pending operations on the same key
+	// conflict. Used as the evaluation baseline for the commute experiment.
+	KeyGranular bool
 }
 
 // DefaultMasterConfig returns the paper's defaults (batch 50, hot-key
@@ -58,14 +65,18 @@ func DefaultMasterConfig() MasterConfig {
 // implementation).
 type MasterState struct {
 	mu sync.Mutex
-	// lastMutation maps key hash → LSN of the key's most recent mutation.
-	// Entries at or below syncedLSN are pruned on sync.
-	lastMutation map[uint64]uint64
-	// recentMutation also maps key hash → last mutation LSN, but survives
+	// lastMutation maps key hash → the key's most recent unsynced mutation
+	// (LSN + commutativity class). Entries at or below syncedLSN are pruned
+	// on sync. When mutations of DIFFERENT classes land on one key within a
+	// single unsynced window, the entry's class is poisoned to ClassWrite:
+	// the window now contains an order-dependent pair, so nothing may
+	// commute with it until a sync drains it.
+	lastMutation map[uint64]keyMut
+	// recentMutation also maps key hash → last mutation, but survives
 	// syncs: it feeds the hot-key heuristic (§4.4), which cares about
 	// update recency regardless of durability. Entries older than
 	// HotKeyWindow are pruned on sync.
-	recentMutation map[uint64]uint64
+	recentMutation map[uint64]keyMut
 	headLSN        uint64
 	syncedLSN      uint64
 	cfg            MasterConfig
@@ -108,6 +119,13 @@ type MasterStats struct {
 	FlushThreshold uint64
 }
 
+// keyMut is one key's last-mutation record: where in the log it happened
+// and what commutativity class it carried.
+type keyMut struct {
+	lsn   uint64
+	class commute.Class
+}
+
 // NewMasterState creates master bookkeeping with the given config.
 func NewMasterState(cfg MasterConfig) *MasterState {
 	if cfg.SyncBatchSize <= 0 {
@@ -123,8 +141,8 @@ func NewMasterState(cfg MasterConfig) *MasterState {
 		cfg.TargetFlushDelay = 500 * time.Microsecond
 	}
 	return &MasterState{
-		lastMutation:   make(map[uint64]uint64),
-		recentMutation: make(map[uint64]uint64),
+		lastMutation:   make(map[uint64]keyMut),
+		recentMutation: make(map[uint64]keyMut),
 		cfg:            cfg,
 	}
 }
@@ -132,30 +150,43 @@ func NewMasterState(cfg MasterConfig) *MasterState {
 // Config returns the master's sync policy.
 func (m *MasterState) Config() MasterConfig { return m.cfg }
 
-// Conflicts reports whether an operation touching keyHashes fails to
-// commute with the unsynced suffix: true when any touched key was mutated
-// after the last backup sync. Reads and writes alike must check this
-// before executing speculatively (§3.2.3: returning a value that depends
-// on an unsynced write would leak state that may not survive a crash).
-func (m *MasterState) Conflicts(keyHashes []uint64) bool {
+// Conflicts reports whether an operation of the given commutativity class
+// touching keyHashes fails to commute with the unsynced suffix: true when
+// any touched key was mutated after the last backup sync by an operation
+// the new one does not commute with. Two pending counter increments on one
+// hot key commute and both stay speculative; a Put landing on that key does
+// not, and must sync before its result is revealed. Reads pass
+// commute.ClassWrite — returning a value that depends on an unsynced write
+// would leak state that may not survive a crash (§3.2.3) regardless of how
+// the writes commute among themselves.
+func (m *MasterState) Conflicts(keyHashes []uint64, class commute.Class) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.cfg.KeyGranular {
+		class = commute.ClassWrite
+	}
 	for _, kh := range keyHashes {
-		if lsn, ok := m.lastMutation[kh]; ok && lsn > m.syncedLSN {
+		if km, ok := m.lastMutation[kh]; ok && km.lsn > m.syncedLSN && !commute.Commutes(km.class, class) {
 			return true
 		}
 	}
 	return false
 }
 
-// NoteMutation records that an executed operation mutated keyHashes at log
-// position lsn. It returns hot=true when the preemptive-sync heuristic
-// fired (the key's previous mutation was within HotKeyWindow log
-// positions), suggesting the caller start a sync immediately after
-// replying (§4.4).
-func (m *MasterState) NoteMutation(keyHashes []uint64, lsn uint64) (hot bool) {
+// NoteMutation records that an executed operation of the given class
+// mutated keyHashes at log position lsn. It returns hot=true when the
+// preemptive-sync heuristic fired (the key's previous mutation was within
+// HotKeyWindow log positions AND the two do not commute), suggesting the
+// caller start a sync immediately after replying (§4.4). The commutativity
+// gate matters: a hot counter is the workload the class machinery exists
+// for — preemptively syncing it would push every increment off the 1-RTT
+// path the moment the key got popular, which is precisely backwards.
+func (m *MasterState) NoteMutation(keyHashes []uint64, lsn uint64, class commute.Class) (hot bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.cfg.KeyGranular {
+		class = commute.ClassWrite
+	}
 	if lsn > m.headLSN {
 		m.headLSN = lsn
 	}
@@ -178,11 +209,21 @@ func (m *MasterState) NoteMutation(keyHashes []uint64, lsn uint64) (hot bool) {
 		m.lastArrival = now
 	}
 	for _, kh := range keyHashes {
-		if prev, ok := m.recentMutation[kh]; ok && m.cfg.HotKeyWindow > 0 && lsn-prev <= m.cfg.HotKeyWindow {
+		if prev, ok := m.recentMutation[kh]; ok && m.cfg.HotKeyWindow > 0 &&
+			lsn-prev.lsn <= m.cfg.HotKeyWindow && !commute.Commutes(prev.class, class) {
 			hot = true
 		}
-		m.recentMutation[kh] = lsn
-		m.lastMutation[kh] = lsn
+		m.recentMutation[kh] = keyMut{lsn: lsn, class: class}
+		entryClass := class
+		if km, ok := m.lastMutation[kh]; ok && km.lsn > m.syncedLSN && km.class != class {
+			// Mixed classes inside one unsynced window: poison the entry so
+			// a later operation cannot commute past the older, different-
+			// class mutation the single-entry map no longer remembers
+			// (SetAdd, SetRemove, SetRemove must not let the third op skip
+			// the first's ordering).
+			entryClass = commute.ClassWrite
+		}
+		m.lastMutation[kh] = keyMut{lsn: lsn, class: entryClass}
 	}
 	if hot {
 		m.hotKeySyncs.Add(1)
@@ -199,21 +240,21 @@ func (m *MasterState) NoteSync(lsn uint64) {
 		return
 	}
 	m.syncedLSN = lsn
-	for kh, l := range m.lastMutation {
-		if l <= lsn {
+	for kh, km := range m.lastMutation {
+		if km.lsn <= lsn {
 			delete(m.lastMutation, kh)
 		}
 	}
 	// Bound the hot-key history: anything older than the window can no
 	// longer make a new update "hot".
 	if m.cfg.HotKeyWindow > 0 {
-		for kh, l := range m.recentMutation {
-			if l+m.cfg.HotKeyWindow < m.headLSN {
+		for kh, km := range m.recentMutation {
+			if km.lsn+m.cfg.HotKeyWindow < m.headLSN {
 				delete(m.recentMutation, kh)
 			}
 		}
 	} else {
-		m.recentMutation = make(map[uint64]uint64)
+		m.recentMutation = make(map[uint64]keyMut)
 	}
 }
 
@@ -227,8 +268,8 @@ func (m *MasterState) InitRestored(head, synced uint64) {
 	defer m.mu.Unlock()
 	m.headLSN = head
 	m.syncedLSN = synced
-	m.lastMutation = make(map[uint64]uint64)
-	m.recentMutation = make(map[uint64]uint64)
+	m.lastMutation = make(map[uint64]keyMut)
+	m.recentMutation = make(map[uint64]keyMut)
 }
 
 // Head returns the LSN of the most recent mutation seen.
@@ -372,8 +413,8 @@ func (m *MasterState) Stats() MasterStats {
 func (m *MasterState) UnsyncedInvariantHolds() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, lsn := range m.lastMutation {
-		if lsn <= m.syncedLSN || lsn > m.headLSN {
+	for _, km := range m.lastMutation {
+		if km.lsn <= m.syncedLSN || km.lsn > m.headLSN {
 			return false
 		}
 	}

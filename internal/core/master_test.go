@@ -1,6 +1,7 @@
 package core
 
 import (
+	"curp/internal/commute"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -60,22 +61,22 @@ func TestStatusString(t *testing.T) {
 
 func TestMasterConflictDetection(t *testing.T) {
 	m := NewMasterState(MasterConfig{SyncBatchSize: 50})
-	if m.Conflicts([]uint64{1}) {
+	if m.Conflicts([]uint64{1}, commute.ClassWrite) {
 		t.Fatal("fresh master should have no conflicts")
 	}
-	m.NoteMutation([]uint64{1}, 1)
-	if !m.Conflicts([]uint64{1}) {
+	m.NoteMutation([]uint64{1}, 1, commute.ClassWrite)
+	if !m.Conflicts([]uint64{1}, commute.ClassWrite) {
 		t.Fatal("unsynced key must conflict")
 	}
-	if m.Conflicts([]uint64{2}) {
+	if m.Conflicts([]uint64{2}, commute.ClassWrite) {
 		t.Fatal("disjoint key must not conflict")
 	}
 	// A multi-key op conflicts if ANY touched key is unsynced.
-	if !m.Conflicts([]uint64{2, 3, 1}) {
+	if !m.Conflicts([]uint64{2, 3, 1}, commute.ClassWrite) {
 		t.Fatal("overlap must conflict")
 	}
 	m.NoteSync(1)
-	if m.Conflicts([]uint64{1}) {
+	if m.Conflicts([]uint64{1}, commute.ClassWrite) {
 		t.Fatal("synced key must not conflict")
 	}
 }
@@ -83,7 +84,7 @@ func TestMasterConflictDetection(t *testing.T) {
 func TestMasterSyncBookkeeping(t *testing.T) {
 	m := NewMasterState(MasterConfig{SyncBatchSize: 3})
 	for i := uint64(1); i <= 5; i++ {
-		m.NoteMutation([]uint64{i}, i)
+		m.NoteMutation([]uint64{i}, i, commute.ClassWrite)
 	}
 	if m.Head() != 5 || m.SyncedLSN() != 0 || m.UnsyncedCount() != 5 {
 		t.Fatalf("head=%d synced=%d unsynced=%d", m.Head(), m.SyncedLSN(), m.UnsyncedCount())
@@ -114,7 +115,7 @@ func TestSyncEveryOp(t *testing.T) {
 	if m.NeedsBatchSync() {
 		t.Fatal("no unsynced ops yet")
 	}
-	m.NoteMutation([]uint64{1}, 1)
+	m.NoteMutation([]uint64{1}, 1, commute.ClassWrite)
 	if !m.NeedsBatchSync() {
 		t.Fatal("SyncEveryOp must request a sync after any op")
 	}
@@ -122,17 +123,17 @@ func TestSyncEveryOp(t *testing.T) {
 
 func TestHotKeyHeuristic(t *testing.T) {
 	m := NewMasterState(MasterConfig{SyncBatchSize: 50, HotKeyWindow: 10})
-	if hot := m.NoteMutation([]uint64{7}, 1); hot {
+	if hot := m.NoteMutation([]uint64{7}, 1, commute.ClassWrite); hot {
 		t.Fatal("first write cannot be hot")
 	}
 	m.NoteSync(1)
 	// Second write to the same key 5 LSNs later: within window → hot.
-	if hot := m.NoteMutation([]uint64{7}, 6); !hot {
+	if hot := m.NoteMutation([]uint64{7}, 6, commute.ClassWrite); !hot {
 		t.Fatal("close repeat write should be hot")
 	}
 	m.NoteSync(6)
 	// Far repeat: not hot.
-	if hot := m.NoteMutation([]uint64{7}, 100); hot {
+	if hot := m.NoteMutation([]uint64{7}, 100, commute.ClassWrite); hot {
 		t.Fatal("distant repeat should not be hot")
 	}
 	if m.Stats().HotKeySyncs != 1 {
@@ -140,9 +141,36 @@ func TestHotKeyHeuristic(t *testing.T) {
 	}
 	// Disabled window never fires.
 	m2 := NewMasterState(MasterConfig{SyncBatchSize: 50})
-	m2.NoteMutation([]uint64{7}, 1)
-	if hot := m2.NoteMutation([]uint64{7}, 2); hot {
+	m2.NoteMutation([]uint64{7}, 1, commute.ClassWrite)
+	if hot := m2.NoteMutation([]uint64{7}, 2, commute.ClassWrite); hot {
 		t.Fatal("disabled heuristic fired")
+	}
+}
+
+// TestHotKeyCommutingOpsStayFast: the §4.4 heuristic fires on repeated
+// NON-COMMUTING mutations only. A counter hammered by increments within
+// the window is exactly the workload CURP keeps on the 1-RTT path, so it
+// must never preempt a sync; a blind write landing on the same hot key
+// still must.
+func TestHotKeyCommutingOpsStayFast(t *testing.T) {
+	m := NewMasterState(MasterConfig{SyncBatchSize: 50, HotKeyWindow: 10})
+	for lsn := uint64(1); lsn <= 8; lsn++ {
+		if hot := m.NoteMutation([]uint64{7}, lsn, commute.ClassCounter); hot {
+			t.Fatalf("commuting increment at lsn %d flagged hot", lsn)
+		}
+	}
+	if got := m.Stats().HotKeySyncs; got != 0 {
+		t.Fatalf("hot syncs = %d, want 0 for a pure-increment hot key", got)
+	}
+	// Set adds and removes don't commute with each other: a members read
+	// between them must see a fixed order, so the pair is hot.
+	m.NoteMutation([]uint64{9}, 9, commute.ClassSetAdd)
+	if hot := m.NoteMutation([]uint64{9}, 10, commute.ClassSetRemove); !hot {
+		t.Fatal("SetRemove over a hot SetAdd key should be hot")
+	}
+	// And a plain write over the still-hot counter fires immediately.
+	if hot := m.NoteMutation([]uint64{7}, 11, commute.ClassWrite); !hot {
+		t.Fatal("write over a hot counter should trigger the preemptive sync")
 	}
 }
 
@@ -214,13 +242,13 @@ func TestUnsyncedSuffixInvariantProperty(t *testing.T) {
 						keys = append(keys, k2)
 					}
 				}
-				if m.Conflicts(keys) {
+				if m.Conflicts(keys, commute.ClassWrite) {
 					// Master would sync before executing: model that.
 					m.NoteSync(lsn)
 					unsyncedKeys = map[uint64]int{}
 				}
 				lsn++
-				m.NoteMutation(keys, lsn)
+				m.NoteMutation(keys, lsn, commute.ClassWrite)
 				for _, k := range keys {
 					unsyncedKeys[k]++
 					if unsyncedKeys[k] > 1 {
@@ -242,12 +270,12 @@ func TestUnsyncedSuffixInvariantProperty(t *testing.T) {
 func BenchmarkConflictsCheck(b *testing.B) {
 	m := NewMasterState(DefaultMasterConfig())
 	for i := uint64(1); i <= 50; i++ {
-		m.NoteMutation([]uint64{i}, i)
+		m.NoteMutation([]uint64{i}, i, commute.ClassWrite)
 	}
 	keys := []uint64{1000}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Conflicts(keys)
+		m.Conflicts(keys, commute.ClassWrite)
 	}
 }
 
@@ -261,12 +289,12 @@ func TestAdaptiveFlushThreshold(t *testing.T) {
 	if th := m.FlushThreshold(); th != 2 {
 		t.Fatalf("initial threshold = %d, want the MinSyncBatch floor", th)
 	}
-	m.NoteMutation([]uint64{1}, 1)
+	m.NoteMutation([]uint64{1}, 1, commute.ClassWrite)
 	if m.NeedsBatchSync() {
 		t.Fatal("one unsynced op below the floor already triggers")
 	}
 	time.Sleep(5 * time.Millisecond) // gap ≫ TargetFlushDelay: light load
-	m.NoteMutation([]uint64{2}, 2)
+	m.NoteMutation([]uint64{2}, 2, commute.ClassWrite)
 	if !m.NeedsBatchSync() {
 		t.Fatal("light load did not trigger at the floor")
 	}
@@ -283,7 +311,7 @@ func TestAdaptiveFlushThreshold(t *testing.T) {
 	b := NewMasterState(MasterConfig{SyncBatchSize: 50, AdaptiveFlush: true, MinSyncBatch: 2, TargetFlushDelay: 100 * time.Millisecond})
 	maxTh := 0
 	for i := uint64(1); i <= 200; i++ {
-		b.NoteMutation([]uint64{i}, i)
+		b.NoteMutation([]uint64{i}, i, commute.ClassWrite)
 		if th := b.FlushThreshold(); th > maxTh {
 			maxTh = th
 		}
@@ -297,7 +325,7 @@ func TestAdaptiveFlushThreshold(t *testing.T) {
 	// scheduling noise only makes the gaps larger.
 	for i := uint64(31); i <= 34; i++ {
 		time.Sleep(5 * time.Millisecond)
-		m.NoteMutation([]uint64{i}, i)
+		m.NoteMutation([]uint64{i}, i, commute.ClassWrite)
 	}
 	if th := m.FlushThreshold(); th != 2 {
 		t.Fatalf("threshold after load drop = %d, want 2", th)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"curp/internal/commute"
 	"curp/internal/core"
 	"curp/internal/rifl"
 	"curp/internal/witness"
@@ -142,7 +143,7 @@ func (e *Engine) Update(ctx context.Context, req *core.Request) (*core.Reply, er
 	outcome, saved := e.tracker.Begin(req.ID, req.Ack)
 	switch outcome {
 	case rifl.Completed:
-		conflict := e.state.Conflicts(req.KeyHashes)
+		conflict := e.state.Conflicts(req.KeyHashes, commute.ClassWrite)
 		e.execMu.Unlock()
 		if conflict {
 			if err := e.syncAndWait(e.head()); err != nil {
@@ -159,7 +160,7 @@ func (e *Engine) Update(ctx context.Context, req *core.Request) (*core.Reply, er
 		e.execMu.Unlock()
 		return nil, err
 	}
-	conflict := e.state.Conflicts(req.KeyHashes)
+	conflict := e.state.Conflicts(req.KeyHashes, commute.ClassWrite)
 	res, err := e.store.Apply(cmd)
 	if err != nil {
 		e.execMu.Unlock()
@@ -170,7 +171,7 @@ func (e *Engine) Update(ctx context.Context, req *core.Request) (*core.Reply, er
 		return &core.Reply{Status: core.StatusError, Err: fmt.Sprintf("aof: %v", err)}, nil
 	}
 	lsn := e.aof.Appended()
-	hot := e.state.NoteMutation(req.KeyHashes, lsn)
+	hot := e.state.NoteMutation(req.KeyHashes, lsn, commute.ClassWrite)
 	e.tracker.Record(req.ID, res.Encode())
 	e.noteAppend(req.KeyHashes, req.ID)
 	e.execMu.Unlock()
@@ -222,7 +223,7 @@ func (e *Engine) Read(ctx context.Context, req *core.Request) (*core.Reply, erro
 	}
 	for {
 		e.execMu.Lock()
-		if !e.state.Conflicts(req.KeyHashes) {
+		if !e.state.Conflicts(req.KeyHashes, commute.ClassWrite) {
 			res, err := e.store.Apply(cmd)
 			e.execMu.Unlock()
 			if err != nil {
@@ -345,7 +346,7 @@ func (e *Engine) retryStaleRecord(rec witness.Record) {
 	if err := e.aof.Append(cmd, rec.ID); err != nil {
 		return
 	}
-	e.state.NoteMutation(rec.KeyHashes, e.aof.Appended())
+	e.state.NoteMutation(rec.KeyHashes, e.aof.Appended(), commute.ClassWrite)
 	e.tracker.Record(rec.ID, res.Encode())
 }
 
@@ -394,7 +395,7 @@ func Recover(id uint64, durableLog []byte, w *witness.Witness, newAOF *AOF, cfg 
 			if err := e.aof.Append(cmd, rec.ID); err != nil {
 				return nil, err
 			}
-			e.state.NoteMutation(rec.KeyHashes, e.aof.Appended())
+			e.state.NoteMutation(rec.KeyHashes, e.aof.Appended(), commute.ClassWrite)
 			e.tracker.Record(rec.ID, res.Encode())
 		}
 		e.tracker.SetRecoveryMode(false)

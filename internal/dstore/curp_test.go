@@ -2,6 +2,7 @@ package dstore
 
 import (
 	"context"
+	"curp/internal/commute"
 	"fmt"
 	"testing"
 	"time"
@@ -42,7 +43,7 @@ func (r *rig) do(t *testing.T, cmd *Command) *Result {
 	if cmd.IsReadOnly() {
 		out, err = r.client.Read(context.Background(), cmd.KeyHashes(), cmd.Encode())
 	} else {
-		out, err = r.client.Update(context.Background(), cmd.KeyHashes(), cmd.Encode())
+		out, err = r.client.Update(context.Background(), cmd.KeyHashes(), cmd.Encode(), commute.ClassWrite)
 	}
 	if err != nil {
 		t.Fatalf("%v: %v", cmd.Op, err)
@@ -160,7 +161,7 @@ func TestEngineCrashRecoveryFromWitness(t *testing.T) {
 		t.Fatal("recovery must fsync the rebuilt log")
 	}
 	// The witness is frozen: stale clients cannot complete writes on it.
-	if res := r.witnesses[0].Record(1, []uint64{1}, rifl.RPCID{Client: 9, Seq: 1}, []byte("late")); res != witness.RejectedRecovery {
+	if res := r.witnesses[0].Record(1, []uint64{1}, rifl.RPCID{Client: 9, Seq: 1}, []byte("late"), commute.ClassWrite); res != witness.RejectedRecovery {
 		t.Fatalf("stale record = %v", res)
 	}
 }
@@ -246,7 +247,7 @@ func TestEngineWrongTypeErrorPropagates(t *testing.T) {
 	r := newRig(t, 1, core.MasterConfig{SyncBatchSize: 50})
 	r.do(t, &Command{Op: OpSet, Key: []byte("k"), Value: []byte("v")})
 	cmd := &Command{Op: OpLPush, Key: []byte("k"), Value: []byte("x")}
-	_, err := r.client.Update(context.Background(), cmd.KeyHashes(), cmd.Encode())
+	_, err := r.client.Update(context.Background(), cmd.KeyHashes(), cmd.Encode(), commute.ClassWrite)
 	if err == nil {
 		t.Fatal("wrong-type error should propagate")
 	}
@@ -264,7 +265,7 @@ func BenchmarkEngineSet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cmd := &Command{Op: OpSet, Key: []byte(fmt.Sprintf("key%d", i%2048)), Value: val}
-		if _, err := cl.Update(ctx, cmd.KeyHashes(), cmd.Encode()); err != nil {
+		if _, err := cl.Update(ctx, cmd.KeyHashes(), cmd.Encode(), commute.ClassWrite); err != nil {
 			b.Fatal(err)
 		}
 	}

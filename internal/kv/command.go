@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"curp/internal/commute"
 	"curp/internal/rpc"
 	"curp/internal/witness"
 )
@@ -66,6 +67,37 @@ const (
 	// entry: validate every read version, then apply every write. It takes
 	// no locks and rides CURP's normal speculative update path.
 	OpTxnApply
+	// OpAppend appends Value to the byte string at Key (creating it when
+	// absent). Appends are order-dependent — "ab" ≠ "ba" — so the op stays
+	// in the write class; it exists because append-heavy logs still want
+	// the single-RPC verb.
+	OpAppend
+	// OpSetAdd adds Value as a member of the set at Key. Additions commute
+	// with each other (the stored set is kept sorted and deduplicated), so
+	// concurrent SetAdds on one hot set stay on the 1-RTT fast path.
+	OpSetAdd
+	// OpSetRemove removes Value from the set at Key. Removals commute with
+	// each other; an add and a remove of the same era do NOT commute, which
+	// forces a sync between them and yields observed-remove semantics (a
+	// remove only ever deletes members whose add it was ordered after).
+	OpSetRemove
+	// OpSetMembers reads the set at Key as one member per Values entry.
+	OpSetMembers
+	// OpBucketTake takes Delta tokens from the bucket at Key (a decimal
+	// counter refilled with Increment/Put). A grant subtracts and returns
+	// the remainder; an exhausted bucket denies (Found=false) but is STILL
+	// logged, so the denial's completion record is durable before the
+	// client may observe it. Takes commute while the bucket stays positive;
+	// a take that denies or drains the bucket demotes itself to the sync
+	// path (Result.Demote).
+	OpBucketTake
+	// OpPurgeExpired deletes the objects named in Pairs whose stored expiry
+	// is ≤ Delta (the purge cutoff, a wall-clock timestamp in unix nanos
+	// chosen by the master when it proposed the purge). Carrying both the
+	// keys and the cutoff makes replay deterministic: a backup replaying
+	// the log reaches the same state without consulting its own clock.
+	// Issued only by the master's sync tail, never by clients.
+	OpPurgeExpired
 )
 
 // String names the operation.
@@ -99,6 +131,18 @@ func (o CommandOp) String() string {
 		return "txn-decide"
 	case OpTxnApply:
 		return "txn-apply"
+	case OpAppend:
+		return "append"
+	case OpSetAdd:
+		return "set-add"
+	case OpSetRemove:
+		return "set-remove"
+	case OpSetMembers:
+		return "set-members"
+	case OpBucketTake:
+		return "bucket-take"
+	case OpPurgeExpired:
+		return "purge-expired"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -134,6 +178,13 @@ type Command struct {
 	// Txn carries the transactional payload of OpTxnPrepare, OpTxnDecide,
 	// and OpTxnApply (see txn.go); nil for every other op.
 	Txn *TxnCommand
+	// ExpireAt, when non-zero on OpPut, sets the object's expiry (unix
+	// nanos): reads past that instant treat the object as absent, and the
+	// master's sync tail purges it with a logged OpPurgeExpired. A plain
+	// Put (ExpireAt == 0) clears any existing expiry, like redis SET.
+	// Execution never consults a clock for mutations — only reads compare
+	// against now — so log replay on backups stays deterministic.
+	ExpireAt int64
 	// owned marks a command decoded off the wire: every byte slice in it
 	// is a private copy no one else references, so the store may adopt
 	// value buffers instead of defensively copying them (see
@@ -145,7 +196,32 @@ type Command struct {
 // commands are not recorded in witnesses, but still participate in the
 // master's commutativity check (a read of an unsynced object forces a
 // sync, paper §3.2.3).
-func (c *Command) IsReadOnly() bool { return c.Op == OpGet || c.Op == OpMultiGet }
+func (c *Command) IsReadOnly() bool {
+	return c.Op == OpGet || c.Op == OpMultiGet || c.Op == OpSetMembers
+}
+
+// Class returns the command's commutativity class, derived from the op
+// rather than stored: two operations of the same non-write class on one key
+// may complete speculatively in either order (see internal/commute). The
+// class is carried on the wire next to the key hashes so witnesses can
+// consult it, but masters re-derive it from the decoded command — a client
+// cannot widen its own fast path by lying about the class.
+func (c *Command) Class() commute.Class {
+	switch c.Op {
+	case OpIncrement:
+		return commute.ClassCounter
+	case OpSetAdd:
+		return commute.ClassSetAdd
+	case OpSetRemove:
+		return commute.ClassSetRemove
+	case OpBucketTake:
+		return commute.ClassBucket
+	}
+	// Everything else — including OpAppend (order-dependent) and
+	// OpMultiIncr (its per-key deltas commute, but the command's multi-key
+	// footprint shares the write path's conflict handling) — is a write.
+	return commute.ClassWrite
+}
 
 // KeyHashes returns the 64-bit hashes of every object the command touches,
 // the unit of CURP's commutativity checks.
@@ -187,6 +263,7 @@ func (c *Command) Marshal(e *rpc.Encoder) {
 	if c.Txn != nil {
 		c.Txn.marshal(e)
 	}
+	e.I64(c.ExpireAt)
 }
 
 // Encode returns the command's wire form.
@@ -213,6 +290,7 @@ func UnmarshalCommand(d *rpc.Decoder) (*Command, error) {
 	if d.Bool() {
 		c.Txn = unmarshalTxnCommand(d)
 	}
+	c.ExpireAt = d.I64()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -236,8 +314,16 @@ type Result struct {
 	// the read (reads).
 	Version uint64
 	// Values holds MultiGet results, aligned with the requested keys; a
-	// nil element means the key did not exist.
+	// nil element means the key did not exist. SetMembers returns the
+	// set's members here, one per entry.
 	Values [][]byte
+	// Demote marks a result whose operation executed but must NOT be
+	// revealed speculatively even when it commuted with the unsynced
+	// window: the master treats it like a conflict and syncs before
+	// replying. BucketTake sets it on a denial or on the take that drains
+	// the bucket — once a bucket can deny, take order becomes observable.
+	// Demote is a master-local execution signal, not part of the wire form.
+	Demote bool `json:"-"`
 }
 
 // Marshal appends the result's wire form to e.

@@ -1,0 +1,77 @@
+package kv
+
+// Set value representation: the stored bytes of a set object are the
+// concatenation of (u32 little-endian length + member) entries, sorted
+// bytewise and deduplicated. Sorting makes the representation canonical, so
+// two commutative SetAdds reach the same stored bytes in either execution
+// order — the property that lets ClassSetAdd stay speculative. A Get on a
+// set key returns these raw bytes; SetMembers decodes them.
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// decodeSet splits a stored set value into its members. Invalid encodings
+// (a plain Put landed on the key) decode as empty — set ops then rebuild
+// the key as a set, mirroring how Increment treats a non-counter value as
+// an error but sets silently re-type.
+func decodeSet(v []byte) [][]byte {
+	var members [][]byte
+	for len(v) >= 4 {
+		n := binary.LittleEndian.Uint32(v)
+		v = v[4:]
+		if uint32(len(v)) < n {
+			return nil
+		}
+		members = append(members, v[:n:n])
+		v = v[n:]
+	}
+	if len(v) != 0 {
+		return nil
+	}
+	return members
+}
+
+// encodeSet builds the canonical stored form: members sorted bytewise,
+// duplicates removed.
+func encodeSet(members [][]byte) []byte {
+	sort.Slice(members, func(i, j int) bool {
+		return string(members[i]) < string(members[j])
+	})
+	size := 0
+	for _, m := range members {
+		size += 4 + len(m)
+	}
+	out := make([]byte, 0, size)
+	var prev []byte
+	first := true
+	for _, m := range members {
+		if !first && string(m) == string(prev) {
+			continue
+		}
+		first, prev = false, m
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(m)))
+		out = append(out, hdr[:]...)
+		out = append(out, m...)
+	}
+	return out
+}
+
+// setWith returns the canonical set value with member added.
+func setWith(v, member []byte) []byte {
+	return encodeSet(append(decodeSet(v), member))
+}
+
+// setWithout returns the canonical set value with member removed, and
+// whether it was present.
+func setWithout(v, member []byte) ([]byte, bool) {
+	members := decodeSet(v)
+	for i, m := range members {
+		if string(m) == string(member) {
+			return encodeSet(append(members[:i], members[i+1:]...)), true
+		}
+	}
+	return encodeSet(members), false
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"curp/internal/rifl"
 	"curp/internal/rpc"
@@ -53,6 +54,11 @@ type object struct {
 	value   []byte
 	version uint64
 	lsn     LSN // log position of the last update to this key
+	// expireAt is the object's expiry instant in unix nanos (0 = never).
+	// Reads past it treat the object as absent; the master's sync tail
+	// purges it with a logged OpPurgeExpired. Mutations never consult the
+	// clock, so replaying the log reproduces identical state.
+	expireAt int64
 }
 
 // Store is an in-memory, log-structured key-value store: the state machine
@@ -77,6 +83,12 @@ type Store struct {
 	// retain log entries, since the authoritative log lives beside it and
 	// duplicating it doubles replication's memory and GC cost.
 	replica bool
+	// expiry indexes keys with a pending TTL (key → expireAt), so the
+	// purge scan is O(keys-with-TTL), not O(keys).
+	expiry map[string]int64
+	// now supplies the clock reads compare expiries against. Injectable
+	// (tests); mutations never call it.
+	now func() int64
 }
 
 // NewStore returns an empty store.
@@ -86,7 +98,16 @@ func NewStore() *Store {
 		locks:     make(map[string]*preparedTxn),
 		prepared:  make(map[rifl.RPCID]*preparedTxn),
 		decisions: make(map[rifl.RPCID]txnDecision),
+		expiry:    make(map[string]int64),
+		now:       func() int64 { return time.Now().UnixNano() },
 	}
+}
+
+// SetClock replaces the clock reads compare expiries against (tests).
+func (s *Store) SetClock(now func() int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
 }
 
 // NewReplicaStore returns a store that materializes replayed entries
@@ -166,7 +187,7 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 	switch cmd.Op {
 	case OpGet:
 		o := s.objects[string(cmd.Key)]
-		if o == nil || o.value == nil { // missing or tombstoned
+		if !s.alive(o) { // missing, tombstoned, or lazily expired
 			var version uint64
 			if o != nil {
 				version = o.version
@@ -179,7 +200,7 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 		res := &Result{Found: true}
 		for _, p := range cmd.Pairs {
 			o := s.objects[string(p.Key)]
-			if o == nil || o.value == nil {
+			if !s.alive(o) {
 				res.Values = append(res.Values, nil)
 			} else {
 				res.Values = append(res.Values, append([]byte(nil), o.value...))
@@ -187,9 +208,114 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 		}
 		return res, false, nil
 
+	case OpSetMembers:
+		o := s.objects[string(cmd.Key)]
+		if !s.alive(o) {
+			var version uint64
+			if o != nil {
+				version = o.version
+			}
+			return &Result{Version: version}, false, nil
+		}
+		res := &Result{Found: true, Version: o.version}
+		for _, m := range decodeSet(o.value) {
+			res.Values = append(res.Values, append([]byte(nil), m...))
+		}
+		return res, false, nil
+
 	case OpPut:
 		o := s.valuePut(cmd, cmd.Key, cmd.Value)
+		s.setExpiry(cmd.Key, o, cmd.ExpireAt)
 		return &Result{Found: true, Version: o.version}, true, nil
+
+	case OpAppend:
+		o := s.objects[string(cmd.Key)]
+		var next []byte
+		if o != nil && o.value != nil {
+			next = append(append(make([]byte, 0, len(o.value)+len(cmd.Value)), o.value...), cmd.Value...)
+		} else {
+			next = append([]byte(nil), cmd.Value...)
+		}
+		no := s.putOwned(cmd.Key, next)
+		return &Result{Found: true, Value: []byte(strconv.Itoa(len(next))), Version: no.version}, true, nil
+
+	case OpSetAdd:
+		o := s.objects[string(cmd.Key)]
+		var cur []byte
+		if o != nil {
+			cur = o.value
+		}
+		no := s.putOwned(cmd.Key, setWith(cur, cmd.Value))
+		// Found is always true: "was the member new" is order-dependent
+		// under commutative replay (two adds of one member swap answers),
+		// so it must not leak into the completion record.
+		return &Result{Found: true, Version: no.version}, true, nil
+
+	case OpSetRemove:
+		o := s.objects[string(cmd.Key)]
+		var cur []byte
+		if o != nil {
+			cur = o.value
+		}
+		next, _ := setWithout(cur, cmd.Value)
+		no := s.putOwned(cmd.Key, next)
+		// Like SetAdd, "was it present" is order-dependent; always-true
+		// Found keeps the completion record replay-deterministic.
+		return &Result{Found: true, Version: no.version}, true, nil
+
+	case OpBucketTake:
+		o := s.objects[string(cmd.Key)]
+		var cur int64
+		if o != nil && o.value != nil {
+			v, perr := strconv.ParseInt(string(o.value), 10, 64)
+			if perr != nil {
+				return nil, false, ErrNotCounter
+			}
+			cur = v
+		}
+		if cur < cmd.Delta {
+			// Denial. Logged anyway (version bump, value unchanged): the
+			// denial's completion record must be durable before the client
+			// can act on it, exactly like a Delete of a missing key. Demote
+			// keeps it off the speculative path — a bucket that can deny
+			// has made take order observable.
+			//
+			// Residual anomaly, accepted and bounded: if the master crashes
+			// before a denial syncs, recovery replays the witness records
+			// in arbitrary order and may re-grant capacity this denial
+			// observed as exhausted — unsynced capacity can redistribute
+			// across takers. The bucket never over-debits (every replayed
+			// grant re-checks the balance), and no client that COMPLETED a
+			// take sees its grant revoked, because completion requires the
+			// result to be durable first.
+			if o == nil {
+				o = &object{}
+				s.objects[string(cmd.Key)] = o
+			}
+			o.version++
+			return &Result{Found: false, Value: []byte(strconv.FormatInt(cur, 10)), Version: o.version, Demote: true}, true, nil
+		}
+		rem := cur - cmd.Delta
+		no := s.putOwned(cmd.Key, []byte(strconv.FormatInt(rem, 10)))
+		// Draining the bucket also demotes: the NEXT take will deny, so
+		// this grant's order relative to it matters.
+		return &Result{Found: true, Value: append([]byte(nil), no.value...), Version: no.version, Demote: rem == 0}, true, nil
+
+	case OpPurgeExpired:
+		purged := 0
+		var lastVer uint64
+		for _, p := range cmd.Pairs {
+			o := s.objects[string(p.Key)]
+			if o == nil || o.expireAt == 0 || o.expireAt > cmd.Delta {
+				continue // raced a fresh write that cleared or pushed the TTL
+			}
+			o.value = nil
+			o.version++
+			s.setExpiry(p.Key, o, 0)
+			purged++
+			lastVer = o.version
+		}
+		return &Result{Found: purged > 0, Version: lastVer}, true, nil
 
 	case OpMultiPut:
 		var last uint64
@@ -208,6 +334,7 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 		}
 		o.value = nil
 		o.version++
+		s.setExpiry(cmd.Key, o, 0)
 		return &Result{Found: true, Version: o.version}, true, nil
 
 	case OpIncrement:
@@ -268,6 +395,7 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 			}
 		}
 		o.version = cmd.ExpectVersion
+		s.setExpiry(cmd.Key, o, cmd.ExpireAt)
 		return &Result{Found: cmd.Delta == 0, Version: o.version}, true, nil
 
 	case OpMigrateRecord:
@@ -309,6 +437,55 @@ func (s *Store) exec(cmd *Command) (res *Result, mutated bool, err error) {
 	default:
 		return nil, false, fmt.Errorf("kv: unknown op %v", cmd.Op)
 	}
+}
+
+// alive reports whether an object holds a readable value: present, not
+// tombstoned, and not past its expiry. Only the read paths call it — a
+// mutation consulting the clock would make log replay nondeterministic.
+// Must hold s.mu.
+func (s *Store) alive(o *object) bool {
+	if o == nil || o.value == nil {
+		return false
+	}
+	return o.expireAt == 0 || o.expireAt > s.now()
+}
+
+// setExpiry records an object's expiry instant (0 clears it) and keeps the
+// expiry index in step. Must hold s.mu.
+func (s *Store) setExpiry(key []byte, o *object, at int64) {
+	if o.expireAt == at {
+		return
+	}
+	o.expireAt = at
+	if at == 0 {
+		delete(s.expiry, string(key))
+	} else {
+		s.expiry[string(key)] = at
+	}
+}
+
+// ExpiredKeys returns up to limit keys whose expiry is ≤ now and that are
+// not locked by a prepared transaction, for the master's sync-tail purge
+// (limit ≤ 0 = unlimited). The caller logs them with OpPurgeExpired, which
+// re-checks each expiry against its carried cutoff, so a racing fresh
+// write is never purged.
+func (s *Store) ExpiredKeys(now int64, limit int) [][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out [][]byte
+	for k, at := range s.expiry {
+		if at > now {
+			continue
+		}
+		if len(s.locks) > 0 && s.locks[k] != nil {
+			continue
+		}
+		out = append(out, []byte(k))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
 }
 
 // put inserts or overwrites a key. Must hold s.mu.
@@ -360,7 +537,7 @@ func (s *Store) Get(key []byte) (value []byte, version uint64, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	o := s.objects[string(key)]
-	if o == nil || o.value == nil {
+	if !s.alive(o) { // expiry-aware: GetStale must not serve dead values
 		return nil, 0, false
 	}
 	return append([]byte(nil), o.value...), o.version, true
@@ -410,6 +587,8 @@ type MigratedObject struct {
 	Value     []byte
 	Version   uint64
 	Tombstone bool
+	// ExpireAt preserves the object's TTL across the handoff (0 = none).
+	ExpireAt int64
 }
 
 // ExportRange returns every object (live or tombstoned) whose key matches
@@ -422,7 +601,7 @@ func (s *Store) ExportRange(pred func(key []byte) bool) []MigratedObject {
 		if !pred([]byte(k)) {
 			continue
 		}
-		mo := MigratedObject{Key: []byte(k), Version: o.version, Tombstone: o.value == nil}
+		mo := MigratedObject{Key: []byte(k), Version: o.version, Tombstone: o.value == nil, ExpireAt: o.expireAt}
 		if !mo.Tombstone {
 			mo.Value = append([]byte(nil), o.value...)
 		}
@@ -442,6 +621,7 @@ func (s *Store) DropRange(pred func(key []byte) bool) int {
 	for k := range s.objects {
 		if pred([]byte(k)) {
 			delete(s.objects, k)
+			delete(s.expiry, k)
 			n++
 		}
 	}

@@ -296,6 +296,67 @@ func (c *Client) CondPut(ctx context.Context, key, value []byte, expectVersion u
 	return applied, version, err
 }
 
+// Append atomically appends suffix to the value at key on its shard and
+// returns the value's new total length.
+func (c *Client) Append(ctx context.Context, key, suffix []byte) (int64, error) {
+	var n int64
+	err := c.do(ctx, key, func(sc *cluster.Client) error {
+		v, err := sc.Append(ctx, key, suffix)
+		n = v
+		return err
+	})
+	return n, err
+}
+
+// PutTTL writes value under key with an absolute UnixNano expiry on its
+// shard.
+func (c *Client) PutTTL(ctx context.Context, key, value []byte, expireAt int64) (uint64, error) {
+	var ver uint64
+	err := c.do(ctx, key, func(sc *cluster.Client) error {
+		v, err := sc.PutTTL(ctx, key, value, expireAt)
+		ver = v
+		return err
+	})
+	return ver, err
+}
+
+// SetAdd adds member to the set at key on its shard. Concurrent SetAdds on
+// one key commute and stay on the 1-RTT path.
+func (c *Client) SetAdd(ctx context.Context, key, member []byte) error {
+	return c.do(ctx, key, func(sc *cluster.Client) error {
+		return sc.SetAdd(ctx, key, member)
+	})
+}
+
+// SetRemove removes member from the set at key on its shard.
+func (c *Client) SetRemove(ctx context.Context, key, member []byte) error {
+	return c.do(ctx, key, func(sc *cluster.Client) error {
+		return sc.SetRemove(ctx, key, member)
+	})
+}
+
+// SetMembers reads the members of the set at key, sorted bytewise.
+func (c *Client) SetMembers(ctx context.Context, key []byte) ([][]byte, error) {
+	var members [][]byte
+	err := c.do(ctx, key, func(sc *cluster.Client) error {
+		m, err := sc.SetMembers(ctx, key)
+		members = m
+		return err
+	})
+	return members, err
+}
+
+// BucketTake takes n tokens from the rate-limiter bucket at key on its
+// shard.
+func (c *Client) BucketTake(ctx context.Context, key []byte, n int64) (granted bool, remaining int64, err error) {
+	err = c.do(ctx, key, func(sc *cluster.Client) error {
+		var berr error
+		granted, remaining, berr = sc.BucketTake(ctx, key, n)
+		return berr
+	})
+	return granted, remaining, err
+}
+
 // runGrouped partitions items by owning shard and issues one sub-operation
 // per group, concurrently. Groups bounced by a migration (core.ErrKeyMoved)
 // are re-grouped under a refreshed ring and re-issued; groups that applied

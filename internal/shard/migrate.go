@@ -178,7 +178,7 @@ func growStep(ctx context.Context, md *cluster.MigrationDriver, coords []string,
 	// irrevocable — any future recovery of a source drops the ranges.
 	var noted []collected
 	for _, cl := range done {
-		if err := md.AddMoved(ctx, coords[cl.move.From], partitionMasterID, cl.move.Ranges); err != nil {
+		if err := md.AddMoved(ctx, coords[cl.move.From], partitionMasterID, cl.move.Ranges, targetView.MasterAddr); err != nil {
 			// Roll the partial commit back. A source whose moved-away
 			// record cannot be un-noted must NOT be unfrozen: its next
 			// recovery would drop the range while the live master keeps
@@ -234,7 +234,7 @@ func growStep(ctx context.Context, md *cluster.MigrationDriver, coords []string,
 	var completeErr error
 	var fenceErr error
 	for _, cl := range done {
-		if err := md.Complete(ctx, cl.view.MasterAddr, partitionMasterID, cl.move.Ranges); err != nil && completeErr == nil {
+		if err := md.Complete(ctx, cl.view.MasterAddr, partitionMasterID, cl.move.Ranges, targetView.MasterAddr); err != nil && completeErr == nil {
 			completeErr = err
 		}
 		if err := md.DropBackups(ctx, cl.view.BackupAddrs, partitionMasterID, cl.move.Ranges); err != nil && fenceErr == nil {

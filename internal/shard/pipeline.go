@@ -87,6 +87,34 @@ func (c *Client) CondPutAsync(ctx context.Context, key, value []byte, expectVers
 	return c.submitAsync(ctx, key, &kv.Command{Op: kv.OpCondPut, Key: key, Value: value, ExpectVersion: expectVersion})
 }
 
+// AppendAsync appends suffix to the value at key without blocking; the
+// future's counter result is the value's new total length.
+func (c *Client) AppendAsync(ctx context.Context, key, suffix []byte) *Future {
+	return c.submitAsync(ctx, key, &kv.Command{Op: kv.OpAppend, Key: key, Value: suffix})
+}
+
+// PutTTLAsync writes value under key with an absolute UnixNano expiry
+// without blocking.
+func (c *Client) PutTTLAsync(ctx context.Context, key, value []byte, expireAt int64) *Future {
+	return c.submitAsync(ctx, key, &kv.Command{Op: kv.OpPut, Key: key, Value: value, ExpireAt: expireAt})
+}
+
+// SetAddAsync adds member to the set at key without blocking.
+func (c *Client) SetAddAsync(ctx context.Context, key, member []byte) *Future {
+	return c.submitAsync(ctx, key, &kv.Command{Op: kv.OpSetAdd, Key: key, Value: member})
+}
+
+// SetRemoveAsync removes member from the set at key without blocking.
+func (c *Client) SetRemoveAsync(ctx context.Context, key, member []byte) *Future {
+	return c.submitAsync(ctx, key, &kv.Command{Op: kv.OpSetRemove, Key: key, Value: member})
+}
+
+// BucketTakeAsync takes n tokens from the bucket at key without blocking;
+// the future's Granted reports whether the tokens were available.
+func (c *Client) BucketTakeAsync(ctx context.Context, key []byte, n int64) *Future {
+	return c.submitAsync(ctx, key, &kv.Command{Op: kv.OpBucketTake, Key: key, Delta: n})
+}
+
 // MultiPutAsync writes the pairs without blocking — atomic per shard, not
 // across shards (the blocking MultiPut's contract).
 func (c *Client) MultiPutAsync(ctx context.Context, pairs []kv.KV) *Future {
@@ -221,6 +249,32 @@ func (p *Pipeline) Increment(key []byte, delta int64) *Future {
 // CondPut queues a conditional write of value at expectVersion.
 func (p *Pipeline) CondPut(key, value []byte, expectVersion uint64) *Future {
 	return p.enqueue(&pipeOp{op: kv.OpCondPut, key: key, cmd: &kv.Command{Op: kv.OpCondPut, Key: key, Value: value, ExpectVersion: expectVersion}})
+}
+
+// Append queues appending suffix to the value at key.
+func (p *Pipeline) Append(key, suffix []byte) *Future {
+	return p.enqueue(&pipeOp{op: kv.OpAppend, key: key, cmd: &kv.Command{Op: kv.OpAppend, Key: key, Value: suffix}})
+}
+
+// PutTTL queues a write of value under key with an absolute UnixNano
+// expiry.
+func (p *Pipeline) PutTTL(key, value []byte, expireAt int64) *Future {
+	return p.enqueue(&pipeOp{op: kv.OpPut, key: key, cmd: &kv.Command{Op: kv.OpPut, Key: key, Value: value, ExpireAt: expireAt}})
+}
+
+// SetAdd queues adding member to the set at key.
+func (p *Pipeline) SetAdd(key, member []byte) *Future {
+	return p.enqueue(&pipeOp{op: kv.OpSetAdd, key: key, cmd: &kv.Command{Op: kv.OpSetAdd, Key: key, Value: member}})
+}
+
+// SetRemove queues removing member from the set at key.
+func (p *Pipeline) SetRemove(key, member []byte) *Future {
+	return p.enqueue(&pipeOp{op: kv.OpSetRemove, key: key, cmd: &kv.Command{Op: kv.OpSetRemove, Key: key, Value: member}})
+}
+
+// BucketTake queues taking n tokens from the bucket at key.
+func (p *Pipeline) BucketTake(key []byte, n int64) *Future {
+	return p.enqueue(&pipeOp{op: kv.OpBucketTake, key: key, cmd: &kv.Command{Op: kv.OpBucketTake, Key: key, Delta: n}})
 }
 
 // MultiPut queues an atomic-per-shard multi-object write.

@@ -3,6 +3,7 @@ package sim
 import (
 	"time"
 
+	"curp/internal/commute"
 	"curp/internal/core"
 	"curp/internal/rifl"
 	"curp/internal/stats"
@@ -317,7 +318,7 @@ func (k *kvSim) masterExecute(op *opRuntime) {
 	if !op.isWrite {
 		// Read: if it touches an unsynced key, wait for a sync first.
 		if k.p.Mode == ModeCURP || k.p.Mode == ModeAsync {
-			if k.mstate.Conflicts(keyHashes) {
+			if k.mstate.Conflicts(keyHashes, commute.ClassWrite) {
 				k.mstate.CountReadBlock()
 				k.joinSync(k.mstate.Head(), func() { k.replyToClient(op, true) })
 				return
@@ -326,10 +327,10 @@ func (k *kvSim) masterExecute(op *opRuntime) {
 		k.replyToClient(op, true)
 		return
 	}
-	conflict := k.mstate.Conflicts(keyHashes)
+	conflict := k.mstate.Conflicts(keyHashes, commute.ClassWrite)
 	k.lsn++
 	lsn := k.lsn
-	k.mstate.NoteMutation(keyHashes, lsn)
+	k.mstate.NoteMutation(keyHashes, lsn, commute.ClassWrite)
 	if k.p.Mode == ModeCURP {
 		k.pendingSynced = append(k.pendingSynced, witness.GCKey{KeyHash: op.key, ID: op.id})
 	}
@@ -381,7 +382,7 @@ func (k *kvSim) replyToClient(op *opRuntime, synced bool) {
 func (k *kvSim) witnessArrive(op *opRuntime, i int) {
 	t := k.wservers[i].Acquire(k.sim.Now(), k.p.WitnessCost)
 	k.sim.At(t, func() {
-		res := k.wstate[i].Record(1, []uint64{op.key}, op.id, nil)
+		res := k.wstate[i].Record(1, []uint64{op.key}, op.id, nil, commute.ClassWrite)
 		if !res.Ok() {
 			k.res.WitnessRejects++
 		}

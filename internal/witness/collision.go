@@ -3,6 +3,7 @@ package witness
 import (
 	"math/rand"
 
+	"curp/internal/commute"
 	"curp/internal/rifl"
 )
 
@@ -19,7 +20,7 @@ func CollisionTrial(slots, ways int, rng *rand.Rand) int {
 	for {
 		kh := rng.Uint64()
 		id := rifl.RPCID{Client: 1, Seq: rifl.Seq(count + 1)}
-		res := w.Record(1, []uint64{kh}, id, []byte("x"))
+		res := w.Record(1, []uint64{kh}, id, []byte("x"), commute.ClassWrite)
 		switch res {
 		case Accepted:
 			count++

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"sync"
 
+	"curp/internal/commute"
 	"curp/internal/rifl"
 )
 
@@ -71,6 +72,11 @@ type Record struct {
 	// Request is the opaque serialized client request, replayed verbatim
 	// during recovery.
 	Request []byte
+	// Class is the request's commutativity class: two same-key records of
+	// one non-write class commute and may both be accepted (see
+	// internal/commute). ClassWrite reproduces the paper's key-granular
+	// rule.
+	Class commute.Class
 }
 
 // GCKey identifies one (keyHash, rpcID) pair to drop; a gc RPC carries one
@@ -117,8 +123,9 @@ type slot struct {
 	keyHash  uint64
 	id       rifl.RPCID
 	request  []byte
-	multiKey []uint64 // all key hashes of the request (shared across copies)
-	gcEpoch  uint64   // value of w.gcPasses when the record was written
+	multiKey []uint64      // all key hashes of the request (shared across copies)
+	gcEpoch  uint64        // value of w.gcPasses when the record was written
+	class    commute.Class // commutativity class of the stored request
 }
 
 // Stats counts witness activity for the evaluation harness.
@@ -187,11 +194,13 @@ func (w *Witness) setIndex(keyHash uint64) int {
 
 // Record saves a client request mutating the given key hashes (the record
 // RPC of Figure 4). The request is accepted only if every key's set has a
-// free slot and no existing record shares any key hash.
-func (w *Witness) Record(masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) RecordResult {
+// free slot and every existing same-key record commutes with it — distinct
+// keys always commute; equal keys commute exactly when
+// commute.Commutes(stored class, class) holds.
+func (w *Witness) Record(masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte, class commute.Class) RecordResult {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.recordLocked(masterID, keyHashes, id, request)
+	return w.recordLocked(masterID, keyHashes, id, request, class)
 }
 
 // RecordBatch saves several client requests under one lock acquisition —
@@ -206,13 +215,13 @@ func (w *Witness) RecordBatch(masterID uint64, recs []Record) []RecordResult {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for i, r := range recs {
-		out[i] = w.recordLocked(masterID, r.KeyHashes, r.ID, r.Request)
+		out[i] = w.recordLocked(masterID, r.KeyHashes, r.ID, r.Request, r.Class)
 	}
 	return out
 }
 
 // recordLocked is Record's body; the caller holds w.mu.
-func (w *Witness) recordLocked(masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte) RecordResult {
+func (w *Witness) recordLocked(masterID uint64, keyHashes []uint64, id rifl.RPCID, request []byte, class commute.Class) RecordResult {
 	if w.recovery {
 		w.stats.RecoveryRejects++
 		return RejectedRecovery
@@ -235,7 +244,11 @@ func (w *Witness) recordLocked(masterID uint64, keyHashes []uint64, id rifl.RPCI
 		for j := 0; j < w.cfg.Ways; j++ {
 			s := &w.sets[base+j]
 			if s.occupied {
-				if s.keyHash == kh {
+				// Same key: conflict unless both records belong to one
+				// commutative class. Commutative same-key records coexist
+				// (each claims its own slot), so a hot counter's set fills
+				// toward Ways concurrent increments before rejecting full.
+				if s.keyHash == kh && !commute.Commutes(s.class, class) {
 					w.noteConflict(s)
 					return RejectedConflict
 				}
@@ -287,6 +300,7 @@ func (w *Witness) recordLocked(masterID uint64, keyHashes []uint64, id rifl.RPCI
 			request:  request,
 			multiKey: keyHashes,
 			gcEpoch:  w.gcPasses,
+			class:    class,
 		}
 		claimed = append(claimed, idx)
 	}
@@ -338,7 +352,7 @@ func (w *Witness) GC(keys []GCKey) []Record {
 		s := &w.sets[i]
 		if s.occupied && w.gcPasses-s.gcEpoch >= uint64(w.cfg.StaleGCThreshold) && !seen[s.id] {
 			seen[s.id] = true
-			stale = append(stale, Record{KeyHashes: s.multiKey, ID: s.id, Request: s.request})
+			stale = append(stale, Record{KeyHashes: s.multiKey, ID: s.id, Request: s.request, Class: s.class})
 		}
 	}
 	return stale
@@ -389,7 +403,7 @@ func (w *Witness) GetRecoveryData() []Record {
 		s := &w.sets[i]
 		if s.occupied && !seen[s.id] {
 			seen[s.id] = true
-			out = append(out, Record{KeyHashes: s.multiKey, ID: s.id, Request: s.request})
+			out = append(out, Record{KeyHashes: s.multiKey, ID: s.id, Request: s.request, Class: s.class})
 		}
 	}
 	return out
@@ -430,7 +444,7 @@ func (w *Witness) SnapshotRecords() []Record {
 		s := &w.sets[i]
 		if s.occupied && !seen[s.id] {
 			seen[s.id] = true
-			out = append(out, Record{KeyHashes: s.multiKey, ID: s.id, Request: s.request})
+			out = append(out, Record{KeyHashes: s.multiKey, ID: s.id, Request: s.request, Class: s.class})
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package witness
 
 import (
+	"curp/internal/commute"
 	"math/rand"
 	"sync"
 	"testing"
@@ -51,16 +52,16 @@ func TestNewValidation(t *testing.T) {
 
 func TestRecordAcceptAndConflict(t *testing.T) {
 	w := testWitness(t)
-	if res := w.Record(1, []uint64{100}, id(1, 1), []byte("x=1")); !res.Ok() {
+	if res := w.Record(1, []uint64{100}, id(1, 1), []byte("x=1"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("first record = %v", res)
 	}
 	// Same key, different request: non-commutative → reject (paper example:
 	// witness holding "x←1" cannot accept "x←5").
-	if res := w.Record(1, []uint64{100}, id(1, 2), []byte("x=5")); res != RejectedConflict {
+	if res := w.Record(1, []uint64{100}, id(1, 2), []byte("x=5"), commute.ClassWrite); res != RejectedConflict {
 		t.Fatalf("conflicting record = %v, want RejectedConflict", res)
 	}
 	// Different key: commutative → accept.
-	if res := w.Record(1, []uint64{200}, id(1, 3), []byte("y=2")); !res.Ok() {
+	if res := w.Record(1, []uint64{200}, id(1, 3), []byte("y=2"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("commutative record = %v", res)
 	}
 	st := w.Stats()
@@ -74,7 +75,7 @@ func TestRecordAcceptAndConflict(t *testing.T) {
 
 func TestRecordWrongMaster(t *testing.T) {
 	w := testWitness(t)
-	if res := w.Record(2, []uint64{1}, id(1, 1), []byte("x")); res != RejectedWrongMaster {
+	if res := w.Record(2, []uint64{1}, id(1, 1), []byte("x"), commute.ClassWrite); res != RejectedWrongMaster {
 		t.Fatalf("wrong master = %v", res)
 	}
 	if w.MasterID() != 1 {
@@ -84,10 +85,10 @@ func TestRecordWrongMaster(t *testing.T) {
 
 func TestRecordOversizedAndEmpty(t *testing.T) {
 	w := MustNew(1, Config{Slots: 16, Ways: 4, SlotBytes: 8})
-	if res := w.Record(1, []uint64{1}, id(1, 1), make([]byte, 9)); res != RejectedFull {
+	if res := w.Record(1, []uint64{1}, id(1, 1), make([]byte, 9), commute.ClassWrite); res != RejectedFull {
 		t.Fatalf("oversized = %v", res)
 	}
-	if res := w.Record(1, nil, id(1, 2), []byte("x")); res != RejectedFull {
+	if res := w.Record(1, nil, id(1, 2), []byte("x"), commute.ClassWrite); res != RejectedFull {
 		t.Fatalf("no keys = %v", res)
 	}
 }
@@ -101,17 +102,17 @@ func TestSetFullRejection(t *testing.T) {
 	kh := uint64(0)
 	for inserted < 4 {
 		kh += nSets // all map to set 0
-		if res := w.Record(1, []uint64{kh}, id(1, kh), []byte("v")); !res.Ok() {
+		if res := w.Record(1, []uint64{kh}, id(1, kh), []byte("v"), commute.ClassWrite); !res.Ok() {
 			t.Fatalf("fill %d = %v", inserted, res)
 		}
 		inserted++
 	}
 	kh += nSets
-	if res := w.Record(1, []uint64{kh}, id(1, kh), []byte("v")); res != RejectedFull {
+	if res := w.Record(1, []uint64{kh}, id(1, kh), []byte("v"), commute.ClassWrite); res != RejectedFull {
 		t.Fatalf("full set = %v, want RejectedFull", res)
 	}
 	// The other set is untouched.
-	if res := w.Record(1, []uint64{1}, id(2, 1), []byte("v")); !res.Ok() {
+	if res := w.Record(1, []uint64{1}, id(2, 1), []byte("v"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("other set = %v", res)
 	}
 }
@@ -120,14 +121,14 @@ func TestMultiKeyRecord(t *testing.T) {
 	w := testWitness(t)
 	// A transaction touching 3 objects occupies 3 slots but is one request.
 	keys := []uint64{10, 20, 30}
-	if res := w.Record(1, keys, id(1, 1), []byte("txn")); !res.Ok() {
+	if res := w.Record(1, keys, id(1, 1), []byte("txn"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("multi-key = %v", res)
 	}
 	if w.Len() != 1 {
 		t.Fatalf("len = %d, want 1 (single request)", w.Len())
 	}
 	// Any overlap conflicts.
-	if res := w.Record(1, []uint64{20}, id(1, 2), []byte("w")); res != RejectedConflict {
+	if res := w.Record(1, []uint64{20}, id(1, 2), []byte("w"), commute.ClassWrite); res != RejectedConflict {
 		t.Fatalf("overlap = %v", res)
 	}
 	// Recovery data deduplicates to one record with all keys.
@@ -142,15 +143,15 @@ func TestMultiKeySameSetRollback(t *testing.T) {
 	// if only one is free the record must be rejected and fully rolled back.
 	w := MustNew(1, Config{Slots: 4, Ways: 2}) // 2 sets of 2
 	// Fill set 0 with one record: one slot left in set 0.
-	if res := w.Record(1, []uint64{0}, id(1, 1), []byte("a")); !res.Ok() {
+	if res := w.Record(1, []uint64{0}, id(1, 1), []byte("a"), commute.ClassWrite); !res.Ok() {
 		t.Fatal(res)
 	}
 	// Request touching keys 2 and 4 — both map to set 0 (even numbers).
-	if res := w.Record(1, []uint64{2, 4}, id(1, 2), []byte("b")); res != RejectedFull {
+	if res := w.Record(1, []uint64{2, 4}, id(1, 2), []byte("b"), commute.ClassWrite); res != RejectedFull {
 		t.Fatalf("same-set multi-key = %v, want RejectedFull", res)
 	}
 	// Rollback must leave the one free slot usable.
-	if res := w.Record(1, []uint64{6}, id(1, 3), []byte("c")); !res.Ok() {
+	if res := w.Record(1, []uint64{6}, id(1, 3), []byte("c"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("slot not rolled back: %v", res)
 	}
 	if w.Len() != 2 {
@@ -161,20 +162,20 @@ func TestMultiKeySameSetRollback(t *testing.T) {
 func TestMultiKeyBothFitSameSet(t *testing.T) {
 	w := MustNew(1, Config{Slots: 4, Ways: 2})
 	// Keys 2 and 4 both map to set 0, which has 2 free slots → accept.
-	if res := w.Record(1, []uint64{2, 4}, id(1, 1), []byte("b")); !res.Ok() {
+	if res := w.Record(1, []uint64{2, 4}, id(1, 1), []byte("b"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("multi-key same set with space = %v", res)
 	}
 	// Set 0 now full.
-	if res := w.Record(1, []uint64{6}, id(1, 2), []byte("c")); res != RejectedFull {
+	if res := w.Record(1, []uint64{6}, id(1, 2), []byte("c"), commute.ClassWrite); res != RejectedFull {
 		t.Fatalf("set should be full: %v", res)
 	}
 }
 
 func TestGC(t *testing.T) {
 	w := testWitness(t)
-	w.Record(1, []uint64{1}, id(1, 1), []byte("a"))
-	w.Record(1, []uint64{2}, id(1, 2), []byte("b"))
-	w.Record(1, []uint64{3, 4}, id(1, 3), []byte("c"))
+	w.Record(1, []uint64{1}, id(1, 1), []byte("a"), commute.ClassWrite)
+	w.Record(1, []uint64{2}, id(1, 2), []byte("b"), commute.ClassWrite)
+	w.Record(1, []uint64{3, 4}, id(1, 3), []byte("c"), commute.ClassWrite)
 	if w.Len() != 3 {
 		t.Fatalf("len = %d", w.Len())
 	}
@@ -191,7 +192,7 @@ func TestGC(t *testing.T) {
 		t.Fatalf("len after gc = %d, want 1", w.Len())
 	}
 	// The freed keys are usable again.
-	if res := w.Record(1, []uint64{1}, id(9, 1), []byte("a2")); !res.Ok() {
+	if res := w.Record(1, []uint64{1}, id(9, 1), []byte("a2"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("key 1 after gc = %v", res)
 	}
 	// GC of unknown pairs is ignored (record RPC might have been rejected).
@@ -200,7 +201,7 @@ func TestGC(t *testing.T) {
 
 func TestGCWrongIDLeavesRecord(t *testing.T) {
 	w := testWitness(t)
-	w.Record(1, []uint64{5}, id(1, 1), []byte("v"))
+	w.Record(1, []uint64{5}, id(1, 1), []byte("v"), commute.ClassWrite)
 	w.GC([]GCKey{{KeyHash: 5, ID: id(1, 99)}}) // ID mismatch
 	if w.Len() != 1 {
 		t.Fatal("gc with mismatched id dropped the record")
@@ -212,7 +213,7 @@ func TestStaleGarbageDetection(t *testing.T) {
 	// uncollected garbage in GC responses, and conflict rejections against
 	// it are counted (paper §4.5).
 	w := testWitness(t)
-	w.Record(1, []uint64{42}, id(1, 1), []byte("orphan"))
+	w.Record(1, []uint64{42}, id(1, 1), []byte("orphan"), commute.ClassWrite)
 	var stale []Record
 	for i := 0; i < 3; i++ {
 		stale = w.GC(nil)
@@ -221,7 +222,7 @@ func TestStaleGarbageDetection(t *testing.T) {
 		t.Fatalf("stale after 3 passes = %+v", stale)
 	}
 	// A conflicting record against the stale entry bumps StaleSuspicions.
-	if res := w.Record(1, []uint64{42}, id(2, 1), []byte("new")); res != RejectedConflict {
+	if res := w.Record(1, []uint64{42}, id(2, 1), []byte("new"), commute.ClassWrite); res != RejectedConflict {
 		t.Fatalf("conflict = %v", res)
 	}
 	if st := w.Stats(); st.StaleSuspicions != 1 {
@@ -229,14 +230,14 @@ func TestStaleGarbageDetection(t *testing.T) {
 	}
 	// After the master retries and GCs it, the key frees up.
 	w.GC([]GCKey{{KeyHash: 42, ID: id(1, 1)}})
-	if res := w.Record(1, []uint64{42}, id(2, 2), []byte("new")); !res.Ok() {
+	if res := w.Record(1, []uint64{42}, id(2, 2), []byte("new"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("after stale collection = %v", res)
 	}
 }
 
 func TestRecoveryModeFreezes(t *testing.T) {
 	w := testWitness(t)
-	w.Record(1, []uint64{1}, id(1, 1), []byte("a"))
+	w.Record(1, []uint64{1}, id(1, 1), []byte("a"), commute.ClassWrite)
 	if w.InRecovery() {
 		t.Fatal("fresh witness in recovery")
 	}
@@ -248,7 +249,7 @@ func TestRecoveryModeFreezes(t *testing.T) {
 		t.Fatal("witness should be frozen")
 	}
 	// All mutations rejected.
-	if res := w.Record(1, []uint64{2}, id(1, 2), []byte("b")); res != RejectedRecovery {
+	if res := w.Record(1, []uint64{2}, id(1, 2), []byte("b"), commute.ClassWrite); res != RejectedRecovery {
 		t.Fatalf("record in recovery = %v", res)
 	}
 	if got := w.GC([]GCKey{{KeyHash: 1, ID: id(1, 1)}}); got != nil {
@@ -266,13 +267,13 @@ func TestRecoveryModeFreezes(t *testing.T) {
 
 func TestEndResets(t *testing.T) {
 	w := testWitness(t)
-	w.Record(1, []uint64{1}, id(1, 1), []byte("a"))
+	w.Record(1, []uint64{1}, id(1, 1), []byte("a"), commute.ClassWrite)
 	w.GetRecoveryData()
 	w.End()
 	if w.InRecovery() || w.Len() != 0 {
 		t.Fatal("End did not reset witness")
 	}
-	if res := w.Record(1, []uint64{1}, id(1, 2), []byte("b")); !res.Ok() {
+	if res := w.Record(1, []uint64{1}, id(1, 2), []byte("b"), commute.ClassWrite); !res.Ok() {
 		t.Fatalf("record after End = %v", res)
 	}
 }
@@ -298,7 +299,7 @@ func TestCommutativityInvariant(t *testing.T) {
 					}
 				}
 				rid := id(1, uint64(i+1))
-				if w.Record(1, keys, rid, []byte("v")).Ok() {
+				if w.Record(1, keys, rid, []byte("v"), commute.ClassWrite).Ok() {
 					live[rid] = keys
 				}
 			case 2: // gc a random live record
@@ -334,6 +335,86 @@ func TestCommutativityInvariant(t *testing.T) {
 	}
 }
 
+// TestPerSlotClassInvariant extends the §3.2.2 property to the class-aware
+// conflict rule: a witness may hold two live records sharing a key hash
+// ONLY when their classes commute (same non-write class), and it must
+// never report a conflict when they do. Random records across all five
+// classes, interleaved with random GCs, are checked against a model of
+// the live set after every step.
+func TestPerSlotClassInvariant(t *testing.T) {
+	classes := []commute.Class{
+		commute.ClassWrite, commute.ClassCounter,
+		commute.ClassSetAdd, commute.ClassSetRemove, commute.ClassBucket,
+	}
+	type rec struct {
+		keys  []uint64
+		class commute.Class
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := MustNew(1, Config{Slots: 64, Ways: 4, SlotBytes: 64})
+		live := map[rifl.RPCID]rec{}
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(3) {
+			case 0, 1: // record with a random class
+				nk := rng.Intn(3) + 1
+				keys := make([]uint64, 0, nk)
+				seen := map[uint64]bool{}
+				for len(keys) < nk {
+					k := uint64(rng.Intn(40))
+					if !seen[k] {
+						seen[k] = true
+						keys = append(keys, k)
+					}
+				}
+				cls := classes[rng.Intn(len(classes))]
+				conflict := false
+				for _, r := range live {
+					for _, k := range r.keys {
+						for _, k2 := range keys {
+							if k == k2 && !commute.Commutes(r.class, cls) {
+								conflict = true
+							}
+						}
+					}
+				}
+				switch res := w.Record(1, keys, id(1, uint64(i+1)), []byte("v"), cls); {
+				case res.Ok():
+					if conflict {
+						return false // accepted over a non-commuting record
+					}
+					live[id(1, uint64(i+1))] = rec{keys, cls}
+				case res == RejectedConflict:
+					if !conflict {
+						return false // spurious conflict between commuting records
+					}
+				case res == RejectedFull:
+					// Capacity, not correctness; the model skips it too.
+				default:
+					return false
+				}
+			case 2: // gc a random live record
+				for rid, r := range live {
+					var gcs []GCKey
+					for _, k := range r.keys {
+						gcs = append(gcs, GCKey{KeyHash: k, ID: rid})
+					}
+					w.GC(gcs)
+					delete(live, rid)
+					break
+				}
+			}
+			if w.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRecoveryDataMatchesAccepted(t *testing.T) {
 	// Property: GetRecoveryData returns exactly the accepted-and-not-GCed
 	// requests, each exactly once.
@@ -343,7 +424,7 @@ func TestRecoveryDataMatchesAccepted(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		rid := id(uint64(rng.Intn(5)+1), uint64(i+1))
 		keys := []uint64{rng.Uint64(), rng.Uint64()}
-		if w.Record(1, keys, rid, []byte("v")).Ok() {
+		if w.Record(1, keys, rid, []byte("v"), commute.ClassWrite).Ok() {
 			expect[rid] = true
 			if rng.Intn(4) == 0 {
 				w.GC([]GCKey{{keys[0], rid}, {keys[1], rid}})
@@ -374,7 +455,7 @@ func TestConcurrentRecords(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < 500; i++ {
 				rid := id(uint64(g+1), uint64(i+1))
-				if w.Record(1, []uint64{rng.Uint64()}, rid, []byte("v")).Ok() {
+				if w.Record(1, []uint64{rng.Uint64()}, rid, []byte("v"), commute.ClassWrite).Ok() {
 					accepted[g]++
 				}
 			}
@@ -466,7 +547,7 @@ func BenchmarkWitnessRecordGC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		kh := rng.Uint64()
 		rid := id(1, uint64(i+1))
-		w.Record(1, []uint64{kh}, rid, nil)
+		w.Record(1, []uint64{kh}, rid, nil, commute.ClassWrite)
 		keys = append(keys, kh)
 		gcs = append(gcs, GCKey{KeyHash: kh, ID: rid})
 		if len(keys) == 50 {

@@ -65,17 +65,24 @@ for s in $(seq 0 $((SHARDS - 1))); do
   done
 done
 
-# Traffic through both shards so the counters move.
+# Traffic through both shards so the counters move — plain puts plus
+# commutative increments, so the class-labeled verdict series get traffic
+# in the "counter" class.
 for i in $(seq 1 40); do
   "$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" put "smoke-$i" "v$i" >/dev/null
+done
+for i in $(seq 1 10); do
+  "$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" incr "smoke-ctr" 1 >/dev/null
 done
 
 for s in $(seq 0 $((SHARDS - 1))); do
   base=$((PORT + s * 1000))
-  # Masters: the speculative-execution counter and the unsynced window.
+  # Masters: the speculative-execution counter, the unsynced window, and
+  # the per-commutativity-class verdict breakdown.
   assert_series $((base + 501)) \
     curp_master_speculative_ops_total \
-    curp_master_sync_lag_ops
+    curp_master_sync_lag_ops \
+    'curp_master_class_verdicts_total{class="counter"'
   # Coordinator dashboard: heal-loop counters (present at 0 from boot),
   # partition gauges, and the master's series merged in.
   assert_series $((base + 500)) \

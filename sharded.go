@@ -249,3 +249,37 @@ func (c *ShardedClient) MultiIncrement(ctx context.Context, deltas []IncrPair) (
 	}
 	return c.inner.MultiIncrement(ctx, ps)
 }
+
+// Append atomically appends suffix to the value at key on its owning
+// shard and returns the value's new total length.
+func (c *ShardedClient) Append(ctx context.Context, key, suffix []byte) (int64, error) {
+	return c.inner.Append(ctx, key, suffix)
+}
+
+// PutTTL writes value under key with an absolute UnixNano expiry on its
+// owning shard.
+func (c *ShardedClient) PutTTL(ctx context.Context, key, value []byte, expireAt int64) (uint64, error) {
+	return c.inner.PutTTL(ctx, key, value, expireAt)
+}
+
+// SetAdd adds member to the set at key on its owning shard; concurrent
+// SetAdds commute and keep the 1-RTT fast path.
+func (c *ShardedClient) SetAdd(ctx context.Context, key, member []byte) error {
+	return c.inner.SetAdd(ctx, key, member)
+}
+
+// SetRemove removes member from the set at key on its owning shard.
+func (c *ShardedClient) SetRemove(ctx context.Context, key, member []byte) error {
+	return c.inner.SetRemove(ctx, key, member)
+}
+
+// SetMembers reads the members of the set at key, sorted bytewise.
+func (c *ShardedClient) SetMembers(ctx context.Context, key []byte) ([][]byte, error) {
+	return c.inner.SetMembers(ctx, key)
+}
+
+// BucketTake takes n tokens from the rate-limiter bucket at key on its
+// owning shard; see Client.BucketTake for the commutativity contract.
+func (c *ShardedClient) BucketTake(ctx context.Context, key []byte, n int64) (granted bool, remaining int64, err error) {
+	return c.inner.BucketTake(ctx, key, n)
+}
