@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"curp"
+	"curp/internal/workload"
+)
+
+// coordfailRow is one scenario's measurement in BENCH_coordfail.json.
+type coordfailRow struct {
+	// Replicas is the control-plane quorum size (1 = the pre-quorum
+	// single coordinator).
+	Replicas int `json:"coordinator_replicas"`
+	// Kind names what was killed: "master" (baseline heal), or
+	// "leader+master" (the coordinator leader dies during the master
+	// failover it should be driving).
+	Kind string `json:"kind"`
+	// Healed reports whether the cluster self-healed within the probe
+	// budget. A single-replica control plane whose coordinator dies
+	// cannot heal the subsequent master kill — that row is the
+	// experiment's point.
+	Healed bool `json:"healed"`
+	// UnavailableMS is kill → first operation issued-and-completed
+	// afterwards (the probe budget when Healed is false).
+	UnavailableMS float64 `json:"unavailable_ms"`
+	// OpsPerSec is closed-loop throughput over the phase, kill included
+	// (0 when Healed is false).
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// coordfailReport is the schema of BENCH_coordfail.json: the
+// reconfiguration-unavailability window when the coordinator leader dies
+// mid-failover, with and without a replicated control plane.
+type coordfailReport struct {
+	Experiment        string         `json:"experiment"`
+	Ops               int            `json:"ops"`
+	F                 int            `json:"f"`
+	HeartbeatMS       float64        `json:"heartbeat_ms"`
+	FailAfterMS       float64        `json:"fail_after_ms"`
+	ElectionTimeoutMS float64        `json:"election_timeout_ms"`
+	ProbeBudgetMS     float64        `json:"probe_budget_ms"`
+	Rows              []coordfailRow `json:"rows"`
+}
+
+const (
+	coordfailHeartbeat = 2 * time.Millisecond
+	coordfailAfter     = 20 * time.Millisecond
+	coordfailElection  = 60 * time.Millisecond
+	coordfailProbe     = 2 * time.Second
+)
+
+// Coordfail measures what a replicated control plane buys: a closed-loop
+// client hammers a partition while the harness kills the master — and, in
+// the quorum scenarios, the coordinator leader at the same instant. With
+// 3 coordinator replicas the survivors elect a new leader that completes
+// the heal (the unavailability window grows by roughly one election);
+// with the single coordinator the heal never comes.
+func Coordfail(w io.Writer, ops int) {
+	const f = 3
+	report := coordfailReport{
+		Experiment:        "coordfail",
+		Ops:               ops,
+		F:                 f,
+		HeartbeatMS:       float64(coordfailHeartbeat) / 1e6,
+		FailAfterMS:       float64(coordfailAfter) / 1e6,
+		ElectionTimeoutMS: float64(coordfailElection) / 1e6,
+		ProbeBudgetMS:     float64(coordfailProbe) / 1e6,
+	}
+	fmt.Fprintln(w, "Control-plane failover (real stack, in-memory network, 1 closed-loop client)")
+	fmt.Fprintf(w, "heartbeat %v, declared dead after %v, election timeout %v\n",
+		coordfailHeartbeat, coordfailAfter, coordfailElection)
+	fmt.Fprintf(w, "%-9s %-15s %7s %15s %12s\n", "replicas", "kill", "healed", "unavailable", "ops/s")
+
+	for _, ph := range []struct {
+		replicas   int
+		killLeader bool
+	}{
+		{1, false}, // baseline: single coordinator survives, heals the master
+		{3, false}, // quorum at rest: same heal, leader alive
+		{3, true},  // the tentpole scenario: leader dies mid-failover
+		{1, true},  // the pre-quorum failure mode: nobody left to heal
+	} {
+		kind := "master"
+		if ph.killLeader {
+			kind = "leader+master"
+		}
+		row := runCoordfailPhase(ph.replicas, ph.killLeader, f, ops)
+		row.Kind = kind
+		report.Rows = append(report.Rows, row)
+		unavailable := fmt.Sprintf("%13.2fms", row.UnavailableMS)
+		if !row.Healed {
+			unavailable = fmt.Sprintf("    >%8.0fms", row.UnavailableMS)
+		}
+		fmt.Fprintf(w, "%-9d %-15s %7v %15s %12.0f\n", row.Replicas, kind, row.Healed, unavailable, row.OpsPerSec)
+	}
+
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	exitOn(err)
+	exitOn(os.WriteFile("BENCH_coordfail.json", append(buf, '\n'), 0o644))
+	fmt.Fprintln(w, "wrote BENCH_coordfail.json")
+}
+
+// runCoordfailPhase boots a fresh self-healing partition with the given
+// control-plane quorum size, kills the master (and, if killLeader, the
+// coordinator leader at the same instant), and measures kill → first
+// operation issued afterwards that completed.
+func runCoordfailPhase(replicas int, killLeader bool, f, ops int) coordfailRow {
+	c, err := curp.StartSharded(curp.Options{
+		F: f, Shards: 1,
+		AdaptiveFlush:               true,
+		SelfHealing:                 true,
+		HeartbeatInterval:           coordfailHeartbeat,
+		FailoverAfter:               coordfailAfter,
+		ControlPlaneReplicas:        replicas,
+		ControlPlaneElectionTimeout: coordfailElection,
+	})
+	exitOn(err)
+	defer c.Close()
+	cl, err := c.NewClient("coordfail-loadgen")
+	exitOn(err)
+	defer cl.Close()
+	ctx := context.Background()
+
+	var keys [][]byte
+	for i := 0; len(keys) < 1024; i++ {
+		keys = append(keys, workload.Key(uint64(i), 30))
+	}
+	value := workload.Value(1, 100)
+
+	if replicas == 1 && killLeader {
+		// The doomed configuration: load runs, both processes die, and
+		// the probe confirms nothing comes back within the budget. Failed
+		// probes are expected — don't exit on them.
+		for i := 0; i < ops/4; i++ {
+			opCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			_, err := cl.Put(opCtx, keys[i%len(keys)], value)
+			cancel()
+			exitOn(err)
+		}
+		killAt := time.Now()
+		c.CrashCoordinatorLeader(0)
+		c.CrashMaster(0)
+		deadline := killAt.Add(coordfailProbe)
+		for time.Now().Before(deadline) {
+			opCtx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+			_, err := cl.Put(opCtx, keys[0], value)
+			cancel()
+			if err == nil {
+				// Healed after all (should not happen with one replica).
+				return coordfailRow{Replicas: replicas, Healed: true,
+					UnavailableMS: float64(time.Since(killAt)) / 1e6}
+			}
+		}
+		return coordfailRow{Replicas: replicas, Healed: false,
+			UnavailableMS: float64(coordfailProbe) / 1e6}
+	}
+
+	var done atomic.Bool
+	var completed atomic.Int64
+	var killedAt atomic.Int64 // ns; 0 = not killed yet
+	firstAfter := make(chan time.Time, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !done.Load(); i++ {
+			opStart := time.Now()
+			opCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			_, err := cl.Put(opCtx, keys[i%len(keys)], value)
+			cancel()
+			exitOn(err)
+			completed.Add(1)
+			// Only operations ISSUED after the kill prove the partition
+			// is serving again; one already in flight could complete off
+			// pre-kill state.
+			if kt := killedAt.Load(); kt != 0 && opStart.UnixNano() > kt {
+				select {
+				case firstAfter <- time.Now():
+				default:
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	for completed.Load() < int64(ops/4) {
+		time.Sleep(time.Millisecond)
+	}
+	killTime := time.Now()
+	if killLeader {
+		c.CrashCoordinatorLeader(0)
+	}
+	c.CrashMaster(0)
+	killedAt.Store(killTime.UnixNano())
+	first := <-firstAfter
+	for completed.Load() < int64(ops) {
+		time.Sleep(time.Millisecond)
+	}
+	done.Store(true)
+	wg.Wait()
+	healCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	exitOn(c.WaitHealthy(healCtx))
+	cancel()
+
+	return coordfailRow{
+		Replicas:      replicas,
+		Healed:        true,
+		UnavailableMS: float64(first.Sub(killTime)) / 1e6,
+		OpsPerSec:     float64(completed.Load()) / time.Since(start).Seconds(),
+	}
+}

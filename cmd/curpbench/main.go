@@ -22,7 +22,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated list: table1,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,resources,sharded,pipeline,commute,txn,failover,all")
+		"comma-separated list: table1,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,resources,sharded,pipeline,commute,txn,failover,coordfail,all")
 	ops := flag.Int("ops", 20000, "operations per simulated configuration")
 	flag.Parse()
 
@@ -46,8 +46,9 @@ func main() {
 		"commute":   func() { Commute(w, *ops) },
 		"txn":       func() { Txn(w, *ops) },
 		"failover":  func() { Failover(w, *ops) },
+		"coordfail": func() { Coordfail(w, *ops) },
 	}
-	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "resources", "sharded", "pipeline", "commute", "txn", "failover"}
+	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "resources", "sharded", "pipeline", "commute", "txn", "failover", "coordfail"}
 
 	var selected []string
 	if *experiment == "all" {

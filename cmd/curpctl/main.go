@@ -58,6 +58,19 @@
 // After it reports success, address the deployment with -shards 4.
 // Operations on moving ranges bounce-and-retry inside routing clients
 // during the handoff; all other keys are served throughout.
+//
+// drain is the inverse: it shrinks the routing ring live, migrating the
+// leaving shards' key ranges back onto the survivors so the emptied
+// partitions can be decommissioned:
+//
+//	curpctl -coordinator 127.0.0.1:7000 drain 4 3
+//
+// Against a deployment with replicated coordinators (curpd -coordinators
+// R), pass the same -coordinators R: clients register at whichever replica
+// answers and fail over between them, and `status` reports the quorum
+// (reachable replicas, leader, term, commit index) per shard — it keeps
+// working when the leader is down, since any replica serves health and
+// view reads from its mirror of the replicated log.
 package main
 
 import (
@@ -96,6 +109,7 @@ type kvClient interface {
 
 func main() {
 	coord := flag.String("coordinator", "127.0.0.1:7000", "shard 0's coordinator address")
+	coordinators := flag.Int("coordinators", 1, "coordinator replicas per partition (curpd -coordinators layout: replica 0 on the shard's base port, replica i at +1+i); clients and status fail over across them")
 	shards := flag.Int("shards", 1, "total partitions; shard s's coordinator port = base port + s*1000")
 	pin := flag.Int("shard", -1, "pin every operation to this partition instead of routing by key")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
@@ -117,7 +131,7 @@ func main() {
 		return
 	}
 	if args[0] == "status" {
-		runStatus(*coord, *shards, *timeout)
+		runStatus(*coord, *shards, *coordinators, *timeout)
 		return
 	}
 	if args[0] == "top" {
@@ -125,17 +139,25 @@ func main() {
 		runTop(*coord, *shards, *timeout, interval, iterations)
 		return
 	}
-	if args[0] == "rebalance" {
+	if args[0] == "rebalance" || args[0] == "drain" {
 		need(args, 3)
 		from, err := strconv.Atoi(args[1])
 		exitOn(err)
 		to, err := strconv.Atoi(args[2])
 		exitOn(err)
-		if from < 1 || to < from {
+		if args[0] == "rebalance" && (from < 1 || to < from) {
 			fmt.Fprintf(os.Stderr, "rebalance: need 1 <= from <= to, got %d %d\n", from, to)
 			os.Exit(2)
 		}
-		coords := make([]string, to)
+		if args[0] == "drain" && (to < 1 || from < to) {
+			fmt.Fprintf(os.Stderr, "drain: need 1 <= to <= from, got %d %d\n", from, to)
+			os.Exit(2)
+		}
+		wide := from
+		if to > wide {
+			wide = to
+		}
+		coords := make([]string, wide)
 		for s := range coords {
 			coords[s] = shardCoordAddr(*coord, s)
 		}
@@ -143,8 +165,13 @@ func main() {
 		got, err := shard.RebalanceEndpoints(context.Background(), md, coords,
 			shard.MustNewRing(from, 0), shard.MustNewRing(to, 0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rebalance stopped at %d shards: %v\n", got.Shards(), err)
+			fmt.Fprintf(os.Stderr, "%s stopped at %d shards: %v\n", args[0], got.Shards(), err)
 			os.Exit(1)
+		}
+		if args[0] == "drain" {
+			fmt.Printf("OK ring now covers %d shards; shards %d..%d serve no keys and can be decommissioned (use -shards %d)\n",
+				got.Shards(), got.Shards(), from-1, got.Shards())
+			return
 		}
 		fmt.Printf("OK ring now covers %d shards (use -shards %d)\n", got.Shards(), got.Shards())
 		return
@@ -158,7 +185,7 @@ func main() {
 	perShard := make([]*cluster.Client, *shards)
 	dial := func(s int) *cluster.Client {
 		if perShard[s] == nil {
-			cl, err := cluster.NewClient(nw, name, shardCoordAddr(*coord, s), 1)
+			cl, err := cluster.NewClientMulti(nw, name, shardCoordAddrs(*coord, s, *coordinators), 1)
 			exitOn(err)
 			perShard[s] = cl
 		}
@@ -268,17 +295,33 @@ func main() {
 }
 
 // runStatus prints every shard's membership, epoch, witness-list version,
-// and per-node heartbeat ages from its coordinator's health table.
-func runStatus(coordBase string, shards int, timeout time.Duration) {
+// control-plane quorum health, and per-node heartbeat ages. Any reachable
+// coordinator replica can answer — the health and view state is mirrored
+// from the replicated log — so the status survives a dead leader.
+func runStatus(coordBase string, shards, coordinators int, timeout time.Duration) {
 	nw := transport.TCPNetwork{}
 	self := fmt.Sprintf("curpctl-%d", os.Getpid())
 	for s := 0; s < shards; s++ {
-		addr := shardCoordAddr(coordBase, s)
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		ph, err := cluster.FetchHealth(ctx, nw, self, addr)
-		cancel()
-		if err != nil {
-			fmt.Printf("shard %d (coordinator %s): UNREACHABLE: %v\n", s, addr, err)
+		addrs := shardCoordAddrs(coordBase, s, coordinators)
+		var ph *cluster.PartitionHealth
+		var addr string
+		reachable := 0
+		var lastErr error
+		for _, a := range addrs {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			got, err := cluster.FetchHealth(ctx, nw, self, a)
+			cancel()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			reachable++
+			if ph == nil {
+				ph, addr = got, a
+			}
+		}
+		if ph == nil {
+			fmt.Printf("shard %d (coordinators %v): UNREACHABLE: %v\n", s, addrs, lastErr)
 			continue
 		}
 		heal := "self-healing"
@@ -287,6 +330,14 @@ func runStatus(coordBase string, shards int, timeout time.Duration) {
 		}
 		fmt.Printf("shard %d (coordinator %s): master=%s id=%d epoch=%d wlv=%d [%s]\n",
 			s, addr, ph.MasterAddr, ph.MasterID, ph.Epoch, ph.WitnessListVersion, heal)
+		if ph.CoordReplicas > 1 {
+			leader := ph.CoordLeaderAddr
+			if leader == "" {
+				leader = "(election in progress)"
+			}
+			fmt.Printf("  quorum  %d/%d replicas reachable, leader=%s term=%d commit=%d\n",
+				reachable, ph.CoordReplicas, leader, ph.CoordTerm, ph.CoordCommit)
+		}
 		for _, n := range ph.Nodes {
 			if !ph.SelfHealing {
 				// No heartbeats to judge liveness by: membership only.
@@ -313,6 +364,26 @@ func shardCoordAddr(base string, s int) string {
 	port, err := strconv.Atoi(portStr)
 	exitOn(err)
 	return net.JoinHostPort(host, strconv.Itoa(port+s*1000))
+}
+
+// shardCoordAddrs lists shard s's coordinator replica addresses: replica 0
+// on the shard's base port, replica i at +1+i — the curpd -coordinators
+// layout.
+func shardCoordAddrs(base string, s, replicas int) []string {
+	first := shardCoordAddr(base, s)
+	if replicas <= 1 {
+		return []string{first}
+	}
+	host, portStr, err := net.SplitHostPort(first)
+	exitOn(err)
+	port, err := strconv.Atoi(portStr)
+	exitOn(err)
+	addrs := make([]string, replicas)
+	addrs[0] = first
+	for i := 1; i < replicas; i++ {
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(port+1+i))
+	}
+	return addrs
 }
 
 func runBench(cl kvClient, n int, opTimeout time.Duration) {
@@ -344,11 +415,12 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-shards N] [-shard i] put|get|del|incr|append|putttl|sadd|srem|smembers|take|shard|bench|status|top|rebalance args...")
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-coordinators R] [-shards N] [-shard i] put|get|del|incr|append|putttl|sadd|srem|smembers|take|shard|bench|status|top|rebalance|drain args...")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port putttl <key> <value> <ttl, e.g. 30s>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port take <bucket-key> <tokens>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port rebalance <fromShards> <toShards>")
-	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N status")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port drain <fromShards> <toShards>")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N -coordinators R status")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N top [interval [iterations]]")
 	os.Exit(2)
 }

@@ -15,11 +15,28 @@
 // -shards 4, route with curpctl -shards 3, then grow the ring live with
 // `curpctl rebalance 3 4` — keys migrate onto shard 3 without downtime.
 //
+// Replicated control plane: -coordinators N (default 1) boots N
+// coordinator replicas per partition — replica 0 on the base port,
+// replica i on base+1+i (so 3 replicas occupy base, base+2, base+3). The
+// replicas run a consensus-backed quorum: any replica answers view,
+// health, and client-registration RPCs, mutations commit through the
+// leader's replicated log, and heal actions run only on the replica
+// holding the leader lease, so killing the leader never loses
+// configuration state and never double-deposes a master. Size N as 2f+1
+// to tolerate f coordinator failures:
+//
+//	curpd -mode cluster -host 127.0.0.1 -port 7000 -f 3 -coordinators 3
+//
+// SIGUSR1 is a failover drill: a running cluster-mode curpd crashes each
+// shard's current coordinator leader replica, leaving the survivors to
+// elect a replacement (scripts/controlplane_smoke.sh exercises this).
+//
 // Cluster mode is self-healing by default (-self-heal=true): every server
-// heartbeats its shard's coordinator, which detects a dead master or
-// witness and replaces it automatically — promoted masters take spare
+// heartbeats its shard's coordinator replicas, which detect a dead master
+// or witness and replace it automatically — promoted masters take spare
 // ports in the block (base+300+, replacement witnesses base+400+), and
-// `curpctl status` shows the live membership, epochs, and heartbeat ages.
+// `curpctl status` shows the live membership, epochs, quorum leadership,
+// and heartbeat ages.
 // Masters also default to the load-adaptive flush policy
 // (-adaptive-flush=true): short sync batches under light load, batches up
 // to -batch under burst.
@@ -71,6 +88,7 @@ func main() {
 	host := flag.String("host", "127.0.0.1", "cluster mode: bind host")
 	port := flag.Int("port", 7000, "cluster mode: base port (coordinator; +1 master; +100+i backups; +200+i witnesses; +300/+400 failover spares; /metrics on RPC port +500)")
 	shards := flag.Int("shards", 1, "cluster mode: number of independent partitions; shard s uses port block port+s*1000")
+	coordinators := flag.Int("coordinators", 1, "cluster mode: coordinator replicas per partition (2f+1 tolerates f; replica 0 on the base port, replica i on base+1+i, /metrics on RPC port +500)")
 	f := flag.Int("f", 3, "fault tolerance level (backups & witnesses)")
 	addr := flag.String("addr", "", "component modes: listen address")
 	backups := flag.String("backups", "", "master mode: comma-separated backup addresses")
@@ -87,7 +105,7 @@ func main() {
 	nw := transport.TCPNetwork{}
 	switch *mode {
 	case "cluster":
-		runShardedCluster(nw, *host, *port, *shards, *f, *batch, *adaptive, *selfHeal, *hbInterval, *metricsOn, *trace)
+		runShardedCluster(nw, *host, *port, *shards, *coordinators, *f, *batch, *adaptive, *selfHeal, *hbInterval, *metricsOn, *trace)
 	case "backup":
 		requireAddr(*addr)
 		srv, err := cluster.NewBackupServer(nw, *addr)
@@ -131,14 +149,41 @@ func main() {
 
 // runShardedCluster boots `shards` independent partitions, shard s on the
 // port block base+s*1000, then waits for a shutdown signal.
-func runShardedCluster(nw transport.Network, host string, basePort, shards, f, batch int, adaptive, selfHeal bool, hb time.Duration, metricsOn bool, trace time.Duration) {
+func runShardedCluster(nw transport.Network, host string, basePort, shards, coordinators, f, batch int, adaptive, selfHeal bool, hb time.Duration, metricsOn bool, trace time.Duration) {
 	if shards < 1 {
 		shards = 1
 	}
-	var closers []interface{ Close() }
-	for s := 0; s < shards; s++ {
-		closers = append(closers, startPartition(nw, s, host, basePort+s*1000, f, batch, adaptive, selfHeal, hb, metricsOn, trace)...)
+	if coordinators < 1 {
+		coordinators = 1
 	}
+	var closers []interface{ Close() }
+	var quorums [][]*cluster.Coordinator
+	for s := 0; s < shards; s++ {
+		cs, reps := startPartition(nw, s, host, basePort+s*1000, coordinators, f, batch, adaptive, selfHeal, hb, metricsOn, trace)
+		closers = append(closers, cs...)
+		quorums = append(quorums, reps)
+	}
+	// Failover drill hook (scripts/controlplane_smoke.sh): SIGUSR1 crashes
+	// the coordinator replica holding each shard's leader lease, forcing
+	// the survivors to elect a new leader and resume serving config RPCs
+	// and heal actions.
+	chaos := make(chan os.Signal, 1)
+	signal.Notify(chaos, syscall.SIGUSR1)
+	go func() {
+		for range chaos {
+			for s, reps := range quorums {
+				idx := 0
+				for i, co := range reps {
+					if co.HoldingLease() {
+						idx = i
+						break
+					}
+				}
+				log.Printf("shard %d: SIGUSR1 — crashing coordinator leader replica %d (%s)", s, idx, reps[idx].Addr())
+				reps[idx].Close()
+			}
+		}
+	}()
 	waitForSignal()
 	for _, c := range closers {
 		c.Close()
@@ -146,21 +191,39 @@ func runShardedCluster(nw transport.Network, host string, basePort, shards, f, b
 }
 
 // tcpSpares provisions failover replacements inside a partition's port
-// block: promoted masters at base+300+, replacement witnesses at
+// block: promoted masters and replacement backups at base+300+ (one
+// shared sequence, so addresses never collide), replacement witnesses at
 // base+400+.
 type tcpSpares struct {
-	nw        transport.Network
-	host      string
-	base      int
-	coordAddr string
-	hb        time.Duration
-	wcfg      witness.Config
-	metricsOn bool
-	seq       atomic.Uint64
+	nw         transport.Network
+	host       string
+	base       int
+	coordAddrs []string
+	hb         time.Duration
+	wcfg       witness.Config
+	metricsOn  bool
+	seq        atomic.Uint64
 }
 
 func (s *tcpSpares) SpareMasterAddr(uint64) (string, error) {
 	return fmt.Sprintf("%s:%d", s.host, s.base+300+int(s.seq.Add(1))), nil
+}
+
+func (s *tcpSpares) SpareBackup(uint64) (string, error) {
+	n := int(s.seq.Add(1))
+	addr := fmt.Sprintf("%s:%d", s.host, s.base+300+n)
+	b, err := cluster.NewBackupServer(s.nw, addr)
+	if err != nil {
+		return "", err
+	}
+	b.StartHeartbeats(s.coordAddrs, s.hb)
+	if s.metricsOn {
+		// Same RPC+500 convention as boot-time nodes: base+800+n.
+		if _, err := metrics.Serve(fmt.Sprintf("%s:%d", s.host, s.base+800+n), b.Metrics()); err != nil {
+			log.Printf("metrics for replacement backup %s: %v", addr, err)
+		}
+	}
+	return addr, nil
 }
 
 func (s *tcpSpares) SpareWitness(uint64) (string, error) {
@@ -170,7 +233,7 @@ func (s *tcpSpares) SpareWitness(uint64) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	w.StartHeartbeat(s.coordAddr, s.hb)
+	w.StartHeartbeats(s.coordAddrs, s.hb)
 	if s.metricsOn {
 		// Same RPC+500 convention as boot-time nodes: base+900+n.
 		if _, err := metrics.Serve(fmt.Sprintf("%s:%d", s.host, s.base+900+n), w.Metrics()); err != nil {
@@ -180,16 +243,34 @@ func (s *tcpSpares) SpareWitness(uint64) (string, error) {
 	return addr, nil
 }
 
-// startPartition boots one partition (coordinator, master, f backups, f
-// witnesses) on sequential ports from port, returning everything to close.
-func startPartition(nw transport.Network, shard int, host string, port, f, batch int, adaptive, selfHeal bool, hb time.Duration, metricsOn bool, trace time.Duration) []interface{ Close() } {
-	coordAddr := fmt.Sprintf("%s:%d", host, port)
-	coord, err := cluster.NewCoordinator(nw, coordAddr, time.Minute)
-	exitOn(err)
-	// Disjoint RIFL client-ID namespaces per shard: rebalancing migrates
-	// completion records between partitions and must never collide them.
-	coord.SetClientIDNamespace(cluster.ClientIDNamespaceFor(shard))
-	closers := []interface{ Close() }{coord}
+// startPartition boots one partition (coordinator quorum, master, f
+// backups, f witnesses) on sequential ports from port, returning
+// everything to close plus the coordinator replicas (for the SIGUSR1
+// leader-kill drill).
+func startPartition(nw transport.Network, shard int, host string, port, coordinators, f, batch int, adaptive, selfHeal bool, hb time.Duration, metricsOn bool, trace time.Duration) ([]interface{ Close() }, []*cluster.Coordinator) {
+	// Coordinator replica i>0 lives at base+1+i (the master holds +1), so
+	// a 3-replica quorum occupies base, base+2, base+3.
+	coordAddrs := make([]string, coordinators)
+	for i := range coordAddrs {
+		p := port
+		if i > 0 {
+			p = port + 1 + i
+		}
+		coordAddrs[i] = fmt.Sprintf("%s:%d", host, p)
+	}
+	var closers []interface{ Close() }
+	replicas := make([]*cluster.Coordinator, coordinators)
+	for i := range replicas {
+		co, err := cluster.NewCoordinatorReplica(nw, time.Minute, cluster.QuorumOptions{Peers: coordAddrs, Rank: i})
+		exitOn(err)
+		// Disjoint RIFL client-ID namespaces per shard: rebalancing
+		// migrates completion records between partitions and must never
+		// collide them.
+		co.SetClientIDNamespace(cluster.ClientIDNamespaceFor(shard))
+		replicas[i] = co
+		closers = append(closers, co)
+	}
+	coord := replicas[0]
 	serveMetrics := func(rpcPort int, regs ...*metrics.Registry) {
 		if !metricsOn {
 			return
@@ -244,26 +325,38 @@ func startPartition(nw transport.Network, shard int, host string, port, f, batch
 		})
 		exitOn(err)
 		closers = append(closers, errCloser{msrv})
+		// Follower replicas expose their own quorum series (leader gauge,
+		// commit index, election count) on the same RPC+500 convention.
+		for i := 1; i < coordinators; i++ {
+			serveMetrics(port+1+i, replicas[i].Metrics())
+		}
 	}
 	if selfHeal {
 		det := health.Config{Interval: hb}.WithDefaults()
-		ms.StartHeartbeat(coordAddr, det.Interval)
+		// Every server beats every coordinator replica, so whichever
+		// replica wins a leader election already has a live detector
+		// table to heal from.
+		ms.StartHeartbeats(coordAddrs, det.Interval)
 		for _, b := range backupSrvs {
-			b.StartHeartbeat(coordAddr, det.Interval)
+			b.StartHeartbeats(coordAddrs, det.Interval)
 		}
 		for _, w := range witnessSrvs {
-			w.StartHeartbeat(coordAddr, det.Interval)
+			w.StartHeartbeats(coordAddrs, det.Interval)
 		}
-		spares := &tcpSpares{nw: nw, host: host, base: port, coordAddr: coordAddr, hb: det.Interval, wcfg: witness.DefaultConfig(), metricsOn: metricsOn}
-		exitOn(coord.EnableSelfHealing(cluster.HealthConfig{
-			Detector: det,
-			Spares:   spares,
-			OnEvent:  func(ev cluster.FailoverEvent) { log.Printf("shard %d: %v", shard, ev) },
-		}))
+		spares := &tcpSpares{nw: nw, host: host, base: port, coordAddrs: coordAddrs, hb: det.Interval, wcfg: witness.DefaultConfig(), metricsOn: metricsOn}
+		for _, co := range replicas {
+			// Armed on every replica; only the leader-lease holder acts.
+			exitOn(co.EnableSelfHealing(cluster.HealthConfig{
+				Detector:   det,
+				Spares:     spares,
+				MasterOpts: opts,
+				OnEvent:    func(ev cluster.FailoverEvent) { log.Printf("shard %d: %v", shard, ev) },
+			}))
+		}
 	}
-	log.Printf("shard %d up: coordinator=%s master=%s backups=%v witnesses=%v self-heal=%v adaptive-flush=%v",
-		shard, coordAddr, masterAddr, backupAddrs, witnessAddrs, selfHeal, adaptive)
-	return closers
+	log.Printf("shard %d up: coordinators=%v master=%s backups=%v witnesses=%v self-heal=%v adaptive-flush=%v",
+		shard, coordAddrs, masterAddr, backupAddrs, witnessAddrs, selfHeal, adaptive)
+	return closers, replicas
 }
 
 // errCloser adapts metrics.Server (whose Close returns error) to the

@@ -79,6 +79,18 @@ type Options struct {
 	// WitnessSlots and WitnessWays size each witness (defaults 4096 and
 	// 4, the paper's geometry).
 	WitnessSlots, WitnessWays int
+	// MaxPipelineDepth, when set, autosizes the witness capacity to the
+	// client pipelining the deployment expects: WitnessWays is raised (if
+	// not set explicitly) to the next power of two holding that many
+	// concurrent same-key records, and the master preemptively syncs when
+	// one key's run of commuting speculative updates approaches that
+	// capacity — so a pipelined hot counter never stalls on witness-full
+	// rejections.
+	MaxPipelineDepth int
+	// WitnessBurstLimit explicitly bounds one key's run of commuting
+	// unsynced updates before a preemptive background sync (default: the
+	// resolved WitnessWays when MaxPipelineDepth is set, else disabled).
+	WitnessBurstLimit int
 	// Latency optionally injects a one-way network delay between every
 	// pair of distinct simulated hosts (e.g. to emulate geo-replication).
 	Latency func(from, to string) time.Duration
@@ -103,6 +115,16 @@ type Options struct {
 	// witness replacement), tagged with the shard index (0 for Start).
 	// Called from coordinator goroutines; must not block.
 	OnFailover func(FailoverEvent)
+	// ControlPlaneReplicas replicates the coordinator itself: a 2f+1
+	// quorum drives all configuration state (membership, epochs, witness
+	// lists, heal verdicts) through a consensus log, any replica serves
+	// views, and only the leader-lease holder may heal — so the control
+	// plane survives f coordinator failures with no operator input.
+	// 0 or 1 boots the classic single coordinator.
+	ControlPlaneReplicas int
+	// ControlPlaneElectionTimeout tunes coordinator leader-failure
+	// detection (library default when zero; tests shrink it).
+	ControlPlaneElectionTimeout time.Duration
 }
 
 // FailoverEvent describes one self-healing action (Options.OnFailover).
@@ -111,7 +133,7 @@ type FailoverEvent struct {
 	// clusters).
 	Shard int
 	// Kind names the action: "master-failover", "witness-replaced",
-	// "backup-down", or a "-failed" variant that will be retried.
+	// "backup-replaced", or a "-failed" variant that will be retried.
 	Kind string
 	// OldAddr is the dead node; NewAddr its replacement (success events).
 	OldAddr, NewAddr string
@@ -209,6 +231,27 @@ func clusterOptions(opts Options) cluster.Options {
 	}
 	if opts.WitnessWays > 0 {
 		copts.Witness.Ways = opts.WitnessWays
+	} else if opts.MaxPipelineDepth > 0 {
+		// Autosize the associativity to the expected pipelining: a client
+		// keeping depth operations in flight on one hot key needs that many
+		// concurrent same-key records per witness set. Powers of two keep
+		// Slots divisible by Ways; 64 caps the per-set scan cost.
+		ways := copts.Witness.Ways
+		for ways < opts.MaxPipelineDepth && ways < 64 {
+			ways *= 2
+		}
+		copts.Witness.Ways = ways
+	}
+	if copts.Witness.Slots < copts.Witness.Ways {
+		copts.Witness.Slots = copts.Witness.Ways
+	}
+	switch {
+	case opts.WitnessBurstLimit > 0:
+		copts.Master.Core.WitnessBurstLimit = opts.WitnessBurstLimit
+	case opts.MaxPipelineDepth > 0:
+		// Sync one step before the set fills, so the slot freed by the GC
+		// that follows the sync absorbs the burst's next record.
+		copts.Master.Core.WitnessBurstLimit = copts.Witness.Ways
 	}
 	copts.Master.Core.AdaptiveFlush = opts.AdaptiveFlush
 	if opts.SelfHealing {
@@ -217,6 +260,8 @@ func clusterOptions(opts Options) cluster.Options {
 			FailAfter:         opts.FailoverAfter,
 		}
 	}
+	copts.ControlPlaneReplicas = opts.ControlPlaneReplicas
+	copts.ControlPlaneElectionTimeout = opts.ControlPlaneElectionTimeout
 	return copts
 }
 

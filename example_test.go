@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"time"
 
 	"curp"
 )
@@ -301,4 +302,52 @@ func ExampleClient_BucketTake() {
 	// take 2: granted=true remaining=3
 	// take 2: granted=true remaining=1
 	// take 2: granted=false remaining=1
+}
+
+// ExampleShardedCluster_CrashCoordinatorLeader shows the replicated
+// control plane riding through the loss of its quorum leader: with
+// ControlPlaneReplicas 3, killing the coordinator replica that holds the
+// leader lease leaves the survivors to elect a replacement, and config
+// work — here a fresh client registration, which commits through the
+// replicated control log — simply forwards to the new leader.
+func ExampleShardedCluster_CrashCoordinatorLeader() {
+	cluster, err := curp.StartSharded(curp.Options{
+		F: 1, Shards: 1,
+		ControlPlaneReplicas:        3,
+		ControlPlaneElectionTimeout: 40 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	before, err := cluster.NewClient("example-before")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer before.Close()
+	if _, err := before.Put(ctx, []byte("k"), []byte("pre-kill")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Kill the replica holding the leader lease (rank 0 at boot).
+	idx := cluster.CrashCoordinatorLeader(0)
+
+	// Registration proposes to the quorum; the client retries through the
+	// election until the new leader commits it.
+	after, err := cluster.NewClient("example-after")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer after.Close()
+	if _, err := after.Put(ctx, []byte("k"), []byte("post-kill")); err != nil {
+		log.Fatal(err)
+	}
+	v, _, err := after.Get(ctx, []byte("k"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("killed replica %d; k=%s\n", idx, v)
+	// Output: killed replica 0; k=post-kill
 }

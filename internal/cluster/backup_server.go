@@ -113,7 +113,12 @@ func (bs *BackupServer) Close() {
 // StartHeartbeat runs a resident beater reporting this backup's liveness
 // to the coordinator until the server closes.
 func (bs *BackupServer) StartHeartbeat(coordAddr string, interval time.Duration) {
-	startBeater(bs.nw, bs.addr, coordAddr, bs.closed, interval, func() health.Beat {
+	bs.StartHeartbeats([]string{coordAddr}, interval)
+}
+
+// StartHeartbeats beats every coordinator replica.
+func (bs *BackupServer) StartHeartbeats(coordAddrs []string, interval time.Duration) {
+	startBeater(bs.nw, bs.addr, coordAddrs, bs.closed, interval, func() health.Beat {
 		return health.Beat{Role: health.RoleBackup, Addr: bs.addr}
 	})
 }

@@ -167,18 +167,35 @@ func (b *backupConn) Read(ctx context.Context, req *core.Request) (*core.Reply, 
 	return core.DecodeReply(out)
 }
 
-// coordViewProvider fetches views from the coordinator over RPC and builds
-// connection sets, caching them until a refresh is forced.
+// coordViewProvider fetches views from the coordinator quorum over RPC and
+// builds connection sets, caching them until a refresh is forced. Any
+// replica serves reads from its mirror, so the provider sticks to one
+// coordinator and rotates to the next only when a call fails.
 type coordViewProvider struct {
 	nw       transport.Network
 	self     string
-	coord    *rpc.Peer
+	coords   []*rpc.Peer // coordinator replicas; coords[cur] is the sticky choice
 	masterID uint64
 
 	mu      sync.Mutex
+	cur     int
 	cached  *core.View
 	version uint64
 	peers   []*rpc.Peer // for teardown
+}
+
+// callCoord issues op against the current coordinator replica, rotating
+// through the others on failure. Caller holds p.mu.
+func (p *coordViewProvider) callCoord(ctx context.Context, op uint16, payload []byte) ([]byte, error) {
+	var err error
+	for range p.coords {
+		var out []byte
+		if out, err = p.coords[p.cur].Call(ctx, op, payload); err == nil {
+			return out, nil
+		}
+		p.cur = (p.cur + 1) % len(p.coords)
+	}
+	return nil, err
 }
 
 func (p *coordViewProvider) View(ctx context.Context, refresh bool) (*core.View, error) {
@@ -189,7 +206,7 @@ func (p *coordViewProvider) View(ctx context.Context, refresh bool) (*core.View,
 	}
 	e := rpc.NewEncoder(8)
 	e.U64(p.masterID)
-	out, err := p.coord.Call(ctx, OpGetView, e.Bytes())
+	out, err := p.callCoord(ctx, OpGetView, e.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("cluster: fetch view: %w", err)
 	}
@@ -236,7 +253,9 @@ func (p *coordViewProvider) close() {
 		peer.Close()
 	}
 	p.peers = nil
-	p.coord.Close()
+	for _, co := range p.coords {
+		co.Close()
+	}
 }
 
 // Client is a CURP key-value client bound to one partition (master). It
@@ -251,20 +270,35 @@ type Client struct {
 // NewClient registers a new client with the coordinator and binds it to
 // masterID. name is the client's network identity.
 func NewClient(nw transport.Network, name, coordAddr string, masterID uint64) (*Client, error) {
-	coord := rpc.NewPeer(nw, name, coordAddr)
+	return NewClientMulti(nw, name, []string{coordAddr}, masterID)
+}
+
+// NewClientMulti is NewClient against a replicated control plane: the
+// client knows every coordinator replica, registers through the first one
+// that answers (any replica forwards the registration to the quorum
+// leader), and rotates replicas on later view-fetch failures — so a
+// coordinator crash never strands it.
+func NewClientMulti(nw transport.Network, name string, coordAddrs []string, masterID uint64) (*Client, error) {
+	if len(coordAddrs) == 0 {
+		return nil, errors.New("cluster: client needs at least one coordinator address")
+	}
+	coords := make([]*rpc.Peer, len(coordAddrs))
+	for i, a := range coordAddrs {
+		coords[i] = rpc.NewPeer(nw, name, a)
+	}
+	provider := &coordViewProvider{nw: nw, self: name, coords: coords, masterID: masterID}
 	ctx := context.Background()
-	out, err := coord.Call(ctx, OpRegisterClient, nil)
+	out, err := provider.callCoord(ctx, OpRegisterClient, nil)
 	if err != nil {
-		coord.Close()
+		provider.close()
 		return nil, fmt.Errorf("cluster: register client: %w", err)
 	}
 	d := rpc.NewDecoder(out)
 	clientID := rifl.ClientID(d.U64())
 	if err := d.Err(); err != nil {
-		coord.Close()
+		provider.close()
 		return nil, err
 	}
-	provider := &coordViewProvider{nw: nw, self: name, coord: coord, masterID: masterID}
 	c := &Client{
 		name:     name,
 		provider: provider,

@@ -35,6 +35,14 @@ type Options struct {
 	// silent nodes dead and drives automatic master failover and witness
 	// replacement — no CrashMaster+Recover choreography, no operator.
 	Health *HealthOptions
+	// ControlPlaneReplicas is the size of the coordinator quorum. 1 (or
+	// 0, the default) boots a single coordinator; 2f+1 replicas tolerate
+	// f coordinator failures — any surviving replica serves views, and
+	// the consensus leader lease decides which one may heal.
+	ControlPlaneReplicas int
+	// ControlPlaneElectionTimeout tunes coordinator leader-failure
+	// detection (controlplane's default when zero; tests shrink it).
+	ControlPlaneElectionTimeout time.Duration
 }
 
 // HealthOptions tunes a self-healing partition.
@@ -74,12 +82,16 @@ func DefaultOptions() Options {
 // cluster's own lock as the heal loop promotes replacements; concurrent
 // readers must use CurrentMaster / WitnessServers instead of the fields.
 type Cluster struct {
-	Net       transport.Network
-	Opts      Options
-	Coord     *Coordinator
-	Master    *MasterServer
-	Backups   []*BackupServer
-	Witnesses []*WitnessServer
+	Net   transport.Network
+	Opts  Options
+	Coord *Coordinator
+	// CoordReplicas is the full coordinator quorum, rank order; Coord is
+	// rank 0 (the seeded first leader). Length 1 without
+	// Options.ControlPlaneReplicas.
+	CoordReplicas []*Coordinator
+	Master        *MasterServer
+	Backups       []*BackupServer
+	Witnesses     []*WitnessServer
 
 	// mu guards Master and Witnesses once the heal loop may rebind them.
 	mu sync.Mutex
@@ -105,10 +117,32 @@ func Start(nw transport.Network, opts Options) (*Cluster, error) {
 	p := opts.NamePrefix
 	c := &Cluster{Net: nw, Opts: opts}
 	var err error
-	if c.Coord, err = NewCoordinator(nw, p+"coord", opts.LeaseTTL); err != nil {
-		return nil, err
+	replicas := opts.ControlPlaneReplicas
+	if replicas <= 0 {
+		replicas = 1
 	}
-	c.Coord.SetClientIDNamespace(opts.ClientIDNamespace)
+	peerAddrs := make([]string, replicas)
+	for i := range peerAddrs {
+		if i == 0 {
+			peerAddrs[i] = p + "coord"
+		} else {
+			peerAddrs[i] = fmt.Sprintf("%scoord%d", p, i+1)
+		}
+	}
+	for i := 0; i < replicas; i++ {
+		co, cerr := NewCoordinatorReplica(nw, opts.LeaseTTL, QuorumOptions{
+			Peers:           peerAddrs,
+			Rank:            i,
+			ElectionTimeout: opts.ControlPlaneElectionTimeout,
+		})
+		if cerr != nil {
+			c.Close()
+			return nil, cerr
+		}
+		co.SetClientIDNamespace(opts.ClientIDNamespace)
+		c.CoordReplicas = append(c.CoordReplicas, co)
+	}
+	c.Coord = c.CoordReplicas[0]
 	var backupAddrs, witnessAddrs []string
 	for i := 0; i < opts.F; i++ {
 		b, err := NewBackupServer(nw, fmt.Sprintf("%sbackup%d", p, i+1))
@@ -143,19 +177,20 @@ func Start(nw transport.Network, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-// enableSelfHealing starts every server's heartbeat and the coordinator's
-// heal loop, with this Cluster as the spare-node provider.
+// enableSelfHealing starts every server's heartbeat (to every coordinator
+// replica, so whichever holds the lease has a live detector table) and
+// each replica's heal loop, with this Cluster as the spare-node provider.
 func (c *Cluster) enableSelfHealing(h HealthOptions) error {
 	det := health.Config{Interval: h.HeartbeatInterval, FailAfter: h.FailAfter}.WithDefaults()
 	c.hbInterval = det.Interval
 	c.failAfter = det.FailAfter
-	coordAddr := c.Coord.Addr()
-	c.Master.StartHeartbeat(coordAddr, det.Interval)
+	coordAddrs := c.coordAddrs()
+	c.Master.StartHeartbeats(coordAddrs, det.Interval)
 	for _, b := range c.Backups {
-		b.StartHeartbeat(coordAddr, det.Interval)
+		b.StartHeartbeats(coordAddrs, det.Interval)
 	}
 	for _, w := range c.Witnesses {
-		w.StartHeartbeat(coordAddr, det.Interval)
+		w.StartHeartbeats(coordAddrs, det.Interval)
 	}
 	// Intercept witness replacements to retire the dead server from the
 	// runtime's list: a stale entry would poison a later manual
@@ -165,16 +200,60 @@ func (c *Cluster) enableSelfHealing(h HealthOptions) error {
 		if ev.Kind == EventWitnessReplaced {
 			c.retireWitnessServer(ev.OldAddr)
 		}
+		if ev.Kind == EventBackupReplaced {
+			c.retireBackupServer(ev.OldAddr)
+		}
 		if userEvent != nil {
 			userEvent(ev)
 		}
 	}
-	return c.Coord.EnableSelfHealing(HealthConfig{
-		Detector:       det,
-		Spares:         c,
-		OnEvent:        onEvent,
-		onMasterChange: c.setMaster,
-	})
+	// Every replica runs the detector and heal loop; the leader lease
+	// decides which one acts, so a coordinator failover transparently
+	// hands the healing duty to the new leader.
+	for _, co := range c.CoordReplicas {
+		err := co.EnableSelfHealing(HealthConfig{
+			Detector:       det,
+			Spares:         c,
+			MasterOpts:     c.Opts.Master,
+			OnEvent:        onEvent,
+			onMasterChange: c.setMaster,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coordAddrs lists every coordinator replica's address, rank order.
+func (c *Cluster) coordAddrs() []string {
+	addrs := make([]string, 0, len(c.CoordReplicas))
+	for _, co := range c.CoordReplicas {
+		addrs = append(addrs, co.Addr())
+	}
+	return addrs
+}
+
+// CoordinatorLeader returns the replica currently holding the
+// control-plane leader lease, or nil during an election.
+func (c *Cluster) CoordinatorLeader() *Coordinator {
+	for _, co := range c.CoordReplicas {
+		if co.HoldingLease() {
+			return co
+		}
+	}
+	return nil
+}
+
+// CrashCoordinator simulates a crash of coordinator replica i: its
+// connections reset, its listener disappears, and the survivors elect a
+// new leader who takes over healing and proposal commits.
+func (c *Cluster) CrashCoordinator(i int) {
+	co := c.CoordReplicas[i]
+	if mn, ok := c.Net.(*transport.MemNetwork); ok {
+		mn.CrashHost(co.Addr())
+	}
+	co.Close()
 }
 
 // retireWitnessServer closes and drops the witness server at addr from
@@ -186,6 +265,24 @@ func (c *Cluster) retireWitnessServer(addr string) {
 		if w.Addr() == addr {
 			retired = w
 			c.Witnesses = append(c.Witnesses[:i], c.Witnesses[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	if retired != nil {
+		retired.Close() // idempotent; usually already crashed
+	}
+}
+
+// retireBackupServer closes and drops the backup server at addr from the
+// runtime's list (it was replaced by a spare).
+func (c *Cluster) retireBackupServer(addr string) {
+	c.mu.Lock()
+	var retired *BackupServer
+	for i, b := range c.Backups {
+		if b.Addr() == addr {
+			retired = b
+			c.Backups = append(c.Backups[:i], c.Backups[i+1:]...)
 			break
 		}
 	}
@@ -218,6 +315,14 @@ func (c *Cluster) WitnessServers() []*WitnessServer {
 	return append([]*WitnessServer(nil), c.Witnesses...)
 }
 
+// BackupServers returns a snapshot of the partition's backup servers,
+// including spares swapped in by the heal loop.
+func (c *Cluster) BackupServers() []*BackupServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*BackupServer(nil), c.Backups...)
+}
+
 // Registries snapshots every server's metric registry — coordinator,
 // current master (the heal loop may have promoted a replacement since the
 // last call), backups, witnesses. Callers re-fetch per scrape so a
@@ -227,7 +332,7 @@ func (c *Cluster) Registries() []*metrics.Registry {
 	if m := c.CurrentMaster(); m != nil {
 		regs = append(regs, m.Metrics())
 	}
-	for _, b := range c.Backups {
+	for _, b := range c.BackupServers() {
 		regs = append(regs, b.Metrics())
 	}
 	for _, w := range c.WitnessServers() {
@@ -251,9 +356,26 @@ func (c *Cluster) SpareWitness(masterID uint64) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	w.StartHeartbeat(c.Coord.Addr(), c.hbInterval)
+	w.StartHeartbeats(c.coordAddrs(), c.hbInterval)
 	c.mu.Lock()
 	c.Witnesses = append(c.Witnesses, w)
+	c.mu.Unlock()
+	return addr, nil
+}
+
+// SpareBackup implements SpareProvider: boot a fresh backup server on the
+// cluster's network, start its heartbeat, and hand its address to the
+// heal loop (the master seeds it with its full log image before swapping
+// it into the sync set).
+func (c *Cluster) SpareBackup(masterID uint64) (string, error) {
+	addr := fmt.Sprintf("%sbackup-r%d", c.Opts.NamePrefix, c.spareSeq.Add(1))
+	b, err := NewBackupServer(c.Net, addr)
+	if err != nil {
+		return "", err
+	}
+	b.StartHeartbeats(c.coordAddrs(), c.hbInterval)
+	c.mu.Lock()
+	c.Backups = append(c.Backups, b)
 	c.mu.Unlock()
 	return addr, nil
 }
@@ -277,7 +399,11 @@ func (c *Cluster) WaitHealthy(ctx context.Context) error {
 	}
 	var healthySince time.Time
 	for {
-		if !c.Coord.Healthy() {
+		// Consult the lease-holding replica: its detector table is the one
+		// gating heal actions (a crashed rank-0 coordinator would otherwise
+		// report stale verdicts forever).
+		lead := c.CoordinatorLeader()
+		if lead == nil || !lead.Healthy() {
 			healthySince = time.Time{}
 		} else {
 			now := time.Now()
@@ -297,9 +423,10 @@ func (c *Cluster) WaitHealthy(ctx context.Context) error {
 	}
 }
 
-// NewClient opens a client bound to the cluster's partition.
+// NewClient opens a client bound to the cluster's partition, knowing
+// every coordinator replica.
 func (c *Cluster) NewClient(name string) (*Client, error) {
-	return NewClient(c.Net, name, c.Coord.Addr(), 1)
+	return NewClientMulti(c.Net, name, c.coordAddrs(), 1)
 }
 
 // CrashMaster simulates a master crash: on in-memory networks all its
@@ -344,13 +471,13 @@ func (c *Cluster) Recover(newAddr string) (*MasterServer, error) {
 
 // Close shuts every server down.
 func (c *Cluster) Close() {
-	if c.Coord != nil {
-		c.Coord.Close() // stops the heal loop before servers disappear
+	for _, co := range c.CoordReplicas {
+		co.Close() // stops the heal loops before servers disappear
 	}
 	if m := c.CurrentMaster(); m != nil {
 		m.Close()
 	}
-	for _, b := range c.Backups {
+	for _, b := range c.BackupServers() {
 		b.Close()
 	}
 	for _, w := range c.WitnessServers() {

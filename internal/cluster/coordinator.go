@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"curp/internal/controlplane"
 	"curp/internal/health"
 	"curp/internal/metrics"
 	"curp/internal/rifl"
@@ -15,11 +16,15 @@ import (
 	"curp/internal/witness"
 )
 
-// masterInfo is the coordinator's record for one data partition.
+// masterInfo is the coordinator's record for one data partition. Since the
+// control plane became replicated it is a MIRROR: every field except the
+// in-process runtime handles (server, opts) is rebuilt from committed
+// control-log commands by applyCtrl, never written directly.
 type masterInfo struct {
 	id                 uint64
 	addr               string
 	epoch              uint64
+	reservedEpoch      uint64
 	witnessAddrs       []string
 	witnessListVersion uint64
 	backupAddrs        []string
@@ -48,16 +53,41 @@ type masterInfo struct {
 // Coordinator is the cluster configuration manager (the paper's "system
 // configuration manager", §3.6): it owns the master → {backups, witnesses,
 // WitnessListVersion} mapping, issues RIFL client IDs and leases, and
-// orchestrates master crash recovery and witness reconfiguration. Real
-// deployments replicate this role with consensus (paper §2); here it is a
-// single process, which is faithful to how RAMCloud's coordinator appears
-// to the data path.
+// orchestrates master crash recovery and witness reconfiguration. The
+// paper assumes this role is replicated with consensus (§2); here it is:
+// every Coordinator is one replica of a 2f+1 control-plane quorum
+// (internal/controlplane), and every configuration mutation is proposed to
+// the quorum leader, committed by majority replication, and mirrored into
+// this replica's serving tables by applyCtrl. A quorum of one (the
+// default) degenerates to the old single-coordinator behavior through the
+// exact same code path.
+//
+// Locking: c.mu guards the mirror (masters map); the control-plane node
+// has its own lock. applyCtrl runs under the node lock and takes c.mu, so
+// no code path may call into the node (Propose/Status/HoldingLease) while
+// holding c.mu.
 type Coordinator struct {
 	nw   transport.Network
 	addr string
 
 	mu      sync.Mutex
 	masters map[uint64]*masterInfo
+
+	// cp is this replica's control-plane consensus node; cpPeers/cpRank
+	// its quorum membership.
+	cp      *controlplane.Node
+	cpPeers []string
+	cpRank  int
+	// clientNS is the RIFL client-ID namespace base added to replicated
+	// registration sequence numbers.
+	clientNS uint64
+
+	// localMasters holds in-process master handles by ADDRESS, registered
+	// by whichever replica booted the server; applyCtrl attaches them to
+	// the mirror when a committed command names that address. Guarded by
+	// c.mu.
+	localMasters map[string]*MasterServer
+	localOpts    map[string]MasterOptions
 
 	leases *rifl.LeaseServer
 	rpc    *rpc.Server
@@ -84,17 +114,61 @@ type Coordinator struct {
 	RPCTimeout time.Duration
 }
 
-// NewCoordinator creates and starts a coordinator listening on addr.
+// QuorumOptions places one coordinator replica in a control-plane quorum.
+type QuorumOptions struct {
+	// Peers lists every replica address, self included; index is rank.
+	// Empty means a quorum of one at the coordinator's own address.
+	Peers []string
+	// Rank is this replica's index into Peers. Rank 0 boots as the seeded
+	// leader of term 1.
+	Rank int
+	// ElectionTimeout tunes leader-failure detection (controlplane's
+	// default when zero; tests shrink it).
+	ElectionTimeout time.Duration
+}
+
+// NewCoordinator creates and starts a single-replica coordinator listening
+// on addr — a control-plane quorum of one.
 func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (*Coordinator, error) {
-	c := &Coordinator{
-		nw:         nw,
-		addr:       addr,
-		masters:    make(map[uint64]*masterInfo),
-		leases:     rifl.NewLeaseServer(leaseTTL, nil),
-		rpc:        rpc.NewServer(),
-		table:      health.NewTable(),
-		RPCTimeout: 2 * time.Second,
+	return NewCoordinatorReplica(nw, leaseTTL, QuorumOptions{Peers: []string{addr}})
+}
+
+// NewCoordinatorReplica creates and starts one replica of a coordinator
+// quorum. Every replica serves reads (views, health, lease renewal) from
+// its own mirror and forwards mutations to the quorum leader; heal actions
+// run only on the replica holding the leader lease.
+func NewCoordinatorReplica(nw transport.Network, leaseTTL time.Duration, q QuorumOptions) (*Coordinator, error) {
+	if len(q.Peers) == 0 {
+		return nil, errors.New("coordinator: quorum needs at least one peer")
 	}
+	if q.Rank < 0 || q.Rank >= len(q.Peers) {
+		return nil, fmt.Errorf("coordinator: rank %d outside %d peers", q.Rank, len(q.Peers))
+	}
+	c := &Coordinator{
+		nw:           nw,
+		addr:         q.Peers[q.Rank],
+		masters:      make(map[uint64]*masterInfo),
+		cpPeers:      append([]string(nil), q.Peers...),
+		cpRank:       q.Rank,
+		localMasters: make(map[string]*MasterServer),
+		localOpts:    make(map[string]MasterOptions),
+		leases:       rifl.NewLeaseServer(leaseTTL, nil),
+		rpc:          rpc.NewServer(),
+		table:        health.NewTable(),
+		RPCTimeout:   2 * time.Second,
+	}
+	node, err := controlplane.NewNode(controlplane.Config{
+		Rank:            q.Rank,
+		Peers:           c.cpPeers,
+		Send:            &ctrlSender{c: c},
+		Apply:           c.applyCtrl,
+		ElectionTimeout: q.ElectionTimeout,
+		Seeded:          true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.cp = node
 	c.rpc.Handle(OpGetView, c.handleGetView)
 	c.rpc.Handle(OpRegisterClient, c.handleRegisterClient)
 	c.rpc.Handle(OpRenewLease, c.handleRenewLease)
@@ -104,13 +178,238 @@ func NewCoordinator(nw transport.Network, addr string, leaseTTL time.Duration) (
 	c.rpc.Handle(OpCoordDelFrozen, rangesHandler(c.ForgetFrozenRanges))
 	c.rpc.Handle(OpHeartbeat, c.handleHeartbeat)
 	c.rpc.Handle(OpHealthStatus, c.handleHealthStatus)
+	c.rpc.Handle(OpCtrlAppend, c.handleCtrlAppend)
+	c.rpc.Handle(OpCtrlVote, c.handleCtrlVote)
+	c.rpc.Handle(OpCtrlPropose, c.handleCtrlPropose)
 	c.buildMetrics()
-	l, err := nw.Listen(addr)
+	l, err := nw.Listen(c.addr)
 	if err != nil {
+		c.cp.Close()
 		return nil, err
 	}
 	c.rpc.Go(l)
 	return c, nil
+}
+
+// ctrlSender carries control-plane consensus RPCs over the cluster's
+// transport. Peers are dialed per call: consensus traffic is a few small
+// messages per heartbeat interval, and a fresh dial after a replica
+// restart beats holding a poisoned connection.
+type ctrlSender struct{ c *Coordinator }
+
+func (s *ctrlSender) AppendEntries(ctx context.Context, addr string, req *controlplane.AppendRequest) (*controlplane.AppendReply, error) {
+	p := rpc.NewPeer(s.c.nw, s.c.addr, addr)
+	defer p.Close()
+	out, err := p.Call(ctx, OpCtrlAppend, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return controlplane.DecodeAppendReply(out)
+}
+
+func (s *ctrlSender) RequestVote(ctx context.Context, addr string, req *controlplane.VoteRequest) (*controlplane.VoteReply, error) {
+	p := rpc.NewPeer(s.c.nw, s.c.addr, addr)
+	defer p.Close()
+	out, err := p.Call(ctx, OpCtrlVote, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return controlplane.DecodeVoteReply(out)
+}
+
+func (c *Coordinator) handleCtrlAppend(payload []byte) ([]byte, error) {
+	req, err := controlplane.DecodeAppendRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	return c.cp.HandleAppend(req).Encode(), nil
+}
+
+func (c *Coordinator) handleCtrlVote(payload []byte) ([]byte, error) {
+	req, err := controlplane.DecodeVoteRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	return c.cp.HandleVote(req).Encode(), nil
+}
+
+// handleCtrlPropose commits a command forwarded from a follower replica.
+func (c *Coordinator) handleCtrlPropose(payload []byte) ([]byte, error) {
+	cmd, err := controlplane.DecodeCommand(payload)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.RPCTimeout)
+	defer cancel()
+	res, err := c.cp.Propose(ctx, cmd)
+	if err != nil {
+		return nil, err
+	}
+	e := rpc.NewEncoder(8)
+	e.U64(res)
+	return e.Bytes(), nil
+}
+
+// propose commits one control command: directly when this replica leads,
+// else forwarded to the leader, retrying through elections until ctx ends.
+func (c *Coordinator) propose(ctx context.Context, cmd *controlplane.Command) (uint64, error) {
+	var lastErr error
+	for {
+		res, err := c.cp.Propose(ctx, cmd)
+		var nl *controlplane.NotLeaderError
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.As(err, &nl):
+			if nl.LeaderAddr != "" {
+				res, ferr := c.forwardPropose(ctx, nl.LeaderAddr, cmd)
+				if ferr == nil {
+					return res, nil
+				}
+				// A stale-command verdict is a real (deterministic) answer
+				// from the leader, not a transport failure — surface it.
+				if isStaleErr(ferr) {
+					return 0, ferr
+				}
+				lastErr = ferr
+			} else {
+				lastErr = err
+			}
+		case errors.Is(err, controlplane.ErrLostLeadership):
+			lastErr = err
+		default:
+			return 0, err
+		}
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return 0, fmt.Errorf("coordinator: propose %v: %w (last: %v)", cmd.Kind, ctx.Err(), lastErr)
+			}
+			return 0, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// proposeCtx is the default deadline for control-plane commits: generous
+// enough to ride out one leader election.
+func (c *Coordinator) proposeCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 4*c.RPCTimeout)
+}
+
+func (c *Coordinator) forwardPropose(ctx context.Context, leaderAddr string, cmd *controlplane.Command) (uint64, error) {
+	p := rpc.NewPeer(c.nw, c.addr, leaderAddr)
+	defer p.Close()
+	out, err := p.Call(ctx, OpCtrlPropose, cmd.Encode())
+	if err != nil {
+		return 0, err
+	}
+	d := rpc.NewDecoder(out)
+	res := d.U64()
+	return res, d.Err()
+}
+
+// isStaleErr recognizes controlplane.ErrStale across an RPC hop (the
+// transport flattens errors to strings).
+func isStaleErr(err error) bool {
+	return errors.Is(err, controlplane.ErrStale) ||
+		(err != nil && stringContains(err.Error(), "lost a reconfiguration race"))
+}
+
+func stringContains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// applyCtrl mirrors every committed control command into this replica's
+// serving tables. It runs on ALL replicas, in log order, under the
+// control-plane node's lock — the one place the mirror is written, which
+// is what lets a restarted or promoted replica rebuild purely from the
+// log.
+func (c *Coordinator) applyCtrl(cmd *controlplane.Command, st *controlplane.State, res uint64, err error) {
+	if err != nil {
+		return // stale commands changed nothing
+	}
+	switch cmd.Kind {
+	case controlplane.CmdRegisterClient:
+		// Adopt the replicated ID so lease renewals and expiry work on
+		// every replica, whichever one registered the client.
+		c.leases.AdoptID(rifl.ClientID(c.clientNS + res))
+	case controlplane.CmdAddPartition, controlplane.CmdBeginRecovery,
+		controlplane.CmdSetMaster, controlplane.CmdSetWitnessList,
+		controlplane.CmdSetBackups, controlplane.CmdAddMoved,
+		controlplane.CmdDelMoved, controlplane.CmdAddFrozen,
+		controlplane.CmdDelFrozen:
+		c.mirrorPartition(st.Partition(cmd.Partition))
+	}
+}
+
+// mirrorPartition overwrites the mirror record for one partition from its
+// committed state, attaching in-process runtime handles where this replica
+// has them, and re-keys the health table to the new membership.
+func (c *Coordinator) mirrorPartition(p *controlplane.Partition) {
+	if p == nil {
+		return
+	}
+	fwds := make([]MovedForward, 0, len(p.Forwards))
+	for _, f := range p.Forwards {
+		fwds = append(fwds, MovedForward{Ranges: f.Ranges, DestAddr: f.Addr})
+	}
+	c.mu.Lock()
+	old := c.masters[p.ID]
+	mi := &masterInfo{
+		id:                 p.ID,
+		addr:               p.MasterAddr,
+		epoch:              p.Epoch,
+		reservedEpoch:      p.ReservedEpoch,
+		witnessAddrs:       p.Witnesses,
+		witnessListVersion: p.WLV,
+		backupAddrs:        p.Backups,
+		movedAway:          p.Moved,
+		frozen:             p.Frozen,
+		forwards:           fwds,
+	}
+	if ms := c.localMasters[p.MasterAddr]; ms != nil {
+		mi.server = ms
+		mi.opts = c.localOpts[p.MasterAddr]
+	}
+	c.masters[p.ID] = mi
+	if old != nil && old.addr != p.MasterAddr {
+		// The displaced master is deposed; drop its local handle.
+		delete(c.localMasters, old.addr)
+		delete(c.localOpts, old.addr)
+	}
+	c.mu.Unlock()
+
+	// Health-table re-key: watch newly committed members, drop nodes that
+	// left the membership. Nodes present in both old and new membership
+	// keep their beat history — Register resets it.
+	tracked := make(map[string]health.Role, 1+len(p.Backups)+len(p.Witnesses))
+	tracked[p.MasterAddr] = health.RoleMaster
+	for _, a := range p.Backups {
+		tracked[a] = health.RoleBackup
+	}
+	for _, a := range p.Witnesses {
+		tracked[a] = health.RoleWitness
+	}
+	prev := make(map[string]bool)
+	if old != nil {
+		for _, a := range append(append([]string{old.addr}, old.backupAddrs...), old.witnessAddrs...) {
+			prev[a] = true
+			if _, still := tracked[a]; !still {
+				c.table.Forget(a)
+			}
+		}
+	}
+	for addr, role := range tracked {
+		if !prev[addr] {
+			c.table.Register(role, addr, p.ID)
+		}
+	}
 }
 
 // Addr returns the coordinator's address.
@@ -148,7 +447,8 @@ func (c *Coordinator) buildMetrics() {
 	c.healEvents = make(map[FailoverKind]*metrics.Counter)
 	for _, k := range []FailoverKind{
 		EventMasterFailover, EventMasterFailoverFailed,
-		EventWitnessReplaced, EventWitnessReplaceFailed, EventBackupDown,
+		EventWitnessReplaced, EventWitnessReplaceFailed,
+		EventBackupReplaced, EventBackupReplaceFailed,
 	} {
 		c.healEvents[k] = r.Counter("curp_heal_events_total",
 			"Heal-loop lifecycle events, by kind.", metrics.L("kind", k.String()))
@@ -204,6 +504,28 @@ func (c *Coordinator) buildMetrics() {
 			}
 			return 0
 		})
+	// Control-plane quorum series: exactly one replica in a healthy
+	// quorum reports curp_coord_leader 1 (the lease holder).
+	r.GaugeFunc("curp_coord_leader",
+		"1 when this coordinator replica holds the leader lease.",
+		func() float64 {
+			if c.cp.HoldingLease() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("curp_coord_term",
+		"Control-plane consensus term at this replica.",
+		func() float64 { return float64(c.cp.Status().Term) })
+	r.GaugeFunc("curp_coord_replicas",
+		"Configured control-plane quorum size.",
+		func() float64 { return float64(len(c.cpPeers)) })
+	r.CounterFunc("curp_coord_log_committed_total",
+		"Control-plane log entries applied at this replica.",
+		func() uint64 { return c.cp.Status().Committed })
+	r.CounterFunc("curp_coord_elections_total",
+		"Control-plane elections won by this replica.",
+		func() uint64 { return c.cp.Status().Elections })
 	r.CounterFunc("curp_partition_speculative_ops_total",
 		"Master fast-path executions, from the latest heartbeat.",
 		func() uint64 { return masterBeat().SpeculativeOps })
@@ -232,10 +554,21 @@ func (c *Coordinator) countHealEvent(k FailoverKind) {
 func (c *Coordinator) Leases() *rifl.LeaseServer { return c.leases }
 
 // SetClientIDNamespace offsets the coordinator's RIFL client-ID space (see
-// Options.ClientIDNamespace). Call before any client registers.
+// Options.ClientIDNamespace). Call before any client registers, on every
+// replica with the same base: the replicated log carries namespace-free
+// sequence numbers and each replica adds the base.
 func (c *Coordinator) SetClientIDNamespace(base uint64) {
+	c.clientNS = base
 	c.leases.SetIDNamespace(rifl.ClientID(base))
 }
+
+// ControlPlaneStatus reports this replica's view of the coordinator
+// quorum.
+func (c *Coordinator) ControlPlaneStatus() controlplane.Status { return c.cp.Status() }
+
+// HoldingLease reports whether this replica is the control-plane leader
+// AND holds the majority-acknowledged lease — the gate on heal actions.
+func (c *Coordinator) HoldingLease() bool { return c.cp.HoldingLease() }
 
 // healMgr returns the heal manager under the coordinator lock (nil when
 // self-healing is off).
@@ -252,6 +585,7 @@ func (c *Coordinator) Close() {
 		h.stop()
 	}
 	c.rpc.Close()
+	c.cp.Close()
 }
 
 // handleHeartbeat folds one node's beat into the health table.
@@ -281,6 +615,13 @@ func (c *Coordinator) HealthStatus() *PartitionHealth {
 		p.MasterID, p.MasterAddr, p.Epoch, p.WitnessListVersion = mi.id, mi.addr, mi.epoch, mi.witnessListVersion
 	}
 	c.mu.Unlock()
+	cs := c.cp.Status()
+	p.CoordRank = cs.Rank
+	p.CoordLeaderAddr = cs.LeaderAddr
+	p.CoordTerm = cs.Term
+	p.CoordCommit = cs.Commit
+	p.CoordReplicas = cs.Replicas
+	p.CoordLeased = cs.Leased
 	p.Nodes = c.table.Snapshot(c.detectorConfig())
 	if !p.SelfHealing {
 		// Without self-healing nothing heartbeats: ages are just time
@@ -334,7 +675,21 @@ func (c *Coordinator) handleGetView(payload []byte) ([]byte, error) {
 }
 
 func (c *Coordinator) handleRegisterClient(payload []byte) ([]byte, error) {
-	id := c.leases.Register()
+	// Client IDs are allocated through the replicated log so they stay
+	// unique across coordinator failovers: any replica can serve the
+	// registration, the sequence commits on a majority, and every
+	// replica's lease table adopts the ID in applyCtrl.
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	seq, err := c.propose(ctx, &controlplane.Command{Kind: controlplane.CmdRegisterClient})
+	if err != nil {
+		return nil, err
+	}
+	id := rifl.ClientID(c.clientNS + seq)
+	// The local adopt in applyCtrl already ran on the leader; on a
+	// forwarding follower the apply may still be in flight, and the
+	// client's first renewal must not race it.
+	c.leases.AdoptID(id)
 	e := rpc.NewEncoder(8)
 	e.U64(uint64(id))
 	return e.Bytes(), nil
@@ -359,42 +714,24 @@ func (c *Coordinator) handleRenewLease(payload []byte) ([]byte, error) {
 // destAddr, when non-empty, is the target master the arcs moved to; it is
 // replayed into replacement masters as a decision-lookup forward.
 func (c *Coordinator) NoteMovedRanges(masterID uint64, rs []witness.HashRange, destAddr string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	mi := c.masters[masterID]
-	if mi == nil {
-		return fmt.Errorf("coordinator: unknown master %d", masterID)
-	}
-	mi.movedAway = witness.MergeRanges(mi.movedAway, rs)
-	if destAddr != "" {
-		mi.forwards = append(mi.forwards, MovedForward{
-			Ranges:   append([]witness.HashRange(nil), rs...),
-			DestAddr: destAddr,
-		})
-	}
-	return nil
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	_, err := c.propose(ctx, &controlplane.Command{
+		Kind: controlplane.CmdAddMoved, Partition: masterID, Ranges: rs, Addr: destAddr,
+	})
+	return err
 }
 
 // ForgetMovedRanges removes exactly-matching arcs from a partition's
 // moved-away record (the undo path of an aborted multi-source rebalance
 // step), along with any forwards recorded for exactly those arcs.
 func (c *Coordinator) ForgetMovedRanges(masterID uint64, rs []witness.HashRange) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	mi := c.masters[masterID]
-	if mi == nil {
-		return fmt.Errorf("coordinator: unknown master %d", masterID)
-	}
-	mi.movedAway = witness.RemoveRanges(mi.movedAway, rs)
-	kept := mi.forwards[:0]
-	for _, f := range mi.forwards {
-		if rem := witness.RemoveRanges(f.Ranges, rs); len(rem) != 0 {
-			f.Ranges = rem
-			kept = append(kept, f)
-		}
-	}
-	mi.forwards = kept
-	return nil
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	_, err := c.propose(ctx, &controlplane.Command{
+		Kind: controlplane.CmdDelMoved, Partition: masterID, Ranges: rs,
+	})
+	return err
 }
 
 // MovedRanges returns a copy of a partition's moved-away arcs.
@@ -410,27 +747,23 @@ func (c *Coordinator) MovedRanges(masterID uint64) []witness.HashRange {
 // NoteFrozenRanges records arcs a migration step is transferring out of a
 // partition, so a recovery during the step keeps them frozen.
 func (c *Coordinator) NoteFrozenRanges(masterID uint64, rs []witness.HashRange) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	mi := c.masters[masterID]
-	if mi == nil {
-		return fmt.Errorf("coordinator: unknown master %d", masterID)
-	}
-	mi.frozen = witness.MergeRanges(mi.frozen, rs)
-	return nil
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	_, err := c.propose(ctx, &controlplane.Command{
+		Kind: controlplane.CmdAddFrozen, Partition: masterID, Ranges: rs,
+	})
+	return err
 }
 
 // ForgetFrozenRanges withdraws freeze records after a step aborts or
 // commits.
 func (c *Coordinator) ForgetFrozenRanges(masterID uint64, rs []witness.HashRange) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	mi := c.masters[masterID]
-	if mi == nil {
-		return fmt.Errorf("coordinator: unknown master %d", masterID)
-	}
-	mi.frozen = witness.RemoveRanges(mi.frozen, rs)
-	return nil
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	_, err := c.propose(ctx, &controlplane.Command{
+		Kind: controlplane.CmdDelFrozen, Partition: masterID, Ranges: rs,
+	})
+	return err
 }
 
 // handleAddMoved decodes OpCoordAddMoved's (masterID, ranges, destAddr)
@@ -470,26 +803,24 @@ func (c *Coordinator) AddMaster(ms *MasterServer, backupAddrs, witnessAddrs []st
 	if err := ms.SetWitnessList(1, witnessAddrs); err != nil {
 		return err
 	}
+	// Register the in-process handle BEFORE proposing, so the apply
+	// mirror attaches it the moment the command commits.
 	c.mu.Lock()
-	c.masters[ms.ID()] = &masterInfo{
-		id:                 ms.ID(),
-		addr:               ms.Addr(),
-		epoch:              ms.Epoch(),
-		witnessAddrs:       append([]string(nil), witnessAddrs...),
-		witnessListVersion: 1,
-		backupAddrs:        append([]string(nil), backupAddrs...),
-		server:             ms,
-		opts:               ms.Options(),
-	}
+	c.localMasters[ms.Addr()] = ms
+	c.localOpts[ms.Addr()] = ms.Options()
 	c.mu.Unlock()
-	c.table.Register(health.RoleMaster, ms.Addr(), ms.ID())
-	for _, a := range backupAddrs {
-		c.table.Register(health.RoleBackup, a, ms.ID())
-	}
-	for _, a := range witnessAddrs {
-		c.table.Register(health.RoleWitness, a, ms.ID())
-	}
-	return nil
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	_, err := c.propose(ctx, &controlplane.Command{
+		Kind:      controlplane.CmdAddPartition,
+		Partition: ms.ID(),
+		Epoch:     ms.Epoch(),
+		WLV:       1,
+		Addr:      ms.Addr(),
+		Witnesses: witnessAddrs,
+		Backups:   backupAddrs,
+	})
+	return err
 }
 
 // startWitnesses sends start RPCs to the given witness servers.
@@ -538,13 +869,23 @@ func (c *Coordinator) ReplaceWitness(masterID uint64, oldAddr, newAddr string) e
 	defer c.reconfMu.Unlock()
 	c.mu.Lock()
 	mi := c.masters[masterID]
+	var wlv uint64
+	var masterAddr string
+	var server *MasterServer
+	var witnessAddrs []string
+	if mi != nil {
+		wlv = mi.witnessListVersion
+		masterAddr = mi.addr
+		server = mi.server
+		witnessAddrs = append(witnessAddrs, mi.witnessAddrs...)
+	}
 	c.mu.Unlock()
-	if mi == nil || mi.server == nil {
+	if mi == nil {
 		return fmt.Errorf("coordinator: unknown master %d", masterID)
 	}
-	newList := make([]string, 0, len(mi.witnessAddrs))
+	newList := make([]string, 0, len(witnessAddrs))
 	found := false
-	for _, a := range mi.witnessAddrs {
+	for _, a := range witnessAddrs {
 		if a == oldAddr {
 			found = true
 			newList = append(newList, newAddr)
@@ -559,21 +900,156 @@ func (c *Coordinator) ReplaceWitness(masterID uint64, oldAddr, newAddr string) e
 		return err
 	}
 	// The master syncs to backups before accepting the new list (§3.6),
-	// inside SetWitnessList.
-	if err := mi.server.SetWitnessList(mi.witnessListVersion+1, newList); err != nil {
+	// inside SetWitnessList — via the in-process handle when this replica
+	// has one, by RPC otherwise.
+	if err := c.masterSetWitnessList(server, masterAddr, wlv+1, newList); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	mi.witnessAddrs = newList
-	mi.witnessListVersion++
-	c.mu.Unlock()
-	// The replacement is authoritative from here on: watch it, stop
-	// watching the old server.
-	c.table.Forget(oldAddr)
-	c.table.Register(health.RoleWitness, newAddr, masterID)
+	// Publish through the log; applyCtrl re-keys the mirror and the
+	// health table on every replica.
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	if _, err := c.propose(ctx, &controlplane.Command{
+		Kind: controlplane.CmdSetWitnessList, Partition: masterID,
+		WLV: wlv + 1, Witnesses: newList,
+	}); err != nil {
+		return err
+	}
 	// Best effort: free the old instance if the server is still up.
 	c.endWitnesses(masterID, []string{oldAddr})
 	return nil
+}
+
+// masterSetWitnessList installs a witness list on a partition's master:
+// directly through the in-process handle when this replica booted the
+// server, over OpMasterSetWitnessList when another replica did.
+func (c *Coordinator) masterSetWitnessList(server *MasterServer, masterAddr string, version uint64, addrs []string) error {
+	if server != nil {
+		return server.SetWitnessList(version, addrs)
+	}
+	e := rpc.NewEncoder(32 + 16*len(addrs))
+	e.U64(version)
+	e.U32(uint32(len(addrs)))
+	for _, a := range addrs {
+		e.String(a)
+	}
+	p := rpc.NewPeer(c.nw, c.addr, masterAddr)
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), c.RPCTimeout)
+	defer cancel()
+	_, err := p.Call(ctx, OpMasterSetWitnessList, e.Bytes())
+	return err
+}
+
+// ReplaceBackup swaps a dead backup out of a partition's sync set for a
+// fresh server: the master seeds the replacement with its full log image
+// and swaps it into the sync set (MasterServer.ReplaceBackup), then the
+// new set is published through the control log so every replica's mirror
+// and health table re-key. The partition keeps serving throughout — no
+// deposal, no epoch bump.
+func (c *Coordinator) ReplaceBackup(masterID uint64, oldAddr, newAddr string) error {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+	c.mu.Lock()
+	mi := c.masters[masterID]
+	var masterAddr string
+	var server *MasterServer
+	var backupAddrs []string
+	if mi != nil {
+		masterAddr = mi.addr
+		server = mi.server
+		backupAddrs = append(backupAddrs, mi.backupAddrs...)
+	}
+	c.mu.Unlock()
+	if mi == nil {
+		return fmt.Errorf("coordinator: unknown master %d", masterID)
+	}
+	newSet := make([]string, 0, len(backupAddrs))
+	found := false
+	for _, a := range backupAddrs {
+		if a == oldAddr {
+			found = true
+			newSet = append(newSet, newAddr)
+		} else {
+			newSet = append(newSet, a)
+		}
+	}
+	if !found {
+		return fmt.Errorf("coordinator: %s is not a backup of master %d", oldAddr, masterID)
+	}
+	if err := c.masterReplaceBackup(server, masterAddr, oldAddr, newAddr); err != nil {
+		return err
+	}
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	_, err := c.propose(ctx, &controlplane.Command{
+		Kind: controlplane.CmdSetBackups, Partition: masterID, Backups: newSet,
+	})
+	return err
+}
+
+// masterReplaceBackup runs the seed-and-swap on a partition's master:
+// directly through the in-process handle when this replica booted the
+// server, over OpMasterReplaceBackup otherwise.
+func (c *Coordinator) masterReplaceBackup(server *MasterServer, masterAddr, oldAddr, newAddr string) error {
+	if server != nil {
+		return server.ReplaceBackup(oldAddr, newAddr)
+	}
+	e := rpc.NewEncoder(16 + len(oldAddr) + len(newAddr))
+	e.String(oldAddr)
+	e.String(newAddr)
+	p := rpc.NewPeer(c.nw, c.addr, masterAddr)
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), c.RPCTimeout)
+	defer cancel()
+	_, err := p.Call(ctx, OpMasterReplaceBackup, e.Bytes())
+	return err
+}
+
+// AddSpare registers a pre-provisioned spare node of the given role in
+// the replicated inventory. The heal loop claims from this pool before
+// asking the runtime's SpareProvider, so operators can stage replacement
+// capacity ahead of failures.
+func (c *Coordinator) AddSpare(role health.Role, addr string) error {
+	ctx, cancel := c.proposeCtx()
+	defer cancel()
+	_, err := c.propose(ctx, &controlplane.Command{
+		Kind: controlplane.CmdAddSpare, Role: uint8(role), Addr: addr,
+	})
+	return err
+}
+
+// Spares lists the unclaimed spare inventory for a role.
+func (c *Coordinator) Spares(role health.Role) []string {
+	var out []string
+	c.cp.View(func(st *controlplane.State) {
+		out = append(out, st.Spares[uint8(role)]...)
+	})
+	return out
+}
+
+// claimSpare takes one spare of the role from the replicated inventory
+// ("" if the pool is empty). Two replicas racing for the same spare are
+// serialized by the log: the loser's CmdTakeSpare applies as ErrStale and
+// it moves on to the next pool entry.
+func (c *Coordinator) claimSpare(role health.Role) string {
+	for {
+		pool := c.Spares(role)
+		if len(pool) == 0 {
+			return ""
+		}
+		ctx, cancel := c.proposeCtx()
+		_, err := c.propose(ctx, &controlplane.Command{
+			Kind: controlplane.CmdTakeSpare, Role: uint8(role), Addr: pool[0],
+		})
+		cancel()
+		if err == nil {
+			return pool[0]
+		}
+		if !isStaleErr(err) {
+			return ""
+		}
+	}
 }
 
 // RecoverMaster replaces a crashed master (§3.3, §4.6): it fences the old
@@ -594,16 +1070,34 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 	mi := c.masters[masterID]
 	var movedAway, frozen []witness.HashRange
 	var forwards []MovedForward
+	var reservedEpoch uint64
 	if mi != nil {
 		movedAway = append(movedAway, mi.movedAway...)
 		frozen = append(frozen, mi.frozen...)
 		forwards = append(forwards, mi.forwards...)
+		reservedEpoch = mi.reservedEpoch
 	}
 	c.mu.Unlock()
 	if mi == nil {
 		return nil, fmt.Errorf("coordinator: unknown master %d", masterID)
 	}
-	newEpoch := mi.epoch + 1
+
+	// Reserve the recovery epoch through the replicated log BEFORE
+	// touching any backup. The reservation must be exactly
+	// reservedEpoch+1: if another coordinator replica (a deposed leader
+	// still running, a promoted one racing us) committed a reservation
+	// first, this propose fails deterministically and we stand down —
+	// dual-depose is impossible even across control-plane failovers.
+	newEpoch := reservedEpoch + 1
+	rctx, rcancel := c.proposeCtx()
+	_, err := c.propose(rctx, &controlplane.Command{
+		Kind: controlplane.CmdBeginRecovery, Partition: masterID,
+		Epoch: newEpoch, Addr: newAddr,
+	})
+	rcancel()
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: reserve recovery epoch %d: %w", newEpoch, err)
+	}
 
 	// Fence: no stale-epoch master may sync to backups from here on
 	// (§4.7 zombie neutralization).
@@ -688,48 +1182,39 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 		return nil, err
 	}
 
+	// Publish through the log. CmdSetMaster commits only while our epoch
+	// reservation is still the current one; if a rival recovery
+	// superseded it mid-flight, the publish fails deterministically and
+	// the half-built replacement is torn down. Migration records
+	// (moved/frozen/forwards) are NOT carried by this command — they live
+	// in the replicated state and any AddMoved/DelFrozen that landed
+	// while recovery ran is already ordered in the log. The apply mirror
+	// installs the new view and re-keys the health table on every
+	// replica.
 	c.mu.Lock()
-	// Re-read the migration records rather than reusing the pre-recovery
-	// copies: a rebalance driver may have landed AddMoved/DelFrozen while
-	// recovery ran, and clobbering those records would lose a committed
-	// handoff (or resurrect a withdrawn freeze) at the NEXT recovery.
-	cur := c.masters[masterID]
-	c.masters[masterID] = &masterInfo{
-		id:                 masterID,
-		addr:               newAddr,
-		epoch:              newEpoch,
-		witnessAddrs:       append([]string(nil), newWitnessAddrs...),
-		witnessListVersion: newVersion,
-		backupAddrs:        append([]string(nil), mi.backupAddrs...),
-		server:             newMaster,
-		opts:               opts,
-		movedAway:          append([]witness.HashRange(nil), cur.movedAway...),
-		frozen:             append([]witness.HashRange(nil), cur.frozen...),
-		forwards:           append([]MovedForward(nil), cur.forwards...),
-	}
+	c.localMasters[newAddr] = newMaster
+	c.localOpts[newAddr] = opts
 	c.mu.Unlock()
+	pctx, pcancel := c.proposeCtx()
+	_, err = c.propose(pctx, &controlplane.Command{
+		Kind: controlplane.CmdSetMaster, Partition: masterID,
+		Epoch: newEpoch, WLV: newVersion, Addr: newAddr,
+		Witnesses: newWitnessAddrs, Backups: mi.backupAddrs,
+	})
+	pcancel()
+	if err != nil {
+		newMaster.Close()
+		c.mu.Lock()
+		delete(c.localMasters, newAddr)
+		delete(c.localOpts, newAddr)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("coordinator: publish recovered master: %w", err)
+	}
 
-	// Re-key the health table to the new configuration: the crashed
-	// master's entry goes away, the replacement is watched from now, and
-	// witness entries follow the (possibly changed) witness set.
-	c.table.Forget(mi.addr)
-	c.table.Register(health.RoleMaster, newAddr, masterID)
-	newSet := make(map[string]bool, len(newWitnessAddrs))
-	for _, a := range newWitnessAddrs {
-		newSet[a] = true
-	}
-	for _, a := range mi.witnessAddrs {
-		if !newSet[a] {
-			c.table.Forget(a)
-		}
-	}
-	for _, a := range newWitnessAddrs {
-		c.table.Register(health.RoleWitness, a, masterID)
-	}
 	// Under self-healing the replacement must heartbeat, or the detector
 	// would immediately re-fail the partition it just healed.
 	if h := c.healMgr(); h != nil {
-		newMaster.StartHeartbeat(c.addr, h.cfg.Detector.Interval)
+		newMaster.StartHeartbeats(c.cpPeers, h.cfg.Detector.Interval)
 		h.masterChanged(newMaster)
 	}
 	return newMaster, nil

@@ -34,6 +34,11 @@ type SpareProvider interface {
 	// returns its address. The provider is responsible for starting the
 	// server's heartbeat so the detector can watch the replacement.
 	SpareWitness(masterID uint64) (string, error)
+	// SpareBackup boots (or allocates) a RUNNING backup server and
+	// returns its address; the master seeds it with its full log image
+	// before swapping it into the sync set. The provider starts the
+	// server's heartbeat.
+	SpareBackup(masterID uint64) (string, error)
 }
 
 // FailoverKind classifies heal-loop lifecycle events.
@@ -52,11 +57,13 @@ const (
 	// EventWitnessReplaceFailed: a replacement attempt failed; retried
 	// after a deferral.
 	EventWitnessReplaceFailed
-	// EventBackupDown: a backup stopped heartbeating. There is no
-	// automatic backup replacement yet (ROADMAP follow-on): the partition
-	// keeps serving with reduced sync redundancy and the event is
-	// reported exactly once per incident.
-	EventBackupDown
+	// EventBackupReplaced: a dead backup was swapped out of the sync set
+	// for a spare seeded from the master's full log image, restoring
+	// replication redundancy without deposing the master.
+	EventBackupReplaced
+	// EventBackupReplaceFailed: a replacement attempt failed; retried
+	// after a deferral.
+	EventBackupReplaceFailed
 )
 
 // String names the event kind.
@@ -70,8 +77,10 @@ func (k FailoverKind) String() string {
 		return "witness-replaced"
 	case EventWitnessReplaceFailed:
 		return "witness-replace-failed"
-	case EventBackupDown:
-		return "backup-down"
+	case EventBackupReplaced:
+		return "backup-replaced"
+	case EventBackupReplaceFailed:
+		return "backup-replace-failed"
 	}
 	return "unknown"
 }
@@ -109,6 +118,11 @@ type HealthConfig struct {
 	Detector health.Config
 	// Spares supplies replacement nodes. Required.
 	Spares SpareProvider
+	// MasterOpts configures replacement masters promoted by a replica
+	// that never held the original's in-process handle (a
+	// follower-promoted heal after the rank-0 coordinator died). Zero
+	// means package defaults.
+	MasterOpts MasterOptions
 	// OnEvent observes heal-loop lifecycle events. Called from the heal
 	// goroutine — it must not block. Optional.
 	OnEvent func(FailoverEvent)
@@ -197,6 +211,15 @@ func (h *healManager) run() {
 		case <-h.closed:
 			return
 		case <-ticker.C:
+			// Heal actions are leader-leased: only the replica currently
+			// holding the control-plane lease may act, so two coordinators
+			// can never both depose a master — a promoted leader's lease
+			// begins only after the deposed one's has provably expired,
+			// and the log's epoch fencing (CmdBeginRecovery) backstops
+			// even a clock-skewed overlap.
+			if !h.c.HoldingLease() {
+				continue
+			}
 			for _, n := range h.c.table.Dead(h.cfg.Detector) {
 				select {
 				case <-h.closed:
@@ -221,11 +244,73 @@ func (h *healManager) healNode(n health.NodeStatus) {
 	case health.RoleWitness:
 		h.healWitness(n)
 	case health.RoleBackup:
-		// Reported once; the entry stays (and keeps Healthy() false) so
-		// operators see the reduced redundancy in curpctl status.
-		h.emit(FailoverEvent{Kind: EventBackupDown, MasterID: n.MasterID, Role: n.Role, OldAddr: n.Addr})
-		h.c.table.Defer(n.Addr, time.Now().Add(365*24*time.Hour))
+		h.healBackup(n)
 	}
+}
+
+// healBackup swaps a dead backup for a spare: the master seeds the
+// replacement with its full log image and swaps it into the sync set
+// (restoring f-way redundancy without deposing the master), then the new
+// set is published through the control log so every replica's mirror and
+// health table re-key.
+func (h *healManager) healBackup(n health.NodeStatus) {
+	c := h.c
+	c.mu.Lock()
+	var masterID uint64
+	found := false
+	for _, mi := range c.masters {
+		for _, a := range mi.backupAddrs {
+			if a == n.Addr {
+				masterID, found = mi.id, true
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	if !found {
+		// Already rotated out (e.g. by a concurrent recovery).
+		c.table.Forget(n.Addr)
+		return
+	}
+	start := time.Now()
+	newAddr, err := h.spareBackupFor(n.Addr, masterID)
+	if err == nil {
+		err = c.ReplaceBackup(masterID, n.Addr, newAddr)
+	}
+	if err != nil {
+		h.emit(FailoverEvent{Kind: EventBackupReplaceFailed, MasterID: masterID, Role: n.Role, OldAddr: n.Addr, Err: err})
+		c.table.Defer(n.Addr, h.retryAfter())
+		return
+	}
+	delete(h.spareByDead, n.Addr)
+	h.emit(FailoverEvent{
+		Kind:     EventBackupReplaced,
+		MasterID: masterID,
+		Role:     n.Role,
+		OldAddr:  n.Addr,
+		NewAddr:  newAddr,
+		Window:   time.Since(start),
+	})
+}
+
+// spareBackupFor returns the spare allocated for a dead backup address,
+// preferring the replicated spare-pool inventory over booting a fresh
+// server, and caching the choice so heal retries reuse it. Called only
+// from the run goroutine.
+func (h *healManager) spareBackupFor(deadAddr string, masterID uint64) (string, error) {
+	if spare, ok := h.spareByDead[deadAddr]; ok {
+		return spare, nil
+	}
+	if spare := h.c.claimSpare(health.RoleBackup); spare != "" {
+		h.spareByDead[deadAddr] = spare
+		return spare, nil
+	}
+	spare, err := h.cfg.Spares.SpareBackup(masterID)
+	if err != nil {
+		return "", err
+	}
+	h.spareByDead[deadAddr] = spare
+	return spare, nil
 }
 
 // spareWitnessFor returns the spare allocated for a dead witness
@@ -234,6 +319,10 @@ func (h *healManager) healNode(n health.NodeStatus) {
 // failed attempt. Called only from the run goroutine.
 func (h *healManager) spareWitnessFor(deadAddr string, masterID uint64) (string, error) {
 	if spare, ok := h.spareByDead[deadAddr]; ok {
+		return spare, nil
+	}
+	if spare := h.c.claimSpare(health.RoleWitness); spare != "" {
+		h.spareByDead[deadAddr] = spare
 		return spare, nil
 	}
 	spare, err := h.cfg.Spares.SpareWitness(masterID)
@@ -262,7 +351,13 @@ func (h *healManager) healMaster(n health.NodeStatus) {
 	if mi != nil {
 		curAddr = mi.addr
 		witnessAddrs = append(witnessAddrs, mi.witnessAddrs...)
-		opts = mi.opts
+		if mi.server != nil {
+			opts = mi.opts
+		} else {
+			// Mirror of a master another replica booted: its options never
+			// crossed the wire, so use the configured heal-time defaults.
+			opts = h.cfg.MasterOpts
+		}
 	}
 	c.mu.Unlock()
 	if mi == nil || curAddr != n.Addr {
@@ -275,7 +370,13 @@ func (h *healManager) healMaster(n health.NodeStatus) {
 	start := time.Now()
 
 	var nm *MasterServer
-	newAddr, err := h.cfg.Spares.SpareMasterAddr(n.MasterID)
+	var err error
+	// Prefer a pre-provisioned spare from the replicated inventory; fall
+	// back to the runtime's provider for a fresh address.
+	newAddr := c.claimSpare(health.RoleMaster)
+	if newAddr == "" {
+		newAddr, err = h.cfg.Spares.SpareMasterAddr(n.MasterID)
+	}
 	if err == nil {
 		// The NEW witness set must be fully reachable: startWitnesses and
 		// SetWitnessList fail on a dead member, and a silently dead

@@ -172,10 +172,11 @@ func TestSelfHealingWitnessReplacement(t *testing.T) {
 	}
 }
 
-// TestSelfHealingBackupDownReported: a dead backup is reported exactly
-// once and keeps the partition unhealthy (no automatic replacement yet),
-// but the data path keeps serving.
-func TestSelfHealingBackupDownReported(t *testing.T) {
+// TestSelfHealingBackupReplacement kills a backup and checks the heal
+// loop seeds a spare from the master's log image and swaps it into the
+// sync set: pre-crash data is durable on the replacement, the partition
+// returns to full health, and no master failover happened.
+func TestSelfHealingBackupReplacement(t *testing.T) {
 	nw := transport.NewMemNetwork(nil)
 	var events eventLog
 	c, err := Start(nw, healOptions(&events))
@@ -191,30 +192,67 @@ func TestSelfHealingBackupDownReported(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	b := c.Backups[0]
-	nw.CrashHost(b.Addr())
+	// Durable pre-crash state the replacement must be seeded with.
+	if _, err := cl.Put(ctx, []byte("pre"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// A linearizable read forces a sync, making "pre" durable.
+	if _, _, err := cl.Get(ctx, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	original := make(map[string]bool)
+	for _, bs := range c.BackupServers() {
+		original[bs.Addr()] = true
+	}
+	b := c.BackupServers()[0]
+	deadAddr := b.Addr()
+	nw.CrashHost(deadAddr)
 	b.Close()
 
 	deadline := time.Now().Add(10 * time.Second)
-	for events.count(EventBackupDown) == 0 {
+	for events.count(EventBackupReplaced) == 0 {
 		if time.Now().After(deadline) {
-			t.Fatal("backup death never reported")
+			t.Fatal("backup never replaced")
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	// One incident, one report — the deferral latch holds.
-	time.Sleep(100 * time.Millisecond)
-	if n := events.count(EventBackupDown); n != 1 {
-		t.Fatalf("backup death reported %d times", n)
+	if err := c.WaitHealthy(ctx); err != nil {
+		t.Fatalf("cluster never healed: %v", err)
 	}
-	if c.Coord.Healthy() {
-		t.Fatal("partition healthy with a dead backup")
+	if _, err := cl.Put(ctx, []byte("post"), []byte("v2")); err != nil {
+		t.Fatalf("write after backup replacement: %v", err)
 	}
-	if _, err := cl.Put(ctx, []byte("k"), []byte("v")); err != nil {
-		t.Fatalf("write with one dead backup: %v", err)
+	if _, _, err := cl.Get(ctx, []byte("post")); err != nil {
+		t.Fatalf("synced read through replacement backup: %v", err)
+	}
+
+	// The replacement holds the full log: seeded image plus post-swap
+	// syncs, with no gap between them.
+	var repl *BackupServer
+	for _, bs := range c.BackupServers() {
+		if !original[bs.Addr()] {
+			repl = bs
+		}
+	}
+	if repl == nil {
+		t.Fatal("no live replacement backup found")
+	}
+	mi := c.CurrentMaster()
+	if got, want := repl.SyncedLSN(1), mi.Store().Head(); uint64(got) != uint64(want) {
+		t.Fatalf("replacement log head = %d, master head = %d", got, want)
 	}
 	if events.count(EventMasterFailover) != 0 {
 		t.Fatal("backup crash triggered a master failover")
+	}
+	view, err := c.Coord.View(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range view.BackupAddrs {
+		if a == deadAddr {
+			t.Fatalf("dead backup %s still in the published set: %v", deadAddr, view.BackupAddrs)
+		}
 	}
 }
 

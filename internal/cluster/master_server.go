@@ -179,6 +179,8 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 	ms.rpc.Handle(OpMigrateComplete, ms.handleMigrateComplete)
 	ms.rpc.Handle(OpMigrateAbort, ms.handleMigrateAbort)
 	ms.rpc.Handle(OpMigrateDrop, ms.handleMigrateDrop)
+	ms.rpc.Handle(OpMasterSetWitnessList, ms.handleSetWitnessList)
+	ms.rpc.Handle(OpMasterReplaceBackup, ms.handleReplaceBackup)
 	ms.registerTxnHandlers()
 	l, err := nw.Listen(addr)
 	if err != nil {
@@ -225,6 +227,9 @@ func (ms *MasterServer) buildMetrics() {
 	r.CounterFunc("curp_master_hotkey_syncs_total",
 		"Preemptive syncs triggered by the hot-key heuristic.",
 		st(func(s core.MasterStats) uint64 { return s.HotKeySyncs }))
+	r.CounterFunc("curp_master_burst_syncs_total",
+		"Preemptive syncs triggered by the witness-burst bound (a commuting run approached witness set capacity).",
+		st(func(s core.MasterStats) uint64 { return s.BurstSyncs }))
 	r.CounterFunc("curp_master_read_blocks_total",
 		"Reads that waited for a sync before returning.",
 		st(func(s core.MasterStats) uint64 { return s.ReadBlocks }))
@@ -318,7 +323,14 @@ func (ms *MasterServer) observeOp(h *metrics.Histogram, op string, keyHashes []u
 // current flush threshold, so the coordinator's health table doubles as a
 // load dashboard.
 func (ms *MasterServer) StartHeartbeat(coordAddr string, interval time.Duration) {
-	startBeater(ms.nw, ms.addr, coordAddr, ms.closed, interval, func() health.Beat {
+	ms.StartHeartbeats([]string{coordAddr}, interval)
+}
+
+// StartHeartbeats beats every coordinator replica, so each replica's
+// failure detector has its own liveness evidence and a promoted
+// control-plane leader can heal without warming up its health table.
+func (ms *MasterServer) StartHeartbeats(coordAddrs []string, interval time.Duration) {
+	startBeater(ms.nw, ms.addr, coordAddrs, ms.closed, interval, func() health.Beat {
 		// One Stats() call covers the load counters AND the flush
 		// threshold: the beater must not take the master's lock twice per
 		// beat, or a busy master delays its own liveness signal.
@@ -339,17 +351,27 @@ func (ms *MasterServer) StartHeartbeat(coordAddr string, interval time.Duration)
 }
 
 // startBeater is the shared heartbeat loop of every server role: one
-// resident goroutine sending the beat payload to the coordinator on the
-// detector cadence until stop closes.
-func startBeater(nw transport.Network, selfAddr, coordAddr string, stop <-chan struct{}, interval time.Duration, beat func() health.Beat) {
-	p := rpc.NewPeer(nw, selfAddr, coordAddr)
+// resident goroutine sending the beat payload to every coordinator
+// replica on the detector cadence until stop closes.
+func startBeater(nw transport.Network, selfAddr string, coordAddrs []string, stop <-chan struct{}, interval time.Duration, beat func() health.Beat) {
+	peers := make([]*rpc.Peer, 0, len(coordAddrs))
+	for _, a := range coordAddrs {
+		peers = append(peers, rpc.NewPeer(nw, selfAddr, a))
+	}
 	go func() {
-		defer p.Close()
+		defer func() {
+			for _, p := range peers {
+				p.Close()
+			}
+		}()
 		health.Beater(stop, interval, func() {
 			b := beat()
-			ctx, cancel := context.WithTimeout(context.Background(), heartbeatTimeout(interval))
-			p.Call(ctx, OpHeartbeat, b.Encode())
-			cancel()
+			payload := b.Encode()
+			for _, p := range peers {
+				ctx, cancel := context.WithTimeout(context.Background(), heartbeatTimeout(interval))
+				p.Call(ctx, OpHeartbeat, payload)
+				cancel()
+			}
 		})
 	}()
 }
@@ -412,6 +434,104 @@ func (ms *MasterServer) SetWitnessList(version uint64, addrs []string) error {
 	ms.peersMu.Unlock()
 	ms.state.SetWitnessListVersion(version)
 	return nil
+}
+
+// handleSetWitnessList is the remote form of SetWitnessList, used by a
+// coordinator replica that did not boot this master in-process (the
+// control plane's reconfiguration commands commit on any replica).
+func (ms *MasterServer) handleSetWitnessList(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	version := d.U64()
+	n := int(d.U32())
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, d.String())
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return nil, ms.SetWitnessList(version, addrs)
+}
+
+// handleReplaceBackup is the remote form of ReplaceBackup.
+func (ms *MasterServer) handleReplaceBackup(payload []byte) ([]byte, error) {
+	d := rpc.NewDecoder(payload)
+	oldAddr := d.String()
+	newAddr := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return nil, ms.ReplaceBackup(oldAddr, newAddr)
+}
+
+// ReplaceBackup swaps a dead backup out of the sync set for a fresh one,
+// restoring full replication redundancy without deposing the master:
+// make the current window durable on the surviving backups, seed the
+// replacement with the full log image under this master's epoch, then
+// swap it in. Concurrent syncs are excluded during the seed+swap, so
+// SyncedLSN cannot advance and the replacement's log is gap-free: the
+// next regular sync starts exactly where the seed ended (overlapping
+// entries are deduped by LSN on the backup).
+func (ms *MasterServer) ReplaceBackup(oldAddr, newAddr string) error {
+	// Surviving backups must hold everything executed so far: the store's
+	// log is about to become the seed image, and recovery reasons about
+	// backup logs as prefixes of it.
+	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+		return err
+	}
+	ms.syncMu.Lock()
+	for ms.syncActive {
+		ms.syncCond.Wait()
+	}
+	ms.syncActive = true
+	ms.syncMu.Unlock()
+
+	err := ms.seedAndSwapBackup(oldAddr, newAddr)
+
+	ms.syncMu.Lock()
+	ms.syncActive = false
+	ms.syncCond.Broadcast()
+	ms.syncMu.Unlock()
+	return err
+}
+
+// seedAndSwapBackup does ReplaceBackup's work under the sync exclusion:
+// reset the replacement under our epoch (a stale replica at that address
+// must not keep old state), push the full log, swap the peer.
+func (ms *MasterServer) seedAndSwapBackup(oldAddr, newAddr string) error {
+	p := rpc.NewPeer(ms.nw, ms.addr, newAddr)
+	resetPayload := func() []byte {
+		e := rpc.NewEncoder(16)
+		e.U64(ms.id)
+		e.U64(ms.epoch)
+		return e.Bytes()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
+	defer cancel()
+	if _, err := p.Call(ctx, OpBackupReset, resetPayload); err != nil {
+		p.Close()
+		return fmt.Errorf("master %d: reset replacement backup %s: %w", ms.id, newAddr, err)
+	}
+	if entries := ms.store.EntriesSince(0); len(entries) > 0 {
+		req := appendRequest{MasterID: ms.id, Epoch: ms.epoch, Entries: entries}
+		sctx, scancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
+		defer scancel()
+		if _, err := p.Call(sctx, OpBackupAppend, req.encode()); err != nil {
+			p.Close()
+			return fmt.Errorf("master %d: seed replacement backup %s: %w", ms.id, newAddr, err)
+		}
+	}
+	ms.peersMu.Lock()
+	defer ms.peersMu.Unlock()
+	for i, b := range ms.backups {
+		if b.Addr() == oldAddr {
+			b.Close()
+			ms.backups[i] = p
+			return nil
+		}
+	}
+	p.Close()
+	return fmt.Errorf("master %d: backup %s not in sync set", ms.id, oldAddr)
 }
 
 // Freeze stops the master from serving (migration final step or deposal).

@@ -137,6 +137,25 @@ const (
 	// a 1-RTT-completed operation whose only durable copy was recorded on
 	// the SOURCE's witnesses).
 	OpWitnessSnapshot
+
+	// Coordinator replica ↔ coordinator replica: the control-plane
+	// consensus protocol (internal/controlplane) — full-log replication
+	// rounds and leader-election vote solicitations.
+	OpCtrlAppend
+	OpCtrlVote
+	// Coordinator replica → leader replica: forward a control-plane
+	// command proposed at a follower; the reply carries the committed
+	// apply result.
+	OpCtrlPropose
+
+	// Coordinator → master: reconfiguration calls for masters that do not
+	// live in the acting coordinator replica's process (a follower
+	// promoted to control-plane leader holds no in-process handle to a
+	// master another replica booted). Payloads mirror the in-process
+	// methods: SetWitnessList(version, addrs) and
+	// ReplaceBackup(oldAddr, newAddr).
+	OpMasterSetWitnessList
+	OpMasterReplaceBackup
 )
 
 // recordRequest is the payload of OpWitnessRecord.
@@ -480,16 +499,31 @@ type PartitionHealth struct {
 	// SelfHealing reports whether the coordinator's automatic failover
 	// loop is running.
 	SelfHealing bool
-	Nodes       []health.NodeStatus
+	// Control-plane quorum health, as seen by the replica that answered:
+	// its rank, the leader it follows (empty mid-election), the consensus
+	// term, replica count, and whether IT holds the leader lease.
+	CoordRank       int
+	CoordLeaderAddr string
+	CoordTerm       uint64
+	CoordCommit     uint64
+	CoordReplicas   int
+	CoordLeased     bool
+	Nodes           []health.NodeStatus
 }
 
 func (p *PartitionHealth) encode() []byte {
-	e := rpc.NewEncoder(128 + 96*len(p.Nodes))
+	e := rpc.NewEncoder(160 + 96*len(p.Nodes))
 	e.U64(p.MasterID)
 	e.String(p.MasterAddr)
 	e.U64(p.Epoch)
 	e.U64(p.WitnessListVersion)
 	e.Bool(p.SelfHealing)
+	e.U64(uint64(p.CoordRank))
+	e.String(p.CoordLeaderAddr)
+	e.U64(p.CoordTerm)
+	e.U64(p.CoordCommit)
+	e.U64(uint64(p.CoordReplicas))
+	e.Bool(p.CoordLeased)
 	e.U32(uint32(len(p.Nodes)))
 	for i := range p.Nodes {
 		n := &p.Nodes[i]
@@ -513,6 +547,12 @@ func decodePartitionHealth(b []byte) (*PartitionHealth, error) {
 		Epoch:              d.U64(),
 		WitnessListVersion: d.U64(),
 		SelfHealing:        d.Bool(),
+		CoordRank:          int(d.U64()),
+		CoordLeaderAddr:    d.String(),
+		CoordTerm:          d.U64(),
+		CoordCommit:        d.U64(),
+		CoordReplicas:      int(d.U64()),
+		CoordLeased:        d.Bool(),
 	}
 	n := d.U32()
 	for i := uint32(0); i < n && d.Err() == nil; i++ {

@@ -144,7 +144,12 @@ func (ws *WitnessServer) Close() {
 // StartHeartbeat runs a resident beater reporting this witness server's
 // liveness to the coordinator until the server closes.
 func (ws *WitnessServer) StartHeartbeat(coordAddr string, interval time.Duration) {
-	startBeater(ws.nw, ws.addr, coordAddr, ws.closed, interval, func() health.Beat {
+	ws.StartHeartbeats([]string{coordAddr}, interval)
+}
+
+// StartHeartbeats beats every coordinator replica.
+func (ws *WitnessServer) StartHeartbeats(coordAddrs []string, interval time.Duration) {
+	startBeater(ws.nw, ws.addr, coordAddrs, ws.closed, interval, func() health.Beat {
 		return health.Beat{Role: health.RoleWitness, Addr: ws.addr}
 	})
 }

@@ -1,0 +1,27 @@
+package consensus
+
+// Quorum arithmetic and the leader-election log-comparison rule, exported
+// for reuse: internal/controlplane replicates the coordinator's
+// configuration state over the same majority/up-to-date rules this
+// package's §A.2 data-plane group uses, so the two consensus layers cannot
+// drift apart on the safety-critical constants.
+
+// QuorumSize returns the majority quorum of a group with the given member
+// count: ⌊members/2⌋ + 1. For the canonical 2f+1 group this is f+1.
+func QuorumSize(members int) int { return members/2 + 1 }
+
+// SuperquorumSize returns the 1-RTT witness-acceptance quorum of a 2f+1
+// group: f + ⌈f/2⌉ + 1 (§A.2).
+func SuperquorumSize(f int) int { return f + (f+1)/2 + 1 }
+
+// LogUpToDate implements Raft's election restriction: a candidate's log is
+// at least as up-to-date as a voter's when its last entry has a higher
+// term, or the same term and at least the voter's length. Electing only
+// up-to-date candidates is what guarantees a committed entry survives
+// every leadership change.
+func LogUpToDate(candLastTerm uint64, candLen int, voterLastTerm uint64, voterLen int) bool {
+	if candLastTerm != voterLastTerm {
+		return candLastTerm > voterLastTerm
+	}
+	return candLen >= voterLen
+}

@@ -43,6 +43,15 @@ type MasterConfig struct {
 	// commute.ClassWrite, so any two pending operations on the same key
 	// conflict. Used as the evaluation baseline for the commute experiment.
 	KeyGranular bool
+	// WitnessBurstLimit bounds a single key's run of unsynced COMMUTING
+	// mutations: when the run reaches this length, NoteMutation reports
+	// hot=true so the caller syncs right after replying. Commuting records
+	// each occupy their own witness slot, so a hot counter's burst fills
+	// its Ways-associative set; syncing just before the set is full
+	// recycles the slots and keeps the burst on the 1-RTT path instead of
+	// tripping witness rejections. 0 disables the bound. Size it to the
+	// witness associativity (Ways).
+	WitnessBurstLimit int
 }
 
 // DefaultMasterConfig returns the paper's defaults (batch 50, hot-key
@@ -98,6 +107,7 @@ type MasterState struct {
 	conflictSyncs atomic.Uint64
 	batchSyncs    atomic.Uint64
 	hotKeySyncs   atomic.Uint64
+	burstSyncs    atomic.Uint64
 	readBlocks    atomic.Uint64
 }
 
@@ -111,6 +121,11 @@ type MasterStats struct {
 	BatchSyncs uint64
 	// HotKeySyncs were triggered by the preemptive heuristic.
 	HotKeySyncs uint64
+	// BurstSyncs were triggered by the witness-burst bound: a single
+	// key's run of commuting unsynced mutations reached
+	// WitnessBurstLimit, so the master synced to recycle witness slots
+	// before the key's set filled.
+	BurstSyncs uint64
 	// ReadBlocks are reads that had to wait for a sync (§A.3).
 	ReadBlocks uint64
 	// FlushThreshold is the current background-flush batch threshold —
@@ -119,11 +134,14 @@ type MasterStats struct {
 	FlushThreshold uint64
 }
 
-// keyMut is one key's last-mutation record: where in the log it happened
-// and what commutativity class it carried.
+// keyMut is one key's last-mutation record: where in the log it happened,
+// what commutativity class it carried, and how long the key's current
+// unsynced run of same-class commuting mutations is (the witness-burst
+// bound's input; meaningful in lastMutation only).
 type keyMut struct {
 	lsn   uint64
 	class commute.Class
+	run   int
 }
 
 // NewMasterState creates master bookkeeping with the given config.
@@ -208,6 +226,7 @@ func (m *MasterState) NoteMutation(keyHashes []uint64, lsn uint64, class commute
 		}
 		m.lastArrival = now
 	}
+	burst := false
 	for _, kh := range keyHashes {
 		if prev, ok := m.recentMutation[kh]; ok && m.cfg.HotKeyWindow > 0 &&
 			lsn-prev.lsn <= m.cfg.HotKeyWindow && !commute.Commutes(prev.class, class) {
@@ -215,18 +234,33 @@ func (m *MasterState) NoteMutation(keyHashes []uint64, lsn uint64, class commute
 		}
 		m.recentMutation[kh] = keyMut{lsn: lsn, class: class}
 		entryClass := class
-		if km, ok := m.lastMutation[kh]; ok && km.lsn > m.syncedLSN && km.class != class {
-			// Mixed classes inside one unsynced window: poison the entry so
-			// a later operation cannot commute past the older, different-
-			// class mutation the single-entry map no longer remembers
-			// (SetAdd, SetRemove, SetRemove must not let the third op skip
-			// the first's ordering).
-			entryClass = commute.ClassWrite
+		run := 1
+		if km, ok := m.lastMutation[kh]; ok && km.lsn > m.syncedLSN {
+			if km.class != class {
+				// Mixed classes inside one unsynced window: poison the entry so
+				// a later operation cannot commute past the older, different-
+				// class mutation the single-entry map no longer remembers
+				// (SetAdd, SetRemove, SetRemove must not let the third op skip
+				// the first's ordering).
+				entryClass = commute.ClassWrite
+			} else if commute.Commutes(km.class, class) {
+				// Same class and speculative-compatible: the burst grows —
+				// each of these records occupies its own witness slot.
+				run = km.run + 1
+			}
 		}
-		m.lastMutation[kh] = keyMut{lsn: lsn, class: entryClass}
+		if m.cfg.WitnessBurstLimit > 0 && run >= m.cfg.WitnessBurstLimit {
+			burst = true
+			run = 0 // the caller's sync drains the set; restart the count
+		}
+		m.lastMutation[kh] = keyMut{lsn: lsn, class: entryClass, run: run}
 	}
 	if hot {
 		m.hotKeySyncs.Add(1)
+	}
+	if burst {
+		m.burstSyncs.Add(1)
+		hot = true
 	}
 	return hot
 }
@@ -399,6 +433,7 @@ func (m *MasterState) Stats() MasterStats {
 		ConflictSyncs:  m.conflictSyncs.Load(),
 		BatchSyncs:     m.batchSyncs.Load(),
 		HotKeySyncs:    m.hotKeySyncs.Load(),
+		BurstSyncs:     m.burstSyncs.Load(),
 		ReadBlocks:     m.readBlocks.Load(),
 	}
 	m.mu.Lock()

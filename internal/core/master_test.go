@@ -174,6 +174,52 @@ func TestHotKeyCommutingOpsStayFast(t *testing.T) {
 	}
 }
 
+// TestWitnessBurstBound: commuting mutations stay speculative, but each
+// occupies its own witness slot — a run reaching WitnessBurstLimit must
+// request a preemptive sync so the key's Ways-associative set is recycled
+// before it fills and starts rejecting the burst.
+func TestWitnessBurstBound(t *testing.T) {
+	m := NewMasterState(MasterConfig{SyncBatchSize: 50, WitnessBurstLimit: 4})
+	lsn := uint64(0)
+	for i := 0; i < 3; i++ {
+		lsn++
+		if hot := m.NoteMutation([]uint64{7}, lsn, commute.ClassCounter); hot {
+			t.Fatalf("increment %d under the burst limit requested a sync", i+1)
+		}
+	}
+	lsn++
+	if hot := m.NoteMutation([]uint64{7}, lsn, commute.ClassCounter); !hot {
+		t.Fatal("run reaching the burst limit should request a sync")
+	}
+	st := m.Stats()
+	if st.BurstSyncs != 1 {
+		t.Fatalf("burst syncs = %d, want 1", st.BurstSyncs)
+	}
+	if st.HotKeySyncs != 0 {
+		t.Fatalf("hot-key syncs = %d; burst syncs are counted separately", st.HotKeySyncs)
+	}
+	// The sync drains the window; the run restarts from scratch.
+	m.NoteSync(lsn)
+	lsn++
+	if hot := m.NoteMutation([]uint64{7}, lsn, commute.ClassCounter); hot {
+		t.Fatal("first increment after the sync requested another")
+	}
+	// Non-commuting runs never grow (the conflict path syncs anyway), and
+	// a disabled limit never fires.
+	m2 := NewMasterState(MasterConfig{SyncBatchSize: 50, WitnessBurstLimit: 2})
+	for l := uint64(1); l <= 2; l++ {
+		if hot := m2.NoteMutation([]uint64{5}, l, commute.ClassWrite); hot {
+			t.Fatalf("non-commuting write %d tripped the burst bound", l)
+		}
+	}
+	m3 := NewMasterState(MasterConfig{SyncBatchSize: 50})
+	for l := uint64(1); l <= 100; l++ {
+		if hot := m3.NoteMutation([]uint64{5}, l, commute.ClassCounter); hot {
+			t.Fatal("disabled burst bound fired")
+		}
+	}
+}
+
 func TestWitnessListVersion(t *testing.T) {
 	m := NewMasterState(DefaultMasterConfig())
 	if !m.CheckWitnessList(0) || m.CheckWitnessList(1) {

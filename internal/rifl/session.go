@@ -93,6 +93,21 @@ func (l *LeaseServer) SetIDNamespace(base ClientID) {
 	}
 }
 
+// AdoptID installs a lease for an ID allocated elsewhere — a replicated
+// coordinator commits registrations through its control log, and every
+// replica adopts the committed ID so renewals work against any of them.
+// Idempotent; the local allocator is advanced past the adopted ID.
+func (l *LeaseServer) AdoptID(id ClientID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextID <= id {
+		l.nextID = id + 1
+	}
+	if _, ok := l.expiry[id]; !ok {
+		l.expiry[id] = l.now().Add(l.ttl)
+	}
+}
+
 // Register issues a fresh client ID with a live lease.
 func (l *LeaseServer) Register() ClientID {
 	l.mu.Lock()

@@ -53,7 +53,9 @@ const (
 // with a jittered backoff, refreshing its ring from the RingSource; once
 // the ring epoch flips the operation lands on the new owner. Other keys
 // are unaffected. An operation that bounced NEVER executed, so the retry
-// is not a duplicate.
+// is not a duplicate. A shard retired by RemoveShard stops answering at
+// all once its partition shuts down; the client treats a hard error as a
+// re-route hint too, adopting a newer ring when the source has one.
 //
 // Cross-shard atomicity contract: MultiPut and MultiIncrement group their
 // keys by owning shard and issue one atomic per-shard sub-operation per
@@ -183,8 +185,20 @@ func (c *Client) do(ctx context.Context, key []byte, op func(sc *cluster.Client)
 	for attempt := 0; ; attempt++ {
 		ring, shards := c.snapshot()
 		err := op(shards[ring.Shard(key)])
-		if err == nil || !errors.Is(err, core.ErrKeyMoved) {
-			return err
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, core.ErrKeyMoved) {
+			// A shard retired by RemoveShard answers with connection
+			// errors, not redirects — its hosts are gone. If the source
+			// has a newer ring, adopt it and re-route: from the freeze
+			// onward the leaving master bounces (never executes)
+			// operations on its moved ranges, so the failed operation did
+			// not apply there. Without a newer ring the failure is real.
+			if !c.refreshRing() {
+				return err
+			}
+			continue
 		}
 		if deadline.IsZero() {
 			deadline = time.Now().Add(maxRedirectWait)
@@ -373,7 +387,7 @@ func runGrouped[T any](ctx context.Context, c *Client, items []T, keyOf func(T) 
 		}
 		var wg sync.WaitGroup
 		var gmu sync.Mutex
-		var moved []T
+		var moved, hardItems []T
 		var hard []error
 		for s, g := range groups {
 			wg.Add(1)
@@ -389,12 +403,22 @@ func runGrouped[T any](ctx context.Context, c *Client, items []T, keyOf func(T) 
 					moved = append(moved, g...)
 				} else {
 					hard = append(hard, fmt.Errorf("shard %d: %w", s, err))
+					hardItems = append(hardItems, g...)
 				}
 			}(s, g)
 		}
 		wg.Wait()
 		if len(hard) > 0 {
-			return errors.Join(hard...)
+			// Same as Client.do: a shard retired by RemoveShard answers
+			// with connection errors, not redirects. Re-route under a
+			// newer ring before surfacing the failure; the retired master
+			// bounced (never executed) its moved ranges from the freeze
+			// onward, so re-issuing the failed groups is not a duplicate.
+			if !c.refreshRing() {
+				return errors.Join(hard...)
+			}
+			remaining = append(moved, hardItems...)
+			continue
 		}
 		if len(moved) == 0 {
 			return nil

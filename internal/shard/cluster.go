@@ -58,11 +58,12 @@ type MigrationHooks struct {
 // interface and re-route bounced operations.
 type Cluster struct {
 	Net transport.Network
-	// Parts is append-only; entries are never replaced (Recover swaps the
-	// master inside a partition, not the partition itself). Appends happen
-	// under mu; concurrent paths (client dialing, rebalancing) read
-	// through partsSnapshot, while tests may index it directly between
-	// reconfigurations.
+	// Parts holds one entry per partition, in shard order; entries are
+	// never replaced in place (Recover swaps the master inside a
+	// partition, not the partition itself). AddShard appends and
+	// RemoveShard truncates the drained tail, both under mu; concurrent
+	// paths (client dialing, rebalancing) read through partsSnapshot,
+	// while tests may index it directly between reconfigurations.
 	Parts []*cluster.Cluster
 	// Hooks inject migration failure points (tests only).
 	Hooks MigrationHooks
@@ -204,6 +205,46 @@ func (c *Cluster) Rebalance(ctx context.Context) error {
 	}
 }
 
+// RemoveShard drains the deployment's highest shard and retires it: the
+// ring shrinks by one (restoring the pre-grow mapping exactly), the
+// leaving shard's key ranges live-migrate back to the survivors through
+// the same freeze→drain→export→commit handoff a grow step uses — with the
+// moves fanning out to many targets instead of in from many sources — and
+// once the shrunk ring is published the drained partition is shut down
+// and dropped from the deployment. Traffic on keys outside the moving
+// ranges is never interrupted.
+func (c *Cluster) RemoveShard(ctx context.Context) error {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+	cur := c.CurrentRing()
+	parts := c.partsSnapshot()
+	if cur.Shards() < len(parts) {
+		return fmt.Errorf("shard: %d spare partition(s) not covered by the ring; Rebalance or remove them first", len(parts)-cur.Shards())
+	}
+	next, err := cur.Shrink()
+	if err != nil {
+		return err
+	}
+	coords := make([]string, len(parts))
+	for i, p := range parts {
+		coords[i] = p.Coord.Addr()
+	}
+	md := &cluster.MigrationDriver{NW: c.Net, Self: "rebalancer"}
+	if err := shrinkStep(ctx, md, coords, cur, next, &c.Hooks, func(r *Ring) { c.setRing(r) }); err != nil {
+		return err
+	}
+	// The shrunk ring is published: no key routes to the drained
+	// partition any more, so shutting it down is invisible to clients
+	// (their redirect machinery already steered in-flight operations to
+	// the survivors).
+	c.mu.Lock()
+	leaving := c.Parts[len(c.Parts)-1]
+	c.Parts = c.Parts[:len(c.Parts)-1]
+	c.mu.Unlock()
+	leaving.Close()
+	return nil
+}
+
 // NewClient opens a client routed across every shard. name is the client's
 // network identity (shared by its per-shard connections). The client
 // tracks ring changes: after a Rebalance it re-routes bounced operations
@@ -238,6 +279,24 @@ func (c *Cluster) CrashMaster(s int) { c.Part(s).CrashMaster() }
 // CrashWitness crashes shard s's i-th witness server. With self-healing
 // enabled, the shard's coordinator installs a replacement.
 func (c *Cluster) CrashWitness(s, i int) { c.Part(s).CrashWitness(i) }
+
+// CrashCoordinatorLeader crashes the coordinator replica of shard s that
+// holds the control-plane leader lease (rank 0 when no replica does, e.g.
+// mid-election) and returns its index. With a replicated control plane
+// the surviving replicas elect a new leader that resumes healing; with a
+// single replica the shard's control plane is gone.
+func (c *Cluster) CrashCoordinatorLeader(s int) int {
+	part := c.Part(s)
+	idx := 0
+	for i, co := range part.CoordReplicas {
+		if co.HoldingLease() {
+			idx = i
+			break
+		}
+	}
+	part.CrashCoordinator(idx)
+	return idx
+}
 
 // WaitHealthy blocks until every partition's health table reports all
 // nodes alive (self-healing deployments), or ctx ends.

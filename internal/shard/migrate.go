@@ -265,6 +265,171 @@ func growStep(ctx context.Context, md *cluster.MigrationDriver, coords []string,
 	return nil
 }
 
+// shrinkStep executes one ring shrink (cur → next, one fewer shard): the
+// leaving shard's arcs fan back out to the survivors that owned them
+// before the shard was added (Shrink restores that mapping exactly). It is
+// the same five-phase handoff as growStep with the roles reversed — one
+// source, many targets — so every atomicity argument carries over: the
+// commit point is the source coordinator's moved records plus the flip,
+// and any earlier failure aborts back to the unshrunk ring. After a
+// successful step the leaving shard owns no keys and can be shut down.
+func shrinkStep(ctx context.Context, md *cluster.MigrationDriver, coords []string, cur, next *Ring, hooks *MigrationHooks, flip func(*Ring)) error {
+	leaving := cur.Shards() - 1
+	if leaving >= len(coords) {
+		return fmt.Errorf("shard: ring shrink from %d shards but only %d coordinators", cur.Shards(), len(coords))
+	}
+	moves := MovesBetween(cur, next)
+	for _, m := range moves {
+		// Removing a shard moves only the arcs its points claimed, so every
+		// move leaves the departing shard.
+		if m.From != leaving {
+			return fmt.Errorf("shard: shrink step computed a move %d→%d; only moves off the leaving shard %d are possible", m.From, m.To, leaving)
+		}
+	}
+	views := make(map[int]*cluster.ViewInfo)
+	view := func(s int) (*cluster.ViewInfo, error) {
+		if v, ok := views[s]; ok {
+			return v, nil
+		}
+		v, err := cluster.FetchView(ctx, md.NW, md.Self, coords[s], partitionMasterID)
+		if err != nil {
+			return nil, err
+		}
+		views[s] = v
+		return v, nil
+	}
+	sourceView, err := view(leaving)
+	if err != nil {
+		return err
+	}
+	for _, m := range moves {
+		if _, err := view(m.To); err != nil {
+			return err
+		}
+	}
+
+	if hooks.BeforeCollect != nil {
+		hooks.BeforeCollect(leaving)
+	}
+
+	delFrozen := func(rs []witness.HashRange) bool {
+		for i := 0; i < 3; i++ {
+			if md.DelFrozen(ctx, coords[leaving], partitionMasterID, rs) == nil {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Phase 1 — collect: freeze and export the leaving shard's moving
+	// ranges, one export per destination (each target installs only its
+	// own arcs). The freeze record lands at the source coordinator first,
+	// exactly as in growStep, so a source recovery mid-step cannot resume
+	// serving ranges this step may commit to a survivor.
+	type collected struct {
+		move   Move
+		bundle *cluster.MigrationBundle
+	}
+	var done []collected
+	abort := func() bool {
+		ok := true
+		for _, cl := range done {
+			_ = md.Abort(ctx, sourceView.MasterAddr, partitionMasterID, cl.move.Ranges)
+			if !delFrozen(cl.move.Ranges) {
+				ok = false
+			}
+			_ = md.Drop(ctx, views[cl.move.To].MasterAddr, partitionMasterID, cl.move.Ranges)
+		}
+		return ok
+	}
+	abortErr := func(base error) error {
+		if !abort() {
+			return fmt.Errorf("%w; WARNING: freeze records for shard %d could not be withdrawn — their ranges re-freeze at the next recovery until a drain re-run", base, leaving)
+		}
+		return base
+	}
+	for _, m := range moves {
+		if err := md.AddFrozen(ctx, coords[leaving], partitionMasterID, m.Ranges); err != nil {
+			done = append(done, collected{move: m})
+			return abortErr(fmt.Errorf("shard: record freeze for leaving shard %d: %w", leaving, err))
+		}
+		bundle, err := md.Collect(ctx, sourceView.MasterAddr, partitionMasterID, m.Ranges)
+		if err != nil {
+			// Ambiguous — the master may have frozen before the reply was
+			// lost — so sweep this move in the abort too.
+			done = append(done, collected{move: m})
+			return abortErr(fmt.Errorf("shard: collect from leaving shard %d: %w", leaving, err))
+		}
+		done = append(done, collected{move: m, bundle: bundle})
+	}
+
+	if hooks.AfterCollect != nil {
+		hooks.AfterCollect(leaving)
+	}
+
+	// Phase 2 — install: each surviving target replays and syncs its
+	// bundle.
+	for _, cl := range done {
+		if err := md.Install(ctx, views[cl.move.To].MasterAddr, partitionMasterID, cl.bundle); err != nil {
+			return abortErr(fmt.Errorf("shard: install ranges on shard %d: %w", cl.move.To, err))
+		}
+	}
+
+	// Phase 3 — commit: record every moved range (with its destination) at
+	// the leaving shard's coordinator. All records target one coordinator,
+	// so rollback on a partial commit is simpler than growStep's: withdraw
+	// what landed; if a withdrawal fails, keep everything frozen (a drain
+	// re-run converges) rather than risk a recovery dropping live ranges.
+	var noted []collected
+	for _, cl := range done {
+		if err := md.AddMoved(ctx, coords[leaving], partitionMasterID, cl.move.Ranges, views[cl.move.To].MasterAddr); err != nil {
+			stuck := md.DelMoved(ctx, coords[leaving], partitionMasterID, cl.move.Ranges) != nil
+			for _, n := range noted {
+				if md.DelMoved(ctx, coords[leaving], partitionMasterID, n.move.Ranges) != nil {
+					stuck = true
+				}
+			}
+			if stuck {
+				return fmt.Errorf("shard: commit move to shard %d failed (%w); leaving shard %d kept its ranges frozen because a commit record could not be withdrawn — re-run the drain to finish the handoff", cl.move.To, err, leaving)
+			}
+			if !abort() {
+				return fmt.Errorf("shard: commit move to shard %d failed (%w); freeze records could not be withdrawn — re-run the drain", cl.move.To, err)
+			}
+			return fmt.Errorf("shard: commit move to shard %d: %w", cl.move.To, err)
+		}
+		_ = delFrozen(cl.move.Ranges)
+		noted = append(noted, cl)
+	}
+
+	// Phase 4 — complete: the source drops the moved ranges (forwarding
+	// transactions to each destination) and its backups are fenced before
+	// the flip — the same §A.1 stale-backup-read argument as growStep.
+	var completeErr error
+	var fenceErr error
+	for _, cl := range done {
+		if err := md.Complete(ctx, sourceView.MasterAddr, partitionMasterID, cl.move.Ranges, views[cl.move.To].MasterAddr); err != nil && completeErr == nil {
+			completeErr = err
+		}
+		if err := md.DropBackups(ctx, sourceView.BackupAddrs, partitionMasterID, cl.move.Ranges); err != nil && fenceErr == nil {
+			fenceErr = err
+		}
+	}
+	if fenceErr != nil {
+		return fmt.Errorf("shard: handoff committed but backup fencing incomplete; ring not flipped, ranges stay parked — re-run the drain: %w", fenceErr)
+	}
+
+	// Phase 5 — flip: publish the shrunk ring. From here no key routes to
+	// the leaving shard; it can be decommissioned.
+	flip(next)
+	if hooks.AfterFlip != nil {
+		hooks.AfterFlip(leaving)
+	}
+	if completeErr != nil {
+		return fmt.Errorf("shard: handoff committed but source cleanup incomplete (recovery will finish it): %w", completeErr)
+	}
+	return nil
+}
+
 // keysOf returns a map's keys, for error messages.
 func keysOf(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
@@ -283,13 +448,23 @@ func keysOf(m map[int]bool) []int {
 // steps stay committed and the returned ring reflects how far the ring
 // actually advanced.
 func RebalanceEndpoints(ctx context.Context, md *cluster.MigrationDriver, coords []string, from, to *Ring) (*Ring, error) {
-	if to.Shards() < from.Shards() {
-		return from, fmt.Errorf("shard: shrink rebalancing is not supported (from %d to %d shards)", from.Shards(), to.Shards())
-	}
 	cur := from
 	for cur.Shards() < to.Shards() {
 		next := cur.Grow()
 		if err := growStep(ctx, md, coords, cur, next, &MigrationHooks{}, func(*Ring) {}); err != nil {
+			return cur, err
+		}
+		cur = next
+	}
+	// Shrinks drain the highest shard onto the survivors, one at a time
+	// (the curpctl drain path): after each step the leaving shard serves
+	// no keys and the operator can decommission its partition.
+	for cur.Shards() > to.Shards() {
+		next, err := cur.Shrink()
+		if err != nil {
+			return cur, err
+		}
+		if err := shrinkStep(ctx, md, coords, cur, next, &MigrationHooks{}, func(*Ring) {}); err != nil {
 			return cur, err
 		}
 		cur = next

@@ -357,3 +357,185 @@ func TestCrashDuringMigration(t *testing.T) {
 		}
 	})
 }
+
+// shrinkingKeys returns test keys the leaving shard hands off when cur
+// shrinks one shard, mapped target shard → keys, plus keys that stay put.
+// Every moving key is owned by the highest shard under cur — the dual of
+// the grow case, where every moving key is owned by the new shard after.
+func shrinkingKeys(t *testing.T, cur *Ring, prefix string, want int) (moving map[int][]string, staying []string) {
+	t.Helper()
+	shrunk, err := cur.Shrink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaving := cur.Shards() - 1
+	moving = make(map[int][]string)
+	total := 0
+	for i := 0; total < want && i < 100000; i++ {
+		key := fmt.Sprintf("%s:%d", prefix, i)
+		if from, to := cur.ShardString(key), shrunk.ShardString(key); from != to {
+			if from != leaving {
+				t.Fatalf("shrink moves key %q from shard %d, want only %d", key, from, leaving)
+			}
+			moving[to] = append(moving[to], key)
+			total++
+		} else if len(staying) < want {
+			staying = append(staying, key)
+		}
+	}
+	return moving, staying
+}
+
+// TestRemoveShardDrainsKeys: RemoveShard live-migrates the highest shard's
+// key ranges back to the survivors (fanning out to many targets — the dual
+// of a grow step), publishes the shrunk ring, and retires the drained
+// partition. Values, versions, and counters survive; a client opened before
+// the drain re-routes through the redirect path.
+func TestRemoveShardDrainsKeys(t *testing.T) {
+	c := startTestCluster(t, testOptions(4))
+	cl := testClient(t, c, "app")
+	ctx := context.Background()
+
+	cur := c.CurrentRing()
+	leaving := cur.Shards() - 1
+	moving, staying := shrinkingKeys(t, cur, "drain", 24)
+	if len(moving) < 2 {
+		t.Fatalf("shrink fans out to %d targets, want several", len(moving))
+	}
+	var allMoving []string
+	for _, keys := range moving {
+		allMoving = append(allMoving, keys...)
+	}
+
+	// Seed state the drain must carry: plain values (two writes, so
+	// versions reach 2), a counter on the leaving shard, untouched keys.
+	for _, key := range append(append([]string(nil), allMoving...), staying...) {
+		if _, err := cl.Put(ctx, []byte(key), []byte("v1-"+key)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Put(ctx, []byte(key), []byte("v2-"+key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var counter string
+	for i := 0; ; i++ {
+		counter = fmt.Sprintf("drainctr:%d", i)
+		if cur.ShardString(counter) == leaving {
+			break
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Increment(ctx, []byte(counter), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := c.RemoveShard(ctx); err != nil {
+		t.Fatalf("RemoveShard: %v", err)
+	}
+	ring := c.CurrentRing()
+	if ring.Shards() != 3 || ring.Epoch() != 1 {
+		t.Fatalf("ring after drain: %d shards epoch %d", ring.Shards(), ring.Epoch())
+	}
+	if n := c.NumShards(); n != 3 {
+		t.Fatalf("NumShards after drain = %d, want 3", n)
+	}
+
+	// The pre-drain client reads every key back (bounced operations
+	// re-route to the survivors) and sees the latest values.
+	for _, key := range append(append([]string(nil), allMoving...), staying...) {
+		v, ok, err := cl.Get(ctx, []byte(key))
+		if err != nil || !ok || string(v) != "v2-"+key {
+			t.Fatalf("get %q after drain: %v %v %q", key, err, ok, v)
+		}
+	}
+
+	// Each drained key landed on exactly the survivor the shrunk ring
+	// names.
+	for to, keys := range moving {
+		for _, key := range keys {
+			if owner := ring.ShardString(key); owner != to {
+				t.Fatalf("key %q owned by %d after shrink, want %d", key, owner, to)
+			}
+			if _, _, ok := c.Part(to).Master.Store().Get([]byte(key)); !ok {
+				t.Fatalf("drained key %q missing on survivor %d", key, to)
+			}
+		}
+	}
+
+	// Versions migrated: a conditional write against the pre-drain
+	// version succeeds on the new owner.
+	applied, ver, err := cl.CondPut(ctx, []byte(allMoving[0]), []byte("v3"), 2)
+	if err != nil || !applied || ver != 3 {
+		t.Fatalf("CondPut across drain: applied=%v ver=%d err=%v", applied, ver, err)
+	}
+
+	// The counter keeps counting exactly-once on its survivor.
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Increment(ctx, []byte(counter), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := cl.Increment(ctx, []byte(counter), 0); err != nil || n != 10 {
+		t.Fatalf("counter after drain = %d, %v, want 10", n, err)
+	}
+
+	// A fresh client covers only the survivors.
+	cl2 := testClient(t, c, "late")
+	if cl2.NumShards() != 3 {
+		t.Fatalf("fresh client covers %d shards", cl2.NumShards())
+	}
+	for _, key := range allMoving[:3] {
+		if v, ok, err := cl2.Get(ctx, []byte(key)); err != nil || !ok || string(v) != "v3" && string(v) != "v2-"+key {
+			t.Fatalf("fresh client get %q: %v %v %q", key, err, ok, v)
+		}
+	}
+
+	// Grow-then-shrink round trip: adding a shard back restores the
+	// pre-drain mapping exactly (the mapping is a pure function of the
+	// shard count), at a higher epoch.
+	if s, err := c.AddShard(); err != nil || s != 3 {
+		t.Fatalf("AddShard after drain = %d, %v", s, err)
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatalf("Rebalance after drain: %v", err)
+	}
+	regrown := c.CurrentRing()
+	if regrown.Shards() != 4 || regrown.Epoch() != 2 {
+		t.Fatalf("ring after regrow: %d shards epoch %d", regrown.Shards(), regrown.Epoch())
+	}
+	// cl2 was opened on the 3-shard ring: reading a key the regrow moved
+	// exercises the refresh path that dials the newly covered shard.
+	for _, key := range allMoving[:3] {
+		if owner := regrown.ShardString(key); owner != leaving {
+			t.Fatalf("key %q owned by %d after regrow, want %d", key, owner, leaving)
+		}
+		if v, ok, err := cl2.Get(ctx, []byte(key)); err != nil || !ok || len(v) == 0 {
+			t.Fatalf("get %q after regrow: %v %v", key, err, ok)
+		}
+	}
+}
+
+// TestRemoveShardRejectsSpare: a partition not covered by the ring blocks
+// RemoveShard — the operator must Rebalance onto it (or retire it by other
+// means) first, otherwise the drained shard's data would land partly on a
+// partition the ring never routes to.
+func TestRemoveShardRejectsSpare(t *testing.T) {
+	c := startTestCluster(t, testOptions(2))
+	ctx := context.Background()
+	if _, err := c.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveShard(ctx); err == nil {
+		t.Fatal("RemoveShard with an uncovered spare succeeded, want error")
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveShard(ctx); err != nil {
+		t.Fatalf("RemoveShard after rebalance: %v", err)
+	}
+	if got := c.CurrentRing().Shards(); got != 2 {
+		t.Fatalf("shards after drain = %d, want 2", got)
+	}
+}

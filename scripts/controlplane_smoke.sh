@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the replicated control plane: boot a 3-coordinator
+# TCP cluster, assert the quorum series and exactly one leader across the
+# replica /metrics endpoints, kill the leader (curpd's SIGUSR1 drill), and
+# assert a new leader is elected, serves curpctl status, and registers fresh
+# clients. Run from anywhere; needs go and curl.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HOST=127.0.0.1
+PORT="${PORT:-7000}"
+COORDINATORS=3
+F=2
+# Replica i>0 listens on base+1+i; /metrics is RPC port +500 everywhere, so
+# the three replica exposition endpoints are +500, +502, +503.
+COORD_METRICS_OFFSETS=(500 502 503)
+
+TMP="$(mktemp -d)"
+CURPD_PID=""
+cleanup() {
+  [ -n "$CURPD_PID" ] && kill "$CURPD_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/curpd" ./cmd/curpd
+go build -o "$TMP/curpctl" ./cmd/curpctl
+
+"$TMP/curpd" -mode cluster -host "$HOST" -port "$PORT" -shards 1 -f "$F" \
+  -coordinators "$COORDINATORS" >"$TMP/curpd.log" 2>&1 &
+CURPD_PID=$!
+
+ctl() {
+  "$TMP/curpctl" -coordinator "$HOST:$PORT" -coordinators "$COORDINATORS" "$@"
+}
+
+scrape() { # scrape <port>
+  curl -sf --max-time 5 "http://$HOST:$1/metrics"
+}
+
+wait_up() { # wait_up <port>
+  for _ in $(seq 1 50); do
+    if scrape "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "FAIL: metrics endpoint :$1 never came up" >&2
+  cat "$TMP/curpd.log" >&2
+  exit 1
+}
+
+assert_series() { # assert_series <port> <series>...
+  local port="$1"; shift
+  local body
+  body="$(scrape "$port")"
+  for series in "$@"; do
+    if ! grep -q "^$series" <<<"$body"; then
+      echo "FAIL: :$port/metrics is missing $series" >&2
+      echo "--- exposition was:" >&2
+      echo "$body" >&2
+      exit 1
+    fi
+  done
+  echo "ok :$port/metrics has: $*"
+}
+
+# leader_ports prints the metrics port of every replica currently reporting
+# curp_coord_leader 1 (the lease holder); a healthy quorum prints exactly one.
+leader_ports() {
+  local off v
+  for off in "${COORD_METRICS_OFFSETS[@]}"; do
+    v="$(scrape $((PORT + off)) 2>/dev/null | awk '$1 ~ /^curp_coord_leader([{]|$)/ {print int($2)}')" || v=0
+    if [ "${v:-0}" -eq 1 ]; then echo $((PORT + off)); fi
+  done
+}
+
+wait_one_leader() { # wait_one_leader <label> [excluded-port]
+  local label="$1" excluded="${2:-}" ports
+  for _ in $(seq 1 100); do
+    ports="$(leader_ports)"
+    if [ "$(wc -w <<<"$ports")" -eq 1 ] && [ "$ports" != "$excluded" ]; then
+      echo "$ports"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: $label: want exactly one curp_coord_leader=1${excluded:+ (not :$excluded)}, have: ${ports:-none}" >&2
+  cat "$TMP/curpd.log" >&2
+  exit 1
+}
+
+for off in "${COORD_METRICS_OFFSETS[@]}"; do
+  wait_up $((PORT + off))
+done
+wait_up $((PORT + 501)) # master
+
+# Every replica exposes the quorum series.
+for off in "${COORD_METRICS_OFFSETS[@]}"; do
+  assert_series $((PORT + off)) \
+    curp_coord_leader \
+    curp_coord_term \
+    curp_coord_replicas \
+    curp_coord_log_committed_total \
+    curp_coord_elections_total
+done
+
+leader_before="$(wait_one_leader boot)"
+echo "ok quorum elected exactly one leader (metrics :$leader_before)"
+
+# Traffic: every curpctl invocation registers a fresh client — a
+# control-plane proposal committed through the leader's log.
+for i in $(seq 1 10); do
+  ctl put "cp-smoke-$i" "v$i" >/dev/null
+done
+got="$(ctl get cp-smoke-7)"
+if [ "$got" != "v7" ]; then
+  echo "FAIL: get cp-smoke-7 = $got, want v7" >&2
+  exit 1
+fi
+echo "ok writes committed through the quorum-backed partition"
+
+ctl status >"$TMP/status-before.out"
+if ! grep -q "quorum  $COORDINATORS/$COORDINATORS replicas reachable, leader=$HOST:" "$TMP/status-before.out"; then
+  echo "FAIL: curpctl status did not report a full healthy quorum" >&2
+  cat "$TMP/status-before.out" >&2
+  exit 1
+fi
+echo "ok curpctl status reports $COORDINATORS/$COORDINATORS replicas and a leader"
+
+# Kill the leader: curpd's SIGUSR1 drill crashes the replica holding the
+# leader lease. The survivors must elect a new leader.
+kill -USR1 "$CURPD_PID"
+leader_after="$(wait_one_leader post-kill "$leader_before")"
+echo "ok new leader elected (metrics :$leader_after, was :$leader_before)"
+
+# The new leader serves control-plane work: status through the survivors,
+# and a brand-new client registration (a replicated-log proposal).
+ctl status >"$TMP/status-after.out"
+if ! grep -q "quorum  $((COORDINATORS - 1))/$COORDINATORS replicas reachable, leader=$HOST:" "$TMP/status-after.out"; then
+  echo "FAIL: post-kill curpctl status did not report the surviving quorum + new leader" >&2
+  cat "$TMP/status-after.out" >&2
+  exit 1
+fi
+if grep -q "election in progress" "$TMP/status-after.out"; then
+  echo "FAIL: post-kill curpctl status still reports an election in progress" >&2
+  cat "$TMP/status-after.out" >&2
+  exit 1
+fi
+ctl put cp-smoke-postkill v-after >/dev/null
+got="$(ctl get cp-smoke-postkill)"
+if [ "$got" != "v-after" ]; then
+  echo "FAIL: post-kill get = $got, want v-after" >&2
+  exit 1
+fi
+echo "ok new leader registers clients and the partition keeps committing"
+
+echo "PASS control-plane smoke"

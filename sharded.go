@@ -79,6 +79,14 @@ func (c *ShardedCluster) AddShard() (int, error) { return c.inner.AddShard() }
 // automatically when the ring epoch flips.
 func (c *ShardedCluster) Rebalance(ctx context.Context) error { return c.inner.Rebalance(ctx) }
 
+// RemoveShard drains the highest shard and retires it: the ring shrinks
+// one step (restoring the exact mapping from before that shard was
+// added), the shard's key ranges live-migrate back onto the survivors —
+// same freeze→drain→export→commit handoff as Rebalance, fanning out to
+// many targets — and the drained partition shuts down once the shrunk
+// ring is published. Clients re-route automatically.
+func (c *ShardedCluster) RemoveShard(ctx context.Context) error { return c.inner.RemoveShard(ctx) }
+
 // NewClient opens a client that routes operations across every shard.
 func (c *ShardedCluster) NewClient(name string) (*ShardedClient, error) {
 	cl, err := c.inner.NewClient(name)
@@ -97,6 +105,16 @@ func (c *ShardedCluster) CrashMaster(s int) { c.inner.CrashMaster(s) }
 // SelfHealing set, the shard's coordinator installs a replacement under a
 // bumped witness-list version.
 func (c *ShardedCluster) CrashWitness(s, i int) { c.inner.CrashWitness(s, i) }
+
+// CrashCoordinatorLeader simulates a crash of the coordinator replica of
+// shard s that holds the control-plane leader lease, returning its index.
+// With ControlPlaneReplicas ≥ 3 the surviving replicas elect a new leader
+// that takes over healing and configuration commits; with a single
+// replica the shard keeps serving data but loses reconfiguration until an
+// operator intervenes.
+func (c *ShardedCluster) CrashCoordinatorLeader(s int) int {
+	return c.inner.CrashCoordinatorLeader(s)
+}
 
 // WaitHealthy blocks until every partition's nodes are back within their
 // heartbeat deadlines — all in-flight automatic failovers have finished —
