@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"curp"
+	"curp/internal/workload"
+)
+
+// traceOverheadRow is one sampling mode's measurement in
+// BENCH_traceoverhead.json.
+type traceOverheadRow struct {
+	Mode        string  `json:"mode"` // off | tail | all
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	OverheadPct float64 `json:"overhead_vs_off_pct"`
+}
+
+// traceOverheadReport is the schema of BENCH_traceoverhead.json: the
+// evidence that default tail-based sampling costs ≲2% — the property that
+// justifies shipping tracing always-on.
+type traceOverheadReport struct {
+	Experiment string             `json:"experiment"`
+	Ops        int                `json:"ops"`
+	F          int                `json:"f"`
+	Depth      int                `json:"depth"`
+	Trials     int                `json:"trials"`
+	Rows       []traceOverheadRow `json:"rows"`
+}
+
+// TraceOverhead measures the distributed tracer's cost on the hot path:
+// single-client pipelined put throughput with tracing disabled, with the
+// default tail-based sampling (spans ring-buffered, traces promoted only
+// when interesting), and with 100% sampling (TraceFlagForce on every op,
+// so every span is promoted and retained). Each mode runs several
+// interleaved trials and keeps the best, damping scheduler noise; the
+// off-mode best is the overhead baseline.
+func TraceOverhead(w io.Writer, ops int) {
+	const (
+		f      = 3
+		depth  = 16
+		trials = 3
+	)
+	modes := []string{"off", "tail", "all"}
+	best := make(map[string]float64)
+	for t := 0; t < trials; t++ {
+		for _, mode := range modes {
+			if got := runTraceOverheadLoad(mode, depth, ops, f); got > best[mode] {
+				best[mode] = got
+			}
+		}
+	}
+	report := traceOverheadReport{Experiment: "traceoverhead", Ops: ops, F: f, Depth: depth, Trials: trials}
+	fmt.Fprintln(w, "Tracing overhead (real stack, in-memory network, 1 pipelined client)")
+	fmt.Fprintf(w, "%-6s %12s %10s\n", "mode", "ops/s", "overhead")
+	for _, mode := range modes {
+		row := traceOverheadRow{
+			Mode:        mode,
+			OpsPerSec:   best[mode],
+			OverheadPct: 100 * (best["off"] - best[mode]) / best["off"],
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(w, "%-6s %12.0f %9.2f%%\n", row.Mode, row.OpsPerSec, row.OverheadPct)
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	exitOn(err)
+	exitOn(os.WriteFile("BENCH_traceoverhead.json", append(buf, '\n'), 0o644))
+	fmt.Fprintln(w, "wrote BENCH_traceoverhead.json")
+}
+
+// runTraceOverheadLoad runs one closed-loop pipelined client over distinct
+// keys in the given sampling mode and reports throughput.
+func runTraceOverheadLoad(mode string, depth, ops, f int) float64 {
+	opts := curp.Options{F: f}
+	if mode == "off" {
+		opts.DisableTracing = true
+	}
+	c, err := curp.Start(opts)
+	exitOn(err)
+	defer c.Close()
+	cl, err := c.NewClient("traceoverhead-" + mode)
+	exitOn(err)
+	defer cl.Close()
+	if mode == "all" {
+		cl.TraceAll()
+	}
+	ctx := context.Background()
+	value := workload.Value(1, 100)
+	start := time.Now()
+	i := 0
+	for i < ops {
+		p := cl.NewPipeline()
+		for j := 0; j < depth && i < ops; j++ {
+			p.Put(workload.Key(uint64(i), 30), value)
+			i++
+		}
+		exitOn(p.Flush(ctx))
+	}
+	return float64(ops) / time.Since(start).Seconds()
+}

@@ -47,6 +47,19 @@
 //	curpctl -coordinator 127.0.0.1:7000 -shards 4 top
 //	curpctl -coordinator 127.0.0.1:7000 -shards 4 top 500ms 10
 //
+// trace reads the distributed tracer: with no argument it lists every
+// promoted trace still held by the cluster's /trace endpoints (tail-based
+// sampling keeps only slow, errored, or fast-path-evicted ops); with a
+// trace ID it fetches that trace's spans from every node, stitches the
+// causal tree, and renders a waterfall with per-stage latency attribution
+// (witness-record, master-queue, apply, sync-wait, backup-append,
+// lock-wait) plus the verdict that evicted the op from the 1-RTT path.
+// Pass the deployment's -f so the backup/witness endpoint scan matches,
+// and -trace-endpoints for collectors outside the port convention:
+//
+//	curpctl -coordinator 127.0.0.1:7000 -shards 4 -f 3 trace
+//	curpctl -coordinator 127.0.0.1:7000 -shards 4 -f 3 trace 9f8e7d6c5b4a3f2e
+//
 // rebalance grows the routing ring live: with partitions 0..M-1 already
 // running (curpd -shards M provisions spares that own no keys), it
 // migrates key ranges from an N-shard ring onto the new shards without
@@ -80,6 +93,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"curp/internal/cluster"
@@ -111,6 +125,8 @@ func main() {
 	coord := flag.String("coordinator", "127.0.0.1:7000", "shard 0's coordinator address")
 	coordinators := flag.Int("coordinators", 1, "coordinator replicas per partition (curpd -coordinators layout: replica 0 on the shard's base port, replica i at +1+i); clients and status fail over across them")
 	shards := flag.Int("shards", 1, "total partitions; shard s's coordinator port = base port + s*1000")
+	fTol := flag.Int("f", 3, "trace: the deployment's fault-tolerance level (curpd -f), sizing the backup/witness endpoint scan")
+	traceEPs := flag.String("trace-endpoints", "", "trace: comma-separated extra /trace endpoints (host:port) beyond the port convention, e.g. a curpbench client's")
 	pin := flag.Int("shard", -1, "pin every operation to this partition instead of routing by key")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
 	flag.Parse()
@@ -137,6 +153,14 @@ func main() {
 	if args[0] == "top" {
 		interval, iterations := topArgs(args)
 		runTop(*coord, *shards, *timeout, interval, iterations)
+		return
+	}
+	if args[0] == "trace" {
+		var extra []string
+		if *traceEPs != "" {
+			extra = strings.Split(*traceEPs, ",")
+		}
+		runTrace(*coord, *shards, *coordinators, *fTol, *timeout, extra, args)
 		return
 	}
 	if args[0] == "rebalance" || args[0] == "drain" {
@@ -415,13 +439,14 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-coordinators R] [-shards N] [-shard i] put|get|del|incr|append|putttl|sadd|srem|smembers|take|shard|bench|status|top|rebalance|drain args...")
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-coordinators R] [-shards N] [-shard i] put|get|del|incr|append|putttl|sadd|srem|smembers|take|shard|bench|status|top|trace|rebalance|drain args...")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port putttl <key> <value> <ttl, e.g. 30s>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port take <bucket-key> <tokens>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port rebalance <fromShards> <toShards>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port drain <fromShards> <toShards>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N -coordinators R status")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N top [interval [iterations]]")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N -f F trace [trace-id]")
 	os.Exit(2)
 }
 

@@ -61,8 +61,14 @@
 // replacement witnesses base+900+. The master endpoints re-resolve the
 // live master per scrape, so they stay correct across failovers.
 // Component modes take an explicit -metrics-addr instead.
-// -trace-threshold logs a structured span to stderr for every op slower
-// than the threshold.
+//
+// Every metrics endpoint also serves GET /trace: the node's promoted
+// distributed traces as JSON (`curpctl trace` stitches them across nodes
+// into one waterfall). -trace-threshold sets the tail-sampling promotion
+// bound on EVERY role's collector — any trace with a span at least that
+// slow is kept — and additionally logs a structured slow-op span to stderr
+// on masters. -pprof mounts the net/http/pprof suite on the same
+// endpoints.
 package main
 
 import (
@@ -97,20 +103,23 @@ func main() {
 	adaptive := flag.Bool("adaptive-flush", true, "load-adaptive background flush threshold instead of a fixed batch size")
 	selfHeal := flag.Bool("self-heal", true, "cluster mode: heartbeat failure detection with automatic master failover & witness replacement")
 	hbInterval := flag.Duration("heartbeat", health.DefaultInterval, "cluster mode: heartbeat interval (failure declared after 8×)")
-	metricsOn := flag.Bool("metrics", true, "cluster mode: serve GET /metrics on every node at RPC port + 500")
-	metricsAddr := flag.String("metrics-addr", "", "component modes: serve this node's GET /metrics on this address")
-	trace := flag.Duration("trace-threshold", 0, "master: log a structured span to stderr for ops slower than this (0 disables)")
+	metricsOn := flag.Bool("metrics", true, "cluster mode: serve GET /metrics (+ /trace) on every node at RPC port + 500")
+	metricsAddr := flag.String("metrics-addr", "", "component modes: serve this node's GET /metrics (+ /trace) on this address")
+	trace := flag.Duration("trace-threshold", 0, "promote any distributed trace containing a span at least this slow (all roles); masters also log a structured slow-op span to stderr (0: only errored/conflict-synced/locked traces are kept)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof on every metrics endpoint")
 	flag.Parse()
 
+	obs := obsConfig{metricsOn: *metricsOn, pprof: *pprofOn, trace: *trace}
 	nw := transport.TCPNetwork{}
 	switch *mode {
 	case "cluster":
-		runShardedCluster(nw, *host, *port, *shards, *coordinators, *f, *batch, *adaptive, *selfHeal, *hbInterval, *metricsOn, *trace)
+		runShardedCluster(nw, *host, *port, *shards, *coordinators, *f, *batch, *adaptive, *selfHeal, *hbInterval, obs)
 	case "backup":
 		requireAddr(*addr)
 		srv, err := cluster.NewBackupServer(nw, *addr)
 		exitOn(err)
-		serveMetricsAddr(*metricsAddr, srv.Metrics())
+		srv.Trace().SetThreshold(*trace)
+		serveMetricsAddr(*metricsAddr, srv.Trace(), obs, srv.Metrics())
 		log.Printf("backup listening on %s", *addr)
 		waitForSignal()
 		srv.Close()
@@ -118,7 +127,8 @@ func main() {
 		requireAddr(*addr)
 		srv, err := cluster.NewWitnessServer(nw, *addr, witness.DefaultConfig())
 		exitOn(err)
-		serveMetricsAddr(*metricsAddr, srv.Metrics())
+		srv.Trace().SetThreshold(*trace)
+		serveMetricsAddr(*metricsAddr, srv.Trace(), obs, srv.Metrics())
 		log.Printf("witness listening on %s", *addr)
 		waitForSignal()
 		srv.Close()
@@ -134,10 +144,11 @@ func main() {
 		// version 1; witness instances must be started by the operator
 		// (curpctl start-witness) or by an all-in-one coordinator.
 		exitOn(ms.SetWitnessList(1, split(*witnesses)))
+		ms.Trace().SetThreshold(*trace)
 		if *trace > 0 {
 			ms.SetSlowOpTracer(metrics.NewTracer(os.Stderr, *trace))
 		}
-		serveMetricsAddr(*metricsAddr, ms.Metrics())
+		serveMetricsAddr(*metricsAddr, ms.Trace(), obs, ms.Metrics())
 		log.Printf("master listening on %s (backups=%s witnesses=%s)", *addr, *backups, *witnesses)
 		waitForSignal()
 		ms.Close()
@@ -147,9 +158,18 @@ func main() {
 	}
 }
 
+// obsConfig bundles the observability knobs threaded through every server
+// boot path: metrics endpoints on/off, pprof mounting, and the trace
+// promotion threshold (which doubles as the master slow-op log bound).
+type obsConfig struct {
+	metricsOn bool
+	pprof     bool
+	trace     time.Duration
+}
+
 // runShardedCluster boots `shards` independent partitions, shard s on the
 // port block base+s*1000, then waits for a shutdown signal.
-func runShardedCluster(nw transport.Network, host string, basePort, shards, coordinators, f, batch int, adaptive, selfHeal bool, hb time.Duration, metricsOn bool, trace time.Duration) {
+func runShardedCluster(nw transport.Network, host string, basePort, shards, coordinators, f, batch int, adaptive, selfHeal bool, hb time.Duration, obs obsConfig) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -159,7 +179,7 @@ func runShardedCluster(nw transport.Network, host string, basePort, shards, coor
 	var closers []interface{ Close() }
 	var quorums [][]*cluster.Coordinator
 	for s := 0; s < shards; s++ {
-		cs, reps := startPartition(nw, s, host, basePort+s*1000, coordinators, f, batch, adaptive, selfHeal, hb, metricsOn, trace)
+		cs, reps := startPartition(nw, s, host, basePort+s*1000, coordinators, f, batch, adaptive, selfHeal, hb, obs)
 		closers = append(closers, cs...)
 		quorums = append(quorums, reps)
 	}
@@ -201,7 +221,7 @@ type tcpSpares struct {
 	coordAddrs []string
 	hb         time.Duration
 	wcfg       witness.Config
-	metricsOn  bool
+	obs        obsConfig
 	seq        atomic.Uint64
 }
 
@@ -216,10 +236,11 @@ func (s *tcpSpares) SpareBackup(uint64) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	b.Trace().SetThreshold(s.obs.trace)
 	b.StartHeartbeats(s.coordAddrs, s.hb)
-	if s.metricsOn {
+	if s.obs.metricsOn {
 		// Same RPC+500 convention as boot-time nodes: base+800+n.
-		if _, err := metrics.Serve(fmt.Sprintf("%s:%d", s.host, s.base+800+n), b.Metrics()); err != nil {
+		if _, err := metrics.ServeNode(fmt.Sprintf("%s:%d", s.host, s.base+800+n), metrics.Handler(b.Metrics()), b.Trace(), s.obs.pprof); err != nil {
 			log.Printf("metrics for replacement backup %s: %v", addr, err)
 		}
 	}
@@ -233,10 +254,11 @@ func (s *tcpSpares) SpareWitness(uint64) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	w.Trace().SetThreshold(s.obs.trace)
 	w.StartHeartbeats(s.coordAddrs, s.hb)
-	if s.metricsOn {
+	if s.obs.metricsOn {
 		// Same RPC+500 convention as boot-time nodes: base+900+n.
-		if _, err := metrics.Serve(fmt.Sprintf("%s:%d", s.host, s.base+900+n), w.Metrics()); err != nil {
+		if _, err := metrics.ServeNode(fmt.Sprintf("%s:%d", s.host, s.base+900+n), metrics.Handler(w.Metrics()), w.Trace(), s.obs.pprof); err != nil {
 			log.Printf("metrics for replacement witness %s: %v", addr, err)
 		}
 	}
@@ -247,7 +269,7 @@ func (s *tcpSpares) SpareWitness(uint64) (string, error) {
 // backups, f witnesses) on sequential ports from port, returning
 // everything to close plus the coordinator replicas (for the SIGUSR1
 // leader-kill drill).
-func startPartition(nw transport.Network, shard int, host string, port, coordinators, f, batch int, adaptive, selfHeal bool, hb time.Duration, metricsOn bool, trace time.Duration) ([]interface{ Close() }, []*cluster.Coordinator) {
+func startPartition(nw transport.Network, shard int, host string, port, coordinators, f, batch int, adaptive, selfHeal bool, hb time.Duration, obs obsConfig) ([]interface{ Close() }, []*cluster.Coordinator) {
 	// Coordinator replica i>0 lives at base+1+i (the master holds +1), so
 	// a 3-replica quorum occupies base, base+2, base+3.
 	coordAddrs := make([]string, coordinators)
@@ -267,15 +289,17 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 		// migrates completion records between partitions and must never
 		// collide them.
 		co.SetClientIDNamespace(cluster.ClientIDNamespaceFor(shard))
+		co.Trace().SetThreshold(obs.trace)
+		co.Trace().SetShard(shard)
 		replicas[i] = co
 		closers = append(closers, co)
 	}
 	coord := replicas[0]
-	serveMetrics := func(rpcPort int, regs ...*metrics.Registry) {
-		if !metricsOn {
+	serveMetrics := func(rpcPort int, coll *metrics.Collector, regs ...*metrics.Registry) {
+		if !obs.metricsOn {
 			return
 		}
-		srv, err := metrics.Serve(fmt.Sprintf("%s:%d", host, rpcPort+500), regs...)
+		srv, err := metrics.ServeNode(fmt.Sprintf("%s:%d", host, rpcPort+500), metrics.Handler(regs...), coll, obs.pprof)
 		exitOn(err)
 		closers = append(closers, errCloser{srv})
 	}
@@ -289,14 +313,18 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 		closers = append(closers, b)
 		backupSrvs = append(backupSrvs, b)
 		backupAddrs = append(backupAddrs, ba)
-		serveMetrics(port+100+i, b.Metrics())
+		b.Trace().SetThreshold(obs.trace)
+		b.Trace().SetShard(shard)
+		serveMetrics(port+100+i, b.Trace(), b.Metrics())
 		wa := fmt.Sprintf("%s:%d", host, port+200+i)
 		w, err := cluster.NewWitnessServer(nw, wa, witness.DefaultConfig())
 		exitOn(err)
 		closers = append(closers, w)
 		witnessSrvs = append(witnessSrvs, w)
 		witnessAddrs = append(witnessAddrs, wa)
-		serveMetrics(port+200+i, w.Metrics())
+		w.Trace().SetThreshold(obs.trace)
+		w.Trace().SetShard(shard)
+		serveMetrics(port+200+i, w.Trace(), w.Metrics())
 	}
 	opts := cluster.DefaultMasterOptions()
 	opts.Core.SyncBatchSize = batch
@@ -305,30 +333,40 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 	ms, err := cluster.NewMasterServer(nw, 1, masterAddr, 0, opts)
 	exitOn(err)
 	ms.SetShardIndex(shard)
-	if trace > 0 {
-		ms.SetSlowOpTracer(metrics.NewTracer(os.Stderr, trace))
+	ms.Trace().SetThreshold(obs.trace)
+	if obs.trace > 0 {
+		ms.SetSlowOpTracer(metrics.NewTracer(os.Stderr, obs.trace))
 	}
 	closers = append(closers, ms)
 	exitOn(coord.AddMaster(ms, backupAddrs, witnessAddrs))
-	if metricsOn {
+	if obs.metricsOn {
 		// Coordinator endpoint (base+500) doubles as the per-partition
-		// dashboard: coordinator series plus the live master's. The
-		// dedicated master endpoint (base+501) re-resolves the registry per
-		// scrape so a heal-promoted replacement keeps the same URL.
-		dash, err := metrics.ServeDynamic(fmt.Sprintf("%s:%d", host, port+500), func() []*metrics.Registry {
-			return []*metrics.Registry{coord.Metrics(), coord.MasterRegistry()}
-		})
+		// dashboard: coordinator series plus the live master's; its /trace
+		// merges both nodes' spans. The dedicated master endpoint
+		// (base+501) re-resolves the registry and collector per request so
+		// a heal-promoted replacement keeps the same URL.
+		dash, err := metrics.ServeNodeHandler(fmt.Sprintf("%s:%d", host, port+500),
+			metrics.DynamicHandler(func() []*metrics.Registry {
+				return []*metrics.Registry{coord.Metrics(), coord.MasterRegistry()}
+			}),
+			metrics.MultiTraceHandler(func() []*metrics.Collector {
+				return []*metrics.Collector{coord.Trace(), coord.MasterTrace()}
+			}), obs.pprof)
 		exitOn(err)
 		closers = append(closers, errCloser{dash})
-		msrv, err := metrics.ServeDynamic(fmt.Sprintf("%s:%d", host, port+501), func() []*metrics.Registry {
-			return []*metrics.Registry{coord.MasterRegistry()}
-		})
+		msrv, err := metrics.ServeNodeHandler(fmt.Sprintf("%s:%d", host, port+501),
+			metrics.DynamicHandler(func() []*metrics.Registry {
+				return []*metrics.Registry{coord.MasterRegistry()}
+			}),
+			metrics.MultiTraceHandler(func() []*metrics.Collector {
+				return []*metrics.Collector{coord.MasterTrace()}
+			}), obs.pprof)
 		exitOn(err)
 		closers = append(closers, errCloser{msrv})
 		// Follower replicas expose their own quorum series (leader gauge,
 		// commit index, election count) on the same RPC+500 convention.
 		for i := 1; i < coordinators; i++ {
-			serveMetrics(port+1+i, replicas[i].Metrics())
+			serveMetrics(port+1+i, replicas[i].Trace(), replicas[i].Metrics())
 		}
 	}
 	if selfHeal {
@@ -343,7 +381,7 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 		for _, w := range witnessSrvs {
 			w.StartHeartbeats(coordAddrs, det.Interval)
 		}
-		spares := &tcpSpares{nw: nw, host: host, base: port, coordAddrs: coordAddrs, hb: det.Interval, wcfg: witness.DefaultConfig(), metricsOn: metricsOn}
+		spares := &tcpSpares{nw: nw, host: host, base: port, coordAddrs: coordAddrs, hb: det.Interval, wcfg: witness.DefaultConfig(), obs: obs}
 		for _, co := range replicas {
 			// Armed on every replica; only the leader-lease holder acts.
 			exitOn(co.EnableSelfHealing(cluster.HealthConfig{
@@ -365,16 +403,17 @@ type errCloser struct{ srv *metrics.Server }
 
 func (c errCloser) Close() { _ = c.srv.Close() }
 
-// serveMetricsAddr starts a component-mode /metrics endpoint when the
-// operator passed -metrics-addr (standalone nodes have no port convention
-// to derive one from).
-func serveMetricsAddr(addr string, regs ...*metrics.Registry) {
+// serveMetricsAddr starts a component-mode observability endpoint
+// (/metrics, /trace, optional pprof) when the operator passed
+// -metrics-addr (standalone nodes have no port convention to derive one
+// from).
+func serveMetricsAddr(addr string, coll *metrics.Collector, obs obsConfig, regs ...*metrics.Registry) {
 	if addr == "" {
 		return
 	}
-	srv, err := metrics.Serve(addr, regs...)
+	srv, err := metrics.ServeNode(addr, metrics.Handler(regs...), coll, obs.pprof)
 	exitOn(err)
-	log.Printf("metrics on http://%s/metrics", srv.Addr)
+	log.Printf("metrics on http://%s/metrics (traces at /trace)", srv.Addr)
 }
 
 func split(s string) []string {

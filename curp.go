@@ -125,6 +125,18 @@ type Options struct {
 	// ControlPlaneElectionTimeout tunes coordinator leader-failure
 	// detection (library default when zero; tests shrink it).
 	ControlPlaneElectionTimeout time.Duration
+	// TraceThreshold tunes tail-based trace sampling: any distributed
+	// trace containing a span at least this slow is promoted (kept for
+	// /trace and curpctl trace). Zero keeps only the default promotion
+	// rules — errors, conflict syncs, lock waits, and redirects.
+	TraceThreshold time.Duration
+	// DisableTracing turns off distributed-trace minting in clients opened
+	// on this cluster (span recording on servers then never triggers,
+	// since no request carries a trace context).
+	DisableTracing bool
+	// Profiling mounts net/http/pprof on NodeHandler (and, through
+	// cmd/curpd's -pprof flag, on every node's metrics endpoint).
+	Profiling bool
 }
 
 // FailoverEvent describes one self-healing action (Options.OnFailover).
@@ -194,6 +206,7 @@ type Stats struct {
 type Cluster struct {
 	inner *cluster.Cluster
 	net   *transport.MemNetwork
+	opts  Options
 }
 
 // memNetwork builds the in-memory network for Start/StartSharded, wiring
@@ -278,7 +291,10 @@ func Start(opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: inner, net: nw}, nil
+	if opts.TraceThreshold > 0 {
+		inner.SetTraceThreshold(opts.TraceThreshold)
+	}
+	return &Cluster{inner: inner, net: nw, opts: opts}, nil
 }
 
 // NewClient opens a client. name identifies the client host on the
@@ -287,6 +303,11 @@ func (c *Cluster) NewClient(name string) (*Client, error) {
 	cl, err := c.inner.NewClient(name)
 	if err != nil {
 		return nil, err
+	}
+	if c.opts.DisableTracing {
+		cl.DisableTracing()
+	} else if coll := cl.Trace(); coll != nil {
+		coll.SetThreshold(c.opts.TraceThreshold)
 	}
 	return &Client{inner: cl}, nil
 }
@@ -357,6 +378,31 @@ func (c *Cluster) MetricsHandler() http.Handler {
 	})
 }
 
+// TraceHandler returns an http.Handler serving the partition's distributed
+// traces (the /trace endpoint): GET lists every node's promoted traces,
+// GET ?id=<trace id> merges one trace's spans across all nodes. Traces are
+// tail-sampled — see Options.TraceThreshold.
+func (c *Cluster) TraceHandler() http.Handler {
+	return metrics.MultiTraceHandler(func() []*metrics.Collector {
+		return c.inner.TraceCollectors()
+	})
+}
+
+// NodeHandler returns the full observability mux for an embedded
+// deployment: /metrics, /trace, and (with Options.Profiling) the
+// net/http/pprof suite — the same endpoint layout every curpd node serves.
+func (c *Cluster) NodeHandler() http.Handler {
+	mux := http.NewServeMux()
+	h := c.MetricsHandler()
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	mux.Handle("/trace", c.TraceHandler())
+	if c.opts.Profiling {
+		metrics.MountProfiling(mux)
+	}
+	return mux
+}
+
 // WriteMetrics renders the partition's current metrics to w in Prometheus
 // text exposition format (the non-HTTP form of MetricsHandler — benchmark
 // snapshots, debugging).
@@ -401,6 +447,16 @@ func toStats(s core.ClientStats) Stats {
 func (c *Client) Stats() Stats {
 	return toStats(c.inner.Stats())
 }
+
+// DisableTracing turns off distributed-trace minting for this client: its
+// operations carry no trace context and record no spans anywhere.
+func (c *Client) DisableTracing() { c.inner.DisableTracing() }
+
+// TraceAll switches this client to 100% trace sampling: every operation's
+// trace is promoted regardless of outcome or latency. For debugging and
+// overhead measurement — the default tail sampling keeps only interesting
+// traces.
+func (c *Client) TraceAll() { c.inner.SetTraceFlags(metrics.TraceFlagForce) }
 
 // Put writes value under key; it returns the object's new version.
 func (c *Client) Put(ctx context.Context, key, value []byte) (uint64, error) {

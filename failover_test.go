@@ -28,7 +28,14 @@ func TestFailoverLinearizable(t *testing.T) {
 		AdaptiveFlush:     true,
 		SelfHealing:       true,
 		HeartbeatInterval: 3 * time.Millisecond,
-		FailoverAfter:     30 * time.Millisecond,
+		// The detector deadline must clear the worst node pause an
+		// instrumented (-race) build can take, or a healthy master gets
+		// falsely deposed mid-test — which, on shard 0, heals a crashed
+		// witness through the master-failover path and breaks the
+		// separate witness-replaced accounting below. 60ms keeps real
+		// crash detection fast (the waves gate on WaitHealthy anyway)
+		// while staying above race-mode GC stalls.
+		FailoverAfter: 60 * time.Millisecond,
 		OnFailover: func(ev FailoverEvent) {
 			switch ev.Kind {
 			case "master-failover":
@@ -223,6 +230,14 @@ func TestFailoverLinearizable(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < syncIncrEach; i++ {
 				if _, err := cl.Increment(ctx, []byte(key), 1); err != nil {
+					// A retried increment restored by witness replay keeps
+					// its state effect but loses its order-dependent return
+					// value (§3.3); the documented contract is to re-read.
+					// The exactly-once assertion below still counts it.
+					if errors.Is(err, ErrCounterUnavailable) {
+						pace()
+						continue
+					}
 					fail("increment %q: %v", key, err)
 					return
 				}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -47,6 +48,7 @@ type BackupServer struct {
 	rpc *rpc.Server
 
 	metrics        *metrics.Registry
+	coll           *metrics.Collector
 	mAppendEntries *metrics.Histogram
 	mAppendLat     *metrics.Histogram
 	mStaleEpochs   *metrics.Counter
@@ -61,6 +63,7 @@ func NewBackupServer(nw transport.Network, addr string) (*BackupServer, error) {
 		closed: make(chan struct{}),
 		rpc:    rpc.NewServer(),
 	}
+	bs.coll = metrics.NewCollector(addr, "backup", 0)
 	bs.buildMetrics()
 	bs.rpc.Handle(OpBackupAppend, bs.handleAppend)
 	bs.rpc.Handle(OpBackupFetch, bs.handleFetch)
@@ -81,6 +84,9 @@ func (bs *BackupServer) Addr() string { return bs.addr }
 
 // Metrics returns the server's metric registry for /metrics exposition.
 func (bs *BackupServer) Metrics() *metrics.Registry { return bs.metrics }
+
+// Trace returns the server's distributed-trace collector.
+func (bs *BackupServer) Trace() *metrics.Collector { return bs.coll }
 
 // buildMetrics registers the backup-side series: sync batch size and
 // latency (the master's §4.4 batching shows up here as entries per append)
@@ -144,20 +150,25 @@ func (bs *BackupServer) state(masterID uint64) *backupState {
 	return st
 }
 
-func (bs *BackupServer) handleAppend(payload []byte) ([]byte, error) {
+func (bs *BackupServer) handleAppend(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := decodeAppendRequest(payload)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	defer func() { bs.mAppendLat.ObserveDuration(time.Since(start)) }()
+	verdict := "ok"
+	defer func() {
+		bs.mAppendLat.ObserveDuration(time.Since(start))
+		bs.coll.RecordSpan(ctx, "backup-append", "append", verdict, start, time.Since(start), "")
+	}()
 	bs.mAppendEntries.Observe(int64(len(req.Entries)))
 	st := bs.state(req.MasterID)
 	bs.mu.Lock()
-	if req.Epoch < st.epoch {
+	if cur := st.epoch; req.Epoch < cur {
 		bs.mu.Unlock()
 		bs.mStaleEpochs.Inc()
-		return nil, fmt.Errorf("%s: master %d epoch %d < %d", ErrStaleEpoch, req.MasterID, req.Epoch, st.epoch)
+		verdict = "stale-epoch"
+		return nil, fmt.Errorf("%s: master %d epoch %d < %d", ErrStaleEpoch, req.MasterID, req.Epoch, cur)
 	}
 	st.epoch = req.Epoch
 	bs.mu.Unlock()
@@ -180,7 +191,7 @@ func (bs *BackupServer) handleAppend(payload []byte) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
-func (bs *BackupServer) handleFetch(payload []byte) ([]byte, error) {
+func (bs *BackupServer) handleFetch(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	if err := d.Err(); err != nil {
@@ -193,7 +204,7 @@ func (bs *BackupServer) handleFetch(payload []byte) ([]byte, error) {
 // handleRead serves a read-only command against the materialized replica:
 // the §A.1 backup-read path. Only synced data is visible here, which is
 // exactly the consistency contract the witness probe guards.
-func (bs *BackupServer) handleRead(payload []byte) ([]byte, error) {
+func (bs *BackupServer) handleRead(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	reqBytes := d.Bytes32()
@@ -236,7 +247,7 @@ func (bs *BackupServer) handleRead(payload []byte) ([]byte, error) {
 // handleReset clears a master's replica ahead of a full re-sync during
 // recovery (the coordinator reconciles backups by restoring the longest
 // log and replaying it from scratch).
-func (bs *BackupServer) handleReset(payload []byte) ([]byte, error) {
+func (bs *BackupServer) handleReset(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	epoch := d.U64()
@@ -263,7 +274,7 @@ func (bs *BackupServer) handleReset(payload []byte) ([]byte, error) {
 // handleDropRange marks ranges as migrated away and frees their objects
 // from the materialized replica. The log keeps the entries (history); only
 // the read surface changes.
-func (bs *BackupServer) handleDropRange(payload []byte) ([]byte, error) {
+func (bs *BackupServer) handleDropRange(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID, rs := rangesIn(d)
 	if err := d.Err(); err != nil {
@@ -279,7 +290,7 @@ func (bs *BackupServer) handleDropRange(payload []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (bs *BackupServer) handleSetEpoch(payload []byte) ([]byte, error) {
+func (bs *BackupServer) handleSetEpoch(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	epoch := d.U64()

@@ -9,6 +9,7 @@ import (
 
 	"curp/internal/core"
 	"curp/internal/kv"
+	"curp/internal/metrics"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
 	"curp/internal/transport"
@@ -299,16 +300,32 @@ func NewClientMulti(nw transport.Network, name string, coordAddrs []string, mast
 		provider.close()
 		return nil, err
 	}
+	cfg := core.DefaultClientConfig()
+	// Tracing defaults on: the client mints one trace context per flush and
+	// keeps spans in its own collector. Tail-based sampling makes the
+	// default near-free; DisableTracing turns minting off entirely.
+	cfg.Trace = metrics.NewCollector(name, "client", 0)
 	c := &Client{
 		name:     name,
 		provider: provider,
-		curp:     core.NewClient(rifl.NewSession(clientID), provider, core.DefaultClientConfig()),
+		curp:     core.NewClient(rifl.NewSession(clientID), provider, cfg),
 	}
 	return c, nil
 }
 
 // Close releases the client's connections.
 func (c *Client) Close() { c.provider.close() }
+
+// Trace returns the client's span collector (nil when tracing is off).
+func (c *Client) Trace() *metrics.Collector { return c.curp.TraceCollector() }
+
+// DisableTracing stops the client from minting trace contexts; RPC frames
+// revert to the untraced encoding.
+func (c *Client) DisableTracing() { c.curp.SetTrace(nil) }
+
+// SetTraceFlags sets the sampling flags on minted traces
+// (metrics.TraceFlagForce = keep every trace).
+func (c *Client) SetTraceFlags(flags uint8) { c.curp.SetTraceFlags(flags) }
 
 // Stats exposes protocol counters (fast path vs slow path etc).
 func (c *Client) Stats() core.ClientStats { return c.curp.Stats() }

@@ -97,6 +97,9 @@ type Cluster struct {
 	mu sync.Mutex
 	// spareSeq numbers the spare nodes this cluster booted for failover.
 	spareSeq atomic.Uint64
+	// traceThreshold is the tail-sampling promotion threshold, re-applied
+	// to replacement masters promoted by the heal loop.
+	traceThreshold atomic.Int64
 	// hbInterval / failAfter are the resolved detector cadence and
 	// deadline (self-healing only).
 	hbInterval time.Duration
@@ -294,6 +297,7 @@ func (c *Cluster) retireBackupServer(addr string) {
 
 // setMaster rebinds the in-process master handle after a recovery.
 func (c *Cluster) setMaster(ms *MasterServer) {
+	ms.Trace().SetThreshold(time.Duration(c.traceThreshold.Load()))
 	c.mu.Lock()
 	c.Master = ms
 	c.mu.Unlock()
@@ -339,6 +343,35 @@ func (c *Cluster) Registries() []*metrics.Registry {
 		regs = append(regs, w.Metrics())
 	}
 	return regs
+}
+
+// TraceCollectors snapshots every server's distributed-trace collector —
+// coordinator, current master, backups, witnesses. Like Registries,
+// callers re-fetch per request so failovers are reflected immediately.
+func (c *Cluster) TraceCollectors() []*metrics.Collector {
+	colls := []*metrics.Collector{c.Coord.Trace()}
+	if m := c.CurrentMaster(); m != nil {
+		colls = append(colls, m.Trace())
+	}
+	for _, b := range c.BackupServers() {
+		colls = append(colls, b.Trace())
+	}
+	for _, w := range c.WitnessServers() {
+		colls = append(colls, w.Trace())
+	}
+	return colls
+}
+
+// SetTraceThreshold sets the tail-sampling promotion threshold on every
+// server's trace collector: any trace containing a span at least this slow
+// is promoted (kept for /trace) even when nothing else was interesting
+// about it. Zero keeps the default rules (errors, conflict syncs, lock
+// waits, redirects).
+func (c *Cluster) SetTraceThreshold(d time.Duration) {
+	c.traceThreshold.Store(int64(d))
+	for _, coll := range c.TraceCollectors() {
+		coll.SetThreshold(d)
+	}
 }
 
 // SpareMasterAddr implements SpareProvider: a fresh address for a

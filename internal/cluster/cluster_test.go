@@ -328,11 +328,11 @@ func TestZombieMasterCannotSync(t *testing.T) {
 	_ = nw
 	// The zombie tries to sync: backups reject its stale epoch, and it
 	// freezes itself.
-	err := zombie.syncAndWait(zombie.store.Head())
+	err := zombie.syncAndWait(context.Background(), zombie.store.Head())
 	if err == nil && zombie.store.Head() > 0 {
 		// An empty unsynced suffix makes sync a no-op; force an entry.
 		zombie.store.Apply(&kv.Command{Op: kv.OpPut, Key: []byte("z"), Value: []byte("z")}, ridTest(99, 1))
-		err = zombie.syncAndWait(zombie.store.Head())
+		err = zombie.syncAndWait(context.Background(), zombie.store.Head())
 	}
 	if err == nil {
 		t.Fatal("zombie sync should be rejected by fenced backups")

@@ -105,6 +105,8 @@ type Coordinator struct {
 	heal  *healManager
 
 	metrics *metrics.Registry
+	// coll records distributed-trace spans for traced control-plane RPCs.
+	coll *metrics.Collector
 	// healEvents holds one pre-registered counter per FailoverKind, so a
 	// scrape sees every curp_heal_events_total series at 0 before the
 	// first incident.
@@ -157,6 +159,7 @@ func NewCoordinatorReplica(nw transport.Network, leaseTTL time.Duration, q Quoru
 		table:        health.NewTable(),
 		RPCTimeout:   2 * time.Second,
 	}
+	c.coll = metrics.NewCollector(c.addr, "coordinator", 0)
 	node, err := controlplane.NewNode(controlplane.Config{
 		Rank:            q.Rank,
 		Peers:           c.cpPeers,
@@ -217,7 +220,7 @@ func (s *ctrlSender) RequestVote(ctx context.Context, addr string, req *controlp
 	return controlplane.DecodeVoteReply(out)
 }
 
-func (c *Coordinator) handleCtrlAppend(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleCtrlAppend(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := controlplane.DecodeAppendRequest(payload)
 	if err != nil {
 		return nil, err
@@ -225,7 +228,7 @@ func (c *Coordinator) handleCtrlAppend(payload []byte) ([]byte, error) {
 	return c.cp.HandleAppend(req).Encode(), nil
 }
 
-func (c *Coordinator) handleCtrlVote(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleCtrlVote(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := controlplane.DecodeVoteRequest(payload)
 	if err != nil {
 		return nil, err
@@ -234,12 +237,12 @@ func (c *Coordinator) handleCtrlVote(payload []byte) ([]byte, error) {
 }
 
 // handleCtrlPropose commits a command forwarded from a follower replica.
-func (c *Coordinator) handleCtrlPropose(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleCtrlPropose(ctx context.Context, payload []byte) ([]byte, error) {
 	cmd, err := controlplane.DecodeCommand(payload)
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), c.RPCTimeout)
+	ctx, cancel := context.WithTimeout(ctx, c.RPCTimeout)
 	defer cancel()
 	res, err := c.cp.Propose(ctx, cmd)
 	if err != nil {
@@ -253,6 +256,16 @@ func (c *Coordinator) handleCtrlPropose(payload []byte) ([]byte, error) {
 // propose commits one control command: directly when this replica leads,
 // else forwarded to the leader, retrying through elections until ctx ends.
 func (c *Coordinator) propose(ctx context.Context, cmd *controlplane.Command) (uint64, error) {
+	pctx, psp := c.coll.StartSpan(ctx, "ctrl-propose")
+	psp.SetOp(fmt.Sprintf("%v", cmd.Kind))
+	res, err := c.proposeRetry(pctx, cmd)
+	psp.SetErr(err)
+	psp.End()
+	return res, err
+}
+
+// proposeRetry is propose's election-riding retry loop.
+func (c *Coordinator) proposeRetry(ctx context.Context, cmd *controlplane.Command) (uint64, error) {
 	var lastErr error
 	for {
 		res, err := c.cp.Propose(ctx, cmd)
@@ -379,7 +392,17 @@ func (c *Coordinator) mirrorPartition(p *controlplane.Partition) {
 	}
 	c.masters[p.ID] = mi
 	if old != nil && old.addr != p.MasterAddr {
-		// The displaced master is deposed; drop its local handle.
+		// The displaced master is deposed; fence it directly when it runs
+		// in-process. A false-positive failover leaves the old master alive
+		// and serving — without the freeze it keeps accepting requests
+		// until its next backup sync trips over the epoch fence, and the
+		// unlucky in-flight operations see that discovery as an error
+		// instead of the retryable StatusWrongMaster the healing contract
+		// promises. Freezing here closes that window at the moment the
+		// deposition commits; a genuinely crashed master no-ops.
+		if zombie := c.localMasters[old.addr]; zombie != nil {
+			zombie.Freeze()
+		}
 		delete(c.localMasters, old.addr)
 		delete(c.localOpts, old.addr)
 	}
@@ -419,6 +442,9 @@ func (c *Coordinator) Addr() string { return c.addr }
 // exposition.
 func (c *Coordinator) Metrics() *metrics.Registry { return c.metrics }
 
+// Trace returns the coordinator's distributed-trace collector.
+func (c *Coordinator) Trace() *metrics.Collector { return c.coll }
+
 // MasterRegistry returns the partition's current in-process master's
 // metric registry (nil for remote masters). It tracks failovers: after the
 // heal loop promotes a replacement, the next call returns the
@@ -430,6 +456,20 @@ func (c *Coordinator) MasterRegistry() *metrics.Registry {
 	for _, mi := range c.masters {
 		if mi.server != nil {
 			return mi.server.metrics
+		}
+	}
+	return nil
+}
+
+// MasterTrace returns the partition's current in-process master's
+// distributed-trace collector (nil for remote masters), tracking failovers
+// the same way MasterRegistry does.
+func (c *Coordinator) MasterTrace() *metrics.Collector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, mi := range c.masters {
+		if mi.server != nil {
+			return mi.server.coll
 		}
 	}
 	return nil
@@ -589,7 +629,7 @@ func (c *Coordinator) Close() {
 }
 
 // handleHeartbeat folds one node's beat into the health table.
-func (c *Coordinator) handleHeartbeat(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleHeartbeat(ctx context.Context, payload []byte) ([]byte, error) {
 	b, err := health.DecodeBeat(payload)
 	if err != nil {
 		return nil, err
@@ -599,7 +639,7 @@ func (c *Coordinator) handleHeartbeat(payload []byte) ([]byte, error) {
 }
 
 // handleHealthStatus serves the partition's membership and liveness.
-func (c *Coordinator) handleHealthStatus(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleHealthStatus(ctx context.Context, payload []byte) ([]byte, error) {
 	return c.HealthStatus().encode(), nil
 }
 
@@ -652,7 +692,7 @@ func (c *Coordinator) Healthy() bool {
 	return c.table.AllAlive(c.detectorConfig())
 }
 
-func (c *Coordinator) handleGetView(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleGetView(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	if err := d.Err(); err != nil {
@@ -674,7 +714,7 @@ func (c *Coordinator) handleGetView(payload []byte) ([]byte, error) {
 	return v.encode(), nil
 }
 
-func (c *Coordinator) handleRegisterClient(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleRegisterClient(ctx context.Context, payload []byte) ([]byte, error) {
 	// Client IDs are allocated through the replicated log so they stay
 	// unique across coordinator failovers: any replica can serve the
 	// registration, the sequence commits on a majority, and every
@@ -695,7 +735,7 @@ func (c *Coordinator) handleRegisterClient(payload []byte) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
-func (c *Coordinator) handleRenewLease(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleRenewLease(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	id := rifl.ClientID(d.U64())
 	if err := d.Err(); err != nil {
@@ -769,7 +809,7 @@ func (c *Coordinator) ForgetFrozenRanges(masterID uint64, rs []witness.HashRange
 // handleAddMoved decodes OpCoordAddMoved's (masterID, ranges, destAddr)
 // payload — the one migration-record op that carries a forward address
 // alongside the arcs.
-func (c *Coordinator) handleAddMoved(payload []byte) ([]byte, error) {
+func (c *Coordinator) handleAddMoved(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID, rs := rangesIn(d)
 	destAddr := d.String()
@@ -781,8 +821,8 @@ func (c *Coordinator) handleAddMoved(payload []byte) ([]byte, error) {
 
 // rangesHandler adapts a (masterID, ranges) method into an RPC handler —
 // the shape every migration-record op shares.
-func rangesHandler(fn func(uint64, []witness.HashRange) error) func([]byte) ([]byte, error) {
-	return func(payload []byte) ([]byte, error) {
+func rangesHandler(fn func(uint64, []witness.HashRange) error) rpc.Handler {
+	return func(ctx context.Context, payload []byte) ([]byte, error) {
 		d := rpc.NewDecoder(payload)
 		masterID, rs := rangesIn(d)
 		if err := d.Err(); err != nil {
@@ -1289,7 +1329,7 @@ func (c *Coordinator) Migrate(masterID uint64, newAddr string, newWitnessAddrs [
 	old.execMu.Lock()
 	head := old.store.Head()
 	old.execMu.Unlock()
-	if err := old.syncAndWait(head); err != nil {
+	if err := old.syncAndWait(context.Background(), head); err != nil {
 		return nil, err
 	}
 	return c.recoverMasterLocked(masterID, newAddr, newWitnessAddrs, opts)

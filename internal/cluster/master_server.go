@@ -136,6 +136,10 @@ type MasterServer struct {
 	lastSyncNano atomic.Int64
 	shardIdx     atomic.Int64 // -1 until the deployment layer assigns one
 	tracer       atomic.Pointer[metrics.Tracer]
+	// coll holds this master's distributed-trace spans; requests arriving
+	// with a wire trace context record their server-side stage attribution
+	// (master-queue, apply, sync-wait, backup-append, lock-wait) here.
+	coll *metrics.Collector
 }
 
 // NewMasterServer creates and starts a master listening on addr. epoch is
@@ -161,6 +165,7 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 	}
 	ms.durableOld = make(map[string]staleEntry)
 	ms.shardIdx.Store(-1)
+	ms.coll = metrics.NewCollector(addr, "master", 0)
 	ms.buildMetrics()
 	ms.syncCond = sync.NewCond(&ms.syncMu)
 	ms.syncKick = make(chan struct{}, 1)
@@ -290,17 +295,27 @@ func (ms *MasterServer) Metrics() *metrics.Registry { return ms.metrics }
 
 // SetShardIndex tells the master which shard of a sharded deployment it
 // serves, for slow-op span attribution (-1, the default, means unknown).
-func (ms *MasterServer) SetShardIndex(s int) { ms.shardIdx.Store(int64(s)) }
+func (ms *MasterServer) SetShardIndex(s int) {
+	ms.shardIdx.Store(int64(s))
+	ms.coll.SetShard(s)
+}
 
 // SetSlowOpTracer installs (or, with nil, removes) the structured slow-op
 // trace log for this master's RPC spans.
 func (ms *MasterServer) SetSlowOpTracer(t *metrics.Tracer) { ms.tracer.Store(t) }
 
-// observeOp records one handled RPC: its latency histogram sample and,
-// when the configured threshold is crossed, a slow-op span with the
+// Trace returns the master's distributed-trace collector (the /trace data
+// source for this node).
+func (ms *MasterServer) Trace() *metrics.Collector { return ms.coll }
+
+// observeOp records one handled RPC: its latency histogram sample, a wire
+// span (stage "apply") when the request carries a trace context, and, when
+// the configured threshold is crossed, a slow-op log line with the
 // operation type, routing key hash, shard, and path verdict.
-func (ms *MasterServer) observeOp(h *metrics.Histogram, op string, keyHashes []uint64, verdict, errText string, d time.Duration) {
+func (ms *MasterServer) observeOp(ctx context.Context, h *metrics.Histogram, op string, keyHashes []uint64, verdict, errText string, start time.Time) {
+	d := time.Since(start)
 	h.ObserveDuration(d)
+	ms.coll.RecordSpan(ctx, "apply", op, verdict, start, d, errText)
 	if t := ms.tracer.Load(); t != nil && t.Slow(d) {
 		var kh uint64
 		if len(keyHashes) > 0 {
@@ -420,7 +435,7 @@ func (ms *MasterServer) SetBackups(addrs []string) {
 // recorded only on the old witnesses are durable before those witnesses
 // stop being consulted.
 func (ms *MasterServer) SetWitnessList(version uint64, addrs []string) error {
-	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+	if err := ms.syncAndWait(context.Background(), kv.LSN(ms.store.Head())); err != nil {
 		return err
 	}
 	ms.peersMu.Lock()
@@ -439,7 +454,7 @@ func (ms *MasterServer) SetWitnessList(version uint64, addrs []string) error {
 // handleSetWitnessList is the remote form of SetWitnessList, used by a
 // coordinator replica that did not boot this master in-process (the
 // control plane's reconfiguration commands commit on any replica).
-func (ms *MasterServer) handleSetWitnessList(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleSetWitnessList(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	version := d.U64()
 	n := int(d.U32())
@@ -454,7 +469,7 @@ func (ms *MasterServer) handleSetWitnessList(payload []byte) ([]byte, error) {
 }
 
 // handleReplaceBackup is the remote form of ReplaceBackup.
-func (ms *MasterServer) handleReplaceBackup(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleReplaceBackup(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	oldAddr := d.String()
 	newAddr := d.String()
@@ -476,7 +491,7 @@ func (ms *MasterServer) ReplaceBackup(oldAddr, newAddr string) error {
 	// Surviving backups must hold everything executed so far: the store's
 	// log is about to become the seed image, and recovery reasons about
 	// backup logs as prefixes of it.
-	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+	if err := ms.syncAndWait(context.Background(), kv.LSN(ms.store.Head())); err != nil {
 		return err
 	}
 	ms.syncMu.Lock()
@@ -541,7 +556,7 @@ func (ms *MasterServer) Freeze() { ms.state.Freeze() }
 // operations to backups — the §4.8 ordering requirement that keeps witness
 // replay safe.
 func (ms *MasterServer) ExpireClientLease(c rifl.ClientID) error {
-	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+	if err := ms.syncAndWait(context.Background(), kv.LSN(ms.store.Head())); err != nil {
 		return err
 	}
 	ms.tracker.ExpireLease(c)
@@ -587,7 +602,7 @@ func (ms *MasterServer) pruneDurableValues() {
 // handleReadStale is the §A.3 read path: return the latest DURABLE value
 // of a key immediately — from the durable-value cache if the key has
 // unsynced updates, from the store otherwise — never waiting for a sync.
-func (ms *MasterServer) handleReadStale(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleReadStale(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := core.DecodeRequest(payload)
 	if err != nil {
 		return nil, err
@@ -641,7 +656,7 @@ type updateExec struct {
 // executeUpdate runs the client update path (§3.2.3) up to — but not
 // including — any backup sync the reply must wait for. It is the shared
 // execution step of handleUpdate and handleUpdateBatch.
-func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
+func (ms *MasterServer) executeUpdate(ctx context.Context, req *core.Request) (updateExec, error) {
 	if ms.state.Frozen() {
 		return updateExec{reply: &core.Reply{Status: core.StatusWrongMaster}}, nil
 	}
@@ -649,7 +664,11 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 		return updateExec{reply: &core.Reply{Status: core.StatusStaleWitnessList}}, nil
 	}
 
+	qStart := time.Now()
 	ms.execMu.Lock()
+	if wait := time.Since(qStart); wait > time.Microsecond {
+		ms.coll.RecordSpan(ctx, "master-queue", "", "", qStart, wait, "")
+	}
 	outcome, saved := ms.tracker.Begin(req.ID, req.Ack)
 	switch outcome {
 	case rifl.Completed:
@@ -708,6 +727,7 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 			// Blocked behind a prepared transaction: the client retries
 			// with backoff; an expired lock triggers orphan resolution.
 			ms.mLockWait.Observe(int64(lerr.Age))
+			ms.coll.RecordSpan(ctx, "lock-wait", "update", "locked", time.Now().Add(-lerr.Age), lerr.Age, "")
 			ms.maybeResolve(lerr)
 			return updateExec{reply: &core.Reply{Status: core.StatusTxnLocked}}, nil
 		}
@@ -754,14 +774,29 @@ func (ms *MasterServer) executeUpdate(req *core.Request) (updateExec, error) {
 	return updateExec{reply: &core.Reply{Status: core.StatusOK, Synced: false, Payload: enc}}, nil
 }
 
+// syncFailReply maps a failed reply-gating sync onto the client-visible
+// reply. A master frozen mid-request was deposed (zombie fencing caught it
+// during the sync, or the coordinator fenced it directly): the withheld
+// reply was never revealed, so the operation is safely retryable at the
+// successor — answer StatusWrongMaster exactly as post-freeze requests do,
+// and the client refetches the view and retries transparently (the
+// self-healing contract in heal.go). Only a live master's genuine
+// replication failure surfaces as a terminal error.
+func (ms *MasterServer) syncFailReply(serr error) *core.Reply {
+	if ms.state.Frozen() {
+		return &core.Reply{Status: core.StatusWrongMaster}
+	}
+	return &core.Reply{Status: core.StatusError, Err: serr.Error()}
+}
+
 // handleUpdate is the client update path (§3.2.3), one request per RPC.
-func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleUpdate(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := core.DecodeRequest(payload)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	ex, err := ms.executeUpdate(req)
+	ex, err := ms.executeUpdate(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -772,14 +807,22 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 			ms.state.CountConflictSync()
 			verdict = "conflict-sync"
 		}
-		if err := ms.syncAndWait(ex.syncTo); err != nil {
-			ex.reply = &core.Reply{Status: core.StatusError, Err: err.Error()}
+		sctx, ssp := ms.coll.StartSpan(ctx, "sync-wait")
+		serr := ms.syncAndWait(sctx, ex.syncTo)
+		ssp.SetVerdict(verdict)
+		ssp.SetErr(serr)
+		ssp.End()
+		if serr != nil {
+			ex.reply = ms.syncFailReply(serr)
 			verdict = "error"
+			if ex.reply.Status == core.StatusWrongMaster {
+				verdict = "wrong-master"
+			}
 		} else {
 			ex.reply.Synced = true
 		}
 	}
-	ms.observeOp(ms.mLatUpdate, "update", req.KeyHashes, verdict, ex.reply.Err, time.Since(start))
+	ms.observeOp(ctx, ms.mLatUpdate, "update", req.KeyHashes, verdict, ex.reply.Err, start)
 	return ex.reply.Encode(), nil
 }
 
@@ -787,7 +830,7 @@ func (ms *MasterServer) handleUpdate(payload []byte) ([]byte, error) {
 // order, then satisfy all their sync obligations with ONE coalesced
 // syncAndWait before revealing any sync-gated reply. Per-request outcomes
 // (redirects, RIFL filtering, execution errors) stay independent.
-func (ms *MasterServer) handleUpdateBatch(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleUpdateBatch(ctx context.Context, payload []byte) ([]byte, error) {
 	reqs, err := decodeUpdateBatch(payload)
 	if err != nil {
 		return nil, err
@@ -797,7 +840,7 @@ func (ms *MasterServer) handleUpdateBatch(payload []byte) ([]byte, error) {
 	exs := make([]updateExec, len(reqs))
 	var syncTo kv.LSN
 	for i, req := range reqs {
-		ex, err := ms.executeUpdate(req)
+		ex, err := ms.executeUpdate(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -815,13 +858,17 @@ func (ms *MasterServer) handleUpdateBatch(payload []byte) ([]byte, error) {
 		// One sync covers every gated operation of the batch — the
 		// server-side half of the batch amortization (the client's half is
 		// the single slow-path Sync RPC for all its rejected records).
-		serr := ms.syncAndWait(syncTo)
+		sctx, ssp := ms.coll.StartSpan(ctx, "sync-wait")
+		serr := ms.syncAndWait(sctx, syncTo)
+		ssp.SetVerdict(verdict)
+		ssp.SetErr(serr)
+		ssp.End()
 		for i := range exs {
 			if exs[i].syncTo == 0 {
 				continue
 			}
 			if serr != nil {
-				exs[i].reply = &core.Reply{Status: core.StatusError, Err: serr.Error()}
+				exs[i].reply = ms.syncFailReply(serr)
 			} else {
 				exs[i].reply.Synced = true
 			}
@@ -835,14 +882,14 @@ func (ms *MasterServer) handleUpdateBatch(payload []byte) ([]byte, error) {
 	if len(reqs) > 0 {
 		firstHashes = reqs[0].KeyHashes
 	}
-	ms.observeOp(ms.mLatBatch, "update_batch", firstHashes, verdict, "", time.Since(start))
+	ms.observeOp(ctx, ms.mLatBatch, "update_batch", firstHashes, verdict, "", start)
 	return encodeReplyBatch(replies), nil
 }
 
 // handleRead serves linearizable reads: a read touching an unsynced object
 // waits for a sync first, so no result ever depends on state that could be
 // lost in a crash (§3.2.3, §A.3).
-func (ms *MasterServer) handleRead(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleRead(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := core.DecodeRequest(payload)
 	if err != nil {
 		return nil, err
@@ -875,32 +922,46 @@ func (ms *MasterServer) handleRead(payload []byte) ([]byte, error) {
 					// A prepared write may commit under this read; it must
 					// wait for the decision like any other operation.
 					ms.mLockWait.Observe(int64(lerr.Age))
+					ms.coll.RecordSpan(ctx, "lock-wait", "read", "locked", time.Now().Add(-lerr.Age), lerr.Age, "")
 					ms.maybeResolve(lerr)
-					ms.observeOp(ms.mLatRead, "read", req.KeyHashes, "locked", "", time.Since(start))
+					ms.observeOp(ctx, ms.mLatRead, "read", req.KeyHashes, "locked", "", start)
 					return (&core.Reply{Status: core.StatusTxnLocked}).Encode(), nil
 				}
-				ms.observeOp(ms.mLatRead, "read", req.KeyHashes, "error", err.Error(), time.Since(start))
+				ms.observeOp(ctx, ms.mLatRead, "read", req.KeyHashes, "error", err.Error(), start)
 				return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
 			}
-			ms.observeOp(ms.mLatRead, "read", req.KeyHashes, verdict, "", time.Since(start))
+			ms.observeOp(ctx, ms.mLatRead, "read", req.KeyHashes, verdict, "", start)
 			return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: res.Encode()}).Encode(), nil
 		}
 		ms.execMu.Unlock()
 		ms.state.CountReadBlock()
 		verdict = "blocked"
-		if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
-			ms.observeOp(ms.mLatRead, "read", req.KeyHashes, "error", err.Error(), time.Since(start))
-			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+		sctx, ssp := ms.coll.StartSpan(ctx, "sync-wait")
+		serr := ms.syncAndWait(sctx, kv.LSN(ms.store.Head()))
+		ssp.SetVerdict(verdict)
+		ssp.SetErr(serr)
+		ssp.End()
+		if serr != nil {
+			reply := ms.syncFailReply(serr)
+			ms.observeOp(ctx, ms.mLatRead, "read", req.KeyHashes, "error", reply.Err, start)
+			return reply.Encode(), nil
 		}
 	}
 }
 
 // handleSync is the client's slow-path sync RPC (§3.2.1).
-func (ms *MasterServer) handleSync(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleSync(ctx context.Context, payload []byte) ([]byte, error) {
 	if ms.state.Frozen() {
 		return nil, errors.New("master: frozen")
 	}
-	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+	start := time.Now()
+	err := ms.syncAndWait(ctx, kv.LSN(ms.store.Head()))
+	var errText string
+	if err != nil {
+		errText = err.Error()
+	}
+	ms.coll.RecordSpan(ctx, "sync-wait", "sync", "sync", start, time.Since(start), errText)
+	if err != nil {
 		return nil, err
 	}
 	return nil, nil
@@ -924,7 +985,7 @@ func (ms *MasterServer) backgroundSync() {
 		case <-ms.closed:
 			return
 		case <-ms.syncKick:
-			_ = ms.syncAndWait(kv.LSN(ms.store.Head()))
+			_ = ms.syncAndWait(context.Background(), kv.LSN(ms.store.Head()))
 		}
 	}
 }
@@ -932,7 +993,10 @@ func (ms *MasterServer) backgroundSync() {
 // syncAndWait blocks until every log entry up to target is replicated to
 // all backups, driving syncs itself when none is in progress. Concurrent
 // callers coalesce onto one outstanding sync (§4.4's natural batching).
-func (ms *MasterServer) syncAndWait(target kv.LSN) error {
+// The ctx carries the trace context of the waiter that ends up DRIVING
+// the sync: its backup-append spans join that waiter's trace (coalesced
+// waiters keep their own sync-wait spans but not the append detail).
+func (ms *MasterServer) syncAndWait(ctx context.Context, target kv.LSN) error {
 	for {
 		if kv.LSN(ms.state.SyncedLSN()) >= target {
 			return nil
@@ -946,7 +1010,7 @@ func (ms *MasterServer) syncAndWait(target kv.LSN) error {
 		ms.syncActive = true
 		ms.syncMu.Unlock()
 
-		err := ms.doSync()
+		err := ms.doSync(ctx)
 
 		ms.syncMu.Lock()
 		ms.syncActive = false
@@ -960,7 +1024,7 @@ func (ms *MasterServer) syncAndWait(target kv.LSN) error {
 
 // doSync replicates the unsynced log suffix to all backups and then
 // garbage-collects the synced requests from witnesses.
-func (ms *MasterServer) doSync() error {
+func (ms *MasterServer) doSync(ctx context.Context) error {
 	synced := kv.LSN(ms.state.SyncedLSN())
 	entries := ms.store.EntriesSince(synced)
 	if len(entries) == 0 {
@@ -979,22 +1043,39 @@ func (ms *MasterServer) doSync() error {
 		errs := make(chan error, len(backups))
 		for _, b := range backups {
 			go func(b *rpc.Peer) {
-				ctx, cancel := context.WithTimeout(context.Background(), ms.opts.RPCTimeout)
+				bctx, cancel := context.WithTimeout(ctx, ms.opts.RPCTimeout)
 				defer cancel()
-				_, err := b.Call(ctx, OpBackupAppend, payload)
+				bctx, sp := ms.coll.StartSpan(bctx, "backup-append")
+				_, err := b.Call(bctx, OpBackupAppend, payload)
+				sp.SetErr(err)
+				sp.End()
 				errs <- err
 			}(b)
 		}
+		// Drain every backup's result before classifying: a stale-epoch
+		// rejection from ANY backup means a newer master exists, and that
+		// verdict must win over whatever transport error another backup
+		// happened to return first (a deposed master's peers may already be
+		// retired, so connection errors and fencing races arrive mixed).
+		var firstErr, staleErr error
 		for range backups {
-			if err := <-errs; err != nil {
-				if strings.Contains(err.Error(), ErrStaleEpoch) {
-					// A newer master exists: this one is a zombie. Stop
-					// serving (§4.7).
-					ms.state.Freeze()
-					return fmt.Errorf("master %d deposed: %w", ms.id, err)
-				}
-				return fmt.Errorf("master %d: backup sync failed: %w", ms.id, err)
+			err := <-errs
+			switch {
+			case err == nil:
+			case strings.Contains(err.Error(), ErrStaleEpoch):
+				staleErr = err
+			case firstErr == nil:
+				firstErr = err
 			}
+		}
+		if staleErr != nil {
+			// A newer master exists: this one is a zombie. Stop serving
+			// (§4.7).
+			ms.state.Freeze()
+			return fmt.Errorf("master %d deposed: %w", ms.id, staleErr)
+		}
+		if firstErr != nil {
+			return fmt.Errorf("master %d: backup sync failed: %w", ms.id, firstErr)
 		}
 	}
 	ms.state.NoteSync(uint64(head))
@@ -1266,7 +1347,7 @@ func (ms *MasterServer) RecoverFrom(backupAddrs []string, witnessAddr string) er
 	// The full log is pushed because backups were reset. Entries synced
 	// here are garbage-collected from witnesses lazily; the frozen
 	// witness is decommissioned by the coordinator anyway.
-	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+	if err := ms.syncAndWait(context.Background(), kv.LSN(ms.store.Head())); err != nil {
 		return fmt.Errorf("recovery: final sync: %w", err)
 	}
 	return nil

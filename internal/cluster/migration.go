@@ -349,7 +349,7 @@ func (ms *MasterServer) dropMovedObjects(rs []witness.HashRange) int {
 
 // handleMigrateCollect freezes the ranges and exports their state: phase 1
 // of a migration, on the source master.
-func (ms *MasterServer) handleMigrateCollect(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleMigrateCollect(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID, rs := rangesIn(d)
 	if err := d.Err(); err != nil {
@@ -369,7 +369,7 @@ func (ms *MasterServer) handleMigrateCollect(payload []byte) ([]byte, error) {
 	ms.migr.markMigrating(rs)
 	head := ms.store.Head()
 	ms.execMu.Unlock()
-	if err := ms.syncAndWait(head); err != nil {
+	if err := ms.syncAndWait(context.Background(), head); err != nil {
 		ms.migr.unmark(rs)
 		return nil, fmt.Errorf("master %d: migration drain: %w", ms.id, err)
 	}
@@ -461,7 +461,7 @@ func (ms *MasterServer) collectWitnessRecords(rs []witness.HashRange, executed m
 // Objects and completion records become ordinary log entries and are
 // synced to the target's backups before the reply, so the handoff is as
 // durable as native execution by the time the ring flips.
-func (ms *MasterServer) handleMigrateInstall(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleMigrateInstall(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	bundle, err := unmarshalBundle(d)
@@ -524,7 +524,7 @@ func (ms *MasterServer) handleMigrateInstall(payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("master %d: install completion %v: %w", ms.id, c.ID, err)
 		}
 	}
-	if err := ms.syncAndWait(kv.LSN(ms.store.Head())); err != nil {
+	if err := ms.syncAndWait(context.Background(), kv.LSN(ms.store.Head())); err != nil {
 		return nil, fmt.Errorf("master %d: install sync: %w", ms.id, err)
 	}
 	ms.installWitnessRecords(bundle.WitnessRecords)
@@ -569,7 +569,7 @@ func (ms *MasterServer) installWitnessRecords(records []witness.Record) {
 // handleMigrateComplete commits the handoff on the source: the ranges
 // become MOVED for good, their objects are dropped, and the target's
 // address is kept as the forward for decision lookups.
-func (ms *MasterServer) handleMigrateComplete(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleMigrateComplete(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID, rs := rangesIn(d)
 	destAddr := d.String()
@@ -590,7 +590,7 @@ func (ms *MasterServer) handleMigrateComplete(payload []byte) ([]byte, error) {
 
 // handleMigrateAbort unfreezes ranges on the source after a failed
 // transfer; the source serves them again.
-func (ms *MasterServer) handleMigrateAbort(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleMigrateAbort(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID, rs := rangesIn(d)
 	if err := d.Err(); err != nil {
@@ -606,7 +606,7 @@ func (ms *MasterServer) handleMigrateAbort(payload []byte) ([]byte, error) {
 // handleMigrateDrop discards installed-but-never-owned range state on the
 // target after a failed migration. No marks are left: the target may
 // legitimately receive the same ranges in a later attempt.
-func (ms *MasterServer) handleMigrateDrop(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleMigrateDrop(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID, rs := rangesIn(d)
 	if err := d.Err(); err != nil {

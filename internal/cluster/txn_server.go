@@ -55,22 +55,22 @@ func (ms *MasterServer) registerTxnHandlers() {
 
 // handleTxnPrepare is phase one on a participant: validate, lock, stash,
 // and make the vote durable before revealing it.
-func (ms *MasterServer) handleTxnPrepare(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleTxnPrepare(ctx context.Context, payload []byte) ([]byte, error) {
 	ms.mTxnPrepares.Inc()
 	start := time.Now()
-	out, err := ms.handleTxnPhase(payload, kv.OpTxnPrepare)
-	ms.observeOp(ms.mLatPrepare, "txn_prepare", nil, txnPhaseVerdict(out, err), "", time.Since(start))
+	out, err := ms.handleTxnPhase(ctx, payload, kv.OpTxnPrepare)
+	ms.observeOp(ctx, ms.mLatPrepare, "txn_prepare", nil, txnPhaseVerdict(out, err), "", start)
 	return out, err
 }
 
 // handleTxnDecide is phase two on a participant: apply or discard the
 // prepared writes, release the locks, and make the outcome durable before
 // acknowledging.
-func (ms *MasterServer) handleTxnDecide(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleTxnDecide(ctx context.Context, payload []byte) ([]byte, error) {
 	ms.mTxnDecides.Inc()
 	start := time.Now()
-	out, err := ms.handleTxnPhase(payload, kv.OpTxnDecide)
-	ms.observeOp(ms.mLatDecide, "txn_decide", nil, txnPhaseVerdict(out, err), "", time.Since(start))
+	out, err := ms.handleTxnPhase(ctx, payload, kv.OpTxnDecide)
+	ms.observeOp(ctx, ms.mLatDecide, "txn_decide", nil, txnPhaseVerdict(out, err), "", start)
 	return out, err
 }
 
@@ -95,7 +95,7 @@ func txnPhaseVerdict(out []byte, err error) string {
 }
 
 // handleTxnPhase is the shared participant path of prepare and decide.
-func (ms *MasterServer) handleTxnPhase(payload []byte, want kv.CommandOp) ([]byte, error) {
+func (ms *MasterServer) handleTxnPhase(ctx context.Context, payload []byte, want kv.CommandOp) ([]byte, error) {
 	req, err := core.DecodeRequest(payload)
 	if err != nil {
 		return nil, err
@@ -113,8 +113,8 @@ func (ms *MasterServer) handleTxnPhase(payload []byte, want kv.CommandOp) ([]byt
 		// The original execution synced before replying, but that reply
 		// may never have reached the client; re-sync so the retried caller
 		// inherits the same durability guarantee.
-		if err := ms.syncAndWait(head); err != nil {
-			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+		if err := ms.syncAndWait(ctx, head); err != nil {
+			return ms.syncFailReply(err).Encode(), nil
 		}
 		return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: saved}).Encode(), nil
 	case rifl.Stale, rifl.Expired:
@@ -140,6 +140,7 @@ func (ms *MasterServer) handleTxnPhase(payload []byte, want kv.CommandOp) ([]byt
 		ms.execMu.Unlock()
 		if lerr, ok := err.(*kv.LockedError); ok {
 			ms.mLockWait.Observe(int64(lerr.Age))
+			ms.coll.RecordSpan(ctx, "lock-wait", want.String(), "locked", time.Now().Add(-lerr.Age), lerr.Age, "")
 			ms.maybeResolve(lerr)
 			return (&core.Reply{Status: core.StatusTxnLocked}).Encode(), nil
 		}
@@ -157,8 +158,12 @@ func (ms *MasterServer) handleTxnPhase(payload []byte, want kv.CommandOp) ([]byt
 		// the backups before the caller may act on the reply: a vote that
 		// dies with the master would let the coordinator commit a
 		// transaction whose participant forgot its half.
-		if err := ms.syncAndWait(kv.LSN(lsn)); err != nil {
-			return (&core.Reply{Status: core.StatusError, Err: err.Error()}).Encode(), nil
+		sctx, ssp := ms.coll.StartSpan(ctx, "sync-wait")
+		serr := ms.syncAndWait(sctx, kv.LSN(lsn))
+		ssp.SetErr(serr)
+		ssp.End()
+		if serr != nil {
+			return ms.syncFailReply(serr).Encode(), nil
 		}
 	}
 	return (&core.Reply{Status: core.StatusOK, Synced: true, Payload: enc}).Encode(), nil
@@ -166,7 +171,7 @@ func (ms *MasterServer) handleTxnPhase(payload []byte, want kv.CommandOp) ([]byt
 
 // handleTxnStatus serves decision lookups on the home shard, recording an
 // abort by default when asked to resolve an undecided transaction.
-func (ms *MasterServer) handleTxnStatus(payload []byte) ([]byte, error) {
+func (ms *MasterServer) handleTxnStatus(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := decodeTxnStatusRequest(payload)
 	if err != nil {
 		return nil, err
@@ -232,7 +237,7 @@ func (ms *MasterServer) homeResolve(id rifl.RPCID, homeHash uint64, resolve, all
 		// irreversible at a participant, so it must be on the backups
 		// first — otherwise a home crash could lose the decision after one
 		// participant applied it, forking the outcome.
-		if err := ms.syncAndWait(head); err != nil {
+		if err := ms.syncAndWait(context.Background(), head); err != nil {
 			return false, err
 		}
 		return commit, nil
@@ -266,7 +271,7 @@ func (ms *MasterServer) homeResolve(id rifl.RPCID, homeHash uint64, resolve, all
 		if derr != nil {
 			return false, derr
 		}
-		if err := ms.syncAndWait(head); err != nil {
+		if err := ms.syncAndWait(context.Background(), head); err != nil {
 			return false, err
 		}
 		return res.Found, nil
@@ -299,7 +304,7 @@ func (ms *MasterServer) homeResolve(id rifl.RPCID, homeHash uint64, resolve, all
 	// were lost in a crash, a late coordinator could still commit a
 	// transaction whose participants already rolled back.
 	if lsn > 0 {
-		if err := ms.syncAndWait(kv.LSN(lsn)); err != nil {
+		if err := ms.syncAndWait(context.Background(), kv.LSN(lsn)); err != nil {
 			return false, err
 		}
 	}
@@ -442,7 +447,7 @@ func (ms *MasterServer) applyResolvedDecision(id rifl.RPCID, commit bool) error 
 		return fmt.Errorf("master %d: apply resolved txn %v: %w", ms.id, id, err)
 	}
 	if lsn > 0 {
-		return ms.syncAndWait(kv.LSN(lsn))
+		return ms.syncAndWait(context.Background(), kv.LSN(lsn))
 	}
 	return nil
 }

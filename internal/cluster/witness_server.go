@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,8 @@ type WitnessServer struct {
 	rpc *rpc.Server
 
 	metrics *metrics.Registry
+	// coll records distributed-trace spans for traced record RPCs.
+	coll *metrics.Collector
 	// noInstance counts record RPCs bounced because no witness instance
 	// exists here for the named master (stale witness lists); per-instance
 	// rejections live in witness.Stats.
@@ -46,6 +49,7 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 		closed:    make(chan struct{}),
 		rpc:       rpc.NewServer(),
 	}
+	ws.coll = metrics.NewCollector(addr, "witness", 0)
 	ws.rpc.Handle(OpWitnessRecord, ws.handleRecord)
 	ws.rpc.Handle(OpWitnessRecordBatch, ws.handleRecordBatch)
 	ws.rpc.Handle(OpWitnessCommutes, ws.handleCommutes)
@@ -69,6 +73,29 @@ func (ws *WitnessServer) Addr() string { return ws.addr }
 
 // Metrics returns the server's metric registry for /metrics exposition.
 func (ws *WitnessServer) Metrics() *metrics.Registry { return ws.metrics }
+
+// Trace returns the server's distributed-trace collector.
+func (ws *WitnessServer) Trace() *metrics.Collector { return ws.coll }
+
+// recordVerdict maps a witness record result onto a trace verdict; the
+// reject verdicts are "interesting" and promote the trace (a rejection is
+// exactly the moment an op leaves the 1-RTT path).
+func recordVerdict(res witness.RecordResult) string {
+	switch res {
+	case witness.Accepted:
+		return "accept"
+	case witness.RejectedConflict:
+		return "reject-conflict"
+	case witness.RejectedFull:
+		return "reject-full"
+	case witness.RejectedWrongMaster:
+		return "reject-wrong-master"
+	case witness.RejectedRecovery:
+		return "reject-recovery"
+	default:
+		return "reject"
+	}
+}
 
 // sumStats aggregates witness.Stats across every instance this server
 // hosts; the callback metrics below read it at scrape time.
@@ -171,29 +198,33 @@ func (ws *WitnessServer) lookup(masterID uint64) (*witness.Witness, error) {
 	return w, nil
 }
 
-func (ws *WitnessServer) handleRecord(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleRecord(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := decodeRecordRequest(payload)
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	w, err := ws.lookup(req.MasterID)
 	if err != nil {
 		// No instance for this master: tell the client it used a stale
 		// witness list rather than erroring the transport.
 		ws.noInstance.Add(1)
+		ws.coll.RecordSpan(ctx, "witness-record", "record", "reject-wrong-master", start, time.Since(start), "")
 		return []byte{byte(witness.RejectedWrongMaster)}, nil
 	}
 	res := w.Record(req.MasterID, req.KeyHashes, req.ID, req.Request, req.Class)
+	ws.coll.RecordSpan(ctx, "witness-record", "record", recordVerdict(res), start, time.Since(start), "")
 	return []byte{byte(res)}, nil
 }
 
 // handleRecordBatch is the pipelined record path: every record of a flush
 // in one RPC, accepted or rejected per record.
-func (ws *WitnessServer) handleRecordBatch(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleRecordBatch(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := decodeRecordBatchRequest(payload)
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	w, err := ws.lookup(req.MasterID)
 	if err != nil {
 		// No instance for this master: tell the client it used a stale
@@ -203,12 +234,24 @@ func (ws *WitnessServer) handleRecordBatch(payload []byte) ([]byte, error) {
 		for i := range results {
 			results[i] = witness.RejectedWrongMaster
 		}
+		ws.coll.RecordSpan(ctx, "witness-record", "record_batch", "reject-wrong-master", start, time.Since(start), "")
 		return encodeRecordResults(results), nil
 	}
-	return encodeRecordResults(w.RecordBatch(req.MasterID, req.Records)), nil
+	results := w.RecordBatch(req.MasterID, req.Records)
+	// One span per RPC; the verdict of the first rejected record wins (a
+	// single rejection already evicts the whole flush from the fast path).
+	verdict := "accept"
+	for _, res := range results {
+		if res != witness.Accepted {
+			verdict = recordVerdict(res)
+			break
+		}
+	}
+	ws.coll.RecordSpan(ctx, "witness-record", "record_batch", verdict, start, time.Since(start), "")
+	return encodeRecordResults(results), nil
 }
 
-func (ws *WitnessServer) handleCommutes(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleCommutes(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	keyHashes := d.U64Slice()
@@ -225,7 +268,7 @@ func (ws *WitnessServer) handleCommutes(payload []byte) ([]byte, error) {
 	return []byte{0}, nil
 }
 
-func (ws *WitnessServer) handleGC(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleGC(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := decodeGCRequest(payload)
 	if err != nil {
 		return nil, err
@@ -240,7 +283,7 @@ func (ws *WitnessServer) handleGC(payload []byte) ([]byte, error) {
 
 // handleDrop retracts an abandoning client's records. A missing instance
 // means the records cannot exist here, which is a successful retraction.
-func (ws *WitnessServer) handleDrop(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleDrop(ctx context.Context, payload []byte) ([]byte, error) {
 	req, err := decodeGCRequest(payload)
 	if err != nil {
 		return nil, err
@@ -252,7 +295,7 @@ func (ws *WitnessServer) handleDrop(payload []byte) ([]byte, error) {
 	return nil, w.DropRecords(req.Keys)
 }
 
-func (ws *WitnessServer) handleRecoveryData(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleRecoveryData(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	if err := d.Err(); err != nil {
@@ -269,7 +312,7 @@ func (ws *WitnessServer) handleRecoveryData(payload []byte) ([]byte, error) {
 // unlike handleRecoveryData, recording continues. Migration uses it to
 // carry the witness records of still-speculative operations on moving
 // ranges over to the destination's witnesses.
-func (ws *WitnessServer) handleSnapshot(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleSnapshot(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	if err := d.Err(); err != nil {
@@ -282,7 +325,7 @@ func (ws *WitnessServer) handleSnapshot(payload []byte) ([]byte, error) {
 	return encodeWitnessRecords(w.SnapshotRecords()), nil
 }
 
-func (ws *WitnessServer) handleStart(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleStart(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	if err := d.Err(); err != nil {
@@ -301,7 +344,7 @@ func (ws *WitnessServer) handleStart(payload []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (ws *WitnessServer) handleEnd(payload []byte) ([]byte, error) {
+func (ws *WitnessServer) handleEnd(ctx context.Context, payload []byte) ([]byte, error) {
 	d := rpc.NewDecoder(payload)
 	masterID := d.U64()
 	if err := d.Err(); err != nil {

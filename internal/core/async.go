@@ -185,6 +185,15 @@ func (c *Client) runBatch(ctx context.Context, ops []*asyncOp) {
 // returns the operations that must be retried (in submission order) and
 // the error to report if retries run out.
 func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, lastErr error) ([]*asyncOp, error) {
+	// Mint one trace per flush attempt: the root span is the client's view
+	// of the whole coalesced round trip, and the trace context rides every
+	// RPC below via ctx. With no collector attached this is a nil no-op and
+	// the frames keep the untraced encoding.
+	ctx, flushSpan := c.trace.Load().StartTrace(ctx, "client-flush", uint8(c.traceFlags.Load()))
+	flushSpan.SetOp("update_batch")
+	flushSpan.SetVerdict("fast")
+	defer flushSpan.End()
+
 	reqs := make([]*Request, len(pending))
 	recs := make([]witness.Record, len(pending))
 	for i, op := range pending {
@@ -208,12 +217,24 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 	recCh := make(chan recRes, len(view.Witnesses))
 	for _, w := range view.Witnesses {
 		go func(w WitnessAPI) {
-			results, err := w.RecordBatch(ctx, view.MasterID, recs)
+			wctx, sp := c.trace.Load().StartSpan(ctx, "witness-record")
+			results, err := w.RecordBatch(wctx, view.MasterID, recs)
+			sp.SetErr(err)
+			for _, res := range results {
+				if !res.Ok() {
+					sp.SetVerdict("reject-conflict")
+					break
+				}
+			}
+			sp.End()
 			recCh <- recRes{results: results, err: err}
 		}(w)
 	}
 
-	replies, merr := view.Master.UpdateBatch(ctx, reqs)
+	mctx, masterSpan := c.trace.Load().StartSpan(ctx, "master-update")
+	replies, merr := view.Master.UpdateBatch(mctx, reqs)
+	masterSpan.SetErr(merr)
+	masterSpan.End()
 
 	if merr != nil {
 		// Master unreachable: refetch the view and retry the whole batch
@@ -315,7 +336,13 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 	// operation of the batch durable (the master's sync covers all
 	// executed operations), instead of one sync per rejected operation.
 	if len(needSync) > 0 {
-		if err := view.Master.Sync(ctx); err == nil {
+		flushSpan.SetVerdict("conflict-sync")
+		sctx, syncSpan := c.trace.Load().StartSpan(ctx, "sync-wait")
+		syncSpan.SetVerdict("conflict-sync")
+		serr := view.Master.Sync(sctx)
+		syncSpan.SetErr(serr)
+		syncSpan.End()
+		if err := serr; err == nil {
 			for i, op := range needSync {
 				c.slowPath.Add(1)
 				c.finishOp(op)
@@ -341,6 +368,7 @@ func (c *Client) flushOnce(ctx context.Context, view *View, pending []*asyncOp, 
 	// when every witness confirmed the retraction is it safe to hand the
 	// operations to the routing layer.
 	if len(moved) > 0 {
+		flushSpan.SetVerdict("moved")
 		dropped := true
 		for _, w := range view.Witnesses {
 			if derr := w.Drop(ctx, view.MasterID, movedKeys); derr != nil {

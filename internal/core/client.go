@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"curp/internal/commute"
+	"curp/internal/metrics"
 	"curp/internal/rifl"
 	"curp/internal/witness"
 )
@@ -105,11 +106,24 @@ type ClientConfig struct {
 	// MaxRetryBackoff caps the exponential growth of RetryBackoff.
 	// Zero selects the default.
 	MaxRetryBackoff time.Duration
+	// Trace collects this client's spans and mints a trace context per
+	// batch flush, propagated to every server the flush touches. Nil
+	// disables trace minting entirely (RPC frames stay in the untraced
+	// encoding).
+	Trace *metrics.Collector
 }
 
 // Defaults filled in for zero-valued ClientConfig fields.
 const (
-	defaultMaxAttempts     = 8
+	// defaultMaxAttempts sizes the retry budget to ride out a full
+	// self-healing cycle, not just a transient hiccup: between a master's
+	// deposition (it answers StatusWrongMaster from the moment it is
+	// fenced) and the replacement's publication, every attempt bounces —
+	// and with the backoff below capping at defaultMaxRetryBackoff, 16
+	// attempts give clients roughly 2.5s of patience, several times a
+	// typical recovery. Operations retry under their original RIFL IDs,
+	// so the longer budget never risks double execution.
+	defaultMaxAttempts     = 16
 	defaultRetryBackoff    = 5 * time.Millisecond
 	defaultMaxRetryBackoff = 250 * time.Millisecond
 )
@@ -166,6 +180,9 @@ type Client struct {
 	views   ViewProvider
 	cfg     ClientConfig
 
+	trace      atomic.Pointer[metrics.Collector]
+	traceFlags atomic.Uint32 // metrics.TraceFlag* stamped on minted traces
+
 	fastPath       atomic.Uint64
 	syncedByMaster atomic.Uint64
 	slowPath       atomic.Uint64
@@ -191,8 +208,22 @@ func NewClient(session *rifl.Session, views ViewProvider, cfg ClientConfig) *Cli
 	if cfg.MaxRetryBackoff == 0 {
 		cfg.MaxRetryBackoff = defaultMaxRetryBackoff
 	}
-	return &Client{session: session, views: views, cfg: cfg}
+	c := &Client{session: session, views: views, cfg: cfg}
+	if cfg.Trace != nil {
+		c.trace.Store(cfg.Trace)
+	}
+	return c
 }
+
+// SetTrace replaces the client's span collector (nil disables tracing).
+func (c *Client) SetTrace(coll *metrics.Collector) { c.trace.Store(coll) }
+
+// TraceCollector returns the client's span collector (nil when disabled).
+func (c *Client) TraceCollector() *metrics.Collector { return c.trace.Load() }
+
+// SetTraceFlags sets the sampling flags stamped on every minted trace
+// (metrics.TraceFlagForce selects 100% sampling).
+func (c *Client) SetTraceFlags(flags uint8) { c.traceFlags.Store(uint32(flags)) }
 
 // PauseJittered sleeps the capped exponential-backoff delay
 // min(base<<attempt, max), equal-jittered (half deterministic, half
@@ -317,14 +348,27 @@ func (c *Client) Read(ctx context.Context, keyHashes []uint64, payload []byte) (
 			ReadOnly:           true,
 			Payload:            payload,
 		}
-		reply, err := view.Master.Read(ctx, req)
+		rctx, span := c.trace.Load().StartTrace(ctx, "client-read", uint8(c.traceFlags.Load()))
+		span.SetOp("read")
+		reply, err := view.Master.Read(rctx, req)
+		span.SetErr(err)
 		if err != nil {
+			span.End()
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
 			lastErr = err
 			continue
 		}
+		switch reply.Status {
+		case StatusOK:
+			span.SetVerdict("fast")
+		case StatusKeyMoved:
+			span.SetVerdict("moved")
+		default:
+			span.SetVerdict("error")
+		}
+		span.End()
 		switch reply.Status {
 		case StatusOK:
 			c.masterReads.Add(1)

@@ -3,6 +3,7 @@ package metrics
 import (
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -66,10 +67,68 @@ func serveHandler(addr string, h http.Handler) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	srv := &http.Server{Handler: NodeMux(h, nil, false), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// NodeMux builds the per-node observability mux: /metrics (and / for curl
+// convenience), /trace when a collector is attached, and the net/http/pprof
+// suite when profiling is on. Every node role serves the same shape, so
+// operators learn one layout.
+func NodeMux(metricsH http.Handler, coll *Collector, profiling bool) *http.ServeMux {
+	var traceH http.Handler
+	if coll != nil {
+		traceH = coll.TraceHandler()
+	}
+	return NodeMuxHandler(metricsH, traceH, profiling)
+}
+
+// NodeMuxHandler is NodeMux with an arbitrary /trace handler — endpoints
+// whose backing collector set is dynamic (a failover-tracking master
+// endpoint, an embedded multi-role process) pass a MultiTraceHandler.
+func NodeMuxHandler(metricsH, traceH http.Handler, profiling bool) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", h)
-	mux.Handle("/", h)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	mux.Handle("/metrics", metricsH)
+	mux.Handle("/", metricsH)
+	if traceH != nil {
+		mux.Handle("/trace", traceH)
+	}
+	if profiling {
+		MountProfiling(mux)
+	}
+	return mux
+}
+
+// MountProfiling mounts the net/http/pprof suite on mux (the -pprof /
+// Options.Profiling opt-in; never on by default since profile endpoints
+// are a DoS surface).
+func MountProfiling(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeNode starts the full per-node observability endpoint: metrics,
+// /trace from coll (nil skips it), and pprof when profiling is set.
+func ServeNode(addr string, metricsH http.Handler, coll *Collector, profiling bool) (*Server, error) {
+	var traceH http.Handler
+	if coll != nil {
+		traceH = coll.TraceHandler()
+	}
+	return ServeNodeHandler(addr, metricsH, traceH, profiling)
+}
+
+// ServeNodeHandler is ServeNode with an arbitrary /trace handler (see
+// NodeMuxHandler).
+func ServeNodeHandler(addr string, metricsH, traceH http.Handler, profiling bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NodeMuxHandler(metricsH, traceH, profiling), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
 }

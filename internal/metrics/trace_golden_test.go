@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceHandlerGolden pins the exact /trace JSON document — field
+// names, ordering, and indentation — against a golden file. curpctl and
+// the smoke scripts parse this format; an accidental schema change must
+// show up as a diff here, not as a broken operator tool. Spans are
+// injected through the internal record path with fixed IDs and
+// timestamps so the document is reproducible. Regenerate with:
+//
+//	go test ./internal/metrics -run TraceHandlerGolden -update-golden
+func TestTraceHandlerGolden(t *testing.T) {
+	c := NewCollector("127.0.0.1:7001", "master", 0)
+	c.SetShard(2)
+
+	const (
+		fastTrace = 0x1111
+		slowTrace = 0x2222
+	)
+	base := int64(1700000000_000000000) // fixed unix nanos
+	// A boring fast-path trace: lands in the ring, never promoted,
+	// invisible in the dump.
+	c.record(WireSpan{
+		TraceID: fastTrace, SpanID: 0xa1, Node: "127.0.0.1:7001", Role: "master",
+		Shard: 2, Stage: "apply", Op: "put", Verdict: "speculative",
+		Start: base, Dur: 12_000,
+	}, 0)
+	// A conflict-synced trace: the apply span's verdict promotes it, and
+	// promotion retroactively collects the earlier queue span from the
+	// ring.
+	c.record(WireSpan{
+		TraceID: slowTrace, SpanID: 0xb1, Node: "127.0.0.1:7001", Role: "master",
+		Shard: 2, Stage: "master-queue", Start: base + 1_000, Dur: 5_000,
+	}, 0)
+	c.record(WireSpan{
+		TraceID: slowTrace, SpanID: 0xb2, Parent: 0xb0, Node: "127.0.0.1:7001", Role: "master",
+		Shard: 2, Stage: "apply", Op: "put", Verdict: "conflict-sync",
+		Start: base + 6_000, Dur: 40_000,
+	}, 0)
+	c.record(WireSpan{
+		TraceID: slowTrace, SpanID: 0xb3, Parent: 0xb2, Node: "127.0.0.1:7001", Role: "master",
+		Shard: 2, Stage: "sync-wait", Op: "put", Start: base + 8_000, Dur: 30_000,
+		Err: "", Verdict: "",
+	}, 0)
+
+	srv := httptest.NewServer(c.TraceHandler())
+	defer srv.Close()
+
+	check := func(name, url string) {
+		t.Helper()
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		body := make([]byte, 0, 4096)
+		buf := make([]byte, 1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		golden := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run with -update-golden to regenerate)", err)
+		}
+		if string(body) != string(want) {
+			t.Errorf("/trace JSON drifted from %s:\ngot:\n%s\nwant:\n%s\n(run with -update if intentional)",
+				golden, body, want)
+		}
+	}
+	check("trace_dump.json", srv.URL+"/trace")
+	check("trace_lookup.json", srv.URL+"/trace?id=2222")
+}

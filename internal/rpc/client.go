@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"curp/internal/metrics"
 	"curp/internal/transport"
 )
 
@@ -109,6 +110,10 @@ func (c *Client) Call(ctx context.Context, op uint16, payload []byte) ([]byte, e
 	c.mu.Unlock()
 
 	req := &frame{requestID: id, kind: kindRequest, code: op, payload: payload}
+	if tc, ok := metrics.TraceFromContext(ctx); ok {
+		req.kind = kindRequestTraced
+		req.tc = tc
+	}
 	c.writeMu.Lock()
 	err := writeFrameBuf(c.conn, req, &c.writeBuf)
 	c.writeMu.Unlock()

@@ -5,12 +5,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"curp/internal/metrics"
 )
 
 // Frame kinds.
 const (
 	kindRequest  = 0
 	kindResponse = 1
+	// kindRequestTraced is a request carrying a metrics.TraceContext: the
+	// body is the 11-byte request header, then the 17-byte trace context,
+	// then the payload. Requests without a trace context keep kindRequest
+	// and are byte-identical to the pre-tracing format — the zero-context
+	// encoding costs nothing and old peers interoperate while tracing is
+	// off.
+	kindRequestTraced = 2
 )
 
 // Response status codes.
@@ -33,6 +42,7 @@ type frame struct {
 	requestID uint64
 	kind      uint8
 	code      uint16 // opcode for requests, status for responses
+	tc        metrics.TraceContext
 	payload   []byte
 }
 
@@ -50,7 +60,11 @@ func writeFrame(w io.Writer, f *frame) error {
 // connection, so one buffer per conn suffices). The frame copy was one of
 // the largest allocation sources on the hot path.
 func writeFrameBuf(w io.Writer, f *frame, scratch *[]byte) error {
-	total := frameHeaderSize + len(f.payload)
+	extra := 0
+	if f.kind == kindRequestTraced {
+		extra = metrics.TraceContextWireSize
+	}
+	total := frameHeaderSize + extra + len(f.payload)
 	if total > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
@@ -66,7 +80,10 @@ func writeFrameBuf(w io.Writer, f *frame, scratch *[]byte) error {
 	binary.LittleEndian.PutUint64(buf[4:], f.requestID)
 	buf[12] = f.kind
 	binary.LittleEndian.PutUint16(buf[13:], f.code)
-	copy(buf[15:], f.payload)
+	if extra != 0 {
+		f.tc.EncodeTo(buf[15:])
+	}
+	copy(buf[15+extra:], f.payload)
 	_, err := w.Write(buf)
 	return err
 }
@@ -88,10 +105,19 @@ func readFrame(r io.Reader) (*frame, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
-	return &frame{
+	f := &frame{
 		requestID: binary.LittleEndian.Uint64(body[0:]),
 		kind:      body[8],
 		code:      binary.LittleEndian.Uint16(body[9:]),
 		payload:   body[11:],
-	}, nil
+	}
+	if f.kind == kindRequestTraced {
+		tc, err := metrics.DecodeTraceContext(f.payload)
+		if err != nil {
+			return nil, err
+		}
+		f.tc = tc
+		f.payload = f.payload[metrics.TraceContextWireSize:]
+	}
+	return f, nil
 }

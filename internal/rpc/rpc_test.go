@@ -178,9 +178,9 @@ func TestFrameSizeLimit(t *testing.T) {
 func startServer(t *testing.T, nw *transport.MemNetwork, addr string) *Server {
 	t.Helper()
 	s := NewServer()
-	s.Handle(1, func(p []byte) ([]byte, error) { return p, nil })
-	s.Handle(2, func(p []byte) ([]byte, error) { return nil, fmt.Errorf("boom: %s", p) })
-	s.Handle(3, func(p []byte) ([]byte, error) {
+	s.Handle(1, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
+	s.Handle(2, func(_ context.Context, p []byte) ([]byte, error) { return nil, fmt.Errorf("boom: %s", p) })
+	s.Handle(3, func(_ context.Context, p []byte) ([]byte, error) {
 		time.Sleep(50 * time.Millisecond)
 		return []byte("slow"), nil
 	})
@@ -368,13 +368,13 @@ func TestPeerDialFailure(t *testing.T) {
 
 func TestDuplicateHandlerPanics(t *testing.T) {
 	s := NewServer()
-	s.Handle(1, func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle(1, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	s.Handle(1, func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle(1, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 }
 
 func TestServerCloseUnblocksClients(t *testing.T) {
@@ -407,7 +407,7 @@ func TestServeOnClosedServer(t *testing.T) {
 func BenchmarkCallEcho(b *testing.B) {
 	nw := transport.NewMemNetwork(nil)
 	s := NewServer()
-	s.Handle(1, func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle(1, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	l, _ := nw.Listen("srv")
 	s.Go(l)
 	defer s.Close()

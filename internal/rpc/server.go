@@ -1,15 +1,21 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+
+	"curp/internal/metrics"
 )
 
 // Handler processes one request payload and returns a reply payload.
 // Returning an error sends a StatusError response carrying the error text.
-type Handler func(payload []byte) ([]byte, error)
+// ctx carries the request's decoded trace context (if the frame was
+// traced), so handlers that thread ctx into downstream RPCs propagate the
+// trace automatically.
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
 
 // Server dispatches incoming frames to opcode handlers. Each request runs
 // in its own goroutine, so slow handlers (e.g. a master waiting on a backup
@@ -95,7 +101,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if f.kind != kindRequest {
+		if f.kind != kindRequest && f.kind != kindRequestTraced {
 			continue // stray frame; ignore
 		}
 		s.mu.RLock()
@@ -108,11 +114,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		handlerWG.Add(1)
 		go func(f *frame) {
 			defer handlerWG.Done()
+			ctx := context.Background()
+			if f.tc.Valid() {
+				ctx = metrics.ContextWithTrace(ctx, f.tc)
+			}
 			resp := &frame{requestID: f.requestID, kind: kindResponse}
 			if h == nil {
 				resp.code = StatusError
 				resp.payload = []byte(fmt.Sprintf("rpc: unknown opcode %d", f.code))
-			} else if out, err := h(f.payload); err != nil {
+			} else if out, err := h(ctx, f.payload); err != nil {
 				resp.code = StatusError
 				resp.payload = []byte(err.Error())
 			} else {

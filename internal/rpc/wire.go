@@ -8,9 +8,14 @@
 //
 //	uint32  frame length (bytes after this field)
 //	uint64  request ID (matches responses to calls)
-//	uint8   kind (request | response)
+//	uint8   kind (request | response | traced request)
 //	uint16  opcode (requests) or status (responses)
+//	[17]    trace context, traced requests only:
+//	        uint64 trace ID, uint64 parent span ID, uint8 flags
 //	...     payload
+//
+// A request whose context carries no trace uses the plain request kind and
+// is byte-identical to the pre-tracing format.
 package rpc
 
 import (

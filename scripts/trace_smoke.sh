@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the distributed tracer: boot a 2-shard curpd
+# over real TCP, force conflict-syncs with a contended pipelined workload,
+# and assert that (a) every node's /trace endpoint answers, (b) the
+# contention promoted a trace whose spans cover client, master, and
+# witness roles, and (c) curpctl trace stitches and renders it. Run from
+# anywhere; needs go and curl.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HOST=127.0.0.1
+PORT="${PORT:-7200}"
+SHARDS=2
+F=2
+CLIENT_TRACE_PORT=$((PORT + 499)) # outside the cluster's port blocks
+
+TMP="$(mktemp -d)"
+CURPD_PID=""
+LOAD_PID=""
+cleanup() {
+  [ -n "$CURPD_PID" ] && kill "$CURPD_PID" 2>/dev/null || true
+  [ -n "$LOAD_PID" ] && kill "$LOAD_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/curpd" ./cmd/curpd
+go build -o "$TMP/curpctl" ./cmd/curpctl
+go build -o "$TMP/traceload" ./scripts/traceload
+
+"$TMP/curpd" -mode cluster -host "$HOST" -port "$PORT" -shards "$SHARDS" -f "$F" \
+  >"$TMP/curpd.log" 2>&1 &
+CURPD_PID=$!
+
+fetch() { # fetch <port> <path>
+  curl -sf --max-time 5 "http://$HOST:$1$2"
+}
+
+wait_up() { # wait_up <port>
+  for _ in $(seq 1 50); do
+    if fetch "$1" /metrics >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "FAIL: endpoint :$1 never came up" >&2
+  cat "$TMP/curpd.log" >&2
+  exit 1
+}
+
+# Every node's /trace must answer with JSON (empty is fine before load):
+# per shard block the dashboard serves +500, the master +501, backups
+# +600+i, witnesses +700+i.
+for s in $(seq 0 $((SHARDS - 1))); do
+  base=$((PORT + s * 1000))
+  for off in 500 501 600 601 700 701; do
+    wait_up $((base + off))
+    if ! fetch $((base + off)) /trace | head -c1 | grep -q '[[{]'; then
+      echo "FAIL: :$((base + off))/trace did not return JSON" >&2
+      exit 1
+    fi
+  done
+done
+echo "ok all $((SHARDS * 6)) /trace endpoints answer"
+
+# Find which shard owns the contended key, then hammer it: one pipelined
+# flush of same-key writes conflicts at the master while unsynced, which
+# promotes the trace under default tail-based sampling (no -trace-threshold
+# was passed — eviction alone must be enough).
+KEY=smoke-contended
+OWNER=$("$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" shard "$KEY")
+OWNER_BASE=$((PORT + OWNER * 1000))
+"$TMP/traceload" -coordinator "$HOST:$OWNER_BASE" -ops 64 -key "$KEY" \
+  -serve "$HOST:$CLIENT_TRACE_PORT" >"$TMP/load.out" 2>&1 &
+LOAD_PID=$!
+for _ in $(seq 1 50); do
+  if fetch "$CLIENT_TRACE_PORT" /trace >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+cat "$TMP/load.out"
+
+# The owning shard's master must now hold a promoted conflict-sync trace.
+if ! fetch $((OWNER_BASE + 501)) /trace | grep -q '"verdict": "conflict-sync"'; then
+  echo "FAIL: no conflict-sync trace promoted on shard $OWNER's master" >&2
+  fetch $((OWNER_BASE + 501)) /trace >&2
+  exit 1
+fi
+echo "ok shard $OWNER master promoted a conflict-sync trace"
+
+# curpctl trace lists it...
+"$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" -f "$F" \
+  -trace-endpoints "$HOST:$CLIENT_TRACE_PORT" trace >"$TMP/list.out"
+if ! grep -q "conflict-sync" "$TMP/list.out"; then
+  echo "FAIL: curpctl trace listed no conflict-sync trace" >&2
+  cat "$TMP/list.out" >&2
+  exit 1
+fi
+TRACE_ID=$(awk '/conflict-sync/ {print $1; exit}' "$TMP/list.out")
+echo "ok curpctl trace lists $TRACE_ID (conflict-sync)"
+
+# ...and the stitched waterfall covers client, master, and witness roles
+# with the verdict line naming the eviction.
+"$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" -f "$F" \
+  -trace-endpoints "$HOST:$CLIENT_TRACE_PORT" trace "$TRACE_ID" >"$TMP/waterfall.out"
+for role in client master witness; do
+  if ! grep -q " $role " "$TMP/waterfall.out"; then
+    echo "FAIL: stitched trace $TRACE_ID has no $role span" >&2
+    cat "$TMP/waterfall.out" >&2
+    exit 1
+  fi
+done
+# The verdict line names whichever eviction came first chronologically:
+# the witness's reject-conflict or the master's conflict-sync.
+if ! grep -Eq "^verdict: (conflict-sync|reject-conflict)" "$TMP/waterfall.out"; then
+  echo "FAIL: waterfall verdict line missing" >&2
+  cat "$TMP/waterfall.out" >&2
+  exit 1
+fi
+echo "ok waterfall spans client→master→witness:"
+cat "$TMP/waterfall.out"
+
+echo "PASS trace smoke"
