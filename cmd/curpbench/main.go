@@ -22,7 +22,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated list: table1,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,resources,sharded,pipeline,commute,txn,failover,coordfail,traceoverhead,all")
+		"comma-separated list: table1,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,resources,sharded,pipeline,commute,txn,failover,coordfail,traceoverhead,eventoverhead,all")
 	ops := flag.Int("ops", 20000, "operations per simulated configuration")
 	flag.Parse()
 
@@ -48,8 +48,9 @@ func main() {
 		"failover":      func() { Failover(w, *ops) },
 		"coordfail":     func() { Coordfail(w, *ops) },
 		"traceoverhead": func() { TraceOverhead(w, *ops) },
+		"eventoverhead": func() { EventOverhead(w, *ops) },
 	}
-	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "resources", "sharded", "pipeline", "commute", "txn", "failover", "coordfail", "traceoverhead"}
+	order := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "resources", "sharded", "pipeline", "commute", "txn", "failover", "coordfail", "traceoverhead", "eventoverhead"}
 
 	var selected []string
 	if *experiment == "all" {

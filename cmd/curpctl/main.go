@@ -152,7 +152,15 @@ func main() {
 	}
 	if args[0] == "top" {
 		interval, iterations := topArgs(args)
-		runTop(*coord, *shards, *timeout, interval, iterations)
+		runTop(*coord, *shards, *coordinators, *timeout, interval, iterations)
+		return
+	}
+	if args[0] == "events" {
+		runEvents(*coord, *shards, *coordinators, *fTol, *timeout, args)
+		return
+	}
+	if args[0] == "hotkeys" {
+		runHotkeys(*coord, *shards, *timeout)
 		return
 	}
 	if args[0] == "trace" {
@@ -354,6 +362,9 @@ func runStatus(coordBase string, shards, coordinators int, timeout time.Duration
 		}
 		fmt.Printf("shard %d (coordinator %s): master=%s id=%d epoch=%d wlv=%d [%s]\n",
 			s, addr, ph.MasterAddr, ph.MasterID, ph.Epoch, ph.WitnessListVersion, heal)
+		if bi := buildInfoLine(coordBase, s, coordinators, timeout); bi != "" {
+			fmt.Printf("  %s\n", bi)
+		}
 		if ph.CoordReplicas > 1 {
 			leader := ph.CoordLeaderAddr
 			if leader == "" {
@@ -439,7 +450,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-coordinators R] [-shards N] [-shard i] put|get|del|incr|append|putttl|sadd|srem|smembers|take|shard|bench|status|top|trace|rebalance|drain args...")
+	fmt.Fprintln(os.Stderr, "usage: curpctl [-coordinator host:port] [-coordinators R] [-shards N] [-shard i] put|get|del|incr|append|putttl|sadd|srem|smembers|take|shard|bench|status|top|events|hotkeys|trace|rebalance|drain args...")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port putttl <key> <value> <ttl, e.g. 30s>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port take <bucket-key> <tokens>")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port rebalance <fromShards> <toShards>")
@@ -447,6 +458,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N -coordinators R status")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N top [interval [iterations]]")
 	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N -f F trace [trace-id]")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N -f F events [--follow [interval]]")
+	fmt.Fprintln(os.Stderr, "       curpctl -coordinator host:port -shards N hotkeys")
 	os.Exit(2)
 }
 

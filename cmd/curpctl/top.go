@@ -29,6 +29,11 @@ type shardSample struct {
 	m       map[string]float64
 	classes map[string]classVerdicts
 	err     error
+	// via is the fallback endpoint that answered when the shard's primary
+	// dashboard (+500) was unreachable — a follower coordinator replica's
+	// endpoint. Its scrape lacks the master-side families (class verdicts),
+	// but the mirror-driven partition gauges keep the row alive.
+	via string
 }
 
 // classVerdicts is one commutativity class's cumulative verdict counters
@@ -37,7 +42,7 @@ type classVerdicts struct {
 	spec, sync float64
 }
 
-func runTop(coordBase string, shards int, timeout, interval time.Duration, iterations int) {
+func runTop(coordBase string, shards, coordinators int, timeout, interval time.Duration, iterations int) {
 	client := &http.Client{Timeout: timeout}
 	prev := make([]shardSample, shards)
 	for i := 0; iterations <= 0 || i < iterations; i++ {
@@ -46,7 +51,7 @@ func runTop(coordBase string, shards int, timeout, interval time.Duration, itera
 		}
 		cur := make([]shardSample, shards)
 		for s := 0; s < shards; s++ {
-			cur[s] = scrapeShard(client, coordBase, s)
+			cur[s] = scrapeShard(client, coordBase, s, coordinators)
 		}
 		render(cur, prev, interval)
 		prev = cur
@@ -54,31 +59,65 @@ func runTop(coordBase string, shards int, timeout, interval time.Duration, itera
 }
 
 // scrapeShard fetches shard s's /metrics and folds it into name→value.
-func scrapeShard(client *http.Client, coordBase string, s int) shardSample {
+// When the primary dashboard endpoint (+500, the rank-0 coordinator) is
+// down — e.g. after a SIGUSR1 leader-kill drill — the follower replicas'
+// endpoints (+501+i) are tried in rank order, so the row degrades to the
+// mirror-driven partition gauges instead of going dark.
+func scrapeShard(client *http.Client, coordBase string, s, coordinators int) shardSample {
 	sample := shardSample{at: time.Now()}
-	addr, err := shardMetricsAddr(coordBase, s)
+	addrs, err := shardObsAddrs(coordBase, s, coordinators)
 	if err != nil {
 		sample.err = err
 		return sample
 	}
+	for i, addr := range addrs {
+		body, err := fetchMetrics(client, addr)
+		if err != nil {
+			sample.err = err
+			continue
+		}
+		sample.err = nil
+		if i > 0 {
+			sample.via = addr
+		}
+		sample.m = parsePromText(bytes.NewReader(body))
+		sample.classes = parseClassVerdicts(bytes.NewReader(body))
+		return sample
+	}
+	return sample
+}
+
+// fetchMetrics GETs one endpoint's /metrics body.
+func fetchMetrics(client *http.Client, addr string) ([]byte, error) {
 	resp, err := client.Get("http://" + addr + "/metrics")
 	if err != nil {
-		sample.err = err
-		return sample
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		sample.err = fmt.Errorf("%s: HTTP %d", addr, resp.StatusCode)
-		return sample
+		return nil, fmt.Errorf("%s: HTTP %d", addr, resp.StatusCode)
 	}
-	body, err := io.ReadAll(resp.Body)
+	return io.ReadAll(resp.Body)
+}
+
+// shardObsAddrs lists shard s's observability endpoints in preference
+// order: the partition dashboard (+500), then each follower coordinator
+// replica's endpoint (+501+i, the curpd -coordinators layout).
+func shardObsAddrs(base string, s, coordinators int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(base)
 	if err != nil {
-		sample.err = err
-		return sample
+		return nil, err
 	}
-	sample.m = parsePromText(bytes.NewReader(body))
-	sample.classes = parseClassVerdicts(bytes.NewReader(body))
-	return sample
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, err
+	}
+	shardBase := port + s*1000
+	addrs := []string{net.JoinHostPort(host, strconv.Itoa(shardBase+500))}
+	for i := 1; i < coordinators; i++ {
+		addrs = append(addrs, net.JoinHostPort(host, strconv.Itoa(shardBase+501+i)))
+	}
+	return addrs, nil
 }
 
 // shardMetricsAddr derives shard s's partition metrics endpoint from the
@@ -163,6 +202,36 @@ func parseClassVerdicts(r io.Reader) map[string]classVerdicts {
 	return out
 }
 
+// buildInfoLine scrapes shard s's observability endpoints for the
+// curp_build_info gauge and renders its labels as a human line for
+// `curpctl status`, e.g. `build version=dev commit=c8fcb67 go=go1.22.2`.
+// Returns "" when no endpoint answers (metrics disabled): status still
+// works against a -metrics-less cluster.
+func buildInfoLine(coordBase string, s, coordinators int, timeout time.Duration) string {
+	client := &http.Client{Timeout: timeout}
+	addrs, err := shardObsAddrs(coordBase, s, coordinators)
+	if err != nil {
+		return ""
+	}
+	for _, addr := range addrs {
+		body, err := fetchMetrics(client, addr)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(bytes.NewReader(body))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if !strings.HasPrefix(line, "curp_build_info{") {
+				continue
+			}
+			return fmt.Sprintf("build version=%s commit=%s go=%s",
+				promLabel(line, "version"), promLabel(line, "commit"), promLabel(line, "go"))
+		}
+	}
+	return ""
+}
+
 // promLabel extracts one label's value from a series name's label block.
 func promLabel(series, label string) string {
 	i := strings.Index(series, label+`="`)
@@ -229,6 +298,9 @@ func render(cur, prev []shardSample, interval time.Duration) {
 		status := "manual"
 		if c.m["curp_partition_self_healing"] > 0 {
 			status = "self-healing"
+		}
+		if c.via != "" {
+			status += " (degraded: via " + c.via + ")"
 		}
 		fmt.Fprintf(&b, "%-5d %9.0f %6s %9.0f %6.0f %7.0f %3.0f/%-2.0f %5.0f %-14s %s\n",
 			s, rate, fast,

@@ -69,12 +69,23 @@
 // slow is kept — and additionally logs a structured slow-op span to stderr
 // on masters. -pprof mounts the net/http/pprof suite on the same
 // endpoints.
+//
+// Every metrics endpoint further serves GET /events — the node's flight
+// recorder: a bounded journal of control-flow transitions (elections,
+// lease moves, failover stages, migrations, epoch flips, fencings,
+// watchdog anomalies) that `curpctl events` stitches into one causally
+// ordered cluster timeline. Master and dashboard endpoints add
+// GET /hotkeys, the master's space-saving top-K sketch of the hottest key
+// hashes (`curpctl hotkeys`). Setting CURP_FLIGHT_DIR makes every server
+// dump its journal to that directory on Close or on a boot-path panic —
+// the post-mortem artifact CI uploads on failure.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -83,6 +94,7 @@ import (
 	"time"
 
 	"curp/internal/cluster"
+	"curp/internal/events"
 	"curp/internal/health"
 	"curp/internal/metrics"
 	"curp/internal/transport"
@@ -119,7 +131,8 @@ func main() {
 		srv, err := cluster.NewBackupServer(nw, *addr)
 		exitOn(err)
 		srv.Trace().SetThreshold(*trace)
-		serveMetricsAddr(*metricsAddr, srv.Trace(), obs, srv.Metrics())
+		serveMetricsAddr(*metricsAddr, srv.Trace(), obs,
+			map[string]http.Handler{"/events": srv.Events().Handler()}, srv.Metrics())
 		log.Printf("backup listening on %s", *addr)
 		waitForSignal()
 		srv.Close()
@@ -128,7 +141,8 @@ func main() {
 		srv, err := cluster.NewWitnessServer(nw, *addr, witness.DefaultConfig())
 		exitOn(err)
 		srv.Trace().SetThreshold(*trace)
-		serveMetricsAddr(*metricsAddr, srv.Trace(), obs, srv.Metrics())
+		serveMetricsAddr(*metricsAddr, srv.Trace(), obs,
+			map[string]http.Handler{"/events": srv.Events().Handler()}, srv.Metrics())
 		log.Printf("witness listening on %s", *addr)
 		waitForSignal()
 		srv.Close()
@@ -148,7 +162,10 @@ func main() {
 		if *trace > 0 {
 			ms.SetSlowOpTracer(metrics.NewTracer(os.Stderr, *trace))
 		}
-		serveMetricsAddr(*metricsAddr, ms.Trace(), obs, ms.Metrics())
+		serveMetricsAddr(*metricsAddr, ms.Trace(), obs, map[string]http.Handler{
+			"/events":  ms.Events().Handler(),
+			"/hotkeys": ms.HotKeys().Handler(),
+		}, ms.Metrics())
 		log.Printf("master listening on %s (backups=%s witnesses=%s)", *addr, *backups, *witnesses)
 		waitForSignal()
 		ms.Close()
@@ -178,10 +195,25 @@ func runShardedCluster(nw transport.Network, host string, basePort, shards, coor
 	}
 	var closers []interface{ Close() }
 	var quorums [][]*cluster.Coordinator
+	var recorders []func() []*events.Journal
+	// Flight recorder: a panic on this goroutine dumps every node's event
+	// journal to CURP_FLIGHT_DIR before the process dies (server Close
+	// paths cover the orderly-shutdown case).
+	defer func() {
+		if r := recover(); r != nil {
+			var all []*events.Journal
+			for _, fetch := range recorders {
+				all = append(all, fetch()...)
+			}
+			events.FlightDump(all...)
+			panic(r)
+		}
+	}()
 	for s := 0; s < shards; s++ {
-		cs, reps := startPartition(nw, s, host, basePort+s*1000, coordinators, f, batch, adaptive, selfHeal, hb, obs)
+		cs, reps, jf := startPartition(nw, s, host, basePort+s*1000, coordinators, f, batch, adaptive, selfHeal, hb, obs)
 		closers = append(closers, cs...)
 		quorums = append(quorums, reps)
+		recorders = append(recorders, jf)
 	}
 	// Failover drill hook (scripts/controlplane_smoke.sh): SIGUSR1 crashes
 	// the coordinator replica holding each shard's leader lease, forcing
@@ -240,7 +272,9 @@ func (s *tcpSpares) SpareBackup(uint64) (string, error) {
 	b.StartHeartbeats(s.coordAddrs, s.hb)
 	if s.obs.metricsOn {
 		// Same RPC+500 convention as boot-time nodes: base+800+n.
-		if _, err := metrics.ServeNode(fmt.Sprintf("%s:%d", s.host, s.base+800+n), metrics.Handler(b.Metrics()), b.Trace(), s.obs.pprof); err != nil {
+		if _, err := metrics.ServeNodeExtras(fmt.Sprintf("%s:%d", s.host, s.base+800+n),
+			metrics.Handler(b.Metrics()), b.Trace().TraceHandler(), s.obs.pprof,
+			map[string]http.Handler{"/events": b.Events().Handler()}); err != nil {
 			log.Printf("metrics for replacement backup %s: %v", addr, err)
 		}
 	}
@@ -258,7 +292,9 @@ func (s *tcpSpares) SpareWitness(uint64) (string, error) {
 	w.StartHeartbeats(s.coordAddrs, s.hb)
 	if s.obs.metricsOn {
 		// Same RPC+500 convention as boot-time nodes: base+900+n.
-		if _, err := metrics.ServeNode(fmt.Sprintf("%s:%d", s.host, s.base+900+n), metrics.Handler(w.Metrics()), w.Trace(), s.obs.pprof); err != nil {
+		if _, err := metrics.ServeNodeExtras(fmt.Sprintf("%s:%d", s.host, s.base+900+n),
+			metrics.Handler(w.Metrics()), w.Trace().TraceHandler(), s.obs.pprof,
+			map[string]http.Handler{"/events": w.Events().Handler()}); err != nil {
 			log.Printf("metrics for replacement witness %s: %v", addr, err)
 		}
 	}
@@ -267,9 +303,11 @@ func (s *tcpSpares) SpareWitness(uint64) (string, error) {
 
 // startPartition boots one partition (coordinator quorum, master, f
 // backups, f witnesses) on sequential ports from port, returning
-// everything to close plus the coordinator replicas (for the SIGUSR1
-// leader-kill drill).
-func startPartition(nw transport.Network, shard int, host string, port, coordinators, f, batch int, adaptive, selfHeal bool, hb time.Duration, obs obsConfig) ([]interface{ Close() }, []*cluster.Coordinator) {
+// everything to close, the coordinator replicas (for the SIGUSR1
+// leader-kill drill), and a fetcher over the partition's event journals
+// (for the panic-time flight dump; the master journal is re-resolved so
+// failovers are reflected).
+func startPartition(nw transport.Network, shard int, host string, port, coordinators, f, batch int, adaptive, selfHeal bool, hb time.Duration, obs obsConfig) ([]interface{ Close() }, []*cluster.Coordinator, func() []*events.Journal) {
 	// Coordinator replica i>0 lives at base+1+i (the master holds +1), so
 	// a 3-replica quorum occupies base, base+2, base+3.
 	coordAddrs := make([]string, coordinators)
@@ -291,15 +329,18 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 		co.SetClientIDNamespace(cluster.ClientIDNamespaceFor(shard))
 		co.Trace().SetThreshold(obs.trace)
 		co.Trace().SetShard(shard)
+		co.Events().SetShard(shard)
 		replicas[i] = co
 		closers = append(closers, co)
 	}
 	coord := replicas[0]
-	serveMetrics := func(rpcPort int, coll *metrics.Collector, regs ...*metrics.Registry) {
+	serveMetrics := func(rpcPort int, coll *metrics.Collector, jrn *events.Journal, regs ...*metrics.Registry) {
 		if !obs.metricsOn {
 			return
 		}
-		srv, err := metrics.ServeNode(fmt.Sprintf("%s:%d", host, rpcPort+500), metrics.Handler(regs...), coll, obs.pprof)
+		srv, err := metrics.ServeNodeExtras(fmt.Sprintf("%s:%d", host, rpcPort+500),
+			metrics.Handler(regs...), coll.TraceHandler(), obs.pprof,
+			map[string]http.Handler{"/events": jrn.Handler()})
 		exitOn(err)
 		closers = append(closers, errCloser{srv})
 	}
@@ -315,7 +356,8 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 		backupAddrs = append(backupAddrs, ba)
 		b.Trace().SetThreshold(obs.trace)
 		b.Trace().SetShard(shard)
-		serveMetrics(port+100+i, b.Trace(), b.Metrics())
+		b.Events().SetShard(shard)
+		serveMetrics(port+100+i, b.Trace(), b.Events(), b.Metrics())
 		wa := fmt.Sprintf("%s:%d", host, port+200+i)
 		w, err := cluster.NewWitnessServer(nw, wa, witness.DefaultConfig())
 		exitOn(err)
@@ -324,7 +366,8 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 		witnessAddrs = append(witnessAddrs, wa)
 		w.Trace().SetThreshold(obs.trace)
 		w.Trace().SetShard(shard)
-		serveMetrics(port+200+i, w.Trace(), w.Metrics())
+		w.Events().SetShard(shard)
+		serveMetrics(port+200+i, w.Trace(), w.Events(), w.Metrics())
 	}
 	opts := cluster.DefaultMasterOptions()
 	opts.Core.SyncBatchSize = batch
@@ -345,28 +388,44 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 		// merges both nodes' spans. The dedicated master endpoint
 		// (base+501) re-resolves the registry and collector per request so
 		// a heal-promoted replacement keeps the same URL.
-		dash, err := metrics.ServeNodeHandler(fmt.Sprintf("%s:%d", host, port+500),
+		dash, err := metrics.ServeNodeExtras(fmt.Sprintf("%s:%d", host, port+500),
 			metrics.DynamicHandler(func() []*metrics.Registry {
 				return []*metrics.Registry{coord.Metrics(), coord.MasterRegistry()}
 			}),
 			metrics.MultiTraceHandler(func() []*metrics.Collector {
 				return []*metrics.Collector{coord.Trace(), coord.MasterTrace()}
-			}), obs.pprof)
+			}), obs.pprof,
+			map[string]http.Handler{
+				"/events": events.MultiHandler(func() []*events.Journal {
+					return []*events.Journal{coord.Events(), coord.MasterEvents()}
+				}),
+				"/hotkeys": events.MultiHotKeysHandler(func() []*events.TopK {
+					return []*events.TopK{coord.MasterHotKeys()}
+				}),
+			})
 		exitOn(err)
 		closers = append(closers, errCloser{dash})
-		msrv, err := metrics.ServeNodeHandler(fmt.Sprintf("%s:%d", host, port+501),
+		msrv, err := metrics.ServeNodeExtras(fmt.Sprintf("%s:%d", host, port+501),
 			metrics.DynamicHandler(func() []*metrics.Registry {
 				return []*metrics.Registry{coord.MasterRegistry()}
 			}),
 			metrics.MultiTraceHandler(func() []*metrics.Collector {
 				return []*metrics.Collector{coord.MasterTrace()}
-			}), obs.pprof)
+			}), obs.pprof,
+			map[string]http.Handler{
+				"/events": events.MultiHandler(func() []*events.Journal {
+					return []*events.Journal{coord.MasterEvents()}
+				}),
+				"/hotkeys": events.MultiHotKeysHandler(func() []*events.TopK {
+					return []*events.TopK{coord.MasterHotKeys()}
+				}),
+			})
 		exitOn(err)
 		closers = append(closers, errCloser{msrv})
 		// Follower replicas expose their own quorum series (leader gauge,
 		// commit index, election count) on the same RPC+500 convention.
 		for i := 1; i < coordinators; i++ {
-			serveMetrics(port+1+i, replicas[i].Trace(), replicas[i].Metrics())
+			serveMetrics(port+1+i, replicas[i].Trace(), replicas[i].Events(), replicas[i].Metrics())
 		}
 	}
 	if selfHeal {
@@ -394,7 +453,21 @@ func startPartition(nw transport.Network, shard int, host string, port, coordina
 	}
 	log.Printf("shard %d up: coordinators=%v master=%s backups=%v witnesses=%v self-heal=%v adaptive-flush=%v",
 		shard, coordAddrs, masterAddr, backupAddrs, witnessAddrs, selfHeal, adaptive)
-	return closers, replicas
+	journals := func() []*events.Journal {
+		js := make([]*events.Journal, 0, coordinators+2*f+1)
+		for _, co := range replicas {
+			js = append(js, co.Events())
+		}
+		js = append(js, coord.MasterEvents())
+		for _, b := range backupSrvs {
+			js = append(js, b.Events())
+		}
+		for _, w := range witnessSrvs {
+			js = append(js, w.Events())
+		}
+		return js
+	}
+	return closers, replicas, journals
 }
 
 // errCloser adapts metrics.Server (whose Close returns error) to the
@@ -404,16 +477,16 @@ type errCloser struct{ srv *metrics.Server }
 func (c errCloser) Close() { _ = c.srv.Close() }
 
 // serveMetricsAddr starts a component-mode observability endpoint
-// (/metrics, /trace, optional pprof) when the operator passed
-// -metrics-addr (standalone nodes have no port convention to derive one
-// from).
-func serveMetricsAddr(addr string, coll *metrics.Collector, obs obsConfig, regs ...*metrics.Registry) {
+// (/metrics, /trace, /events + role extras, optional pprof) when the
+// operator passed -metrics-addr (standalone nodes have no port convention
+// to derive one from).
+func serveMetricsAddr(addr string, coll *metrics.Collector, obs obsConfig, extras map[string]http.Handler, regs ...*metrics.Registry) {
 	if addr == "" {
 		return
 	}
-	srv, err := metrics.ServeNode(addr, metrics.Handler(regs...), coll, obs.pprof)
+	srv, err := metrics.ServeNodeExtras(addr, metrics.Handler(regs...), coll.TraceHandler(), obs.pprof, extras)
 	exitOn(err)
-	log.Printf("metrics on http://%s/metrics (traces at /trace)", srv.Addr)
+	log.Printf("metrics on http://%s/metrics (traces at /trace, events at /events)", srv.Addr)
 }
 
 func split(s string) []string {

@@ -48,6 +48,7 @@ import (
 	"curp/internal/commute"
 	"curp/internal/core"
 	"curp/internal/dstore"
+	"curp/internal/events"
 	"curp/internal/kv"
 	"curp/internal/metrics"
 	"curp/internal/rifl"
@@ -137,6 +138,12 @@ type Options struct {
 	// Profiling mounts net/http/pprof on NodeHandler (and, through
 	// cmd/curpd's -pprof flag, on every node's metrics endpoint).
 	Profiling bool
+	// DisableEvents turns off the cluster flight recorder on masters (the
+	// structured event journal and the hot-key sketch). Coordinator and
+	// replica journals stay on — they are off the data path. Used as the
+	// control arm of the eventoverhead benchmark; production deployments
+	// should leave events enabled.
+	DisableEvents bool
 }
 
 // FailoverEvent describes one self-healing action (Options.OnFailover).
@@ -267,6 +274,7 @@ func clusterOptions(opts Options) cluster.Options {
 		copts.Master.Core.WitnessBurstLimit = copts.Witness.Ways
 	}
 	copts.Master.Core.AdaptiveFlush = opts.AdaptiveFlush
+	copts.Master.DisableEvents = opts.DisableEvents
 	if opts.SelfHealing {
 		copts.Health = &cluster.HealthOptions{
 			HeartbeatInterval: opts.HeartbeatInterval,
@@ -388,15 +396,40 @@ func (c *Cluster) TraceHandler() http.Handler {
 	})
 }
 
+// EventsHandler returns an http.Handler serving the partition's flight
+// recorder (the /events endpoint): the structured event journal of every
+// node — elections, lease transitions, failover stages, migrations, epoch
+// flips, fencings, anomaly verdicts — merged and causally ordered.
+// Journals are re-fetched per request, so a failover's replacement master
+// appears on the next read. GET ?after=<seq>&node=<addr> resumes an
+// incremental tail (curpctl events --follow).
+func (c *Cluster) EventsHandler() http.Handler {
+	return events.MultiHandler(func() []*events.Journal {
+		return c.inner.EventJournals()
+	})
+}
+
+// HotKeysHandler returns an http.Handler serving the partition's key-space
+// analytics (the /hotkeys endpoint): the master's space-saving top-K
+// sketch of the hottest key hashes, with per-key count and error bounds.
+func (c *Cluster) HotKeysHandler() http.Handler {
+	return events.MultiHotKeysHandler(func() []*events.TopK {
+		return c.inner.HotKeySketches()
+	})
+}
+
 // NodeHandler returns the full observability mux for an embedded
-// deployment: /metrics, /trace, and (with Options.Profiling) the
-// net/http/pprof suite — the same endpoint layout every curpd node serves.
+// deployment: /metrics, /trace, /events, /hotkeys, and (with
+// Options.Profiling) the net/http/pprof suite — the same endpoint layout
+// every curpd node serves.
 func (c *Cluster) NodeHandler() http.Handler {
 	mux := http.NewServeMux()
 	h := c.MetricsHandler()
 	mux.Handle("/metrics", h)
 	mux.Handle("/", h)
 	mux.Handle("/trace", c.TraceHandler())
+	mux.Handle("/events", c.EventsHandler())
+	mux.Handle("/hotkeys", c.HotKeysHandler())
 	if c.opts.Profiling {
 		metrics.MountProfiling(mux)
 	}

@@ -2,6 +2,7 @@ package curp_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -350,4 +351,89 @@ func ExampleShardedCluster_CrashCoordinatorLeader() {
 	}
 	fmt.Printf("killed replica %d; k=%s\n", idx, v)
 	// Output: killed replica 0; k=post-kill
+}
+
+// ExampleCluster_EventsHandler shows the flight recorder: a master
+// failover leaves a causally-ordered chain of typed events in the
+// coordinator's journal, served as JSON from the same mux as /metrics.
+// `curpctl events` renders the same documents as a cluster timeline.
+func ExampleCluster_EventsHandler() {
+	cluster, err := curp.Start(curp.Options{F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Put(context.Background(), []byte("k"), []byte("v")); err != nil {
+		log.Fatal(err)
+	}
+
+	cluster.CrashMaster()
+	if err := cluster.Recover("master2"); err != nil {
+		log.Fatal(err)
+	}
+
+	// In a real application: http.Handle("/events", cluster.EventsHandler())
+	srv := httptest.NewServer(cluster.EventsHandler())
+	defer srv.Close()
+	body := fetch(srv.URL + "/events")
+	for _, kind := range []string{
+		"failover-epoch-reserve", "failover-fence", "failover-restore",
+		"failover-promote", "failover-recovered",
+	} {
+		if strings.Contains(body, `"kind": "`+kind+`"`) {
+			fmt.Println(kind)
+		}
+	}
+	// Output:
+	// failover-epoch-reserve
+	// failover-fence
+	// failover-restore
+	// failover-promote
+	// failover-recovered
+}
+
+// ExampleCluster_HotKeysHandler shows the key-space analytics: the
+// master's space-saving sketch surfaces the hottest keys of the update
+// workload, served as JSON. `curpctl hotkeys` renders the same document.
+func ExampleCluster_HotKeysHandler() {
+	cluster, err := curp.Start(curp.Options{F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient("example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	for i := 0; i < 9; i++ {
+		if _, err := client.Put(ctx, []byte("hot"), []byte("v")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := client.Put(ctx, []byte("cold"), []byte("v")); err != nil {
+		log.Fatal(err)
+	}
+
+	// In a real application: http.Handle("/hotkeys", cluster.HotKeysHandler())
+	srv := httptest.NewServer(cluster.HotKeysHandler())
+	defer srv.Close()
+	body := fetch(srv.URL + "/hotkeys")
+	var dumps []struct {
+		Total uint64 `json:"total_observations"`
+		Keys  []struct {
+			Count uint64 `json:"count"`
+		} `json:"keys"`
+	}
+	if err := json.Unmarshal([]byte(body), &dumps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observations=%d hottest=%d\n", dumps[0].Total, dumps[0].Keys[0].Count)
+	// Output: observations=10 hottest=9
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"curp/internal/core"
+	"curp/internal/events"
 	"curp/internal/health"
 	"curp/internal/kv"
 	"curp/internal/metrics"
@@ -49,6 +50,7 @@ type BackupServer struct {
 
 	metrics        *metrics.Registry
 	coll           *metrics.Collector
+	jrn            *events.Journal
 	mAppendEntries *metrics.Histogram
 	mAppendLat     *metrics.Histogram
 	mStaleEpochs   *metrics.Counter
@@ -64,6 +66,7 @@ func NewBackupServer(nw transport.Network, addr string) (*BackupServer, error) {
 		rpc:    rpc.NewServer(),
 	}
 	bs.coll = metrics.NewCollector(addr, "backup", 0)
+	bs.jrn = events.NewJournal(addr, "backup")
 	bs.buildMetrics()
 	bs.rpc.Handle(OpBackupAppend, bs.handleAppend)
 	bs.rpc.Handle(OpBackupFetch, bs.handleFetch)
@@ -88,6 +91,9 @@ func (bs *BackupServer) Metrics() *metrics.Registry { return bs.metrics }
 // Trace returns the server's distributed-trace collector.
 func (bs *BackupServer) Trace() *metrics.Collector { return bs.coll }
 
+// Events returns the server's flight-recorder journal.
+func (bs *BackupServer) Events() *events.Journal { return bs.jrn }
+
 // buildMetrics registers the backup-side series: sync batch size and
 // latency (the master's §4.4 batching shows up here as entries per append)
 // plus zombie-defense rejections.
@@ -108,11 +114,15 @@ func (bs *BackupServer) buildMetrics() {
 			defer bs.mu.Unlock()
 			return float64(len(bs.states))
 		})
+	metrics.RegisterBuildInfo(r)
 }
 
 // Close shuts the server down.
 func (bs *BackupServer) Close() {
-	bs.closeOnce.Do(func() { close(bs.closed) })
+	bs.closeOnce.Do(func() {
+		close(bs.closed)
+		events.FlightDump(bs.jrn)
+	})
 	bs.rpc.Close()
 }
 
@@ -299,9 +309,17 @@ func (bs *BackupServer) handleSetEpoch(ctx context.Context, payload []byte) ([]b
 	}
 	st := bs.state(masterID)
 	bs.mu.Lock()
-	if epoch > st.epoch {
+	raised := epoch > st.epoch
+	if raised {
 		st.epoch = epoch
 	}
 	bs.mu.Unlock()
+	if raised {
+		// Deposal fence: appends below this epoch are now rejected (§4.7).
+		tc, _ := metrics.TraceFromContext(ctx)
+		bs.jrn.RecordTrace(tc.TraceID, events.Event{
+			Kind: events.KindBackupFenced, MasterID: masterID, Epoch: epoch,
+		})
+	}
 	return nil, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"curp/internal/events"
 	"curp/internal/health"
 	"curp/internal/metrics"
 	"curp/internal/transport"
@@ -360,6 +361,37 @@ func (c *Cluster) TraceCollectors() []*metrics.Collector {
 		colls = append(colls, w.Trace())
 	}
 	return colls
+}
+
+// EventJournals snapshots every server's flight-recorder journal —
+// coordinator replicas, current master, backups, witnesses. Like
+// Registries, callers re-fetch per request so a failover never leaves
+// them reading a deposed master's (now idle) journal only.
+func (c *Cluster) EventJournals() []*events.Journal {
+	var js []*events.Journal
+	for _, co := range c.CoordReplicas {
+		js = append(js, co.Events())
+	}
+	if m := c.CurrentMaster(); m != nil {
+		js = append(js, m.Events())
+	}
+	for _, b := range c.BackupServers() {
+		js = append(js, b.Events())
+	}
+	for _, w := range c.WitnessServers() {
+		js = append(js, w.Events())
+	}
+	return js
+}
+
+// HotKeySketches snapshots the partition's key-space sketches (the
+// current master's — reads and updates both key there). Re-fetched per
+// request, failover-safe.
+func (c *Cluster) HotKeySketches() []*events.TopK {
+	if m := c.CurrentMaster(); m != nil {
+		return []*events.TopK{m.HotKeys()}
+	}
+	return nil
 }
 
 // SetTraceThreshold sets the tail-sampling promotion threshold on every

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"curp/internal/controlplane"
+	"curp/internal/events"
 	"curp/internal/health"
 	"curp/internal/metrics"
 	"curp/internal/rifl"
@@ -112,6 +113,17 @@ type Coordinator struct {
 	// first incident.
 	healEvents map[FailoverKind]*metrics.Counter
 
+	// jrn is this replica's flight-recorder journal (elections, leases,
+	// failover stages, anomalies); watch the anomaly watchdog, owned by the
+	// resident sampler goroutine; anomalyCtrs the pre-registered
+	// curp_anomaly_total{kind} counters.
+	jrn         *events.Journal
+	watch       *events.Watchdog
+	anomalyCtrs map[string]*metrics.Counter
+	watchOnce   sync.Once
+	watchClosed chan struct{}
+	watchDone   chan struct{}
+
 	// RPCTimeout bounds coordination RPCs (witness start/end, fencing).
 	RPCTimeout time.Duration
 }
@@ -160,6 +172,10 @@ func NewCoordinatorReplica(nw transport.Network, leaseTTL time.Duration, q Quoru
 		RPCTimeout:   2 * time.Second,
 	}
 	c.coll = metrics.NewCollector(c.addr, "coordinator", 0)
+	c.jrn = events.NewJournal(c.addr, "coordinator")
+	c.watch = events.NewWatchdog(events.WatchdogConfig{})
+	c.watchClosed = make(chan struct{})
+	c.watchDone = make(chan struct{})
 	node, err := controlplane.NewNode(controlplane.Config{
 		Rank:            q.Rank,
 		Peers:           c.cpPeers,
@@ -167,6 +183,15 @@ func NewCoordinatorReplica(nw transport.Network, leaseTTL time.Duration, q Quoru
 		Apply:           c.applyCtrl,
 		ElectionTimeout: q.ElectionTimeout,
 		Seeded:          true,
+		// Election transitions land in the flight recorder the moment they
+		// happen (both hooks run under the node's lock and only touch the
+		// journal's own mutex).
+		OnElection: func(term uint64) {
+			c.jrn.Record(events.Event{Kind: events.KindElectionWon, Term: term})
+		},
+		OnStepDown: func(term uint64) {
+			c.jrn.Record(events.Event{Kind: events.KindElectionLost, Term: term})
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -191,6 +216,7 @@ func NewCoordinatorReplica(nw transport.Network, leaseTTL time.Duration, q Quoru
 		return nil, err
 	}
 	c.rpc.Go(l)
+	go c.watchLoop()
 	return c, nil
 }
 
@@ -391,6 +417,7 @@ func (c *Coordinator) mirrorPartition(p *controlplane.Partition) {
 		mi.opts = c.localOpts[p.MasterAddr]
 	}
 	c.masters[p.ID] = mi
+	var fencedZombie string
 	if old != nil && old.addr != p.MasterAddr {
 		// The displaced master is deposed; fence it directly when it runs
 		// in-process. A false-positive failover leaves the old master alive
@@ -402,11 +429,33 @@ func (c *Coordinator) mirrorPartition(p *controlplane.Partition) {
 		// deposition commits; a genuinely crashed master no-ops.
 		if zombie := c.localMasters[old.addr]; zombie != nil {
 			zombie.Freeze()
+			fencedZombie = old.addr
 		}
 		delete(c.localMasters, old.addr)
 		delete(c.localOpts, old.addr)
 	}
 	c.mu.Unlock()
+
+	// Flight recorder: configuration flips this replica just mirrored.
+	if old != nil && p.Epoch > old.epoch {
+		c.jrn.Record(events.Event{
+			Kind: events.KindEpochFlip, MasterID: p.ID, Epoch: p.Epoch,
+			OldAddr: old.addr, NewAddr: p.MasterAddr,
+		})
+	}
+	if old != nil && p.WLV > old.witnessListVersion {
+		c.jrn.Record(events.Event{
+			Kind: events.KindWitnessListChange, MasterID: p.ID,
+			WitnessListVersion: p.WLV,
+		})
+	}
+	if fencedZombie != "" {
+		c.jrn.Record(events.Event{
+			Kind: events.KindZombieFenced, MasterID: p.ID, Epoch: p.Epoch,
+			OldAddr: fencedZombie, NewAddr: p.MasterAddr,
+			Detail: "deposed in-process master frozen at deposition commit",
+		})
+	}
 
 	// Health-table re-key: watch newly committed members, drop nodes that
 	// left the membership. Nodes present in both old and new membership
@@ -444,6 +493,37 @@ func (c *Coordinator) Metrics() *metrics.Registry { return c.metrics }
 
 // Trace returns the coordinator's distributed-trace collector.
 func (c *Coordinator) Trace() *metrics.Collector { return c.coll }
+
+// Events returns the coordinator's flight-recorder journal.
+func (c *Coordinator) Events() *events.Journal { return c.jrn }
+
+// MasterEvents returns the partition's current in-process master's journal
+// (nil for remote masters), tracking failovers the same way MasterRegistry
+// does.
+func (c *Coordinator) MasterEvents() *events.Journal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, mi := range c.masters {
+		if mi.server != nil {
+			return mi.server.jrn
+		}
+	}
+	return nil
+}
+
+// MasterHotKeys returns the partition's current in-process master's hot-key
+// sketch (nil for remote masters), tracking failovers the same way
+// MasterRegistry does.
+func (c *Coordinator) MasterHotKeys() *events.TopK {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, mi := range c.masters {
+		if mi.server != nil {
+			return mi.server.hot
+		}
+	}
+	return nil
+}
 
 // MasterRegistry returns the partition's current in-process master's
 // metric registry (nil for remote masters). It tracks failovers: after the
@@ -581,6 +661,79 @@ func (c *Coordinator) buildMetrics() {
 	r.GaugeFunc("curp_partition_flush_threshold_ops",
 		"Master background-flush threshold, from the latest heartbeat.",
 		func() float64 { return float64(masterBeat().FlushThreshold) })
+	// Anomaly counters: every detector kind pre-registered at 0, so a
+	// scrape learns the full label set before the first incident.
+	c.anomalyCtrs = make(map[string]*metrics.Counter)
+	for _, k := range events.AnomalyKinds() {
+		c.anomalyCtrs[k] = r.Counter("curp_anomaly_total",
+			"Watchdog anomaly verdicts, by detector kind.", metrics.L("kind", k))
+	}
+	metrics.RegisterBuildInfo(r)
+}
+
+// watchLoop is the coordinator's resident anomaly sampler: one pass per
+// detector interval over the health table's beats and the control-plane
+// lease, feeding the watchdog. Lease transitions become journal events;
+// every anomaly verdict becomes a journal event plus a
+// curp_anomaly_total{kind} tick. The loop owns c.watch exclusively.
+func (c *Coordinator) watchLoop() {
+	defer close(c.watchDone)
+	ticker := time.NewTicker(c.detectorConfig().Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.watchClosed:
+			return
+		case <-ticker.C:
+			c.watchTick()
+		}
+	}
+}
+
+// watchTick runs one sampler pass.
+func (c *Coordinator) watchTick() {
+	cfg := c.detectorConfig()
+	leased := c.cp.HoldingLease()
+	changed, anomalies := c.watch.ObserveLease(leased)
+	if changed {
+		kind := events.KindLeaseLost
+		if leased {
+			kind = events.KindLeaseAcquired
+		}
+		c.jrn.Record(events.Event{Kind: kind, Term: c.cp.Status().Term})
+	}
+	for _, n := range c.table.Snapshot(cfg) {
+		s := events.NodeSample{
+			Node:     n.Addr,
+			MeanGap:  n.MeanGap,
+			Interval: cfg.Interval,
+		}
+		if n.Role == health.RoleMaster {
+			s.Unsynced = n.Last.Unsynced
+			s.FlushThreshold = n.Last.FlushThreshold
+			s.SpeculativeOps = n.Last.SpeculativeOps
+			s.ConflictSyncs = n.Last.ConflictSyncs
+		}
+		anomalies = append(anomalies, c.watch.ObserveNode(s)...)
+	}
+	for _, a := range anomalies {
+		c.noteAnomaly(a)
+	}
+}
+
+// noteAnomaly lands one watchdog verdict in the counters and the journal.
+func (c *Coordinator) noteAnomaly(a events.Anomaly) {
+	if ctr := c.anomalyCtrs[a.Kind]; ctr != nil {
+		ctr.Inc()
+	}
+	detail := a.Kind
+	if a.Node != "" {
+		detail += " on " + a.Node
+	}
+	if a.Detail != "" {
+		detail += ": " + a.Detail
+	}
+	c.jrn.Record(events.Event{Kind: events.KindAnomaly, Detail: detail})
 }
 
 // countHealEvent lands a heal-loop event in the coordinator's counters.
@@ -588,6 +741,26 @@ func (c *Coordinator) countHealEvent(k FailoverKind) {
 	if ctr := c.healEvents[k]; ctr != nil {
 		ctr.Inc()
 	}
+}
+
+// recordHealEvent lands a heal-loop verdict in the flight recorder, under
+// the FailoverKind's own name as the event kind.
+func (c *Coordinator) recordHealEvent(ev FailoverEvent) {
+	e := events.Event{
+		Kind:               ev.Kind.String(),
+		MasterID:           ev.MasterID,
+		Epoch:              ev.Epoch,
+		WitnessListVersion: ev.WitnessListVersion,
+		OldAddr:            ev.OldAddr,
+		NewAddr:            ev.NewAddr,
+	}
+	if ev.Err != nil {
+		e.Err = ev.Err.Error()
+	}
+	if ev.Window > 0 {
+		e.Detail = fmt.Sprintf("healed in %v", ev.Window.Round(time.Millisecond))
+	}
+	c.jrn.Record(e)
 }
 
 // Leases exposes the lease server (for lease-expiry tests).
@@ -619,13 +792,17 @@ func (c *Coordinator) healMgr() *healManager {
 }
 
 // Close shuts the coordinator down (stopping the heal loop — and waiting
-// out any in-flight heal action — if running).
+// out any in-flight heal action — if running), dumping the flight
+// recorder when CURP_FLIGHT_DIR opts in.
 func (c *Coordinator) Close() {
 	if h := c.healMgr(); h != nil {
 		h.stop()
 	}
+	c.watchOnce.Do(func() { close(c.watchClosed) })
+	<-c.watchDone
 	c.rpc.Close()
 	c.cp.Close()
+	events.FlightDump(c.jrn)
 }
 
 // handleHeartbeat folds one node's beat into the health table.
@@ -1122,6 +1299,15 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 		return nil, fmt.Errorf("coordinator: unknown master %d", masterID)
 	}
 
+	// The whole recovery runs under one force-sampled trace; every stage
+	// event below carries its ID, so `curpctl events` cross-links straight
+	// into `curpctl trace` for the post-mortem.
+	fctx, fsp := c.coll.StartTrace(context.Background(), "failover", metrics.TraceFlagForce)
+	fsp.SetOp(fmt.Sprintf("recover master %d -> %s", masterID, newAddr))
+	defer fsp.End()
+	tc, _ := metrics.TraceFromContext(fctx)
+	tid := tc.TraceID
+
 	// Reserve the recovery epoch through the replicated log BEFORE
 	// touching any backup. The reservation must be exactly
 	// reservedEpoch+1: if another coordinator replica (a deposed leader
@@ -1136,8 +1322,13 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 	})
 	rcancel()
 	if err != nil {
+		fsp.SetErr(err)
 		return nil, fmt.Errorf("coordinator: reserve recovery epoch %d: %w", newEpoch, err)
 	}
+	c.jrn.RecordTrace(tid, events.Event{
+		Kind: events.KindFailoverEpoch, MasterID: masterID, Epoch: newEpoch,
+		NewAddr: newAddr,
+	})
 
 	// Fence: no stale-epoch master may sync to backups from here on
 	// (§4.7 zombie neutralization).
@@ -1154,9 +1345,14 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 		cancel()
 		p.Close()
 		if err != nil {
+			fsp.SetErr(err)
 			return nil, fmt.Errorf("coordinator: fence backup %s: %w", addr, err)
 		}
 	}
+	c.jrn.RecordTrace(tid, events.Event{
+		Kind: events.KindFailoverFence, MasterID: masterID, Epoch: newEpoch,
+		Detail: fmt.Sprintf("%d backups fenced", len(mi.backupAddrs)),
+	})
 
 	// Pick the first reachable witness for replay; freezing it via
 	// getRecoveryData stops clients completing updates against the old
@@ -1188,8 +1384,14 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 	}
 	if !recovered && len(mi.witnessAddrs) > 0 {
 		newMaster.Close()
+		fsp.SetErr(lastErr)
 		return nil, fmt.Errorf("coordinator: recovery failed on all witnesses: %w", lastErr)
 	}
+	c.jrn.RecordTrace(tid, events.Event{
+		Kind: events.KindFailoverRestore, MasterID: masterID, Epoch: newEpoch,
+		NewAddr: newAddr,
+		Detail:  "backup image restored, witness replay done",
+	})
 
 	// Backups were reset and re-seeded from the restored log during
 	// recovery, which wiped their moved-range marks and re-materialized
@@ -1248,8 +1450,13 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 		delete(c.localMasters, newAddr)
 		delete(c.localOpts, newAddr)
 		c.mu.Unlock()
+		fsp.SetErr(err)
 		return nil, fmt.Errorf("coordinator: publish recovered master: %w", err)
 	}
+	c.jrn.RecordTrace(tid, events.Event{
+		Kind: events.KindFailoverPromote, MasterID: masterID, Epoch: newEpoch,
+		WitnessListVersion: newVersion, NewAddr: newAddr,
+	})
 
 	// Under self-healing the replacement must heartbeat, or the detector
 	// would immediately re-fail the partition it just healed.
@@ -1257,6 +1464,11 @@ func (c *Coordinator) recoverMasterLocked(masterID uint64, newAddr string, newWi
 		newMaster.StartHeartbeats(c.cpPeers, h.cfg.Detector.Interval)
 		h.masterChanged(newMaster)
 	}
+	fsp.SetVerdict("recovered")
+	c.jrn.RecordTrace(tid, events.Event{
+		Kind: events.KindFailoverDone, MasterID: masterID, Epoch: newEpoch,
+		WitnessListVersion: newVersion, NewAddr: newAddr,
+	})
 	return newMaster, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"curp/internal/events"
 	"curp/internal/health"
 )
 
@@ -186,6 +187,7 @@ func (h *healManager) stop() {
 
 func (h *healManager) emit(ev FailoverEvent) {
 	h.c.countHealEvent(ev.Kind)
+	h.c.recordHealEvent(ev)
 	if h.cfg.OnEvent != nil {
 		h.cfg.OnEvent(ev)
 	}
@@ -368,6 +370,10 @@ func (h *healManager) healMaster(n health.NodeStatus) {
 		return
 	}
 	start := time.Now()
+	c.jrn.Record(events.Event{
+		Kind: events.KindFailoverDetect, MasterID: n.MasterID, OldAddr: n.Addr,
+		Detail: fmt.Sprintf("master silent for %v", n.Age.Round(time.Millisecond)),
+	})
 
 	var nm *MasterServer
 	var err error

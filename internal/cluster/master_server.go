@@ -11,6 +11,7 @@ import (
 
 	"curp/internal/commute"
 	"curp/internal/core"
+	"curp/internal/events"
 	"curp/internal/health"
 	"curp/internal/kv"
 	"curp/internal/metrics"
@@ -31,6 +32,9 @@ type MasterOptions struct {
 	// (decision lookup at the home shard, abort by default). It must
 	// comfortably exceed a healthy coordinator's prepare→decide gap.
 	TxnLockTimeout time.Duration
+	// DisableEvents turns the flight recorder off: no event journal, no
+	// hot-key sketch (the eventoverhead benchmark's control arm).
+	DisableEvents bool
 }
 
 // DefaultTxnLockTimeout is the default orphaned-prepare resolution
@@ -140,6 +144,11 @@ type MasterServer struct {
 	// with a wire trace context record their server-side stage attribution
 	// (master-queue, apply, sync-wait, backup-append, lock-wait) here.
 	coll *metrics.Collector
+	// jrn is this master's flight-recorder journal; hot the space-saving
+	// hot-key sketch fed by the update path. Both nil (disabled) under
+	// MasterOptions.DisableEvents.
+	jrn *events.Journal
+	hot *events.TopK
 }
 
 // NewMasterServer creates and starts a master listening on addr. epoch is
@@ -166,6 +175,10 @@ func NewMasterServer(nw transport.Network, id uint64, addr string, epoch uint64,
 	ms.durableOld = make(map[string]staleEntry)
 	ms.shardIdx.Store(-1)
 	ms.coll = metrics.NewCollector(addr, "master", 0)
+	if !opts.DisableEvents {
+		ms.jrn = events.NewJournal(addr, "master")
+		ms.hot = events.NewTopK(addr, events.DefaultHotKeys)
+	}
 	ms.buildMetrics()
 	ms.syncCond = sync.NewCond(&ms.syncMu)
 	ms.syncKick = make(chan struct{}, 1)
@@ -287,6 +300,7 @@ func (ms *MasterServer) buildMetrics() {
 		ms.mClassSync = append(ms.mClassSync, r.Counter("curp_master_class_verdicts_total", classHelp,
 			metrics.L("class", cl.String()), metrics.L("verdict", "sync")))
 	}
+	metrics.RegisterBuildInfo(r)
 	ms.metrics = r
 }
 
@@ -298,6 +312,8 @@ func (ms *MasterServer) Metrics() *metrics.Registry { return ms.metrics }
 func (ms *MasterServer) SetShardIndex(s int) {
 	ms.shardIdx.Store(int64(s))
 	ms.coll.SetShard(s)
+	ms.jrn.SetShard(s)
+	ms.hot.SetShard(s)
 }
 
 // SetSlowOpTracer installs (or, with nil, removes) the structured slow-op
@@ -307,6 +323,14 @@ func (ms *MasterServer) SetSlowOpTracer(t *metrics.Tracer) { ms.tracer.Store(t) 
 // Trace returns the master's distributed-trace collector (the /trace data
 // source for this node).
 func (ms *MasterServer) Trace() *metrics.Collector { return ms.coll }
+
+// Events returns the master's flight-recorder journal (nil when disabled)
+// — the /events data source for this node.
+func (ms *MasterServer) Events() *events.Journal { return ms.jrn }
+
+// HotKeys returns the master's hot-key sketch (nil when disabled) — the
+// /hotkeys data source for this node.
+func (ms *MasterServer) HotKeys() *events.TopK { return ms.hot }
 
 // observeOp records one handled RPC: its latency histogram sample, a wire
 // span (stage "apply") when the request carries a trace context, and, when
@@ -405,7 +429,10 @@ func (ms *MasterServer) Store() *kv.Store { return ms.store }
 
 // Close shuts the master down.
 func (ms *MasterServer) Close() {
-	ms.closeOnce.Do(func() { close(ms.closed) })
+	ms.closeOnce.Do(func() {
+		close(ms.closed)
+		events.FlightDump(ms.jrn)
+	})
 	ms.rpc.Close()
 	ms.peersMu.Lock()
 	defer ms.peersMu.Unlock()
@@ -704,6 +731,10 @@ func (ms *MasterServer) executeUpdate(ctx context.Context, req *core.Request) (u
 		ms.execMu.Unlock()
 		return updateExec{reply: &core.Reply{Status: core.StatusKeyMoved}}, nil
 	}
+	// Key-space analytics: count the access on the same hashes the
+	// witnesses key on, so the sketch's "hot" matches what conflicts.
+	// Only NEW executions count — duplicates returned above would double.
+	ms.hot.ObserveAll(req.KeyHashes)
 	// Commutativity check must precede execution: afterwards the op's own
 	// keys are unsynced and would self-conflict. The class is re-derived
 	// from the decoded command, not taken from the envelope: a client
@@ -1072,6 +1103,11 @@ func (ms *MasterServer) doSync(ctx context.Context) error {
 			// A newer master exists: this one is a zombie. Stop serving
 			// (§4.7).
 			ms.state.Freeze()
+			tc, _ := metrics.TraceFromContext(ctx)
+			ms.jrn.RecordTrace(tc.TraceID, events.Event{
+				Kind: events.KindZombieFenced, MasterID: ms.id, Epoch: ms.epoch,
+				Err: staleErr.Error(),
+			})
 			return fmt.Errorf("master %d deposed: %w", ms.id, staleErr)
 		}
 		if firstErr != nil {

@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"curp/internal/commute"
+	"curp/internal/events"
 	"curp/internal/kv"
+	"curp/internal/metrics"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
 	"curp/internal/witness"
@@ -361,6 +363,7 @@ func (ms *MasterServer) handleMigrateCollect(ctx context.Context, payload []byte
 	if ms.state.Frozen() {
 		return nil, fmt.Errorf("master %d: frozen", ms.id)
 	}
+	tc, _ := metrics.TraceFromContext(ctx)
 	// Freeze and snapshot the head under the execution lock: every
 	// operation that got past the range check has executed and is ≤ head;
 	// every later one bounces. Draining to head therefore makes the
@@ -369,10 +372,22 @@ func (ms *MasterServer) handleMigrateCollect(ctx context.Context, payload []byte
 	ms.migr.markMigrating(rs)
 	head := ms.store.Head()
 	ms.execMu.Unlock()
+	ms.jrn.RecordTrace(tc.TraceID, events.Event{
+		Kind: events.KindMigrationFreeze, MasterID: ms.id, Epoch: ms.epoch,
+		Detail: migrDetail(rs),
+	})
 	if err := ms.syncAndWait(context.Background(), head); err != nil {
 		ms.migr.unmark(rs)
+		ms.jrn.RecordTrace(tc.TraceID, events.Event{
+			Kind: events.KindMigrationAbort, MasterID: ms.id, Epoch: ms.epoch,
+			Detail: migrDetail(rs), Err: err.Error(),
+		})
 		return nil, fmt.Errorf("master %d: migration drain: %w", ms.id, err)
 	}
+	ms.jrn.RecordTrace(tc.TraceID, events.Event{
+		Kind: events.KindMigrationDrain, MasterID: ms.id, Epoch: ms.epoch,
+		Detail: fmt.Sprintf("%s drained to lsn %d", migrDetail(rs), head),
+	})
 	// Settle in-flight transactions before exporting: a range must not
 	// change shards with live prepared locks (the target has no prepared
 	// state to pair them with). Each is resolved through its home shard —
@@ -380,6 +395,10 @@ func (ms *MasterServer) handleMigrateCollect(ctx context.Context, payload []byte
 	// clean mid-rebalance abort the client-side retry expects.
 	if err := ms.resolveLockedRange(rs); err != nil {
 		ms.migr.unmark(rs)
+		ms.jrn.RecordTrace(tc.TraceID, events.Event{
+			Kind: events.KindMigrationAbort, MasterID: ms.id, Epoch: ms.epoch,
+			Detail: migrDetail(rs), Err: err.Error(),
+		})
 		return nil, fmt.Errorf("master %d: migration txn resolution: %w", ms.id, err)
 	}
 	bundle := &MigrationBundle{
@@ -398,9 +417,19 @@ func (ms *MasterServer) handleMigrateCollect(ctx context.Context, payload []byte
 		executed[c.ID] = true
 	}
 	bundle.WitnessRecords = ms.collectWitnessRecords(rs, executed)
+	ms.jrn.RecordTrace(tc.TraceID, events.Event{
+		Kind: events.KindMigrationExport, MasterID: ms.id, Epoch: ms.epoch,
+		Detail: fmt.Sprintf("%s: %d objects, %d completions, %d witness records",
+			migrDetail(rs), len(bundle.Objects), len(bundle.Completions), len(bundle.WitnessRecords)),
+	})
 	e := rpc.NewEncoder(256)
 	bundle.marshal(e)
 	return e.Bytes(), nil
+}
+
+// migrDetail renders a migration's arc set for journal events.
+func migrDetail(rs []witness.HashRange) string {
+	return fmt.Sprintf("%d ranges", len(rs))
 }
 
 // collectWitnessRecords snapshots this master's witnesses (live, no
@@ -583,6 +612,12 @@ func (ms *MasterServer) handleMigrateComplete(ctx context.Context, payload []byt
 	ms.migr.markMoved(rs, destAddr)
 	n := ms.dropMovedObjects(rs)
 	ms.execMu.Unlock()
+	tc, _ := metrics.TraceFromContext(ctx)
+	ms.jrn.RecordTrace(tc.TraceID, events.Event{
+		Kind: events.KindMigrationCommit, MasterID: ms.id, Epoch: ms.epoch,
+		NewAddr: destAddr,
+		Detail:  fmt.Sprintf("%s committed, %d objects dropped", migrDetail(rs), n),
+	})
 	e := rpc.NewEncoder(8)
 	e.U32(uint32(n))
 	return e.Bytes(), nil
@@ -600,6 +635,11 @@ func (ms *MasterServer) handleMigrateAbort(ctx context.Context, payload []byte) 
 		return nil, fmt.Errorf("master %d: migrate-abort addressed to %d", ms.id, masterID)
 	}
 	ms.migr.unmark(rs)
+	tc, _ := metrics.TraceFromContext(ctx)
+	ms.jrn.RecordTrace(tc.TraceID, events.Event{
+		Kind: events.KindMigrationAbort, MasterID: ms.id, Epoch: ms.epoch,
+		Detail: migrDetail(rs),
+	})
 	return nil, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"curp/internal/commute"
 	"curp/internal/core"
+	"curp/internal/events"
 	"curp/internal/kv"
 	"curp/internal/rifl"
 	"curp/internal/rpc"
@@ -378,6 +379,14 @@ func (ms *MasterServer) resolveTxn(id rifl.RPCID, home kv.TxnHome, allowFrozen b
 		return err
 	}
 	ms.mTxnOrphans.Inc()
+	verdict := "aborted"
+	if commit {
+		verdict = "committed"
+	}
+	ms.jrn.Record(events.Event{
+		Kind: events.KindTxnOrphanResolved, MasterID: ms.id, Epoch: ms.epoch,
+		Detail: fmt.Sprintf("txn %d/%d %s via home master %d", id.Client, id.Seq, verdict, home.MasterID),
+	})
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"curp/internal/events"
 	"curp/internal/health"
 	"curp/internal/metrics"
 	"curp/internal/rpc"
@@ -33,6 +34,9 @@ type WitnessServer struct {
 	metrics *metrics.Registry
 	// coll records distributed-trace spans for traced record RPCs.
 	coll *metrics.Collector
+	// jrn is the flight-recorder journal (instance lifecycle, recovery
+	// freezes).
+	jrn *events.Journal
 	// noInstance counts record RPCs bounced because no witness instance
 	// exists here for the named master (stale witness lists); per-instance
 	// rejections live in witness.Stats.
@@ -50,6 +54,7 @@ func NewWitnessServer(nw transport.Network, addr string, cfg witness.Config) (*W
 		rpc:       rpc.NewServer(),
 	}
 	ws.coll = metrics.NewCollector(addr, "witness", 0)
+	ws.jrn = events.NewJournal(addr, "witness")
 	ws.rpc.Handle(OpWitnessRecord, ws.handleRecord)
 	ws.rpc.Handle(OpWitnessRecordBatch, ws.handleRecordBatch)
 	ws.rpc.Handle(OpWitnessCommutes, ws.handleCommutes)
@@ -76,6 +81,9 @@ func (ws *WitnessServer) Metrics() *metrics.Registry { return ws.metrics }
 
 // Trace returns the server's distributed-trace collector.
 func (ws *WitnessServer) Trace() *metrics.Collector { return ws.coll }
+
+// Events returns the server's flight-recorder journal.
+func (ws *WitnessServer) Events() *events.Journal { return ws.jrn }
 
 // recordVerdict maps a witness record result onto a trace verdict; the
 // reject verdicts are "interesting" and promote the trace (a rejection is
@@ -160,11 +168,15 @@ func (ws *WitnessServer) buildMetrics() {
 			defer ws.mu.Unlock()
 			return float64(len(ws.instances))
 		})
+	metrics.RegisterBuildInfo(r)
 }
 
 // Close shuts the server down.
 func (ws *WitnessServer) Close() {
-	ws.closeOnce.Do(func() { close(ws.closed) })
+	ws.closeOnce.Do(func() {
+		close(ws.closed)
+		events.FlightDump(ws.jrn)
+	})
 	ws.rpc.Close()
 }
 
@@ -305,7 +317,15 @@ func (ws *WitnessServer) handleRecoveryData(ctx context.Context, payload []byte)
 	if err != nil {
 		return nil, err
 	}
-	return encodeWitnessRecords(w.GetRecoveryData()), nil
+	recs := w.GetRecoveryData()
+	// The instance is now irreversibly frozen (§4.6): clients can no longer
+	// complete updates against it.
+	tc, _ := metrics.TraceFromContext(ctx)
+	ws.jrn.RecordTrace(tc.TraceID, events.Event{
+		Kind: events.KindWitnessFrozen, MasterID: masterID,
+		Detail: fmt.Sprintf("%d records handed to recovery", len(recs)),
+	})
+	return encodeWitnessRecords(recs), nil
 }
 
 // handleSnapshot returns the instance's live records WITHOUT freezing it —

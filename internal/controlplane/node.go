@@ -113,6 +113,10 @@ type Config struct {
 	Seeded bool
 	// OnElection observes this replica winning an election (metrics).
 	OnElection func(term uint64)
+	// OnStepDown observes this replica losing leadership (a leader or
+	// candidate reverting to follower). Called with the node's lock held;
+	// it must not block or call back into the node.
+	OnStepDown func(term uint64)
 	// Logf, when set, receives protocol transition logs.
 	Logf func(format string, args ...any)
 }
@@ -478,6 +482,9 @@ func (n *Node) stepDownLocked(term uint64) {
 	}
 	if n.role == leader || n.role == candidate {
 		n.logf("rank %d stepping down at term %d", n.cfg.Rank, n.term)
+		if n.role == leader && n.cfg.OnStepDown != nil {
+			n.cfg.OnStepDown(n.term)
+		}
 	}
 	n.role = follower
 	n.leaderRank = -1

@@ -1,0 +1,218 @@
+package events
+
+import (
+	"fmt"
+	"time"
+)
+
+// Watchdog is the anomaly half of the flight recorder: pure, clock-free
+// detectors over the signals the coordinator already collects (heartbeat
+// load stats, the health table's smoothed beat gaps, the control-plane
+// lease). The coordinator's sampler feeds it on a fixed cadence; every
+// verdict becomes a journal event plus a curp_anomaly_total{kind} tick.
+//
+// All detectors are edge-triggered with a per-node latch: an anomaly fires
+// once when the condition appears and re-arms only after it clears, so a
+// stuck condition cannot storm the journal.
+//
+// The type is NOT safe for concurrent use — one sampler goroutine owns it.
+type Watchdog struct {
+	cfg   WatchdogConfig
+	nodes map[string]*nodeWatch
+
+	// Lease-flap detection: a sliding window of observed transitions.
+	leaseKnown   bool
+	leased       bool
+	leaseFlips   []int // 1 per ObserveLease call that transitioned
+	leaseLatched bool
+}
+
+// nodeWatch is one node's detector state.
+type nodeWatch struct {
+	lastSpec, lastConf uint64
+	haveRates          bool
+	syncLagLatched     bool
+	fastPathLatched    bool
+	gapLatched         bool
+}
+
+// WatchdogConfig tunes the detectors; zero fields select the defaults.
+type WatchdogConfig struct {
+	// SyncLagFactor flags a master whose unsynced window exceeds this
+	// multiple of its own flush threshold (the window a healthy background
+	// syncer never lets grow). Default 8.
+	SyncLagFactor float64
+	// MinSyncLag is the absolute unsynced floor below which the sync-lag
+	// detector stays quiet regardless of the factor. Default 64.
+	MinSyncLag uint64
+	// FastPathFloor flags a master whose speculative share of the sample
+	// window's updates fell below this fraction. Default 0.5.
+	FastPathFloor float64
+	// MinWindowOps is the minimum updates in a sample window before the
+	// fast-path detector judges it. Default 32.
+	MinWindowOps uint64
+	// GapFactor flags a node whose smoothed inter-beat gap exceeds this
+	// multiple of the configured heartbeat interval. Default 4.
+	GapFactor float64
+	// FlapWindow and FlapThreshold flag lease flapping: at least
+	// FlapThreshold lease transitions within the last FlapWindow
+	// ObserveLease calls. Defaults 16 and 3.
+	FlapWindow    int
+	FlapThreshold int
+}
+
+// WithDefaults fills zero fields.
+func (c WatchdogConfig) WithDefaults() WatchdogConfig {
+	if c.SyncLagFactor <= 0 {
+		c.SyncLagFactor = 8
+	}
+	if c.MinSyncLag == 0 {
+		c.MinSyncLag = 64
+	}
+	if c.FastPathFloor <= 0 {
+		c.FastPathFloor = 0.5
+	}
+	if c.MinWindowOps == 0 {
+		c.MinWindowOps = 32
+	}
+	if c.GapFactor <= 0 {
+		c.GapFactor = 4
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 16
+	}
+	if c.FlapThreshold <= 0 {
+		c.FlapThreshold = 3
+	}
+	return c
+}
+
+// Anomaly kinds (the curp_anomaly_total{kind} label values).
+const (
+	AnomalySyncLag          = "sync-lag"
+	AnomalyFastPathCollapse = "fastpath-collapse"
+	AnomalyHeartbeatGap     = "heartbeat-gap"
+	AnomalyLeaseFlap        = "lease-flap"
+)
+
+// AnomalyKinds lists every detector's kind, for pre-registering the
+// counter series at zero.
+func AnomalyKinds() []string {
+	return []string{AnomalySyncLag, AnomalyFastPathCollapse, AnomalyHeartbeatGap, AnomalyLeaseFlap}
+}
+
+// Anomaly is one watchdog verdict.
+type Anomaly struct {
+	Kind   string // Anomaly* constant
+	Node   string // offending node ("" for cluster-scoped verdicts)
+	Detail string // human-readable evidence
+}
+
+// NodeSample is one node's signals at a sampling tick, lifted from its
+// latest heartbeat and the health table.
+type NodeSample struct {
+	Node string
+	// Unsynced and FlushThreshold come from the master's beat (zero on
+	// backup/witness samples, which skips the master-only detectors).
+	Unsynced       uint64
+	FlushThreshold uint64
+	// SpeculativeOps and ConflictSyncs are the master's cumulative
+	// counters; the watchdog differences them against the previous sample.
+	SpeculativeOps uint64
+	ConflictSyncs  uint64
+	// MeanGap is the health table's smoothed inter-beat gap; Interval the
+	// configured heartbeat cadence.
+	MeanGap  time.Duration
+	Interval time.Duration
+}
+
+// NewWatchdog creates a watchdog with cfg (zero fields defaulted).
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	return &Watchdog{cfg: cfg.WithDefaults(), nodes: make(map[string]*nodeWatch)}
+}
+
+// Forget drops a node's detector state (decommissioned or replaced).
+func (w *Watchdog) Forget(node string) { delete(w.nodes, node) }
+
+// ObserveNode runs the per-node detectors over one sample and returns any
+// newly fired anomalies.
+func (w *Watchdog) ObserveNode(s NodeSample) []Anomaly {
+	nw := w.nodes[s.Node]
+	if nw == nil {
+		nw = &nodeWatch{}
+		w.nodes[s.Node] = nw
+	}
+	var out []Anomaly
+
+	// Sync-lag spike: the unsynced window dwarfs the flush threshold.
+	if s.FlushThreshold > 0 {
+		spiking := s.Unsynced >= w.cfg.MinSyncLag &&
+			float64(s.Unsynced) > w.cfg.SyncLagFactor*float64(s.FlushThreshold)
+		if spiking && !nw.syncLagLatched {
+			out = append(out, Anomaly{Kind: AnomalySyncLag, Node: s.Node,
+				Detail: fmt.Sprintf("unsynced window %d > %.0f× flush threshold %d", s.Unsynced, w.cfg.SyncLagFactor, s.FlushThreshold)})
+		}
+		nw.syncLagLatched = spiking
+	}
+
+	// Fast-path collapse: the speculative share of this window's updates
+	// fell under the floor. Counters restarting (master replaced) reset the
+	// baseline instead of judging a negative delta.
+	if nw.haveRates && s.SpeculativeOps >= nw.lastSpec && s.ConflictSyncs >= nw.lastConf {
+		dSpec := s.SpeculativeOps - nw.lastSpec
+		dConf := s.ConflictSyncs - nw.lastConf
+		if total := dSpec + dConf; total >= w.cfg.MinWindowOps {
+			share := float64(dSpec) / float64(total)
+			collapsed := share < w.cfg.FastPathFloor
+			if collapsed && !nw.fastPathLatched {
+				out = append(out, Anomaly{Kind: AnomalyFastPathCollapse, Node: s.Node,
+					Detail: fmt.Sprintf("fast-path share %.0f%% < %.0f%% over %d ops", 100*share, 100*w.cfg.FastPathFloor, total)})
+			}
+			nw.fastPathLatched = collapsed
+		}
+	}
+	nw.lastSpec, nw.lastConf, nw.haveRates = s.SpeculativeOps, s.ConflictSyncs, true
+
+	// Heartbeat-gap outlier: the node beats chronically slower than
+	// configured — the precursor of a false-positive failover.
+	if s.Interval > 0 && s.MeanGap > 0 {
+		outlier := float64(s.MeanGap) > w.cfg.GapFactor*float64(s.Interval)
+		if outlier && !nw.gapLatched {
+			out = append(out, Anomaly{Kind: AnomalyHeartbeatGap, Node: s.Node,
+				Detail: fmt.Sprintf("mean beat gap %v > %.0f× interval %v", s.MeanGap.Round(time.Millisecond), w.cfg.GapFactor, s.Interval)})
+		}
+		nw.gapLatched = outlier
+	}
+	return out
+}
+
+// ObserveLease feeds one lease-holding sample. changed reports a
+// transition since the previous sample (the caller emits lease-acquired /
+// lease-lost events on it); holding the lease on the very first sample
+// also counts as an acquisition, so a seeded bootstrap leader journals
+// one — a fresh boot is not invisible in the flight recorder. The anomaly
+// fires when transitions flap faster than the configured window allows.
+func (w *Watchdog) ObserveLease(leased bool) (changed bool, out []Anomaly) {
+	changed = leased != w.leased || (!w.leaseKnown && leased)
+	w.leased, w.leaseKnown = leased, true
+
+	flip := 0
+	if changed {
+		flip = 1
+	}
+	w.leaseFlips = append(w.leaseFlips, flip)
+	if len(w.leaseFlips) > w.cfg.FlapWindow {
+		w.leaseFlips = w.leaseFlips[len(w.leaseFlips)-w.cfg.FlapWindow:]
+	}
+	flips := 0
+	for _, f := range w.leaseFlips {
+		flips += f
+	}
+	flapping := flips >= w.cfg.FlapThreshold
+	if flapping && !w.leaseLatched {
+		out = append(out, Anomaly{Kind: AnomalyLeaseFlap,
+			Detail: fmt.Sprintf("%d lease transitions within the last %d samples", flips, w.cfg.FlapWindow)})
+	}
+	w.leaseLatched = flapping
+	return changed, out
+}

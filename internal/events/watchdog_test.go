@@ -1,0 +1,157 @@
+package events
+
+import (
+	"testing"
+	"time"
+)
+
+func kinds(as []Anomaly) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Kind
+	}
+	return out
+}
+
+func wantOne(t *testing.T, as []Anomaly, kind string) Anomaly {
+	t.Helper()
+	if len(as) != 1 || as[0].Kind != kind {
+		t.Fatalf("anomalies = %v, want exactly one %q", kinds(as), kind)
+	}
+	return as[0]
+}
+
+// TestSyncLagDetector: fires once when the unsynced window dwarfs the
+// flush threshold, stays latched while the condition holds, and re-arms
+// after it clears.
+func TestSyncLagDetector(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{})
+	spike := NodeSample{Node: "m", Unsynced: 900, FlushThreshold: 100}
+	wantOne(t, w.ObserveNode(spike), AnomalySyncLag)
+	if as := w.ObserveNode(spike); len(as) != 0 {
+		t.Fatalf("latched spike re-fired: %v", kinds(as))
+	}
+	if as := w.ObserveNode(NodeSample{Node: "m", Unsynced: 10, FlushThreshold: 100}); len(as) != 0 {
+		t.Fatalf("recovery fired: %v", kinds(as))
+	}
+	wantOne(t, w.ObserveNode(spike), AnomalySyncLag)
+}
+
+// TestSyncLagFloor: small absolute windows never fire, even at a huge
+// factor — an idle master with flush threshold 1 is not an anomaly.
+func TestSyncLagFloor(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{})
+	if as := w.ObserveNode(NodeSample{Node: "m", Unsynced: 63, FlushThreshold: 1}); len(as) != 0 {
+		t.Fatalf("sub-floor window fired: %v", kinds(as))
+	}
+}
+
+// TestFastPathCollapse: the speculative share dropping under the floor
+// over a big-enough window fires once; tiny windows are not judged;
+// counter restarts (master replaced) reset the baseline silently.
+func TestFastPathCollapse(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{})
+	// Baseline sample: no rates yet, nothing can fire.
+	if as := w.ObserveNode(NodeSample{Node: "m", SpeculativeOps: 1000, ConflictSyncs: 10}); len(as) != 0 {
+		t.Fatalf("baseline fired: %v", kinds(as))
+	}
+	// 10 spec vs 90 syncs this window: share 10% < 50% floor.
+	collapsed := NodeSample{Node: "m", SpeculativeOps: 1010, ConflictSyncs: 100}
+	wantOne(t, w.ObserveNode(collapsed), AnomalyFastPathCollapse)
+	// Same counters again (idle window < MinWindowOps): latch holds.
+	if as := w.ObserveNode(collapsed); len(as) != 0 {
+		t.Fatalf("idle window fired: %v", kinds(as))
+	}
+	// Healthy window re-arms, next collapse fires again.
+	if as := w.ObserveNode(NodeSample{Node: "m", SpeculativeOps: 1110, ConflictSyncs: 101}); len(as) != 0 {
+		t.Fatalf("healthy window fired: %v", kinds(as))
+	}
+	wantOne(t, w.ObserveNode(NodeSample{Node: "m", SpeculativeOps: 1120, ConflictSyncs: 191}), AnomalyFastPathCollapse)
+}
+
+// TestFastPathCounterRestart: a replacement master's counters restart at
+// zero; the negative delta must reset the baseline, not fire.
+func TestFastPathCounterRestart(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{})
+	w.ObserveNode(NodeSample{Node: "m", SpeculativeOps: 1000, ConflictSyncs: 500})
+	if as := w.ObserveNode(NodeSample{Node: "m", SpeculativeOps: 5, ConflictSyncs: 40}); len(as) != 0 {
+		t.Fatalf("counter restart fired: %v", kinds(as))
+	}
+}
+
+// TestHeartbeatGap: a node beating chronically slower than configured
+// fires once and latches.
+func TestHeartbeatGap(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{})
+	slow := NodeSample{Node: "b1", MeanGap: 500 * time.Millisecond, Interval: 100 * time.Millisecond}
+	a := wantOne(t, w.ObserveNode(slow), AnomalyHeartbeatGap)
+	if a.Node != "b1" {
+		t.Fatalf("anomaly node = %q, want b1", a.Node)
+	}
+	if as := w.ObserveNode(slow); len(as) != 0 {
+		t.Fatalf("latched gap re-fired: %v", kinds(as))
+	}
+	ok := NodeSample{Node: "b1", MeanGap: 110 * time.Millisecond, Interval: 100 * time.Millisecond}
+	if as := w.ObserveNode(ok); len(as) != 0 {
+		t.Fatalf("recovered gap fired: %v", kinds(as))
+	}
+	wantOne(t, w.ObserveNode(slow), AnomalyHeartbeatGap)
+}
+
+// TestLeaseFlap: changed reports each transition — including a seeded
+// leader's very first leased sample — and the anomaly fires only when
+// transitions flap faster than the window allows, once per episode.
+func TestLeaseFlap(t *testing.T) {
+	// A node booting as follower journals nothing.
+	w := NewWatchdog(WatchdogConfig{FlapWindow: 8, FlapThreshold: 3})
+	if changed, as := w.ObserveLease(false); changed || len(as) != 0 {
+		t.Fatalf("follower first sample: changed=%v anomalies=%v", changed, kinds(as))
+	}
+
+	// A seeded bootstrap leader's first sample is an acquisition.
+	w = NewWatchdog(WatchdogConfig{FlapWindow: 8, FlapThreshold: 3})
+	changed, as := w.ObserveLease(true)
+	if !changed || len(as) != 0 {
+		t.Fatalf("leader first sample: changed=%v anomalies=%v", changed, kinds(as))
+	}
+	// Second transition: still under the flap threshold.
+	changed, as = w.ObserveLease(false)
+	if !changed || len(as) != 0 {
+		t.Fatalf("second transition: changed=%v anomalies=%v", changed, kinds(as))
+	}
+	// Third transition within the window: flap.
+	changed, as = w.ObserveLease(true)
+	if !changed {
+		t.Fatal("third transition not reported")
+	}
+	wantOne(t, as, AnomalyLeaseFlap)
+	// Fourth transition: still flapping, latch holds.
+	if _, as = w.ObserveLease(false); len(as) != 0 {
+		t.Fatalf("latched flap re-fired: %v", kinds(as))
+	}
+	// A quiet stretch ages the flips out of the window and re-arms.
+	for i := 0; i < 8; i++ {
+		if changed, as = w.ObserveLease(false); changed || len(as) != 0 {
+			t.Fatalf("quiet sample %d: changed=%v anomalies=%v", i, changed, kinds(as))
+		}
+	}
+	w.ObserveLease(true)
+	w.ObserveLease(false)
+	_, as = w.ObserveLease(true)
+	wantOne(t, as, AnomalyLeaseFlap)
+}
+
+// TestAnomalyKindsMatchDetectors: the metrics layer pre-registers
+// curp_anomaly_total{kind} per AnomalyKinds entry; every detector
+// constant must be listed.
+func TestAnomalyKindsMatchDetectors(t *testing.T) {
+	got := map[string]bool{}
+	for _, k := range AnomalyKinds() {
+		got[k] = true
+	}
+	for _, k := range []string{AnomalySyncLag, AnomalyFastPathCollapse, AnomalyHeartbeatGap, AnomalyLeaseFlap} {
+		if !got[k] {
+			t.Errorf("AnomalyKinds() lacks %q", k)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo adds the conventional curp_build_info gauge (constant
+// 1) to r, carrying the build's identity as labels: the module version, the
+// VCS commit (when the binary was built from a checkout), and the Go
+// toolchain. Every node registry registers it, so one scrape answers "what
+// exactly is running on this node?" — the first question of any incident —
+// and curpctl status prints it per shard.
+func RegisterBuildInfo(r *Registry) {
+	version, commit := buildIdentity()
+	r.GaugeFunc("curp_build_info",
+		"Build metadata of the running binary; the value is always 1.",
+		func() float64 { return 1 },
+		L("version", version), L("commit", commit), L("go", runtime.Version()))
+}
+
+// buildIdentity extracts the module version and VCS revision from the
+// binary's embedded build info. Binaries built outside a module or VCS
+// checkout (go test, vendored builds) report "devel" / "unknown".
+func buildIdentity() (version, commit string) {
+	version, commit = "devel", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, commit
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			commit = s.Value
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+		}
+	}
+	return version, commit
+}

@@ -88,11 +88,25 @@ func NodeMux(metricsH http.Handler, coll *Collector, profiling bool) *http.Serve
 // whose backing collector set is dynamic (a failover-tracking master
 // endpoint, an embedded multi-role process) pass a MultiTraceHandler.
 func NodeMuxHandler(metricsH, traceH http.Handler, profiling bool) *http.ServeMux {
+	return NodeMuxExtras(metricsH, traceH, profiling, nil)
+}
+
+// NodeMuxExtras is NodeMuxHandler plus arbitrary extra endpoints — the
+// hook the flight recorder uses to mount /events (every node) and /hotkeys
+// (masters and dashboards) without this package importing internal/events.
+// Nil handlers in extras are skipped, so call sites can pass a map built
+// unconditionally.
+func NodeMuxExtras(metricsH, traceH http.Handler, profiling bool, extras map[string]http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metricsH)
 	mux.Handle("/", metricsH)
 	if traceH != nil {
 		mux.Handle("/trace", traceH)
+	}
+	for path, h := range extras {
+		if h != nil {
+			mux.Handle(path, h)
+		}
 	}
 	if profiling {
 		MountProfiling(mux)
@@ -124,11 +138,18 @@ func ServeNode(addr string, metricsH http.Handler, coll *Collector, profiling bo
 // ServeNodeHandler is ServeNode with an arbitrary /trace handler (see
 // NodeMuxHandler).
 func ServeNodeHandler(addr string, metricsH, traceH http.Handler, profiling bool) (*Server, error) {
+	return ServeNodeExtras(addr, metricsH, traceH, profiling, nil)
+}
+
+// ServeNodeExtras is ServeNodeHandler plus extra endpoints (see
+// NodeMuxExtras) — how curpd mounts /events and /hotkeys on every node's
+// observability port.
+func ServeNodeExtras(addr string, metricsH, traceH http.Handler, profiling bool, extras map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NodeMuxHandler(metricsH, traceH, profiling), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NodeMuxExtras(metricsH, traceH, profiling, extras), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the observability plane: boot a 2-shard curpd
-# over real TCP, push writes through both shards, scrape every node's
-# /metrics endpoint, and assert the series the observability contract
-# promises are present. Run from anywhere; needs go and curl.
+# with a replicated coordinator quorum over real TCP, push writes through
+# both shards, scrape every node's /metrics, /events, and /hotkeys
+# endpoints, assert the series and documents the observability contract
+# promises, then run a SIGUSR1 leader-kill drill and assert the healing
+# shows up in the event journal. Run from anywhere; needs go and curl.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +12,7 @@ HOST=127.0.0.1
 PORT="${PORT:-7000}"
 SHARDS=2
 F=2
+COORDINATORS=3
 
 TMP="$(mktemp -d)"
 CURPD_PID=""
@@ -23,6 +26,7 @@ go build -o "$TMP/curpd" ./cmd/curpd
 go build -o "$TMP/curpctl" ./cmd/curpctl
 
 "$TMP/curpd" -mode cluster -host "$HOST" -port "$PORT" -shards "$SHARDS" -f "$F" \
+  -coordinators "$COORDINATORS" \
   >"$TMP/curpd.log" 2>&1 &
 CURPD_PID=$!
 
@@ -56,11 +60,11 @@ assert_series() { # assert_series <port> <series>...
 }
 
 # Every node's endpoint must come up: per shard block (base + s*1000) the
-# coordinator serves +500, the master +501, backups +600+i, witnesses
-# +700+i.
+# coordinator dashboard serves +500, the master +501, follower coordinator
+# replicas +501+i, backups +600+i, witnesses +700+i.
 for s in $(seq 0 $((SHARDS - 1))); do
   base=$((PORT + s * 1000))
-  for off in 500 501 600 601 700 701; do
+  for off in 500 501 502 503 600 601 700 701; do
     wait_up $((base + off))
   done
 done
@@ -113,5 +117,82 @@ if ! grep -q "self-healing" "$TMP/top.out"; then
   exit 1
 fi
 echo "ok curpctl top rendered $(grep -c self-healing "$TMP/top.out") shard rows"
+
+# curpctl status prints the build-info gauge scraped from the dashboard.
+"$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" -coordinators "$COORDINATORS" status >"$TMP/status.out"
+if ! grep -q "build version=" "$TMP/status.out"; then
+  echo "FAIL: curpctl status did not print the build-info line" >&2
+  cat "$TMP/status.out" >&2
+  exit 1
+fi
+echo "ok curpctl status printed: $(grep -m1 'build version=' "$TMP/status.out" | sed 's/^ *//')"
+
+# Event journal: every endpoint serves /events as JSON, and boot left
+# election/lease transitions in the coordinator journals.
+fetch() { # fetch <port> <path>
+  curl -sf --max-time 5 "http://$HOST:$1$2"
+}
+for s in $(seq 0 $((SHARDS - 1))); do
+  base=$((PORT + s * 1000))
+  for off in 500 501 600 700; do
+    if ! fetch $((base + off)) /events | grep -q '"events"'; then
+      echo "FAIL: :$((base + off))/events is not a journal dump" >&2
+      exit 1
+    fi
+  done
+done
+echo "ok /events served on coordinator, master, backup, and witness endpoints"
+
+# Key-space analytics: the puts above must have landed in the master's
+# hot-key sketch, served on the dashboard and the master endpoint.
+for s in $(seq 0 $((SHARDS - 1))); do
+  base=$((PORT + s * 1000))
+  for off in 500 501; do
+    if ! fetch $((base + off)) /hotkeys | grep -q '"total_observations"'; then
+      echo "FAIL: :$((base + off))/hotkeys is not a sketch dump" >&2
+      exit 1
+    fi
+  done
+  total=$(fetch $((base + 500)) /hotkeys | grep -o '"total_observations": *[0-9]*' | grep -o '[0-9]*' | head -1)
+  if [ "${total:-0}" -lt 1 ]; then
+    echo "FAIL: shard $s hot-key sketch observed nothing" >&2
+    exit 1
+  fi
+done
+echo "ok /hotkeys sketches observed the smoke writes"
+
+# curpctl hotkeys and events run end-to-end against the same endpoints.
+"$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" hotkeys >"$TMP/hotkeys.out"
+if ! grep -q "KEY-HASH" "$TMP/hotkeys.out"; then
+  echo "FAIL: curpctl hotkeys rendered no table" >&2
+  cat "$TMP/hotkeys.out" >&2
+  exit 1
+fi
+"$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" -coordinators "$COORDINATORS" -f "$F" events >"$TMP/events.out"
+if ! grep -q "lease-acquired" "$TMP/events.out"; then
+  echo "FAIL: curpctl events shows no lease-acquired from boot" >&2
+  cat "$TMP/events.out" >&2
+  exit 1
+fi
+echo "ok curpctl events stitched $(grep -cv '^$' "$TMP/events.out") timeline lines"
+
+# Failover drill: SIGUSR1 crashes each shard's coordinator leader; the
+# surviving replicas must elect a successor and journal the transition.
+kill -USR1 "$CURPD_PID"
+drill_ok=""
+for _ in $(seq 1 50); do
+  if "$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" -coordinators "$COORDINATORS" -f "$F" events 2>/dev/null \
+      | grep -Eq "election-won|lease-acquired.*term=[2-9]"; then
+    drill_ok=1
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$drill_ok" ]; then
+  echo "FAIL: no election/lease event journaled after the SIGUSR1 drill" >&2
+  "$TMP/curpctl" -coordinator "$HOST:$PORT" -shards "$SHARDS" -coordinators "$COORDINATORS" -f "$F" events >&2 || true
+  exit 1
+fi
+echo "ok SIGUSR1 drill journaled the leader change"
 
 echo "PASS metrics smoke"
